@@ -1,0 +1,109 @@
+//! MICRO — criterion micro-benchmarks of the core data structures and
+//! the simulator's end-to-end throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use coopcache_core::{Cache, PlacementScheme, PolicyKind};
+use coopcache_proxy::DistributedGroup;
+use coopcache_sim::{run, SimConfig};
+use coopcache_trace::{generate, Distribution, Rng, TraceProfile, Zipf};
+use coopcache_types::{ByteSize, CacheId, DocId, Timestamp};
+
+fn bench_replacement_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_insert_evict");
+    for policy in PolicyKind::all() {
+        group.throughput(Throughput::Elements(10_000));
+        group.bench_function(policy.to_string(), |b| {
+            b.iter_batched(
+                || Cache::new(CacheId::new(0), ByteSize::from_kb(100), policy),
+                |mut cache| {
+                    for i in 0..10_000u64 {
+                        cache.insert(
+                            DocId::new(i),
+                            ByteSize::from_kb(1 + i % 4),
+                            Timestamp::from_millis(i),
+                        );
+                        if i % 3 == 0 {
+                            cache.lookup(DocId::new(i), Timestamp::from_millis(i + 1));
+                        }
+                    }
+                    cache
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_lookup_hit(c: &mut Criterion) {
+    let mut cache = Cache::new(CacheId::new(0), ByteSize::from_mb(10), PolicyKind::Lru);
+    for i in 0..1_000u64 {
+        cache.insert(DocId::new(i), ByteSize::from_kb(4), Timestamp::from_millis(i));
+    }
+    let mut i = 0u64;
+    c.bench_function("cache_lookup_hit_lru", |b| {
+        b.iter(|| {
+            i = (i + 1) % 1_000;
+            cache.lookup(DocId::new(i), Timestamp::from_millis(1_000_000 + i))
+        });
+    });
+}
+
+fn bench_zipf_sampling(c: &mut Criterion) {
+    let zipf = Zipf::new(46_830, 1.05).expect("valid zipf");
+    let mut rng = Rng::seed_from(7);
+    c.bench_function("zipf_sample_46830", |b| b.iter(|| zipf.sample(&mut rng)));
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let profile = TraceProfile::small();
+    c.bench_function("generate_small_trace_20k", |b| {
+        b.iter(|| generate(&profile).expect("valid profile"));
+    });
+}
+
+fn bench_group_request(c: &mut Criterion) {
+    let mut criterion_group = c.benchmark_group("group_request");
+    for scheme in [PlacementScheme::AdHoc, PlacementScheme::Ea] {
+        criterion_group.bench_function(scheme.to_string(), |b| {
+            let mut group =
+                DistributedGroup::new(4, ByteSize::from_mb(1), PolicyKind::Lru, scheme);
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                group.handle_request(
+                    CacheId::new((i % 4) as u16),
+                    DocId::new(i % 512),
+                    ByteSize::from_kb(4),
+                    Timestamp::from_millis(i),
+                )
+            });
+        });
+    }
+    criterion_group.finish();
+}
+
+fn bench_simulation_throughput(c: &mut Criterion) {
+    let trace = generate(&TraceProfile::small()).expect("valid profile");
+    let mut group = c.benchmark_group("simulate_20k_requests");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for scheme in [PlacementScheme::AdHoc, PlacementScheme::Ea] {
+        group.bench_function(scheme.to_string(), |b| {
+            let cfg = SimConfig::new(ByteSize::from_mb(1)).with_scheme(scheme);
+            b.iter(|| run(&cfg, &trace));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_replacement_policies,
+    bench_lookup_hit,
+    bench_zipf_sampling,
+    bench_trace_generation,
+    bench_group_request,
+    bench_simulation_throughput
+);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! ABL-L — ablation: how the EA scheme's latency benefit depends on the
+//! ratio of inter-proxy communication time to server fetch time — the
+//! open question the paper poses in §1.
+//!
+//! Hit rates are scheme properties; only the eq. 6 weights change, so one
+//! simulation per scheme is re-scored under every RHL/ML ratio.
+
+use coopcache_bench::{emit, trace_from_args};
+use coopcache_core::PlacementScheme;
+use coopcache_metrics::{LatencyModel, Table};
+use coopcache_sim::{run, SimConfig};
+use coopcache_types::ByteSize;
+
+fn main() {
+    let (trace, scale) = trace_from_args();
+    let aggregate = ByteSize::from_mb(10);
+    let cfg = SimConfig::new(aggregate).with_group_size(4);
+    let adhoc = run(&cfg.clone().with_scheme(PlacementScheme::AdHoc), &trace);
+    let ea = run(&cfg.with_scheme(PlacementScheme::Ea), &trace);
+
+    let mut table = Table::new(vec![
+        "RHL/ML ratio",
+        "RHL (ms)",
+        "ad-hoc latency ms",
+        "EA latency ms",
+        "EA saves ms",
+    ]);
+    for ratio in [0.05, 0.123, 0.25, 0.5, 0.75, 1.0] {
+        let model = LatencyModel::with_remote_to_miss_ratio(ratio);
+        let (a, e) = (
+            model.average_latency_ms(&adhoc.metrics),
+            model.average_latency_ms(&ea.metrics),
+        );
+        table.row(vec![
+            format!("{ratio:.3}"),
+            model.remote_hit.as_millis().to_string(),
+            format!("{a:.0}"),
+            format!("{e:.0}"),
+            format!("{:+.0}", a - e),
+        ]);
+    }
+    emit(
+        "ablation_latency_ratio",
+        "EA latency benefit vs remote-hit/miss cost ratio at 10MB aggregate (ABL-L; 0.123 is the paper's measured ratio)",
+        scale,
+        &table,
+    );
+}

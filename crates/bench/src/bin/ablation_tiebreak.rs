@@ -1,0 +1,49 @@
+//! ABL-T — ablation: the paper states the EA requester rule with strict
+//! ">" in §3.4 but "≥" in §3.5. This bench compares the two readings.
+//! The strict form (our default) is the one whose large-cache behaviour
+//! matches the paper's Table 2 (EA remote-hit rate ≫ ad-hoc at 1 GB).
+
+use coopcache_bench::{emit, trace_from_args};
+use coopcache_core::PlacementScheme;
+use coopcache_metrics::{pct, Table};
+use coopcache_sim::{run, SimConfig, PAPER_CACHE_SIZES};
+
+fn main() {
+    let (trace, scale) = trace_from_args();
+    let mut table = Table::new(vec![
+        "aggregate",
+        "scheme",
+        "hit %",
+        "remote %",
+        "latency ms",
+        "exp-age (s)",
+    ]);
+    for &aggregate in &PAPER_CACHE_SIZES {
+        for scheme in [
+            PlacementScheme::AdHoc,
+            PlacementScheme::Ea,
+            PlacementScheme::EaTieStore,
+        ] {
+            let cfg = SimConfig::new(aggregate)
+                .with_group_size(4)
+                .with_scheme(scheme);
+            let report = run(&cfg, &trace);
+            table.row(vec![
+                aggregate.to_string(),
+                scheme.to_string(),
+                pct(report.metrics.hit_rate()),
+                pct(report.metrics.remote_hit_rate()),
+                format!("{:.0}", report.estimated_latency_ms),
+                report
+                    .avg_expiration_age_ms
+                    .map_or("-".into(), |ms| format!("{:.2}", ms / 1_000.0)),
+            ]);
+        }
+    }
+    emit(
+        "ablation_tiebreak",
+        "Strict vs tie-store EA requester rule (ABL-T)",
+        scale,
+        &table,
+    );
+}

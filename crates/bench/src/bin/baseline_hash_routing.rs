@@ -1,0 +1,64 @@
+//! HASH — baseline: consistent-hash (CARP-style) document homes, the
+//! alternative cooperation style from the paper's related work (\[8\],
+//! \[16\]). Zero replication and zero discovery traffic by construction;
+//! compare hit rates and latency against ad-hoc and EA.
+
+use coopcache_bench::{emit, trace_from_args};
+use coopcache_core::{PlacementScheme, PolicyKind};
+use coopcache_metrics::{pct, GroupMetrics, LatencyModel, Table};
+use coopcache_proxy::HashRoutedGroup;
+use coopcache_sim::{run, SimConfig, PAPER_CACHE_SIZES};
+use coopcache_trace::Partitioner;
+
+fn main() {
+    let (trace, scale) = trace_from_args();
+    let latency = LatencyModel::paper_2002();
+    let partitioner = Partitioner::default();
+
+    let mut table = Table::new(vec![
+        "aggregate",
+        "scheme",
+        "hit %",
+        "local %",
+        "remote %",
+        "latency ms",
+    ]);
+    for &aggregate in &PAPER_CACHE_SIZES {
+        for scheme in [PlacementScheme::AdHoc, PlacementScheme::Ea] {
+            let cfg = SimConfig::new(aggregate)
+                .with_group_size(4)
+                .with_scheme(scheme);
+            let r = run(&cfg, &trace);
+            table.row(vec![
+                aggregate.to_string(),
+                scheme.to_string(),
+                pct(r.metrics.hit_rate()),
+                pct(r.metrics.local_hit_rate()),
+                pct(r.metrics.remote_hit_rate()),
+                format!("{:.0}", r.estimated_latency_ms),
+            ]);
+        }
+        // Hash routing, driven directly.
+        let mut group = HashRoutedGroup::new(4, aggregate, PolicyKind::Lru);
+        let mut metrics = GroupMetrics::default();
+        for (seq, r) in trace.iter().enumerate() {
+            let requester = partitioner.assign(r, seq, 4);
+            let outcome = group.handle_request(requester, r.doc, r.size, r.time);
+            metrics.record(outcome, r.size);
+        }
+        table.row(vec![
+            aggregate.to_string(),
+            "hash-routed".into(),
+            pct(metrics.hit_rate()),
+            pct(metrics.local_hit_rate()),
+            pct(metrics.remote_hit_rate()),
+            format!("{:.0}", latency.average_latency_ms(&metrics)),
+        ]);
+    }
+    emit(
+        "baseline_hash_routing",
+        "Ad-hoc vs EA vs consistent-hash homes (HASH baseline)",
+        scale,
+        &table,
+    );
+}

@@ -1,0 +1,35 @@
+//! FIG3 — Figure 3: estimated average document latency (paper eq. 6 with
+//! the measured constants LHL = 146 ms, RHL = 342 ms, ML = 2784 ms) for a
+//! 4-cache group at 100 KB – 1 GB.
+
+use coopcache_bench::{emit, trace_from_args};
+use coopcache_metrics::Table;
+use coopcache_sim::{capacity_sweep, SimConfig, PAPER_CACHE_SIZES};
+use coopcache_types::ByteSize;
+
+fn main() {
+    let (trace, scale) = trace_from_args();
+    let cfg = SimConfig::new(ByteSize::ZERO).with_group_size(4);
+    let points = capacity_sweep(&cfg, &PAPER_CACHE_SIZES, &trace);
+
+    let mut table = Table::new(vec![
+        "aggregate",
+        "ad-hoc latency (ms)",
+        "EA latency (ms)",
+        "EA saves (ms)",
+    ]);
+    for p in &points {
+        table.row(vec![
+            p.aggregate.to_string(),
+            format!("{:.0}", p.adhoc.estimated_latency_ms),
+            format!("{:.0}", p.ea.estimated_latency_ms),
+            format!("{:+.0}", p.latency_gain_ms()),
+        ]);
+    }
+    emit(
+        "fig3_latency",
+        "Estimated average latency for the 4-cache group (paper Figure 3, eq. 6)",
+        scale,
+        &table,
+    );
+}

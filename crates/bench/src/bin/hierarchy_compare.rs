@@ -1,0 +1,71 @@
+//! ABL-H — the hierarchical architecture (paper §3.4 describes the EA
+//! parent rule but §4 evaluates only the distributed one). This bench
+//! runs ad-hoc vs EA on a 4-leaves + 1-parent hierarchy.
+//!
+//! The leaf tier splits the aggregate like the distributed experiments;
+//! the parent gets an additional share of the same per-leaf size.
+
+use coopcache_bench::{emit, trace_from_args};
+use coopcache_core::{PlacementScheme, PolicyKind};
+use coopcache_metrics::{pct, GroupMetrics, LatencyModel, Table};
+use coopcache_proxy::HierarchicalGroup;
+use coopcache_trace::Partitioner;
+use coopcache_types::{ByteSize, CacheId};
+
+fn main() {
+    let (trace, scale) = trace_from_args();
+    let leaves = 4u16;
+    let sizes = [
+        ByteSize::from_kb(100),
+        ByteSize::from_mb(1),
+        ByteSize::from_mb(10),
+        ByteSize::from_mb(100),
+    ];
+    let latency = LatencyModel::paper_2002();
+    let partitioner = Partitioner::default();
+
+    let mut table = Table::new(vec![
+        "aggregate",
+        "scheme",
+        "hit %",
+        "local %",
+        "remote %",
+        "latency ms",
+        "parent docs",
+    ]);
+    for &aggregate in &sizes {
+        for scheme in [PlacementScheme::AdHoc, PlacementScheme::Ea] {
+            let per_leaf = aggregate.split_evenly(u64::from(leaves));
+            let mut group = HierarchicalGroup::two_level(
+                leaves,
+                per_leaf,
+                per_leaf, // the parent gets one extra leaf-sized share
+                PolicyKind::Lru,
+                scheme,
+            );
+            let mut metrics = GroupMetrics::default();
+            for (seq, r) in trace.iter().enumerate() {
+                // Clients attach to the leaf tier only.
+                let leaf = partitioner.assign(r, seq, leaves as usize);
+                let outcome = group.handle_request(leaf, r.doc, r.size, r.time);
+                metrics.record(outcome, r.size);
+            }
+            let parent_docs = group.node(CacheId::new(leaves)).cache().len();
+            table.row(vec![
+                aggregate.to_string(),
+                scheme.to_string(),
+                pct(metrics.hit_rate()),
+                pct(metrics.local_hit_rate()),
+                pct(metrics.remote_hit_rate()),
+                format!("{:.0}", latency.average_latency_ms(&metrics)),
+                parent_docs.to_string(),
+            ]);
+        }
+    }
+    emit(
+        "hierarchy_compare",
+        "Ad-hoc vs EA on a 4-leaves + 1-parent hierarchy (ABL-H)",
+        scale,
+        &table,
+    );
+}

@@ -1,0 +1,80 @@
+//! Shared plumbing for the experiment binaries that regenerate every
+//! table and figure of the paper (see `DESIGN.md` §3 for the index).
+//!
+//! Each binary in `src/bin/` prints its table to stdout and writes a CSV
+//! copy under `results/`. Pass `--fast` to any binary to run on the
+//! medium-scale trace (~120k requests) instead of the full BU-94-scale
+//! one (575,775 requests); the full run takes a few seconds per
+//! experiment.
+
+use coopcache_metrics::Table;
+use coopcache_trace::{generate, Trace, TraceProfile};
+use std::path::PathBuf;
+
+/// The trace the experiment binaries replay, scale chosen by CLI args.
+///
+/// Returns the trace and a scale label used in output headers.
+///
+/// # Panics
+///
+/// Panics if the built-in profiles fail to generate (they cannot).
+#[must_use]
+pub fn trace_from_args() -> (Trace, &'static str) {
+    let fast = std::env::args().any(|a| a == "--fast");
+    if fast {
+        (
+            generate(&TraceProfile::medium()).expect("medium profile is valid"),
+            "medium (--fast)",
+        )
+    } else {
+        (
+            generate(&TraceProfile::bu94()).expect("bu94 profile is valid"),
+            "bu94-scale",
+        )
+    }
+}
+
+/// Where CSV copies of the experiment tables land.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir).expect("can create results/");
+    dir
+}
+
+/// Prints an experiment header, the table, and writes `results/<id>.csv`.
+///
+/// # Panics
+///
+/// Panics if the CSV file cannot be written.
+pub fn emit(id: &str, title: &str, scale: &str, table: &Table) {
+    println!("== {id}: {title}");
+    println!("   trace: {scale}\n");
+    print!("{table}");
+    let path = results_dir().join(format!("{id}.csv"));
+    let mut file = std::fs::File::create(&path).expect("can create csv");
+    table.write_csv(&mut file).expect("can write csv");
+    println!("\n(csv: {})\n", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_is_created() {
+        let dir = results_dir();
+        assert!(dir.is_dir());
+    }
+
+    #[test]
+    fn emit_writes_csv() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["1".into()]);
+        emit("selftest", "emit smoke test", "none", &t);
+        let path = results_dir().join("selftest.csv");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "a\n1\n");
+        std::fs::remove_file(path).unwrap();
+    }
+}

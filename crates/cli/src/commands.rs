@@ -1,0 +1,499 @@
+//! The `coopcache` subcommands, written against a generic writer so every
+//! command is testable without spawning a process.
+
+use crate::args::{
+    parse_discovery, parse_policy, parse_profile, parse_scheme, parse_size, ArgError, ParsedArgs,
+};
+use coopcache_metrics::{pct, Table};
+use coopcache_net::LoopbackCluster;
+use coopcache_sim::{capacity_sweep, run, SimConfig, PAPER_CACHE_SIZES};
+use coopcache_trace::{generate, read_trace, write_trace, Rng, Trace, TraceProfile};
+use coopcache_types::{ByteSize, DocId, DurationMs};
+use std::io::Write;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+coopcache — expiration-age based cooperative web caching
+
+USAGE:
+    coopcache <COMMAND> [--flag value]...
+
+COMMANDS:
+    gen       generate a synthetic trace file
+                --profile small|medium|bu94   (default small)
+                --seed N                      (default profile seed)
+                --requests N                  (default profile size)
+                --out PATH                    (required)
+    stats     print aggregate statistics of a trace
+                --trace PATH | --profile NAME
+    simulate  replay a trace through a cache group
+                --trace PATH | --profile NAME (default small)
+                --aggregate SIZE              (default 10MB)
+                --caches N                    (default 4)
+                --scheme adhoc|ea|ea-tie-store (default ea)
+                --policy lru|lfu|fifo|gdsf|gds|slru (default lru)
+                --discovery icp|isolated|digest:SECONDS (default icp)
+                --ttl SECONDS                 (default none)
+                --warmup FRACTION             (default 0)
+    sweep     compare ad-hoc and EA across the paper's five sizes
+                --trace PATH | --profile NAME (default small)
+                --caches N                    (default 4)
+    serve     run a live loopback cluster and push a demo workload
+                --caches N                    (default 3)
+                --capacity SIZE per cache     (default 128KB)
+                --scheme adhoc|ea             (default ea)
+                --requests N                  (default 300)
+    analyze   characterize a workload (locality, popularity, sharing, MIN bound)
+                --trace PATH | --profile NAME (default small)
+                --aggregate SIZE for the MIN bound (default 10MB)
+    import    convert a real proxy log to the coopcache trace format
+                --log PATH                    (required)
+                --format squid|clf            (default squid)
+                --out PATH                    (required)
+    help      print this message
+";
+
+/// Runs a parsed command, writing human-readable output to `out`.
+///
+/// # Errors
+///
+/// Returns a user-facing message for flag errors, I/O failures and
+/// malformed traces.
+pub fn dispatch<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
+    match args.command.as_str() {
+        "gen" => cmd_gen(args, out),
+        "stats" => cmd_stats(args, out),
+        "simulate" => cmd_simulate(args, out),
+        "sweep" => cmd_sweep(args, out),
+        "serve" => cmd_serve(args, out),
+        "analyze" => cmd_analyze(args, out),
+        "import" => cmd_import(args, out),
+        "help" | "--help" | "-h" => {
+            write_out(out, USAGE)?;
+            Ok(())
+        }
+        other => Err(ArgError(format!(
+            "unknown command {other:?}; try `coopcache help`"
+        ))),
+    }
+}
+
+fn write_out<W: Write>(out: &mut W, text: impl AsRef<str>) -> Result<(), ArgError> {
+    out.write_all(text.as_ref().as_bytes())
+        .map_err(|e| ArgError(format!("write failed: {e}")))
+}
+
+fn load_trace(args: &ParsedArgs) -> Result<Trace, ArgError> {
+    match (args.get("trace"), args.get("profile")) {
+        (Some(_), Some(_)) => Err(ArgError("pass --trace or --profile, not both".into())),
+        (Some(path), None) => {
+            let file = std::fs::File::open(path)
+                .map_err(|e| ArgError(format!("cannot open {path}: {e}")))?;
+            read_trace(file).map_err(|e| ArgError(e.to_string()))
+        }
+        (None, profile) => {
+            let profile = parse_profile(profile.unwrap_or("small"))?;
+            generate(&profile).map_err(|e| ArgError(e.to_string()))
+        }
+    }
+}
+
+fn cmd_gen<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
+    args.expect_only(&["profile", "seed", "requests", "out"])?;
+    let mut profile: TraceProfile = parse_profile(args.get("profile").unwrap_or("small"))?;
+    if let Some(seed) = args.get("seed") {
+        profile = profile.with_seed(
+            seed.parse()
+                .map_err(|e| ArgError(format!("--seed {seed:?}: {e}")))?,
+        );
+    }
+    if let Some(requests) = args.get("requests") {
+        profile = profile.with_requests(
+            requests
+                .parse()
+                .map_err(|e| ArgError(format!("--requests {requests:?}: {e}")))?,
+        );
+    }
+    let path = args
+        .get("out")
+        .ok_or_else(|| ArgError("gen requires --out PATH".into()))?;
+    let trace = generate(&profile).map_err(|e| ArgError(e.to_string()))?;
+    let file = std::fs::File::create(path)
+        .map_err(|e| ArgError(format!("cannot create {path}: {e}")))?;
+    write_trace(std::io::BufWriter::new(file), &trace)
+        .map_err(|e| ArgError(format!("write failed: {e}")))?;
+    write_out(
+        out,
+        format!("wrote {} records to {path}\n", trace.len()),
+    )
+}
+
+fn cmd_stats<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
+    args.expect_only(&["trace", "profile"])?;
+    let trace = load_trace(args)?;
+    let s = trace.stats();
+    let mut table = Table::new(vec!["statistic", "value"]);
+    table.row(vec!["requests".into(), s.requests.to_string()]);
+    table.row(vec!["unique documents".into(), s.unique_docs.to_string()]);
+    table.row(vec!["unique clients".into(), s.unique_clients.to_string()]);
+    table.row(vec!["total bytes".into(), s.total_bytes.to_string()]);
+    table.row(vec!["unique bytes".into(), s.unique_bytes.to_string()]);
+    table.row(vec!["mean doc size".into(), s.mean_doc_size().to_string()]);
+    table.row(vec![
+        "span (days)".into(),
+        format!("{:.1}", (s.end - s.start).as_secs_f64() / 86_400.0),
+    ]);
+    write_out(out, table.to_string())
+}
+
+fn cmd_simulate<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
+    args.expect_only(&[
+        "trace",
+        "profile",
+        "aggregate",
+        "caches",
+        "scheme",
+        "policy",
+        "discovery",
+        "ttl",
+        "warmup",
+    ])?;
+    let trace = load_trace(args)?;
+    let aggregate = parse_size(args.get("aggregate").unwrap_or("10MB"))?;
+    let mut cfg = SimConfig::new(aggregate)
+        .with_group_size(args.get_or("caches", 4u16)?)
+        .with_scheme(parse_scheme(args.get("scheme").unwrap_or("ea"))?)
+        .with_policy(parse_policy(args.get("policy").unwrap_or("lru"))?)
+        .with_discovery(parse_discovery(args.get("discovery").unwrap_or("icp"))?);
+    if let Some(ttl) = args.get("ttl") {
+        cfg = cfg.with_ttl(DurationMs::from_secs(
+            ttl.parse()
+                .map_err(|e| ArgError(format!("--ttl {ttl:?}: {e}")))?,
+        ));
+    }
+    let warmup = args.get_or("warmup", 0.0f64)?;
+    if !(0.0..1.0).contains(&warmup) {
+        return Err(ArgError("--warmup must be in [0, 1)".into()));
+    }
+    cfg = cfg.with_warmup_fraction(warmup);
+
+    let report = run(&cfg, &trace);
+    let mut table = Table::new(vec!["metric", "value"]);
+    table.row(vec!["configuration".into(), cfg.to_string()]);
+    table.row(vec!["requests".into(), report.metrics.requests.to_string()]);
+    table.row(vec!["hit rate %".into(), pct(report.metrics.hit_rate())]);
+    table.row(vec![
+        "byte hit rate %".into(),
+        pct(report.metrics.byte_hit_rate()),
+    ]);
+    table.row(vec![
+        "local / remote / miss %".into(),
+        format!(
+            "{} / {} / {}",
+            pct(report.metrics.local_hit_rate()),
+            pct(report.metrics.remote_hit_rate()),
+            pct(report.metrics.miss_rate())
+        ),
+    ]);
+    table.row(vec![
+        "est. latency (ms)".into(),
+        format!("{:.0}", report.estimated_latency_ms),
+    ]);
+    table.row(vec![
+        "avg expiration age (s)".into(),
+        report
+            .avg_expiration_age_ms
+            .map_or("-".into(), |ms| format!("{:.1}", ms / 1e3)),
+    ]);
+    table.row(vec![
+        "messages / request".into(),
+        format!(
+            "{:.2}",
+            report.protocol.messages_per_request(report.metrics.requests)
+        ),
+    ]);
+    table.row(vec![
+        "replicated doc slots".into(),
+        report.replica_overhead().to_string(),
+    ]);
+    write_out(out, table.to_string())
+}
+
+fn cmd_sweep<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
+    args.expect_only(&["trace", "profile", "caches"])?;
+    let trace = load_trace(args)?;
+    let base = SimConfig::new(ByteSize::ZERO).with_group_size(args.get_or("caches", 4u16)?);
+    let mut table = Table::new(vec![
+        "aggregate",
+        "ad-hoc hit %",
+        "EA hit %",
+        "gain (pp)",
+        "ad-hoc lat ms",
+        "EA lat ms",
+    ]);
+    for p in capacity_sweep(&base, &PAPER_CACHE_SIZES, &trace) {
+        table.row(vec![
+            p.aggregate.to_string(),
+            pct(p.adhoc.metrics.hit_rate()),
+            pct(p.ea.metrics.hit_rate()),
+            format!("{:+.2}", p.hit_rate_gain() * 100.0),
+            format!("{:.0}", p.adhoc.estimated_latency_ms),
+            format!("{:.0}", p.ea.estimated_latency_ms),
+        ]);
+    }
+    write_out(out, table.to_string())
+}
+
+fn cmd_serve<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
+    args.expect_only(&["caches", "capacity", "scheme", "requests"])?;
+    let caches = args.get_or("caches", 3u16)?;
+    let capacity = parse_size(args.get("capacity").unwrap_or("128KB"))?;
+    let scheme = parse_scheme(args.get("scheme").unwrap_or("ea"))?;
+    let requests = args.get_or("requests", 300u64)?;
+    let cluster = LoopbackCluster::start(caches, capacity, scheme)
+        .map_err(|e| ArgError(format!("cluster start failed: {e}")))?;
+    write_out(
+        out,
+        format!("started {caches} daemons ({capacity} each, {scheme} placement)\n"),
+    )?;
+    let mut rng = Rng::seed_from(7);
+    let mut hits = 0u64;
+    for i in 0..requests {
+        let doc = DocId::new(rng.next_below(64) + 1);
+        let size = ByteSize::from_kb(1 + rng.next_below(4));
+        let outcome = cluster
+            .request((i % u64::from(caches)) as usize, doc, size)
+            .map_err(|e| ArgError(format!("request failed: {e}")))?;
+        if outcome.is_hit() {
+            hits += 1;
+        }
+    }
+    write_out(
+        out,
+        format!(
+            "served {requests} requests over real sockets: {hits} hits, {} origin fetches\n",
+            cluster.origin_fetches()
+        ),
+    )?;
+    cluster.shutdown();
+    write_out(out, "cluster shut down cleanly\n")
+}
+
+fn cmd_analyze<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
+    use coopcache_analysis::{belady_min, PopularityProfile, ReuseProfile, SharingProfile};
+    args.expect_only(&["trace", "profile", "aggregate"])?;
+    let trace = load_trace(args)?;
+    let aggregate = parse_size(args.get("aggregate").unwrap_or("10MB"))?;
+    let docs: Vec<_> = trace.iter().map(|r| r.doc).collect();
+    let reuse = ReuseProfile::compute(docs.iter().copied());
+    let pop = PopularityProfile::compute(docs.iter().copied());
+    let sharing = SharingProfile::compute(trace.iter());
+    let sized: Vec<_> = trace.iter().map(|r| (r.doc, r.size)).collect();
+    let bound = belady_min(&sized, aggregate);
+
+    let mut table = Table::new(vec!["property", "value"]);
+    table.row(vec!["requests".into(), trace.len().to_string()]);
+    table.row(vec!["unique documents".into(), pop.unique_docs().to_string()]);
+    table.row(vec![
+        "zipf alpha (fit)".into(),
+        pop.zipf_alpha_fit()
+            .map_or("-".into(), |a| format!("{a:.2}")),
+    ]);
+    table.row(vec!["top-10 doc share %".into(), pct(pop.top_share(10))]);
+    table.row(vec![
+        "one-timer docs %".into(),
+        pct(pop.one_timer_fraction()),
+    ]);
+    table.row(vec![
+        "mean stack distance".into(),
+        reuse
+            .mean_distance()
+            .map_or("-".into(), |d| format!("{d:.0} docs")),
+    ]);
+    for slots in [16usize, 256, 4_096] {
+        table.row(vec![
+            format!("LRU hit % @ {slots} docs"),
+            pct(reuse.lru_hit_rate(slots)),
+        ]);
+    }
+    table.row(vec![
+        "cross-client share of re-refs %".into(),
+        pct(sharing.cross_client_share()),
+    ]);
+    table.row(vec![
+        format!("Belady-MIN hit % @ {aggregate}"),
+        pct(bound.hit_rate()),
+    ]);
+    write_out(out, table.to_string())
+}
+
+fn cmd_import<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
+    use coopcache_trace::{parse_log, LogFormat};
+    args.expect_only(&["log", "format", "out"])?;
+    let log_path = args
+        .get("log")
+        .ok_or_else(|| ArgError("import requires --log PATH".into()))?;
+    let out_path = args
+        .get("out")
+        .ok_or_else(|| ArgError("import requires --out PATH".into()))?;
+    let format = match args.get("format").unwrap_or("squid") {
+        "squid" => LogFormat::SquidNative,
+        "clf" => LogFormat::CommonLog,
+        other => return Err(ArgError(format!("unknown format {other:?} (squid, clf)"))),
+    };
+    let file = std::fs::File::open(log_path)
+        .map_err(|e| ArgError(format!("cannot open {log_path}: {e}")))?;
+    let parsed = parse_log(file, format, ByteSize::from_kb(4))
+        .map_err(|e| ArgError(e.to_string()))?;
+    let out_file = std::fs::File::create(out_path)
+        .map_err(|e| ArgError(format!("cannot create {out_path}: {e}")))?;
+    write_trace(std::io::BufWriter::new(out_file), &parsed.trace)
+        .map_err(|e| ArgError(format!("write failed: {e}")))?;
+    write_out(
+        out,
+        format!(
+            "imported {} records ({} urls, {} clients, {} lines skipped) to {out_path}\n",
+            parsed.trace.len(),
+            parsed.urls.len(),
+            parsed.clients.len(),
+            parsed.skipped_lines
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cmd(argv: &[&str]) -> Result<String, ArgError> {
+        let args = ParsedArgs::parse(argv.iter().copied())?;
+        let mut out = Vec::new();
+        dispatch(&args, &mut out)?;
+        Ok(String::from_utf8(out).expect("commands emit utf-8"))
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let text = run_cmd(&["help"]).unwrap();
+        assert!(text.contains("USAGE"));
+        assert!(text.contains("simulate"));
+    }
+
+    #[test]
+    fn unknown_command_is_reported() {
+        let e = run_cmd(&["frobnicate"]).unwrap_err();
+        assert!(e.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn gen_stats_simulate_pipeline() {
+        let dir = std::env::temp_dir().join("coopcache_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trace");
+        let path_s = path.to_str().unwrap();
+
+        let text = run_cmd(&[
+            "gen", "--profile", "small", "--requests", "2000", "--out", path_s,
+        ])
+        .unwrap();
+        assert!(text.contains("2000 records"));
+
+        let text = run_cmd(&["stats", "--trace", path_s]).unwrap();
+        assert!(text.contains("requests"));
+        assert!(text.contains("2000"));
+
+        let text = run_cmd(&[
+            "simulate", "--trace", path_s, "--aggregate", "200KB", "--scheme", "ea",
+        ])
+        .unwrap();
+        assert!(text.contains("hit rate %"));
+        assert!(text.contains("ea placement"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn simulate_flag_validation() {
+        assert!(run_cmd(&["simulate", "--scheme", "best"]).is_err());
+        assert!(run_cmd(&["simulate", "--warmup", "2.0"]).is_err());
+        assert!(run_cmd(&["simulate", "--bogus", "1"]).is_err());
+        assert!(run_cmd(&["stats", "--trace", "/nonexistent/x"]).is_err());
+        assert!(run_cmd(&["gen", "--profile", "small"]).is_err(), "--out required");
+    }
+
+    #[test]
+    fn simulate_with_all_knobs() {
+        let text = run_cmd(&[
+            "simulate",
+            "--profile",
+            "small",
+            "--aggregate",
+            "1MB",
+            "--caches",
+            "8",
+            "--scheme",
+            "ea-tie-store",
+            "--policy",
+            "lfu",
+            "--discovery",
+            "digest:600",
+            "--ttl",
+            "86400",
+            "--warmup",
+            "0.2",
+        ])
+        .unwrap();
+        assert!(text.contains("8 caches"));
+        assert!(text.contains("lfu replacement"));
+    }
+
+    #[test]
+    fn sweep_outputs_five_rows() {
+        let text = run_cmd(&["sweep", "--profile", "small"]).unwrap();
+        assert!(text.contains("100KB"));
+        assert!(text.contains("1GB"));
+        assert_eq!(text.lines().count(), 7); // header + rule + 5 sizes
+    }
+
+    #[test]
+    fn analyze_reports_workload_properties() {
+        let text = run_cmd(&["analyze", "--profile", "small", "--aggregate", "1MB"]).unwrap();
+        assert!(text.contains("zipf alpha"));
+        assert!(text.contains("Belady-MIN"));
+        assert!(text.contains("cross-client"));
+    }
+
+    #[test]
+    fn import_converts_a_squid_log() {
+        let dir = std::env::temp_dir().join("coopcache_cli_import");
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("access.log");
+        std::fs::write(
+            &log,
+            "894395924.192 10 h1 TCP_MISS/200 3448 GET http://x/a - D/x t\n\
+             894395925.000 10 h2 TCP_HIT/200 3448 GET http://x/a - N/- t\n",
+        )
+        .unwrap();
+        let out_path = dir.join("imported.trace");
+        let text = run_cmd(&[
+            "import",
+            "--log",
+            log.to_str().unwrap(),
+            "--out",
+            out_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(text.contains("imported 2 records"), "{text}");
+        // The imported trace is simulate-able.
+        let text = run_cmd(&["simulate", "--trace", out_path.to_str().unwrap()]).unwrap();
+        assert!(text.contains("hit rate %"));
+        std::fs::remove_file(log).unwrap();
+        std::fs::remove_file(out_path).unwrap();
+    }
+
+    #[test]
+    fn serve_runs_a_live_cluster() {
+        let text = run_cmd(&["serve", "--caches", "2", "--requests", "50"]).unwrap();
+        assert!(text.contains("served 50 requests"));
+        assert!(text.contains("shut down cleanly"));
+    }
+}

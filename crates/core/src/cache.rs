@@ -1,0 +1,580 @@
+//! A single byte-capacity-bounded proxy cache.
+
+use crate::entry::{CacheEntry, EvictionReason, EvictionRecord};
+use crate::expiration::{ExpirationTracker, ExpirationWindow};
+use crate::policy::{PolicyKind, ReplacementPolicy};
+use crate::stats::CacheStats;
+use coopcache_types::{ByteSize, CacheId, DocId, DurationMs, ExpirationAge, Timestamp};
+use std::collections::HashMap;
+
+/// One proxy cache: a byte-bounded document store with a pluggable
+/// replacement policy and expiration-age accounting.
+///
+/// The cache exposes exactly the three access paths the cooperative
+/// protocol needs:
+///
+/// * [`lookup`](Cache::lookup) — a local client request (counts as a hit
+///   and refreshes the entry);
+/// * [`contains`](Cache::contains) — an ICP probe (read-only);
+/// * [`serve_remote`](Cache::serve_remote) — serving a sibling, where the
+///   EA scheme decides via `promote` whether the serve refreshes the
+///   entry or leaves it to age out (paper §3.4).
+///
+/// # Example
+///
+/// ```
+/// use coopcache_core::{Cache, PolicyKind};
+/// use coopcache_types::{ByteSize, CacheId, DocId, Timestamp};
+///
+/// let mut cache = Cache::new(CacheId::new(0), ByteSize::from_kb(8), PolicyKind::Lru);
+/// let now = Timestamp::from_secs(1);
+/// cache.insert(DocId::new(1), ByteSize::from_kb(4), now);
+/// assert!(cache.lookup(DocId::new(1), now).is_some());
+/// assert!(cache.lookup(DocId::new(2), now).is_none());
+/// ```
+#[derive(Debug)]
+pub struct Cache {
+    id: CacheId,
+    capacity: ByteSize,
+    used: ByteSize,
+    entries: HashMap<DocId, CacheEntry>,
+    policy: Box<dyn ReplacementPolicy>,
+    tracker: ExpirationTracker,
+    stats: CacheStats,
+    ttl: Option<DurationMs>,
+}
+
+/// Outcome of a [`Cache::insert`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The document was stored; the listed victims were evicted to make
+    /// room (possibly none).
+    Stored(Vec<EvictionRecord>),
+    /// The document was already cached; nothing changed.
+    AlreadyPresent,
+    /// The document is larger than the whole cache and was not stored.
+    TooLarge,
+}
+
+impl InsertOutcome {
+    /// True when the insert stored the document.
+    #[must_use]
+    pub fn is_stored(&self) -> bool {
+        matches!(self, Self::Stored(_))
+    }
+
+    /// The evictions the insert caused (empty unless `Stored`).
+    #[must_use]
+    pub fn evictions(&self) -> &[EvictionRecord] {
+        match self {
+            Self::Stored(e) => e,
+            _ => &[],
+        }
+    }
+}
+
+impl Cache {
+    /// Creates a cache with the default expiration-age window.
+    ///
+    /// The expiration-age *flavor* (LRU formula vs LFU formula) follows the
+    /// replacement policy, per the paper's eq. 1.
+    #[must_use]
+    pub fn new(id: CacheId, capacity: ByteSize, policy: PolicyKind) -> Self {
+        Self::with_window(id, capacity, policy, ExpirationWindow::default())
+    }
+
+    /// Creates a cache with an explicit expiration-age window.
+    #[must_use]
+    pub fn with_window(
+        id: CacheId,
+        capacity: ByteSize,
+        policy: PolicyKind,
+        window: ExpirationWindow,
+    ) -> Self {
+        Self {
+            id,
+            capacity,
+            used: ByteSize::ZERO,
+            entries: HashMap::new(),
+            policy: policy.build(),
+            tracker: ExpirationTracker::new(policy.expiration_flavor(), window),
+            stats: CacheStats::default(),
+            ttl: None,
+        }
+    }
+
+    /// Sets (or clears) a freshness TTL: a document older than `ttl`
+    /// since it entered the cache is discarded on access instead of
+    /// served — the simplest form of the cache-coherence mechanisms the
+    /// paper lists as orthogonal related work.
+    ///
+    /// Expirations do **not** feed the expiration-age tracker: that
+    /// tracker measures *capacity* contention (paper eq. 5), and a
+    /// freshness discard says nothing about disk pressure.
+    pub fn set_ttl(&mut self, ttl: Option<DurationMs>) {
+        self.ttl = ttl;
+    }
+
+    /// The configured freshness TTL, if any.
+    #[must_use]
+    pub fn ttl(&self) -> Option<DurationMs> {
+        self.ttl
+    }
+
+    fn entry_expired(&self, entry: &CacheEntry, now: Timestamp) -> bool {
+        self.ttl
+            .is_some_and(|ttl| now.saturating_since(entry.entered_at) > ttl)
+    }
+
+    /// Discards `doc` if it has outlived the TTL; returns true if so.
+    fn expire_if_stale(&mut self, doc: DocId, now: Timestamp) -> bool {
+        let stale = match self.entries.get(&doc) {
+            Some(entry) => self.entry_expired(entry, now),
+            None => false,
+        };
+        if stale {
+            self.expire(doc);
+        }
+        stale
+    }
+
+    fn expire(&mut self, doc: DocId) {
+        let entry = self.entries.remove(&doc).expect("caller checked presence");
+        self.policy.on_remove(doc);
+        self.used -= entry.size;
+        self.stats.expirations += 1;
+        // Intentionally NOT recorded in the expiration-age tracker.
+    }
+
+    /// This cache's id.
+    #[must_use]
+    pub fn id(&self) -> CacheId {
+        self.id
+    }
+
+    /// Configured capacity in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> ByteSize {
+        self.capacity
+    }
+
+    /// Bytes currently stored.
+    #[must_use]
+    pub fn used(&self) -> ByteSize {
+        self.used
+    }
+
+    /// Number of cached documents.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The replacement policy in use.
+    #[must_use]
+    pub fn policy_kind(&self) -> PolicyKind {
+        self.policy.kind()
+    }
+
+    /// Read-only ICP probe: is the document cached here?
+    #[must_use]
+    pub fn contains(&self, doc: DocId) -> bool {
+        self.entries.contains_key(&doc)
+    }
+
+    /// Read-only view of a cached entry.
+    #[must_use]
+    pub fn entry(&self, doc: DocId) -> Option<&CacheEntry> {
+        self.entries.get(&doc)
+    }
+
+    /// Operation counters.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// The expiration-age tracker (windowed and lifetime views).
+    #[must_use]
+    pub fn tracker(&self) -> &ExpirationTracker {
+        &self.tracker
+    }
+
+    /// The cache expiration age piggybacked on inter-proxy messages.
+    #[must_use]
+    pub fn expiration_age(&self) -> ExpirationAge {
+        self.tracker.cache_expiration_age()
+    }
+
+    /// Serves a local client request. On a hit the entry is refreshed
+    /// (last-hit time, hit counter, policy promotion) and its size is
+    /// returned; on a miss, `None`.
+    pub fn lookup(&mut self, doc: DocId, now: Timestamp) -> Option<ByteSize> {
+        if self.expire_if_stale(doc, now) {
+            self.stats.local_misses += 1;
+            return None;
+        }
+        match self.entries.get_mut(&doc) {
+            Some(entry) => {
+                entry.record_hit(now);
+                self.policy.on_hit(doc);
+                self.stats.local_hits += 1;
+                Some(entry.size)
+            }
+            None => {
+                self.stats.local_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Serves a sibling cache (a remote hit at this responder).
+    ///
+    /// With `promote == true` the serve counts as a hit exactly like a
+    /// local lookup (the ad-hoc behaviour, and the EA behaviour when this
+    /// responder's copy is the longer-lived one). With `promote == false`
+    /// the entry is left completely untouched, so the redundant replica
+    /// ages out (the EA behaviour when the requester keeps a copy).
+    ///
+    /// Returns the document size, or `None` if the document is not here
+    /// (e.g. it was evicted between the ICP reply and the HTTP request).
+    pub fn serve_remote(&mut self, doc: DocId, now: Timestamp, promote: bool) -> Option<ByteSize> {
+        if self.expire_if_stale(doc, now) {
+            return None;
+        }
+        let size = match self.entries.get_mut(&doc) {
+            Some(entry) => {
+                if promote {
+                    entry.record_hit(now);
+                }
+                entry.size
+            }
+            None => return None,
+        };
+        if promote {
+            self.policy.on_hit(doc);
+        }
+        self.stats.remote_serves += 1;
+        Some(size)
+    }
+
+    /// Stores a document, evicting victims as needed.
+    ///
+    /// Every eviction is fed to the expiration-age tracker and returned to
+    /// the caller (the simulator logs them). A document wider than the
+    /// whole cache is rejected rather than flushing everything.
+    pub fn insert(&mut self, doc: DocId, size: ByteSize, now: Timestamp) -> InsertOutcome {
+        if self.entries.contains_key(&doc) {
+            return InsertOutcome::AlreadyPresent;
+        }
+        if size > self.capacity {
+            self.stats.rejected_too_large += 1;
+            return InsertOutcome::TooLarge;
+        }
+        let mut evictions = Vec::new();
+        while self.used + size > self.capacity {
+            let victim = self
+                .policy
+                .victim()
+                .expect("used > 0 implies the policy tracks a victim");
+            let record = self
+                .evict(victim, now, EvictionReason::CapacityPressure)
+                .expect("victim is tracked, so it is cached");
+            evictions.push(record);
+        }
+        self.entries.insert(doc, CacheEntry::new(doc, size, now));
+        self.policy.on_insert(doc, size);
+        self.used += size;
+        self.stats.insertions += 1;
+        InsertOutcome::Stored(evictions)
+    }
+
+    /// Explicitly removes a document (tests, tools, invalidation).
+    ///
+    /// The removal is recorded with [`EvictionReason::Explicit`] and fed to
+    /// the expiration-age tracker like any other departure.
+    pub fn remove(&mut self, doc: DocId, now: Timestamp) -> Option<EvictionRecord> {
+        let rec = self.evict(doc, now, EvictionReason::Explicit);
+        if rec.is_some() {
+            self.stats.explicit_removals += 1;
+        }
+        rec
+    }
+
+    fn evict(
+        &mut self,
+        doc: DocId,
+        now: Timestamp,
+        reason: EvictionReason,
+    ) -> Option<EvictionRecord> {
+        let entry = self.entries.remove(&doc)?;
+        self.policy.on_remove(doc);
+        self.used -= entry.size;
+        let record = EvictionRecord {
+            entry,
+            evicted_at: now,
+            reason,
+        };
+        self.tracker.record_eviction(&record);
+        if reason == EvictionReason::CapacityPressure {
+            self.stats.evictions += 1;
+            self.stats.bytes_evicted += entry.size;
+        }
+        Some(record)
+    }
+
+    /// Iterates over the cached documents in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = &CacheEntry> {
+        self.entries.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(i: u64) -> DocId {
+        DocId::new(i)
+    }
+
+    fn t(ms: u64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    fn kb(n: u64) -> ByteSize {
+        ByteSize::from_kb(n)
+    }
+
+    fn cache(cap_kb: u64) -> Cache {
+        Cache::new(CacheId::new(0), kb(cap_kb), PolicyKind::Lru)
+    }
+
+    #[test]
+    fn insert_lookup_roundtrip() {
+        let mut c = cache(10);
+        assert!(c.insert(d(1), kb(4), t(0)).is_stored());
+        assert_eq!(c.lookup(d(1), t(10)), Some(kb(4)));
+        assert_eq!(c.lookup(d(2), t(10)), None);
+        assert_eq!(c.used(), kb(4));
+        assert_eq!(c.len(), 1);
+        assert!(c.contains(d(1)));
+        assert!(!c.contains(d(2)));
+    }
+
+    #[test]
+    fn insert_evicts_lru_victim() {
+        let mut c = cache(10);
+        c.insert(d(1), kb(4), t(0));
+        c.insert(d(2), kb(4), t(1));
+        c.lookup(d(1), t(2)); // doc 2 is now the LRU victim
+        let out = c.insert(d(3), kb(4), t(3));
+        let evs = out.evictions();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].entry.doc, d(2));
+        assert!(!c.contains(d(2)));
+        assert!(c.contains(d(1)) && c.contains(d(3)));
+        assert_eq!(c.used(), kb(8));
+    }
+
+    #[test]
+    fn insert_can_evict_multiple_victims() {
+        let mut c = cache(10);
+        c.insert(d(1), kb(3), t(0));
+        c.insert(d(2), kb(3), t(1));
+        c.insert(d(3), kb(3), t(2));
+        let out = c.insert(d(4), kb(8), t(3));
+        assert_eq!(out.evictions().len(), 3);
+        assert_eq!(c.len(), 1);
+        assert!(c.contains(d(4)));
+    }
+
+    #[test]
+    fn oversized_document_is_rejected() {
+        let mut c = cache(4);
+        c.insert(d(1), kb(2), t(0));
+        let out = c.insert(d(2), kb(5), t(1));
+        assert_eq!(out, InsertOutcome::TooLarge);
+        assert!(c.contains(d(1)), "rejection must not flush the cache");
+        assert_eq!(c.stats().rejected_too_large, 1);
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let mut c = cache(10);
+        c.insert(d(1), kb(4), t(0));
+        assert_eq!(c.insert(d(1), kb(4), t(5)), InsertOutcome::AlreadyPresent);
+        assert_eq!(c.used(), kb(4));
+        assert_eq!(c.stats().insertions, 1);
+    }
+
+    #[test]
+    fn exact_fit_does_not_evict() {
+        let mut c = cache(8);
+        c.insert(d(1), kb(4), t(0));
+        let out = c.insert(d(2), kb(4), t(1));
+        assert!(out.evictions().is_empty());
+        assert_eq!(c.used(), kb(8));
+    }
+
+    #[test]
+    fn serve_remote_with_promotion_refreshes() {
+        let mut c = cache(8);
+        c.insert(d(1), kb(4), t(0));
+        c.insert(d(2), kb(4), t(1));
+        // Promoting remote serve makes doc 1 the most recent...
+        assert_eq!(c.serve_remote(d(1), t(2), true), Some(kb(4)));
+        // ...so doc 2 is the next victim.
+        let out = c.insert(d(3), kb(4), t(3));
+        assert_eq!(out.evictions()[0].entry.doc, d(2));
+        assert_eq!(c.entry(d(1)).unwrap().hit_count, 2);
+    }
+
+    #[test]
+    fn serve_remote_without_promotion_leaves_entry_cold() {
+        let mut c = cache(8);
+        c.insert(d(1), kb(4), t(0));
+        c.insert(d(2), kb(4), t(1));
+        // Non-promoting serve: doc 1 stays the LRU victim.
+        assert_eq!(c.serve_remote(d(1), t(2), false), Some(kb(4)));
+        assert_eq!(c.entry(d(1)).unwrap().hit_count, 1);
+        assert_eq!(c.entry(d(1)).unwrap().last_hit_at, t(0));
+        let out = c.insert(d(3), kb(4), t(3));
+        assert_eq!(out.evictions()[0].entry.doc, d(1));
+    }
+
+    #[test]
+    fn serve_remote_missing_doc() {
+        let mut c = cache(8);
+        assert_eq!(c.serve_remote(d(1), t(0), true), None);
+        assert_eq!(c.stats().remote_serves, 0);
+    }
+
+    #[test]
+    fn eviction_feeds_expiration_tracker() {
+        let mut c = cache(4);
+        assert_eq!(c.expiration_age(), ExpirationAge::Infinite);
+        c.insert(d(1), kb(4), t(0));
+        c.lookup(d(1), t(1_000));
+        c.insert(d(2), kb(4), t(3_000)); // evicts doc 1, age 2000ms
+        assert_eq!(
+            c.expiration_age(),
+            ExpirationAge::finite(coopcache_types::DurationMs::from_secs(2))
+        );
+        assert_eq!(c.tracker().eviction_count(), 1);
+    }
+
+    #[test]
+    fn explicit_remove_returns_record() {
+        let mut c = cache(8);
+        c.insert(d(1), kb(4), t(0));
+        let rec = c.remove(d(1), t(500)).expect("doc was cached");
+        assert_eq!(rec.reason, EvictionReason::Explicit);
+        assert_eq!(rec.entry.doc, d(1));
+        assert!(c.is_empty());
+        assert_eq!(c.used(), ByteSize::ZERO);
+        assert_eq!(c.remove(d(1), t(501)), None);
+        assert_eq!(c.stats().explicit_removals, 1);
+        // Capacity-pressure counter untouched by explicit removals.
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let mut c = cache(8);
+        c.insert(d(1), kb(4), t(0));
+        c.lookup(d(1), t(1));
+        c.lookup(d(2), t(2));
+        c.lookup(d(1), t(3));
+        let s = c.stats();
+        assert_eq!(s.local_hits, 2);
+        assert_eq!(s.local_misses, 1);
+        assert_eq!(s.insertions, 1);
+    }
+
+    #[test]
+    fn bytes_accounting_is_exact_under_churn() {
+        let mut c = cache(100);
+        for i in 0..1000u64 {
+            c.insert(d(i), kb(1 + i % 7), t(i));
+        }
+        let manual: ByteSize = c.iter().map(|e| e.size).sum();
+        assert_eq!(c.used(), manual);
+        assert!(c.used() <= c.capacity());
+    }
+
+    #[test]
+    fn iter_yields_all_entries() {
+        let mut c = cache(10);
+        c.insert(d(1), kb(2), t(0));
+        c.insert(d(2), kb(2), t(1));
+        let mut ids: Vec<u64> = c.iter().map(|e| e.doc.as_u64()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn ttl_expires_stale_documents_on_lookup() {
+        let mut c = cache(8);
+        c.set_ttl(Some(coopcache_types::DurationMs::from_secs(10)));
+        assert_eq!(c.ttl(), Some(coopcache_types::DurationMs::from_secs(10)));
+        c.insert(d(1), kb(4), t(0));
+        // Fresh: served.
+        assert!(c.lookup(d(1), t(9_000)).is_some());
+        // Hits do not renew freshness (entered_at governs).
+        assert!(c.lookup(d(1), t(10_001)).is_none());
+        assert!(!c.contains(d(1)), "stale doc must be gone");
+        assert_eq!(c.stats().expirations, 1);
+        assert_eq!(c.used(), ByteSize::ZERO);
+        // Expirations do not pollute the contention tracker.
+        assert_eq!(c.tracker().eviction_count(), 0);
+    }
+
+    #[test]
+    fn ttl_expires_on_remote_serve() {
+        let mut c = cache(8);
+        c.set_ttl(Some(coopcache_types::DurationMs::from_secs(1)));
+        c.insert(d(1), kb(4), t(0));
+        assert_eq!(c.serve_remote(d(1), t(5_000), true), None);
+        assert!(!c.contains(d(1)));
+        assert_eq!(c.stats().expirations, 1);
+    }
+
+    #[test]
+    fn no_ttl_means_documents_never_expire() {
+        let mut c = cache(8);
+        c.insert(d(1), kb(4), t(0));
+        assert!(c.lookup(d(1), t(u64::MAX / 2)).is_some());
+        assert_eq!(c.stats().expirations, 0);
+    }
+
+    #[test]
+    fn exact_ttl_boundary_is_still_fresh() {
+        let mut c = cache(8);
+        c.set_ttl(Some(coopcache_types::DurationMs::from_secs(10)));
+        c.insert(d(1), kb(4), t(0));
+        assert!(c.lookup(d(1), t(10_000)).is_some(), "age == ttl is fresh");
+    }
+
+    #[test]
+    fn works_with_every_policy_kind() {
+        for kind in PolicyKind::all() {
+            let mut c = Cache::new(CacheId::new(1), kb(4), kind);
+            assert_eq!(c.policy_kind(), kind);
+            for i in 0..10u64 {
+                c.insert(d(i), kb(2), t(i));
+                if i % 2 == 0 {
+                    c.lookup(d(i), t(i) + coopcache_types::DurationMs::from_millis(1));
+                }
+            }
+            assert!(c.used() <= c.capacity());
+            assert!(c.len() <= 2);
+            assert!(c.tracker().eviction_count() >= 8);
+        }
+    }
+}

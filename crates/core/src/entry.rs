@@ -1,0 +1,162 @@
+//! Per-document cache metadata.
+
+use coopcache_types::{ByteSize, DocId, DurationMs, Timestamp};
+
+/// Metadata a proxy keeps for every cached document.
+///
+/// Exactly the bookkeeping the paper observes that real proxies already
+/// maintain: LRU proxies keep the last-hit timestamp, LFU proxies keep a
+/// hit counter initialised to 1 on entry — which is why the EA scheme costs
+/// nothing extra to support (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// The document.
+    pub doc: DocId,
+    /// Its size in bytes.
+    pub size: ByteSize,
+    /// When the document entered this cache.
+    pub entered_at: Timestamp,
+    /// When the document was last hit here (entry counts as the first hit).
+    pub last_hit_at: Timestamp,
+    /// Number of hits, initialised to 1 on entry (paper §3.2.2).
+    pub hit_count: u64,
+}
+
+impl CacheEntry {
+    /// Creates the entry written when a document is first stored.
+    #[must_use]
+    pub const fn new(doc: DocId, size: ByteSize, now: Timestamp) -> Self {
+        Self {
+            doc,
+            size,
+            entered_at: now,
+            last_hit_at: now,
+            hit_count: 1,
+        }
+    }
+
+    /// Records a hit: refreshes the last-hit time and bumps the counter.
+    pub fn record_hit(&mut self, now: Timestamp) {
+        self.last_hit_at = now;
+        self.hit_count += 1;
+    }
+
+    /// LRU document expiration age at eviction time (paper eq. 2):
+    /// `T_evict − T_last_hit`.
+    #[must_use]
+    pub fn lru_expiration_age(&self, evicted_at: Timestamp) -> DurationMs {
+        evicted_at.saturating_since(self.last_hit_at)
+    }
+
+    /// LFU document expiration age at eviction time (paper §3.2.2):
+    /// `(T_evict − T_enter) / HIT_COUNTER`.
+    #[must_use]
+    pub fn lfu_expiration_age(&self, evicted_at: Timestamp) -> DurationMs {
+        let lifetime = evicted_at.saturating_since(self.entered_at);
+        lifetime / self.hit_count.max(1)
+    }
+}
+
+/// Why a document left the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EvictionReason {
+    /// Removed by the replacement policy to make room.
+    CapacityPressure,
+    /// Explicitly removed (e.g. invalidation in tests and tools).
+    Explicit,
+    /// Removed because it outlived the cache's freshness TTL.
+    Expired,
+}
+
+/// The record produced when a document is evicted; feeds the
+/// expiration-age tracker and the simulator's logs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictionRecord {
+    /// The entry as it stood at eviction.
+    pub entry: CacheEntry,
+    /// When the eviction happened.
+    pub evicted_at: Timestamp,
+    /// Why it happened.
+    pub reason: EvictionReason,
+}
+
+impl EvictionRecord {
+    /// Lifetime of the document in the cache (`T_evict − T_enter`).
+    #[must_use]
+    pub fn lifetime(&self) -> DurationMs {
+        self.evicted_at.saturating_since(self.entry.entered_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry_at(ms: u64) -> CacheEntry {
+        CacheEntry::new(
+            DocId::new(1),
+            ByteSize::from_kb(4),
+            Timestamp::from_millis(ms),
+        )
+    }
+
+    #[test]
+    fn new_entry_counts_as_first_hit() {
+        let e = entry_at(100);
+        assert_eq!(e.hit_count, 1);
+        assert_eq!(e.last_hit_at, Timestamp::from_millis(100));
+        assert_eq!(e.entered_at, Timestamp::from_millis(100));
+    }
+
+    #[test]
+    fn record_hit_updates_both_fields() {
+        let mut e = entry_at(100);
+        e.record_hit(Timestamp::from_millis(250));
+        assert_eq!(e.hit_count, 2);
+        assert_eq!(e.last_hit_at, Timestamp::from_millis(250));
+        assert_eq!(e.entered_at, Timestamp::from_millis(100));
+    }
+
+    #[test]
+    fn lru_expiration_age_is_time_since_last_hit() {
+        let mut e = entry_at(0);
+        e.record_hit(Timestamp::from_millis(400));
+        let age = e.lru_expiration_age(Timestamp::from_millis(1000));
+        assert_eq!(age, DurationMs::from_millis(600));
+    }
+
+    #[test]
+    fn lfu_expiration_age_divides_lifetime_by_hits() {
+        let mut e = entry_at(0);
+        e.record_hit(Timestamp::from_millis(100));
+        e.record_hit(Timestamp::from_millis(200));
+        e.record_hit(Timestamp::from_millis(300));
+        // 4 hits over a 1000 ms lifetime => 250 ms per hit.
+        let age = e.lfu_expiration_age(Timestamp::from_millis(1000));
+        assert_eq!(age, DurationMs::from_millis(250));
+    }
+
+    #[test]
+    fn expiration_ages_saturate_on_clock_skew() {
+        let e = entry_at(1000);
+        assert_eq!(
+            e.lru_expiration_age(Timestamp::from_millis(500)),
+            DurationMs::ZERO
+        );
+        assert_eq!(
+            e.lfu_expiration_age(Timestamp::from_millis(500)),
+            DurationMs::ZERO
+        );
+    }
+
+    #[test]
+    fn eviction_record_lifetime() {
+        let e = entry_at(100);
+        let rec = EvictionRecord {
+            entry: e,
+            evicted_at: Timestamp::from_millis(1100),
+            reason: EvictionReason::CapacityPressure,
+        };
+        assert_eq!(rec.lifetime(), DurationMs::from_secs(1));
+    }
+}

@@ -1,0 +1,53 @@
+//! Core cache engine for expiration-age based cooperative web caching.
+//!
+//! This crate implements the primary contribution of *"A New Document
+//! Placement Scheme for Cooperative Caching on the Internet"* (Ramaswamy &
+//! Liu, ICDCS 2002) as a reusable library:
+//!
+//! * [`Cache`] — a byte-capacity-bounded document store with pluggable
+//!   replacement ([`Lru`], [`Lfu`], [`Fifo`], [`Gdsf`]);
+//! * [`ExpirationTracker`] — the paper's *cache expiration age* (eq. 5),
+//!   the windowed average of document expiration ages at eviction, used as
+//!   a disk-contention signal;
+//! * [`PlacementScheme`] — the conventional ad-hoc placement rule and the
+//!   paper's EA rule, which consults expiration ages to decide where a
+//!   document copy should live.
+//!
+//! The cooperative protocol that carries expiration ages between proxies
+//! lives in `coopcache-proxy`; this crate is strictly single-cache.
+//!
+//! # Example: the EA decision in five lines
+//!
+//! ```
+//! use coopcache_core::{Cache, PlacementScheme, PolicyKind};
+//! use coopcache_types::{ByteSize, CacheId, DocId, Timestamp};
+//!
+//! let mut requester = Cache::new(CacheId::new(0), ByteSize::from_kb(64), PolicyKind::Lru);
+//! let mut responder = Cache::new(CacheId::new(1), ByteSize::from_kb(64), PolicyKind::Lru);
+//! let now = Timestamp::from_secs(1);
+//! responder.insert(DocId::new(7), ByteSize::from_kb(4), now);
+//!
+//! let scheme = PlacementScheme::Ea;
+//! let store = scheme.requester_stores(requester.expiration_age(),
+//!                                     responder.expiration_age());
+//! let promote = scheme.responder_promotes(responder.expiration_age(),
+//!                                         requester.expiration_age());
+//! responder.serve_remote(DocId::new(7), now, promote);
+//! if store {
+//!     requester.insert(DocId::new(7), ByteSize::from_kb(4), now);
+//! }
+//! ```
+
+mod cache;
+mod entry;
+mod expiration;
+mod placement;
+mod policy;
+mod stats;
+
+pub use cache::{Cache, InsertOutcome};
+pub use entry::{CacheEntry, EvictionReason, EvictionRecord};
+pub use expiration::{ExpirationTracker, ExpirationWindow};
+pub use placement::PlacementScheme;
+pub use policy::{ExpirationFlavor, Fifo, Gds, Gdsf, Lfu, Lru, PolicyKind, ReplacementPolicy, Slru};
+pub use stats::CacheStats;

@@ -1,0 +1,129 @@
+//! First-in-first-out replacement.
+
+use super::{PolicyKind, ReplacementPolicy};
+use coopcache_types::{ByteSize, DocId};
+use std::collections::{BTreeMap, HashMap};
+
+/// FIFO victim ordering: documents are evicted in insertion order and hits
+/// do not refresh an entry. Included as the classic lower-bound baseline
+/// for replacement-policy ablations.
+///
+/// # Example
+///
+/// ```
+/// use coopcache_core::{Fifo, ReplacementPolicy};
+/// use coopcache_types::{ByteSize, DocId};
+///
+/// let mut fifo = Fifo::new();
+/// fifo.on_insert(DocId::new(1), ByteSize::from_kb(1));
+/// fifo.on_insert(DocId::new(2), ByteSize::from_kb(1));
+/// fifo.on_hit(DocId::new(1)); // ignored
+/// assert_eq!(fifo.victim(), Some(DocId::new(1)));
+/// ```
+#[derive(Debug, Default)]
+pub struct Fifo {
+    by_seq: BTreeMap<u64, DocId>,
+    seq_of: HashMap<DocId, u64>,
+    next_seq: u64,
+}
+
+impl Fifo {
+    /// Creates an empty FIFO ordering.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ReplacementPolicy for Fifo {
+    fn on_insert(&mut self, doc: DocId, _size: ByteSize) {
+        assert!(
+            !self.seq_of.contains_key(&doc),
+            "{doc} inserted twice into FIFO"
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.seq_of.insert(doc, seq);
+        self.by_seq.insert(seq, doc);
+    }
+
+    fn on_hit(&mut self, doc: DocId) {
+        // FIFO ignores hits, but an untracked hit is still a caller bug.
+        assert!(self.seq_of.contains_key(&doc), "hit on untracked {doc}");
+    }
+
+    fn on_remove(&mut self, doc: DocId) {
+        let seq = self
+            .seq_of
+            .remove(&doc)
+            .unwrap_or_else(|| panic!("remove of untracked {doc}"));
+        self.by_seq.remove(&seq);
+    }
+
+    fn victim(&self) -> Option<DocId> {
+        self.by_seq.values().next().copied()
+    }
+
+    fn len(&self) -> usize {
+        self.seq_of.len()
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Fifo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(i: u64) -> DocId {
+        DocId::new(i)
+    }
+
+    fn sz() -> ByteSize {
+        ByteSize::from_kb(1)
+    }
+
+    #[test]
+    fn evicts_in_insertion_order_despite_hits() {
+        let mut fifo = Fifo::new();
+        for i in 1..=3 {
+            fifo.on_insert(d(i), sz());
+        }
+        fifo.on_hit(d(1));
+        fifo.on_hit(d(1));
+        let mut order = Vec::new();
+        while let Some(v) = fifo.victim() {
+            order.push(v.as_u64());
+            fifo.on_remove(v);
+        }
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn remove_middle_keeps_order() {
+        let mut fifo = Fifo::new();
+        for i in 1..=3 {
+            fifo.on_insert(d(i), sz());
+        }
+        fifo.on_remove(d(2));
+        assert_eq!(fifo.victim(), Some(d(1)));
+        fifo.on_remove(d(1));
+        assert_eq!(fifo.victim(), Some(d(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "untracked")]
+    fn hit_on_missing_panics() {
+        Fifo::new().on_hit(d(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "inserted twice")]
+    fn double_insert_panics() {
+        let mut fifo = Fifo::new();
+        fifo.on_insert(d(1), sz());
+        fifo.on_insert(d(1), sz());
+    }
+}

@@ -1,0 +1,175 @@
+//! Least-frequently-used replacement.
+
+use super::{PolicyKind, ReplacementPolicy};
+use coopcache_types::{ByteSize, DocId};
+use std::collections::{BTreeSet, HashMap};
+
+/// LFU victim ordering: the document with the fewest hits is evicted
+/// first; ties break toward the least recently *inserted-or-hit* (so LFU
+/// degenerates gracefully to LRU among equally popular documents instead
+/// of thrashing on insertion order).
+///
+/// The hit counter starts at 1 when the document enters, matching the
+/// paper's description of LFU bookkeeping (§3.2.2).
+///
+/// # Example
+///
+/// ```
+/// use coopcache_core::{Lfu, ReplacementPolicy};
+/// use coopcache_types::{ByteSize, DocId};
+///
+/// let mut lfu = Lfu::new();
+/// lfu.on_insert(DocId::new(1), ByteSize::from_kb(1));
+/// lfu.on_insert(DocId::new(2), ByteSize::from_kb(1));
+/// lfu.on_hit(DocId::new(1));
+/// assert_eq!(lfu.victim(), Some(DocId::new(2))); // fewer hits
+/// ```
+#[derive(Debug, Default)]
+pub struct Lfu {
+    // Ordered by (frequency, tie_seq): the minimum is the victim.
+    order: BTreeSet<(u64, u64, DocId)>,
+    state: HashMap<DocId, (u64, u64)>,
+    next_seq: u64,
+}
+
+impl Lfu {
+    /// Creates an empty LFU ordering.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current hit count of a tracked document (for tests and tools).
+    #[must_use]
+    pub fn frequency(&self, doc: DocId) -> Option<u64> {
+        self.state.get(&doc).map(|&(f, _)| f)
+    }
+
+    fn reinsert(&mut self, doc: DocId, freq: u64) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if let Some((old_f, old_s)) = self.state.insert(doc, (freq, seq)) {
+            self.order.remove(&(old_f, old_s, doc));
+        }
+        self.order.insert((freq, seq, doc));
+    }
+}
+
+impl ReplacementPolicy for Lfu {
+    fn on_insert(&mut self, doc: DocId, _size: ByteSize) {
+        assert!(
+            !self.state.contains_key(&doc),
+            "{doc} inserted twice into LFU"
+        );
+        self.reinsert(doc, 1);
+    }
+
+    fn on_hit(&mut self, doc: DocId) {
+        let freq = self
+            .frequency(doc)
+            .unwrap_or_else(|| panic!("hit on untracked {doc}"));
+        self.reinsert(doc, freq + 1);
+    }
+
+    fn on_remove(&mut self, doc: DocId) {
+        let (f, s) = self
+            .state
+            .remove(&doc)
+            .unwrap_or_else(|| panic!("remove of untracked {doc}"));
+        self.order.remove(&(f, s, doc));
+    }
+
+    fn victim(&self) -> Option<DocId> {
+        self.order.iter().next().map(|&(_, _, doc)| doc)
+    }
+
+    fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Lfu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(i: u64) -> DocId {
+        DocId::new(i)
+    }
+
+    fn sz() -> ByteSize {
+        ByteSize::from_kb(1)
+    }
+
+    #[test]
+    fn evicts_least_frequent() {
+        let mut lfu = Lfu::new();
+        lfu.on_insert(d(1), sz());
+        lfu.on_insert(d(2), sz());
+        lfu.on_hit(d(1));
+        lfu.on_hit(d(1));
+        lfu.on_hit(d(2));
+        assert_eq!(lfu.victim(), Some(d(2)));
+        assert_eq!(lfu.frequency(d(1)), Some(3));
+        assert_eq!(lfu.frequency(d(2)), Some(2));
+    }
+
+    #[test]
+    fn entry_counts_as_first_hit() {
+        let mut lfu = Lfu::new();
+        lfu.on_insert(d(9), sz());
+        assert_eq!(lfu.frequency(d(9)), Some(1));
+    }
+
+    #[test]
+    fn ties_break_least_recently_touched() {
+        let mut lfu = Lfu::new();
+        lfu.on_insert(d(1), sz());
+        lfu.on_insert(d(2), sz());
+        lfu.on_insert(d(3), sz());
+        // All frequency 1; doc 1 is the stalest.
+        assert_eq!(lfu.victim(), Some(d(1)));
+        lfu.on_hit(d(1)); // now 2 hits, docs 2 and 3 tie at 1
+        assert_eq!(lfu.victim(), Some(d(2)));
+    }
+
+    #[test]
+    fn frequency_of_untracked_is_none() {
+        assert_eq!(Lfu::new().frequency(d(1)), None);
+    }
+
+    #[test]
+    fn drain_order_respects_frequency_then_age() {
+        let mut lfu = Lfu::new();
+        for i in 1..=4 {
+            lfu.on_insert(d(i), sz());
+        }
+        lfu.on_hit(d(1));
+        lfu.on_hit(d(1));
+        lfu.on_hit(d(3));
+        let mut order = Vec::new();
+        while let Some(v) = lfu.victim() {
+            order.push(v.as_u64());
+            lfu.on_remove(v);
+        }
+        // freq: 1->3, 3->2, 2->1 (older), 4->1 (newer)
+        assert_eq!(order, vec![2, 4, 3, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inserted twice")]
+    fn double_insert_panics() {
+        let mut lfu = Lfu::new();
+        lfu.on_insert(d(1), sz());
+        lfu.on_insert(d(1), sz());
+    }
+
+    #[test]
+    #[should_panic(expected = "untracked")]
+    fn hit_on_missing_panics() {
+        Lfu::new().on_hit(d(1));
+    }
+}

@@ -1,0 +1,170 @@
+//! Least-recently-used replacement.
+
+use super::{PolicyKind, ReplacementPolicy};
+use coopcache_types::{ByteSize, DocId};
+use std::collections::{BTreeMap, HashMap};
+
+/// LRU victim ordering: the document that has gone longest without a hit
+/// is evicted first. Hits promote a document to the head of the recency
+/// list; the EA scheme's responder-side rule works precisely by *skipping*
+/// this promotion for redundant replicas.
+///
+/// Implemented as a monotonic sequence number per document: a `BTreeMap`
+/// keyed by sequence gives the tail (victim) in O(log n), and a `HashMap`
+/// resolves a document to its current sequence.
+///
+/// # Example
+///
+/// ```
+/// use coopcache_core::{Lru, ReplacementPolicy};
+/// use coopcache_types::{ByteSize, DocId};
+///
+/// let mut lru = Lru::new();
+/// lru.on_insert(DocId::new(1), ByteSize::from_kb(1));
+/// lru.on_insert(DocId::new(2), ByteSize::from_kb(1));
+/// lru.on_hit(DocId::new(1)); // 1 is now most recent
+/// assert_eq!(lru.victim(), Some(DocId::new(2)));
+/// ```
+#[derive(Debug, Default)]
+pub struct Lru {
+    by_seq: BTreeMap<u64, DocId>,
+    seq_of: HashMap<DocId, u64>,
+    next_seq: u64,
+}
+
+impl Lru {
+    /// Creates an empty LRU ordering.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn touch(&mut self, doc: DocId) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if let Some(old) = self.seq_of.insert(doc, seq) {
+            self.by_seq.remove(&old);
+        }
+        self.by_seq.insert(seq, doc);
+    }
+}
+
+impl ReplacementPolicy for Lru {
+    fn on_insert(&mut self, doc: DocId, _size: ByteSize) {
+        assert!(
+            !self.seq_of.contains_key(&doc),
+            "{doc} inserted twice into LRU"
+        );
+        self.touch(doc);
+    }
+
+    fn on_hit(&mut self, doc: DocId) {
+        assert!(self.seq_of.contains_key(&doc), "hit on untracked {doc}");
+        self.touch(doc);
+    }
+
+    fn on_remove(&mut self, doc: DocId) {
+        let seq = self
+            .seq_of
+            .remove(&doc)
+            .unwrap_or_else(|| panic!("remove of untracked {doc}"));
+        self.by_seq.remove(&seq);
+    }
+
+    fn victim(&self) -> Option<DocId> {
+        self.by_seq.values().next().copied()
+    }
+
+    fn len(&self) -> usize {
+        self.seq_of.len()
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Lru
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(i: u64) -> DocId {
+        DocId::new(i)
+    }
+
+    fn sz() -> ByteSize {
+        ByteSize::from_kb(1)
+    }
+
+    #[test]
+    fn evicts_least_recent_first() {
+        let mut lru = Lru::new();
+        for i in 1..=3 {
+            lru.on_insert(d(i), sz());
+        }
+        assert_eq!(lru.victim(), Some(d(1)));
+        lru.on_remove(d(1));
+        assert_eq!(lru.victim(), Some(d(2)));
+    }
+
+    #[test]
+    fn hit_promotes_to_head() {
+        let mut lru = Lru::new();
+        for i in 1..=3 {
+            lru.on_insert(d(i), sz());
+        }
+        lru.on_hit(d(1));
+        assert_eq!(lru.victim(), Some(d(2)));
+        lru.on_hit(d(2));
+        assert_eq!(lru.victim(), Some(d(3)));
+    }
+
+    #[test]
+    fn skipping_promotion_leaves_order_unchanged() {
+        // The EA responder-side rule: serving a remote hit WITHOUT calling
+        // on_hit must leave the victim order untouched.
+        let mut lru = Lru::new();
+        for i in 1..=3 {
+            lru.on_insert(d(i), sz());
+        }
+        let before = lru.victim();
+        // ... responder serves doc 1 remotely but does not promote ...
+        assert_eq!(lru.victim(), before);
+    }
+
+    #[test]
+    fn full_drain_order() {
+        let mut lru = Lru::new();
+        for i in 1..=5 {
+            lru.on_insert(d(i), sz());
+        }
+        lru.on_hit(d(2));
+        lru.on_hit(d(4));
+        let mut order = Vec::new();
+        while let Some(v) = lru.victim() {
+            order.push(v.as_u64());
+            lru.on_remove(v);
+        }
+        assert_eq!(order, vec![1, 3, 5, 2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inserted twice")]
+    fn double_insert_panics() {
+        let mut lru = Lru::new();
+        lru.on_insert(d(1), sz());
+        lru.on_insert(d(1), sz());
+    }
+
+    #[test]
+    #[should_panic(expected = "untracked")]
+    fn hit_on_missing_panics() {
+        Lru::new().on_hit(d(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "untracked")]
+    fn remove_of_missing_panics() {
+        Lru::new().on_remove(d(1));
+    }
+}

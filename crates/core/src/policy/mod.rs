@@ -1,0 +1,238 @@
+//! Document replacement policies.
+//!
+//! A [`ReplacementPolicy`] maintains the *victim order* of a cache — which
+//! document should be removed next under capacity pressure. The byte
+//! accounting and metadata live in [`crate::Cache`]; the policy only orders
+//! document ids.
+//!
+//! Four classic policies are provided, all O(log n) per operation:
+//!
+//! * [`Lru`] — least recently used (the paper's evaluation policy);
+//! * [`Lfu`] — least frequently used, with LRU tie-breaking;
+//! * [`Fifo`] — insertion order, hits do not refresh;
+//! * [`Gdsf`] — GreedyDual-Size-Frequency (Cao & Irani's cost-aware family,
+//!   cited by the paper as related document-replacement work);
+//! * [`Gds`] — plain GreedyDual-Size (the same family, no frequency);
+//! * [`Slru`] — segmented LRU, the scan-resistant LRU variant.
+
+mod fifo;
+mod gds;
+mod gdsf;
+mod lfu;
+mod lru;
+mod slru;
+
+pub use fifo::Fifo;
+pub use gds::Gds;
+pub use gdsf::Gdsf;
+pub use lfu::Lfu;
+pub use lru::Lru;
+pub use slru::Slru;
+
+use coopcache_types::{ByteSize, DocId};
+use std::fmt;
+
+/// The victim ordering of a cache.
+///
+/// Implementations must uphold:
+///
+/// * every id passed to [`on_insert`](Self::on_insert) is tracked until
+///   [`on_remove`](Self::on_remove);
+/// * [`victim`](Self::victim) returns `Some` iff the policy tracks at least
+///   one id, and never an id that was removed;
+/// * [`on_hit`](Self::on_hit) / [`on_insert`](Self::on_insert) for an id
+///   the policy does not track is a caller bug and may panic.
+pub trait ReplacementPolicy: fmt::Debug + Send {
+    /// Starts tracking a newly inserted document.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `doc` is already tracked.
+    fn on_insert(&mut self, doc: DocId, size: ByteSize);
+
+    /// Records a hit on a tracked document (LRU promotes to head, LFU
+    /// bumps frequency, FIFO ignores).
+    ///
+    /// # Panics
+    ///
+    /// May panic if `doc` is not tracked.
+    fn on_hit(&mut self, doc: DocId);
+
+    /// Stops tracking a document (evicted or explicitly removed).
+    ///
+    /// # Panics
+    ///
+    /// May panic if `doc` is not tracked.
+    fn on_remove(&mut self, doc: DocId);
+
+    /// The document that should be evicted next, if any.
+    fn victim(&self) -> Option<DocId>;
+
+    /// Number of tracked documents.
+    fn len(&self) -> usize;
+
+    /// True when nothing is tracked.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Which well-known policy this is (drives the expiration-age flavor).
+    fn kind(&self) -> PolicyKind;
+}
+
+/// Identifies a replacement policy; used in configuration and to select
+/// the matching document-expiration-age formula (LRU-style or LFU-style).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PolicyKind {
+    /// Least recently used.
+    #[default]
+    Lru,
+    /// Least frequently used.
+    Lfu,
+    /// First in, first out.
+    Fifo,
+    /// GreedyDual-Size-Frequency.
+    Gdsf,
+    /// GreedyDual-Size (no frequency term).
+    Gds,
+    /// Segmented LRU.
+    Slru,
+}
+
+impl PolicyKind {
+    /// Builds a fresh policy instance of this kind.
+    #[must_use]
+    pub fn build(self) -> Box<dyn ReplacementPolicy> {
+        match self {
+            Self::Lru => Box::new(Lru::new()),
+            Self::Lfu => Box::new(Lfu::new()),
+            Self::Fifo => Box::new(Fifo::new()),
+            Self::Gdsf => Box::new(Gdsf::new()),
+            Self::Gds => Box::new(Gds::new()),
+            Self::Slru => Box::new(Slru::new()),
+        }
+    }
+
+    /// Whether the policy family keeps a last-hit timestamp (LRU-like) or
+    /// a hit counter (LFU-like); decides which document-expiration-age
+    /// formula applies (paper eq. 1).
+    #[must_use]
+    pub fn expiration_flavor(self) -> ExpirationFlavor {
+        match self {
+            Self::Lru | Self::Fifo | Self::Gds | Self::Slru => ExpirationFlavor::Lru,
+            Self::Lfu | Self::Gdsf => ExpirationFlavor::Lfu,
+        }
+    }
+
+    /// All provided policies, for sweeps and tests.
+    #[must_use]
+    pub const fn all() -> [PolicyKind; 6] {
+        [
+            Self::Lru,
+            Self::Lfu,
+            Self::Fifo,
+            Self::Gdsf,
+            Self::Gds,
+            Self::Slru,
+        ]
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Self::Lru => "lru",
+            Self::Lfu => "lfu",
+            Self::Fifo => "fifo",
+            Self::Gdsf => "gdsf",
+            Self::Gds => "gds",
+            Self::Slru => "slru",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Which document-expiration-age formula to apply (paper eq. 1): the
+/// LRU formula (time since last hit) or the LFU formula (lifetime divided
+/// by hit count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExpirationFlavor {
+    /// `DocExpAge = T_evict − T_last_hit` (eq. 2).
+    #[default]
+    Lru,
+    /// `DocExpAge = (T_evict − T_enter) / HIT_COUNTER`.
+    Lfu,
+}
+
+impl fmt::Display for ExpirationFlavor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Lru => f.write_str("lru-expiration-age"),
+            Self::Lfu => f.write_str("lfu-expiration-age"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(i: u64) -> DocId {
+        DocId::new(i)
+    }
+
+    fn sz() -> ByteSize {
+        ByteSize::from_kb(1)
+    }
+
+    /// Behavioural checks every policy must satisfy.
+    fn exercise_common(policy: &mut dyn ReplacementPolicy) {
+        assert!(policy.is_empty());
+        assert_eq!(policy.victim(), None);
+        policy.on_insert(d(1), sz());
+        policy.on_insert(d(2), sz());
+        policy.on_insert(d(3), sz());
+        assert_eq!(policy.len(), 3);
+        assert!(!policy.is_empty());
+        let v = policy.victim().expect("non-empty policy has a victim");
+        assert!([d(1), d(2), d(3)].contains(&v));
+        policy.on_remove(v);
+        assert_eq!(policy.len(), 2);
+        assert_ne!(policy.victim(), Some(v), "victim survived removal");
+        while let Some(v) = policy.victim() {
+            policy.on_remove(v);
+        }
+        assert!(policy.is_empty());
+    }
+
+    #[test]
+    fn all_policies_pass_common_contract() {
+        for kind in PolicyKind::all() {
+            let mut p = kind.build();
+            exercise_common(p.as_mut());
+            assert_eq!(p.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn expiration_flavors() {
+        assert_eq!(PolicyKind::Lru.expiration_flavor(), ExpirationFlavor::Lru);
+        assert_eq!(PolicyKind::Fifo.expiration_flavor(), ExpirationFlavor::Lru);
+        assert_eq!(PolicyKind::Gds.expiration_flavor(), ExpirationFlavor::Lru);
+        assert_eq!(PolicyKind::Slru.expiration_flavor(), ExpirationFlavor::Lru);
+        assert_eq!(PolicyKind::Lfu.expiration_flavor(), ExpirationFlavor::Lfu);
+        assert_eq!(PolicyKind::Gdsf.expiration_flavor(), ExpirationFlavor::Lfu);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PolicyKind::Lru.to_string(), "lru");
+        assert_eq!(PolicyKind::Gdsf.to_string(), "gdsf");
+        assert_eq!(ExpirationFlavor::Lru.to_string(), "lru-expiration-age");
+    }
+
+    #[test]
+    fn default_kind_is_lru() {
+        assert_eq!(PolicyKind::default(), PolicyKind::Lru);
+    }
+}

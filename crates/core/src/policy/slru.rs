@@ -1,0 +1,204 @@
+//! Segmented LRU replacement.
+
+use super::{PolicyKind, ReplacementPolicy};
+use coopcache_types::{ByteSize, DocId};
+use std::collections::{BTreeMap, HashMap};
+
+/// Segmented LRU: a *probationary* segment for first-time documents and
+/// a *protected* segment for documents hit at least twice. One-shot
+/// documents wash through probation without displacing proven ones — the
+/// classic scan-resistance fix for plain LRU.
+///
+/// The protected segment is bounded to half the tracked documents
+/// (rounded up); overflowing demotes its LRU entry back to the MRU end
+/// of probation. Victims come from probation first.
+///
+/// # Example
+///
+/// ```
+/// use coopcache_core::{ReplacementPolicy, Slru};
+/// use coopcache_types::{ByteSize, DocId};
+///
+/// let mut slru = Slru::new();
+/// slru.on_insert(DocId::new(1), ByteSize::from_kb(1));
+/// slru.on_insert(DocId::new(2), ByteSize::from_kb(1));
+/// slru.on_hit(DocId::new(1)); // promoted to protected
+/// assert_eq!(slru.victim(), Some(DocId::new(2)));
+/// ```
+#[derive(Debug, Default)]
+pub struct Slru {
+    probation: BTreeMap<u64, DocId>,
+    protected: BTreeMap<u64, DocId>,
+    // doc -> (seq, in_protected)
+    state: HashMap<DocId, (u64, bool)>,
+    next_seq: u64,
+}
+
+impl Slru {
+    /// Creates an empty segmented-LRU ordering.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when the document currently sits in the protected segment.
+    #[must_use]
+    pub fn is_protected(&self, doc: DocId) -> bool {
+        self.state.get(&doc).is_some_and(|&(_, prot)| prot)
+    }
+
+    fn protected_limit(&self) -> usize {
+        self.state.len().div_ceil(2)
+    }
+
+    fn push(&mut self, doc: DocId, protected: bool) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if let Some((old_seq, was_protected)) = self.state.insert(doc, (seq, protected)) {
+            let seg = if was_protected {
+                &mut self.protected
+            } else {
+                &mut self.probation
+            };
+            seg.remove(&old_seq);
+        }
+        let seg = if protected {
+            &mut self.protected
+        } else {
+            &mut self.probation
+        };
+        seg.insert(seq, doc);
+    }
+
+    fn rebalance(&mut self) {
+        while self.protected.len() > self.protected_limit() {
+            let (&seq, &doc) = self.protected.iter().next().expect("len checked");
+            self.protected.remove(&seq);
+            self.state.remove(&doc);
+            self.push(doc, false); // demote to MRU of probation
+        }
+    }
+}
+
+impl ReplacementPolicy for Slru {
+    fn on_insert(&mut self, doc: DocId, _size: ByteSize) {
+        assert!(
+            !self.state.contains_key(&doc),
+            "{doc} inserted twice into SLRU"
+        );
+        self.push(doc, false);
+    }
+
+    fn on_hit(&mut self, doc: DocId) {
+        assert!(self.state.contains_key(&doc), "hit on untracked {doc}");
+        self.push(doc, true);
+        self.rebalance();
+    }
+
+    fn on_remove(&mut self, doc: DocId) {
+        let (seq, protected) = self
+            .state
+            .remove(&doc)
+            .unwrap_or_else(|| panic!("remove of untracked {doc}"));
+        if protected {
+            self.protected.remove(&seq);
+        } else {
+            self.probation.remove(&seq);
+        }
+    }
+
+    fn victim(&self) -> Option<DocId> {
+        self.probation
+            .values()
+            .next()
+            .or_else(|| self.protected.values().next())
+            .copied()
+    }
+
+    fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Slru
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(i: u64) -> DocId {
+        DocId::new(i)
+    }
+
+    fn sz() -> ByteSize {
+        ByteSize::from_kb(1)
+    }
+
+    #[test]
+    fn scan_does_not_displace_protected_docs() {
+        let mut s = Slru::new();
+        s.on_insert(d(1), sz());
+        s.on_hit(d(1)); // protected
+        assert!(s.is_protected(d(1)));
+        // A scan of one-shot docs flows through probation.
+        for i in 10..20 {
+            s.on_insert(d(i), sz());
+            let v = s.victim().unwrap();
+            assert_ne!(v, d(1), "scan evicted the protected doc");
+            s.on_remove(v);
+        }
+        assert!(s.is_protected(d(1)));
+    }
+
+    #[test]
+    fn victims_come_from_probation_first() {
+        let mut s = Slru::new();
+        s.on_insert(d(1), sz());
+        s.on_insert(d(2), sz());
+        s.on_hit(d(2));
+        assert_eq!(s.victim(), Some(d(1)));
+        s.on_remove(d(1));
+        // Only protected docs remain; victim falls back to protected LRU.
+        assert_eq!(s.victim(), Some(d(2)));
+    }
+
+    #[test]
+    fn protected_overflow_demotes_to_probation() {
+        let mut s = Slru::new();
+        for i in 1..=4 {
+            s.on_insert(d(i), sz());
+        }
+        // Protect three of four docs; the limit is ceil(4/2) = 2, so the
+        // oldest protected doc gets demoted.
+        s.on_hit(d(1));
+        s.on_hit(d(2));
+        s.on_hit(d(3));
+        let protected = (1..=4).filter(|&i| s.is_protected(d(i))).count();
+        assert_eq!(protected, 2);
+        assert!(!s.is_protected(d(1)), "oldest promotion demoted first");
+        assert!(s.is_protected(d(2)) && s.is_protected(d(3)));
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn repeated_hits_keep_doc_protected_and_fresh() {
+        let mut s = Slru::new();
+        s.on_insert(d(1), sz());
+        s.on_insert(d(2), sz());
+        s.on_hit(d(1));
+        s.on_hit(d(2));
+        s.on_hit(d(1)); // doc 1 now fresher than doc 2
+        s.on_remove(d(2));
+        assert!(s.is_protected(d(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "inserted twice")]
+    fn double_insert_panics() {
+        let mut s = Slru::new();
+        s.on_insert(d(1), sz());
+        s.on_insert(d(1), sz());
+    }
+}

@@ -1,0 +1,71 @@
+//! Per-cache operation counters.
+
+use coopcache_types::ByteSize;
+
+/// Counters maintained by a single [`crate::Cache`].
+///
+/// These are the cache's own view of its workload; the group-level metrics
+/// of the paper (cumulative hit rate, byte hit rate, latency) are assembled
+/// from the protocol layer in `coopcache-metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Local lookups served from this cache (local hits).
+    pub local_hits: u64,
+    /// Local lookups that missed.
+    pub local_misses: u64,
+    /// Documents served to sibling caches (remote serves).
+    pub remote_serves: u64,
+    /// Documents stored.
+    pub insertions: u64,
+    /// Documents evicted under capacity pressure.
+    pub evictions: u64,
+    /// Documents explicitly removed.
+    pub explicit_removals: u64,
+    /// Store attempts rejected because the document exceeds capacity.
+    pub rejected_too_large: u64,
+    /// Documents discarded because they outlived the freshness TTL.
+    pub expirations: u64,
+    /// Total bytes evicted under capacity pressure.
+    pub bytes_evicted: ByteSize,
+}
+
+impl CacheStats {
+    /// Local lookups observed (hits + misses).
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.local_hits + self.local_misses
+    }
+
+    /// Fraction of local lookups that hit, or `None` before any lookup.
+    #[must_use]
+    pub fn local_hit_ratio(&self) -> Option<f64> {
+        let total = self.lookups();
+        if total == 0 {
+            None
+        } else {
+            Some(self.local_hits as f64 / total as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.local_hit_ratio(), None);
+        s.local_hits = 3;
+        s.local_misses = 1;
+        assert_eq!(s.lookups(), 4);
+        assert!((s.local_hit_ratio().unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = CacheStats::default();
+        assert_eq!(s.insertions, 0);
+        assert_eq!(s.bytes_evicted, ByteSize::ZERO);
+    }
+}

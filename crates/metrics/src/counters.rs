@@ -1,0 +1,226 @@
+//! Group-wide request counters and the paper's rate metrics.
+
+use coopcache_proxy::RequestOutcome;
+use coopcache_types::ByteSize;
+
+/// Accumulates the outcome of every request served by a cache group and
+/// derives the paper's evaluation metrics (§4):
+///
+/// * **cumulative hit rate** — (local + remote hits) / requests;
+/// * **cumulative byte hit rate** — bytes served from the group / bytes
+///   requested;
+/// * **local / remote / miss rates** — the split behind Table 2.
+///
+/// # Example
+///
+/// ```
+/// use coopcache_metrics::GroupMetrics;
+/// use coopcache_proxy::RequestOutcome;
+/// use coopcache_types::ByteSize;
+///
+/// let mut m = GroupMetrics::default();
+/// m.record(RequestOutcome::LocalHit, ByteSize::from_kb(4));
+/// m.record(
+///     RequestOutcome::Miss { stored_locally: true, stored_at_ancestor: false },
+///     ByteSize::from_kb(4),
+/// );
+/// assert!((m.hit_rate() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GroupMetrics {
+    /// Total requests recorded.
+    pub requests: u64,
+    /// Requests served by the client's own cache.
+    pub local_hits: u64,
+    /// Requests served by another cache in the group.
+    pub remote_hits: u64,
+    /// Requests that went to the origin server.
+    pub misses: u64,
+    /// Total bytes requested.
+    pub bytes_requested: ByteSize,
+    /// Bytes served from local hits.
+    pub bytes_local: ByteSize,
+    /// Bytes served from remote hits.
+    pub bytes_remote: ByteSize,
+    /// Remote hits where the EA rule skipped the local store
+    /// (always zero under ad-hoc).
+    pub stores_skipped: u64,
+    /// Remote hits where the EA rule skipped the responder promotion
+    /// (always zero under ad-hoc).
+    pub promotions_skipped: u64,
+}
+
+impl GroupMetrics {
+    /// Records one served request.
+    pub fn record(&mut self, outcome: RequestOutcome, size: ByteSize) {
+        self.requests += 1;
+        self.bytes_requested += size;
+        match outcome {
+            RequestOutcome::LocalHit => {
+                self.local_hits += 1;
+                self.bytes_local += size;
+            }
+            RequestOutcome::RemoteHit {
+                stored_locally,
+                promoted_at_responder,
+                ..
+            } => {
+                self.remote_hits += 1;
+                self.bytes_remote += size;
+                if !stored_locally {
+                    self.stores_skipped += 1;
+                }
+                if !promoted_at_responder {
+                    self.promotions_skipped += 1;
+                }
+            }
+            RequestOutcome::Miss { .. } => {
+                self.misses += 1;
+            }
+        }
+    }
+
+    /// Merges another counter set into this one (used to combine
+    /// per-thread or per-phase tallies).
+    pub fn merge(&mut self, other: &GroupMetrics) {
+        self.requests += other.requests;
+        self.local_hits += other.local_hits;
+        self.remote_hits += other.remote_hits;
+        self.misses += other.misses;
+        self.bytes_requested += other.bytes_requested;
+        self.bytes_local += other.bytes_local;
+        self.bytes_remote += other.bytes_remote;
+        self.stores_skipped += other.stores_skipped;
+        self.promotions_skipped += other.promotions_skipped;
+    }
+
+    /// Total hits (local + remote).
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.local_hits + self.remote_hits
+    }
+
+    fn rate(num: u64, den: u64) -> f64 {
+        if den == 0 {
+            0.0
+        } else {
+            num as f64 / den as f64
+        }
+    }
+
+    /// Cumulative document hit rate (Figure 1's y-axis).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        Self::rate(self.hits(), self.requests)
+    }
+
+    /// Cumulative byte hit rate (Figure 2's y-axis).
+    #[must_use]
+    pub fn byte_hit_rate(&self) -> f64 {
+        let served = self.bytes_local + self.bytes_remote;
+        if self.bytes_requested.is_zero() {
+            0.0
+        } else {
+            served.as_bytes() as f64 / self.bytes_requested.as_bytes() as f64
+        }
+    }
+
+    /// Local hit rate (Table 2, "Local Hits").
+    #[must_use]
+    pub fn local_hit_rate(&self) -> f64 {
+        Self::rate(self.local_hits, self.requests)
+    }
+
+    /// Remote hit rate (Table 2, "Remote Hits").
+    #[must_use]
+    pub fn remote_hit_rate(&self) -> f64 {
+        Self::rate(self.remote_hits, self.requests)
+    }
+
+    /// Miss rate.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        Self::rate(self.misses, self.requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coopcache_types::CacheId;
+
+    fn kb(n: u64) -> ByteSize {
+        ByteSize::from_kb(n)
+    }
+
+    fn remote(stored: bool, promoted: bool) -> RequestOutcome {
+        RequestOutcome::RemoteHit {
+            responder: CacheId::new(1),
+            stored_locally: stored,
+            promoted_at_responder: promoted,
+        }
+    }
+
+    const MISS: RequestOutcome = RequestOutcome::Miss {
+        stored_locally: true,
+        stored_at_ancestor: false,
+    };
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = GroupMetrics::default();
+        assert_eq!(m.hit_rate(), 0.0);
+        assert_eq!(m.byte_hit_rate(), 0.0);
+        assert_eq!(m.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn rates_partition_to_one() {
+        let mut m = GroupMetrics::default();
+        m.record(RequestOutcome::LocalHit, kb(1));
+        m.record(remote(true, true), kb(2));
+        m.record(MISS, kb(3));
+        m.record(MISS, kb(4));
+        assert_eq!(m.requests, 4);
+        let total = m.local_hit_rate() + m.remote_hit_rate() + m.miss_rate();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((m.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn byte_hit_rate_weighs_by_size() {
+        let mut m = GroupMetrics::default();
+        m.record(RequestOutcome::LocalHit, kb(9)); // 9 KB served
+        m.record(MISS, kb(1)); // 1 KB missed
+        assert!((m.byte_hit_rate() - 0.9).abs() < 1e-12);
+        // Document hit rate ignores size.
+        assert!((m.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ea_skip_counters() {
+        let mut m = GroupMetrics::default();
+        m.record(remote(false, true), kb(1));
+        m.record(remote(true, false), kb(1));
+        m.record(remote(true, true), kb(1));
+        assert_eq!(m.stores_skipped, 1);
+        assert_eq!(m.promotions_skipped, 1);
+        assert_eq!(m.remote_hits, 3);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = GroupMetrics::default();
+        a.record(RequestOutcome::LocalHit, kb(1));
+        let mut b = GroupMetrics::default();
+        b.record(MISS, kb(2));
+        b.record(remote(false, false), kb(3));
+        a.merge(&b);
+        assert_eq!(a.requests, 3);
+        assert_eq!(a.local_hits, 1);
+        assert_eq!(a.remote_hits, 1);
+        assert_eq!(a.misses, 1);
+        assert_eq!(a.bytes_requested, kb(6));
+        assert_eq!(a.stores_skipped, 1);
+    }
+}

@@ -1,0 +1,190 @@
+//! The paper's latency estimator (eq. 6).
+
+use crate::counters::GroupMetrics;
+use coopcache_types::DurationMs;
+
+/// The three measured latency classes of §4.2 and the eq. 6 estimator.
+///
+/// The paper measured a local hit at 146 ms, a remote hit at 342 ms and a
+/// miss (origin fetch of a 4 KB document, averaged over live web sites) at
+/// 2784 ms, then estimated
+///
+/// ```text
+///                LHR·LHL + RHR·RHL + MR·ML
+/// AvgLatency = ─────────────────────────────
+///                     LHR + RHR + MR
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use coopcache_metrics::{GroupMetrics, LatencyModel};
+/// use coopcache_proxy::RequestOutcome;
+/// use coopcache_types::ByteSize;
+///
+/// let mut m = GroupMetrics::default();
+/// m.record(RequestOutcome::LocalHit, ByteSize::from_kb(4));
+/// m.record(
+///     RequestOutcome::Miss { stored_locally: true, stored_at_ancestor: false },
+///     ByteSize::from_kb(4),
+/// );
+/// let model = LatencyModel::paper_2002();
+/// // (146 + 2784) / 2
+/// assert!((model.average_latency_ms(&m) - 1465.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LatencyModel {
+    /// Latency of a local hit (LHL).
+    pub local_hit: DurationMs,
+    /// Latency of a remote hit (RHL).
+    pub remote_hit: DurationMs,
+    /// Latency of a miss (ML).
+    pub miss: DurationMs,
+}
+
+impl LatencyModel {
+    /// The constants measured by the paper: LHL = 146 ms, RHL = 342 ms,
+    /// ML = 2784 ms.
+    #[must_use]
+    pub const fn paper_2002() -> Self {
+        Self {
+            local_hit: DurationMs::from_millis(146),
+            remote_hit: DurationMs::from_millis(342),
+            miss: DurationMs::from_millis(2784),
+        }
+    }
+
+    /// A model with the same LHL/ML but a scaled remote-hit latency —
+    /// used by the ABL-L ablation to study how the EA scheme's benefit
+    /// depends on the inter-proxy-communication to server-fetch ratio
+    /// (the open question the paper poses in §1).
+    ///
+    /// `ratio` is RHL/ML; `ratio = 1.0` makes a remote hit as costly as a
+    /// miss, at which point cooperation stops paying.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= ratio <= 1.0` and finite.
+    #[must_use]
+    pub fn with_remote_to_miss_ratio(ratio: f64) -> Self {
+        assert!(
+            ratio.is_finite() && (0.0..=1.0).contains(&ratio),
+            "RHL/ML ratio must be within [0, 1]"
+        );
+        let base = Self::paper_2002();
+        Self {
+            remote_hit: DurationMs::from_millis(
+                (base.miss.as_millis() as f64 * ratio).round() as u64
+            ),
+            ..base
+        }
+    }
+
+    /// The paper's eq. 6: rate-weighted average latency, in milliseconds.
+    ///
+    /// Returns 0 for an empty metric set.
+    #[must_use]
+    pub fn average_latency_ms(&self, m: &GroupMetrics) -> f64 {
+        if m.requests == 0 {
+            return 0.0;
+        }
+        let lhr = m.local_hit_rate();
+        let rhr = m.remote_hit_rate();
+        let mr = m.miss_rate();
+        // The denominator (LHR + RHR + MR) is 1 by construction, but eq. 6
+        // writes it out, so keep the faithful form.
+        (lhr * self.local_hit.as_millis() as f64
+            + rhr * self.remote_hit.as_millis() as f64
+            + mr * self.miss.as_millis() as f64)
+            / (lhr + rhr + mr)
+    }
+}
+
+impl Default for LatencyModel {
+    /// The paper's measured constants.
+    fn default() -> Self {
+        Self::paper_2002()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coopcache_proxy::RequestOutcome;
+    use coopcache_types::{ByteSize, CacheId};
+
+    const MISS: RequestOutcome = RequestOutcome::Miss {
+        stored_locally: true,
+        stored_at_ancestor: false,
+    };
+
+    fn remote() -> RequestOutcome {
+        RequestOutcome::RemoteHit {
+            responder: CacheId::new(1),
+            stored_locally: true,
+            promoted_at_responder: true,
+        }
+    }
+
+    #[test]
+    fn paper_constants() {
+        let m = LatencyModel::paper_2002();
+        assert_eq!(m.local_hit.as_millis(), 146);
+        assert_eq!(m.remote_hit.as_millis(), 342);
+        assert_eq!(m.miss.as_millis(), 2784);
+        assert_eq!(LatencyModel::default(), m);
+    }
+
+    #[test]
+    fn pure_classes_give_their_constant() {
+        let model = LatencyModel::paper_2002();
+        let mut local = GroupMetrics::default();
+        local.record(RequestOutcome::LocalHit, ByteSize::from_kb(4));
+        assert!((model.average_latency_ms(&local) - 146.0).abs() < 1e-9);
+        let mut miss = GroupMetrics::default();
+        miss.record(MISS, ByteSize::from_kb(4));
+        assert!((model.average_latency_ms(&miss) - 2784.0).abs() < 1e-9);
+        let mut rem = GroupMetrics::default();
+        rem.record(remote(), ByteSize::from_kb(4));
+        assert!((model.average_latency_ms(&rem) - 342.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixture_is_rate_weighted() {
+        let model = LatencyModel::paper_2002();
+        let mut m = GroupMetrics::default();
+        for _ in 0..6 {
+            m.record(RequestOutcome::LocalHit, ByteSize::from_kb(1));
+        }
+        for _ in 0..3 {
+            m.record(remote(), ByteSize::from_kb(1));
+        }
+        m.record(MISS, ByteSize::from_kb(1));
+        let expected = 0.6 * 146.0 + 0.3 * 342.0 + 0.1 * 2784.0;
+        assert!((model.average_latency_ms(&m) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_metrics_give_zero() {
+        assert_eq!(
+            LatencyModel::paper_2002().average_latency_ms(&GroupMetrics::default()),
+            0.0
+        );
+    }
+
+    #[test]
+    fn ratio_model() {
+        let m = LatencyModel::with_remote_to_miss_ratio(0.5);
+        assert_eq!(m.remote_hit.as_millis(), 1392);
+        assert_eq!(m.miss.as_millis(), 2784);
+        let paper_ratio = 342.0 / 2784.0;
+        let p = LatencyModel::with_remote_to_miss_ratio(paper_ratio);
+        assert_eq!(p.remote_hit.as_millis(), 342);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be within")]
+    fn bad_ratio_panics() {
+        let _ = LatencyModel::with_remote_to_miss_ratio(1.5);
+    }
+}

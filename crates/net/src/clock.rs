@@ -1,0 +1,58 @@
+//! Wall-clock to simulated-timestamp mapping for live daemons.
+
+use coopcache_types::Timestamp;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A shared epoch: all daemons in a cluster stamp cache events with
+/// milliseconds elapsed since the cluster started, so expiration ages are
+/// comparable across nodes (the paper assumes loosely synchronized proxy
+/// clocks; a shared process epoch is the loopback equivalent).
+#[derive(Debug, Clone)]
+pub struct SharedClock {
+    epoch: Arc<Instant>,
+}
+
+impl SharedClock {
+    /// Starts a new clock at "now".
+    #[must_use]
+    pub fn start() -> Self {
+        Self {
+            epoch: Arc::new(Instant::now()),
+        }
+    }
+
+    /// Milliseconds since the epoch, as a cache timestamp.
+    #[must_use]
+    pub fn now(&self) -> Timestamp {
+        Timestamp::from_millis(self.epoch.elapsed().as_millis() as u64)
+    }
+}
+
+impl Default for SharedClock {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn clock_is_monotonic_and_shared() {
+        let clock = SharedClock::start();
+        let twin = clock.clone();
+        let a = clock.now();
+        std::thread::sleep(Duration::from_millis(5));
+        let b = twin.now();
+        assert!(b > a, "{b} should be after {a}");
+    }
+
+    #[test]
+    fn fresh_clock_starts_near_zero() {
+        let clock = SharedClock::default();
+        assert!(clock.now().as_millis() < 1_000);
+    }
+}

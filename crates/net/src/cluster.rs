@@ -1,0 +1,256 @@
+//! A whole cooperative cache group on loopback sockets.
+
+use crate::clock::SharedClock;
+use crate::daemon::{BoundSockets, CacheDaemon, DaemonConfig, PeerAddr};
+use crate::origin::OriginServer;
+use coopcache_core::PlacementScheme;
+use coopcache_proxy::RequestOutcome;
+use coopcache_types::{ByteSize, CacheId, DocId};
+use std::io;
+use std::time::Duration;
+
+/// A running group of cache daemons plus a stub origin server, all on
+/// 127.0.0.1 — the live-network counterpart of
+/// `coopcache_proxy::DistributedGroup`.
+///
+/// # Example
+///
+/// ```no_run
+/// use coopcache_net::LoopbackCluster;
+/// use coopcache_core::PlacementScheme;
+/// use coopcache_types::{ByteSize, DocId};
+///
+/// let cluster = LoopbackCluster::start(
+///     3, ByteSize::from_kb(64), PlacementScheme::Ea).unwrap();
+/// let out = cluster.request(0, DocId::new(1), ByteSize::from_kb(4)).unwrap();
+/// assert!(!out.is_hit()); // cold cluster: compulsory miss
+/// cluster.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct LoopbackCluster {
+    daemons: Vec<CacheDaemon>,
+    origin: OriginServer,
+}
+
+impl LoopbackCluster {
+    /// Starts `n` daemons of `per_cache_capacity` each and an origin stub
+    /// with no artificial delay.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and thread-spawn failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn start(
+        n: u16,
+        per_cache_capacity: ByteSize,
+        scheme: PlacementScheme,
+    ) -> io::Result<Self> {
+        Self::start_with_origin_delay(n, per_cache_capacity, scheme, Duration::ZERO)
+    }
+
+    /// Like [`start`](Self::start) with an artificial origin delay, to
+    /// make miss latency visibly dominate (as in the paper's 2784 ms).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and thread-spawn failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn start_with_origin_delay(
+        n: u16,
+        per_cache_capacity: ByteSize,
+        scheme: PlacementScheme,
+        origin_delay: Duration,
+    ) -> io::Result<Self> {
+        assert!(n > 0, "a cluster needs at least one cache");
+        let origin = OriginServer::start(origin_delay)?;
+        let clock = SharedClock::start();
+
+        // Two-phase start: bind every socket first so the full peer table
+        // exists before any daemon begins serving.
+        let sockets: Vec<BoundSockets> = (0..n)
+            .map(|_| BoundSockets::bind_loopback())
+            .collect::<io::Result<_>>()?;
+        let addrs: Vec<PeerAddr> = sockets
+            .iter()
+            .enumerate()
+            .map(|(i, s)| PeerAddr {
+                id: CacheId::new(i as u16),
+                icp: s.icp_addr,
+                doc: s.doc_addr,
+            })
+            .collect();
+
+        let mut daemons = Vec::with_capacity(usize::from(n));
+        for (i, socket) in sockets.into_iter().enumerate() {
+            let id = CacheId::new(i as u16);
+            let peers: Vec<PeerAddr> = addrs
+                .iter()
+                .copied()
+                .filter(|p| p.id != id)
+                .collect();
+            daemons.push(CacheDaemon::start(
+                DaemonConfig::loopback(id, per_cache_capacity, scheme),
+                socket,
+                peers,
+                origin.addr(),
+                clock.clone(),
+            )?);
+        }
+        Ok(Self { daemons, origin })
+    }
+
+    /// Number of caches in the cluster.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.daemons.len()
+    }
+
+    /// True when the cluster has no daemons (not constructible).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.daemons.is_empty()
+    }
+
+    /// Issues a client request at cache `idx`, end-to-end over sockets.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn request(&self, idx: usize, doc: DocId, size: ByteSize) -> io::Result<RequestOutcome> {
+        self.daemons[idx].request(doc, size)
+    }
+
+    /// The daemon at `idx`, for inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn daemon(&self, idx: usize) -> &CacheDaemon {
+        &self.daemons[idx]
+    }
+
+    /// Total documents the origin served (= group misses observed).
+    #[must_use]
+    pub fn origin_fetches(&self) -> u64 {
+        self.origin.served()
+    }
+
+    /// Stops every daemon and the origin, waiting for their threads.
+    pub fn shutdown(self) {
+        for daemon in self.daemons {
+            daemon.shutdown();
+        }
+        self.origin.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kb(n: u64) -> ByteSize {
+        ByteSize::from_kb(n)
+    }
+
+    fn d(i: u64) -> DocId {
+        DocId::new(i)
+    }
+
+    #[test]
+    fn miss_then_local_then_remote() {
+        let cluster = LoopbackCluster::start(3, kb(64), PlacementScheme::AdHoc).unwrap();
+        // Cold: miss at cache 0, stored.
+        let out = cluster.request(0, d(1), kb(4)).unwrap();
+        assert!(matches!(out, RequestOutcome::Miss { stored_locally: true, .. }), "{out:?}");
+        // Warm: local hit at cache 0.
+        let out = cluster.request(0, d(1), kb(4)).unwrap();
+        assert_eq!(out, RequestOutcome::LocalHit);
+        // Cross: remote hit from cache 1, served by cache 0.
+        let out = cluster.request(1, d(1), kb(4)).unwrap();
+        match out {
+            RequestOutcome::RemoteHit { responder, stored_locally, .. } => {
+                assert_eq!(responder, CacheId::new(0));
+                assert!(stored_locally, "ad-hoc replicates");
+            }
+            other => panic!("expected remote hit, got {other:?}"),
+        }
+        assert_eq!(cluster.origin_fetches(), 1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn ea_tie_does_not_replicate_over_the_wire() {
+        let cluster = LoopbackCluster::start(2, kb(64), PlacementScheme::Ea).unwrap();
+        cluster.request(0, d(7), kb(4)).unwrap();
+        let out = cluster.request(1, d(7), kb(4)).unwrap();
+        match out {
+            RequestOutcome::RemoteHit { stored_locally, promoted_at_responder, .. } => {
+                assert!(!stored_locally, "infinite-age tie must not store");
+                assert!(promoted_at_responder);
+            }
+            other => panic!("expected remote hit, got {other:?}"),
+        }
+        assert!(cluster.daemon(0).with_node(|n| n.cache().contains(d(7))));
+        assert!(!cluster.daemon(1).with_node(|n| n.cache().contains(d(7))));
+        // And the next request from cache 1 is again a remote hit.
+        let again = cluster.request(1, d(7), kb(4)).unwrap();
+        assert!(again.is_remote_hit(), "{again:?}");
+        assert_eq!(cluster.origin_fetches(), 1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn concurrent_requests_from_all_caches() {
+        let cluster =
+            std::sync::Arc::new(LoopbackCluster::start(4, kb(256), PlacementScheme::Ea).unwrap());
+        let mut handles = Vec::new();
+        for idx in 0..4 {
+            let cluster = std::sync::Arc::clone(&cluster);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25u64 {
+                    // Overlapping doc sets force cross-cache traffic.
+                    let doc = d(i % 10);
+                    cluster.request(idx, doc, kb(2)).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total_lookups: u64 = (0..4)
+            .map(|i| cluster.daemon(i).with_node(|n| n.cache().stats().lookups()))
+            .sum();
+        assert_eq!(total_lookups, 100);
+        // Every distinct doc reached the origin at least once and at most
+        // a handful of times (races may duplicate a fetch, never lose one).
+        assert!(cluster.origin_fetches() >= 10);
+        assert!(cluster.origin_fetches() <= 40, "{}", cluster.origin_fetches());
+        match std::sync::Arc::try_unwrap(cluster) {
+            Ok(cluster) => cluster.shutdown(),
+            Err(_) => panic!("all threads joined, Arc must be unique"),
+        }
+    }
+
+    #[test]
+    fn full_group_eviction_pressure_over_wire() {
+        // Tiny caches: force evictions and check ages turn finite.
+        let cluster = LoopbackCluster::start(2, kb(8), PlacementScheme::Ea).unwrap();
+        for i in 0..20 {
+            cluster.request(0, d(i), kb(4)).unwrap();
+        }
+        let age = cluster.daemon(0).with_node(|n| n.expiration_age());
+        assert!(!age.is_infinite(), "churned cache should have finite age");
+        cluster.shutdown();
+    }
+}

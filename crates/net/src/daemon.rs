@@ -1,0 +1,423 @@
+//! A live cache daemon: one proxy node served over real sockets.
+//!
+//! Each daemon runs two background threads — an ICP responder on a UDP
+//! socket and a document server on a TCP listener — around the same
+//! I/O-free [`ProxyNode`] the simulators use. The client-facing
+//! [`CacheDaemon::request`] drives the full protocol over the loopback
+//! network: local lookup, UDP ICP fan-out, TCP fetch from the first
+//! positive replier (with expiration ages piggybacked both ways), origin
+//! fallback.
+
+use crate::clock::SharedClock;
+use crate::origin::{drain_body, fetch_from_origin, write_body};
+use crate::wire::WireMessage;
+use coopcache_core::{ExpirationWindow, PlacementScheme, PolicyKind};
+use coopcache_proxy::{IcpQuery, ProxyNode, RequestOutcome};
+use coopcache_types::{ByteSize, CacheId, DocId};
+use parking_lot::Mutex;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Addresses a daemon needs to reach a peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerAddr {
+    /// The peer's cache id.
+    pub id: CacheId,
+    /// Its ICP (UDP) endpoint.
+    pub icp: SocketAddr,
+    /// Its document (TCP) endpoint.
+    pub doc: SocketAddr,
+}
+
+/// Timeouts and identity for a daemon.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// This daemon's cache id.
+    pub id: CacheId,
+    /// Cache capacity.
+    pub capacity: ByteSize,
+    /// Replacement policy.
+    pub policy: PolicyKind,
+    /// Placement scheme.
+    pub scheme: PlacementScheme,
+    /// Expiration-age window.
+    pub window: ExpirationWindow,
+    /// How long to wait for ICP replies before declaring a group miss.
+    pub icp_timeout: Duration,
+    /// Per-connection I/O timeout.
+    pub io_timeout: Duration,
+}
+
+impl DaemonConfig {
+    /// A sensible loopback configuration.
+    #[must_use]
+    pub fn loopback(id: CacheId, capacity: ByteSize, scheme: PlacementScheme) -> Self {
+        Self {
+            id,
+            capacity,
+            policy: PolicyKind::Lru,
+            scheme,
+            window: ExpirationWindow::default(),
+            icp_timeout: Duration::from_millis(250),
+            io_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The sockets a daemon has bound, published before peers start.
+#[derive(Debug)]
+pub struct BoundSockets {
+    icp: UdpSocket,
+    doc: TcpListener,
+    /// The ICP endpoint peers should query.
+    pub icp_addr: SocketAddr,
+    /// The TCP endpoint peers should fetch documents from.
+    pub doc_addr: SocketAddr,
+}
+
+impl BoundSockets {
+    /// Binds fresh loopback sockets on ephemeral ports.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind_loopback() -> io::Result<Self> {
+        let icp = UdpSocket::bind("127.0.0.1:0")?;
+        let doc = TcpListener::bind("127.0.0.1:0")?;
+        let icp_addr = icp.local_addr()?;
+        let doc_addr = doc.local_addr()?;
+        Ok(Self {
+            icp,
+            doc,
+            icp_addr,
+            doc_addr,
+        })
+    }
+}
+
+/// A running cache daemon.
+#[derive(Debug)]
+pub struct CacheDaemon {
+    config: DaemonConfig,
+    node: Arc<Mutex<ProxyNode>>,
+    clock: SharedClock,
+    peers: Vec<PeerAddr>,
+    origin: SocketAddr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl CacheDaemon {
+    /// Starts a daemon on pre-bound sockets.
+    ///
+    /// `peers` lists every *other* cache in the group; `origin` is the
+    /// stub origin server misses resolve against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket configuration and thread-spawn failures.
+    pub fn start(
+        config: DaemonConfig,
+        sockets: BoundSockets,
+        peers: Vec<PeerAddr>,
+        origin: SocketAddr,
+        clock: SharedClock,
+    ) -> io::Result<Self> {
+        let node = Arc::new(Mutex::new(ProxyNode::with_window(
+            config.id,
+            config.capacity,
+            config.policy,
+            config.scheme,
+            config.window,
+        )));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+
+        // ICP responder thread.
+        sockets
+            .icp
+            .set_read_timeout(Some(Duration::from_millis(20)))?;
+        {
+            let node = Arc::clone(&node);
+            let stop = Arc::clone(&stop);
+            let socket = sockets.icp;
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("coopcache-icp-{}", config.id))
+                    .spawn(move || icp_loop(&socket, &node, &stop))?,
+            );
+        }
+
+        // Document server thread.
+        sockets.doc.set_nonblocking(true)?;
+        {
+            let node = Arc::clone(&node);
+            let stop = Arc::clone(&stop);
+            let clock = clock.clone();
+            let listener = sockets.doc;
+            let io_timeout = config.io_timeout;
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("coopcache-doc-{}", config.id))
+                    .spawn(move || doc_loop(&listener, &node, &clock, &stop, io_timeout))?,
+            );
+        }
+
+        Ok(Self {
+            config,
+            node,
+            clock,
+            peers,
+            origin,
+            stop,
+            threads,
+        })
+    }
+
+    /// This daemon's cache id.
+    #[must_use]
+    pub fn id(&self) -> CacheId {
+        self.config.id
+    }
+
+    /// Runs a closure with read access to the underlying node (for
+    /// inspecting stats and cache contents).
+    pub fn with_node<R>(&self, f: impl FnOnce(&ProxyNode) -> R) -> R {
+        f(&self.node.lock())
+    }
+
+    /// Serves one client request end-to-end over the real network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (a vanished peer is handled by falling
+    /// back to the origin, not reported as an error).
+    pub fn request(&self, doc: DocId, size: ByteSize) -> io::Result<RequestOutcome> {
+        // 1. Local lookup.
+        let now = self.clock.now();
+        if self.node.lock().handle_client_lookup(doc, now).is_some() {
+            return Ok(RequestOutcome::LocalHit);
+        }
+
+        // 2. ICP fan-out over UDP; first positive reply wins.
+        let responder = self.icp_locate(doc)?;
+
+        // 3a. Remote fetch with piggybacked expiration ages.
+        if let Some(peer) = responder {
+            if let Some(outcome) = self.fetch_from_peer(peer, doc)? {
+                return Ok(outcome);
+            }
+            // Peer lost the document between ICP and fetch: fall through.
+        }
+
+        // 3b. Origin fetch; the requester always stores (distributed
+        // architecture, paper §4.1).
+        fetch_from_origin(
+            self.origin,
+            doc.as_u64(),
+            size.as_bytes(),
+            self.config.io_timeout,
+        )?;
+        let stored = self
+            .node
+            .lock()
+            .complete_origin_fetch(doc, size, self.clock.now());
+        Ok(RequestOutcome::Miss {
+            stored_locally: stored,
+            stored_at_ancestor: false,
+        })
+    }
+
+    /// Queries every peer over UDP and returns the first that replied
+    /// with a hit, if any.
+    fn icp_locate(&self, doc: DocId) -> io::Result<Option<PeerAddr>> {
+        if self.peers.is_empty() {
+            return Ok(None);
+        }
+        let socket = UdpSocket::bind("127.0.0.1:0")?;
+        socket.set_read_timeout(Some(Duration::from_millis(20)))?;
+        let query = WireMessage::IcpQuery(IcpQuery {
+            from: self.config.id,
+            doc,
+        })
+        .encode();
+        for peer in &self.peers {
+            socket.send_to(&query, peer.icp)?;
+        }
+        let deadline = Instant::now() + self.config.icp_timeout;
+        let mut buf = [0u8; 64];
+        let mut replies = 0usize;
+        while Instant::now() < deadline && replies < self.peers.len() {
+            match socket.recv_from(&mut buf) {
+                Ok((n, _)) => {
+                    if let Ok(WireMessage::IcpReply(reply)) = WireMessage::decode(&buf[..n]) {
+                        if reply.doc != doc {
+                            continue; // stale reply from an earlier query
+                        }
+                        replies += 1;
+                        if reply.hit {
+                            return Ok(self
+                                .peers
+                                .iter()
+                                .copied()
+                                .find(|p| p.id == reply.from));
+                        }
+                    }
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Fetches `doc` from `peer` over TCP. Returns `Ok(None)` when the
+    /// peer no longer holds the document.
+    fn fetch_from_peer(&self, peer: PeerAddr, doc: DocId) -> io::Result<Option<RequestOutcome>> {
+        let sent = self.node.lock().build_http_request(doc);
+        let mut stream = TcpStream::connect_timeout(&peer.doc, self.config.io_timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(self.config.io_timeout))?;
+        stream.set_write_timeout(Some(self.config.io_timeout))?;
+        let header = WireMessage::DocRequest(sent).encode();
+        stream.write_all(&(header.len() as u32).to_be_bytes())?;
+        stream.write_all(&header)?;
+
+        let mut len_buf = [0u8; 4];
+        stream.read_exact(&mut len_buf)?;
+        let header_len = u32::from_be_bytes(len_buf) as usize;
+        let mut header = vec![0u8; header_len];
+        stream.read_exact(&mut header)?;
+        let decoded = WireMessage::decode(&header)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let WireMessage::DocResponse { response, found } = decoded else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "peer sent a non-response message",
+            ));
+        };
+        if !found {
+            return Ok(None);
+        }
+        drain_body(&mut stream, response.size.as_bytes())?;
+        let promoted = self
+            .config
+            .scheme
+            .responder_promotes(response.responder_age, sent.requester_age);
+        let stored = self
+            .node
+            .lock()
+            .complete_remote_fetch(sent, response, self.clock.now());
+        Ok(Some(RequestOutcome::RemoteHit {
+            responder: peer.id,
+            stored_locally: stored,
+            promoted_at_responder: promoted,
+        }))
+    }
+
+    /// Stops the background threads and waits for them to exit.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for CacheDaemon {
+    fn drop(&mut self) {
+        // Non-blocking best effort; `shutdown` is the clean path.
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+fn icp_loop(socket: &UdpSocket, node: &Mutex<ProxyNode>, stop: &AtomicBool) {
+    let mut buf = [0u8; 64];
+    while !stop.load(Ordering::Relaxed) {
+        match socket.recv_from(&mut buf) {
+            Ok((n, from)) => {
+                if let Ok(WireMessage::IcpQuery(query)) = WireMessage::decode(&buf[..n]) {
+                    let reply = node.lock().handle_icp_query(query);
+                    let _ = socket.send_to(&WireMessage::IcpReply(reply).encode(), from);
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut => {}
+            Err(_) => break,
+        }
+    }
+}
+
+fn doc_loop(
+    listener: &TcpListener,
+    node: &Mutex<ProxyNode>,
+    clock: &SharedClock,
+    stop: &AtomicBool,
+    io_timeout: Duration,
+) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(io_timeout));
+                let _ = stream.set_write_timeout(Some(io_timeout));
+                let _ = serve_doc(&mut stream, node, clock);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn serve_doc(stream: &mut TcpStream, node: &Mutex<ProxyNode>, clock: &SharedClock) -> io::Result<()> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf)?;
+    let header_len = u32::from_be_bytes(len_buf) as usize;
+    if header_len > 1024 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "oversized header"));
+    }
+    let mut header = vec![0u8; header_len];
+    stream.read_exact(&mut header)?;
+    let decoded = WireMessage::decode(&header)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let WireMessage::DocRequest(request) = decoded else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "expected a document request",
+        ));
+    };
+    let (response, found) = {
+        let mut node = node.lock();
+        match node.handle_http_request(request, clock.now()) {
+            Some(response) => (response, true),
+            None => (
+                coopcache_proxy::HttpResponse {
+                    from: node.id(),
+                    doc: request.doc,
+                    size: ByteSize::ZERO,
+                    responder_age: node.expiration_age(),
+                },
+                false,
+            ),
+        }
+    };
+    let header = WireMessage::DocResponse { response, found }.encode();
+    stream.write_all(&(header.len() as u32).to_be_bytes())?;
+    stream.write_all(&header)?;
+    if found {
+        write_body(stream, response.size.as_bytes())?;
+    }
+    Ok(())
+}

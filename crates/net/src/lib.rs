@@ -1,0 +1,39 @@
+//! Live cooperative caching over real sockets.
+//!
+//! The paper ran its simulator instances on several department machines,
+//! "communicating via UDP and TCP for ICP and HTTP connections
+//! respectively" (§4.1). This crate is that runtime, self-contained on
+//! loopback: each [`CacheDaemon`] wraps the same I/O-free
+//! [`coopcache_proxy::ProxyNode`] the simulators use, serving ICP over a
+//! UDP socket and documents over TCP with the EA scheme's expiration ages
+//! piggybacked in the binary wire format ([`WireMessage`]).
+//!
+//! [`LoopbackCluster`] assembles a whole group plus a stub
+//! [`OriginServer`], so the full protocol — local lookup, ICP fan-out,
+//! peer fetch, origin fallback — runs over genuine sockets with genuine
+//! concurrency (including the doc-vanished-between-ICP-and-fetch race).
+//!
+//! ```no_run
+//! use coopcache_net::LoopbackCluster;
+//! use coopcache_core::PlacementScheme;
+//! use coopcache_types::{ByteSize, DocId};
+//!
+//! let cluster = LoopbackCluster::start(4, ByteSize::from_kb(64), PlacementScheme::Ea)?;
+//! cluster.request(0, DocId::new(1), ByteSize::from_kb(4))?; // miss
+//! let out = cluster.request(1, DocId::new(1), ByteSize::from_kb(4))?; // remote hit
+//! assert!(out.is_remote_hit());
+//! cluster.shutdown();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+mod clock;
+mod cluster;
+mod daemon;
+mod origin;
+mod wire;
+
+pub use clock::SharedClock;
+pub use cluster::LoopbackCluster;
+pub use daemon::{BoundSockets, CacheDaemon, DaemonConfig, PeerAddr};
+pub use origin::OriginServer;
+pub use wire::{DecodeError, WireMessage, MAGIC};

@@ -1,0 +1,200 @@
+//! A stub origin web server for the live runtime.
+//!
+//! Serves any document on request, synthesizing a body of the requested
+//! size, with an optional artificial service delay standing in for
+//! wide-area distance (the paper measured ~2.8 s for a real miss in 2002).
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Wire format: request = `doc: u64, size: u64` (big-endian); response =
+/// `size: u64` followed by `size` body bytes.
+pub(crate) fn fetch_from_origin(
+    addr: SocketAddr,
+    doc: u64,
+    size: u64,
+    timeout: Duration,
+) -> io::Result<u64> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut req = [0u8; 16];
+    req[..8].copy_from_slice(&doc.to_be_bytes());
+    req[8..].copy_from_slice(&size.to_be_bytes());
+    stream.write_all(&req)?;
+    let mut header = [0u8; 8];
+    stream.read_exact(&mut header)?;
+    let body_len = u64::from_be_bytes(header);
+    drain_body(&mut stream, body_len)?;
+    Ok(body_len)
+}
+
+/// Reads and discards exactly `len` body bytes.
+pub(crate) fn drain_body<R: Read>(reader: &mut R, len: u64) -> io::Result<()> {
+    let mut remaining = len;
+    let mut chunk = [0u8; 8192];
+    while remaining > 0 {
+        let want = remaining.min(chunk.len() as u64) as usize;
+        reader.read_exact(&mut chunk[..want])?;
+        remaining -= want as u64;
+    }
+    Ok(())
+}
+
+/// Writes exactly `len` zero bytes as a synthetic document body.
+pub(crate) fn write_body<W: Write>(writer: &mut W, len: u64) -> io::Result<()> {
+    let chunk = [0u8; 8192];
+    let mut remaining = len;
+    while remaining > 0 {
+        let want = remaining.min(chunk.len() as u64) as usize;
+        writer.write_all(&chunk[..want])?;
+        remaining -= want as u64;
+    }
+    Ok(())
+}
+
+/// A running stub origin server on a loopback TCP port.
+///
+/// # Example
+///
+/// ```no_run
+/// use coopcache_net::OriginServer;
+/// use std::time::Duration;
+///
+/// let origin = OriginServer::start(Duration::from_millis(5)).unwrap();
+/// println!("origin at {}", origin.addr());
+/// origin.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct OriginServer {
+    addr: SocketAddr,
+    served: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl OriginServer {
+    /// Binds a loopback listener and starts serving with the given
+    /// artificial per-request delay.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind errors.
+    pub fn start(delay: Duration) -> io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let served = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let served = Arc::clone(&served);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("coopcache-origin".into())
+                .spawn(move || serve_loop(&listener, delay, &served, &stop))?
+        };
+        Ok(Self {
+            addr,
+            served,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address clients should fetch misses from.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of documents served so far (each is one group miss).
+    #[must_use]
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::SeqCst)
+    }
+
+    /// Stops the listener thread and waits for it to exit.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for OriginServer {
+    fn drop(&mut self) {
+        // Non-blocking best effort; `shutdown` is the clean path.
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+fn serve_loop(
+    listener: &TcpListener,
+    delay: Duration,
+    served: &AtomicU64,
+    stop: &AtomicBool,
+) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+                let mut req = [0u8; 16];
+                if stream.read_exact(&mut req).is_err() {
+                    continue;
+                }
+                let size = u64::from_be_bytes(req[8..].try_into().expect("8 bytes"));
+                // Count BEFORE replying: a client that has received the
+                // whole body must observe the incremented counter.
+                served.fetch_add(1, Ordering::SeqCst);
+                if stream.write_all(&size.to_be_bytes()).is_ok() {
+                    let _ = write_body(&mut stream, size);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_serves_requested_size() {
+        let origin = OriginServer::start(Duration::ZERO).unwrap();
+        let got = fetch_from_origin(origin.addr(), 42, 10_000, Duration::from_secs(5)).unwrap();
+        assert_eq!(got, 10_000);
+        assert_eq!(origin.served(), 1);
+        origin.shutdown();
+    }
+
+    #[test]
+    fn origin_counts_multiple_fetches() {
+        let origin = OriginServer::start(Duration::ZERO).unwrap();
+        for doc in 0..5 {
+            fetch_from_origin(origin.addr(), doc, 100, Duration::from_secs(5)).unwrap();
+        }
+        assert_eq!(origin.served(), 5);
+        origin.shutdown();
+    }
+
+    #[test]
+    fn zero_byte_document() {
+        let origin = OriginServer::start(Duration::ZERO).unwrap();
+        let got = fetch_from_origin(origin.addr(), 1, 0, Duration::from_secs(5)).unwrap();
+        assert_eq!(got, 0);
+        origin.shutdown();
+    }
+}

@@ -1,0 +1,313 @@
+//! Binary wire formats for ICP (UDP) and the document protocol (TCP).
+//!
+//! The paper's simulator instances communicated over real UDP (ICP) and
+//! TCP (HTTP); this module defines the equivalent compact binary codecs.
+//! Framing:
+//!
+//! * **ICP datagrams** — fixed-size, one per UDP packet;
+//! * **TCP messages** — a length-prefixed header, followed (for document
+//!   responses) by `size` bytes of body streamed on the same connection.
+//!
+//! The cache expiration age rides in every document request and response,
+//! exactly as the EA scheme piggybacks it on HTTP messages.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use coopcache_proxy::{HttpRequest, HttpResponse, IcpQuery, IcpReply};
+use coopcache_types::{ByteSize, CacheId, DocId, DurationMs, ExpirationAge};
+use std::fmt;
+
+/// Protocol magic prepended to every TCP header.
+pub const MAGIC: u16 = 0xCA5E;
+
+const OP_ICP_QUERY: u8 = 1;
+const OP_ICP_REPLY: u8 = 2;
+const OP_DOC_REQUEST: u8 = 3;
+const OP_DOC_RESPONSE: u8 = 4;
+
+const AGE_INFINITE: u8 = 0;
+const AGE_FINITE: u8 = 1;
+
+/// Error decoding a wire message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer bytes than the message demands.
+    Truncated,
+    /// Unknown opcode or malformed field.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Truncated => f.write_str("truncated wire message"),
+            Self::Malformed(what) => write!(f, "malformed wire message: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn put_age(buf: &mut BytesMut, age: ExpirationAge) {
+    match age.as_finite() {
+        None => {
+            buf.put_u8(AGE_INFINITE);
+            buf.put_u64(0);
+        }
+        Some(d) => {
+            buf.put_u8(AGE_FINITE);
+            buf.put_u64(d.as_millis());
+        }
+    }
+}
+
+fn get_age(buf: &mut impl Buf) -> Result<ExpirationAge, DecodeError> {
+    if buf.remaining() < 9 {
+        return Err(DecodeError::Truncated);
+    }
+    let tag = buf.get_u8();
+    let ms = buf.get_u64();
+    match tag {
+        AGE_INFINITE => Ok(ExpirationAge::Infinite),
+        AGE_FINITE => Ok(ExpirationAge::finite(DurationMs::from_millis(ms))),
+        _ => Err(DecodeError::Malformed("unknown expiration-age tag")),
+    }
+}
+
+/// A message of the inter-proxy protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireMessage {
+    /// ICP query (UDP).
+    IcpQuery(IcpQuery),
+    /// ICP reply (UDP).
+    IcpReply(IcpReply),
+    /// Document request (TCP), carrying the requester's expiration age.
+    DocRequest(HttpRequest),
+    /// Document response header (TCP). `found == false` means the
+    /// document vanished between ICP and fetch; no body follows.
+    DocResponse {
+        /// The response metadata (from, doc, size, responder age).
+        response: HttpResponse,
+        /// Whether the document was present and a body follows.
+        found: bool,
+    },
+}
+
+impl WireMessage {
+    /// Encodes the message (header only — bodies are streamed separately).
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(40);
+        buf.put_u16(MAGIC);
+        match self {
+            Self::IcpQuery(q) => {
+                buf.put_u8(OP_ICP_QUERY);
+                buf.put_u16(q.from.as_u16());
+                buf.put_u64(q.doc.as_u64());
+            }
+            Self::IcpReply(r) => {
+                buf.put_u8(OP_ICP_REPLY);
+                buf.put_u16(r.from.as_u16());
+                buf.put_u64(r.doc.as_u64());
+                buf.put_u8(u8::from(r.hit));
+            }
+            Self::DocRequest(req) => {
+                buf.put_u8(OP_DOC_REQUEST);
+                buf.put_u16(req.from.as_u16());
+                buf.put_u64(req.doc.as_u64());
+                put_age(&mut buf, req.requester_age);
+            }
+            Self::DocResponse { response, found } => {
+                buf.put_u8(OP_DOC_RESPONSE);
+                buf.put_u16(response.from.as_u16());
+                buf.put_u64(response.doc.as_u64());
+                buf.put_u64(response.size.as_bytes());
+                put_age(&mut buf, response.responder_age);
+                buf.put_u8(u8::from(*found));
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a message from a byte slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on short input, a bad magic, an unknown
+    /// opcode, or a malformed field.
+    pub fn decode(mut data: &[u8]) -> Result<Self, DecodeError> {
+        let buf = &mut data;
+        if buf.remaining() < 3 {
+            return Err(DecodeError::Truncated);
+        }
+        if buf.get_u16() != MAGIC {
+            return Err(DecodeError::Malformed("bad magic"));
+        }
+        let op = buf.get_u8();
+        match op {
+            OP_ICP_QUERY => {
+                if buf.remaining() < 10 {
+                    return Err(DecodeError::Truncated);
+                }
+                Ok(Self::IcpQuery(IcpQuery {
+                    from: CacheId::new(buf.get_u16()),
+                    doc: DocId::new(buf.get_u64()),
+                }))
+            }
+            OP_ICP_REPLY => {
+                if buf.remaining() < 11 {
+                    return Err(DecodeError::Truncated);
+                }
+                Ok(Self::IcpReply(IcpReply {
+                    from: CacheId::new(buf.get_u16()),
+                    doc: DocId::new(buf.get_u64()),
+                    hit: buf.get_u8() != 0,
+                }))
+            }
+            OP_DOC_REQUEST => {
+                if buf.remaining() < 10 {
+                    return Err(DecodeError::Truncated);
+                }
+                let from = CacheId::new(buf.get_u16());
+                let doc = DocId::new(buf.get_u64());
+                let requester_age = get_age(buf)?;
+                Ok(Self::DocRequest(HttpRequest {
+                    from,
+                    doc,
+                    requester_age,
+                }))
+            }
+            OP_DOC_RESPONSE => {
+                if buf.remaining() < 18 {
+                    return Err(DecodeError::Truncated);
+                }
+                let from = CacheId::new(buf.get_u16());
+                let doc = DocId::new(buf.get_u64());
+                let size = ByteSize::from_bytes(buf.get_u64());
+                let responder_age = get_age(buf)?;
+                if buf.remaining() < 1 {
+                    return Err(DecodeError::Truncated);
+                }
+                let found = buf.get_u8() != 0;
+                Ok(Self::DocResponse {
+                    response: HttpResponse {
+                        from,
+                        doc,
+                        size,
+                        responder_age,
+                    },
+                    found,
+                })
+            }
+            _ => Err(DecodeError::Malformed("unknown opcode")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ages() -> [ExpirationAge; 3] {
+        [
+            ExpirationAge::Infinite,
+            ExpirationAge::finite(DurationMs::ZERO),
+            ExpirationAge::finite(DurationMs::from_millis(u64::MAX / 2)),
+        ]
+    }
+
+    #[test]
+    fn icp_query_roundtrip() {
+        let msg = WireMessage::IcpQuery(IcpQuery {
+            from: CacheId::new(7),
+            doc: DocId::new(u64::MAX),
+        });
+        assert_eq!(WireMessage::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn icp_reply_roundtrip() {
+        for hit in [true, false] {
+            let msg = WireMessage::IcpReply(IcpReply {
+                from: CacheId::new(0),
+                doc: DocId::new(42),
+                hit,
+            });
+            assert_eq!(WireMessage::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn doc_request_roundtrip_all_ages() {
+        for age in ages() {
+            let msg = WireMessage::DocRequest(HttpRequest {
+                from: CacheId::new(3),
+                doc: DocId::new(9),
+                requester_age: age,
+            });
+            assert_eq!(WireMessage::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn doc_response_roundtrip_all_ages() {
+        for age in ages() {
+            for found in [true, false] {
+                let msg = WireMessage::DocResponse {
+                    response: HttpResponse {
+                        from: CacheId::new(1),
+                        doc: DocId::new(5),
+                        size: ByteSize::from_kb(4),
+                        responder_age: age,
+                    },
+                    found,
+                };
+                assert_eq!(WireMessage::decode(&msg.encode()).unwrap(), msg);
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_inputs_rejected() {
+        let msg = WireMessage::IcpQuery(IcpQuery {
+            from: CacheId::new(1),
+            doc: DocId::new(2),
+        });
+        let bytes = msg.encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                WireMessage::decode(&bytes[..cut]).is_err(),
+                "decode of {cut}-byte prefix should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_opcode_rejected() {
+        let err = WireMessage::decode(&[0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]).unwrap_err();
+        assert_eq!(err, DecodeError::Malformed("bad magic"));
+        let mut bytes = BytesMut::new();
+        bytes.put_u16(MAGIC);
+        bytes.put_u8(99);
+        let err = WireMessage::decode(&bytes).unwrap_err();
+        assert_eq!(err, DecodeError::Malformed("unknown opcode"));
+    }
+
+    #[test]
+    fn bad_age_tag_rejected() {
+        let mut bytes = BytesMut::new();
+        bytes.put_u16(MAGIC);
+        bytes.put_u8(OP_DOC_REQUEST);
+        bytes.put_u16(1);
+        bytes.put_u64(2);
+        bytes.put_u8(7); // bogus age tag
+        bytes.put_u64(0);
+        let err = WireMessage::decode(&bytes).unwrap_err();
+        assert_eq!(err, DecodeError::Malformed("unknown expiration-age tag"));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(DecodeError::Truncated.to_string().contains("truncated"));
+        assert!(DecodeError::Malformed("x").to_string().contains("x"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Document-discovery mechanisms and inter-proxy message accounting.
+//!
+//! The paper's experiments use ICP (query every peer on every local
+//! miss). Its related-work section surveys the alternatives this module
+//! also implements: **Summary-Cache-style Bloom digests** (periodically
+//! broadcast content summaries, checked locally, occasionally wrong) and
+//! **no cooperation at all** (the isolated-caches baseline that motivates
+//! cooperative caching in the first place).
+
+use coopcache_types::DurationMs;
+
+/// How a cache that missed locally locates the document in the group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Discovery {
+    /// Query every peer on every local miss (ICP, the paper's setup).
+    Icp,
+    /// Summary-Cache-style digests: every `refresh_every` of simulated
+    /// time each cache rebuilds a Bloom filter of its contents (at the
+    /// given false-positive rate) and broadcasts it; misses consult the
+    /// local digest copies instead of sending queries. Digests go stale
+    /// between refreshes, so lookups can be wrong in both directions.
+    Digest {
+        /// Rebuild-and-broadcast period.
+        refresh_every: DurationMs,
+        /// Target false-positive rate of each digest.
+        fp_rate: f64,
+    },
+    /// No cooperation: a local miss goes straight to the origin.
+    Isolated,
+}
+
+impl Default for Discovery {
+    /// The paper's mechanism.
+    fn default() -> Self {
+        Self::Icp
+    }
+}
+
+impl std::fmt::Display for Discovery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Icp => f.write_str("icp"),
+            Self::Digest { refresh_every, .. } => write!(f, "digest/{refresh_every}"),
+            Self::Isolated => f.write_str("isolated"),
+        }
+    }
+}
+
+/// Counters of inter-proxy traffic, the currency in which cooperative
+/// caching pays for its hit-rate gains. The EA scheme's selling point
+/// (§3.5) is that it adds **zero** to every column — its expiration ages
+/// ride on messages that are sent anyway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProtocolStats {
+    /// ICP queries sent.
+    pub icp_queries: u64,
+    /// ICP replies received.
+    pub icp_replies: u64,
+    /// Inter-cache document requests (HTTP GETs between proxies).
+    pub doc_requests: u64,
+    /// Digest rebuild-and-broadcast events (one per cache per period).
+    pub digest_refreshes: u64,
+    /// Total digest bytes broadcast.
+    pub digest_bytes: u64,
+    /// Digest consultations that pointed at a cache which turned out not
+    /// to hold the document (false positives + staleness).
+    pub digest_misdirections: u64,
+}
+
+impl ProtocolStats {
+    /// Total discrete messages exchanged between proxies.
+    #[must_use]
+    pub fn messages(&self) -> u64 {
+        self.icp_queries + self.icp_replies + self.doc_requests + self.digest_refreshes
+    }
+
+    /// Messages per request, the Summary-Cache cost metric.
+    #[must_use]
+    pub fn messages_per_request(&self, requests: u64) -> f64 {
+        if requests == 0 {
+            0.0
+        } else {
+            self.messages() as f64 / requests as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_icp() {
+        assert_eq!(Discovery::default(), Discovery::Icp);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Discovery::Icp.to_string(), "icp");
+        assert_eq!(Discovery::Isolated.to_string(), "isolated");
+        let d = Discovery::Digest {
+            refresh_every: DurationMs::from_secs(60),
+            fp_rate: 0.01,
+        };
+        assert_eq!(d.to_string(), "digest/60s");
+    }
+
+    #[test]
+    fn message_totals() {
+        let s = ProtocolStats {
+            icp_queries: 30,
+            icp_replies: 30,
+            doc_requests: 5,
+            digest_refreshes: 4,
+            digest_bytes: 4_096,
+            digest_misdirections: 1,
+        };
+        assert_eq!(s.messages(), 69);
+        assert!((s.messages_per_request(10) - 6.9).abs() < 1e-12);
+        assert_eq!(ProtocolStats::default().messages_per_request(0), 0.0);
+    }
+}

@@ -1,0 +1,670 @@
+//! The distributed (flat) cooperative caching architecture.
+//!
+//! All caches are peers at the same level of the hierarchy — the
+//! architecture of the paper's evaluation (§4.1). A local miss triggers an
+//! ICP query to every peer; a group miss is resolved against the origin by
+//! the requester itself, which always stores the document.
+
+use crate::bloom::BloomFilter;
+use crate::discovery::{Discovery, ProtocolStats};
+use crate::message::IcpQuery;
+use crate::node::ProxyNode;
+use crate::outcome::RequestOutcome;
+use coopcache_core::{ExpirationWindow, PlacementScheme, PolicyKind};
+use coopcache_types::{ByteSize, CacheId, DocId, ExpirationAge, Timestamp};
+
+/// A flat group of peer proxy caches, driven synchronously.
+///
+/// This is the reference implementation of the protocol: the simulator
+/// replays traces through it, and the property tests compare the EA
+/// scheme's outcomes against ad-hoc on identical request streams.
+///
+/// # Example
+///
+/// ```
+/// use coopcache_proxy::DistributedGroup;
+/// use coopcache_core::{PlacementScheme, PolicyKind};
+/// use coopcache_types::{ByteSize, CacheId, DocId, Timestamp};
+///
+/// let mut group = DistributedGroup::new(
+///     4,                         // caches in the group
+///     ByteSize::from_mb(1),      // aggregate capacity (split evenly)
+///     PolicyKind::Lru,
+///     PlacementScheme::Ea,
+/// );
+/// let now = Timestamp::from_secs(1);
+/// let out = group.handle_request(CacheId::new(0), DocId::new(9), ByteSize::from_kb(4), now);
+/// assert!(!out.is_hit()); // first-ever request is a compulsory miss
+/// ```
+#[derive(Debug)]
+pub struct DistributedGroup {
+    nodes: Vec<ProxyNode>,
+    discovery: Discovery,
+    digests: Vec<DigestState>,
+    protocol: ProtocolStats,
+}
+
+/// A peer's last-broadcast content digest, as held by the other caches.
+#[derive(Debug)]
+struct DigestState {
+    filter: BloomFilter,
+    built_at: Option<Timestamp>,
+}
+
+impl DistributedGroup {
+    /// Creates a group of `n` caches sharing `aggregate` bytes evenly
+    /// (the paper's `X / N` rule), with the default expiration window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn new(
+        n: u16,
+        aggregate: ByteSize,
+        policy: PolicyKind,
+        scheme: PlacementScheme,
+    ) -> Self {
+        Self::with_window(n, aggregate, policy, scheme, ExpirationWindow::default())
+    }
+
+    /// Creates a group with an explicit expiration-age window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn with_window(
+        n: u16,
+        aggregate: ByteSize,
+        policy: PolicyKind,
+        scheme: PlacementScheme,
+        window: ExpirationWindow,
+    ) -> Self {
+        assert!(n > 0, "a group needs at least one cache");
+        let per_cache = aggregate.split_evenly(u64::from(n));
+        Self::with_capacities(
+            &vec![per_cache; usize::from(n)],
+            policy,
+            scheme,
+            window,
+            Discovery::Icp,
+        )
+    }
+
+    /// Fully general constructor: explicit per-cache capacities (the
+    /// paper assumes equal shares; heterogeneous splits are an ablation)
+    /// and an explicit discovery mechanism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacities` is empty or longer than `u16::MAX`.
+    #[must_use]
+    pub fn with_capacities(
+        capacities: &[ByteSize],
+        policy: PolicyKind,
+        scheme: PlacementScheme,
+        window: ExpirationWindow,
+        discovery: Discovery,
+    ) -> Self {
+        assert!(!capacities.is_empty(), "a group needs at least one cache");
+        assert!(
+            capacities.len() <= usize::from(u16::MAX),
+            "too many caches for u16 ids"
+        );
+        let nodes: Vec<ProxyNode> = capacities
+            .iter()
+            .enumerate()
+            .map(|(i, &cap)| {
+                ProxyNode::with_window(CacheId::new(i as u16), cap, policy, scheme, window)
+            })
+            .collect();
+        let digests = nodes
+            .iter()
+            .map(|_| DigestState {
+                filter: BloomFilter::with_rate(1, 0.01),
+                built_at: None,
+            })
+            .collect();
+        Self {
+            nodes,
+            discovery,
+            digests,
+            protocol: ProtocolStats::default(),
+        }
+    }
+
+    /// Replaces the discovery mechanism (builder-style, for use after
+    /// `new`/`with_window`).
+    #[must_use]
+    pub fn with_discovery(mut self, discovery: Discovery) -> Self {
+        self.discovery = discovery;
+        self
+    }
+
+    /// Inter-proxy message counters accumulated so far.
+    #[must_use]
+    pub fn protocol_stats(&self) -> &ProtocolStats {
+        &self.protocol
+    }
+
+    /// Sets (or clears) a freshness TTL on every cache in the group.
+    pub fn set_ttl(&mut self, ttl: Option<coopcache_types::DurationMs>) {
+        for node in &mut self.nodes {
+            node.set_ttl(ttl);
+        }
+    }
+
+    /// Number of caches in the group.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the group is empty (never constructible via `new`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Read access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn node(&self, id: CacheId) -> &ProxyNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable access to a node, for drivers (like the discrete-event
+    /// simulator and the socket runtime) that sequence the protocol
+    /// steps themselves instead of calling
+    /// [`handle_request`](Self::handle_request).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn node_mut(&mut self, id: CacheId) -> &mut ProxyNode {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Iterates over the nodes in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &ProxyNode> {
+        self.nodes.iter()
+    }
+
+    /// Mean of the caches' *lifetime-average* expiration ages, in
+    /// milliseconds — the quantity the paper's Table 1 reports. `None`
+    /// until at least one cache has evicted something.
+    #[must_use]
+    pub fn average_expiration_age_ms(&self) -> Option<f64> {
+        let ages: Vec<f64> = self
+            .nodes
+            .iter()
+            .filter_map(|n| n.cache().tracker().lifetime_average())
+            .map(|d| d.as_millis() as f64)
+            .collect();
+        if ages.is_empty() {
+            None
+        } else {
+            Some(ages.iter().sum::<f64>() / ages.len() as f64)
+        }
+    }
+
+    /// Total number of distinct documents across the group, counting each
+    /// replica separately.
+    #[must_use]
+    pub fn total_cached_docs(&self) -> usize {
+        self.nodes.iter().map(|n| n.cache().len()).sum()
+    }
+
+    /// Number of *unique* documents cached somewhere in the group — the
+    /// paper's measure of aggregate disk-space efficiency.
+    #[must_use]
+    pub fn unique_cached_docs(&self) -> usize {
+        let mut docs = std::collections::HashSet::new();
+        for n in &self.nodes {
+            docs.extend(n.cache().iter().map(|e| e.doc));
+        }
+        docs.len()
+    }
+
+    /// Handles one client request arriving at `requester`, running the
+    /// full protocol: local lookup → ICP probe of all peers → remote
+    /// fetch with piggybacked expiration ages, or origin fetch.
+    ///
+    /// Peers are probed starting at `requester + 1` (wrapping), modelling
+    /// the first positive ICP reply winning without biasing any fixed
+    /// cache id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requester` is out of range.
+    pub fn handle_request(
+        &mut self,
+        requester: CacheId,
+        doc: DocId,
+        size: ByteSize,
+        now: Timestamp,
+    ) -> RequestOutcome {
+        let n = self.nodes.len();
+        assert!(requester.index() < n, "unknown requester {requester}");
+
+        // 1. Local lookup.
+        if self.nodes[requester.index()]
+            .handle_client_lookup(doc, now)
+            .is_some()
+        {
+            return RequestOutcome::LocalHit;
+        }
+
+        // 2. Locate the document at a peer, by the configured mechanism;
+        // 3a. on success, fetch it with piggybacked expiration ages.
+        let rotation: Vec<CacheId> = (1..n)
+            .map(|off| CacheId::new(((requester.index() + off) % n) as u16))
+            .collect();
+        match self.discovery {
+            Discovery::Icp => {
+                // One query to every peer; every peer replies.
+                let query = IcpQuery {
+                    from: requester,
+                    doc,
+                };
+                self.protocol.icp_queries += rotation.len() as u64;
+                self.protocol.icp_replies += rotation.len() as u64;
+                for peer in rotation {
+                    if !self.nodes[peer.index()].handle_icp_query(query).hit {
+                        continue;
+                    }
+                    match self.remote_fetch(requester, peer, doc, now) {
+                        Some(outcome) => return outcome,
+                        // An ICP hit can still come back empty when the
+                        // copy expired under a freshness TTL between the
+                        // probe and the fetch; fall through to the next
+                        // positive replier (or the origin).
+                        None => continue,
+                    }
+                }
+            }
+            Discovery::Digest {
+                refresh_every,
+                fp_rate,
+            } => {
+                self.refresh_digests(now, refresh_every, fp_rate);
+                for peer in rotation {
+                    if !self.digests[peer.index()].filter.contains(doc) {
+                        continue;
+                    }
+                    match self.remote_fetch(requester, peer, doc, now) {
+                        Some(outcome) => return outcome,
+                        None => {
+                            // Stale digest or Bloom false positive: the
+                            // fetch came back empty; try the next peer.
+                            self.protocol.digest_misdirections += 1;
+                        }
+                    }
+                }
+            }
+            Discovery::Isolated => {}
+        }
+
+        // 3b. Group miss: fetch from origin, always store locally.
+        let stored = self.nodes[requester.index()].complete_origin_fetch(doc, size, now);
+        RequestOutcome::Miss {
+            stored_locally: stored,
+            stored_at_ancestor: false,
+        }
+    }
+
+    /// The inter-cache HTTP exchange; `None` when the peer no longer
+    /// holds the document.
+    fn remote_fetch(
+        &mut self,
+        requester: CacheId,
+        peer: CacheId,
+        doc: DocId,
+        now: Timestamp,
+    ) -> Option<RequestOutcome> {
+        self.protocol.doc_requests += 1;
+        let sent = self.nodes[requester.index()].build_http_request(doc);
+        let response = self.nodes[peer.index()].handle_http_request(sent, now)?;
+        let promoted = self.nodes[peer.index()]
+            .scheme()
+            .responder_promotes(response.responder_age, sent.requester_age);
+        let stored = self.nodes[requester.index()].complete_remote_fetch(sent, response, now);
+        Some(RequestOutcome::RemoteHit {
+            responder: peer,
+            stored_locally: stored,
+            promoted_at_responder: promoted,
+        })
+    }
+
+    /// Rebuilds and "broadcasts" any digest older than the refresh period
+    /// (Summary-Cache behaviour; the broadcast cost is accounted per
+    /// receiving peer).
+    fn refresh_digests(&mut self, now: Timestamp, refresh_every: coopcache_types::DurationMs, fp_rate: f64) {
+        let n = self.nodes.len();
+        for i in 0..n {
+            let due = match self.digests[i].built_at {
+                None => true,
+                Some(at) => now.saturating_since(at) >= refresh_every,
+            };
+            if !due {
+                continue;
+            }
+            let cache = self.nodes[i].cache();
+            let mut filter = BloomFilter::with_rate(cache.len().max(16), fp_rate);
+            for entry in cache.iter() {
+                filter.insert(entry.doc);
+            }
+            self.protocol.digest_refreshes += (n as u64).saturating_sub(1);
+            self.protocol.digest_bytes += filter.wire_bytes() * (n as u64).saturating_sub(1);
+            self.digests[i] = DigestState {
+                filter,
+                built_at: Some(now),
+            };
+        }
+    }
+
+    /// The expiration ages of all caches, in id order (diagnostics).
+    #[must_use]
+    pub fn expiration_ages(&self) -> Vec<ExpirationAge> {
+        self.nodes.iter().map(ProxyNode::expiration_age).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    fn d(i: u64) -> DocId {
+        DocId::new(i)
+    }
+
+    fn kb(n: u64) -> ByteSize {
+        ByteSize::from_kb(n)
+    }
+
+    fn c(i: u16) -> CacheId {
+        CacheId::new(i)
+    }
+
+    fn group(scheme: PlacementScheme) -> DistributedGroup {
+        DistributedGroup::new(3, kb(30), PolicyKind::Lru, scheme)
+    }
+
+    #[test]
+    fn capacity_split_matches_paper_rule() {
+        let g = DistributedGroup::new(4, ByteSize::from_mb(1), PolicyKind::Lru, PlacementScheme::Ea);
+        for n in g.iter() {
+            assert_eq!(n.cache().capacity(), ByteSize::from_bytes(250_000));
+        }
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    fn first_request_is_a_stored_miss() {
+        let mut g = group(PlacementScheme::AdHoc);
+        let out = g.handle_request(c(0), d(1), kb(4), t(0));
+        assert_eq!(
+            out,
+            RequestOutcome::Miss {
+                stored_locally: true,
+                stored_at_ancestor: false
+            }
+        );
+        assert!(g.node(c(0)).cache().contains(d(1)));
+    }
+
+    #[test]
+    fn repeat_request_is_a_local_hit() {
+        let mut g = group(PlacementScheme::Ea);
+        g.handle_request(c(0), d(1), kb(4), t(0));
+        let out = g.handle_request(c(0), d(1), kb(4), t(1));
+        assert_eq!(out, RequestOutcome::LocalHit);
+    }
+
+    #[test]
+    fn peer_copy_gives_remote_hit() {
+        let mut g = group(PlacementScheme::AdHoc);
+        g.handle_request(c(0), d(1), kb(4), t(0));
+        let out = g.handle_request(c(1), d(1), kb(4), t(1));
+        match out {
+            RequestOutcome::RemoteHit {
+                responder,
+                stored_locally,
+                promoted_at_responder,
+            } => {
+                assert_eq!(responder, c(0));
+                assert!(stored_locally, "ad-hoc always stores");
+                assert!(promoted_at_responder, "ad-hoc always promotes");
+            }
+            other => panic!("expected remote hit, got {other:?}"),
+        }
+        // Ad-hoc: the document is now replicated at both caches.
+        assert!(g.node(c(0)).cache().contains(d(1)));
+        assert!(g.node(c(1)).cache().contains(d(1)));
+    }
+
+    #[test]
+    fn ea_scenario_from_section_2() {
+        // The paper's walk-through: C1 misses, fetches from origin; C2
+        // requests the same doc; C3 requests it too. Under ad-hoc the doc
+        // ends up replicated at all three caches.
+        let mut adhoc = group(PlacementScheme::AdHoc);
+        adhoc.handle_request(c(0), d(9), kb(4), t(0));
+        adhoc.handle_request(c(1), d(9), kb(4), t(1));
+        adhoc.handle_request(c(2), d(9), kb(4), t(2));
+        let replicas = adhoc
+            .iter()
+            .filter(|n| n.cache().contains(d(9)))
+            .count();
+        assert_eq!(replicas, 3, "ad-hoc replicates everywhere");
+
+        // Under EA with all ages tied at infinity, the strict requester
+        // rule refuses the copy and the responder keeps its own hot: the
+        // document stays a single-copy group resource served remotely —
+        // the behaviour behind the paper's 32%-remote-hit Table 2 row.
+        let mut ea = group(PlacementScheme::Ea);
+        ea.handle_request(c(0), d(9), kb(4), t(0));
+        let out = ea.handle_request(c(1), d(9), kb(4), t(1));
+        match out {
+            RequestOutcome::RemoteHit {
+                stored_locally,
+                promoted_at_responder,
+                ..
+            } => {
+                assert!(!stored_locally, "tie must not replicate");
+                assert!(promoted_at_responder, "sole copy must stay alive");
+            }
+            other => panic!("expected remote hit, got {other:?}"),
+        }
+        let ea_replicas = ea.iter().filter(|n| n.cache().contains(d(9))).count();
+        assert_eq!(ea_replicas, 1, "EA keeps a single copy");
+    }
+
+    #[test]
+    fn ea_contended_requester_does_not_replicate() {
+        let mut g = DistributedGroup::new(2, kb(20), PolicyKind::Lru, PlacementScheme::Ea);
+        // Cache 1 stores the target doc and stays calm (infinite age).
+        g.handle_request(c(1), d(500), kb(4), t(0));
+        // Cache 0 churns: every one of these is a miss stored locally,
+        // forcing rapid evictions => finite (low) expiration age.
+        for i in 0..40 {
+            g.handle_request(c(0), d(i), kb(10), t(10 + i));
+        }
+        assert!(g.node(c(0)).expiration_age() < ExpirationAge::Infinite);
+        // Now cache 0 asks for the doc cache 1 holds.
+        let out = g.handle_request(c(0), d(500), kb(4), t(1_000));
+        match out {
+            RequestOutcome::RemoteHit {
+                responder,
+                stored_locally,
+                promoted_at_responder,
+            } => {
+                assert_eq!(responder, c(1));
+                assert!(!stored_locally, "contended requester must not store");
+                assert!(promoted_at_responder, "calm responder keeps its copy hot");
+            }
+            other => panic!("expected remote hit, got {other:?}"),
+        }
+        assert!(!g.node(c(0)).cache().contains(d(500)));
+        assert!(g.node(c(1)).cache().contains(d(500)));
+    }
+
+    #[test]
+    fn probe_order_starts_after_requester() {
+        // Both caches 0 and 2 hold the doc; requester 1 should find cache
+        // 2 first (offset +1), not cache 0.
+        let mut g = group(PlacementScheme::AdHoc);
+        g.handle_request(c(0), d(7), kb(2), t(0));
+        g.handle_request(c(2), d(7), kb(2), t(1));
+        let out = g.handle_request(c(1), d(7), kb(2), t(2));
+        match out {
+            RequestOutcome::RemoteHit { responder, .. } => assert_eq!(responder, c(2)),
+            other => panic!("expected remote hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replica_counters() {
+        let mut g = group(PlacementScheme::AdHoc);
+        g.handle_request(c(0), d(1), kb(2), t(0));
+        g.handle_request(c(1), d(1), kb(2), t(1));
+        g.handle_request(c(2), d(2), kb(2), t(2));
+        assert_eq!(g.total_cached_docs(), 3);
+        assert_eq!(g.unique_cached_docs(), 2);
+    }
+
+    #[test]
+    fn average_expiration_age_none_until_evictions() {
+        let mut g = group(PlacementScheme::Ea);
+        assert_eq!(g.average_expiration_age_ms(), None);
+        // Overflow one cache so it evicts.
+        for i in 0..20 {
+            g.handle_request(c(0), d(i), kb(10), t(i));
+        }
+        assert!(g.average_expiration_age_ms().is_some());
+    }
+
+    #[test]
+    fn single_cache_group_never_remote_hits() {
+        let mut g = DistributedGroup::new(1, kb(10), PolicyKind::Lru, PlacementScheme::Ea);
+        g.handle_request(c(0), d(1), kb(2), t(0));
+        let out = g.handle_request(c(0), d(1), kb(2), t(1));
+        assert_eq!(out, RequestOutcome::LocalHit);
+        let out2 = g.handle_request(c(0), d(2), kb(2), t(2));
+        assert!(!out2.is_hit());
+    }
+
+    #[test]
+    fn oversized_doc_is_served_but_not_stored() {
+        let mut g = DistributedGroup::new(2, kb(4), PolicyKind::Lru, PlacementScheme::AdHoc);
+        let out = g.handle_request(c(0), d(1), kb(100), t(0));
+        assert_eq!(
+            out,
+            RequestOutcome::Miss {
+                stored_locally: false,
+                stored_at_ancestor: false
+            }
+        );
+        assert!(!g.node(c(0)).cache().contains(d(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cache")]
+    fn zero_caches_rejected() {
+        let _ = DistributedGroup::new(0, kb(1), PolicyKind::Lru, PlacementScheme::Ea);
+    }
+
+    #[test]
+    fn icp_message_accounting() {
+        let mut g = group(PlacementScheme::AdHoc);
+        // Miss: 2 queries + 2 replies + 0 doc requests (origin).
+        g.handle_request(c(0), d(1), kb(2), t(0));
+        let s = *g.protocol_stats();
+        assert_eq!(s.icp_queries, 2);
+        assert_eq!(s.icp_replies, 2);
+        assert_eq!(s.doc_requests, 0);
+        // Remote hit: 2 more queries/replies + 1 doc request.
+        g.handle_request(c(1), d(1), kb(2), t(1));
+        let s = *g.protocol_stats();
+        assert_eq!(s.icp_queries, 4);
+        assert_eq!(s.doc_requests, 1);
+        // Local hit: silent.
+        g.handle_request(c(1), d(1), kb(2), t(2));
+        assert_eq!(g.protocol_stats().icp_queries, 4);
+        assert_eq!(g.protocol_stats().messages(), 9);
+    }
+
+    #[test]
+    fn isolated_discovery_never_cooperates() {
+        let mut g = DistributedGroup::new(3, kb(30), PolicyKind::Lru, PlacementScheme::AdHoc)
+            .with_discovery(Discovery::Isolated);
+        g.handle_request(c(0), d(1), kb(2), t(0));
+        // Peer holds it, but isolated caches never ask around.
+        let out = g.handle_request(c(1), d(1), kb(2), t(1));
+        assert!(!out.is_hit(), "{out:?}");
+        assert_eq!(g.protocol_stats().messages(), 0);
+    }
+
+    #[test]
+    fn digest_discovery_finds_fresh_content() {
+        use coopcache_types::DurationMs;
+        let mut g = DistributedGroup::new(3, kb(30), PolicyKind::Lru, PlacementScheme::AdHoc)
+            .with_discovery(Discovery::Digest {
+                refresh_every: DurationMs::from_millis(10),
+                fp_rate: 0.001,
+            });
+        g.handle_request(c(0), d(1), kb(2), t(0));
+        // At t=20 the digests rebuild (period 10) and include doc 1.
+        let out = g.handle_request(c(1), d(1), kb(2), t(20));
+        assert!(out.is_remote_hit(), "{out:?}");
+        assert_eq!(g.protocol_stats().icp_queries, 0);
+        assert!(g.protocol_stats().digest_refreshes > 0);
+        assert!(g.protocol_stats().digest_bytes > 0);
+    }
+
+    #[test]
+    fn stale_digest_misses_new_content() {
+        use coopcache_types::DurationMs;
+        let mut g = DistributedGroup::new(2, kb(30), PolicyKind::Lru, PlacementScheme::AdHoc)
+            .with_discovery(Discovery::Digest {
+                refresh_every: DurationMs::from_days(1),
+                fp_rate: 0.001,
+            });
+        // Digest snapshots are taken at the first request (both empty).
+        g.handle_request(c(0), d(1), kb(2), t(0));
+        // Within the refresh period the other cache still sees the stale
+        // (empty) digest, so this is a miss even though cache 0 has it.
+        let out = g.handle_request(c(1), d(1), kb(2), t(5));
+        assert!(!out.is_hit(), "{out:?}");
+    }
+
+    #[test]
+    fn heterogeneous_capacities_are_respected() {
+        let caps = [kb(2), kb(20)];
+        let g = DistributedGroup::with_capacities(
+            &caps,
+            PolicyKind::Lru,
+            PlacementScheme::Ea,
+            coopcache_core::ExpirationWindow::default(),
+            Discovery::Icp,
+        );
+        assert_eq!(g.node(c(0)).cache().capacity(), kb(2));
+        assert_eq!(g.node(c(1)).cache().capacity(), kb(20));
+    }
+
+    #[test]
+    fn expiration_ages_vector_matches_len() {
+        let g = group(PlacementScheme::Ea);
+        assert_eq!(g.expiration_ages().len(), 3);
+        assert!(g.expiration_ages().iter().all(|a| a.is_infinite()));
+    }
+}

@@ -1,0 +1,90 @@
+//! Inter-proxy protocol messages.
+//!
+//! The EA scheme adds **no messages** to the conventional protocol: the
+//! only change is one [`ExpirationAge`] piggybacked on the HTTP request
+//! and one on the HTTP response (paper §3.4). The ICP query/reply pair is
+//! unchanged from RFC 2186-style ICP.
+
+use coopcache_types::{ByteSize, CacheId, DocId, ExpirationAge};
+
+/// ICP query: "do you have `doc`?", sent by a cache that just missed
+/// locally to all its siblings/peers (and parents, in a hierarchy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IcpQuery {
+    /// The cache that missed (the requester).
+    pub from: CacheId,
+    /// The wanted document.
+    pub doc: DocId,
+}
+
+/// ICP reply: whether the replying cache holds the document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IcpReply {
+    /// The replying cache.
+    pub from: CacheId,
+    /// The document asked about.
+    pub doc: DocId,
+    /// `true` = ICP_HIT, `false` = ICP_MISS.
+    pub hit: bool,
+}
+
+/// HTTP request from requester to responder, carrying the requester's
+/// cache expiration age (the EA scheme's only addition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HttpRequest {
+    /// The requesting cache.
+    pub from: CacheId,
+    /// The wanted document.
+    pub doc: DocId,
+    /// The requester's current cache expiration age.
+    pub requester_age: ExpirationAge,
+}
+
+/// HTTP response carrying the document (represented by its size) and the
+/// responder's cache expiration age.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HttpResponse {
+    /// The responding cache.
+    pub from: CacheId,
+    /// The served document.
+    pub doc: DocId,
+    /// The document's size (stands in for the body).
+    pub size: ByteSize,
+    /// The responder's current cache expiration age.
+    pub responder_age: ExpirationAge,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coopcache_types::DurationMs;
+
+    #[test]
+    fn messages_are_plain_data() {
+        let q = IcpQuery {
+            from: CacheId::new(0),
+            doc: DocId::new(9),
+        };
+        let r = IcpReply {
+            from: CacheId::new(1),
+            doc: q.doc,
+            hit: true,
+        };
+        assert_eq!(q.doc, r.doc);
+        let req = HttpRequest {
+            from: q.from,
+            doc: q.doc,
+            requester_age: ExpirationAge::Infinite,
+        };
+        let resp = HttpResponse {
+            from: r.from,
+            doc: req.doc,
+            size: ByteSize::from_kb(4),
+            responder_age: ExpirationAge::finite(DurationMs::from_secs(10)),
+        };
+        assert!(req.requester_age > resp.responder_age);
+        // Copy semantics: the originals remain usable.
+        let (_q2, _r2, _req2, _resp2) = (q, r, req, resp);
+        assert_eq!(q.from, CacheId::new(0));
+    }
+}

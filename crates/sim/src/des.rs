@@ -1,0 +1,516 @@
+//! A discrete-event simulation of the cooperative protocol over a
+//! latency/bandwidth network model.
+//!
+//! The synchronous driver in [`crate::run`] processes each request
+//! atomically and *estimates* latency with the paper's eq. 6. This module
+//! instead simulates the protocol's phases as timed events — ICP round,
+//! peer transfer, origin fetch — so requests genuinely overlap: a
+//! document can be evicted between the ICP reply and the HTTP fetch
+//! (the responder then misses and the requester falls back to the
+//! origin), and per-request latency is *measured* rather than estimated.
+
+use crate::config::SimConfig;
+use coopcache_metrics::GroupMetrics;
+use coopcache_proxy::{DistributedGroup, HttpRequest, IcpQuery, RequestOutcome};
+use coopcache_trace::Trace;
+use coopcache_types::{ByteSize, CacheId, DocId, DurationMs, Timestamp};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One-way delays and transfer rates of the simulated network.
+///
+/// The defaults are calibrated so that a 4 KB document reproduces the
+/// paper's measured constants: local hit ≈ 146 ms, remote hit ≈ 342 ms,
+/// miss ≈ 2784 ms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetworkModel {
+    /// Service time of a local hit (lookup + transfer to the client).
+    pub local_service: DurationMs,
+    /// Duration of one ICP round (query out, replies back).
+    pub icp_round: DurationMs,
+    /// Connection setup time to a peer cache.
+    pub peer_rtt: DurationMs,
+    /// Peer-to-peer transfer rate, bytes per millisecond.
+    pub peer_bytes_per_ms: u64,
+    /// Connection setup time to the origin server.
+    pub origin_rtt: DurationMs,
+    /// Origin transfer rate, bytes per millisecond.
+    pub origin_bytes_per_ms: u64,
+    /// Probability, in permille, that an ICP query/reply pair is lost
+    /// (ICP rides on UDP; a lost exchange makes the peer invisible for
+    /// that round and can turn a would-be remote hit into an origin
+    /// fetch). Deterministic per (request, peer) via `loss_seed`.
+    pub icp_loss_permille: u32,
+    /// Seed for the deterministic loss process.
+    pub loss_seed: u64,
+}
+
+impl NetworkModel {
+    /// Calibrated to the paper's measured latencies for a 4 KB document:
+    /// 146 / ~342 / ~2784 ms.
+    #[must_use]
+    pub const fn paper_calibrated() -> Self {
+        Self {
+            local_service: DurationMs::from_millis(146),
+            icp_round: DurationMs::from_millis(42),
+            peer_rtt: DurationMs::from_millis(100),
+            peer_bytes_per_ms: 20, // 4 KB in 200 ms
+            origin_rtt: DurationMs::from_millis(1_492),
+            origin_bytes_per_ms: 3, // ≈4 KB in ~1333 ms
+            icp_loss_permille: 0,
+            loss_seed: 0x1C9_1055,
+        }
+    }
+
+    /// Returns a copy with the given ICP loss rate in permille (0–1000).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `permille > 1000`.
+    #[must_use]
+    pub fn with_icp_loss_permille(mut self, permille: u32) -> Self {
+        assert!(permille <= 1000, "loss is at most 1000 permille");
+        self.icp_loss_permille = permille;
+        self
+    }
+
+    /// Deterministically decides whether the ICP exchange between a
+    /// request and a peer was lost.
+    fn icp_lost(&self, request_idx: usize, peer: CacheId) -> bool {
+        if self.icp_loss_permille == 0 {
+            return false;
+        }
+        let mut z = self
+            .loss_seed
+            .wrapping_add((request_idx as u64) << 16)
+            .wrapping_add(u64::from(peer.as_u16()));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z % 1000) < u64::from(self.icp_loss_permille)
+    }
+
+    /// Transfer time for `size` bytes at `rate` bytes/ms (ceiling).
+    fn transfer(size: ByteSize, rate: u64) -> DurationMs {
+        let rate = rate.max(1);
+        DurationMs::from_millis(size.as_bytes().div_ceil(rate))
+    }
+
+    /// End-to-end remote-hit latency for a document of `size`.
+    #[must_use]
+    pub fn remote_hit_latency(&self, size: ByteSize) -> DurationMs {
+        self.icp_round + self.peer_rtt + Self::transfer(size, self.peer_bytes_per_ms)
+    }
+
+    /// End-to-end miss latency for a document of `size`.
+    #[must_use]
+    pub fn miss_latency(&self, size: ByteSize) -> DurationMs {
+        self.icp_round + self.origin_rtt + Self::transfer(size, self.origin_bytes_per_ms)
+    }
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        Self::paper_calibrated()
+    }
+}
+
+/// Result of a discrete-event run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesReport {
+    /// The same counters the synchronous driver produces.
+    pub metrics: GroupMetrics,
+    /// Measured mean latency over all requests, in milliseconds.
+    pub mean_latency_ms: f64,
+    /// Measured median latency.
+    pub p50_latency_ms: u64,
+    /// Measured 95th-percentile latency.
+    pub p95_latency_ms: u64,
+    /// Times an ICP-located document vanished before the HTTP fetch and
+    /// the requester fell back to the origin (impossible in the
+    /// synchronous driver; a genuine concurrency effect).
+    pub icp_fallbacks: u64,
+    /// Mean lifetime-average expiration age across caches, ms.
+    pub avg_expiration_age_ms: Option<f64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Phase {
+    /// A client request enters its cache.
+    Arrival,
+    /// The ICP round completed; pick a responder or go to the origin.
+    IcpDone,
+    /// The peer transfer completed.
+    PeerFetchDone {
+        responder: CacheId,
+        sent: HttpRequest,
+    },
+    /// The origin transfer completed.
+    OriginFetchDone,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    requester: CacheId,
+    doc: DocId,
+    size: ByteSize,
+    arrival: Timestamp,
+}
+
+/// Runs the discrete-event simulation of a distributed group.
+///
+/// Uses `config` for the group shape/scheme and `network` for timing.
+/// The eq. 6 latency constants in `config.latency` are ignored — latency
+/// is measured from the event timeline instead.
+///
+/// # Example
+///
+/// ```
+/// use coopcache_sim::{run_des, NetworkModel, SimConfig};
+/// use coopcache_trace::{generate, TraceProfile};
+/// use coopcache_types::ByteSize;
+///
+/// let trace = generate(&TraceProfile::small().with_requests(2_000)).unwrap();
+/// let report = run_des(
+///     &SimConfig::new(ByteSize::from_mb(1)),
+///     &NetworkModel::paper_calibrated(),
+///     &trace,
+/// );
+/// assert_eq!(report.metrics.requests, 2_000);
+/// assert!(report.mean_latency_ms > 0.0);
+/// ```
+#[must_use]
+pub fn run_des(config: &SimConfig, network: &NetworkModel, trace: &Trace) -> DesReport {
+    let mut group = DistributedGroup::with_window(
+        config.group_size,
+        config.aggregate_capacity,
+        config.policy,
+        config.scheme,
+        config.window,
+    );
+    let n = config.group_size as usize;
+
+    let requests: Vec<InFlight> = trace
+        .iter()
+        .enumerate()
+        .map(|(seq, r)| InFlight {
+            requester: config.partitioner.assign(r, seq, n),
+            doc: r.doc,
+            size: r.size,
+            arrival: r.time,
+        })
+        .collect();
+
+    // Min-heap of (time, tiebreak seq, request index, phase).
+    let mut queue: BinaryHeap<Reverse<(Timestamp, u64, usize)>> = BinaryHeap::new();
+    let mut phases: Vec<Phase> = vec![Phase::Arrival; requests.len()];
+    let mut seq = 0u64;
+    let push = |queue: &mut BinaryHeap<Reverse<(Timestamp, u64, usize)>>,
+                    seq: &mut u64,
+                    at: Timestamp,
+                    idx: usize| {
+        queue.push(Reverse((at, *seq, idx)));
+        *seq += 1;
+    };
+    for (idx, r) in requests.iter().enumerate() {
+        push(&mut queue, &mut seq, r.arrival, idx);
+    }
+
+    let mut metrics = GroupMetrics::default();
+    let mut latencies: Vec<u64> = Vec::with_capacity(requests.len());
+    let mut icp_fallbacks = 0u64;
+
+    let complete = |metrics: &mut GroupMetrics,
+                        latencies: &mut Vec<u64>,
+                        r: &InFlight,
+                        outcome: RequestOutcome,
+                        done: Timestamp| {
+        metrics.record(outcome, r.size);
+        latencies.push(done.saturating_since(r.arrival).as_millis());
+    };
+
+    while let Some(Reverse((now, _, idx))) = queue.pop() {
+        let r = requests[idx];
+        match phases[idx] {
+            Phase::Arrival => {
+                if group
+                    .node_mut(r.requester)
+                    .handle_client_lookup(r.doc, now)
+                    .is_some()
+                {
+                    complete(
+                        &mut metrics,
+                        &mut latencies,
+                        &r,
+                        RequestOutcome::LocalHit,
+                        now + network.local_service,
+                    );
+                } else {
+                    phases[idx] = Phase::IcpDone;
+                    push(&mut queue, &mut seq, now + network.icp_round, idx);
+                }
+            }
+            Phase::IcpDone => {
+                let query = IcpQuery {
+                    from: r.requester,
+                    doc: r.doc,
+                };
+                let responder = (1..n)
+                    .map(|off| CacheId::new(((r.requester.index() + off) % n) as u16))
+                    .find(|&peer| {
+                        !network.icp_lost(idx, peer)
+                            && group.node(peer).handle_icp_query(query).hit
+                    });
+                match responder {
+                    Some(peer) => {
+                        let sent = group.node(r.requester).build_http_request(r.doc);
+                        phases[idx] = Phase::PeerFetchDone {
+                            responder: peer,
+                            sent,
+                        };
+                        let at = now
+                            + network.peer_rtt
+                            + NetworkModel::transfer(r.size, network.peer_bytes_per_ms);
+                        push(&mut queue, &mut seq, at, idx);
+                    }
+                    None => {
+                        phases[idx] = Phase::OriginFetchDone;
+                        let at = now
+                            + network.origin_rtt
+                            + NetworkModel::transfer(r.size, network.origin_bytes_per_ms);
+                        push(&mut queue, &mut seq, at, idx);
+                    }
+                }
+            }
+            Phase::PeerFetchDone { responder, sent } => {
+                match group.node_mut(responder).handle_http_request(sent, now) {
+                    Some(response) => {
+                        let promoted = group
+                            .node(responder)
+                            .scheme()
+                            .responder_promotes(response.responder_age, sent.requester_age);
+                        let stored = group
+                            .node_mut(r.requester)
+                            .complete_remote_fetch(sent, response, now);
+                        complete(
+                            &mut metrics,
+                            &mut latencies,
+                            &r,
+                            RequestOutcome::RemoteHit {
+                                responder,
+                                stored_locally: stored,
+                                promoted_at_responder: promoted,
+                            },
+                            now,
+                        );
+                    }
+                    None => {
+                        // The document vanished between ICP and HTTP:
+                        // fall back to the origin server.
+                        icp_fallbacks += 1;
+                        phases[idx] = Phase::OriginFetchDone;
+                        let at = now
+                            + network.origin_rtt
+                            + NetworkModel::transfer(r.size, network.origin_bytes_per_ms);
+                        push(&mut queue, &mut seq, at, idx);
+                    }
+                }
+            }
+            Phase::OriginFetchDone => {
+                let stored = group
+                    .node_mut(r.requester)
+                    .complete_origin_fetch(r.doc, r.size, now);
+                complete(
+                    &mut metrics,
+                    &mut latencies,
+                    &r,
+                    RequestOutcome::Miss {
+                        stored_locally: stored,
+                        stored_at_ancestor: false,
+                    },
+                    now,
+                );
+            }
+        }
+    }
+
+    latencies.sort_unstable();
+    let mean = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
+    };
+    let percentile = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            0
+        } else {
+            let idx = ((latencies.len() - 1) as f64 * p).round() as usize;
+            latencies[idx]
+        }
+    };
+    DesReport {
+        metrics,
+        mean_latency_ms: mean,
+        p50_latency_ms: percentile(0.50),
+        p95_latency_ms: percentile(0.95),
+        icp_fallbacks,
+        avg_expiration_age_ms: group.average_expiration_age_ms(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run;
+    use coopcache_core::PlacementScheme;
+    use coopcache_trace::{generate, TraceProfile};
+
+    fn trace() -> Trace {
+        generate(&TraceProfile::small().with_requests(5_000)).unwrap()
+    }
+
+    fn cfg(kb: u64) -> SimConfig {
+        SimConfig::new(ByteSize::from_kb(kb))
+    }
+
+    #[test]
+    fn network_model_matches_paper_constants_at_4kb() {
+        let net = NetworkModel::paper_calibrated();
+        let four_kb = ByteSize::from_kb(4);
+        assert_eq!(net.local_service.as_millis(), 146);
+        let remote = net.remote_hit_latency(four_kb).as_millis();
+        assert!((330..=350).contains(&remote), "remote {remote}");
+        let miss = net.miss_latency(four_kb).as_millis();
+        assert!((2_700..=2_900).contains(&miss), "miss {miss}");
+    }
+
+    #[test]
+    fn transfer_rounds_up() {
+        assert_eq!(
+            NetworkModel::transfer(ByteSize::from_bytes(41), 20),
+            DurationMs::from_millis(3)
+        );
+        assert_eq!(
+            NetworkModel::transfer(ByteSize::ZERO, 20),
+            DurationMs::ZERO
+        );
+        // Zero rate is clamped rather than dividing by zero.
+        assert_eq!(
+            NetworkModel::transfer(ByteSize::from_bytes(5), 0),
+            DurationMs::from_millis(5)
+        );
+    }
+
+    #[test]
+    fn des_processes_every_request() {
+        let t = trace();
+        let rep = run_des(&cfg(500), &NetworkModel::default(), &t);
+        assert_eq!(rep.metrics.requests as usize, t.len());
+        assert_eq!(
+            rep.metrics.local_hits + rep.metrics.remote_hits + rep.metrics.misses,
+            rep.metrics.requests
+        );
+    }
+
+    #[test]
+    fn des_is_deterministic() {
+        let t = trace();
+        let a = run_des(&cfg(500), &NetworkModel::default(), &t);
+        let b = run_des(&cfg(500), &NetworkModel::default(), &t);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn des_hit_rates_track_synchronous_driver() {
+        // The DES interleaves requests, so counts differ slightly from the
+        // synchronous driver — but the overall rates must agree closely.
+        let t = trace();
+        let sync_report = run(&cfg(500), &t);
+        let des_report = run_des(&cfg(500), &NetworkModel::default(), &t);
+        let diff = (sync_report.metrics.hit_rate() - des_report.metrics.hit_rate()).abs();
+        assert!(
+            diff < 0.05,
+            "sync {} vs des {}",
+            sync_report.metrics.hit_rate(),
+            des_report.metrics.hit_rate()
+        );
+    }
+
+    #[test]
+    fn des_measured_latency_is_plausible() {
+        let t = trace();
+        let rep = run_des(&cfg(500), &NetworkModel::default(), &t);
+        assert!(rep.mean_latency_ms >= 146.0, "mean {}", rep.mean_latency_ms);
+        assert!(rep.p50_latency_ms <= rep.p95_latency_ms);
+        // With misses present, p95 should reflect origin fetches.
+        assert!(rep.p95_latency_ms >= 342, "p95 {}", rep.p95_latency_ms);
+    }
+
+    #[test]
+    fn des_ea_beats_adhoc_on_small_caches() {
+        let t = trace();
+        let adhoc = run_des(&cfg(100), &NetworkModel::default(), &t);
+        let ea = run_des(
+            &cfg(100).with_scheme(PlacementScheme::Ea),
+            &NetworkModel::default(),
+            &t,
+        );
+        assert!(
+            ea.metrics.hit_rate() >= adhoc.metrics.hit_rate() - 0.01,
+            "EA {} vs ad-hoc {}",
+            ea.metrics.hit_rate(),
+            adhoc.metrics.hit_rate()
+        );
+    }
+
+    #[test]
+    fn total_icp_loss_behaves_like_isolation() {
+        let t = trace();
+        let lossless = run_des(&cfg(500), &NetworkModel::default(), &t);
+        let all_lost = run_des(
+            &cfg(500),
+            &NetworkModel::default().with_icp_loss_permille(1_000),
+            &t,
+        );
+        assert_eq!(all_lost.metrics.remote_hits, 0, "no ICP, no remote hits");
+        assert!(all_lost.metrics.hit_rate() < lossless.metrics.hit_rate());
+    }
+
+    #[test]
+    fn moderate_icp_loss_degrades_gracefully() {
+        let t = trace();
+        let lossless = run_des(&cfg(500), &NetworkModel::default(), &t);
+        let lossy = run_des(
+            &cfg(500),
+            &NetworkModel::default().with_icp_loss_permille(100), // 10%
+            &t,
+        );
+        assert!(lossy.metrics.remote_hits < lossless.metrics.remote_hits);
+        assert!(lossy.metrics.remote_hits > 0);
+        assert!(
+            lossy.metrics.hit_rate() > lossless.metrics.hit_rate() - 0.05,
+            "10% ICP loss should not crater the hit rate"
+        );
+        // Determinism holds under loss.
+        let again = run_des(
+            &cfg(500),
+            &NetworkModel::default().with_icp_loss_permille(100),
+            &t,
+        );
+        assert_eq!(lossy, again);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 1000")]
+    fn overrange_loss_panics() {
+        let _ = NetworkModel::default().with_icp_loss_permille(1_001);
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_report() {
+        let rep = run_des(&cfg(100), &NetworkModel::default(), &Trace::default());
+        assert_eq!(rep.metrics.requests, 0);
+        assert_eq!(rep.mean_latency_ms, 0.0);
+        assert_eq!(rep.p95_latency_ms, 0);
+    }
+}

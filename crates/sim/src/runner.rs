@@ -1,0 +1,328 @@
+//! The fast synchronous trace driver — the workhorse behind every
+//! table and figure reproduction.
+
+use crate::config::SimConfig;
+use coopcache_metrics::{GroupMetrics, LatencyModel};
+use coopcache_proxy::{DistributedGroup, RequestOutcome};
+use coopcache_trace::Trace;
+use coopcache_types::Request;
+
+/// The result of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Group-wide request counters and rates.
+    pub metrics: GroupMetrics,
+    /// Inter-proxy message counters (includes warm-up traffic).
+    pub protocol: coopcache_proxy::ProtocolStats,
+    /// Mean (over caches) of the lifetime-average document expiration age
+    /// at eviction, in milliseconds — the paper's Table 1 quantity.
+    /// `None` when no cache ever evicted.
+    pub avg_expiration_age_ms: Option<f64>,
+    /// Estimated average latency per eq. 6, in milliseconds.
+    pub estimated_latency_ms: f64,
+    /// Unique documents resident somewhere in the group at the end.
+    pub unique_docs_cached: usize,
+    /// Total resident documents counting replicas — `total - unique` is
+    /// the amount of replication the placement scheme allowed.
+    pub total_docs_cached: usize,
+}
+
+impl SimReport {
+    /// Number of replicated document slots at the end of the run.
+    #[must_use]
+    pub fn replica_overhead(&self) -> usize {
+        self.total_docs_cached - self.unique_docs_cached
+    }
+}
+
+/// Replays a trace through a distributed cache group.
+///
+/// Deterministic: same config + same trace = identical report.
+///
+/// # Example
+///
+/// ```
+/// use coopcache_sim::{run, SimConfig};
+/// use coopcache_core::PlacementScheme;
+/// use coopcache_trace::{generate, TraceProfile};
+/// use coopcache_types::ByteSize;
+///
+/// let trace = generate(&TraceProfile::small()).unwrap();
+/// let adhoc = run(&SimConfig::new(ByteSize::from_mb(1)), &trace);
+/// let ea = run(
+///     &SimConfig::new(ByteSize::from_mb(1)).with_scheme(PlacementScheme::Ea),
+///     &trace,
+/// );
+/// // The paper's guarantee: EA never loses to ad-hoc on hit rate.
+/// assert!(ea.metrics.hit_rate() >= adhoc.metrics.hit_rate() - 1e-9);
+/// ```
+#[must_use]
+pub fn run(config: &SimConfig, trace: &Trace) -> SimReport {
+    run_with_observer(config, trace, |_, _, _| {})
+}
+
+/// Like [`run`], but invokes `observe(seq, request, outcome)` after every
+/// request — used for time-series output and for tests that need
+/// per-request visibility.
+pub fn run_with_observer<F>(config: &SimConfig, trace: &Trace, mut observe: F) -> SimReport
+where
+    F: FnMut(usize, &Request, RequestOutcome),
+{
+    let mut group = DistributedGroup::with_capacities(
+        &config.cache_capacities(),
+        config.policy,
+        config.scheme,
+        config.window,
+        config.discovery,
+    );
+    group.set_ttl(config.ttl);
+    let mut metrics = GroupMetrics::default();
+    let n = config.group_size as usize;
+    let warmup_until = (trace.len() as f64 * config.warmup_fraction) as usize;
+    for (seq, request) in trace.iter().enumerate() {
+        let requester = config.partitioner.assign(request, seq, n);
+        let outcome = group.handle_request(requester, request.doc, request.size, request.time);
+        if seq >= warmup_until {
+            metrics.record(outcome, request.size);
+        }
+        observe(seq, request, outcome);
+    }
+    finish(config.latency, metrics, &group)
+}
+
+fn finish(latency: LatencyModel, metrics: GroupMetrics, group: &DistributedGroup) -> SimReport {
+    SimReport {
+        estimated_latency_ms: latency.average_latency_ms(&metrics),
+        avg_expiration_age_ms: group.average_expiration_age_ms(),
+        unique_docs_cached: group.unique_cached_docs(),
+        total_docs_cached: group.total_cached_docs(),
+        protocol: *group.protocol_stats(),
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coopcache_core::PlacementScheme;
+    use coopcache_trace::{generate, TraceProfile};
+    use coopcache_types::ByteSize;
+
+    fn small_trace() -> Trace {
+        generate(&TraceProfile::small()).unwrap()
+    }
+
+    fn cfg(kb: u64) -> SimConfig {
+        SimConfig::new(ByteSize::from_kb(kb))
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let trace = small_trace();
+        let a = run(&cfg(500), &trace);
+        let b = run(&cfg(500), &trace);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rates_are_consistent() {
+        let trace = small_trace();
+        let r = run(&cfg(500), &trace);
+        let m = &r.metrics;
+        assert_eq!(m.requests as usize, trace.len());
+        assert_eq!(m.local_hits + m.remote_hits + m.misses, m.requests);
+        assert!(m.hit_rate() > 0.0, "some re-references must hit");
+        assert!(m.miss_rate() > 0.0, "compulsory misses exist");
+        assert!(r.estimated_latency_ms > 146.0);
+        assert!(r.estimated_latency_ms < 2784.0);
+    }
+
+    #[test]
+    fn bigger_cache_hits_more() {
+        let trace = small_trace();
+        let small = run(&cfg(100), &trace);
+        let big = run(&cfg(10_000), &trace);
+        assert!(
+            big.metrics.hit_rate() > small.metrics.hit_rate(),
+            "100KB {} vs 10MB {}",
+            small.metrics.hit_rate(),
+            big.metrics.hit_rate()
+        );
+    }
+
+    #[test]
+    fn ea_beats_or_ties_adhoc_on_hit_rate() {
+        // The paper's per-decision guarantee (a surviving copy always
+        // keeps its lease) does not forbid tiny per-trace losses once the
+        // two runs' cache contents diverge, so allow a small tolerance
+        // per size but require EA to win overall.
+        let trace = small_trace();
+        let mut total_gain = 0.0;
+        for kb in [50, 200, 1_000, 5_000] {
+            let adhoc = run(&cfg(kb), &trace);
+            let ea = run(&cfg(kb).with_scheme(PlacementScheme::Ea), &trace);
+            let gain = ea.metrics.hit_rate() - adhoc.metrics.hit_rate();
+            assert!(
+                gain >= -0.005,
+                "{kb}KB: EA {} well below ad-hoc {}",
+                ea.metrics.hit_rate(),
+                adhoc.metrics.hit_rate()
+            );
+            total_gain += gain;
+        }
+        assert!(total_gain > 0.0, "EA should win in aggregate: {total_gain}");
+    }
+
+    #[test]
+    fn ea_raises_expiration_age_under_contention() {
+        let trace = small_trace();
+        let adhoc = run(&cfg(100), &trace);
+        let ea = run(&cfg(100).with_scheme(PlacementScheme::Ea), &trace);
+        let (a, e) = (
+            adhoc.avg_expiration_age_ms.expect("contended run evicts"),
+            ea.avg_expiration_age_ms.expect("contended run evicts"),
+        );
+        assert!(e > a, "EA age {e} should exceed ad-hoc age {a}");
+    }
+
+    #[test]
+    fn ea_reduces_replication() {
+        let trace = small_trace();
+        let adhoc = run(&cfg(200), &trace);
+        let ea = run(&cfg(200).with_scheme(PlacementScheme::Ea), &trace);
+        assert!(
+            ea.replica_overhead() <= adhoc.replica_overhead(),
+            "EA replicas {} > ad-hoc {}",
+            ea.replica_overhead(),
+            adhoc.replica_overhead()
+        );
+    }
+
+    #[test]
+    fn ea_shifts_hits_remote() {
+        let trace = small_trace();
+        let adhoc = run(&cfg(1_000), &trace);
+        let ea = run(&cfg(1_000).with_scheme(PlacementScheme::Ea), &trace);
+        assert!(
+            ea.metrics.remote_hit_rate() >= adhoc.metrics.remote_hit_rate(),
+            "EA remote {} < ad-hoc remote {}",
+            ea.metrics.remote_hit_rate(),
+            adhoc.metrics.remote_hit_rate()
+        );
+        assert!(ea.metrics.stores_skipped > 0, "EA never skipped a store");
+    }
+
+    #[test]
+    fn observer_sees_every_request() {
+        let trace = small_trace();
+        let mut count = 0usize;
+        let mut last_seq = None;
+        run_with_observer(&cfg(500), &trace, |seq, req, outcome| {
+            count += 1;
+            last_seq = Some(seq);
+            assert!(req.size.as_bytes() > 0);
+            let _ = outcome.is_hit();
+        });
+        assert_eq!(count, trace.len());
+        assert_eq!(last_seq, Some(trace.len() - 1));
+    }
+
+    #[test]
+    fn single_cache_has_no_remote_hits() {
+        let trace = small_trace();
+        let r = run(&cfg(500).with_group_size(1), &trace);
+        assert_eq!(r.metrics.remote_hits, 0);
+        assert!(r.metrics.local_hits > 0);
+    }
+
+    #[test]
+    fn warmup_excludes_early_requests_from_metrics() {
+        let trace = small_trace();
+        let full = run(&cfg(500), &trace);
+        let warmed = run(&cfg(500).with_warmup_fraction(0.5), &trace);
+        assert_eq!(warmed.metrics.requests as usize, trace.len() - trace.len() / 2);
+        // Measuring only the warm half must raise the observed hit rate.
+        assert!(
+            warmed.metrics.hit_rate() > full.metrics.hit_rate(),
+            "warm {} <= cold-inclusive {}",
+            warmed.metrics.hit_rate(),
+            full.metrics.hit_rate()
+        );
+    }
+
+    #[test]
+    fn ttl_lowers_hit_rate() {
+        let trace = small_trace();
+        let fresh_forever = run(&cfg(2_000), &trace);
+        let one_hour = run(
+            &cfg(2_000).with_ttl(coopcache_types::DurationMs::from_secs(3_600)),
+            &trace,
+        );
+        assert!(
+            one_hour.metrics.hit_rate() < fresh_forever.metrics.hit_rate(),
+            "ttl {} should cost hits vs {}",
+            one_hour.metrics.hit_rate(),
+            fresh_forever.metrics.hit_rate()
+        );
+    }
+
+    #[test]
+    fn isolated_discovery_loses_remote_hits() {
+        use coopcache_proxy::Discovery;
+        let trace = small_trace();
+        let coop = run(&cfg(1_000), &trace);
+        let iso = run(&cfg(1_000).with_discovery(Discovery::Isolated), &trace);
+        assert_eq!(iso.metrics.remote_hits, 0);
+        assert!(iso.metrics.hit_rate() < coop.metrics.hit_rate());
+        assert_eq!(iso.protocol.messages(), 0);
+        assert!(coop.protocol.messages() > 0);
+    }
+
+    #[test]
+    fn digest_discovery_trades_messages_for_accuracy() {
+        use coopcache_proxy::Discovery;
+        use coopcache_types::DurationMs;
+        let trace = small_trace();
+        let icp = run(&cfg(1_000), &trace);
+        let digest = run(
+            &cfg(1_000).with_discovery(Discovery::Digest {
+                refresh_every: DurationMs::from_secs(600),
+                fp_rate: 0.01,
+            }),
+            &trace,
+        );
+        // Digests cut per-miss query traffic dramatically...
+        assert!(
+            digest.protocol.messages() < icp.protocol.messages() / 2,
+            "digest msgs {} vs icp {}",
+            digest.protocol.messages(),
+            icp.protocol.messages()
+        );
+        // ...at a small hit-rate cost from staleness.
+        assert!(digest.metrics.hit_rate() <= icp.metrics.hit_rate());
+        assert!(
+            digest.metrics.hit_rate() > icp.metrics.hit_rate() - 0.10,
+            "digest hit rate collapsed: {} vs {}",
+            digest.metrics.hit_rate(),
+            icp.metrics.hit_rate()
+        );
+    }
+
+    #[test]
+    fn heterogeneous_capacities_run() {
+        let trace = small_trace();
+        let even = run(&cfg(1_000), &trace);
+        let skewed = run(&cfg(1_000).with_capacity_weights(vec![1, 1, 1, 5]), &trace);
+        assert_eq!(skewed.metrics.requests, even.metrics.requests);
+        assert!(skewed.metrics.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn empty_trace_reports_zeroes() {
+        let r = run(&cfg(100), &Trace::default());
+        assert_eq!(r.metrics.requests, 0);
+        assert_eq!(r.estimated_latency_ms, 0.0);
+        assert_eq!(r.avg_expiration_age_ms, None);
+        assert_eq!(r.unique_docs_cached, 0);
+    }
+}

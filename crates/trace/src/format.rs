@@ -1,0 +1,229 @@
+//! A plain-text trace file format, plus reader and writer.
+//!
+//! The format is one record per line — `time_ms client_id doc_id size_bytes`
+//! — with `#`-prefixed comment lines allowed anywhere. It is deliberately
+//! close to the reduced form of classic proxy logs (Squid, BU-94) so real
+//! logs can be converted with a one-line awk script.
+//!
+//! ```text
+//! # coopcache trace v1
+//! 0 12 4031 3771
+//! 512 12 4031 3771
+//! 978 3 17 10240
+//! ```
+
+use crate::generate::Trace;
+use coopcache_types::{ByteSize, ClientId, DocId, Request, Timestamp};
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Magic header comment emitted at the top of written traces.
+pub const HEADER: &str = "# coopcache trace v1";
+
+/// Error produced when parsing a trace file.
+#[derive(Debug)]
+pub enum ReadTraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line that is neither a comment, blank, nor a valid record.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ReadTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "trace i/o error: {e}"),
+            Self::Malformed { line, reason } => {
+                write!(f, "malformed trace record at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadTraceError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Writes a trace in the v1 text format.
+///
+/// Remember that `W: Write` can be a `&mut` reference, so a caller keeping
+/// ownership of a file or buffer can pass `&mut file`.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+///
+/// # Example
+///
+/// ```
+/// use coopcache_trace::{generate, read_trace, write_trace, TraceProfile};
+/// let trace = generate(&TraceProfile::small().with_requests(100)).unwrap();
+/// let mut buf = Vec::new();
+/// write_trace(&mut buf, &trace).unwrap();
+/// let back = read_trace(buf.as_slice()).unwrap();
+/// assert_eq!(trace, back);
+/// ```
+pub fn write_trace<W: Write>(mut w: W, trace: &Trace) -> io::Result<()> {
+    writeln!(w, "{HEADER}")?;
+    writeln!(w, "# records: {}", trace.len())?;
+    writeln!(w, "# fields: time_ms client_id doc_id size_bytes")?;
+    for r in trace {
+        writeln!(
+            w,
+            "{} {} {} {}",
+            r.time.as_millis(),
+            r.client.as_u32(),
+            r.doc.as_u64(),
+            r.size.as_bytes()
+        )?;
+    }
+    w.flush()
+}
+
+/// Reads a trace in the v1 text format.
+///
+/// Comment (`#`) and blank lines are skipped. Records need not be sorted;
+/// the returned [`Trace`] is re-sorted chronologically.
+///
+/// # Errors
+///
+/// Returns [`ReadTraceError::Io`] on reader failure and
+/// [`ReadTraceError::Malformed`] on the first syntactically invalid record.
+pub fn read_trace<R: io::Read>(r: R) -> Result<Trace, ReadTraceError> {
+    let reader = io::BufReader::new(r);
+    let mut requests = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        requests.push(parse_record(trimmed, line_no)?);
+    }
+    Ok(Trace::from_requests(requests))
+}
+
+fn parse_record(line: &str, line_no: usize) -> Result<Request, ReadTraceError> {
+    let malformed = |reason: String| ReadTraceError::Malformed {
+        line: line_no,
+        reason,
+    };
+    let mut fields = line.split_whitespace();
+    let mut next_u64 = |name: &str| -> Result<u64, ReadTraceError> {
+        let field = fields
+            .next()
+            .ok_or_else(|| malformed(format!("missing field `{name}`")))?;
+        field
+            .parse::<u64>()
+            .map_err(|e| malformed(format!("field `{name}` = {field:?}: {e}")))
+    };
+    let time = next_u64("time_ms")?;
+    let client = next_u64("client_id")?;
+    let doc = next_u64("doc_id")?;
+    let size = next_u64("size_bytes")?;
+    if client > u64::from(u32::MAX) {
+        return Err(malformed(format!("client_id {client} exceeds u32")));
+    }
+    if let Some(extra) = fields.next() {
+        return Err(malformed(format!("unexpected trailing field {extra:?}")));
+    }
+    Ok(Request::new(
+        Timestamp::from_millis(time),
+        ClientId::new(client as u32),
+        DocId::new(doc),
+        ByteSize::from_bytes(size),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, TraceProfile};
+
+    #[test]
+    fn roundtrip_small_trace() {
+        let trace = generate(&TraceProfile::small().with_requests(500)).unwrap();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with(HEADER));
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# header\n\n  \n10 1 2 300\n# mid comment\n20 1 3 400\n";
+        let t = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.requests()[0].doc, DocId::new(2));
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let text = "30 1 2 300\n10 1 3 400\n20 1 4 100\n";
+        let t = read_trace(text.as_bytes()).unwrap();
+        let times: Vec<u64> = t.iter().map(|r| r.time.as_millis()).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn missing_field_is_reported_with_line() {
+        let err = read_trace("10 1 2\n".as_bytes()).unwrap_err();
+        match err {
+            ReadTraceError::Malformed { line, reason } => {
+                assert_eq!(line, 1);
+                assert!(reason.contains("size_bytes"), "{reason}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn non_numeric_field_is_reported() {
+        let err = read_trace("ten 1 2 3\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn trailing_field_is_rejected() {
+        let err = read_trace("1 2 3 4 5\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn oversized_client_rejected() {
+        let line = format!("1 {} 3 4\n", u64::from(u32::MAX) + 1);
+        assert!(read_trace(line.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn error_on_later_line_reports_number() {
+        let text = "10 1 2 300\nbogus line here x\n";
+        let err = read_trace(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn empty_input_gives_empty_trace() {
+        let t = read_trace("".as_bytes()).unwrap();
+        assert!(t.is_empty());
+    }
+}

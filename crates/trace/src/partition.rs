@@ -1,0 +1,142 @@
+//! Mapping clients onto the caches of a cooperation group.
+//!
+//! Each proxy cache serves a fixed client population (in the paper's setup,
+//! the browsers configured to use that proxy). A [`Partitioner`] decides,
+//! per request, which cache acts as the *requester*.
+
+use coopcache_types::{CacheId, Request};
+
+/// Strategy for assigning trace requests to the caches of a group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Partitioner {
+    /// Each client is pinned to `client_id mod group_size` — the standard
+    /// model of browsers statically configured against one proxy, and the
+    /// one used for all paper experiments.
+    ByClientModulo,
+    /// Clients are pinned by a multiplicative hash of their id; like
+    /// [`Partitioner::ByClientModulo`] but robust to client-id patterns
+    /// (e.g. all even ids on one subnet).
+    ByClientHash,
+    /// Requests round-robin over caches regardless of client — a worst-case
+    /// locality stressor (the same client's re-references land on
+    /// different caches).
+    RoundRobin,
+}
+
+impl Partitioner {
+    /// Returns the requester cache for the `seq`-th request of a trace.
+    ///
+    /// `seq` is the zero-based position of the request in the trace; only
+    /// [`Partitioner::RoundRobin`] consumes it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_size` is zero.
+    #[must_use]
+    pub fn assign(self, request: &Request, seq: usize, group_size: usize) -> CacheId {
+        assert!(group_size > 0, "group must contain at least one cache");
+        let idx = match self {
+            Self::ByClientModulo => request.client.as_u32() as usize % group_size,
+            Self::ByClientHash => {
+                // Fibonacci hashing spreads structured id spaces evenly.
+                let h = (u64::from(request.client.as_u32()))
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                (h >> 32) as usize % group_size
+            }
+            Self::RoundRobin => seq % group_size,
+        };
+        CacheId::new(idx as u16)
+    }
+}
+
+impl Default for Partitioner {
+    /// The paper's client-to-proxy pinning.
+    fn default() -> Self {
+        Self::ByClientModulo
+    }
+}
+
+impl std::fmt::Display for Partitioner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Self::ByClientModulo => "by-client-modulo",
+            Self::ByClientHash => "by-client-hash",
+            Self::RoundRobin => "round-robin",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coopcache_types::{ByteSize, ClientId, DocId, Timestamp};
+
+    fn req(client: u32) -> Request {
+        Request::new(
+            Timestamp::ZERO,
+            ClientId::new(client),
+            DocId::new(1),
+            ByteSize::from_bytes(1),
+        )
+    }
+
+    #[test]
+    fn modulo_pins_clients() {
+        let p = Partitioner::ByClientModulo;
+        assert_eq!(p.assign(&req(0), 0, 4), CacheId::new(0));
+        assert_eq!(p.assign(&req(5), 99, 4), CacheId::new(1));
+        // Same client, different seq: same cache.
+        assert_eq!(p.assign(&req(7), 0, 4), p.assign(&req(7), 1000, 4));
+    }
+
+    #[test]
+    fn hash_pins_clients_and_spreads() {
+        let p = Partitioner::ByClientHash;
+        // Stability per client.
+        assert_eq!(p.assign(&req(42), 0, 8), p.assign(&req(42), 77, 8));
+        // Even client ids (a pattern modulo would map onto half the group)
+        // still cover every cache under hashing.
+        let mut seen = vec![false; 8];
+        for c in (0..256u32).step_by(2) {
+            seen[p.assign(&req(c), 0, 8).index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "hash left a cache unused: {seen:?}");
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let p = Partitioner::RoundRobin;
+        let r = req(9);
+        let ids: Vec<usize> = (0..6).map(|seq| p.assign(&r, seq, 3).index()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn single_cache_group_gets_everything() {
+        for p in [
+            Partitioner::ByClientModulo,
+            Partitioner::ByClientHash,
+            Partitioner::RoundRobin,
+        ] {
+            assert_eq!(p.assign(&req(123), 456, 1), CacheId::new(0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cache")]
+    fn zero_group_panics() {
+        Partitioner::default().assign(&req(0), 0, 0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Partitioner::ByClientModulo.to_string(), "by-client-modulo");
+        assert_eq!(Partitioner::RoundRobin.to_string(), "round-robin");
+    }
+
+    #[test]
+    fn default_is_modulo() {
+        assert_eq!(Partitioner::default(), Partitioner::ByClientModulo);
+    }
+}

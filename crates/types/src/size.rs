@@ -1,0 +1,201 @@
+//! Byte quantities for documents and cache capacities.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A quantity of bytes: a document size or a cache capacity.
+///
+/// The paper sweeps aggregate group capacities of 100 KB, 1 MB, 10 MB,
+/// 100 MB and 1 GB; [`ByteSize::split_evenly`] implements the paper's
+/// equal-share rule (`X / N` bytes per cache).
+///
+/// Decimal units are used (1 KB = 1000 B), matching how the paper reports
+/// capacities.
+///
+/// # Example
+///
+/// ```
+/// use coopcache_types::ByteSize;
+/// let aggregate = ByteSize::from_mb(1);
+/// assert_eq!(aggregate.split_evenly(4), ByteSize::from_bytes(250_000));
+/// assert_eq!(aggregate.to_string(), "1MB");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ByteSize(u64);
+
+impl ByteSize {
+    /// Zero bytes.
+    pub const ZERO: Self = Self(0);
+
+    /// Creates a size from a raw byte count.
+    #[must_use]
+    pub const fn from_bytes(bytes: u64) -> Self {
+        Self(bytes)
+    }
+
+    /// Creates a size from decimal kilobytes (1 KB = 1000 B).
+    #[must_use]
+    pub const fn from_kb(kb: u64) -> Self {
+        Self(kb * 1_000)
+    }
+
+    /// Creates a size from decimal megabytes.
+    #[must_use]
+    pub const fn from_mb(mb: u64) -> Self {
+        Self(mb * 1_000_000)
+    }
+
+    /// Creates a size from decimal gigabytes.
+    #[must_use]
+    pub const fn from_gb(gb: u64) -> Self {
+        Self(gb * 1_000_000_000)
+    }
+
+    /// Returns the raw byte count.
+    #[must_use]
+    pub const fn as_bytes(self) -> u64 {
+        self.0
+    }
+
+    /// Returns true if this is zero bytes.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Splits an aggregate capacity evenly over `n` caches (the paper's
+    /// `X / N` rule, integer division).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub const fn split_evenly(self, n: u64) -> Self {
+        assert!(n > 0, "cannot split capacity over zero caches");
+        Self(self.0 / n)
+    }
+
+    /// Saturating subtraction; clamps at [`ByteSize::ZERO`].
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: Self) -> Self {
+        Self(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for ByteSize {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for ByteSize {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for ByteSize {
+    type Output = Self;
+    /// # Panics
+    ///
+    /// Panics in debug builds on underflow; use
+    /// [`ByteSize::saturating_sub`] when the operands may cross.
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for ByteSize {
+    fn sub_assign(&mut self, rhs: Self) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for ByteSize {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        if b >= 1_000_000_000 && b % 1_000_000_000 == 0 {
+            write!(f, "{}GB", b / 1_000_000_000)
+        } else if b >= 1_000_000 && b % 1_000_000 == 0 {
+            write!(f, "{}MB", b / 1_000_000)
+        } else if b >= 1_000 && b % 1_000 == 0 {
+            write!(f, "{}KB", b / 1_000)
+        } else {
+            write!(f, "{b}B")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constructors() {
+        assert_eq!(ByteSize::from_kb(100).as_bytes(), 100_000);
+        assert_eq!(ByteSize::from_mb(10).as_bytes(), 10_000_000);
+        assert_eq!(ByteSize::from_gb(1).as_bytes(), 1_000_000_000);
+    }
+
+    #[test]
+    fn split_evenly_matches_paper_rule() {
+        // 1 GB aggregate over 8 caches = 125 MB each.
+        assert_eq!(
+            ByteSize::from_gb(1).split_evenly(8),
+            ByteSize::from_mb(125)
+        );
+        // Non-divisible splits truncate.
+        assert_eq!(ByteSize::from_bytes(10).split_evenly(3).as_bytes(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero caches")]
+    fn split_by_zero_panics() {
+        let _ = ByteSize::from_kb(1).split_evenly(0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = ByteSize::from_bytes(1000);
+        let b = ByteSize::from_bytes(300);
+        assert_eq!((a + b).as_bytes(), 1300);
+        assert_eq!((a - b).as_bytes(), 700);
+        assert_eq!(b.saturating_sub(a), ByteSize::ZERO);
+        let mut c = a;
+        c += b;
+        c -= ByteSize::from_bytes(100);
+        assert_eq!(c.as_bytes(), 1200);
+    }
+
+    #[test]
+    fn sum_of_sizes() {
+        let total: ByteSize = [1u64, 2, 3]
+            .into_iter()
+            .map(ByteSize::from_bytes)
+            .sum();
+        assert_eq!(total.as_bytes(), 6);
+    }
+
+    #[test]
+    fn display_picks_largest_exact_unit() {
+        assert_eq!(ByteSize::from_bytes(512).to_string(), "512B");
+        assert_eq!(ByteSize::from_kb(100).to_string(), "100KB");
+        assert_eq!(ByteSize::from_mb(1).to_string(), "1MB");
+        assert_eq!(ByteSize::from_gb(2).to_string(), "2GB");
+        assert_eq!(ByteSize::from_bytes(1500).to_string(), "1500B");
+    }
+
+    #[test]
+    fn zero_checks() {
+        assert!(ByteSize::ZERO.is_zero());
+        assert!(!ByteSize::from_bytes(1).is_zero());
+    }
+}

@@ -1,0 +1,75 @@
+//! End-to-end determinism: every layer of the stack is bit-reproducible.
+
+use coopcache::prelude::*;
+use coopcache::trace::{read_trace, write_trace};
+
+#[test]
+fn trace_generation_is_reproducible_across_runs() {
+    let p = TraceProfile::small().with_seed(0xC0FFEE);
+    let a = generate(&p).unwrap();
+    let b = generate(&p).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn seed_isolation_across_profile_knobs() {
+    // Changing only the request count must not reshuffle document sizes:
+    // the first documents keep their identity and size.
+    let short = generate(&TraceProfile::small().with_requests(1_000)).unwrap();
+    let long = generate(&TraceProfile::small().with_requests(5_000)).unwrap();
+    use std::collections::HashMap;
+    let sizes_of = |t: &Trace| -> HashMap<DocId, ByteSize> {
+        t.iter().map(|r| (r.doc, r.size)).collect()
+    };
+    let short_sizes = sizes_of(&short);
+    let long_sizes = sizes_of(&long);
+    let mut shared = 0;
+    for (doc, size) in &short_sizes {
+        if let Some(other) = long_sizes.get(doc) {
+            assert_eq!(size, other, "doc {doc} changed size across lengths");
+            shared += 1;
+        }
+    }
+    assert!(shared > 100, "expected substantial doc overlap, got {shared}");
+}
+
+#[test]
+fn simulation_reports_are_identical_across_runs() {
+    let trace = generate(&TraceProfile::small()).unwrap();
+    let cfg = SimConfig::new(ByteSize::from_kb(500)).with_scheme(PlacementScheme::Ea);
+    assert_eq!(run(&cfg, &trace), run(&cfg, &trace));
+}
+
+#[test]
+fn des_reports_are_identical_across_runs() {
+    let trace = generate(&TraceProfile::small().with_requests(3_000)).unwrap();
+    let cfg = SimConfig::new(ByteSize::from_kb(300));
+    let net = NetworkModel::paper_calibrated();
+    assert_eq!(run_des(&cfg, &net, &trace), run_des(&cfg, &net, &trace));
+}
+
+#[test]
+fn trace_survives_file_roundtrip_at_scale() {
+    let trace = generate(&TraceProfile::small()).unwrap();
+    let mut buf = Vec::new();
+    write_trace(&mut buf, &trace).unwrap();
+    let back = read_trace(buf.as_slice()).unwrap();
+    assert_eq!(trace, back);
+    // And the round-tripped trace simulates identically.
+    let cfg = SimConfig::new(ByteSize::from_kb(500));
+    assert_eq!(run(&cfg, &trace), run(&cfg, &back));
+}
+
+#[test]
+fn partitioners_are_stable_functions() {
+    let trace = generate(&TraceProfile::small().with_requests(500)).unwrap();
+    for p in [
+        Partitioner::ByClientModulo,
+        Partitioner::ByClientHash,
+        Partitioner::RoundRobin,
+    ] {
+        for (seq, r) in trace.iter().enumerate() {
+            assert_eq!(p.assign(r, seq, 4), p.assign(r, seq, 4));
+        }
+    }
+}

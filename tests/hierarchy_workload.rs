@@ -1,0 +1,96 @@
+//! Integration: the hierarchical architecture under a realistic workload.
+
+use coopcache::prelude::*;
+
+fn drive(
+    group: &mut HierarchicalGroup,
+    trace: &Trace,
+    leaves: u16,
+) -> GroupMetrics {
+    let part = Partitioner::default();
+    let mut metrics = GroupMetrics::default();
+    for (seq, r) in trace.iter().enumerate() {
+        let leaf = part.assign(r, seq, leaves as usize);
+        let outcome = group.handle_request(leaf, r.doc, r.size, r.time);
+        metrics.record(outcome, r.size);
+    }
+    metrics
+}
+
+#[test]
+fn hierarchy_serves_every_request_consistently() {
+    let trace = generate(&TraceProfile::small()).unwrap();
+    for scheme in [PlacementScheme::AdHoc, PlacementScheme::Ea] {
+        let mut group = HierarchicalGroup::two_level(
+            4,
+            ByteSize::from_kb(64),
+            ByteSize::from_kb(256),
+            PolicyKind::Lru,
+            scheme,
+        );
+        let m = drive(&mut group, &trace, 4);
+        assert_eq!(m.requests as usize, trace.len());
+        assert_eq!(m.local_hits + m.remote_hits + m.misses, m.requests);
+        assert!(m.hit_rate() > 0.2, "{scheme}: hit rate {}", m.hit_rate());
+        // Capacity invariants at every node.
+        for node in group.iter() {
+            assert!(node.cache().used() <= node.cache().capacity());
+        }
+    }
+}
+
+#[test]
+fn a_parent_tier_beats_leaves_alone() {
+    // Adding a parent with extra capacity must help (it can only add
+    // hits), under both schemes.
+    let trace = generate(&TraceProfile::small()).unwrap();
+    for scheme in [PlacementScheme::AdHoc, PlacementScheme::Ea] {
+        let mut with_parent = HierarchicalGroup::two_level(
+            4,
+            ByteSize::from_kb(64),
+            ByteSize::from_kb(512),
+            PolicyKind::Lru,
+            scheme,
+        );
+        let mut tiny_parent = HierarchicalGroup::two_level(
+            4,
+            ByteSize::from_kb(64),
+            ByteSize::from_kb(1),
+            PolicyKind::Lru,
+            scheme,
+        );
+        let big = drive(&mut with_parent, &trace, 4);
+        let small = drive(&mut tiny_parent, &trace, 4);
+        assert!(
+            big.hit_rate() >= small.hit_rate() - 0.01,
+            "{scheme}: 512KB parent {} < 1KB parent {}",
+            big.hit_rate(),
+            small.hit_rate()
+        );
+    }
+}
+
+#[test]
+fn deep_chain_hierarchy_works() {
+    // leaf(0..2) -> mid(3) -> root(4)
+    use coopcache::cache::ExpirationWindow;
+    let trace = generate(&TraceProfile::small().with_requests(5_000)).unwrap();
+    let kb = ByteSize::from_kb;
+    let mut group = HierarchicalGroup::from_parents(
+        &[kb(32), kb(32), kb(32), kb(128), kb(256)],
+        &[Some(3), Some(3), Some(3), Some(4), None],
+        PolicyKind::Lru,
+        PlacementScheme::Ea,
+        ExpirationWindow::default(),
+    )
+    .unwrap();
+    let m = drive(&mut group, &trace, 3);
+    assert_eq!(m.requests, 5_000);
+    assert!(m.hit_rate() > 0.2, "hit rate {}", m.hit_rate());
+    // The interior tiers participate.
+    let mid_plus_root: usize = [3u16, 4]
+        .iter()
+        .map(|&i| group.node(CacheId::new(i)).cache().len())
+        .sum();
+    assert!(mid_plus_root > 0, "interior nodes stayed empty");
+}

@@ -1,0 +1,82 @@
+//! Integration tests for the real-socket runtime: the same placement
+//! semantics the simulators exhibit, observed over genuine UDP/TCP.
+
+use coopcache::net::LoopbackCluster;
+use coopcache::prelude::*;
+
+fn kb(n: u64) -> ByteSize {
+    ByteSize::from_kb(n)
+}
+
+fn d(i: u64) -> DocId {
+    DocId::new(i)
+}
+
+#[test]
+fn adhoc_cluster_replicates_and_ea_cluster_does_not() {
+    let adhoc = LoopbackCluster::start(3, kb(64), PlacementScheme::AdHoc).unwrap();
+    let ea = LoopbackCluster::start(3, kb(64), PlacementScheme::Ea).unwrap();
+
+    for cluster in [&adhoc, &ea] {
+        // Cache 0 fetches the doc, then caches 1 and 2 ask for it.
+        cluster.request(0, d(9), kb(4)).unwrap();
+        cluster.request(1, d(9), kb(4)).unwrap();
+        cluster.request(2, d(9), kb(4)).unwrap();
+    }
+    let copies = |cluster: &LoopbackCluster| {
+        (0..3)
+            .filter(|&i| cluster.daemon(i).with_node(|n| n.cache().contains(d(9))))
+            .count()
+    };
+    assert_eq!(copies(&adhoc), 3, "ad-hoc replicates everywhere");
+    assert_eq!(copies(&ea), 1, "EA keeps a single group-wide copy");
+    adhoc.shutdown();
+    ea.shutdown();
+}
+
+#[test]
+fn cluster_agrees_with_synchronous_group_on_small_workload() {
+    // Drive the identical request sequence through the socket cluster and
+    // the in-process group; the placement decisions must coincide
+    // (single-threaded client → no races).
+    let trace = generate(&TraceProfile::small().with_requests(300)).unwrap();
+    let scheme = PlacementScheme::Ea;
+    let cluster = LoopbackCluster::start(2, kb(32), scheme).unwrap();
+    let mut group = DistributedGroup::new(2, kb(64), PolicyKind::Lru, scheme);
+    let part = Partitioner::default();
+
+    let mut agreements = 0;
+    for (seq, r) in trace.iter().enumerate() {
+        let requester = part.assign(r, seq, 2);
+        // Keep sizes small so socket transfers stay fast.
+        let size = ByteSize::from_bytes(r.size.as_bytes().min(8_000).max(100));
+        let wire = cluster.request(requester.index(), r.doc, size).unwrap();
+        let sim = group.handle_request(requester, r.doc, size, r.time);
+        // Timestamps differ (wall clock vs trace time), so expiration
+        // ages — and with them borderline decisions — can diverge; the
+        // hit/miss CLASS must still coincide almost always.
+        if std::mem::discriminant(&wire) == std::mem::discriminant(&sim) {
+            agreements += 1;
+        }
+    }
+    assert!(
+        agreements >= 290,
+        "wire and sim diverged on {} of 300 outcomes",
+        300 - agreements
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn origin_counts_match_miss_outcomes() {
+    let cluster = LoopbackCluster::start(2, kb(64), PlacementScheme::Ea).unwrap();
+    let mut misses = 0;
+    for i in 0..30 {
+        let out = cluster.request((i % 2) as usize, d(i % 10), kb(2)).unwrap();
+        if !out.is_hit() {
+            misses += 1;
+        }
+    }
+    assert_eq!(cluster.origin_fetches(), misses);
+    cluster.shutdown();
+}

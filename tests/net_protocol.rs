@@ -1,0 +1,82 @@
+//! Integration: wire-format and daemon-level behaviours of the socket
+//! runtime beyond the happy path.
+
+use coopcache::net::{LoopbackCluster, WireMessage};
+use coopcache::prelude::*;
+use coopcache::proxy::{HttpRequest, HttpResponse, IcpQuery, IcpReply};
+
+#[test]
+fn wire_messages_roundtrip_through_encode_decode() {
+    let messages = vec![
+        WireMessage::IcpQuery(IcpQuery {
+            from: CacheId::new(3),
+            doc: DocId::new(u64::MAX - 1),
+        }),
+        WireMessage::IcpReply(IcpReply {
+            from: CacheId::new(0),
+            doc: DocId::new(0),
+            hit: true,
+        }),
+        WireMessage::DocRequest(HttpRequest {
+            from: CacheId::new(1),
+            doc: DocId::new(77),
+            requester_age: ExpirationAge::finite(DurationMs::from_secs(12)),
+        }),
+        WireMessage::DocResponse {
+            response: HttpResponse {
+                from: CacheId::new(2),
+                doc: DocId::new(77),
+                size: ByteSize::from_mb(1),
+                responder_age: ExpirationAge::Infinite,
+            },
+            found: true,
+        },
+    ];
+    for msg in messages {
+        let bytes = msg.encode();
+        assert_eq!(WireMessage::decode(&bytes).unwrap(), msg);
+        // Corrupting the magic must fail cleanly, not panic.
+        let mut bad = bytes.to_vec();
+        bad[0] ^= 0xFF;
+        assert!(WireMessage::decode(&bad).is_err());
+    }
+}
+
+#[test]
+fn cluster_sustains_a_trace_fragment() {
+    let trace = generate(&TraceProfile::small().with_requests(400)).unwrap();
+    let cluster = LoopbackCluster::start(3, ByteSize::from_kb(96), PlacementScheme::Ea).unwrap();
+    let part = Partitioner::default();
+    let mut metrics = GroupMetrics::default();
+    for (seq, r) in trace.iter().enumerate() {
+        let cache = part.assign(r, seq, 3);
+        // Clamp body sizes to keep loopback transfers quick.
+        let size = ByteSize::from_bytes(r.size.as_bytes().clamp(100, 16_000));
+        let outcome = cluster.request(cache.index(), r.doc, size).unwrap();
+        metrics.record(outcome, size);
+    }
+    assert_eq!(metrics.requests, 400);
+    assert!(metrics.hit_rate() > 0.1, "hit rate {}", metrics.hit_rate());
+    assert_eq!(
+        cluster.origin_fetches(),
+        metrics.misses,
+        "every miss fetches the origin exactly once (single-threaded client)"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn two_clusters_do_not_interfere() {
+    // Distinct ephemeral ports: two clusters run side by side.
+    let a = LoopbackCluster::start(2, ByteSize::from_kb(64), PlacementScheme::AdHoc).unwrap();
+    let b = LoopbackCluster::start(2, ByteSize::from_kb(64), PlacementScheme::Ea).unwrap();
+    a.request(0, DocId::new(1), ByteSize::from_kb(2)).unwrap();
+    b.request(0, DocId::new(1), ByteSize::from_kb(2)).unwrap();
+    assert!(a.daemon(0).with_node(|n| n.cache().contains(DocId::new(1))));
+    assert!(b.daemon(0).with_node(|n| n.cache().contains(DocId::new(1))));
+    assert!(!a.daemon(1).with_node(|n| n.cache().contains(DocId::new(1))));
+    assert_eq!(a.origin_fetches(), 1);
+    assert_eq!(b.origin_fetches(), 1);
+    a.shutdown();
+    b.shutdown();
+}

@@ -1,0 +1,216 @@
+//! Property-based tests over the core data structures and invariants.
+
+use coopcache::cache::{
+    Cache, Fifo, Lru, PlacementScheme, PolicyKind, ReplacementPolicy,
+};
+use coopcache::prelude::*;
+use coopcache::trace::{read_trace, write_trace, Zipf};
+use proptest::prelude::*;
+
+/// An abstract cache operation over a small id/size space (small spaces
+/// maximize collisions, which is where the bugs live).
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(u8, u8),
+    Lookup(u8),
+    Remove(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), 1u8..=16).prop_map(|(d, s)| Op::Insert(d % 24, s)),
+        any::<u8>().prop_map(|d| Op::Lookup(d % 24)),
+        any::<u8>().prop_map(|d| Op::Remove(d % 24)),
+    ]
+}
+
+proptest! {
+    /// The byte accounting never drifts from the sum over entries and
+    /// never exceeds capacity, for any op sequence under any policy.
+    #[test]
+    fn cache_byte_accounting_is_exact(
+        ops in proptest::collection::vec(op_strategy(), 1..300),
+        policy_idx in 0usize..6,
+    ) {
+        let policy = PolicyKind::all()[policy_idx];
+        let mut cache = Cache::new(CacheId::new(0), ByteSize::from_kb(20), policy);
+        for (t, op) in ops.iter().enumerate() {
+            let now = Timestamp::from_millis(t as u64);
+            match *op {
+                Op::Insert(d, kb) => {
+                    cache.insert(DocId::new(u64::from(d)), ByteSize::from_kb(u64::from(kb)), now);
+                }
+                Op::Lookup(d) => {
+                    cache.lookup(DocId::new(u64::from(d)), now);
+                }
+                Op::Remove(d) => {
+                    cache.remove(DocId::new(u64::from(d)), now);
+                }
+            }
+            let manual: ByteSize = cache.iter().map(|e| e.size).sum();
+            prop_assert_eq!(cache.used(), manual);
+            prop_assert!(cache.used() <= cache.capacity());
+            prop_assert_eq!(cache.len(), cache.iter().count());
+        }
+    }
+
+    /// LRU against a naive reference model: identical victim order.
+    #[test]
+    fn lru_matches_reference_model(
+        ops in proptest::collection::vec(op_strategy(), 1..300),
+    ) {
+        let mut lru = Lru::new();
+        let mut model: Vec<u64> = Vec::new(); // front = victim
+        for op in ops {
+            match op {
+                Op::Insert(d, _) => {
+                    let d = u64::from(d);
+                    if !model.contains(&d) {
+                        lru.on_insert(DocId::new(d), ByteSize::from_kb(1));
+                        model.push(d);
+                    }
+                }
+                Op::Lookup(d) => {
+                    let d = u64::from(d);
+                    if let Some(pos) = model.iter().position(|&x| x == d) {
+                        lru.on_hit(DocId::new(d));
+                        let v = model.remove(pos);
+                        model.push(v);
+                    }
+                }
+                Op::Remove(d) => {
+                    let d = u64::from(d);
+                    if let Some(pos) = model.iter().position(|&x| x == d) {
+                        lru.on_remove(DocId::new(d));
+                        model.remove(pos);
+                    }
+                }
+            }
+            prop_assert_eq!(lru.victim().map(|v| v.as_u64()), model.first().copied());
+            prop_assert_eq!(lru.len(), model.len());
+        }
+    }
+
+    /// FIFO against a naive reference: hits never change the order.
+    #[test]
+    fn fifo_matches_reference_model(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+    ) {
+        let mut fifo = Fifo::new();
+        let mut model: Vec<u64> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Insert(d, _) => {
+                    let d = u64::from(d);
+                    if !model.contains(&d) {
+                        fifo.on_insert(DocId::new(d), ByteSize::from_kb(1));
+                        model.push(d);
+                    }
+                }
+                Op::Lookup(d) => {
+                    let d = u64::from(d);
+                    if model.contains(&d) {
+                        fifo.on_hit(DocId::new(d));
+                    }
+                }
+                Op::Remove(d) => {
+                    let d = u64::from(d);
+                    if let Some(pos) = model.iter().position(|&x| x == d) {
+                        fifo.on_remove(DocId::new(d));
+                        model.remove(pos);
+                    }
+                }
+            }
+            prop_assert_eq!(fifo.victim().map(|v| v.as_u64()), model.first().copied());
+        }
+    }
+
+    /// Expiration-age ordering is total and the EA decision rules are
+    /// exact complements for every age pair and every EA variant.
+    #[test]
+    fn ea_rules_are_complementary(a in any::<Option<u64>>(), b in any::<Option<u64>>()) {
+        let to_age = |x: Option<u64>| match x {
+            Some(ms) => ExpirationAge::finite(DurationMs::from_millis(ms)),
+            None => ExpirationAge::Infinite,
+        };
+        let (a, b) = (to_age(a), to_age(b));
+        // Total order.
+        prop_assert!(a <= b || b <= a);
+        for scheme in [PlacementScheme::Ea, PlacementScheme::EaTieStore] {
+            let stores = scheme.requester_stores(a, b);
+            let promotes = scheme.responder_promotes(b, a);
+            prop_assert_ne!(stores, promotes, "scheme {} ages {} {}", scheme, a, b);
+        }
+        // Ad-hoc always does both.
+        prop_assert!(PlacementScheme::AdHoc.requester_stores(a, b));
+        prop_assert!(PlacementScheme::AdHoc.responder_promotes(b, a));
+    }
+
+    /// Trace file round-trips for arbitrary record lists.
+    #[test]
+    fn trace_format_roundtrip(
+        records in proptest::collection::vec(
+            (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()), 0..50)
+    ) {
+        let requests: Vec<Request> = records
+            .into_iter()
+            .map(|(t, c, d, s)| Request::new(
+                Timestamp::from_millis(u64::from(t)),
+                ClientId::new(c),
+                DocId::new(u64::from(d)),
+                ByteSize::from_bytes(u64::from(s)),
+            ))
+            .collect();
+        let trace = Trace::from_requests(requests);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).expect("write to vec cannot fail");
+        let back = read_trace(buf.as_slice()).expect("own output parses");
+        prop_assert_eq!(trace, back);
+    }
+
+    /// Zipf: probabilities are positive, non-increasing in rank, sum to 1.
+    #[test]
+    fn zipf_probabilities_well_formed(n in 1u64..500, alpha in 0.0f64..2.5) {
+        let z = Zipf::new(n, alpha).expect("params in domain");
+        let mut sum = 0.0;
+        let mut prev = f64::INFINITY;
+        for k in 1..=n {
+            let p = z.probability(k);
+            prop_assert!(p > 0.0);
+            prop_assert!(p <= prev + 1e-12, "p(rank) must not increase");
+            prev = p;
+            sum += p;
+        }
+        prop_assert!((sum - 1.0).abs() < 1e-6, "sum {}", sum);
+    }
+
+    /// Group-level invariant: outcomes are internally consistent for any
+    /// short random workload (hits point at caches that really hold the
+    /// document at serve time, outcome counts partition the request
+    /// count).
+    #[test]
+    fn group_outcomes_are_consistent(
+        reqs in proptest::collection::vec((any::<u8>(), any::<u8>(), 1u8..=8), 1..150),
+        scheme_idx in 0usize..3,
+    ) {
+        let scheme = PlacementScheme::all()[scheme_idx];
+        let mut group = DistributedGroup::new(3, ByteSize::from_kb(30), PolicyKind::Lru, scheme);
+        let mut metrics = GroupMetrics::default();
+        for (t, (cache, doc, kb)) in reqs.iter().enumerate() {
+            let requester = CacheId::new(u16::from(cache % 3));
+            let doc = DocId::new(u64::from(doc % 40));
+            let size = ByteSize::from_kb(u64::from(*kb));
+            let outcome = group.handle_request(requester, doc, size, Timestamp::from_millis(t as u64));
+            if let RequestOutcome::RemoteHit { responder, .. } = outcome {
+                prop_assert_ne!(responder, requester, "self remote hit");
+            }
+            metrics.record(outcome, size);
+        }
+        prop_assert_eq!(metrics.requests as usize, reqs.len());
+        prop_assert_eq!(metrics.local_hits + metrics.remote_hits + metrics.misses, metrics.requests);
+        // Byte accounting holds at every cache.
+        for node in group.iter() {
+            prop_assert!(node.cache().used() <= node.cache().capacity());
+        }
+    }
+}
