@@ -164,10 +164,8 @@ mod tests {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
             stream.push(DocId::new((x >> 33) % 64));
         }
-        let sized: Vec<(DocId, ByteSize)> = stream
-            .iter()
-            .map(|&d| (d, ByteSize::from_kb(1)))
-            .collect();
+        let sized: Vec<(DocId, ByteSize)> =
+            stream.iter().map(|&d| (d, ByteSize::from_kb(1))).collect();
         let profile = ReuseProfile::compute(stream);
         for slots in [4usize, 16, 32] {
             let min = belady_min(&sized, ByteSize::from_kb(slots as u64));

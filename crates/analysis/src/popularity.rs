@@ -121,14 +121,12 @@ mod tests {
         for alpha in [0.7, 1.0] {
             let z = Zipf::new(2_000, alpha).unwrap();
             let mut rng = Rng::seed_from(42);
-            let stream: Vec<DocId> =
-                (0..300_000).map(|_| DocId::new(z.sample(&mut rng))).collect();
+            let stream: Vec<DocId> = (0..300_000)
+                .map(|_| DocId::new(z.sample(&mut rng)))
+                .collect();
             let p = PopularityProfile::compute(stream);
             let fit = p.zipf_alpha_fit().expect("enough points");
-            assert!(
-                (fit - alpha).abs() < 0.15,
-                "alpha {alpha}: fitted {fit}"
-            );
+            assert!((fit - alpha).abs() < 0.15, "alpha {alpha}: fitted {fit}");
         }
     }
 

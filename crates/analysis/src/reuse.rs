@@ -74,8 +74,7 @@ impl ReuseProfile {
                     // Distinct docs referenced strictly between prev and pos:
                     // live markers in (prev+1 ..= pos) minus none (the doc's
                     // own marker at prev+1 was cleared below before insert).
-                    let distance =
-                        (fenwick.prefix(pos) - fenwick.prefix(prev + 1)) as usize;
+                    let distance = (fenwick.prefix(pos) - fenwick.prefix(prev + 1)) as usize;
                     if histogram.len() <= distance {
                         histogram.resize(distance + 1, 0);
                     }

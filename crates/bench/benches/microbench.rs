@@ -1,109 +1,125 @@
-//! MICRO — criterion micro-benchmarks of the core data structures and
-//! the simulator's end-to-end throughput.
+//! MICRO — self-contained micro-benchmarks of the core data structures
+//! and the simulator's end-to-end throughput.
+//!
+//! Hand-rolled timing harness (`harness = false`, no external bench
+//! framework): each benchmark warms up, then reports the median of
+//! several timed passes in ns/op plus ops/s. Run with
+//! `cargo bench -p coopcache-bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use coopcache_core::{Cache, PlacementScheme, PolicyKind};
 use coopcache_proxy::DistributedGroup;
 use coopcache_sim::{run, SimConfig};
 use coopcache_trace::{generate, Distribution, Rng, TraceProfile, Zipf};
 use coopcache_types::{ByteSize, CacheId, DocId, Timestamp};
+use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_replacement_policies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cache_insert_evict");
-    for policy in PolicyKind::all() {
-        group.throughput(Throughput::Elements(10_000));
-        group.bench_function(policy.to_string(), |b| {
-            b.iter_batched(
-                || Cache::new(CacheId::new(0), ByteSize::from_kb(100), policy),
-                |mut cache| {
-                    for i in 0..10_000u64 {
-                        cache.insert(
-                            DocId::new(i),
-                            ByteSize::from_kb(1 + i % 4),
-                            Timestamp::from_millis(i),
-                        );
-                        if i % 3 == 0 {
-                            cache.lookup(DocId::new(i), Timestamp::from_millis(i + 1));
-                        }
-                    }
-                    cache
-                },
-                BatchSize::SmallInput,
-            );
-        });
-    }
-    group.finish();
+/// Times `ops` iterations of `f` per pass: one warm-up pass, then
+/// `PASSES` measured passes; prints the median ns/op.
+fn bench(name: &str, ops: u64, mut f: impl FnMut()) {
+    const PASSES: usize = 5;
+    let run_pass = |f: &mut dyn FnMut()| {
+        let start = Instant::now();
+        for _ in 0..ops {
+            f();
+        }
+        start.elapsed()
+    };
+    run_pass(&mut f); // warm-up
+    let mut ns_per_op: Vec<f64> = (0..PASSES)
+        .map(|_| run_pass(&mut f).as_nanos() as f64 / ops as f64)
+        .collect();
+    ns_per_op.sort_by(|a, b| a.total_cmp(b));
+    let median = ns_per_op[PASSES / 2];
+    let rate = if median > 0.0 {
+        1e9 / median
+    } else {
+        f64::INFINITY
+    };
+    println!("{name:<34} {median:>12.1} ns/op {rate:>14.0} ops/s");
 }
 
-fn bench_lookup_hit(c: &mut Criterion) {
+fn bench_replacement_policies() {
+    for policy in PolicyKind::all() {
+        let mut cache = Cache::new(CacheId::new(0), ByteSize::from_kb(100), policy);
+        let mut i = 0u64;
+        bench(&format!("cache_insert_evict/{policy}"), 10_000, || {
+            i += 1;
+            cache.insert(
+                DocId::new(i % 4_096),
+                ByteSize::from_kb(1 + i % 4),
+                Timestamp::from_millis(i),
+            );
+            if i.is_multiple_of(3) {
+                black_box(cache.lookup(DocId::new(i % 4_096), Timestamp::from_millis(i + 1)));
+            }
+        });
+    }
+}
+
+fn bench_lookup_hit() {
     let mut cache = Cache::new(CacheId::new(0), ByteSize::from_mb(10), PolicyKind::Lru);
     for i in 0..1_000u64 {
-        cache.insert(DocId::new(i), ByteSize::from_kb(4), Timestamp::from_millis(i));
+        cache.insert(
+            DocId::new(i),
+            ByteSize::from_kb(4),
+            Timestamp::from_millis(i),
+        );
     }
     let mut i = 0u64;
-    c.bench_function("cache_lookup_hit_lru", |b| {
-        b.iter(|| {
-            i = (i + 1) % 1_000;
-            cache.lookup(DocId::new(i), Timestamp::from_millis(1_000_000 + i))
-        });
+    bench("cache_lookup_hit_lru", 100_000, || {
+        i = (i + 1) % 1_000;
+        black_box(cache.lookup(DocId::new(i), Timestamp::from_millis(1_000_000 + i)));
     });
 }
 
-fn bench_zipf_sampling(c: &mut Criterion) {
+fn bench_zipf_sampling() {
     let zipf = Zipf::new(46_830, 1.05).expect("valid zipf");
     let mut rng = Rng::seed_from(7);
-    c.bench_function("zipf_sample_46830", |b| b.iter(|| zipf.sample(&mut rng)));
-}
-
-fn bench_trace_generation(c: &mut Criterion) {
-    let profile = TraceProfile::small();
-    c.bench_function("generate_small_trace_20k", |b| {
-        b.iter(|| generate(&profile).expect("valid profile"));
+    bench("zipf_sample_46830", 100_000, || {
+        black_box(zipf.sample(&mut rng));
     });
 }
 
-fn bench_group_request(c: &mut Criterion) {
-    let mut criterion_group = c.benchmark_group("group_request");
-    for scheme in [PlacementScheme::AdHoc, PlacementScheme::Ea] {
-        criterion_group.bench_function(scheme.to_string(), |b| {
-            let mut group =
-                DistributedGroup::new(4, ByteSize::from_mb(1), PolicyKind::Lru, scheme);
-            let mut i = 0u64;
-            b.iter(|| {
-                i += 1;
-                group.handle_request(
-                    CacheId::new((i % 4) as u16),
-                    DocId::new(i % 512),
-                    ByteSize::from_kb(4),
-                    Timestamp::from_millis(i),
-                )
-            });
-        });
-    }
-    criterion_group.finish();
+fn bench_trace_generation() {
+    let profile = TraceProfile::small();
+    bench("generate_small_trace_20k", 3, || {
+        black_box(generate(&profile).expect("valid profile"));
+    });
 }
 
-fn bench_simulation_throughput(c: &mut Criterion) {
+fn bench_group_request() {
+    for scheme in [PlacementScheme::AdHoc, PlacementScheme::Ea] {
+        let mut group = DistributedGroup::new(4, ByteSize::from_mb(1), PolicyKind::Lru, scheme);
+        let mut i = 0u64;
+        bench(&format!("group_request/{scheme}"), 50_000, || {
+            i += 1;
+            black_box(group.handle_request(
+                CacheId::new((i % 4) as u16),
+                DocId::new(i % 512),
+                ByteSize::from_kb(4),
+                Timestamp::from_millis(i),
+            ));
+        });
+    }
+}
+
+fn bench_simulation_throughput() {
     let trace = generate(&TraceProfile::small()).expect("valid profile");
-    let mut group = c.benchmark_group("simulate_20k_requests");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(trace.len() as u64));
     for scheme in [PlacementScheme::AdHoc, PlacementScheme::Ea] {
-        group.bench_function(scheme.to_string(), |b| {
-            let cfg = SimConfig::new(ByteSize::from_mb(1)).with_scheme(scheme);
-            b.iter(|| run(&cfg, &trace));
+        let cfg = SimConfig::new(ByteSize::from_mb(1)).with_scheme(scheme);
+        bench(&format!("simulate_20k_requests/{scheme}"), 3, || {
+            black_box(run(&cfg, &trace));
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_replacement_policies,
-    bench_lookup_hit,
-    bench_zipf_sampling,
-    bench_trace_generation,
-    bench_group_request,
-    bench_simulation_throughput
-);
-criterion_main!(benches);
+fn main() {
+    println!("{:<34} {:>15} {:>20}", "benchmark", "median", "throughput");
+    bench_replacement_policies();
+    bench_lookup_hit();
+    bench_zipf_sampling();
+    bench_trace_generation();
+    bench_group_request();
+    bench_simulation_throughput();
+}

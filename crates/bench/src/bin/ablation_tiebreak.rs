@@ -2,11 +2,16 @@
 //! ">" in §3.4 but "≥" in §3.5. This bench compares the two readings.
 //! The strict form (our default) is the one whose large-cache behaviour
 //! matches the paper's Table 2 (EA remote-hit rate ≫ ad-hoc at 1 GB).
+//! The "ties" column counts placement decisions where both expiration
+//! ages were equal — exactly the decisions the two readings resolve
+//! differently (event-counted via `HistogramSink::placement_ties`).
+//! Supports `--fast` and `--json` like every bench binary.
 
 use coopcache_bench::{emit, trace_from_args};
 use coopcache_core::PlacementScheme;
-use coopcache_metrics::{pct, Table};
-use coopcache_sim::{run, SimConfig, PAPER_CACHE_SIZES};
+use coopcache_metrics::{pct, HistogramSink, SinkHandle, Table};
+use coopcache_sim::{run_with_sink, SimConfig, PAPER_CACHE_SIZES};
+use std::sync::{Arc, Mutex, PoisonError};
 
 fn main() {
     let (trace, scale) = trace_from_args();
@@ -17,6 +22,7 @@ fn main() {
         "remote %",
         "latency ms",
         "exp-age (s)",
+        "ties",
     ]);
     for &aggregate in &PAPER_CACHE_SIZES {
         for scheme in [
@@ -27,7 +33,12 @@ fn main() {
             let cfg = SimConfig::new(aggregate)
                 .with_group_size(4)
                 .with_scheme(scheme);
-            let report = run(&cfg, &trace);
+            let sink = Arc::new(Mutex::new(HistogramSink::new()));
+            let report = run_with_sink(&cfg, &trace, Some(SinkHandle::from_arc(Arc::clone(&sink))));
+            let sink = Arc::try_unwrap(sink)
+                .expect("runner drops its sink handles")
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner);
             table.row(vec![
                 aggregate.to_string(),
                 scheme.to_string(),
@@ -37,6 +48,7 @@ fn main() {
                 report
                     .avg_expiration_age_ms
                     .map_or("-".into(), |ms| format!("{:.2}", ms / 1_000.0)),
+                sink.placement_ties().to_string(),
             ]);
         }
     }

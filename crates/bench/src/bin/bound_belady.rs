@@ -1,7 +1,7 @@
 //! BOUND — extension: the Belady-MIN offline upper bound. MIN over one
-//! shared cache of the group's aggregate capacity bounds every placement
-//! + replacement combination of the same total size; the table shows how
-//! much of the ad-hoc→MIN headroom the EA scheme recovers.
+//! shared cache of the group's aggregate capacity bounds every
+//! placement/replacement combination of the same total size; the table
+//! shows how much of the ad-hoc→MIN headroom the EA scheme recovers.
 
 use coopcache_analysis::belady_min;
 use coopcache_bench::{emit, trace_from_args};

@@ -1,5 +1,7 @@
 //! FIG1 — Figure 1: cumulative document hit rates, ad-hoc vs EA, for a
 //! 4-cache distributed group at 100 KB – 1 GB aggregate capacity.
+//! Pass `--fast` for the medium trace and `--json` for a
+//! `results/fig1_hit_rates.json` copy of the table.
 
 use coopcache_bench::{emit, trace_from_args};
 use coopcache_metrics::{pct, Table};
@@ -11,12 +13,7 @@ fn main() {
     let cfg = SimConfig::new(ByteSize::ZERO).with_group_size(4);
     let points = capacity_sweep(&cfg, &PAPER_CACHE_SIZES, &trace);
 
-    let mut table = Table::new(vec![
-        "aggregate",
-        "ad-hoc hit %",
-        "EA hit %",
-        "gain (pp)",
-    ]);
+    let mut table = Table::new(vec!["aggregate", "ad-hoc hit %", "EA hit %", "gain (pp)"]);
     for p in &points {
         table.row(vec![
             p.aggregate.to_string(),

@@ -3,6 +3,9 @@
 //! at 100 KB and ≈2.5 pp at 100 MB for 8 caches; byte-hit gains ≈4 pp and
 //! ≈1.5 pp).
 
+//! Pass `--fast` for the medium trace and `--json` for a
+//! `results/group_size_sweep.json` copy of the table.
+
 use coopcache_bench::{emit, trace_from_args};
 use coopcache_metrics::{pct, Table};
 use coopcache_sim::{capacity_sweep, SimConfig, PAPER_CACHE_SIZES, PAPER_GROUP_SIZES};

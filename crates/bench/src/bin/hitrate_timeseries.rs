@@ -1,43 +1,45 @@
 //! SERIES — extension: cumulative hit rate over time for both schemes,
-//! showing the warm-up transient and when the EA gap opens. Emits one row
-//! per 5% of the trace.
+//! showing the warm-up transient and when the EA gap opens. One row per
+//! window of the simulator's built-in time series (20 windows = one row
+//! per 5% of the trace), straight from `SimReport::windows`.
+//! Supports `--fast` and `--json` like every bench binary.
 
 use coopcache_bench::{emit, trace_from_args};
 use coopcache_core::PlacementScheme;
-use coopcache_metrics::{pct, GroupMetrics, Table};
-use coopcache_sim::{run_with_observer, SimConfig};
+use coopcache_metrics::{pct, Table};
+use coopcache_sim::{run, SimConfig, WindowStat};
 use coopcache_types::ByteSize;
 
 fn main() {
     let (trace, scale) = trace_from_args();
     let cfg = SimConfig::new(ByteSize::from_mb(10)).with_group_size(4);
-    let bucket = (trace.len() / 20).max(1);
 
-    let series = |scheme: PlacementScheme| -> Vec<f64> {
-        let mut running = GroupMetrics::default();
-        let mut points = Vec::new();
-        run_with_observer(
-            &cfg.clone().with_scheme(scheme),
-            &trace,
-            |seq, request, outcome| {
-                running.record(outcome, request.size);
-                if (seq + 1) % bucket == 0 {
-                    points.push(running.hit_rate());
-                }
-            },
-        );
-        points
+    let series = |scheme: PlacementScheme| -> Vec<WindowStat> {
+        run(&cfg.clone().with_scheme(scheme), &trace).windows
     };
     let adhoc = series(PlacementScheme::AdHoc);
     let ea = series(PlacementScheme::Ea);
+    assert_eq!(adhoc.len(), ea.len(), "same trace, same window grid");
 
-    let mut table = Table::new(vec!["trace %", "ad-hoc hit %", "EA hit %", "gap (pp)"]);
+    let mut table = Table::new(vec![
+        "trace %",
+        "ad-hoc hit %",
+        "EA hit %",
+        "gap (pp)",
+        "EA win age (s)",
+    ]);
+    let windows = adhoc.len();
     for (i, (a, e)) in adhoc.iter().zip(&ea).enumerate() {
         table.row(vec![
-            format!("{}", (i + 1) * 5),
-            pct(*a),
-            pct(*e),
-            format!("{:+.2}", (e - a) * 100.0),
+            format!("{:.0}", (i + 1) as f64 * 100.0 / windows as f64),
+            pct(a.cumulative_hit_rate),
+            pct(e.cumulative_hit_rate),
+            format!(
+                "{:+.2}",
+                (e.cumulative_hit_rate - a.cumulative_hit_rate) * 100.0
+            ),
+            e.mean_age_ms
+                .map_or("-".into(), |ms| format!("{:.2}", ms as f64 / 1_000.0)),
         ]);
     }
     emit(

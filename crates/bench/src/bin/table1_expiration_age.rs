@@ -3,6 +3,8 @@
 //!
 //! The paper reports this for 100 KB, 1 MB, 10 MB and 100 MB (at 1 GB its
 //! caches, like ours, stop evicting and the quantity is undefined).
+//! Pass `--fast` for the medium trace and `--json` for a
+//! `results/table1_expiration_age.json` copy of the table.
 
 use coopcache_bench::{emit, trace_from_args};
 use coopcache_metrics::{secs, Table};

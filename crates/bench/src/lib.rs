@@ -5,9 +5,12 @@
 //! copy under `results/`. Pass `--fast` to any binary to run on the
 //! medium-scale trace (~120k requests) instead of the full BU-94-scale
 //! one (575,775 requests); the full run takes a few seconds per
-//! experiment.
+//! experiment. Pass `--json` to additionally write
+//! `results/<id>.json` — a machine-readable
+//! `{"id":…,"title":…,"trace":…,"headers":[…],"rows":[[…]]}` record
+//! rendered by the workspace's hand-rolled JSON writer.
 
-use coopcache_metrics::Table;
+use coopcache_metrics::{JsonWriter, Table};
 use coopcache_trace::{generate, Trace, TraceProfile};
 use std::path::PathBuf;
 
@@ -34,6 +37,13 @@ pub fn trace_from_args() -> (Trace, &'static str) {
     }
 }
 
+/// True when the binary was invoked with `--json`: [`emit`] then also
+/// writes a `results/<id>.json` copy of the table.
+#[must_use]
+pub fn json_requested() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
 /// Where CSV copies of the experiment tables land.
 #[must_use]
 pub fn results_dir() -> PathBuf {
@@ -42,11 +52,12 @@ pub fn results_dir() -> PathBuf {
     dir
 }
 
-/// Prints an experiment header, the table, and writes `results/<id>.csv`.
+/// Prints an experiment header, the table, and writes `results/<id>.csv`;
+/// with `--json` on the command line it also writes `results/<id>.json`.
 ///
 /// # Panics
 ///
-/// Panics if the CSV file cannot be written.
+/// Panics if an output file cannot be written.
 pub fn emit(id: &str, title: &str, scale: &str, table: &Table) {
     println!("== {id}: {title}");
     println!("   trace: {scale}\n");
@@ -54,7 +65,46 @@ pub fn emit(id: &str, title: &str, scale: &str, table: &Table) {
     let path = results_dir().join(format!("{id}.csv"));
     let mut file = std::fs::File::create(&path).expect("can create csv");
     table.write_csv(&mut file).expect("can write csv");
-    println!("\n(csv: {})\n", path.display());
+    println!("\n(csv: {})", path.display());
+    if json_requested() {
+        let path = results_dir().join(format!("{id}.json"));
+        std::fs::write(&path, table_json(id, title, scale, table)).expect("can write json");
+        println!("(json: {})", path.display());
+    }
+    println!();
+}
+
+/// The JSON record [`emit`] writes for `--json` runs.
+#[must_use]
+pub fn table_json(id: &str, title: &str, scale: &str, table: &Table) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("id");
+    w.string(id);
+    w.key("title");
+    w.string(title);
+    w.key("trace");
+    w.string(scale);
+    w.key("headers");
+    w.begin_array();
+    for h in table.headers() {
+        w.string(h);
+    }
+    w.end_array();
+    w.key("rows");
+    w.begin_array();
+    for row in table.rows() {
+        w.begin_array();
+        for cell in row {
+            w.string(cell);
+        }
+        w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+    let mut s = w.finish();
+    s.push('\n');
+    s
 }
 
 #[cfg(test)]
@@ -76,5 +126,19 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text, "a\n1\n");
         std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn table_json_record_shape() {
+        let mut t = Table::new(vec!["size", "ea"]);
+        t.row(vec!["1MB".into(), "31.40".into()]);
+        assert_eq!(
+            table_json("fig1", "hit rates", "medium", &t),
+            concat!(
+                r#"{"id":"fig1","title":"hit rates","trace":"medium","#,
+                r#""headers":["size","ea"],"rows":[["1MB","31.40"]]}"#,
+                "\n"
+            )
+        );
     }
 }

@@ -6,7 +6,8 @@ use crate::args::{
 };
 use coopcache_metrics::{pct, Table};
 use coopcache_net::LoopbackCluster;
-use coopcache_sim::{capacity_sweep, run, SimConfig, PAPER_CACHE_SIZES};
+use coopcache_obs::{Event, EventSink, HistogramSink, JsonlSink, SinkHandle};
+use coopcache_sim::{capacity_sweep, run, run_with_sink, SimConfig, PAPER_CACHE_SIZES};
 use coopcache_trace::{generate, read_trace, write_trace, Rng, Trace, TraceProfile};
 use coopcache_types::{ByteSize, DocId, DurationMs};
 use std::io::Write;
@@ -35,6 +36,8 @@ COMMANDS:
                 --discovery icp|isolated|digest:SECONDS (default icp)
                 --ttl SECONDS                 (default none)
                 --warmup FRACTION             (default 0)
+                --events PATH                 (stream events as JSONL)
+                --event-summary true          (print event histograms)
     sweep     compare ad-hoc and EA across the paper's five sizes
                 --trace PATH | --profile NAME (default small)
                 --caches N                    (default 4)
@@ -118,14 +121,11 @@ fn cmd_gen<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
         .get("out")
         .ok_or_else(|| ArgError("gen requires --out PATH".into()))?;
     let trace = generate(&profile).map_err(|e| ArgError(e.to_string()))?;
-    let file = std::fs::File::create(path)
-        .map_err(|e| ArgError(format!("cannot create {path}: {e}")))?;
+    let file =
+        std::fs::File::create(path).map_err(|e| ArgError(format!("cannot create {path}: {e}")))?;
     write_trace(std::io::BufWriter::new(file), &trace)
         .map_err(|e| ArgError(format!("write failed: {e}")))?;
-    write_out(
-        out,
-        format!("wrote {} records to {path}\n", trace.len()),
-    )
+    write_out(out, format!("wrote {} records to {path}\n", trace.len()))
 }
 
 fn cmd_stats<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
@@ -146,6 +146,34 @@ fn cmd_stats<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
     write_out(out, table.to_string())
 }
 
+/// Both optional simulate observers behind one `EventSink`, so a single
+/// handle feeds the JSONL stream and the histogram summary.
+struct SimulateSink {
+    jsonl: Option<JsonlSink<std::io::BufWriter<std::fs::File>>>,
+    summary: Option<HistogramSink>,
+}
+
+impl EventSink for SimulateSink {
+    fn emit(&mut self, event: &Event) {
+        if let Some(jsonl) = &mut self.jsonl {
+            jsonl.emit(event);
+        }
+        if let Some(summary) = &mut self.summary {
+            summary.emit(event);
+        }
+    }
+}
+
+fn parse_bool(flag: &str, value: &str) -> Result<bool, ArgError> {
+    match value {
+        "true" | "yes" | "1" => Ok(true),
+        "false" | "no" | "0" => Ok(false),
+        other => Err(ArgError(format!(
+            "--{flag} {other:?}: expected true or false"
+        ))),
+    }
+}
+
 fn cmd_simulate<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
     args.expect_only(&[
         "trace",
@@ -157,6 +185,8 @@ fn cmd_simulate<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError
         "discovery",
         "ttl",
         "warmup",
+        "events",
+        "event-summary",
     ])?;
     let trace = load_trace(args)?;
     let aggregate = parse_size(args.get("aggregate").unwrap_or("10MB"))?;
@@ -177,7 +207,34 @@ fn cmd_simulate<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError
     }
     cfg = cfg.with_warmup_fraction(warmup);
 
-    let report = run(&cfg, &trace);
+    let events_path = args.get("events");
+    let want_summary = parse_bool(
+        "event-summary",
+        args.get("event-summary").unwrap_or("false"),
+    )?;
+    let (report, sink) = if events_path.is_some() || want_summary {
+        let jsonl = events_path
+            .map(|path| {
+                let file = std::fs::File::create(path)
+                    .map_err(|e| ArgError(format!("cannot create {path}: {e}")))?;
+                Ok::<_, ArgError>(JsonlSink::new(std::io::BufWriter::new(file)))
+            })
+            .transpose()?;
+        let sink = std::sync::Arc::new(std::sync::Mutex::new(SimulateSink {
+            jsonl,
+            summary: want_summary.then(HistogramSink::new),
+        }));
+        let handle = SinkHandle::from_arc(std::sync::Arc::clone(&sink));
+        let report = run_with_sink(&cfg, &trace, Some(handle));
+        // The runner's group is gone, so ours is the last handle.
+        let sink = std::sync::Arc::try_unwrap(sink)
+            .map_err(|_| ArgError("event sink is still shared after the run".into()))?
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        (report, Some(sink))
+    } else {
+        (run(&cfg, &trace), None)
+    };
     let mut table = Table::new(vec!["metric", "value"]);
     table.row(vec!["configuration".into(), cfg.to_string()]);
     table.row(vec!["requests".into(), report.metrics.requests.to_string()]);
@@ -209,14 +266,29 @@ fn cmd_simulate<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError
         "messages / request".into(),
         format!(
             "{:.2}",
-            report.protocol.messages_per_request(report.metrics.requests)
+            report
+                .protocol
+                .messages_per_request(report.metrics.requests)
         ),
     ]);
     table.row(vec![
         "replicated doc slots".into(),
         report.replica_overhead().to_string(),
     ]);
-    write_out(out, table.to_string())
+    write_out(out, table.to_string())?;
+    if let Some(sink) = sink {
+        if let Some(jsonl) = sink.jsonl {
+            let lines = jsonl
+                .finish()
+                .map_err(|e| ArgError(format!("--events write failed: {e}")))?;
+            let path = events_path.expect("jsonl sink implies --events");
+            write_out(out, format!("wrote {lines} events to {path}\n"))?;
+        }
+        if let Some(summary) = sink.summary {
+            write_out(out, summary.render_summary())?;
+        }
+    }
+    Ok(())
 }
 
 fn cmd_sweep<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
@@ -293,7 +365,10 @@ fn cmd_analyze<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError>
 
     let mut table = Table::new(vec!["property", "value"]);
     table.row(vec!["requests".into(), trace.len().to_string()]);
-    table.row(vec!["unique documents".into(), pop.unique_docs().to_string()]);
+    table.row(vec![
+        "unique documents".into(),
+        pop.unique_docs().to_string(),
+    ]);
     table.row(vec![
         "zipf alpha (fit)".into(),
         pop.zipf_alpha_fit()
@@ -343,8 +418,8 @@ fn cmd_import<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> 
     };
     let file = std::fs::File::open(log_path)
         .map_err(|e| ArgError(format!("cannot open {log_path}: {e}")))?;
-    let parsed = parse_log(file, format, ByteSize::from_kb(4))
-        .map_err(|e| ArgError(e.to_string()))?;
+    let parsed =
+        parse_log(file, format, ByteSize::from_kb(4)).map_err(|e| ArgError(e.to_string()))?;
     let out_file = std::fs::File::create(out_path)
         .map_err(|e| ArgError(format!("cannot create {out_path}: {e}")))?;
     write_trace(std::io::BufWriter::new(out_file), &parsed.trace)
@@ -393,7 +468,13 @@ mod tests {
         let path_s = path.to_str().unwrap();
 
         let text = run_cmd(&[
-            "gen", "--profile", "small", "--requests", "2000", "--out", path_s,
+            "gen",
+            "--profile",
+            "small",
+            "--requests",
+            "2000",
+            "--out",
+            path_s,
         ])
         .unwrap();
         assert!(text.contains("2000 records"));
@@ -403,7 +484,13 @@ mod tests {
         assert!(text.contains("2000"));
 
         let text = run_cmd(&[
-            "simulate", "--trace", path_s, "--aggregate", "200KB", "--scheme", "ea",
+            "simulate",
+            "--trace",
+            path_s,
+            "--aggregate",
+            "200KB",
+            "--scheme",
+            "ea",
         ])
         .unwrap();
         assert!(text.contains("hit rate %"));
@@ -417,7 +504,10 @@ mod tests {
         assert!(run_cmd(&["simulate", "--warmup", "2.0"]).is_err());
         assert!(run_cmd(&["simulate", "--bogus", "1"]).is_err());
         assert!(run_cmd(&["stats", "--trace", "/nonexistent/x"]).is_err());
-        assert!(run_cmd(&["gen", "--profile", "small"]).is_err(), "--out required");
+        assert!(
+            run_cmd(&["gen", "--profile", "small"]).is_err(),
+            "--out required"
+        );
     }
 
     #[test]
@@ -444,6 +534,58 @@ mod tests {
         .unwrap();
         assert!(text.contains("8 caches"));
         assert!(text.contains("lfu replacement"));
+    }
+
+    #[test]
+    fn simulate_streams_events_and_summary() {
+        let dir = std::env::temp_dir().join("coopcache_cli_events");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let path_s = path.to_str().unwrap();
+        let text = run_cmd(&[
+            "simulate",
+            "--profile",
+            "small",
+            "--aggregate",
+            "200KB",
+            "--events",
+            path_s,
+            "--event-summary",
+            "true",
+        ])
+        .unwrap();
+        assert!(text.contains("hit rate %"));
+        assert!(text.contains(&format!("events to {path_s}")), "{text}");
+        assert!(text.contains("event summary:"), "{text}");
+        let stream = std::fs::read_to_string(&path).unwrap();
+        let first = stream.lines().next().unwrap();
+        assert!(first.starts_with("{\"ev\":"), "{first}");
+        // One request event per trace record, at least.
+        assert!(
+            stream.lines().count() > 20_000,
+            "{}",
+            stream.lines().count()
+        );
+        // Replaying the identical run yields a byte-identical stream.
+        let path2 = dir.join("events2.jsonl");
+        run_cmd(&[
+            "simulate",
+            "--profile",
+            "small",
+            "--aggregate",
+            "200KB",
+            "--events",
+            path2.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(stream, std::fs::read_to_string(&path2).unwrap());
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&path2).unwrap();
+    }
+
+    #[test]
+    fn event_summary_flag_is_validated() {
+        assert!(run_cmd(&["simulate", "--event-summary", "maybe"]).is_err());
     }
 
     #[test]

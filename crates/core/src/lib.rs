@@ -48,6 +48,8 @@ mod stats;
 pub use cache::{Cache, InsertOutcome};
 pub use entry::{CacheEntry, EvictionReason, EvictionRecord};
 pub use expiration::{ExpirationTracker, ExpirationWindow};
-pub use placement::PlacementScheme;
-pub use policy::{ExpirationFlavor, Fifo, Gds, Gdsf, Lfu, Lru, PolicyKind, ReplacementPolicy, Slru};
+pub use placement::{PlacementScheme, TieBreak};
+pub use policy::{
+    ExpirationFlavor, Fifo, Gds, Gdsf, Lfu, Lru, PolicyKind, ReplacementPolicy, Slru,
+};
 pub use stats::CacheStats;

@@ -2,7 +2,36 @@
 //! paper's expiration-age (EA) rule.
 
 use coopcache_types::ExpirationAge;
+use std::cmp::Ordering;
 use std::fmt;
+
+/// What the EA requester rule does when both expiration ages are exactly
+/// equal — the point where the paper's two statements of the rule diverge
+/// (§3.4 strict ">", §3.5 "≥").
+///
+/// Whatever the choice, the responder rule is its exact complement, so a
+/// tie never leads to both sides (or neither side) refreshing the
+/// document's lease on life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TieBreak {
+    /// §3.4: on a tie the requester does **not** store; the responder
+    /// keeps (promotes) its copy. This is the default, being the reading
+    /// consistent with the paper's Table 2.
+    #[default]
+    ResponderKeeps,
+    /// §3.5: on a tie the requester stores and the responder lets its
+    /// copy age out. Ablation variant (ABL-T).
+    RequesterStores,
+}
+
+impl fmt::Display for TieBreak {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ResponderKeeps => f.write_str("responder-keeps"),
+            Self::RequesterStores => f.write_str("requester-stores"),
+        }
+    }
+}
 
 /// A document placement scheme for cooperative caching.
 ///
@@ -22,11 +51,11 @@ use std::fmt;
 /// kept alive) where it is expected to survive longest.
 ///
 /// The paper states the requester rule twice with different tie handling
-/// (§3.4 strict ">", §3.5 "≥"). [`PlacementScheme::Ea`] uses the strict
-/// form, which is the one consistent with the paper's Table 2 (see
-/// `coopcache_types::ExpirationAge::allows_store_given`);
-/// [`PlacementScheme::EaTieStore`] implements the §3.5 reading and is
-/// compared against it in the ABL-T ablation bench.
+/// (§3.4 strict ">", §3.5 "≥"). The choice is the explicit [`TieBreak`]
+/// config: [`PlacementScheme::Ea`] is `ea(TieBreak::ResponderKeeps)` (the
+/// strict form, consistent with the paper's Table 2);
+/// [`PlacementScheme::EaTieStore`] is `ea(TieBreak::RequesterStores)`
+/// (the §3.5 reading, compared in the ABL-T ablation bench).
 ///
 /// # Example
 ///
@@ -58,33 +87,60 @@ pub enum PlacementScheme {
 }
 
 impl PlacementScheme {
+    /// The EA scheme with an explicit tie rule.
+    #[must_use]
+    pub const fn ea(tie: TieBreak) -> Self {
+        match tie {
+            TieBreak::ResponderKeeps => Self::Ea,
+            TieBreak::RequesterStores => Self::EaTieStore,
+        }
+    }
+
+    /// The tie rule in force (`None` for ad-hoc, which never compares
+    /// ages).
+    #[must_use]
+    pub const fn tie_break(self) -> Option<TieBreak> {
+        match self {
+            Self::AdHoc => None,
+            Self::Ea => Some(TieBreak::ResponderKeeps),
+            Self::EaTieStore => Some(TieBreak::RequesterStores),
+        }
+    }
+
     /// Decision 1: does the requester store the document it received from
     /// a supplier (sibling responder, parent, or — degenerately — the
     /// origin server)?
     ///
-    /// [`Ea`](Self::Ea): stores iff strictly older than the supplier.
-    /// [`EaTieStore`](Self::EaTieStore): stores iff at least as old.
+    /// EA stores when strictly older than the supplier; an exact tie is
+    /// resolved by the [`TieBreak`] config.
     #[must_use]
     pub fn requester_stores(self, requester: ExpirationAge, supplier: ExpirationAge) -> bool {
-        match self {
-            Self::AdHoc => true,
-            Self::Ea => requester.allows_store_given(supplier),
-            Self::EaTieStore => requester >= supplier,
+        match self.tie_break() {
+            None => true,
+            Some(tie) => match requester.cmp(&supplier) {
+                Ordering::Greater => true,
+                Ordering::Equal => tie == TieBreak::RequesterStores,
+                Ordering::Less => false,
+            },
         }
     }
 
     /// Decision 2: does the responder promote its copy to the head of its
     /// replacement order after serving a remote hit?
     ///
-    /// Always the exact complement of the requester rule, so for every
-    /// age pair exactly one side keeps the document's lease on life —
+    /// Always the exact complement of the requester rule — on a tie the
+    /// copy is refreshed at whichever side [`TieBreak`] keeps it — so for
+    /// every age pair exactly one side keeps the document's lease on life:
     /// the paper's worst-case guarantee (§3.5) without double-refreshing.
     #[must_use]
     pub fn responder_promotes(self, responder: ExpirationAge, requester: ExpirationAge) -> bool {
-        match self {
-            Self::AdHoc => true,
-            Self::Ea => responder.allows_promote_given(requester),
-            Self::EaTieStore => responder > requester,
+        match self.tie_break() {
+            None => true,
+            Some(tie) => match responder.cmp(&requester) {
+                Ordering::Greater => true,
+                Ordering::Equal => tie == TieBreak::ResponderKeeps,
+                Ordering::Less => false,
+            },
         }
     }
 
@@ -94,14 +150,17 @@ impl PlacementScheme {
     /// Under EA the parent stores iff its expiration age is strictly
     /// greater than the requesting child's (paper §3.4: "If the Cache
     /// Expiration Age of the parent cache is greater than that of the
-    /// Requester, it stores a copy"); the tie-store variant relaxes this
-    /// to "at least as great", mirroring its requester rule.
+    /// Requester, it stores a copy"); a tie is resolved by the same
+    /// [`TieBreak`] as the requester rule.
     #[must_use]
     pub fn parent_stores(self, parent: ExpirationAge, requester: ExpirationAge) -> bool {
-        match self {
-            Self::AdHoc => true,
-            Self::Ea => parent > requester,
-            Self::EaTieStore => parent >= requester,
+        match self.tie_break() {
+            None => true,
+            Some(tie) => match parent.cmp(&requester) {
+                Ordering::Greater => true,
+                Ordering::Equal => tie == TieBreak::RequesterStores,
+                Ordering::Less => false,
+            },
         }
     }
 
@@ -148,7 +207,10 @@ mod tests {
     fn ea_requester_rule_is_strict() {
         let ea = PlacementScheme::Ea;
         assert!(ea.requester_stores(fin(200), fin(100)));
-        assert!(!ea.requester_stores(fin(100), fin(100)), "ties do not store");
+        assert!(
+            !ea.requester_stores(fin(100), fin(100)),
+            "ties do not store"
+        );
         assert!(!ea.requester_stores(fin(50), fin(100)));
         assert!(ea.requester_stores(INF, fin(100)));
         assert!(!ea.requester_stores(fin(50), INF));
@@ -171,7 +233,10 @@ mod tests {
         assert!(v.requester_stores(fin(100), fin(100)), "ties store");
         assert!(v.requester_stores(INF, INF));
         assert!(!v.requester_stores(fin(50), fin(100)));
-        assert!(!v.responder_promotes(fin(100), fin(100)), "ties do not promote");
+        assert!(
+            !v.responder_promotes(fin(100), fin(100)),
+            "ties do not promote"
+        );
         assert!(v.responder_promotes(fin(200), fin(100)));
         assert!(v.parent_stores(fin(100), fin(100)));
     }
@@ -202,6 +267,37 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn tie_break_default_is_responder_keeps() {
+        // Pins the chosen default: the §3.4 strict-">" reading.
+        assert_eq!(TieBreak::default(), TieBreak::ResponderKeeps);
+        assert_eq!(
+            PlacementScheme::ea(TieBreak::default()),
+            PlacementScheme::Ea
+        );
+        assert_eq!(
+            PlacementScheme::Ea.tie_break(),
+            Some(TieBreak::ResponderKeeps)
+        );
+        assert_eq!(
+            PlacementScheme::EaTieStore.tie_break(),
+            Some(TieBreak::RequesterStores)
+        );
+        assert_eq!(PlacementScheme::AdHoc.tie_break(), None);
+        // Under the default, a tie does not store at the requester and
+        // does promote at the responder.
+        let ea = PlacementScheme::ea(TieBreak::default());
+        assert!(!ea.requester_stores(fin(100), fin(100)));
+        assert!(ea.responder_promotes(fin(100), fin(100)));
+        assert!(!ea.parent_stores(fin(100), fin(100)));
+    }
+
+    #[test]
+    fn tie_break_display() {
+        assert_eq!(TieBreak::ResponderKeeps.to_string(), "responder-keeps");
+        assert_eq!(TieBreak::RequesterStores.to_string(), "requester-stores");
     }
 
     #[test]

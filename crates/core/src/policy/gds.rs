@@ -57,7 +57,14 @@ impl Gds {
         let seq = self.next_seq;
         self.next_seq += 1;
         let priority = self.priority(size);
-        if let Some(old) = self.state.insert(doc, GdsState { priority, seq, size }) {
+        if let Some(old) = self.state.insert(
+            doc,
+            GdsState {
+                priority,
+                seq,
+                size,
+            },
+        ) {
             self.order.remove(&(old.priority, old.seq, doc));
         }
         self.order.insert((priority, seq, doc));
@@ -128,7 +135,7 @@ mod tests {
         g.on_insert(d(2), ByteSize::from_kb(1));
         g.on_remove(d(2)); // clock -> 1.0
         g.on_insert(d(3), ByteSize::from_kb(1)); // H = 2.0
-        // Doc 1 still has H = 1.0 and is the victim...
+                                                 // Doc 1 still has H = 1.0 and is the victim...
         assert_eq!(g.victim(), Some(d(1)));
         // ...until a hit re-inflates it to H = 2.0; tie-break then favors
         // the less recently re-keyed doc 3? No: doc 3 has an earlier seq.

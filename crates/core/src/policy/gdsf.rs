@@ -177,9 +177,9 @@ mod tests {
         g.on_insert(d(2), ByteSize::from_kb(1)); // priority 1.0
         assert_eq!(g.victim(), Some(d(2)));
         g.on_remove(d(2)); // clock inflates to 1.0
-        // A fresh single-hit doc now ties the stale frequent one at 2.0;
-        // the tie breaks toward the older entry, so the stale frequent
-        // document has lost its immunity.
+                           // A fresh single-hit doc now ties the stale frequent one at 2.0;
+                           // the tie breaks toward the older entry, so the stale frequent
+                           // document has lost its immunity.
         g.on_insert(d(3), ByteSize::from_kb(1));
         assert_eq!(g.victim(), Some(d(1)));
     }

@@ -55,6 +55,18 @@ impl Table {
         self
     }
 
+    /// The column headers.
+    #[must_use]
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows, in insertion order.
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Number of data rows.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -84,7 +96,11 @@ impl Table {
         writeln!(
             w,
             "{}",
-            self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(",")
         )?;
         for row in &self.rows {
             writeln!(
@@ -94,6 +110,33 @@ impl Table {
             )?;
         }
         Ok(())
+    }
+
+    /// Renders the table as one compact JSON object:
+    /// `{"headers":[...],"rows":[[...],...]}` — cells stay strings, so
+    /// the encoding is lossless and byte-stable.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut w = coopcache_obs::JsonWriter::new();
+        w.begin_object();
+        w.key("headers");
+        w.begin_array();
+        for h in &self.headers {
+            w.string(h);
+        }
+        w.end_array();
+        w.key("rows");
+        w.begin_array();
+        for row in &self.rows {
+            w.begin_array();
+            for cell in row {
+                w.string(cell);
+            }
+            w.end_array();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
     }
 
     fn widths(&self) -> Vec<usize> {
@@ -206,6 +249,22 @@ mod tests {
     fn len_and_is_empty() {
         assert!(Table::new(vec!["a"]).is_empty());
         assert_eq!(sample().len(), 2);
+    }
+
+    #[test]
+    fn accessors_expose_cells() {
+        let t = sample();
+        assert_eq!(t.headers(), ["a", "bb"]);
+        assert_eq!(t.rows().len(), 2);
+        assert_eq!(t.rows()[1][0], "333");
+    }
+
+    #[test]
+    fn json_output() {
+        assert_eq!(
+            sample().to_json(),
+            r#"{"headers":["a","bb"],"rows":[["1","2"],["333","4"]]}"#
+        );
     }
 
     #[test]

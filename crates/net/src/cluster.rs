@@ -4,6 +4,7 @@ use crate::clock::SharedClock;
 use crate::daemon::{BoundSockets, CacheDaemon, DaemonConfig, PeerAddr};
 use crate::origin::OriginServer;
 use coopcache_core::PlacementScheme;
+use coopcache_obs::SinkHandle;
 use coopcache_proxy::RequestOutcome;
 use coopcache_types::{ByteSize, CacheId, DocId};
 use std::io;
@@ -89,11 +90,7 @@ impl LoopbackCluster {
         let mut daemons = Vec::with_capacity(usize::from(n));
         for (i, socket) in sockets.into_iter().enumerate() {
             let id = CacheId::new(i as u16);
-            let peers: Vec<PeerAddr> = addrs
-                .iter()
-                .copied()
-                .filter(|p| p.id != id)
-                .collect();
+            let peers: Vec<PeerAddr> = addrs.iter().copied().filter(|p| p.id != id).collect();
             daemons.push(CacheDaemon::start(
                 DaemonConfig::loopback(id, per_cache_capacity, scheme),
                 socket,
@@ -103,6 +100,15 @@ impl LoopbackCluster {
             )?);
         }
         Ok(Self { daemons, origin })
+    }
+
+    /// Installs a shared event sink into every daemon: each emits
+    /// `Request` events with measured wall-clock latency, plus the
+    /// placement/eviction events of its inner node.
+    pub fn set_sink(&mut self, sink: SinkHandle) {
+        for daemon in &mut self.daemons {
+            daemon.set_sink(sink.clone());
+        }
     }
 
     /// Number of caches in the cluster.
@@ -172,14 +178,27 @@ mod tests {
         let cluster = LoopbackCluster::start(3, kb(64), PlacementScheme::AdHoc).unwrap();
         // Cold: miss at cache 0, stored.
         let out = cluster.request(0, d(1), kb(4)).unwrap();
-        assert!(matches!(out, RequestOutcome::Miss { stored_locally: true, .. }), "{out:?}");
+        assert!(
+            matches!(
+                out,
+                RequestOutcome::Miss {
+                    stored_locally: true,
+                    ..
+                }
+            ),
+            "{out:?}"
+        );
         // Warm: local hit at cache 0.
         let out = cluster.request(0, d(1), kb(4)).unwrap();
         assert_eq!(out, RequestOutcome::LocalHit);
         // Cross: remote hit from cache 1, served by cache 0.
         let out = cluster.request(1, d(1), kb(4)).unwrap();
         match out {
-            RequestOutcome::RemoteHit { responder, stored_locally, .. } => {
+            RequestOutcome::RemoteHit {
+                responder,
+                stored_locally,
+                ..
+            } => {
                 assert_eq!(responder, CacheId::new(0));
                 assert!(stored_locally, "ad-hoc replicates");
             }
@@ -195,7 +214,11 @@ mod tests {
         cluster.request(0, d(7), kb(4)).unwrap();
         let out = cluster.request(1, d(7), kb(4)).unwrap();
         match out {
-            RequestOutcome::RemoteHit { stored_locally, promoted_at_responder, .. } => {
+            RequestOutcome::RemoteHit {
+                stored_locally,
+                promoted_at_responder,
+                ..
+            } => {
                 assert!(!stored_locally, "infinite-age tie must not store");
                 assert!(promoted_at_responder);
             }
@@ -235,11 +258,67 @@ mod tests {
         // Every distinct doc reached the origin at least once and at most
         // a handful of times (races may duplicate a fetch, never lose one).
         assert!(cluster.origin_fetches() >= 10);
-        assert!(cluster.origin_fetches() <= 40, "{}", cluster.origin_fetches());
+        assert!(
+            cluster.origin_fetches() <= 40,
+            "{}",
+            cluster.origin_fetches()
+        );
         match std::sync::Arc::try_unwrap(cluster) {
             Ok(cluster) => cluster.shutdown(),
             Err(_) => panic!("all threads joined, Arc must be unique"),
         }
+    }
+
+    #[test]
+    fn sink_sees_wire_requests_and_latency_is_recorded() {
+        use crate::daemon::ServeSource;
+        use coopcache_obs::{EventKind, HistogramSink, RequestClass, RingBufferSink, SinkHandle};
+        use std::sync::{Arc, Mutex};
+        let mut cluster = LoopbackCluster::start(2, kb(64), PlacementScheme::Ea).unwrap();
+        let sink = Arc::new(Mutex::new(HistogramSink::new()));
+        cluster.set_sink(SinkHandle::from_arc(Arc::clone(&sink)));
+        cluster.request(0, d(1), kb(4)).unwrap(); // miss
+        cluster.request(0, d(1), kb(4)).unwrap(); // local hit
+        cluster.request(1, d(1), kb(4)).unwrap(); // remote hit
+        {
+            let agg = sink.lock().unwrap();
+            assert_eq!(agg.count(EventKind::Request), 3);
+            assert_eq!(agg.request_split(), (1, 1, 1));
+            // Every wire request carries a measured wall-clock latency.
+            assert_eq!(agg.request_latency_us.count(), 3);
+        }
+        // Per-source histograms on the daemons agree with the outcomes.
+        let at0: Vec<ServeSource> = cluster
+            .daemon(0)
+            .latency_snapshots()
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
+        assert_eq!(at0, vec![ServeSource::Local, ServeSource::Origin]);
+        let at1 = cluster.daemon(1).latency_snapshots();
+        assert_eq!(at1.len(), 1);
+        assert!(matches!(at1[0].0, ServeSource::Peer(id) if id == CacheId::new(0)));
+        assert_eq!(at1[0].1.count, 1);
+        // A ring sink on one daemon records the event sequence verbatim.
+        let ring = Arc::new(Mutex::new(RingBufferSink::new(16)));
+        cluster.set_sink(SinkHandle::from_arc(Arc::clone(&ring)));
+        cluster.request(1, d(1), kb(4)).unwrap(); // remote hit again
+        let ring = ring.lock().unwrap();
+        let requests: Vec<_> = ring
+            .events()
+            .filter(|e| e.kind() == EventKind::Request)
+            .collect();
+        assert_eq!(requests.len(), 1);
+        match requests[0] {
+            coopcache_obs::Event::Request {
+                class, latency_us, ..
+            } => {
+                assert_eq!(*class, RequestClass::RemoteHit);
+                assert!(latency_us.is_some());
+            }
+            other => panic!("expected request event, got {other:?}"),
+        }
+        cluster.shutdown();
     }
 
     #[test]

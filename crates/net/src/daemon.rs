@@ -12,15 +12,23 @@ use crate::clock::SharedClock;
 use crate::origin::{drain_body, fetch_from_origin, write_body};
 use crate::wire::WireMessage;
 use coopcache_core::{ExpirationWindow, PlacementScheme, PolicyKind};
+use coopcache_obs::{Event, Histogram, HistogramSnapshot, SinkHandle};
 use coopcache_proxy::{IcpQuery, ProxyNode, RequestOutcome};
 use coopcache_types::{ByteSize, CacheId, DocId};
-use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Locks a mutex, recovering the data from a poisoned lock — a panicked
+/// server thread should degrade the daemon, not wedge it.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Addresses a daemon needs to reach a peer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +107,28 @@ impl BoundSockets {
     }
 }
 
+/// Where a client request was ultimately served from — the key of the
+/// daemon's wall-clock latency breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ServeSource {
+    /// Served from this daemon's own cache.
+    Local,
+    /// Fetched from the given peer over TCP.
+    Peer(CacheId),
+    /// Fetched from the origin server.
+    Origin,
+}
+
+impl fmt::Display for ServeSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Local => f.write_str("local"),
+            Self::Peer(id) => write!(f, "peer:{}", id.as_u16()),
+            Self::Origin => f.write_str("origin"),
+        }
+    }
+}
+
 /// A running cache daemon.
 #[derive(Debug)]
 pub struct CacheDaemon {
@@ -109,6 +139,13 @@ pub struct CacheDaemon {
     origin: SocketAddr,
     stop: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
+    /// Optional event stream; installed into the node too, so placement
+    /// and eviction events flow alongside the daemon's request events.
+    sink: Option<SinkHandle>,
+    /// Request sequence numbers for the event stream.
+    seq: AtomicU64,
+    /// Measured wall-clock request latency (µs), split by serve source.
+    latency: Mutex<BTreeMap<ServeSource, Histogram>>,
 }
 
 impl CacheDaemon {
@@ -175,6 +212,9 @@ impl CacheDaemon {
             origin,
             stop,
             threads,
+            sink: None,
+            seq: AtomicU64::new(0),
+            latency: Mutex::new(BTreeMap::new()),
         })
     }
 
@@ -184,22 +224,71 @@ impl CacheDaemon {
         self.config.id
     }
 
+    /// Installs an event sink: the daemon emits a `Request` event (with
+    /// measured wall-clock latency) per served request, and the inner
+    /// node emits placement/eviction events through the same sink.
+    pub fn set_sink(&mut self, sink: SinkHandle) {
+        lock(&self.node).set_sink(sink.clone());
+        self.sink = Some(sink);
+    }
+
+    /// Snapshot of the wall-clock latency histograms, one per serve
+    /// source, in `ServeSource` order.
+    #[must_use]
+    pub fn latency_snapshots(&self) -> Vec<(ServeSource, HistogramSnapshot)> {
+        lock(&self.latency)
+            .iter()
+            .map(|(source, hist)| (*source, hist.snapshot()))
+            .collect()
+    }
+
     /// Runs a closure with read access to the underlying node (for
     /// inspecting stats and cache contents).
     pub fn with_node<R>(&self, f: impl FnOnce(&ProxyNode) -> R) -> R {
-        f(&self.node.lock())
+        f(&lock(&self.node))
     }
 
-    /// Serves one client request end-to-end over the real network.
+    /// Serves one client request end-to-end over the real network,
+    /// recording its wall-clock latency (and emitting a `Request` event
+    /// when a sink is installed).
     ///
     /// # Errors
     ///
     /// Propagates socket errors (a vanished peer is handled by falling
     /// back to the origin, not reported as an error).
     pub fn request(&self, doc: DocId, size: ByteSize) -> io::Result<RequestOutcome> {
+        let started = Instant::now();
+        let outcome = self.serve(doc, size)?;
+        let latency_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let source = match outcome {
+            RequestOutcome::LocalHit => ServeSource::Local,
+            RequestOutcome::RemoteHit { responder, .. } => ServeSource::Peer(responder),
+            RequestOutcome::Miss { .. } => ServeSource::Origin,
+        };
+        lock(&self.latency)
+            .entry(source)
+            .or_default()
+            .record(latency_us);
+        if let Some(sink) = &self.sink {
+            let (class, responder, stored) = outcome.event_parts();
+            sink.emit(&Event::Request {
+                seq: self.seq.fetch_add(1, Ordering::Relaxed),
+                cache: self.config.id,
+                doc,
+                class,
+                responder,
+                stored,
+                latency_us: Some(latency_us),
+            });
+        }
+        Ok(outcome)
+    }
+
+    /// The protocol flow behind [`CacheDaemon::request`].
+    fn serve(&self, doc: DocId, size: ByteSize) -> io::Result<RequestOutcome> {
         // 1. Local lookup.
         let now = self.clock.now();
-        if self.node.lock().handle_client_lookup(doc, now).is_some() {
+        if lock(&self.node).handle_client_lookup(doc, now).is_some() {
             return Ok(RequestOutcome::LocalHit);
         }
 
@@ -222,10 +311,7 @@ impl CacheDaemon {
             size.as_bytes(),
             self.config.io_timeout,
         )?;
-        let stored = self
-            .node
-            .lock()
-            .complete_origin_fetch(doc, size, self.clock.now());
+        let stored = lock(&self.node).complete_origin_fetch(doc, size, self.clock.now());
         Ok(RequestOutcome::Miss {
             stored_locally: stored,
             stored_at_ancestor: false,
@@ -260,11 +346,7 @@ impl CacheDaemon {
                         }
                         replies += 1;
                         if reply.hit {
-                            return Ok(self
-                                .peers
-                                .iter()
-                                .copied()
-                                .find(|p| p.id == reply.from));
+                            return Ok(self.peers.iter().copied().find(|p| p.id == reply.from));
                         }
                     }
                 }
@@ -283,7 +365,7 @@ impl CacheDaemon {
     /// Fetches `doc` from `peer` over TCP. Returns `Ok(None)` when the
     /// peer no longer holds the document.
     fn fetch_from_peer(&self, peer: PeerAddr, doc: DocId) -> io::Result<Option<RequestOutcome>> {
-        let sent = self.node.lock().build_http_request(doc);
+        let sent = lock(&self.node).build_http_request(doc);
         let mut stream = TcpStream::connect_timeout(&peer.doc, self.config.io_timeout)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(self.config.io_timeout))?;
@@ -313,10 +395,7 @@ impl CacheDaemon {
             .config
             .scheme
             .responder_promotes(response.responder_age, sent.requester_age);
-        let stored = self
-            .node
-            .lock()
-            .complete_remote_fetch(sent, response, self.clock.now());
+        let stored = lock(&self.node).complete_remote_fetch(sent, response, self.clock.now());
         Ok(Some(RequestOutcome::RemoteHit {
             responder: peer.id,
             stored_locally: stored,
@@ -346,13 +425,13 @@ fn icp_loop(socket: &UdpSocket, node: &Mutex<ProxyNode>, stop: &AtomicBool) {
         match socket.recv_from(&mut buf) {
             Ok((n, from)) => {
                 if let Ok(WireMessage::IcpQuery(query)) = WireMessage::decode(&buf[..n]) {
-                    let reply = node.lock().handle_icp_query(query);
+                    let reply = lock(node).handle_icp_query(query);
                     let _ = socket.send_to(&WireMessage::IcpReply(reply).encode(), from);
                 }
             }
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut => {}
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
             Err(_) => break,
         }
     }
@@ -381,17 +460,24 @@ fn doc_loop(
     }
 }
 
-fn serve_doc(stream: &mut TcpStream, node: &Mutex<ProxyNode>, clock: &SharedClock) -> io::Result<()> {
+fn serve_doc(
+    stream: &mut TcpStream,
+    node: &Mutex<ProxyNode>,
+    clock: &SharedClock,
+) -> io::Result<()> {
     let mut len_buf = [0u8; 4];
     stream.read_exact(&mut len_buf)?;
     let header_len = u32::from_be_bytes(len_buf) as usize;
     if header_len > 1024 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "oversized header"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "oversized header",
+        ));
     }
     let mut header = vec![0u8; header_len];
     stream.read_exact(&mut header)?;
-    let decoded = WireMessage::decode(&header)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let decoded =
+        WireMessage::decode(&header).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     let WireMessage::DocRequest(request) = decoded else {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -399,7 +485,7 @@ fn serve_doc(stream: &mut TcpStream, node: &Mutex<ProxyNode>, clock: &SharedCloc
         ));
     };
     let (response, found) = {
-        let mut node = node.lock();
+        let mut node = lock(node);
         match node.handle_http_request(request, clock.now()) {
             Some(response) => (response, true),
             None => (

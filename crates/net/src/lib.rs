@@ -34,6 +34,6 @@ mod wire;
 
 pub use clock::SharedClock;
 pub use cluster::LoopbackCluster;
-pub use daemon::{BoundSockets, CacheDaemon, DaemonConfig, PeerAddr};
+pub use daemon::{BoundSockets, CacheDaemon, DaemonConfig, PeerAddr, ServeSource};
 pub use origin::OriginServer;
 pub use wire::{DecodeError, WireMessage, MAGIC};

@@ -133,12 +133,7 @@ impl Drop for OriginServer {
     }
 }
 
-fn serve_loop(
-    listener: &TcpListener,
-    delay: Duration,
-    served: &AtomicU64,
-    stop: &AtomicBool,
-) {
+fn serve_loop(listener: &TcpListener, delay: Duration, served: &AtomicU64, stop: &AtomicBool) {
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((mut stream, _)) => {

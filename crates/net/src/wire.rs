@@ -10,8 +10,10 @@
 //!
 //! The cache expiration age rides in every document request and response,
 //! exactly as the EA scheme piggybacks it on HTTP messages.
+//!
+//! The codec is hand-rolled over `Vec<u8>` / slice cursors (big-endian
+//! fields) — the workspace is dependency-free by construction.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use coopcache_proxy::{HttpRequest, HttpResponse, IcpQuery, IcpReply};
 use coopcache_types::{ByteSize, CacheId, DocId, DurationMs, ExpirationAge};
 use std::fmt;
@@ -47,25 +49,71 @@ impl fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
-fn put_age(buf: &mut BytesMut, age: ExpirationAge) {
+fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+/// A read cursor over a received byte slice; every `get_*` checks bounds.
+struct Cursor<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data }
+    }
+
+    fn get_u8(&mut self) -> Result<u8, DecodeError> {
+        let (&v, rest) = self.data.split_first().ok_or(DecodeError::Truncated)?;
+        self.data = rest;
+        Ok(v)
+    }
+
+    fn get_u16(&mut self) -> Result<u16, DecodeError> {
+        if self.data.len() < 2 {
+            return Err(DecodeError::Truncated);
+        }
+        let (head, rest) = self.data.split_at(2);
+        self.data = rest;
+        Ok(u16::from_be_bytes([head[0], head[1]]))
+    }
+
+    fn get_u64(&mut self) -> Result<u64, DecodeError> {
+        if self.data.len() < 8 {
+            return Err(DecodeError::Truncated);
+        }
+        let (head, rest) = self.data.split_at(8);
+        self.data = rest;
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(head);
+        Ok(u64::from_be_bytes(bytes))
+    }
+}
+
+fn put_age(buf: &mut Vec<u8>, age: ExpirationAge) {
     match age.as_finite() {
         None => {
-            buf.put_u8(AGE_INFINITE);
-            buf.put_u64(0);
+            put_u8(buf, AGE_INFINITE);
+            put_u64(buf, 0);
         }
         Some(d) => {
-            buf.put_u8(AGE_FINITE);
-            buf.put_u64(d.as_millis());
+            put_u8(buf, AGE_FINITE);
+            put_u64(buf, d.as_millis());
         }
     }
 }
 
-fn get_age(buf: &mut impl Buf) -> Result<ExpirationAge, DecodeError> {
-    if buf.remaining() < 9 {
-        return Err(DecodeError::Truncated);
-    }
-    let tag = buf.get_u8();
-    let ms = buf.get_u64();
+fn get_age(buf: &mut Cursor<'_>) -> Result<ExpirationAge, DecodeError> {
+    let tag = buf.get_u8()?;
+    let ms = buf.get_u64()?;
     match tag {
         AGE_INFINITE => Ok(ExpirationAge::Infinite),
         AGE_FINITE => Ok(ExpirationAge::finite(DurationMs::from_millis(ms))),
@@ -95,37 +143,37 @@ pub enum WireMessage {
 impl WireMessage {
     /// Encodes the message (header only — bodies are streamed separately).
     #[must_use]
-    pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(40);
-        buf.put_u16(MAGIC);
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(40);
+        put_u16(&mut buf, MAGIC);
         match self {
             Self::IcpQuery(q) => {
-                buf.put_u8(OP_ICP_QUERY);
-                buf.put_u16(q.from.as_u16());
-                buf.put_u64(q.doc.as_u64());
+                put_u8(&mut buf, OP_ICP_QUERY);
+                put_u16(&mut buf, q.from.as_u16());
+                put_u64(&mut buf, q.doc.as_u64());
             }
             Self::IcpReply(r) => {
-                buf.put_u8(OP_ICP_REPLY);
-                buf.put_u16(r.from.as_u16());
-                buf.put_u64(r.doc.as_u64());
-                buf.put_u8(u8::from(r.hit));
+                put_u8(&mut buf, OP_ICP_REPLY);
+                put_u16(&mut buf, r.from.as_u16());
+                put_u64(&mut buf, r.doc.as_u64());
+                put_u8(&mut buf, u8::from(r.hit));
             }
             Self::DocRequest(req) => {
-                buf.put_u8(OP_DOC_REQUEST);
-                buf.put_u16(req.from.as_u16());
-                buf.put_u64(req.doc.as_u64());
+                put_u8(&mut buf, OP_DOC_REQUEST);
+                put_u16(&mut buf, req.from.as_u16());
+                put_u64(&mut buf, req.doc.as_u64());
                 put_age(&mut buf, req.requester_age);
             }
             Self::DocResponse { response, found } => {
-                buf.put_u8(OP_DOC_RESPONSE);
-                buf.put_u16(response.from.as_u16());
-                buf.put_u64(response.doc.as_u64());
-                buf.put_u64(response.size.as_bytes());
+                put_u8(&mut buf, OP_DOC_RESPONSE);
+                put_u16(&mut buf, response.from.as_u16());
+                put_u64(&mut buf, response.doc.as_u64());
+                put_u64(&mut buf, response.size.as_bytes());
                 put_age(&mut buf, response.responder_age);
-                buf.put_u8(u8::from(*found));
+                put_u8(&mut buf, u8::from(*found));
             }
         }
-        buf.freeze()
+        buf
     }
 
     /// Decodes a message from a byte slice.
@@ -134,41 +182,25 @@ impl WireMessage {
     ///
     /// Returns [`DecodeError`] on short input, a bad magic, an unknown
     /// opcode, or a malformed field.
-    pub fn decode(mut data: &[u8]) -> Result<Self, DecodeError> {
-        let buf = &mut data;
-        if buf.remaining() < 3 {
-            return Err(DecodeError::Truncated);
-        }
-        if buf.get_u16() != MAGIC {
+    pub fn decode(data: &[u8]) -> Result<Self, DecodeError> {
+        let buf = &mut Cursor::new(data);
+        if buf.get_u16()? != MAGIC {
             return Err(DecodeError::Malformed("bad magic"));
         }
-        let op = buf.get_u8();
+        let op = buf.get_u8()?;
         match op {
-            OP_ICP_QUERY => {
-                if buf.remaining() < 10 {
-                    return Err(DecodeError::Truncated);
-                }
-                Ok(Self::IcpQuery(IcpQuery {
-                    from: CacheId::new(buf.get_u16()),
-                    doc: DocId::new(buf.get_u64()),
-                }))
-            }
-            OP_ICP_REPLY => {
-                if buf.remaining() < 11 {
-                    return Err(DecodeError::Truncated);
-                }
-                Ok(Self::IcpReply(IcpReply {
-                    from: CacheId::new(buf.get_u16()),
-                    doc: DocId::new(buf.get_u64()),
-                    hit: buf.get_u8() != 0,
-                }))
-            }
+            OP_ICP_QUERY => Ok(Self::IcpQuery(IcpQuery {
+                from: CacheId::new(buf.get_u16()?),
+                doc: DocId::new(buf.get_u64()?),
+            })),
+            OP_ICP_REPLY => Ok(Self::IcpReply(IcpReply {
+                from: CacheId::new(buf.get_u16()?),
+                doc: DocId::new(buf.get_u64()?),
+                hit: buf.get_u8()? != 0,
+            })),
             OP_DOC_REQUEST => {
-                if buf.remaining() < 10 {
-                    return Err(DecodeError::Truncated);
-                }
-                let from = CacheId::new(buf.get_u16());
-                let doc = DocId::new(buf.get_u64());
+                let from = CacheId::new(buf.get_u16()?);
+                let doc = DocId::new(buf.get_u64()?);
                 let requester_age = get_age(buf)?;
                 Ok(Self::DocRequest(HttpRequest {
                     from,
@@ -177,17 +209,11 @@ impl WireMessage {
                 }))
             }
             OP_DOC_RESPONSE => {
-                if buf.remaining() < 18 {
-                    return Err(DecodeError::Truncated);
-                }
-                let from = CacheId::new(buf.get_u16());
-                let doc = DocId::new(buf.get_u64());
-                let size = ByteSize::from_bytes(buf.get_u64());
+                let from = CacheId::new(buf.get_u16()?);
+                let doc = DocId::new(buf.get_u64()?);
+                let size = ByteSize::from_bytes(buf.get_u64()?);
                 let responder_age = get_age(buf)?;
-                if buf.remaining() < 1 {
-                    return Err(DecodeError::Truncated);
-                }
-                let found = buf.get_u8() != 0;
+                let found = buf.get_u8()? != 0;
                 Ok(Self::DocResponse {
                     response: HttpResponse {
                         from,
@@ -285,22 +311,22 @@ mod tests {
     fn bad_magic_and_opcode_rejected() {
         let err = WireMessage::decode(&[0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]).unwrap_err();
         assert_eq!(err, DecodeError::Malformed("bad magic"));
-        let mut bytes = BytesMut::new();
-        bytes.put_u16(MAGIC);
-        bytes.put_u8(99);
+        let mut bytes = Vec::new();
+        put_u16(&mut bytes, MAGIC);
+        put_u8(&mut bytes, 99);
         let err = WireMessage::decode(&bytes).unwrap_err();
         assert_eq!(err, DecodeError::Malformed("unknown opcode"));
     }
 
     #[test]
     fn bad_age_tag_rejected() {
-        let mut bytes = BytesMut::new();
-        bytes.put_u16(MAGIC);
-        bytes.put_u8(OP_DOC_REQUEST);
-        bytes.put_u16(1);
-        bytes.put_u64(2);
-        bytes.put_u8(7); // bogus age tag
-        bytes.put_u64(0);
+        let mut bytes = Vec::new();
+        put_u16(&mut bytes, MAGIC);
+        put_u8(&mut bytes, OP_DOC_REQUEST);
+        put_u16(&mut bytes, 1);
+        put_u64(&mut bytes, 2);
+        put_u8(&mut bytes, 7); // bogus age tag
+        put_u64(&mut bytes, 0);
         let err = WireMessage::decode(&bytes).unwrap_err();
         assert_eq!(err, DecodeError::Malformed("unknown expiration-age tag"));
     }

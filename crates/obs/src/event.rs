@@ -1,0 +1,449 @@
+//! The structured event taxonomy shared by all three execution modes.
+//!
+//! The synchronous group, the discrete-event simulator and the socket
+//! daemon all run the same placement logic; the events here are the
+//! common trace language they emit, so a JSONL stream from any driver is
+//! comparable line-by-line with a stream from any other. Every event is a
+//! plain value — no timestamps of its own beyond what the caller supplies
+//! — which keeps replays of the same trace byte-identical.
+
+use crate::json::JsonWriter;
+use coopcache_types::{CacheId, DocId, ExpirationAge};
+
+/// How a request was ultimately served (the three-way split behind every
+/// hit-rate figure in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestClass {
+    /// Served by the cache the client is attached to.
+    LocalHit,
+    /// Served by a peer in the group.
+    RemoteHit,
+    /// Fetched from the origin server.
+    Miss,
+}
+
+impl RequestClass {
+    /// Stable lowercase name used in the JSON encoding.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::LocalHit => "local-hit",
+            Self::RemoteHit => "remote-hit",
+            Self::Miss => "miss",
+        }
+    }
+}
+
+/// Which of the EA scheme's three placement rules produced a decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlacementRole {
+    /// §3.4: the requester decides whether to store a remote-hit copy.
+    RequesterStore,
+    /// §3.5: the responder decides whether to refresh (promote) its copy.
+    ResponderPromote,
+    /// Hierarchy variant: a parent decides whether to keep a pass-through
+    /// copy on the way down.
+    ParentStore,
+}
+
+impl PlacementRole {
+    /// Stable lowercase name used in the JSON encoding.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::RequesterStore => "requester-store",
+            Self::ResponderPromote => "responder-promote",
+            Self::ParentStore => "parent-store",
+        }
+    }
+}
+
+/// Why a document left the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EvictionCause {
+    /// Displaced by the replacement policy to make room.
+    Capacity,
+    /// Removed explicitly (invalidation, shutdown).
+    Explicit,
+    /// TTL expiry.
+    Expired,
+}
+
+impl EvictionCause {
+    /// Stable lowercase name used in the JSON encoding.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::Capacity => "capacity",
+            Self::Explicit => "explicit",
+            Self::Expired => "expired",
+        }
+    }
+}
+
+/// One protocol-level occurrence, emitted through an
+/// [`EventSink`](crate::EventSink).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A client request completed, with its outcome.
+    Request {
+        /// Request sequence number within the run (trace order).
+        seq: u64,
+        /// The cache the client is attached to.
+        cache: CacheId,
+        /// The requested document.
+        doc: DocId,
+        /// How it was served.
+        class: RequestClass,
+        /// The supplying peer, for remote hits.
+        responder: Option<CacheId>,
+        /// Whether the requester kept a local copy.
+        stored: bool,
+        /// Request latency in microseconds: simulated latency under the
+        /// DES, wall-clock under the socket daemon, absent in the
+        /// synchronous runner (which has no notion of time-to-serve).
+        latency_us: Option<u64>,
+    },
+    /// An ICP query was sent to a peer.
+    IcpQuery {
+        /// The querying cache.
+        from: CacheId,
+        /// The queried peer.
+        to: CacheId,
+        /// The document asked about.
+        doc: DocId,
+    },
+    /// An ICP reply came back.
+    IcpReply {
+        /// The replying peer.
+        from: CacheId,
+        /// The document asked about.
+        doc: DocId,
+        /// Whether the peer holds the document.
+        hit: bool,
+    },
+    /// An EA placement rule fired, with both expiration ages it compared
+    /// (§3.4/§3.5) — the heart of the paper's scheme.
+    Placement {
+        /// The cache applying the rule.
+        cache: CacheId,
+        /// The document being placed.
+        doc: DocId,
+        /// Which rule fired.
+        role: PlacementRole,
+        /// This cache's own expiration age at decision time.
+        self_age: ExpirationAge,
+        /// The other party's piggybacked expiration age.
+        peer_age: ExpirationAge,
+        /// The decision: store/promote (`true`) or decline (`false`).
+        stored: bool,
+        /// Both ages were exactly equal — the case where §3.4's strict
+        /// `>` and §3.5's `≥` diverge (see `TieBreak`).
+        tie: bool,
+    },
+    /// A document was evicted; its document expiration age (paper eq. 1)
+    /// is what feeds the cache expiration age (eq. 5).
+    Eviction {
+        /// The evicting cache.
+        cache: CacheId,
+        /// The evicted document.
+        doc: DocId,
+        /// The document expiration age at eviction, in milliseconds.
+        age_ms: u64,
+        /// Why it was evicted.
+        cause: EvictionCause,
+    },
+    /// The synchronous runner closed one reporting window of the trace.
+    WindowRollover {
+        /// Zero-based window index.
+        index: u64,
+        /// Requests served inside this window.
+        requests: u64,
+        /// Local hits inside this window.
+        local_hits: u64,
+        /// Remote hits inside this window.
+        remote_hits: u64,
+        /// Mean cache expiration age across the group at rollover
+        /// (`None` while every tracker is still empty/infinite).
+        mean_age_ms: Option<u64>,
+    },
+}
+
+/// The discriminant of an [`Event`], for counting and filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// [`Event::Request`].
+    Request,
+    /// [`Event::IcpQuery`].
+    IcpQuery,
+    /// [`Event::IcpReply`].
+    IcpReply,
+    /// [`Event::Placement`].
+    Placement,
+    /// [`Event::Eviction`].
+    Eviction,
+    /// [`Event::WindowRollover`].
+    WindowRollover,
+}
+
+/// All event kinds, in the order they appear in summaries.
+pub const EVENT_KINDS: [EventKind; 6] = [
+    EventKind::Request,
+    EventKind::IcpQuery,
+    EventKind::IcpReply,
+    EventKind::Placement,
+    EventKind::Eviction,
+    EventKind::WindowRollover,
+];
+
+impl EventKind {
+    /// Stable lowercase name used as the JSON `"ev"` tag.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::Request => "request",
+            Self::IcpQuery => "icp-query",
+            Self::IcpReply => "icp-reply",
+            Self::Placement => "placement",
+            Self::Eviction => "eviction",
+            Self::WindowRollover => "window",
+        }
+    }
+}
+
+/// `Some(ms)` for a finite age, `None` for [`ExpirationAge::Infinite`] —
+/// the encoding the JSON stream uses (`null` = infinite).
+#[must_use]
+pub fn age_to_ms(age: ExpirationAge) -> Option<u64> {
+    age.as_finite().map(|d| d.as_millis())
+}
+
+impl Event {
+    /// This event's kind.
+    #[must_use]
+    pub const fn kind(&self) -> EventKind {
+        match self {
+            Self::Request { .. } => EventKind::Request,
+            Self::IcpQuery { .. } => EventKind::IcpQuery,
+            Self::IcpReply { .. } => EventKind::IcpReply,
+            Self::Placement { .. } => EventKind::Placement,
+            Self::Eviction { .. } => EventKind::Eviction,
+            Self::WindowRollover { .. } => EventKind::WindowRollover,
+        }
+    }
+
+    /// Encodes the event as one compact JSON object (no trailing newline).
+    ///
+    /// Field order is fixed, ages are milliseconds-or-`null`, so two runs
+    /// over the same trace produce byte-identical lines.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("ev");
+        w.string(self.kind().name());
+        match self {
+            Self::Request {
+                seq,
+                cache,
+                doc,
+                class,
+                responder,
+                stored,
+                latency_us,
+            } => {
+                w.key("seq");
+                w.u64(*seq);
+                w.key("cache");
+                w.u64(u64::from(cache.as_u16()));
+                w.key("doc");
+                w.u64(doc.as_u64());
+                w.key("class");
+                w.string(class.name());
+                w.key("responder");
+                w.opt_u64(responder.map(|c| u64::from(c.as_u16())));
+                w.key("stored");
+                w.bool(*stored);
+                w.key("latency_us");
+                w.opt_u64(*latency_us);
+            }
+            Self::IcpQuery { from, to, doc } => {
+                w.key("from");
+                w.u64(u64::from(from.as_u16()));
+                w.key("to");
+                w.u64(u64::from(to.as_u16()));
+                w.key("doc");
+                w.u64(doc.as_u64());
+            }
+            Self::IcpReply { from, doc, hit } => {
+                w.key("from");
+                w.u64(u64::from(from.as_u16()));
+                w.key("doc");
+                w.u64(doc.as_u64());
+                w.key("hit");
+                w.bool(*hit);
+            }
+            Self::Placement {
+                cache,
+                doc,
+                role,
+                self_age,
+                peer_age,
+                stored,
+                tie,
+            } => {
+                w.key("cache");
+                w.u64(u64::from(cache.as_u16()));
+                w.key("doc");
+                w.u64(doc.as_u64());
+                w.key("role");
+                w.string(role.name());
+                w.key("self_age_ms");
+                w.opt_u64(age_to_ms(*self_age));
+                w.key("peer_age_ms");
+                w.opt_u64(age_to_ms(*peer_age));
+                w.key("stored");
+                w.bool(*stored);
+                w.key("tie");
+                w.bool(*tie);
+            }
+            Self::Eviction {
+                cache,
+                doc,
+                age_ms,
+                cause,
+            } => {
+                w.key("cache");
+                w.u64(u64::from(cache.as_u16()));
+                w.key("doc");
+                w.u64(doc.as_u64());
+                w.key("age_ms");
+                w.u64(*age_ms);
+                w.key("cause");
+                w.string(cause.name());
+            }
+            Self::WindowRollover {
+                index,
+                requests,
+                local_hits,
+                remote_hits,
+                mean_age_ms,
+            } => {
+                w.key("index");
+                w.u64(*index);
+                w.key("requests");
+                w.u64(*requests);
+                w.key("local_hits");
+                w.u64(*local_hits);
+                w.key("remote_hits");
+                w.u64(*remote_hits);
+                w.key("mean_age_ms");
+                w.opt_u64(*mean_age_ms);
+            }
+        }
+        w.end_object();
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coopcache_types::DurationMs;
+
+    #[test]
+    fn request_json_shape() {
+        let ev = Event::Request {
+            seq: 3,
+            cache: CacheId::new(1),
+            doc: DocId::new(42),
+            class: RequestClass::RemoteHit,
+            responder: Some(CacheId::new(2)),
+            stored: true,
+            latency_us: None,
+        };
+        assert_eq!(ev.kind(), EventKind::Request);
+        assert_eq!(
+            ev.to_json(),
+            r#"{"ev":"request","seq":3,"cache":1,"doc":42,"class":"remote-hit","responder":2,"stored":true,"latency_us":null}"#
+        );
+    }
+
+    #[test]
+    fn placement_json_encodes_infinite_age_as_null() {
+        let ev = Event::Placement {
+            cache: CacheId::new(0),
+            doc: DocId::new(7),
+            role: PlacementRole::RequesterStore,
+            self_age: ExpirationAge::Infinite,
+            peer_age: ExpirationAge::finite(DurationMs::from_millis(250)),
+            stored: true,
+            tie: false,
+        };
+        assert_eq!(
+            ev.to_json(),
+            r#"{"ev":"placement","cache":0,"doc":7,"role":"requester-store","self_age_ms":null,"peer_age_ms":250,"stored":true,"tie":false}"#
+        );
+    }
+
+    #[test]
+    fn eviction_and_window_json_shapes() {
+        let ev = Event::Eviction {
+            cache: CacheId::new(3),
+            doc: DocId::new(9),
+            age_ms: 1_500,
+            cause: EvictionCause::Capacity,
+        };
+        assert_eq!(
+            ev.to_json(),
+            r#"{"ev":"eviction","cache":3,"doc":9,"age_ms":1500,"cause":"capacity"}"#
+        );
+        let ev = Event::WindowRollover {
+            index: 2,
+            requests: 100,
+            local_hits: 30,
+            remote_hits: 10,
+            mean_age_ms: None,
+        };
+        assert_eq!(
+            ev.to_json(),
+            r#"{"ev":"window","index":2,"requests":100,"local_hits":30,"remote_hits":10,"mean_age_ms":null}"#
+        );
+    }
+
+    #[test]
+    fn icp_json_shapes() {
+        let q = Event::IcpQuery {
+            from: CacheId::new(0),
+            to: CacheId::new(1),
+            doc: DocId::new(5),
+        };
+        assert_eq!(q.to_json(), r#"{"ev":"icp-query","from":0,"to":1,"doc":5}"#);
+        let r = Event::IcpReply {
+            from: CacheId::new(1),
+            doc: DocId::new(5),
+            hit: true,
+        };
+        assert_eq!(
+            r.to_json(),
+            r#"{"ev":"icp-reply","from":1,"doc":5,"hit":true}"#
+        );
+    }
+
+    #[test]
+    fn kinds_cover_all_events() {
+        assert_eq!(EVENT_KINDS.len(), 6);
+        for kind in EVENT_KINDS {
+            assert!(!kind.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn age_conversion() {
+        assert_eq!(age_to_ms(ExpirationAge::Infinite), None);
+        assert_eq!(
+            age_to_ms(ExpirationAge::finite(DurationMs::from_millis(9))),
+            Some(9)
+        );
+    }
+}

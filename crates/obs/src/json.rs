@@ -1,0 +1,239 @@
+//! A minimal hand-rolled JSON writer.
+//!
+//! The workspace builds against an offline registry, so there is no serde;
+//! every machine-readable output (the JSONL event stream, the bench
+//! binaries' `--json` tables) goes through this writer instead. It emits
+//! compact JSON with the exact field order the caller uses, which is what
+//! makes event streams byte-comparable across runs.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` per RFC 8259 and appends it (without quotes) to `out`.
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// A streaming writer for compact JSON objects and arrays.
+///
+/// # Example
+///
+/// ```
+/// use coopcache_obs::JsonWriter;
+///
+/// let mut w = JsonWriter::new();
+/// w.begin_object();
+/// w.key("name");
+/// w.string("fig1");
+/// w.key("rows");
+/// w.begin_array();
+/// w.u64(1);
+/// w.u64(2);
+/// w.end_array();
+/// w.end_object();
+/// assert_eq!(w.finish(), r#"{"name":"fig1","rows":[1,2]}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// One entry per open container: true once the first element landed
+    /// (so the next one needs a comma).
+    comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the accumulated JSON text.
+    #[must_use]
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn before_value(&mut self) {
+        // A value inside an array needs a separating comma; object values
+        // follow their key, which already handled the comma.
+        if let Some(needs) = self.comma.last_mut() {
+            if *needs {
+                self.out.push(',');
+            }
+            *needs = true;
+        }
+    }
+
+    /// Opens an object (`{`).
+    pub fn begin_object(&mut self) {
+        self.before_value();
+        self.out.push('{');
+        self.comma.push(false);
+    }
+
+    /// Closes an object (`}`).
+    pub fn end_object(&mut self) {
+        self.comma.pop();
+        self.out.push('}');
+    }
+
+    /// Opens an array (`[`).
+    pub fn begin_array(&mut self) {
+        self.before_value();
+        self.out.push('[');
+        self.comma.push(false);
+    }
+
+    /// Closes an array (`]`).
+    pub fn end_array(&mut self) {
+        self.comma.pop();
+        self.out.push(']');
+    }
+
+    /// Writes an object key; the next call must write its value.
+    pub fn key(&mut self, k: &str) {
+        if let Some(needs) = self.comma.last_mut() {
+            if *needs {
+                self.out.push(',');
+            }
+            // The key's own comma is done; the value following it must
+            // not add one (its `before_value` re-arms the flag).
+            *needs = false;
+        }
+        self.out.push('"');
+        escape_into(&mut self.out, k);
+        self.out.push_str("\":");
+    }
+
+    /// Writes a string value.
+    pub fn string(&mut self, v: &str) {
+        self.before_value();
+        self.out.push('"');
+        escape_into(&mut self.out, v);
+        self.out.push('"');
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn u64(&mut self, v: u64) {
+        self.before_value();
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// Writes a signed integer value.
+    pub fn i64(&mut self, v: i64) {
+        self.before_value();
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// Writes a float value (shortest round-trip form; `null` for
+    /// non-finite values, which JSON cannot represent).
+    pub fn f64(&mut self, v: f64) {
+        if v.is_finite() {
+            self.before_value();
+            let _ = write!(self.out, "{v}");
+        } else {
+            self.null();
+        }
+    }
+
+    /// Writes a boolean value.
+    pub fn bool(&mut self, v: bool) {
+        self.before_value();
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Writes a JSON `null`.
+    pub fn null(&mut self) {
+        self.before_value();
+        self.out.push_str("null");
+    }
+
+    /// Writes `Some(ms)` as a number, `None` as `null` — the encoding
+    /// used for possibly-infinite expiration ages.
+    pub fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(v) => self.u64(v),
+            None => self.null(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_with_mixed_values() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a");
+        w.u64(1);
+        w.key("b");
+        w.string("x\"y");
+        w.key("c");
+        w.bool(false);
+        w.key("d");
+        w.null();
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"a":1,"b":"x\"y","c":false,"d":null}"#);
+    }
+
+    #[test]
+    fn nested_arrays_and_objects() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("rows");
+        w.begin_array();
+        w.begin_array();
+        w.string("p");
+        w.u64(2);
+        w.end_array();
+        w.begin_array();
+        w.end_array();
+        w.end_array();
+        w.key("n");
+        w.i64(-3);
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"rows":[["p",2],[]],"n":-3}"#);
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let mut s = String::new();
+        escape_into(&mut s, "a\nb\t\u{1}\\");
+        assert_eq!(s, "a\\nb\\t\\u0001\\\\");
+    }
+
+    #[test]
+    fn floats_are_shortest_roundtrip_and_nonfinite_is_null() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.f64(0.25);
+        w.f64(f64::NAN);
+        w.f64(3.0);
+        w.end_array();
+        assert_eq!(w.finish(), "[0.25,null,3]");
+    }
+
+    #[test]
+    fn optional_u64() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.opt_u64(Some(7));
+        w.opt_u64(None);
+        w.end_array();
+        assert_eq!(w.finish(), "[7,null]");
+    }
+}

@@ -1,0 +1,55 @@
+//! Observability for the `coopcache` workspace.
+//!
+//! All three execution modes — the synchronous [`DistributedGroup`],
+//! the discrete-event simulator and the socket daemon — run the same
+//! placement logic; this crate gives them one shared trace language:
+//!
+//! * [`Event`] — the protocol-level taxonomy (request outcomes, ICP
+//!   traffic, EA placement decisions with both expiration ages, evictions
+//!   with document expiration ages, reporting-window rollovers);
+//! * [`EventSink`] — the consumer trait, with [`NullSink`] (discard,
+//!   the default — an absent sink costs one `Option` branch per event),
+//!   [`RingBufferSink`] (last-n for tests), [`JsonlSink`] (deterministic
+//!   JSON lines; same trace → byte-identical file) and [`HistogramSink`]
+//!   (per-kind counts plus log-bucketed latency/age histograms);
+//! * [`SinkHandle`] — the cloneable handle threaded through the drivers;
+//! * [`Histogram`] — a log₂-bucketed histogram with p50/p90/p99
+//!   [snapshots](Histogram::snapshot);
+//! * [`JsonWriter`] — the hand-rolled compact JSON writer behind the
+//!   JSONL stream and the bench binaries' `--json` output (the workspace
+//!   builds against an offline registry; there is no serde).
+//!
+//! [`DistributedGroup`]: https://docs.rs/coopcache-proxy
+//!
+//! # Example
+//!
+//! ```
+//! use coopcache_obs::{Event, EventSink, HistogramSink, RequestClass, SinkHandle};
+//! use coopcache_types::{CacheId, DocId};
+//! use std::sync::{Arc, Mutex};
+//!
+//! let hist = Arc::new(Mutex::new(HistogramSink::new()));
+//! let sink = SinkHandle::from_arc(Arc::clone(&hist));
+//! sink.emit(&Event::Request {
+//!     seq: 0,
+//!     cache: CacheId::new(0),
+//!     doc: DocId::new(42),
+//!     class: RequestClass::LocalHit,
+//!     responder: None,
+//!     stored: true,
+//!     latency_us: Some(146_000),
+//! });
+//! assert_eq!(hist.lock().unwrap().request_split(), (1, 0, 0));
+//! ```
+
+mod event;
+mod histogram;
+mod json;
+mod sink;
+
+pub use event::{
+    age_to_ms, Event, EventKind, EvictionCause, PlacementRole, RequestClass, EVENT_KINDS,
+};
+pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
+pub use json::{escape_into, JsonWriter};
+pub use sink::{EventSink, HistogramSink, JsonlSink, NullSink, RingBufferSink, SinkHandle};

@@ -1,0 +1,432 @@
+//! Event sinks: where emitted [`Event`]s go.
+//!
+//! The placement code never knows which sink it is talking to — drivers
+//! hand it a [`SinkHandle`] (or none at all). The provided sinks cover the
+//! three use cases:
+//!
+//! * [`NullSink`] — discard everything (the default; one branch per event);
+//! * [`RingBufferSink`] — keep the last `n` events for tests and
+//!   post-mortems;
+//! * [`JsonlSink`] — stream each event as one compact JSON line;
+//! * [`HistogramSink`] — aggregate into per-kind counts and log-bucketed
+//!   latency/age histograms.
+
+use crate::event::{Event, EventKind, RequestClass, EVENT_KINDS};
+use crate::histogram::Histogram;
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+
+/// A consumer of [`Event`]s.
+///
+/// Implementations must be cheap per call — sinks run inline on the
+/// request path of all three drivers.
+pub trait EventSink {
+    /// Consumes one event.
+    fn emit(&mut self, event: &Event);
+}
+
+/// Discards every event. This is the behaviour of an absent sink; it
+/// exists so generic code can always have *some* sink to talk to.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&mut self, _event: &Event) {}
+}
+
+/// Keeps the most recent `capacity` events in memory.
+#[derive(Debug, Clone)]
+pub struct RingBufferSink {
+    buf: VecDeque<Event>,
+    capacity: usize,
+    total: u64,
+}
+
+impl RingBufferSink {
+    /// Creates a ring holding at most `capacity` events (`capacity ≥ 1`).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "ring buffer needs room for one event");
+        Self {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            total: 0,
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.buf.iter()
+    }
+
+    /// Number of retained events (at most the capacity).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been emitted yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever emitted, including those already displaced.
+    #[must_use]
+    pub fn total_emitted(&self) -> u64 {
+        self.total
+    }
+}
+
+impl EventSink for RingBufferSink {
+    fn emit(&mut self, event: &Event) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(event.clone());
+        self.total += 1;
+    }
+}
+
+/// Streams each event as one compact JSON line (JSONL).
+///
+/// Serialization is deterministic (fixed field order, no timestamps of its
+/// own), so replaying the same trace through the same configuration
+/// produces a byte-identical file. I/O errors are sticky: the first error
+/// stops further writes and is reported by [`JsonlSink::finish`].
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    lines: u64,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps a writer. Callers that write to files usually want a
+    /// `BufWriter`.
+    pub fn new(writer: W) -> Self {
+        Self {
+            writer,
+            lines: 0,
+            error: None,
+        }
+    }
+
+    /// Lines successfully written so far.
+    #[must_use]
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Consumes the sink and returns the underlying writer (without
+    /// flushing) — handy for in-memory writers like `Vec<u8>`.
+    #[must_use]
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+
+    /// Flushes and returns the first I/O error encountered, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns the sticky write error, or the flush error.
+    pub fn finish(mut self) -> io::Result<u64> {
+        if let Some(err) = self.error.take() {
+            return Err(err);
+        }
+        self.writer.flush()?;
+        Ok(self.lines)
+    }
+}
+
+impl<W: Write> EventSink for JsonlSink<W> {
+    fn emit(&mut self, event: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut line = event.to_json();
+        line.push('\n');
+        match self.writer.write_all(line.as_bytes()) {
+            Ok(()) => self.lines += 1,
+            Err(err) => self.error = Some(err),
+        }
+    }
+}
+
+/// Aggregates events into per-kind counts and log-bucketed histograms —
+/// the in-process answer to "what did this run look like" without storing
+/// the stream.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramSink {
+    counts: [u64; EVENT_KINDS.len()],
+    local_hits: u64,
+    remote_hits: u64,
+    misses: u64,
+    placement_stores: u64,
+    placement_declines: u64,
+    placement_ties: u64,
+    /// Request latency in microseconds (only requests that carried one).
+    pub request_latency_us: Histogram,
+    /// Document expiration age at eviction, in milliseconds.
+    pub eviction_age_ms: Histogram,
+}
+
+impl HistogramSink {
+    /// Creates an empty aggregate.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Events seen of the given kind.
+    #[must_use]
+    pub fn count(&self, kind: EventKind) -> u64 {
+        self.counts[kind as usize]
+    }
+
+    /// `(local hits, remote hits, misses)` among request events.
+    #[must_use]
+    pub fn request_split(&self) -> (u64, u64, u64) {
+        (self.local_hits, self.remote_hits, self.misses)
+    }
+
+    /// `(stored, declined)` among placement decisions.
+    #[must_use]
+    pub fn placement_split(&self) -> (u64, u64) {
+        (self.placement_stores, self.placement_declines)
+    }
+
+    /// Placement decisions where both expiration ages were exactly equal
+    /// (the §3.4 vs §3.5 tie case).
+    #[must_use]
+    pub fn placement_ties(&self) -> u64 {
+        self.placement_ties
+    }
+
+    /// Renders a human-readable multi-line summary.
+    #[must_use]
+    pub fn render_summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("event summary:\n");
+        for kind in EVENT_KINDS {
+            let n = self.count(kind);
+            if n > 0 {
+                let _ = writeln!(out, "  {:<12} {n}", kind.name());
+            }
+        }
+        if self.local_hits + self.remote_hits + self.misses > 0 {
+            let _ = writeln!(
+                out,
+                "  requests: {} local / {} remote / {} miss",
+                self.local_hits, self.remote_hits, self.misses
+            );
+        }
+        if self.placement_stores + self.placement_declines > 0 {
+            let _ = writeln!(
+                out,
+                "  placements: {} stored / {} declined / {} ties",
+                self.placement_stores, self.placement_declines, self.placement_ties
+            );
+        }
+        if !self.request_latency_us.is_empty() {
+            let s = self.request_latency_us.snapshot();
+            let _ = writeln!(
+                out,
+                "  latency_us: p50={} p90={} p99={} max={} (n={})",
+                s.p50, s.p90, s.p99, s.max, s.count
+            );
+        }
+        if !self.eviction_age_ms.is_empty() {
+            let s = self.eviction_age_ms.snapshot();
+            let _ = writeln!(
+                out,
+                "  evict_age_ms: p50={} p90={} p99={} max={} (n={})",
+                s.p50, s.p90, s.p99, s.max, s.count
+            );
+        }
+        out
+    }
+}
+
+impl EventSink for HistogramSink {
+    fn emit(&mut self, event: &Event) {
+        self.counts[event.kind() as usize] += 1;
+        match event {
+            Event::Request {
+                class, latency_us, ..
+            } => {
+                match class {
+                    RequestClass::LocalHit => self.local_hits += 1,
+                    RequestClass::RemoteHit => self.remote_hits += 1,
+                    RequestClass::Miss => self.misses += 1,
+                }
+                if let Some(us) = latency_us {
+                    self.request_latency_us.record(*us);
+                }
+            }
+            Event::Placement { stored, tie, .. } => {
+                if *stored {
+                    self.placement_stores += 1;
+                } else {
+                    self.placement_declines += 1;
+                }
+                if *tie {
+                    self.placement_ties += 1;
+                }
+            }
+            Event::Eviction { age_ms, .. } => {
+                self.eviction_age_ms.record(*age_ms);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A cloneable, thread-safe handle to a shared sink.
+///
+/// This is what gets threaded through `ProxyNode`, the simulators and the
+/// daemon: cloning the handle is cheap (an `Arc` bump), and every clone
+/// feeds the same underlying sink. A poisoned lock (a panic on another
+/// thread mid-emit) is recovered rather than propagated — observability
+/// must never take the cache down with it.
+#[derive(Clone)]
+pub struct SinkHandle {
+    inner: Arc<Mutex<dyn EventSink + Send>>,
+}
+
+impl std::fmt::Debug for SinkHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SinkHandle")
+    }
+}
+
+impl SinkHandle {
+    /// Wraps a sink in a fresh shared handle.
+    pub fn new<S: EventSink + Send + 'static>(sink: S) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(sink)),
+        }
+    }
+
+    /// Wraps an existing shared sink; the caller keeps its typed `Arc` to
+    /// inspect the sink after the run (e.g. read a
+    /// [`HistogramSink`] summary).
+    pub fn from_arc<S: EventSink + Send + 'static>(sink: Arc<Mutex<S>>) -> Self {
+        Self { inner: sink }
+    }
+
+    /// Emits one event into the shared sink.
+    pub fn emit(&self, event: &Event) {
+        let mut guard = match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.emit(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EvictionCause, PlacementRole};
+    use coopcache_types::{CacheId, DocId, ExpirationAge};
+
+    fn sample_request(seq: u64, class: RequestClass, latency_us: Option<u64>) -> Event {
+        Event::Request {
+            seq,
+            cache: CacheId::new(0),
+            doc: DocId::new(seq),
+            class,
+            responder: None,
+            stored: true,
+            latency_us,
+        }
+    }
+
+    #[test]
+    fn null_sink_discards() {
+        let mut sink = NullSink;
+        sink.emit(&sample_request(0, RequestClass::Miss, None));
+    }
+
+    #[test]
+    fn ring_buffer_keeps_most_recent() {
+        let mut sink = RingBufferSink::new(2);
+        for seq in 0..5 {
+            sink.emit(&sample_request(seq, RequestClass::Miss, None));
+        }
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.total_emitted(), 5);
+        let seqs: Vec<u64> = sink
+            .events()
+            .map(|e| match e {
+                Event::Request { seq, .. } => *seq,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(seqs, vec![3, 4]);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.emit(&sample_request(0, RequestClass::LocalHit, None));
+        sink.emit(&sample_request(1, RequestClass::Miss, Some(146_000)));
+        assert_eq!(sink.lines(), 2);
+        let lines = sink.finish().unwrap();
+        assert_eq!(lines, 2);
+    }
+
+    #[test]
+    fn jsonl_sink_output_is_parseable_lines() {
+        let buf = Arc::new(Mutex::new(JsonlSink::new(Vec::new())));
+        let handle = SinkHandle::from_arc(Arc::clone(&buf));
+        handle.emit(&sample_request(7, RequestClass::RemoteHit, None));
+        let guard = buf.lock().unwrap();
+        assert_eq!(guard.lines(), 1);
+    }
+
+    #[test]
+    fn histogram_sink_aggregates() {
+        let mut sink = HistogramSink::new();
+        sink.emit(&sample_request(0, RequestClass::LocalHit, Some(100)));
+        sink.emit(&sample_request(1, RequestClass::RemoteHit, Some(300)));
+        sink.emit(&sample_request(2, RequestClass::Miss, None));
+        sink.emit(&Event::Placement {
+            cache: CacheId::new(0),
+            doc: DocId::new(1),
+            role: PlacementRole::RequesterStore,
+            self_age: ExpirationAge::Infinite,
+            peer_age: ExpirationAge::Infinite,
+            stored: false,
+            tie: true,
+        });
+        sink.emit(&Event::Eviction {
+            cache: CacheId::new(0),
+            doc: DocId::new(2),
+            age_ms: 512,
+            cause: EvictionCause::Capacity,
+        });
+        assert_eq!(sink.count(EventKind::Request), 3);
+        assert_eq!(sink.request_split(), (1, 1, 1));
+        assert_eq!(sink.placement_split(), (0, 1));
+        assert_eq!(sink.placement_ties(), 1);
+        assert_eq!(sink.request_latency_us.count(), 2);
+        assert_eq!(sink.eviction_age_ms.count(), 1);
+        let summary = sink.render_summary();
+        assert!(summary.contains("request"));
+        assert!(summary.contains("1 ties"));
+    }
+
+    #[test]
+    fn sink_handle_clones_share_the_sink() {
+        let ring = Arc::new(Mutex::new(RingBufferSink::new(8)));
+        let a = SinkHandle::from_arc(Arc::clone(&ring));
+        let b = a.clone();
+        a.emit(&sample_request(0, RequestClass::Miss, None));
+        b.emit(&sample_request(1, RequestClass::Miss, None));
+        assert_eq!(ring.lock().unwrap().total_emitted(), 2);
+    }
+}

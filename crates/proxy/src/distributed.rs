@@ -11,6 +11,7 @@ use crate::message::IcpQuery;
 use crate::node::ProxyNode;
 use crate::outcome::RequestOutcome;
 use coopcache_core::{ExpirationWindow, PlacementScheme, PolicyKind};
+use coopcache_obs::{Event, SinkHandle};
 use coopcache_types::{ByteSize, CacheId, DocId, ExpirationAge, Timestamp};
 
 /// A flat group of peer proxy caches, driven synchronously.
@@ -42,6 +43,9 @@ pub struct DistributedGroup {
     discovery: Discovery,
     digests: Vec<DigestState>,
     protocol: ProtocolStats,
+    /// Optional event sink for ICP traffic; node-level events (placement,
+    /// eviction) are emitted by the nodes themselves.
+    sink: Option<SinkHandle>,
 }
 
 /// A peer's last-broadcast content digest, as held by the other caches.
@@ -59,12 +63,7 @@ impl DistributedGroup {
     ///
     /// Panics if `n` is zero.
     #[must_use]
-    pub fn new(
-        n: u16,
-        aggregate: ByteSize,
-        policy: PolicyKind,
-        scheme: PlacementScheme,
-    ) -> Self {
+    pub fn new(n: u16, aggregate: ByteSize, policy: PolicyKind, scheme: PlacementScheme) -> Self {
         Self::with_window(n, aggregate, policy, scheme, ExpirationWindow::default())
     }
 
@@ -131,7 +130,18 @@ impl DistributedGroup {
             discovery,
             digests,
             protocol: ProtocolStats::default(),
+            sink: None,
         }
+    }
+
+    /// Attaches an event sink to the group and every node in it: ICP
+    /// query/reply events come from the group, placement and eviction
+    /// events from the nodes.
+    pub fn set_sink(&mut self, sink: SinkHandle) {
+        for node in &mut self.nodes {
+            node.set_sink(sink.clone());
+        }
+        self.sink = Some(sink);
     }
 
     /// Replaces the discovery mechanism (builder-style, for use after
@@ -274,10 +284,26 @@ impl DistributedGroup {
                 };
                 self.protocol.icp_queries += rotation.len() as u64;
                 self.protocol.icp_replies += rotation.len() as u64;
-                for peer in rotation {
-                    if !self.nodes[peer.index()].handle_icp_query(query).hit {
-                        continue;
-                    }
+                let replies: Vec<(CacheId, bool)> = rotation
+                    .iter()
+                    .map(|&peer| {
+                        let reply = self.nodes[peer.index()].handle_icp_query(query);
+                        if let Some(sink) = &self.sink {
+                            sink.emit(&Event::IcpQuery {
+                                from: requester,
+                                to: peer,
+                                doc,
+                            });
+                            sink.emit(&Event::IcpReply {
+                                from: peer,
+                                doc,
+                                hit: reply.hit,
+                            });
+                        }
+                        (peer, reply.hit)
+                    })
+                    .collect();
+                for peer in replies.into_iter().filter(|(_, hit)| *hit).map(|(p, _)| p) {
                     match self.remote_fetch(requester, peer, doc, now) {
                         Some(outcome) => return outcome,
                         // An ICP hit can still come back empty when the
@@ -344,7 +370,12 @@ impl DistributedGroup {
     /// Rebuilds and "broadcasts" any digest older than the refresh period
     /// (Summary-Cache behaviour; the broadcast cost is accounted per
     /// receiving peer).
-    fn refresh_digests(&mut self, now: Timestamp, refresh_every: coopcache_types::DurationMs, fp_rate: f64) {
+    fn refresh_digests(
+        &mut self,
+        now: Timestamp,
+        refresh_every: coopcache_types::DurationMs,
+        fp_rate: f64,
+    ) {
         let n = self.nodes.len();
         for i in 0..n {
             let due = match self.digests[i].built_at {
@@ -401,7 +432,12 @@ mod tests {
 
     #[test]
     fn capacity_split_matches_paper_rule() {
-        let g = DistributedGroup::new(4, ByteSize::from_mb(1), PolicyKind::Lru, PlacementScheme::Ea);
+        let g = DistributedGroup::new(
+            4,
+            ByteSize::from_mb(1),
+            PolicyKind::Lru,
+            PlacementScheme::Ea,
+        );
         for n in g.iter() {
             assert_eq!(n.cache().capacity(), ByteSize::from_bytes(250_000));
         }
@@ -461,10 +497,7 @@ mod tests {
         adhoc.handle_request(c(0), d(9), kb(4), t(0));
         adhoc.handle_request(c(1), d(9), kb(4), t(1));
         adhoc.handle_request(c(2), d(9), kb(4), t(2));
-        let replicas = adhoc
-            .iter()
-            .filter(|n| n.cache().contains(d(9)))
-            .count();
+        let replicas = adhoc.iter().filter(|n| n.cache().contains(d(9))).count();
         assert_eq!(replicas, 3, "ad-hoc replicates everywhere");
 
         // Under EA with all ages tied at infinity, the strict requester
@@ -659,6 +692,24 @@ mod tests {
         );
         assert_eq!(g.node(c(0)).cache().capacity(), kb(2));
         assert_eq!(g.node(c(1)).cache().capacity(), kb(20));
+    }
+
+    #[test]
+    fn sink_sees_icp_traffic_matching_protocol_counters() {
+        use coopcache_obs::{EventKind, HistogramSink, SinkHandle};
+        use std::sync::{Arc, Mutex};
+
+        let hist = Arc::new(Mutex::new(HistogramSink::new()));
+        let mut g = group(PlacementScheme::AdHoc);
+        g.set_sink(SinkHandle::from_arc(Arc::clone(&hist)));
+        g.handle_request(c(0), d(1), kb(2), t(0)); // miss: 2 queries
+        g.handle_request(c(1), d(1), kb(2), t(1)); // remote hit: 2 more
+        g.handle_request(c(1), d(1), kb(2), t(2)); // local hit: silent
+        let sink = hist.lock().unwrap();
+        let s = g.protocol_stats();
+        assert_eq!(sink.count(EventKind::IcpQuery), s.icp_queries);
+        assert_eq!(sink.count(EventKind::IcpReply), s.icp_replies);
+        assert!(sink.count(EventKind::Placement) > 0);
     }
 
     #[test]

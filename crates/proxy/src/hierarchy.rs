@@ -106,7 +106,9 @@ impl HierarchicalGroup {
             return Err(TopologyError::Shape("no nodes"));
         }
         if capacities.len() != parents.len() {
-            return Err(TopologyError::Shape("capacities and parents differ in length"));
+            return Err(TopologyError::Shape(
+                "capacities and parents differ in length",
+            ));
         }
         if capacities.len() > usize::from(u16::MAX) {
             return Err(TopologyError::Shape("too many nodes for u16 ids"));
@@ -293,8 +295,8 @@ impl HierarchicalGroup {
                     // back to the distributed-architecture behaviour
                     // (store at the requester) when no node kept one.
                     if !stored && !up.stored_above {
-                        stored = self.nodes[requester.index()]
-                            .complete_origin_fetch(doc, size, now);
+                        stored =
+                            self.nodes[requester.index()].complete_origin_fetch(doc, size, now);
                     }
                     RequestOutcome::Miss {
                         stored_locally: stored,
@@ -422,14 +424,8 @@ mod tests {
             TopologyError::BadParent { node: 0 }
         );
         // Two nodes pointing at each other.
-        let err = HierarchicalGroup::from_parents(
-            &[kb(1), kb(1)],
-            &[Some(1), Some(0)],
-            p,
-            s,
-            w,
-        )
-        .unwrap_err();
+        let err = HierarchicalGroup::from_parents(&[kb(1), kb(1)], &[Some(1), Some(0)], p, s, w)
+            .unwrap_err();
         assert!(matches!(err, TopologyError::Cycle { .. }), "{err}");
     }
 
@@ -481,10 +477,10 @@ mod tests {
     fn parent_copy_is_a_remote_hit() {
         let mut g = two_level(PlacementScheme::AdHoc);
         g.handle_request(c(0), d(1), kb(4), t(0)); // stores at leaf 0 + parent
-        // Leaf 1's siblings probe order: leaf 0 first (holds it).
-        // Remove leaf 0's copy to force the parent to answer.
-        // (Reach in through a fresh request pattern instead: ask from leaf
-        // 2 for a doc only the parent holds.)
+                                                   // Leaf 1's siblings probe order: leaf 0 first (holds it).
+                                                   // Remove leaf 0's copy to force the parent to answer.
+                                                   // (Reach in through a fresh request pattern instead: ask from leaf
+                                                   // 2 for a doc only the parent holds.)
         let mut g2 = two_level(PlacementScheme::AdHoc);
         g2.handle_request(c(0), d(9), kb(4), t(0));
         // Evict leaf 0's copy by churning it with big docs.
@@ -520,7 +516,10 @@ mod tests {
         );
         // Ad-hoc: every level keeps a copy.
         for i in 0..3 {
-            assert!(g.node(c(i)).cache().contains(d(1)), "node {i} lost the copy");
+            assert!(
+                g.node(c(i)).cache().contains(d(1)),
+                "node {i} lost the copy"
+            );
         }
     }
 
@@ -557,13 +556,18 @@ mod tests {
                 stored_at_ancestor: false
             }
         );
-        assert_eq!(g.handle_request(c(3), d(1), kb(4), t(1)), RequestOutcome::LocalHit);
+        assert_eq!(
+            g.handle_request(c(3), d(1), kb(4), t(1)),
+            RequestOutcome::LocalHit
+        );
     }
 
     #[test]
     fn topology_error_display() {
         let e = TopologyError::Cycle { node: 3 };
         assert!(e.to_string().contains("cycle"));
-        assert!(TopologyError::BadParent { node: 1 }.to_string().contains("parent"));
+        assert!(TopologyError::BadParent { node: 1 }
+            .to_string()
+            .contains("parent"));
     }
 }

@@ -7,7 +7,11 @@
 //! logic.
 
 use crate::message::{HttpRequest, HttpResponse, IcpQuery, IcpReply};
-use coopcache_core::{Cache, ExpirationWindow, InsertOutcome, PlacementScheme, PolicyKind};
+use coopcache_core::{
+    Cache, EvictionReason, EvictionRecord, ExpirationFlavor, ExpirationWindow, InsertOutcome,
+    PlacementScheme, PolicyKind,
+};
+use coopcache_obs::{Event, EvictionCause, PlacementRole, SinkHandle};
 use coopcache_types::{ByteSize, CacheId, DocId, ExpirationAge, Timestamp};
 
 /// One cooperative proxy: a [`Cache`] plus the requester/responder logic
@@ -35,6 +39,9 @@ use coopcache_types::{ByteSize, CacheId, DocId, ExpirationAge, Timestamp};
 pub struct ProxyNode {
     cache: Cache,
     scheme: PlacementScheme,
+    /// Optional event sink; `None` (the default) costs one branch per
+    /// protocol step.
+    sink: Option<SinkHandle>,
 }
 
 impl ProxyNode {
@@ -61,6 +68,68 @@ impl ProxyNode {
         Self {
             cache: Cache::with_window(id, capacity, policy, window),
             scheme,
+            sink: None,
+        }
+    }
+
+    /// Attaches an event sink; placement decisions and evictions from
+    /// this node flow into it.
+    pub fn set_sink(&mut self, sink: SinkHandle) {
+        self.sink = Some(sink);
+    }
+
+    /// Detaches the event sink (back to the zero-cost default).
+    pub fn clear_sink(&mut self) {
+        self.sink = None;
+    }
+
+    fn emit(&self, event: &Event) {
+        if let Some(sink) = &self.sink {
+            sink.emit(event);
+        }
+    }
+
+    fn emit_placement(
+        &self,
+        doc: DocId,
+        role: PlacementRole,
+        self_age: ExpirationAge,
+        peer_age: ExpirationAge,
+        stored: bool,
+    ) {
+        if self.sink.is_some() {
+            self.emit(&Event::Placement {
+                cache: self.id(),
+                doc,
+                role,
+                self_age,
+                peer_age,
+                stored,
+                tie: self_age == peer_age,
+            });
+        }
+    }
+
+    fn emit_evictions(&self, evictions: &[EvictionRecord]) {
+        if self.sink.is_none() {
+            return;
+        }
+        let flavor = self.cache.tracker().flavor();
+        for rec in evictions {
+            let age = match flavor {
+                ExpirationFlavor::Lru => rec.entry.lru_expiration_age(rec.evicted_at),
+                ExpirationFlavor::Lfu => rec.entry.lfu_expiration_age(rec.evicted_at),
+            };
+            self.emit(&Event::Eviction {
+                cache: self.id(),
+                doc: rec.entry.doc,
+                age_ms: age.as_millis(),
+                cause: match rec.reason {
+                    EvictionReason::CapacityPressure => EvictionCause::Capacity,
+                    EvictionReason::Explicit => EvictionCause::Explicit,
+                    EvictionReason::Expired => EvictionCause::Expired,
+                },
+            });
         }
     }
 
@@ -124,6 +193,13 @@ impl ProxyNode {
             .scheme
             .responder_promotes(responder_age, request.requester_age);
         let size = self.cache.serve_remote(request.doc, now, promote)?;
+        self.emit_placement(
+            request.doc,
+            PlacementRole::ResponderPromote,
+            responder_age,
+            request.requester_age,
+            promote,
+        );
         Some(HttpResponse {
             from: self.id(),
             doc: request.doc,
@@ -156,22 +232,31 @@ impl ProxyNode {
         now: Timestamp,
     ) -> bool {
         debug_assert_eq!(sent.doc, response.doc, "response for a different doc");
-        if !self
+        let store = self
             .scheme
-            .requester_stores(sent.requester_age, response.responder_age)
-        {
+            .requester_stores(sent.requester_age, response.responder_age);
+        self.emit_placement(
+            sent.doc,
+            PlacementRole::RequesterStore,
+            sent.requester_age,
+            response.responder_age,
+            store,
+        );
+        if !store {
             return false;
         }
-        self.cache
-            .insert(response.doc, response.size, now)
-            .is_stored()
+        let outcome = self.cache.insert(response.doc, response.size, now);
+        self.emit_evictions(outcome.evictions());
+        outcome.is_stored()
     }
 
     /// Requester side of a group miss in the *distributed* architecture:
     /// the document came from the origin server and is always stored
     /// (both schemes; paper §4.1).
     pub fn complete_origin_fetch(&mut self, doc: DocId, size: ByteSize, now: Timestamp) -> bool {
-        self.cache.insert(doc, size, now).is_stored()
+        let outcome = self.cache.insert(doc, size, now);
+        self.emit_evictions(outcome.evictions());
+        outcome.is_stored()
     }
 
     /// Parent side of a hierarchical miss: the parent fetched `doc` from
@@ -186,9 +271,19 @@ impl ProxyNode {
         now: Timestamp,
     ) -> (HttpResponse, bool) {
         let parent_age = self.expiration_age();
-        let stored = if self.scheme.parent_stores(parent_age, request.requester_age) {
+        let keep = self.scheme.parent_stores(parent_age, request.requester_age);
+        self.emit_placement(
+            request.doc,
+            PlacementRole::ParentStore,
+            parent_age,
+            request.requester_age,
+            keep,
+        );
+        let stored = if keep {
+            let outcome = self.cache.insert(request.doc, size, now);
+            self.emit_evictions(outcome.evictions());
             matches!(
-                self.cache.insert(request.doc, size, now),
+                outcome,
                 InsertOutcome::Stored(_) | InsertOutcome::AlreadyPresent
             )
         } else {
@@ -388,6 +483,66 @@ mod tests {
         let (_, stored2) = parent.resolve_miss_for_child(req2, kb(4), t(1));
         assert!(stored2);
         assert!(parent.cache().contains(d(2)));
+    }
+
+    #[test]
+    fn sink_receives_placement_and_eviction_events() {
+        use coopcache_obs::{Event, EventKind, RingBufferSink, SinkHandle};
+        use std::sync::{Arc, Mutex};
+
+        let ring = Arc::new(Mutex::new(RingBufferSink::new(256)));
+        let mut requester = node(0, 4, PlacementScheme::Ea);
+        requester.set_sink(SinkHandle::from_arc(Arc::clone(&ring)));
+        // Churn causes capacity evictions => Eviction events.
+        make_contended(&mut requester, 0);
+        // A remote fetch decision => a Placement event with both ages.
+        let sent = requester.build_http_request(d(1));
+        let resp = HttpResponse {
+            from: CacheId::new(1),
+            doc: d(1),
+            size: kb(1),
+            responder_age: ExpirationAge::Infinite,
+        };
+        requester.complete_remote_fetch(sent, resp, t(1_000));
+        let guard = ring.lock().unwrap();
+        let mut evictions = 0;
+        let mut placements = 0;
+        for ev in guard.events() {
+            match ev.kind() {
+                EventKind::Eviction => evictions += 1,
+                EventKind::Placement => {
+                    placements += 1;
+                    let Event::Placement {
+                        role,
+                        stored,
+                        peer_age,
+                        ..
+                    } = ev
+                    else {
+                        unreachable!()
+                    };
+                    assert_eq!(*role, PlacementRole::RequesterStore);
+                    assert!(!stored, "contended EA requester must decline");
+                    assert_eq!(*peer_age, ExpirationAge::Infinite);
+                }
+                _ => {}
+            }
+        }
+        assert!(evictions > 0, "churn must surface eviction events");
+        assert_eq!(placements, 1);
+    }
+
+    #[test]
+    fn clear_sink_stops_emission() {
+        use coopcache_obs::{RingBufferSink, SinkHandle};
+        use std::sync::{Arc, Mutex};
+
+        let ring = Arc::new(Mutex::new(RingBufferSink::new(8)));
+        let mut n = node(0, 4, PlacementScheme::AdHoc);
+        n.set_sink(SinkHandle::from_arc(Arc::clone(&ring)));
+        n.clear_sink();
+        make_contended(&mut n, 0);
+        assert_eq!(ring.lock().unwrap().total_emitted(), 0);
     }
 
     #[test]

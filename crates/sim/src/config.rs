@@ -53,6 +53,10 @@ pub struct SimConfig {
     /// Optional per-cache capacity weights; the aggregate is split
     /// proportionally instead of evenly (the paper assumes equal shares).
     pub capacity_weights: Option<Vec<u32>>,
+    /// Number of reporting windows the trace is divided into for the
+    /// per-window hit-rate / expiration-age time series in `SimReport`
+    /// (each rollover also emits a `WindowRollover` event).
+    pub timeseries_windows: usize,
 }
 
 impl SimConfig {
@@ -72,7 +76,20 @@ impl SimConfig {
             ttl: None,
             warmup_fraction: 0.0,
             capacity_weights: None,
+            timeseries_windows: 20,
         }
+    }
+
+    /// Sets the number of reporting windows for the time series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn with_timeseries_windows(mut self, n: usize) -> Self {
+        assert!(n >= 1, "at least one reporting window is required");
+        self.timeseries_windows = n;
+        self
     }
 
     /// Sets the group size.
@@ -157,7 +174,10 @@ impl SimConfig {
     #[must_use]
     pub fn with_capacity_weights(mut self, weights: Vec<u32>) -> Self {
         assert!(!weights.is_empty(), "weights must not be empty");
-        assert!(weights.iter().any(|&w| w > 0), "weights must not all be zero");
+        assert!(
+            weights.iter().any(|&w| w > 0),
+            "weights must not all be zero"
+        );
         self.group_size = weights.len() as u16;
         self.capacity_weights = Some(weights);
         self
@@ -270,6 +290,19 @@ mod tests {
         assert_eq!(cfg.ttl, Some(DurationMs::from_days(1)));
         assert_eq!(cfg.discovery, Discovery::Isolated);
         assert!((cfg.warmup_fraction - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timeseries_windows_builder() {
+        let cfg = SimConfig::new(ByteSize::from_kb(1)).with_timeseries_windows(5);
+        assert_eq!(cfg.timeseries_windows, 5);
+        assert_eq!(SimConfig::new(ByteSize::from_kb(1)).timeseries_windows, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one reporting window")]
+    fn zero_timeseries_windows_panics() {
+        let _ = SimConfig::new(ByteSize::from_kb(1)).with_timeseries_windows(0);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use crate::config::SimConfig;
 use coopcache_metrics::GroupMetrics;
+use coopcache_obs::{Event, SinkHandle};
 use coopcache_proxy::{DistributedGroup, HttpRequest, IcpQuery, RequestOutcome};
 use coopcache_trace::Trace;
 use coopcache_types::{ByteSize, CacheId, DocId, DurationMs, Timestamp};
@@ -181,6 +182,29 @@ struct InFlight {
 /// ```
 #[must_use]
 pub fn run_des(config: &SimConfig, network: &NetworkModel, trace: &Trace) -> DesReport {
+    run_des_inner(config, network, trace, None)
+}
+
+/// Like [`run_des`], but streams events into `sink` when one is supplied.
+/// Request events carry the *measured* completion latency (in µs), and
+/// ICP query/reply events reflect the peers actually probed — including
+/// queries whose replies were lost.
+#[must_use]
+pub fn run_des_with_sink(
+    config: &SimConfig,
+    network: &NetworkModel,
+    trace: &Trace,
+    sink: Option<SinkHandle>,
+) -> DesReport {
+    run_des_inner(config, network, trace, sink)
+}
+
+fn run_des_inner(
+    config: &SimConfig,
+    network: &NetworkModel,
+    trace: &Trace,
+    sink: Option<SinkHandle>,
+) -> DesReport {
     let mut group = DistributedGroup::with_window(
         config.group_size,
         config.aggregate_capacity,
@@ -188,6 +212,9 @@ pub fn run_des(config: &SimConfig, network: &NetworkModel, trace: &Trace) -> Des
         config.scheme,
         config.window,
     );
+    if let Some(sink) = &sink {
+        group.set_sink(sink.clone());
+    }
     let n = config.group_size as usize;
 
     let requests: Vec<InFlight> = trace
@@ -206,9 +233,9 @@ pub fn run_des(config: &SimConfig, network: &NetworkModel, trace: &Trace) -> Des
     let mut phases: Vec<Phase> = vec![Phase::Arrival; requests.len()];
     let mut seq = 0u64;
     let push = |queue: &mut BinaryHeap<Reverse<(Timestamp, u64, usize)>>,
-                    seq: &mut u64,
-                    at: Timestamp,
-                    idx: usize| {
+                seq: &mut u64,
+                at: Timestamp,
+                idx: usize| {
         queue.push(Reverse((at, *seq, idx)));
         *seq += 1;
     };
@@ -221,12 +248,26 @@ pub fn run_des(config: &SimConfig, network: &NetworkModel, trace: &Trace) -> Des
     let mut icp_fallbacks = 0u64;
 
     let complete = |metrics: &mut GroupMetrics,
-                        latencies: &mut Vec<u64>,
-                        r: &InFlight,
-                        outcome: RequestOutcome,
-                        done: Timestamp| {
+                    latencies: &mut Vec<u64>,
+                    idx: usize,
+                    r: &InFlight,
+                    outcome: RequestOutcome,
+                    done: Timestamp| {
         metrics.record(outcome, r.size);
-        latencies.push(done.saturating_since(r.arrival).as_millis());
+        let latency_ms = done.saturating_since(r.arrival).as_millis();
+        latencies.push(latency_ms);
+        if let Some(sink) = &sink {
+            let (class, responder, stored) = outcome.event_parts();
+            sink.emit(&Event::Request {
+                seq: idx as u64,
+                cache: r.requester,
+                doc: r.doc,
+                class,
+                responder,
+                stored,
+                latency_us: Some(latency_ms * 1_000),
+            });
+        }
     };
 
     while let Some(Reverse((now, _, idx))) = queue.pop() {
@@ -241,6 +282,7 @@ pub fn run_des(config: &SimConfig, network: &NetworkModel, trace: &Trace) -> Des
                     complete(
                         &mut metrics,
                         &mut latencies,
+                        idx,
                         &r,
                         RequestOutcome::LocalHit,
                         now + network.local_service,
@@ -255,12 +297,34 @@ pub fn run_des(config: &SimConfig, network: &NetworkModel, trace: &Trace) -> Des
                     from: r.requester,
                     doc: r.doc,
                 };
-                let responder = (1..n)
-                    .map(|off| CacheId::new(((r.requester.index() + off) % n) as u16))
-                    .find(|&peer| {
-                        !network.icp_lost(idx, peer)
-                            && group.node(peer).handle_icp_query(query).hit
-                    });
+                let mut responder = None;
+                for off in 1..n {
+                    let peer = CacheId::new(((r.requester.index() + off) % n) as u16);
+                    if let Some(sink) = &sink {
+                        sink.emit(&Event::IcpQuery {
+                            from: r.requester,
+                            to: peer,
+                            doc: r.doc,
+                        });
+                    }
+                    if network.icp_lost(idx, peer) {
+                        // The exchange vanished on the wire: the query
+                        // event stands, but no reply ever arrives.
+                        continue;
+                    }
+                    let hit = group.node(peer).handle_icp_query(query).hit;
+                    if let Some(sink) = &sink {
+                        sink.emit(&Event::IcpReply {
+                            from: peer,
+                            doc: r.doc,
+                            hit,
+                        });
+                    }
+                    if hit {
+                        responder = Some(peer);
+                        break;
+                    }
+                }
                 match responder {
                     Some(peer) => {
                         let sent = group.node(r.requester).build_http_request(r.doc);
@@ -295,6 +359,7 @@ pub fn run_des(config: &SimConfig, network: &NetworkModel, trace: &Trace) -> Des
                         complete(
                             &mut metrics,
                             &mut latencies,
+                            idx,
                             &r,
                             RequestOutcome::RemoteHit {
                                 responder,
@@ -323,6 +388,7 @@ pub fn run_des(config: &SimConfig, network: &NetworkModel, trace: &Trace) -> Des
                 complete(
                     &mut metrics,
                     &mut latencies,
+                    idx,
                     &r,
                     RequestOutcome::Miss {
                         stored_locally: stored,
@@ -390,10 +456,7 @@ mod tests {
             NetworkModel::transfer(ByteSize::from_bytes(41), 20),
             DurationMs::from_millis(3)
         );
-        assert_eq!(
-            NetworkModel::transfer(ByteSize::ZERO, 20),
-            DurationMs::ZERO
-        );
+        assert_eq!(NetworkModel::transfer(ByteSize::ZERO, 20), DurationMs::ZERO);
         // Zero rate is clamped rather than dividing by zero.
         assert_eq!(
             NetworkModel::transfer(ByteSize::from_bytes(5), 0),
@@ -512,5 +575,49 @@ mod tests {
         assert_eq!(rep.metrics.requests, 0);
         assert_eq!(rep.mean_latency_ms, 0.0);
         assert_eq!(rep.p95_latency_ms, 0);
+    }
+
+    #[test]
+    fn sink_measures_latency_for_every_request() {
+        use coopcache_obs::{EventKind, HistogramSink, SinkHandle};
+        use std::sync::{Arc, Mutex};
+        let t = trace();
+        let sink = Arc::new(Mutex::new(HistogramSink::new()));
+        let handle = SinkHandle::from_arc(Arc::clone(&sink));
+        let rep = run_des_with_sink(
+            &cfg(100).with_scheme(PlacementScheme::Ea),
+            &NetworkModel::default(),
+            &t,
+            Some(handle),
+        );
+        let agg = sink.lock().unwrap();
+        assert_eq!(agg.count(EventKind::Request) as usize, t.len());
+        // Every DES request carries a measured latency.
+        assert_eq!(agg.request_latency_us.count() as usize, t.len());
+        // The histogram's mean agrees with the report's (µs vs ms).
+        let mean_ms = agg.request_latency_us.mean().unwrap() / 1_000.0;
+        assert!(
+            (mean_ms - rep.mean_latency_ms).abs() < 1.0,
+            "histogram {mean_ms} vs report {}",
+            rep.mean_latency_ms
+        );
+        // Contended EA runs produce placement and eviction events.
+        assert!(agg.count(EventKind::Placement) > 0);
+        assert!(agg.count(EventKind::Eviction) > 0);
+        assert!(agg.count(EventKind::IcpQuery) >= agg.count(EventKind::IcpReply));
+    }
+
+    #[test]
+    fn sink_does_not_change_des_report() {
+        use coopcache_obs::{NullSink, SinkHandle};
+        let t = trace();
+        let plain = run_des(&cfg(500), &NetworkModel::default(), &t);
+        let observed = run_des_with_sink(
+            &cfg(500),
+            &NetworkModel::default(),
+            &t,
+            Some(SinkHandle::new(NullSink)),
+        );
+        assert_eq!(plain, observed);
     }
 }

@@ -3,9 +3,32 @@
 
 use crate::config::SimConfig;
 use coopcache_metrics::{GroupMetrics, LatencyModel};
+use coopcache_obs::{Event, SinkHandle};
 use coopcache_proxy::{DistributedGroup, RequestOutcome};
 use coopcache_trace::Trace;
 use coopcache_types::Request;
+
+/// One reporting window of the trace: the per-window and cumulative view
+/// of hit rate and group expiration age (the `SimReport` time series).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowStat {
+    /// Zero-based window index.
+    pub index: u64,
+    /// Requests inside this window.
+    pub requests: u64,
+    /// Local hits inside this window.
+    pub local_hits: u64,
+    /// Remote hits inside this window.
+    pub remote_hits: u64,
+    /// Hit rate (local + remote) inside this window.
+    pub hit_rate: f64,
+    /// Hit rate over everything up to and including this window.
+    pub cumulative_hit_rate: f64,
+    /// Mean of the caches' *current windowed* expiration ages at
+    /// rollover, in milliseconds; `None` while every cache is still
+    /// infinite (no contention observed).
+    pub mean_age_ms: Option<u64>,
+}
 
 /// The result of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,6 +48,9 @@ pub struct SimReport {
     /// Total resident documents counting replicas — `total - unique` is
     /// the amount of replication the placement scheme allowed.
     pub total_docs_cached: usize,
+    /// Per-window hit-rate / expiration-age time series
+    /// (`config.timeseries_windows` windows; empty for an empty trace).
+    pub windows: Vec<WindowStat>,
 }
 
 impl SimReport {
@@ -32,6 +58,21 @@ impl SimReport {
     #[must_use]
     pub fn replica_overhead(&self) -> usize {
         self.total_docs_cached - self.unique_docs_cached
+    }
+}
+
+/// Mean of the caches' current (windowed) expiration ages in ms, skipping
+/// infinite ones; `None` when all are infinite.
+fn mean_current_age_ms(group: &DistributedGroup) -> Option<u64> {
+    let finite: Vec<u64> = group
+        .expiration_ages()
+        .iter()
+        .filter_map(|a| a.as_finite().map(|d| d.as_millis()))
+        .collect();
+    if finite.is_empty() {
+        None
+    } else {
+        Some(finite.iter().sum::<u64>() / finite.len() as u64)
     }
 }
 
@@ -58,13 +99,33 @@ impl SimReport {
 /// ```
 #[must_use]
 pub fn run(config: &SimConfig, trace: &Trace) -> SimReport {
-    run_with_observer(config, trace, |_, _, _| {})
+    run_inner(config, trace, None, |_, _, _| {})
+}
+
+/// Like [`run`], but streams every event (requests, placements,
+/// evictions, ICP traffic, window rollovers) into `sink` when one is
+/// supplied — the synchronous driver's entry point for `--events`.
+#[must_use]
+pub fn run_with_sink(config: &SimConfig, trace: &Trace, sink: Option<SinkHandle>) -> SimReport {
+    run_inner(config, trace, sink, |_, _, _| {})
 }
 
 /// Like [`run`], but invokes `observe(seq, request, outcome)` after every
 /// request — used for time-series output and for tests that need
 /// per-request visibility.
-pub fn run_with_observer<F>(config: &SimConfig, trace: &Trace, mut observe: F) -> SimReport
+pub fn run_with_observer<F>(config: &SimConfig, trace: &Trace, observe: F) -> SimReport
+where
+    F: FnMut(usize, &Request, RequestOutcome),
+{
+    run_inner(config, trace, None, observe)
+}
+
+fn run_inner<F>(
+    config: &SimConfig,
+    trace: &Trace,
+    sink: Option<SinkHandle>,
+    mut observe: F,
+) -> SimReport
 where
     F: FnMut(usize, &Request, RequestOutcome),
 {
@@ -76,21 +137,83 @@ where
         config.discovery,
     );
     group.set_ttl(config.ttl);
+    if let Some(sink) = &sink {
+        group.set_sink(sink.clone());
+    }
     let mut metrics = GroupMetrics::default();
     let n = config.group_size as usize;
     let warmup_until = (trace.len() as f64 * config.warmup_fraction) as usize;
+    // Window bookkeeping: the trace splits into `timeseries_windows`
+    // near-equal windows (the last one absorbs the remainder and any
+    // short trace simply yields fewer, shorter windows).
+    let window_len = (trace.len() / config.timeseries_windows).max(1);
+    let mut windows: Vec<WindowStat> = Vec::new();
+    let mut win = (0u64, 0u64, 0u64); // (requests, local hits, remote hits)
+    let mut cum_hits = 0u64;
     for (seq, request) in trace.iter().enumerate() {
         let requester = config.partitioner.assign(request, seq, n);
         let outcome = group.handle_request(requester, request.doc, request.size, request.time);
         if seq >= warmup_until {
             metrics.record(outcome, request.size);
         }
+        if let Some(sink) = &sink {
+            let (class, responder, stored) = outcome.event_parts();
+            sink.emit(&Event::Request {
+                seq: seq as u64,
+                cache: requester,
+                doc: request.doc,
+                class,
+                responder,
+                stored,
+                latency_us: None,
+            });
+        }
+        win.0 += 1;
+        if outcome.is_local_hit() {
+            win.1 += 1;
+        } else if outcome.is_remote_hit() {
+            win.2 += 1;
+        }
+        let last = seq + 1 == trace.len();
+        // Roll over on the boundary, except that the final window runs to
+        // the end of the trace so no short tail window is emitted.
+        let boundary = (seq + 1) % window_len == 0 && trace.len() - (seq + 1) >= window_len;
+        if last || boundary {
+            cum_hits += win.1 + win.2;
+            let served = (seq + 1) as u64;
+            let mean_age_ms = mean_current_age_ms(&group);
+            let stat = WindowStat {
+                index: windows.len() as u64,
+                requests: win.0,
+                local_hits: win.1,
+                remote_hits: win.2,
+                hit_rate: (win.1 + win.2) as f64 / win.0 as f64,
+                cumulative_hit_rate: cum_hits as f64 / served as f64,
+                mean_age_ms,
+            };
+            if let Some(sink) = &sink {
+                sink.emit(&Event::WindowRollover {
+                    index: stat.index,
+                    requests: stat.requests,
+                    local_hits: stat.local_hits,
+                    remote_hits: stat.remote_hits,
+                    mean_age_ms,
+                });
+            }
+            windows.push(stat);
+            win = (0, 0, 0);
+        }
         observe(seq, request, outcome);
     }
-    finish(config.latency, metrics, &group)
+    finish(config.latency, metrics, &group, windows)
 }
 
-fn finish(latency: LatencyModel, metrics: GroupMetrics, group: &DistributedGroup) -> SimReport {
+fn finish(
+    latency: LatencyModel,
+    metrics: GroupMetrics,
+    group: &DistributedGroup,
+    windows: Vec<WindowStat>,
+) -> SimReport {
     SimReport {
         estimated_latency_ms: latency.average_latency_ms(&metrics),
         avg_expiration_age_ms: group.average_expiration_age_ms(),
@@ -98,6 +221,7 @@ fn finish(latency: LatencyModel, metrics: GroupMetrics, group: &DistributedGroup
         total_docs_cached: group.total_cached_docs(),
         protocol: *group.protocol_stats(),
         metrics,
+        windows,
     }
 }
 
@@ -240,7 +364,10 @@ mod tests {
         let trace = small_trace();
         let full = run(&cfg(500), &trace);
         let warmed = run(&cfg(500).with_warmup_fraction(0.5), &trace);
-        assert_eq!(warmed.metrics.requests as usize, trace.len() - trace.len() / 2);
+        assert_eq!(
+            warmed.metrics.requests as usize,
+            trace.len() - trace.len() / 2
+        );
         // Measuring only the warm half must raise the observed hit rate.
         assert!(
             warmed.metrics.hit_rate() > full.metrics.hit_rate(),
@@ -324,5 +451,85 @@ mod tests {
         assert_eq!(r.estimated_latency_ms, 0.0);
         assert_eq!(r.avg_expiration_age_ms, None);
         assert_eq!(r.unique_docs_cached, 0);
+        assert!(r.windows.is_empty());
+    }
+
+    #[test]
+    fn windows_partition_the_trace() {
+        let trace = small_trace();
+        let r = run(&cfg(500).with_timeseries_windows(10), &trace);
+        assert_eq!(r.windows.len(), 10);
+        let total: u64 = r.windows.iter().map(|w| w.requests).sum();
+        assert_eq!(total as usize, trace.len());
+        for (i, w) in r.windows.iter().enumerate() {
+            assert_eq!(w.index, i as u64);
+            assert!(w.local_hits + w.remote_hits <= w.requests);
+            assert!((0.0..=1.0).contains(&w.hit_rate));
+        }
+        // The final cumulative figure matches the run-wide hit rate
+        // (no warm-up configured, so both count everything).
+        let last = r.windows.last().unwrap();
+        assert!(
+            (last.cumulative_hit_rate - r.metrics.hit_rate()).abs() < 1e-9,
+            "cumulative {} vs metrics {}",
+            last.cumulative_hit_rate,
+            r.metrics.hit_rate()
+        );
+        // A contended run should develop a finite mean age by the end.
+        let contended = run(&cfg(100).with_scheme(PlacementScheme::Ea), &trace);
+        assert!(contended.windows.last().unwrap().mean_age_ms.is_some());
+    }
+
+    #[test]
+    fn more_windows_than_requests_degrades_gracefully() {
+        let trace = small_trace();
+        let r = run(&cfg(500).with_timeseries_windows(10 * trace.len()), &trace);
+        // One window per request is the finest possible split.
+        assert_eq!(r.windows.len(), trace.len());
+        assert!(r.windows.iter().all(|w| w.requests == 1));
+    }
+
+    #[test]
+    fn sink_sees_every_request_and_rollover() {
+        use coopcache_obs::{EventKind, HistogramSink, SinkHandle};
+        use std::sync::{Arc, Mutex};
+        let trace = small_trace();
+        let sink = Arc::new(Mutex::new(HistogramSink::new()));
+        let handle = SinkHandle::from_arc(Arc::clone(&sink));
+        let report = run_with_sink(
+            &cfg(500).with_scheme(PlacementScheme::Ea),
+            &trace,
+            Some(handle),
+        );
+        let agg = sink.lock().unwrap();
+        assert_eq!(agg.count(EventKind::Request) as usize, trace.len());
+        assert_eq!(
+            agg.count(EventKind::WindowRollover) as usize,
+            report.windows.len()
+        );
+        // The event-level split agrees with the run-wide metrics
+        // (no warm-up, so the metrics count everything too).
+        let (local, remote, miss) = agg.request_split();
+        assert_eq!(local, report.metrics.local_hits);
+        assert_eq!(remote, report.metrics.remote_hits);
+        assert_eq!(miss, report.metrics.misses);
+        // ICP traffic in the events mirrors the protocol counters.
+        assert_eq!(agg.count(EventKind::IcpQuery), report.protocol.icp_queries);
+        // EA placement decisions under contention flow through too.
+        assert!(agg.count(EventKind::Placement) > 0);
+        assert!(agg.count(EventKind::Eviction) > 0);
+    }
+
+    #[test]
+    fn sink_does_not_change_the_report() {
+        use coopcache_obs::{NullSink, SinkHandle};
+        let trace = small_trace();
+        let plain = run(&cfg(500).with_scheme(PlacementScheme::Ea), &trace);
+        let observed = run_with_sink(
+            &cfg(500).with_scheme(PlacementScheme::Ea),
+            &trace,
+            Some(SinkHandle::new(NullSink)),
+        );
+        assert_eq!(plain, observed);
     }
 }

@@ -279,7 +279,12 @@ garbage line that should be skipped
 
     #[test]
     fn squid_parsing() {
-        let p = parse_log(SQUID.as_bytes(), LogFormat::SquidNative, ByteSize::from_kb(4)).unwrap();
+        let p = parse_log(
+            SQUID.as_bytes(),
+            LogFormat::SquidNative,
+            ByteSize::from_kb(4),
+        )
+        .unwrap();
         assert_eq!(p.trace.len(), 3, "POST and garbage skipped");
         assert_eq!(p.skipped_lines, 2);
         assert_eq!(p.urls, vec!["http://x.org/a", "http://x.org/b"]);
@@ -324,7 +329,11 @@ alpha.example.com - - [10/Oct/2000:13:56:05 -0700] \"HEAD /index.html HTTP/1.0\"
             Err(ParseLogError::NoRecords)
         ));
         assert!(matches!(
-            parse_log("junk\nmore junk\n".as_bytes(), LogFormat::CommonLog, ByteSize::ZERO),
+            parse_log(
+                "junk\nmore junk\n".as_bytes(),
+                LogFormat::CommonLog,
+                ByteSize::ZERO
+            ),
             Err(ParseLogError::NoRecords)
         ));
     }

@@ -200,7 +200,8 @@ impl Pareto {
     ///
     /// Returns [`InvalidParamError`] unless `x_min > 0` and `alpha > 0`.
     pub fn new(x_min: f64, alpha: f64) -> Result<Self, InvalidParamError> {
-        if !(x_min > 0.0) || !(alpha > 0.0) || !x_min.is_finite() || !alpha.is_finite() {
+        // NaN parameters fail the `is_finite` checks.
+        if x_min <= 0.0 || alpha <= 0.0 || !x_min.is_finite() || !alpha.is_finite() {
             return Err(InvalidParamError {
                 what: "pareto requires x_min > 0 and alpha > 0",
             });
@@ -239,7 +240,8 @@ impl Exponential {
     ///
     /// Returns [`InvalidParamError`] unless `mean > 0` and finite.
     pub fn new(mean: f64) -> Result<Self, InvalidParamError> {
-        if !(mean > 0.0) || !mean.is_finite() {
+        // A NaN mean fails the `is_finite` check.
+        if mean <= 0.0 || !mean.is_finite() {
             return Err(InvalidParamError {
                 what: "exponential mean must be positive and finite",
             });

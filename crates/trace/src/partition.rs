@@ -39,8 +39,7 @@ impl Partitioner {
             Self::ByClientModulo => request.client.as_u32() as usize % group_size,
             Self::ByClientHash => {
                 // Fibonacci hashing spreads structured id spaces evenly.
-                let h = (u64::from(request.client.as_u32()))
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let h = (u64::from(request.client.as_u32())).wrapping_mul(0x9E37_79B9_7F4A_7C15);
                 (h >> 32) as usize % group_size
             }
             Self::RoundRobin => seq % group_size,
@@ -101,7 +100,10 @@ mod tests {
         for c in (0..256u32).step_by(2) {
             seen[p.assign(&req(c), 0, 8).index()] = true;
         }
-        assert!(seen.iter().all(|&s| s), "hash left a cache unused: {seen:?}");
+        assert!(
+            seen.iter().all(|&s| s),
+            "hash left a cache unused: {seen:?}"
+        );
     }
 
     #[test]
@@ -126,7 +128,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one cache")]
     fn zero_group_panics() {
-        Partitioner::default().assign(&req(0), 0, 0);
+        let _ = Partitioner::default().assign(&req(0), 0, 0);
     }
 
     #[test]

@@ -95,7 +95,7 @@ impl TraceProfile {
             sessions: 4_700,
             horizon: DurationMs::from_days(105),
             zipf_alpha: 1.05,
-            size_mu: 7.6,   // median ≈ 2 KB, mean ≈ 4 KB (the BU average)
+            size_mu: 7.6, // median ≈ 2 KB, mean ≈ 4 KB (the BU average)
             size_sigma: 1.1,
             tail_fraction: 0.01,
             tail_x_min: 20_000.0,
@@ -204,11 +204,23 @@ impl TraceProfile {
         }
         for (p, what) in [
             (self.zipf_alpha, "zipf alpha must be in [0, inf)"),
-            (self.client_activity_skew, "client activity skew must be in [0, inf)"),
+            (
+                self.client_activity_skew,
+                "client activity skew must be in [0, inf)",
+            ),
             (self.tail_fraction, "tail fraction must be in [0, 1]"),
-            (self.zero_size_fraction, "zero-size fraction must be in [0, 1]"),
-            (self.locality_probability, "locality probability must be in [0, 1]"),
-            (self.flash_probability, "flash probability must be in [0, 1]"),
+            (
+                self.zero_size_fraction,
+                "zero-size fraction must be in [0, 1]",
+            ),
+            (
+                self.locality_probability,
+                "locality probability must be in [0, 1]",
+            ),
+            (
+                self.flash_probability,
+                "flash probability must be in [0, 1]",
+            ),
         ] {
             if !p.is_finite() || p < 0.0 {
                 return Err(bad(what));
@@ -221,8 +233,12 @@ impl TraceProfile {
         {
             return Err(bad("probabilities must not exceed 1"));
         }
-        if self.flash_probability > 0.0 && (self.flash_docs == 0 || self.flash_epoch == DurationMs::ZERO) {
-            return Err(bad("flash traffic requires flash_docs > 0 and a positive epoch"));
+        if self.flash_probability > 0.0
+            && (self.flash_docs == 0 || self.flash_epoch == DurationMs::ZERO)
+        {
+            return Err(bad(
+                "flash traffic requires flash_docs > 0 and a positive epoch",
+            ));
         }
         if self.size_clamp.0 > self.size_clamp.1 {
             return Err(bad("size clamp range is inverted"));
@@ -282,7 +298,10 @@ mod tests {
     #[test]
     fn validation_rejects_degenerate_profiles() {
         assert!(TraceProfile::small().with_requests(0).validate().is_err());
-        assert!(TraceProfile::small().with_unique_docs(0).validate().is_err());
+        assert!(TraceProfile::small()
+            .with_unique_docs(0)
+            .validate()
+            .is_err());
         assert!(TraceProfile::small().with_clients(0).validate().is_err());
         let mut p = TraceProfile::small();
         p.sessions = 0;

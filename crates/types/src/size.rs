@@ -122,11 +122,11 @@ impl Sum for ByteSize {
 impl fmt::Display for ByteSize {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let b = self.0;
-        if b >= 1_000_000_000 && b % 1_000_000_000 == 0 {
+        if b >= 1_000_000_000 && b.is_multiple_of(1_000_000_000) {
             write!(f, "{}GB", b / 1_000_000_000)
-        } else if b >= 1_000_000 && b % 1_000_000 == 0 {
+        } else if b >= 1_000_000 && b.is_multiple_of(1_000_000) {
             write!(f, "{}MB", b / 1_000_000)
-        } else if b >= 1_000 && b % 1_000 == 0 {
+        } else if b >= 1_000 && b.is_multiple_of(1_000) {
             write!(f, "{}KB", b / 1_000)
         } else {
             write!(f, "{b}B")
@@ -148,10 +148,7 @@ mod tests {
     #[test]
     fn split_evenly_matches_paper_rule() {
         // 1 GB aggregate over 8 caches = 125 MB each.
-        assert_eq!(
-            ByteSize::from_gb(1).split_evenly(8),
-            ByteSize::from_mb(125)
-        );
+        assert_eq!(ByteSize::from_gb(1).split_evenly(8), ByteSize::from_mb(125));
         // Non-divisible splits truncate.
         assert_eq!(ByteSize::from_bytes(10).split_evenly(3).as_bytes(), 3);
     }
@@ -177,10 +174,7 @@ mod tests {
 
     #[test]
     fn sum_of_sizes() {
-        let total: ByteSize = [1u64, 2, 3]
-            .into_iter()
-            .map(ByteSize::from_bytes)
-            .sum();
+        let total: ByteSize = [1u64, 2, 3].into_iter().map(ByteSize::from_bytes).sum();
         assert_eq!(total.as_bytes(), 6);
     }
 

@@ -112,7 +112,7 @@ impl Div<u64> for DurationMs {
 
 impl fmt::Display for DurationMs {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 >= 1_000 && self.0 % 100 == 0 {
+        if self.0 >= 1_000 && self.0.is_multiple_of(100) {
             write!(f, "{}s", self.0 as f64 / 1_000.0)
         } else {
             write!(f, "{}ms", self.0)

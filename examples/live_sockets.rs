@@ -63,7 +63,10 @@ fn main() -> std::io::Result<()> {
         });
     }
     print!("{table}");
-    println!("\norigin fetches (group misses): {}", cluster.origin_fetches());
+    println!(
+        "\norigin fetches (group misses): {}",
+        cluster.origin_fetches()
+    );
 
     match Arc::try_unwrap(cluster) {
         Ok(cluster) => cluster.shutdown(),

@@ -18,6 +18,7 @@
 //! | [`proxy`] | `coopcache-proxy` | ICP/HTTP messages, distributed / hierarchical / hash-routed groups |
 //! | [`trace`] | `coopcache-trace` | synthetic BU-94-like workloads, trace files, partitioners |
 //! | [`metrics`] | `coopcache-metrics` | hit/byte-hit counters, the eq. 6 latency estimator |
+//! | [`obs`] | `coopcache-obs` | structured protocol events, pluggable sinks, log-bucketed histograms |
 //! | [`sim`] | `coopcache-sim` | synchronous trace driver and discrete-event simulator |
 //! | [`net`] | `coopcache-net` | live UDP/TCP daemons and the loopback cluster |
 //! | [`analysis`] | `coopcache-analysis` | stack distances, Zipf fits, sharing stats, Belady-MIN bound |
@@ -47,6 +48,7 @@ pub use coopcache_analysis as analysis;
 pub use coopcache_core as cache;
 pub use coopcache_metrics as metrics;
 pub use coopcache_net as net;
+pub use coopcache_obs as obs;
 pub use coopcache_proxy as proxy;
 pub use coopcache_sim as sim;
 pub use coopcache_trace as trace;
@@ -58,10 +60,11 @@ pub mod prelude {
         Cache, ExpirationTracker, ExpirationWindow, PlacementScheme, PolicyKind,
     };
     pub use coopcache_metrics::{GroupMetrics, LatencyModel, Table};
+    pub use coopcache_obs::{Event, EventSink, HistogramSink, JsonlSink, SinkHandle};
     pub use coopcache_proxy::{DistributedGroup, HierarchicalGroup, ProxyNode, RequestOutcome};
     pub use coopcache_sim::{
-        capacity_sweep, run, run_des, NetworkModel, SimConfig, PAPER_CACHE_SIZES,
-        PAPER_GROUP_SIZES,
+        capacity_sweep, run, run_des, run_des_with_sink, run_with_sink, NetworkModel, SimConfig,
+        WindowStat, PAPER_CACHE_SIZES, PAPER_GROUP_SIZES,
     };
     pub use coopcache_trace::{generate, Partitioner, Trace, TraceProfile};
     pub use coopcache_types::{

@@ -18,9 +18,8 @@ fn seed_isolation_across_profile_knobs() {
     let short = generate(&TraceProfile::small().with_requests(1_000)).unwrap();
     let long = generate(&TraceProfile::small().with_requests(5_000)).unwrap();
     use std::collections::HashMap;
-    let sizes_of = |t: &Trace| -> HashMap<DocId, ByteSize> {
-        t.iter().map(|r| (r.doc, r.size)).collect()
-    };
+    let sizes_of =
+        |t: &Trace| -> HashMap<DocId, ByteSize> { t.iter().map(|r| (r.doc, r.size)).collect() };
     let short_sizes = sizes_of(&short);
     let long_sizes = sizes_of(&long);
     let mut shared = 0;
@@ -30,7 +29,10 @@ fn seed_isolation_across_profile_knobs() {
             shared += 1;
         }
     }
-    assert!(shared > 100, "expected substantial doc overlap, got {shared}");
+    assert!(
+        shared > 100,
+        "expected substantial doc overlap, got {shared}"
+    );
 }
 
 #[test]
@@ -46,6 +48,61 @@ fn des_reports_are_identical_across_runs() {
     let cfg = SimConfig::new(ByteSize::from_kb(300));
     let net = NetworkModel::paper_calibrated();
     assert_eq!(run_des(&cfg, &net, &trace), run_des(&cfg, &net, &trace));
+}
+
+/// Runs the sync simulator with a `JsonlSink` over an in-memory buffer
+/// and returns the raw event bytes.
+fn event_stream(cfg: &SimConfig, trace: &Trace) -> Vec<u8> {
+    use std::sync::{Arc, Mutex, PoisonError};
+    let sink = Arc::new(Mutex::new(JsonlSink::new(Vec::new())));
+    let _ = run_with_sink(cfg, trace, Some(SinkHandle::from_arc(Arc::clone(&sink))));
+    Arc::try_unwrap(sink)
+        .expect("runner drops its sink handles")
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+        .into_inner()
+}
+
+#[test]
+fn event_streams_are_byte_identical_across_runs() {
+    let trace = generate(&TraceProfile::small()).unwrap();
+    let cfg = SimConfig::new(ByteSize::from_kb(500)).with_scheme(PlacementScheme::Ea);
+    let a = event_stream(&cfg, &trace);
+    let b = event_stream(&cfg, &trace);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same config + trace must replay byte-identically");
+    // Sanity: the stream is JSONL with one request event per trace entry.
+    let text = std::str::from_utf8(&a).unwrap();
+    let requests = text
+        .lines()
+        .filter(|l| l.starts_with(r#"{"ev":"request""#))
+        .count();
+    assert_eq!(requests, trace.len());
+}
+
+#[test]
+fn des_event_streams_are_byte_identical_across_runs() {
+    use std::sync::{Arc, Mutex, PoisonError};
+    let trace = generate(&TraceProfile::small().with_requests(3_000)).unwrap();
+    let cfg = SimConfig::new(ByteSize::from_kb(300));
+    let net = NetworkModel::paper_calibrated();
+    let stream = || -> Vec<u8> {
+        let sink = Arc::new(Mutex::new(JsonlSink::new(Vec::new())));
+        let _ = run_des_with_sink(
+            &cfg,
+            &net,
+            &trace,
+            Some(SinkHandle::from_arc(Arc::clone(&sink))),
+        );
+        Arc::try_unwrap(sink)
+            .expect("runner drops its sink handles")
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .into_inner()
+    };
+    let a = stream();
+    assert!(!a.is_empty());
+    assert_eq!(a, stream(), "DES event stream must be deterministic");
 }
 
 #[test]

@@ -2,11 +2,7 @@
 
 use coopcache::prelude::*;
 
-fn drive(
-    group: &mut HierarchicalGroup,
-    trace: &Trace,
-    leaves: u16,
-) -> GroupMetrics {
+fn drive(group: &mut HierarchicalGroup, trace: &Trace, leaves: u16) -> GroupMetrics {
     let part = Partitioner::default();
     let mut metrics = GroupMetrics::default();
     for (seq, r) in trace.iter().enumerate() {

@@ -49,7 +49,7 @@ fn cluster_agrees_with_synchronous_group_on_small_workload() {
     for (seq, r) in trace.iter().enumerate() {
         let requester = part.assign(r, seq, 2);
         // Keep sizes small so socket transfers stay fast.
-        let size = ByteSize::from_bytes(r.size.as_bytes().min(8_000).max(100));
+        let size = ByteSize::from_bytes(r.size.as_bytes().clamp(100, 8_000));
         let wire = cluster.request(requester.index(), r.doc, size).unwrap();
         let sim = group.handle_request(requester, r.doc, size, r.time);
         // Timestamps differ (wall clock vs trace time), so expiration

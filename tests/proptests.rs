@@ -1,11 +1,18 @@
-//! Property-based tests over the core data structures and invariants.
+//! Randomized property tests over the core data structures and
+//! invariants.
+//!
+//! Driven by the repo's own deterministic [`Rng`] instead of an external
+//! property-testing framework: each property replays many generated
+//! cases from fixed seeds, so failures are reproducible by seed and the
+//! test suite needs no network-fetched dependencies.
 
-use coopcache::cache::{
-    Cache, Fifo, Lru, PlacementScheme, PolicyKind, ReplacementPolicy,
-};
+use coopcache::cache::{Cache, Fifo, Lru, PlacementScheme, PolicyKind, ReplacementPolicy};
 use coopcache::prelude::*;
-use coopcache::trace::{read_trace, write_trace, Zipf};
-use proptest::prelude::*;
+use coopcache::trace::{read_trace, write_trace, Rng, Zipf};
+
+/// Cases per property: enough to explore the small op spaces below while
+/// keeping the suite fast.
+const CASES: u64 = 200;
 
 /// An abstract cache operation over a small id/size space (small spaces
 /// maximize collisions, which is where the bugs live).
@@ -16,29 +23,38 @@ enum Op {
     Remove(u8),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (any::<u8>(), 1u8..=16).prop_map(|(d, s)| Op::Insert(d % 24, s)),
-        any::<u8>().prop_map(|d| Op::Lookup(d % 24)),
-        any::<u8>().prop_map(|d| Op::Remove(d % 24)),
-    ]
+fn random_op(rng: &mut Rng) -> Op {
+    let doc = (rng.next_below(24)) as u8;
+    match rng.next_below(3) {
+        0 => Op::Insert(doc, rng.next_below(16) as u8 + 1),
+        1 => Op::Lookup(doc),
+        _ => Op::Remove(doc),
+    }
 }
 
-proptest! {
-    /// The byte accounting never drifts from the sum over entries and
-    /// never exceeds capacity, for any op sequence under any policy.
-    #[test]
-    fn cache_byte_accounting_is_exact(
-        ops in proptest::collection::vec(op_strategy(), 1..300),
-        policy_idx in 0usize..6,
-    ) {
-        let policy = PolicyKind::all()[policy_idx];
+fn random_ops(rng: &mut Rng, max_len: u64) -> Vec<Op> {
+    let len = rng.next_below(max_len) + 1;
+    (0..len).map(|_| random_op(rng)).collect()
+}
+
+/// The byte accounting never drifts from the sum over entries and never
+/// exceeds capacity, for any op sequence under any policy.
+#[test]
+fn cache_byte_accounting_is_exact() {
+    let mut rng = Rng::seed_from(0xACC0);
+    for case in 0..CASES {
+        let ops = random_ops(&mut rng, 300);
+        let policy = *rng.choose(&PolicyKind::all());
         let mut cache = Cache::new(CacheId::new(0), ByteSize::from_kb(20), policy);
         for (t, op) in ops.iter().enumerate() {
             let now = Timestamp::from_millis(t as u64);
             match *op {
                 Op::Insert(d, kb) => {
-                    cache.insert(DocId::new(u64::from(d)), ByteSize::from_kb(u64::from(kb)), now);
+                    cache.insert(
+                        DocId::new(u64::from(d)),
+                        ByteSize::from_kb(u64::from(kb)),
+                        now,
+                    );
                 }
                 Op::Lookup(d) => {
                     cache.lookup(DocId::new(u64::from(d)), now);
@@ -48,17 +64,19 @@ proptest! {
                 }
             }
             let manual: ByteSize = cache.iter().map(|e| e.size).sum();
-            prop_assert_eq!(cache.used(), manual);
-            prop_assert!(cache.used() <= cache.capacity());
-            prop_assert_eq!(cache.len(), cache.iter().count());
+            assert_eq!(cache.used(), manual, "case {case} ({policy}) after {op:?}");
+            assert!(cache.used() <= cache.capacity(), "case {case} ({policy})");
+            assert_eq!(cache.len(), cache.iter().count(), "case {case}");
         }
     }
+}
 
-    /// LRU against a naive reference model: identical victim order.
-    #[test]
-    fn lru_matches_reference_model(
-        ops in proptest::collection::vec(op_strategy(), 1..300),
-    ) {
+/// LRU against a naive reference model: identical victim order.
+#[test]
+fn lru_matches_reference_model() {
+    let mut rng = Rng::seed_from(0x14B);
+    for case in 0..CASES {
+        let ops = random_ops(&mut rng, 300);
         let mut lru = Lru::new();
         let mut model: Vec<u64> = Vec::new(); // front = victim
         for op in ops {
@@ -86,16 +104,22 @@ proptest! {
                     }
                 }
             }
-            prop_assert_eq!(lru.victim().map(|v| v.as_u64()), model.first().copied());
-            prop_assert_eq!(lru.len(), model.len());
+            assert_eq!(
+                lru.victim().map(|v| v.as_u64()),
+                model.first().copied(),
+                "case {case}"
+            );
+            assert_eq!(lru.len(), model.len(), "case {case}");
         }
     }
+}
 
-    /// FIFO against a naive reference: hits never change the order.
-    #[test]
-    fn fifo_matches_reference_model(
-        ops in proptest::collection::vec(op_strategy(), 1..200),
-    ) {
+/// FIFO against a naive reference: hits never change the order.
+#[test]
+fn fifo_matches_reference_model() {
+    let mut rng = Rng::seed_from(0xF1F0);
+    for case in 0..CASES {
+        let ops = random_ops(&mut rng, 200);
         let mut fifo = Fifo::new();
         let mut model: Vec<u64> = Vec::new();
         for op in ops {
@@ -121,96 +145,121 @@ proptest! {
                     }
                 }
             }
-            prop_assert_eq!(fifo.victim().map(|v| v.as_u64()), model.first().copied());
+            assert_eq!(
+                fifo.victim().map(|v| v.as_u64()),
+                model.first().copied(),
+                "case {case}"
+            );
         }
     }
+}
 
-    /// Expiration-age ordering is total and the EA decision rules are
-    /// exact complements for every age pair and every EA variant.
-    #[test]
-    fn ea_rules_are_complementary(a in any::<Option<u64>>(), b in any::<Option<u64>>()) {
-        let to_age = |x: Option<u64>| match x {
-            Some(ms) => ExpirationAge::finite(DurationMs::from_millis(ms)),
-            None => ExpirationAge::Infinite,
-        };
-        let (a, b) = (to_age(a), to_age(b));
+/// Expiration-age ordering is total and the EA decision rules are exact
+/// complements for every age pair and every EA variant.
+#[test]
+fn ea_rules_are_complementary() {
+    let mut rng = Rng::seed_from(0xEA);
+    let random_age = |rng: &mut Rng| {
+        if rng.next_bool(0.2) {
+            ExpirationAge::Infinite
+        } else {
+            // Small range forces frequent exact ties.
+            ExpirationAge::finite(DurationMs::from_millis(rng.next_below(50)))
+        }
+    };
+    for _ in 0..2_000 {
+        let (a, b) = (random_age(&mut rng), random_age(&mut rng));
         // Total order.
-        prop_assert!(a <= b || b <= a);
+        assert!(a <= b || b <= a);
         for scheme in [PlacementScheme::Ea, PlacementScheme::EaTieStore] {
             let stores = scheme.requester_stores(a, b);
             let promotes = scheme.responder_promotes(b, a);
-            prop_assert_ne!(stores, promotes, "scheme {} ages {} {}", scheme, a, b);
+            assert_ne!(stores, promotes, "scheme {scheme} ages {a} {b}");
         }
         // Ad-hoc always does both.
-        prop_assert!(PlacementScheme::AdHoc.requester_stores(a, b));
-        prop_assert!(PlacementScheme::AdHoc.responder_promotes(b, a));
+        assert!(PlacementScheme::AdHoc.requester_stores(a, b));
+        assert!(PlacementScheme::AdHoc.responder_promotes(b, a));
     }
+}
 
-    /// Trace file round-trips for arbitrary record lists.
-    #[test]
-    fn trace_format_roundtrip(
-        records in proptest::collection::vec(
-            (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()), 0..50)
-    ) {
-        let requests: Vec<Request> = records
-            .into_iter()
-            .map(|(t, c, d, s)| Request::new(
-                Timestamp::from_millis(u64::from(t)),
-                ClientId::new(c),
-                DocId::new(u64::from(d)),
-                ByteSize::from_bytes(u64::from(s)),
-            ))
+/// Trace file round-trips for arbitrary record lists.
+#[test]
+fn trace_format_roundtrip() {
+    let mut rng = Rng::seed_from(0x707);
+    for case in 0..CASES {
+        let len = rng.next_below(50) as usize;
+        let requests: Vec<Request> = (0..len)
+            .map(|_| {
+                Request::new(
+                    Timestamp::from_millis(rng.next_u64() >> 32),
+                    ClientId::new(rng.next_u64() as u32),
+                    DocId::new(rng.next_u64() >> 32),
+                    ByteSize::from_bytes(rng.next_u64() >> 32),
+                )
+            })
             .collect();
         let trace = Trace::from_requests(requests);
         let mut buf = Vec::new();
         write_trace(&mut buf, &trace).expect("write to vec cannot fail");
         let back = read_trace(buf.as_slice()).expect("own output parses");
-        prop_assert_eq!(trace, back);
+        assert_eq!(trace, back, "case {case}");
     }
+}
 
-    /// Zipf: probabilities are positive, non-increasing in rank, sum to 1.
-    #[test]
-    fn zipf_probabilities_well_formed(n in 1u64..500, alpha in 0.0f64..2.5) {
+/// Zipf: probabilities are positive, non-increasing in rank, sum to 1.
+#[test]
+fn zipf_probabilities_well_formed() {
+    let mut rng = Rng::seed_from(0x21F);
+    for case in 0..60 {
+        let n = rng.next_below(499) + 1;
+        let alpha = rng.next_f64() * 2.5;
         let z = Zipf::new(n, alpha).expect("params in domain");
         let mut sum = 0.0;
         let mut prev = f64::INFINITY;
         for k in 1..=n {
             let p = z.probability(k);
-            prop_assert!(p > 0.0);
-            prop_assert!(p <= prev + 1e-12, "p(rank) must not increase");
+            assert!(p > 0.0, "case {case} rank {k}");
+            assert!(p <= prev + 1e-12, "case {case}: p(rank) must not increase");
             prev = p;
             sum += p;
         }
-        prop_assert!((sum - 1.0).abs() < 1e-6, "sum {}", sum);
+        assert!((sum - 1.0).abs() < 1e-6, "case {case}: sum {sum}");
     }
+}
 
-    /// Group-level invariant: outcomes are internally consistent for any
-    /// short random workload (hits point at caches that really hold the
-    /// document at serve time, outcome counts partition the request
-    /// count).
-    #[test]
-    fn group_outcomes_are_consistent(
-        reqs in proptest::collection::vec((any::<u8>(), any::<u8>(), 1u8..=8), 1..150),
-        scheme_idx in 0usize..3,
-    ) {
-        let scheme = PlacementScheme::all()[scheme_idx];
+/// Group-level invariant: outcomes are internally consistent for any
+/// short random workload (remote hits never point at the requester,
+/// outcome counts partition the request count, byte accounting holds at
+/// every cache).
+#[test]
+fn group_outcomes_are_consistent() {
+    let mut rng = Rng::seed_from(0x6208);
+    for case in 0..CASES {
+        let scheme = *rng.choose(&PlacementScheme::all());
+        let len = rng.next_below(150) + 1;
         let mut group = DistributedGroup::new(3, ByteSize::from_kb(30), PolicyKind::Lru, scheme);
         let mut metrics = GroupMetrics::default();
-        for (t, (cache, doc, kb)) in reqs.iter().enumerate() {
-            let requester = CacheId::new(u16::from(cache % 3));
-            let doc = DocId::new(u64::from(doc % 40));
-            let size = ByteSize::from_kb(u64::from(*kb));
-            let outcome = group.handle_request(requester, doc, size, Timestamp::from_millis(t as u64));
+        for t in 0..len {
+            let requester = CacheId::new(rng.next_below(3) as u16);
+            let doc = DocId::new(rng.next_below(40));
+            let size = ByteSize::from_kb(rng.next_below(8) + 1);
+            let outcome = group.handle_request(requester, doc, size, Timestamp::from_millis(t));
             if let RequestOutcome::RemoteHit { responder, .. } = outcome {
-                prop_assert_ne!(responder, requester, "self remote hit");
+                assert_ne!(responder, requester, "case {case}: self remote hit");
             }
             metrics.record(outcome, size);
         }
-        prop_assert_eq!(metrics.requests as usize, reqs.len());
-        prop_assert_eq!(metrics.local_hits + metrics.remote_hits + metrics.misses, metrics.requests);
-        // Byte accounting holds at every cache.
+        assert_eq!(metrics.requests, len, "case {case}");
+        assert_eq!(
+            metrics.local_hits + metrics.remote_hits + metrics.misses,
+            metrics.requests,
+            "case {case}"
+        );
         for node in group.iter() {
-            prop_assert!(node.cache().used() <= node.cache().capacity());
+            assert!(
+                node.cache().used() <= node.cache().capacity(),
+                "case {case}"
+            );
         }
     }
 }

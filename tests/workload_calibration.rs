@@ -20,7 +20,11 @@ fn popularity_is_zipf_like_in_the_calibrated_range() {
         "fitted alpha {alpha} outside the calibrated band"
     );
     // Web workloads concentrate heavily on the head...
-    assert!(pop.top_share(10) > 0.15, "top-10 share {}", pop.top_share(10));
+    assert!(
+        pop.top_share(10) > 0.15,
+        "top-10 share {}",
+        pop.top_share(10)
+    );
     // ...and carry a meaningful one-timer tail.
     assert!(
         pop.one_timer_fraction() > 0.10,
