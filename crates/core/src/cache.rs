@@ -5,7 +5,8 @@ use crate::expiration::{ExpirationTracker, ExpirationWindow};
 use crate::policy::{PolicyKind, ReplacementPolicy};
 use crate::stats::CacheStats;
 use coopcache_types::{ByteSize, CacheId, DocId, DurationMs, ExpirationAge, Timestamp};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use std::fmt;
 
 /// One proxy cache: a byte-bounded document store with a pluggable
 /// replacement policy and expiration-age accounting.
@@ -37,11 +38,84 @@ pub struct Cache {
     id: CacheId,
     capacity: ByteSize,
     used: ByteSize,
-    entries: HashMap<DocId, CacheEntry>,
+    // BTreeMap, not HashMap: `iter` is part of the public API and feeds
+    // reports and tests, so visit order must be deterministic.
+    entries: BTreeMap<DocId, CacheEntry>,
     policy: Box<dyn ReplacementPolicy>,
     tracker: ExpirationTracker,
     stats: CacheStats,
     ttl: Option<DurationMs>,
+}
+
+/// A broken internal invariant, as reported by
+/// [`Cache::check_invariants`]. Each variant names the bookkeeping
+/// relation that failed and carries the observed values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvariantViolation {
+    /// `used` does not equal the sum of the stored entry sizes.
+    ByteAccounting {
+        /// The cache's running byte counter.
+        used: ByteSize,
+        /// The recomputed sum over all entries.
+        actual: ByteSize,
+    },
+    /// More bytes stored than the configured capacity.
+    OverCapacity {
+        /// The cache's running byte counter.
+        used: ByteSize,
+        /// The configured limit.
+        capacity: ByteSize,
+    },
+    /// The replacement policy tracks a different document set than the
+    /// entry map.
+    PolicyDesync {
+        /// Documents the policy tracks.
+        policy_len: usize,
+        /// Documents the entry map holds.
+        entries_len: usize,
+    },
+    /// The policy proposed a victim that is not cached.
+    VictimNotCached {
+        /// The phantom victim.
+        victim: DocId,
+    },
+    /// The cache is non-empty but the policy has no victim to offer.
+    VictimUnavailable,
+    /// The expiration-age tracker's window exceeds its configured bound
+    /// or its running sum drifted from the recorded ages (paper eq. 5).
+    TrackerWindow,
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ByteAccounting { used, actual } => {
+                write!(
+                    f,
+                    "byte accounting drifted: used={used} but entries sum to {actual}"
+                )
+            }
+            Self::OverCapacity { used, capacity } => {
+                write!(f, "over capacity: used={used} > capacity={capacity}")
+            }
+            Self::PolicyDesync {
+                policy_len,
+                entries_len,
+            } => write!(
+                f,
+                "policy tracks {policy_len} docs but the cache holds {entries_len}"
+            ),
+            Self::VictimNotCached { victim } => {
+                write!(f, "policy victim {victim} is not in the entry map")
+            }
+            Self::VictimUnavailable => {
+                f.write_str("cache is non-empty but the policy offers no victim")
+            }
+            Self::TrackerWindow => {
+                f.write_str("expiration-age tracker window bounds or sums are inconsistent")
+            }
+        }
+    }
 }
 
 /// Outcome of a [`Cache::insert`] call.
@@ -95,7 +169,7 @@ impl Cache {
             id,
             capacity,
             used: ByteSize::ZERO,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             policy: policy.build(),
             tracker: ExpirationTracker::new(policy.expiration_flavor(), window),
             stats: CacheStats::default(),
@@ -139,7 +213,9 @@ impl Cache {
     }
 
     fn expire(&mut self, doc: DocId) {
-        let entry = self.entries.remove(&doc).expect("caller checked presence");
+        let Some(entry) = self.entries.remove(&doc) else {
+            return;
+        };
         self.policy.on_remove(doc);
         self.used -= entry.size;
         self.stats.expirations += 1;
@@ -218,9 +294,10 @@ impl Cache {
     pub fn lookup(&mut self, doc: DocId, now: Timestamp) -> Option<ByteSize> {
         if self.expire_if_stale(doc, now) {
             self.stats.local_misses += 1;
+            self.audit();
             return None;
         }
-        match self.entries.get_mut(&doc) {
+        let served = match self.entries.get_mut(&doc) {
             Some(entry) => {
                 entry.record_hit(now);
                 self.policy.on_hit(doc);
@@ -231,7 +308,9 @@ impl Cache {
                 self.stats.local_misses += 1;
                 None
             }
-        }
+        };
+        self.audit();
+        served
     }
 
     /// Serves a sibling cache (a remote hit at this responder).
@@ -246,6 +325,7 @@ impl Cache {
     /// (e.g. it was evicted between the ICP reply and the HTTP request).
     pub fn serve_remote(&mut self, doc: DocId, now: Timestamp, promote: bool) -> Option<ByteSize> {
         if self.expire_if_stale(doc, now) {
+            self.audit();
             return None;
         }
         let size = match self.entries.get_mut(&doc) {
@@ -261,6 +341,7 @@ impl Cache {
             self.policy.on_hit(doc);
         }
         self.stats.remote_serves += 1;
+        self.audit();
         Some(size)
     }
 
@@ -282,9 +363,14 @@ impl Cache {
             let victim = self
                 .policy
                 .victim()
+                // lint:allow(panic) -- used > 0 here, and every insert keeps
+                // the policy and entry map in lockstep (paranoid-audited), so
+                // a missing victim is unrecoverable bookkeeping corruption.
                 .expect("used > 0 implies the policy tracks a victim");
             let record = self
                 .evict(victim, now, EvictionReason::CapacityPressure)
+                // lint:allow(panic) -- the victim came from the policy, which
+                // mirrors the entry map (see PolicyDesync invariant).
                 .expect("victim is tracked, so it is cached");
             evictions.push(record);
         }
@@ -292,6 +378,7 @@ impl Cache {
         self.policy.on_insert(doc, size);
         self.used += size;
         self.stats.insertions += 1;
+        self.audit();
         InsertOutcome::Stored(evictions)
     }
 
@@ -304,6 +391,7 @@ impl Cache {
         if rec.is_some() {
             self.stats.explicit_removals += 1;
         }
+        self.audit();
         rec
     }
 
@@ -329,9 +417,79 @@ impl Cache {
         Some(record)
     }
 
-    /// Iterates over the cached documents in arbitrary order.
+    /// Iterates over the cached documents in ascending [`DocId`] order.
+    ///
+    /// The order is deterministic (the store is a `BTreeMap`), so report
+    /// generation and event emission that walk the cache never depend on
+    /// hasher state.
     pub fn iter(&self) -> impl Iterator<Item = &CacheEntry> {
         self.entries.values()
+    }
+
+    /// Verifies the cache's internal bookkeeping relations.
+    ///
+    /// Checked relations:
+    ///
+    /// 1. `used` equals the sum of all stored entry sizes;
+    /// 2. `used <= capacity`;
+    /// 3. the replacement policy tracks exactly the cached document set
+    ///    (by count), and its proposed victim is cached — with a victim
+    ///    available whenever the cache is non-empty;
+    /// 4. the expiration-age tracker's window respects its configured
+    ///    bound and its running sums match the recorded ages (the inputs
+    ///    to the paper's eq. 5).
+    ///
+    /// This is cheap enough for tests but linear in the cache size, so
+    /// production paths only run it under the `paranoid` cargo feature
+    /// (via the internal `audit` hook after every mutation).
+    pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        let actual: ByteSize = self.entries.values().map(|e| e.size).sum();
+        if actual != self.used {
+            return Err(InvariantViolation::ByteAccounting {
+                used: self.used,
+                actual,
+            });
+        }
+        if self.used > self.capacity {
+            return Err(InvariantViolation::OverCapacity {
+                used: self.used,
+                capacity: self.capacity,
+            });
+        }
+        if self.policy.len() != self.entries.len() {
+            return Err(InvariantViolation::PolicyDesync {
+                policy_len: self.policy.len(),
+                entries_len: self.entries.len(),
+            });
+        }
+        match self.policy.victim() {
+            Some(victim) if !self.entries.contains_key(&victim) => {
+                return Err(InvariantViolation::VictimNotCached { victim });
+            }
+            None if !self.entries.is_empty() => {
+                return Err(InvariantViolation::VictimUnavailable);
+            }
+            _ => {}
+        }
+        if !self.tracker.window_is_consistent() {
+            return Err(InvariantViolation::TrackerWindow);
+        }
+        Ok(())
+    }
+
+    /// Paranoid-mode hook: re-verifies every invariant after a mutation.
+    ///
+    /// A no-op unless the crate is built with the `paranoid` feature;
+    /// with it, any bookkeeping corruption aborts immediately instead of
+    /// silently skewing the EA-vs-ad-hoc comparison.
+    #[inline]
+    fn audit(&self) {
+        #[cfg(feature = "paranoid")]
+        if let Err(violation) = self.check_invariants() {
+            // lint:allow(panic) -- paranoid mode exists to crash loudly on
+            // corruption; release builds compile this block out.
+            panic!("cache {} invariant violated: {violation}", self.id);
+        }
     }
 }
 

@@ -121,7 +121,9 @@ impl ExpirationTracker {
         self.recent_sum_ms += u128::from(age.as_millis());
         if let ExpirationWindow::LastEvictions(n) = self.window {
             while self.recent.len() > n {
-                let (_, old) = self.recent.pop_front().expect("len checked");
+                let Some((_, old)) = self.recent.pop_front() else {
+                    break;
+                };
                 self.recent_sum_ms -= u128::from(old.as_millis());
             }
         }
@@ -180,6 +182,30 @@ impl ExpirationTracker {
     #[must_use]
     pub fn window_len(&self) -> usize {
         self.recent.len()
+    }
+
+    /// Verifies the tracker's windowed bookkeeping (used by the cache's
+    /// paranoid audits):
+    ///
+    /// * the running window sum equals the sum of the recorded ages;
+    /// * an eviction-count window never holds more than `n` records;
+    /// * the window never holds more records than the lifetime count.
+    #[must_use]
+    pub fn window_is_consistent(&self) -> bool {
+        let sum: u128 = self
+            .recent
+            .iter()
+            .map(|&(_, age)| u128::from(age.as_millis()))
+            .sum();
+        if sum != self.recent_sum_ms {
+            return false;
+        }
+        if let ExpirationWindow::LastEvictions(n) = self.window {
+            if self.recent.len() > n {
+                return false;
+            }
+        }
+        self.recent.len() as u64 <= self.lifetime_count
     }
 }
 

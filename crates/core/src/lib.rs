@@ -45,7 +45,7 @@ mod placement;
 mod policy;
 mod stats;
 
-pub use cache::{Cache, InsertOutcome};
+pub use cache::{Cache, InsertOutcome, InvariantViolation};
 pub use entry::{CacheEntry, EvictionReason, EvictionRecord};
 pub use expiration::{ExpirationTracker, ExpirationWindow};
 pub use placement::{PlacementScheme, TieBreak};

@@ -56,6 +56,8 @@ impl ReplacementPolicy for Fifo {
         let seq = self
             .seq_of
             .remove(&doc)
+            // lint:allow(panic) -- ReplacementPolicy contract: removing an
+            // untracked doc is a caller bug (see trait docs).
             .unwrap_or_else(|| panic!("remove of untracked {doc}"));
         self.by_seq.remove(&seq);
     }

@@ -84,6 +84,8 @@ impl ReplacementPolicy for Gds {
         let size = self
             .state
             .get(&doc)
+            // lint:allow(panic) -- ReplacementPolicy contract: a hit on an
+            // untracked doc is a caller bug (see trait docs).
             .unwrap_or_else(|| panic!("hit on untracked {doc}"))
             .size;
         // The defining GDS move: restore full priority at the current clock.
@@ -94,6 +96,8 @@ impl ReplacementPolicy for Gds {
         let st = self
             .state
             .remove(&doc)
+            // lint:allow(panic) -- ReplacementPolicy contract: removing an
+            // untracked doc is a caller bug (see trait docs).
             .unwrap_or_else(|| panic!("remove of untracked {doc}"));
         self.order.remove(&(st.priority, st.seq, doc));
         self.clock = self.clock.max(st.priority);

@@ -98,6 +98,8 @@ impl ReplacementPolicy for Gdsf {
         let st = *self
             .state
             .get(&doc)
+            // lint:allow(panic) -- ReplacementPolicy contract: a hit on an
+            // untracked doc is a caller bug (see trait docs).
             .unwrap_or_else(|| panic!("hit on untracked {doc}"));
         self.reinsert(doc, st.freq + 1, st.size);
     }
@@ -106,6 +108,8 @@ impl ReplacementPolicy for Gdsf {
         let st = self
             .state
             .remove(&doc)
+            // lint:allow(panic) -- ReplacementPolicy contract: removing an
+            // untracked doc is a caller bug (see trait docs).
             .unwrap_or_else(|| panic!("remove of untracked {doc}"));
         self.order.remove(&(st.priority, st.seq, doc));
         // Inflate the clock to the departed priority (GreedyDual aging).

@@ -67,6 +67,8 @@ impl ReplacementPolicy for Lfu {
     fn on_hit(&mut self, doc: DocId) {
         let freq = self
             .frequency(doc)
+            // lint:allow(panic) -- ReplacementPolicy contract: a hit on an
+            // untracked doc is a caller bug (see trait docs).
             .unwrap_or_else(|| panic!("hit on untracked {doc}"));
         self.reinsert(doc, freq + 1);
     }
@@ -75,6 +77,8 @@ impl ReplacementPolicy for Lfu {
         let (f, s) = self
             .state
             .remove(&doc)
+            // lint:allow(panic) -- ReplacementPolicy contract: removing an
+            // untracked doc is a caller bug (see trait docs).
             .unwrap_or_else(|| panic!("remove of untracked {doc}"));
         self.order.remove(&(f, s, doc));
     }

@@ -72,8 +72,9 @@ impl Slru {
 
     fn rebalance(&mut self) {
         while self.protected.len() > self.protected_limit() {
-            let (&seq, &doc) = self.protected.iter().next().expect("len checked");
-            self.protected.remove(&seq);
+            let Some((_, doc)) = self.protected.pop_first() else {
+                break;
+            };
             self.state.remove(&doc);
             self.push(doc, false); // demote to MRU of probation
         }
@@ -99,6 +100,8 @@ impl ReplacementPolicy for Slru {
         let (seq, protected) = self
             .state
             .remove(&doc)
+            // lint:allow(panic) -- ReplacementPolicy contract: removing an
+            // untracked doc is a caller bug (see trait docs).
             .unwrap_or_else(|| panic!("remove of untracked {doc}"));
         if protected {
             self.protected.remove(&seq);

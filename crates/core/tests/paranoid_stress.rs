@@ -1,0 +1,116 @@
+//! Randomized stress test for the `paranoid` invariant audits.
+//!
+//! Only built with `cargo test -p coopcache-core --features paranoid`.
+//! Every mutation re-runs `Cache::check_invariants` internally (the
+//! `audit` hook), so the test's job is simply to drive a long, varied,
+//! *reproducible* operation mix through every replacement policy: any
+//! bookkeeping drift panics with the precise violated relation.
+
+#![cfg(feature = "paranoid")]
+
+use coopcache_core::{Cache, ExpirationWindow, PolicyKind};
+use coopcache_types::{ByteSize, CacheId, DocId, DurationMs, Timestamp};
+
+/// Xorshift64*: tiny, deterministic, no dependencies. Seed must be
+/// non-zero.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+fn stress(kind: PolicyKind, window: ExpirationWindow, seed: u64, ops: u64) {
+    let mut cache = Cache::with_window(CacheId::new(0), ByteSize::from_kb(64), kind, window);
+    let mut rng = Rng(seed);
+    let mut now_ms = 0u64;
+    for op in 0..ops {
+        now_ms += rng.below(50);
+        let now = Timestamp::from_millis(now_ms);
+        let doc = DocId::new(1 + rng.below(200));
+        match rng.below(100) {
+            0..=39 => {
+                let size = ByteSize::from_bytes(1 + rng.below(8 * 1024));
+                cache.insert(doc, size, now);
+            }
+            40..=69 => {
+                cache.lookup(doc, now);
+            }
+            70..=84 => {
+                cache.serve_remote(doc, now, rng.below(2) == 0);
+            }
+            85..=94 => {
+                cache.remove(doc, now);
+            }
+            _ => {
+                // Occasionally toggle a freshness TTL so the expiration
+                // path (which bypasses the eviction tracker) is stressed
+                // alongside capacity evictions.
+                let ttl = match rng.below(3) {
+                    0 => None,
+                    _ => Some(DurationMs::from_millis(1 + rng.below(2_000))),
+                };
+                cache.set_ttl(ttl);
+            }
+        }
+        if op % 512 == 0 {
+            cache
+                .check_invariants()
+                .unwrap_or_else(|v| panic!("{kind} after {op} ops: {v}"));
+        }
+    }
+    cache
+        .check_invariants()
+        .unwrap_or_else(|v| panic!("{kind} final state: {v}"));
+    assert!(cache.used() <= cache.capacity());
+}
+
+#[test]
+fn every_policy_survives_a_seeded_random_workout() {
+    for (i, kind) in PolicyKind::all().into_iter().enumerate() {
+        stress(
+            kind,
+            ExpirationWindow::default(),
+            0x9E37_79B9_7F4A_7C15 ^ (i as u64 + 1),
+            20_000,
+        );
+    }
+}
+
+#[test]
+fn duration_windows_are_audited_too() {
+    for (i, kind) in PolicyKind::all().into_iter().enumerate() {
+        stress(
+            kind,
+            ExpirationWindow::LastDuration(DurationMs::from_millis(500)),
+            0xDEAD_BEEF_CAFE_F00D ^ (i as u64 + 1),
+            10_000,
+        );
+    }
+}
+
+#[test]
+fn tiny_eviction_windows_stay_bounded() {
+    stress(
+        PolicyKind::Lru,
+        ExpirationWindow::LastEvictions(1),
+        42,
+        10_000,
+    );
+    stress(
+        PolicyKind::Slru,
+        ExpirationWindow::LastEvictions(2),
+        43,
+        10_000,
+    );
+}

@@ -1,0 +1,6 @@
+//! Fixture: a driver constructing two of the three taxonomy variants.
+
+pub fn emit() {
+    let _started = Event::Started { at_ms: 0 };
+    let _tick = Event::Tick(7);
+}

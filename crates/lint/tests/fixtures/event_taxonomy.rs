@@ -1,0 +1,11 @@
+//! Fixture: R5 — an event taxonomy with one variant nothing constructs.
+
+/// Emitted by simulation drivers.
+pub enum Event {
+    /// A run began.
+    Started { at_ms: u64 },
+    /// One simulated step elapsed.
+    Tick(u64),
+    /// Declared but never built anywhere: dead taxonomy.
+    NeverBuilt { reason: u8 },
+}

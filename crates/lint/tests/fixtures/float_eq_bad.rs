@@ -1,0 +1,17 @@
+//! Fixture: R4 violations — exact float comparisons.
+
+pub fn direct(x: f64) -> bool {
+    x == 1.0
+}
+
+pub fn reversed(x: f64) -> bool {
+    2.5f64 != x
+}
+
+pub fn scientific(x: f64) -> bool {
+    x == 1e-3
+}
+
+pub fn trailing_dot(x: f64) -> bool {
+    x != 3.
+}

@@ -1,0 +1,30 @@
+//! Fixture: R4 non-violations — integer equality, epsilon comparisons,
+//! orderings, match arms, strings, and the justified escape hatch.
+
+pub fn integers(x: u64) -> bool {
+    x == 10
+}
+
+pub fn epsilon(x: f64) -> bool {
+    (x - 1.0).abs() < 1e-9
+}
+
+pub fn ordering(x: f64) -> bool {
+    x <= 1.0 && x >= 0.0
+}
+
+pub fn match_arms(x: u8) -> u64 {
+    match x {
+        0 => 10,
+        _ => 20,
+    }
+}
+
+pub fn strings_do_not_count() -> &'static str {
+    "x == 1.0"
+}
+
+pub fn sanctioned(x: f64) -> bool {
+    // lint:allow(float-eq) -- fixture: exact sentinel comparison
+    x == 0.0
+}

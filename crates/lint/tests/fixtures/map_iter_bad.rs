@@ -1,0 +1,24 @@
+//! Fixture: R3 violations — hash-order iteration where order can leak.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn leaky(counts: HashMap<u64, u64>) -> Vec<u64> {
+    counts.values().copied().collect()
+}
+
+pub fn looped() {
+    let seen: HashSet<u64> = HashSet::new();
+    for s in &seen {
+        let _ = s;
+    }
+}
+
+pub struct State {
+    pending: HashMap<u64, u64>,
+}
+
+impl State {
+    pub fn drain_all(&mut self) -> Vec<(u64, u64)> {
+        self.pending.drain().collect()
+    }
+}

@@ -1,0 +1,28 @@
+//! Fixture: R2 violations — panicking constructs in library code, plus
+//! malformed allow directives.
+
+pub fn first(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+pub fn second(x: Option<u8>) -> u8 {
+    x.expect("present")
+}
+
+pub fn third() {
+    panic!("boom");
+}
+
+pub fn fourth() {
+    unreachable!("never");
+}
+
+pub fn unjustified(x: Option<u8>) -> u8 {
+    // lint:allow(panic)
+    x.unwrap()
+}
+
+pub fn unknown_rule(x: Option<u8>) -> u8 {
+    // lint:allow(no-such-rule) -- names a rule that does not exist
+    x.unwrap()
+}

@@ -1,0 +1,22 @@
+//! Fixture: R2 non-violations — doc-comment and string mentions, test
+//! code, and a justified multi-line allow.
+
+/// Doc comments may mention `.unwrap()` and `panic!(...)` freely.
+pub fn justified(x: Option<u8>) -> u8 {
+    // lint:allow(panic) -- fixture: documented caller contract, and this
+    // justification deliberately wraps onto a second comment line.
+    x.expect("checked by caller")
+}
+
+pub fn strings_do_not_count() -> &'static str {
+    "call .unwrap() or panic!(later)"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v = Some(1u8).unwrap();
+        assert_eq!(v, 1);
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: R6 — no invariant layer at all.
+
+pub struct Cache;
+
+impl Cache {
+    pub fn lookup(&mut self) {}
+}

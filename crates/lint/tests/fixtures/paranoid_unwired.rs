@@ -1,0 +1,24 @@
+//! Fixture: R6 — the invariant layer exists but two mutating methods
+//! skip the audit hook.
+
+pub struct Cache;
+
+impl Cache {
+    pub fn check_invariants(&self) -> Result<(), ()> {
+        Ok(())
+    }
+
+    fn audit(&self) {}
+
+    pub fn lookup(&mut self) {
+        self.audit();
+    }
+
+    pub fn serve_remote(&mut self) {
+        self.audit();
+    }
+
+    pub fn insert(&mut self) {}
+
+    pub fn remove(&mut self) {}
+}

@@ -1,0 +1,10 @@
+//! Fixture: R1 violations — wall-clock reads outside the clock module.
+
+pub fn latency_us() -> u64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_micros() as u64
+}
+
+pub fn since_epoch() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

@@ -1,0 +1,21 @@
+//! Fixture: R1 non-violations — strings, comments, test code, and the
+//! justified escape hatch.
+
+pub fn describe() -> &'static str {
+    // A comment mentioning Instant::now is not a clock read.
+    "this string mentions Instant::now and SystemTime::now"
+}
+
+pub fn sanctioned() -> u64 {
+    // lint:allow(wall-clock) -- fixture exercising the escape hatch
+    let t = std::time::Instant::now();
+    t.elapsed().as_millis() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_inside_tests_is_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

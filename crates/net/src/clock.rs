@@ -27,6 +27,15 @@ impl SharedClock {
     pub fn now(&self) -> Timestamp {
         Timestamp::from_millis(self.epoch.elapsed().as_millis() as u64)
     }
+
+    /// Microseconds since the epoch — the daemon's latency and deadline
+    /// unit. All wall-clock reads in the workspace funnel through this
+    /// type (enforced by `coopcache-lint`'s `wall-clock` rule), so the
+    /// simulators can never accidentally observe real time.
+    #[must_use]
+    pub fn now_micros(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
 }
 
 impl Default for SharedClock {

@@ -22,7 +22,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Locks a mutex, recovering the data from a poisoned lock — a panicked
 /// server thread should degrade the daemon, not wedge it.
@@ -257,9 +257,9 @@ impl CacheDaemon {
     /// Propagates socket errors (a vanished peer is handled by falling
     /// back to the origin, not reported as an error).
     pub fn request(&self, doc: DocId, size: ByteSize) -> io::Result<RequestOutcome> {
-        let started = Instant::now();
+        let started_us = self.clock.now_micros();
         let outcome = self.serve(doc, size)?;
-        let latency_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let latency_us = self.clock.now_micros().saturating_sub(started_us);
         let source = match outcome {
             RequestOutcome::LocalHit => ServeSource::Local,
             RequestOutcome::RemoteHit { responder, .. } => ServeSource::Peer(responder),
@@ -334,10 +334,11 @@ impl CacheDaemon {
         for peer in &self.peers {
             socket.send_to(&query, peer.icp)?;
         }
-        let deadline = Instant::now() + self.config.icp_timeout;
+        let timeout_us = u64::try_from(self.config.icp_timeout.as_micros()).unwrap_or(u64::MAX);
+        let deadline_us = self.clock.now_micros().saturating_add(timeout_us);
         let mut buf = [0u8; 64];
         let mut replies = 0usize;
-        while Instant::now() < deadline && replies < self.peers.len() {
+        while self.clock.now_micros() < deadline_us && replies < self.peers.len() {
             match socket.recv_from(&mut buf) {
                 Ok((n, _)) => {
                     if let Ok(WireMessage::IcpReply(reply)) = WireMessage::decode(&buf[..n]) {

@@ -172,6 +172,8 @@ impl HierarchicalGroup {
             scheme,
             ExpirationWindow::default(),
         )
+        // lint:allow(panic) -- the star topology built above is acyclic by
+        // construction; a failure here is a bug in this constructor.
         .expect("two-level topology is always valid")
     }
 
@@ -260,18 +262,22 @@ impl HierarchicalGroup {
 
         if let Some(peer) = responder {
             let sent = self.nodes[requester.index()].build_http_request(doc);
-            let response = self.nodes[peer.index()]
-                .handle_http_request(sent, now)
-                .expect("ICP hit implies presence");
-            let promoted = self.nodes[peer.index()]
-                .scheme()
-                .responder_promotes(response.responder_age, sent.requester_age);
-            let stored = self.nodes[requester.index()].complete_remote_fetch(sent, response, now);
-            return RequestOutcome::RemoteHit {
-                responder: peer,
-                stored_locally: stored,
-                promoted_at_responder: promoted,
-            };
+            // The ICP reply can go stale before the HTTP request lands
+            // (e.g. a freshness TTL expires the copy in between); in that
+            // case the fetch falls through to the parent path below, just
+            // as if the probe had missed.
+            if let Some(response) = self.nodes[peer.index()].handle_http_request(sent, now) {
+                let promoted = self.nodes[peer.index()]
+                    .scheme()
+                    .responder_promotes(response.responder_age, sent.requester_age);
+                let stored =
+                    self.nodes[requester.index()].complete_remote_fetch(sent, response, now);
+                return RequestOutcome::RemoteHit {
+                    responder: peer,
+                    stored_locally: stored,
+                    promoted_at_responder: promoted,
+                };
+            }
         }
 
         match self.parent[requester.index()] {
@@ -326,12 +332,11 @@ impl HierarchicalGroup {
     ) -> UpwardResult {
         let idx = usize::from(node);
         // The ancestor itself may hold the document (it is only ICP-probed
-        // by its direct children, not by deeper descendants).
-        if self.nodes[idx].cache().contains(request.doc) {
+        // by its direct children, not by deeper descendants). A TTL-stale
+        // copy is expired inside the handler and resolves as a miss, so
+        // the fetch continues upward instead of serving stale bytes.
+        if let Some(response) = self.nodes[idx].handle_http_request(request, now) {
             let scheme = self.nodes[idx].scheme();
-            let response = self.nodes[idx]
-                .handle_http_request(request, now)
-                .expect("contains() checked");
             return UpwardResult {
                 response,
                 hit_above: true,

@@ -146,10 +146,9 @@ pub fn parse_log<R: io::Read>(
             }
         }
     }
-    if raw.is_empty() {
+    let Some(t0) = raw.iter().map(|r| r.0).min() else {
         return Err(ParseLogError::NoRecords);
-    }
-    let t0 = raw.iter().map(|r| r.0).min().expect("non-empty");
+    };
     let requests: Vec<Request> = raw
         .into_iter()
         .map(|(ms, client, doc, size)| {

@@ -240,6 +240,12 @@ impl TraceProfile {
                 "flash traffic requires flash_docs > 0 and a positive epoch",
             ));
         }
+        if !self.size_mu.is_finite() || !self.size_sigma.is_finite() || self.size_sigma < 0.0 {
+            return Err(bad("lognormal size params must be finite with sigma >= 0"));
+        }
+        if !self.tail_x_min.is_finite() || !self.tail_alpha.is_finite() {
+            return Err(bad("pareto tail params must be finite"));
+        }
         if self.size_clamp.0 > self.size_clamp.1 {
             return Err(bad("size clamp range is inverted"));
         }

@@ -1,8 +1,20 @@
 #!/usr/bin/env bash
-# Pre-PR gate: formatting, lints and the full test suite.
-# Usage: scripts/check.sh
+# Pre-PR gate: formatting, lints, the workspace conformance linter, and
+# the full test suite (including the paranoid invariant audits).
+# Usage: scripts/check.sh          run the whole gate
+#        scripts/check.sh lint     run only the conformance linter
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+run_lint() {
+  echo "== coopcache-lint (workspace conformance)"
+  cargo run -q -p coopcache-lint
+}
+
+if [[ "${1:-}" == "lint" ]]; then
+  run_lint
+  exit 0
+fi
 
 echo "== cargo fmt --check"
 cargo fmt --all --check
@@ -10,7 +22,12 @@ cargo fmt --all --check
 echo "== cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+run_lint
+
 echo "== cargo test"
 cargo test -q --workspace
+
+echo "== cargo test (paranoid invariant audits)"
+cargo test -q -p coopcache-core --features paranoid
 
 echo "All checks passed."
