@@ -5,11 +5,11 @@ use crate::args::{
     parse_discovery, parse_policy, parse_profile, parse_scheme, parse_size, ArgError, ParsedArgs,
 };
 use coopcache_metrics::{pct, Table};
-use coopcache_net::LoopbackCluster;
-use coopcache_obs::{Event, EventSink, HistogramSink, JsonlSink, SinkHandle};
+use coopcache_net::{ClusterConfig, FaultKind, FaultMode, FaultPlan, LoopbackCluster};
+use coopcache_obs::{Event, EventKind, EventSink, HistogramSink, JsonlSink, SinkHandle};
 use coopcache_sim::{capacity_sweep, run, run_with_sink, SimConfig, PAPER_CACHE_SIZES};
 use coopcache_trace::{generate, read_trace, write_trace, Rng, Trace, TraceProfile};
-use coopcache_types::{ByteSize, DocId, DurationMs};
+use coopcache_types::{ByteSize, CacheId, DocId, DurationMs};
 use std::io::Write;
 
 /// Top-level usage text.
@@ -46,6 +46,8 @@ COMMANDS:
                 --capacity SIZE per cache     (default 128KB)
                 --scheme adhoc|ea             (default ea)
                 --requests N                  (default 300)
+                --chaos SEED                  (inject a seeded peer-fault mix)
+                --kill-after N                (halt the last daemon mid-run)
     analyze   characterize a workload (locality, popularity, sharing, MIN bound)
                 --trace PATH | --profile NAME (default small)
                 --aggregate SIZE for the MIN bound (default 10MB)
@@ -316,21 +318,75 @@ fn cmd_sweep<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
     write_out(out, table.to_string())
 }
 
+/// The `--chaos` fault mix: a bit of every fault class, spread over the
+/// non-zero daemons, all drawn from one seed.
+fn chaos_plan(seed: u64, caches: u16) -> FaultPlan {
+    let c = |i: u16| CacheId::new(i % caches);
+    FaultPlan::seeded(seed)
+        .rule(c(1), FaultKind::DropIcpReply, FaultMode::Probability(25))
+        .rule(c(1), FaultKind::TruncateDocBody, FaultMode::Probability(25))
+        .rule(c(2), FaultKind::RefuseDoc, FaultMode::Probability(25))
+        .rule(c(2), FaultKind::ResetDoc, FaultMode::Probability(15))
+}
+
 fn cmd_serve<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
-    args.expect_only(&["caches", "capacity", "scheme", "requests"])?;
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+    args.expect_only(&[
+        "caches",
+        "capacity",
+        "scheme",
+        "requests",
+        "chaos",
+        "kill-after",
+    ])?;
     let caches = args.get_or("caches", 3u16)?;
     let capacity = parse_size(args.get("capacity").unwrap_or("128KB"))?;
     let scheme = parse_scheme(args.get("scheme").unwrap_or("ea"))?;
     let requests = args.get_or("requests", 300u64)?;
-    let cluster = LoopbackCluster::start(caches, capacity, scheme)
+    let chaos: Option<u64> = args
+        .get("chaos")
+        .map(|s| {
+            s.parse()
+                .map_err(|e| ArgError(format!("--chaos {s:?}: {e}")))
+        })
+        .transpose()?;
+    let kill_after: Option<u64> = args
+        .get("kill-after")
+        .map(|s| {
+            s.parse()
+                .map_err(|e| ArgError(format!("--kill-after {s:?}: {e}")))
+        })
+        .transpose()?;
+    let mut config = ClusterConfig::new(caches, capacity, scheme);
+    if let Some(seed) = chaos {
+        // A short ICP deadline keeps a run against silent peers brisk.
+        config = config
+            .faults(chaos_plan(seed, caches))
+            .icp_timeout(Duration::from_millis(80));
+    }
+    let faulty = chaos.is_some() || kill_after.is_some();
+    let mut cluster = LoopbackCluster::start_with_config(config)
         .map_err(|e| ArgError(format!("cluster start failed: {e}")))?;
+    let hist = Arc::new(Mutex::new(HistogramSink::new()));
+    if faulty {
+        cluster.set_sink(SinkHandle::from_arc(Arc::clone(&hist)));
+    }
     write_out(
         out,
         format!("started {caches} daemons ({capacity} each, {scheme} placement)\n"),
     )?;
+    if let Some(seed) = chaos {
+        write_out(out, format!("chaos on (seed {seed})\n"))?;
+    }
     let mut rng = Rng::seed_from(7);
     let mut hits = 0u64;
     for i in 0..requests {
+        if kill_after == Some(i) && caches > 1 {
+            let victim = usize::from(caches) - 1;
+            cluster.kill(victim);
+            write_out(out, format!("killed daemon {victim} after {i} requests\n"))?;
+        }
         let doc = DocId::new(rng.next_below(64) + 1);
         let size = ByteSize::from_kb(1 + rng.next_below(4));
         let outcome = cluster
@@ -347,6 +403,21 @@ fn cmd_serve<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
             cluster.origin_fetches()
         ),
     )?;
+    if faulty {
+        let agg = hist
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        write_out(
+            out,
+            format!(
+                "faults absorbed: {} peer faults, {} failovers, {} quarantines, {} loop errors — 0 client errors\n",
+                agg.count(EventKind::PeerFault),
+                agg.count(EventKind::Failover),
+                agg.count(EventKind::PeerQuarantined),
+                agg.count(EventKind::ServerLoopError),
+            ),
+        )?;
+    }
     cluster.shutdown();
     write_out(out, "cluster shut down cleanly\n")
 }
@@ -636,6 +707,29 @@ mod tests {
     fn serve_runs_a_live_cluster() {
         let text = run_cmd(&["serve", "--caches", "2", "--requests", "50"]).unwrap();
         assert!(text.contains("served 50 requests"));
+        assert!(text.contains("shut down cleanly"));
+    }
+
+    #[test]
+    fn serve_survives_chaos_and_a_killed_daemon() {
+        // run_cmd returning Ok is the guarantee under test: every request
+        // succeeded despite injected faults and a daemon killed mid-run.
+        let text = run_cmd(&[
+            "serve",
+            "--caches",
+            "3",
+            "--requests",
+            "60",
+            "--chaos",
+            "7",
+            "--kill-after",
+            "30",
+        ])
+        .unwrap();
+        assert!(text.contains("chaos on (seed 7)"));
+        assert!(text.contains("killed daemon 2 after 30 requests"));
+        assert!(text.contains("served 60 requests"));
+        assert!(text.contains("0 client errors"));
         assert!(text.contains("shut down cleanly"));
     }
 }

@@ -12,7 +12,7 @@
 //! | rule              | scope                         | what it catches |
 //! |-------------------|-------------------------------|-----------------|
 //! | `wall-clock`      | everywhere but `net/src/clock.rs` | `Instant::now` / `SystemTime::now` leaking into logic |
-//! | `panic`           | the seven library crates      | `.unwrap()`, `.expect(`, `panic!(`, `unreachable!(` |
+//! | `panic`           | the eight library crates      | `.unwrap()`, `.expect(`, `panic!(`, `unreachable!(` |
 //! | `map-iter`        | `core`, `sim`, `proxy`        | iterating a `HashMap`/`HashSet` (nondeterministic order) |
 //! | `float-eq`        | everywhere                    | `==` / `!=` against a float literal |
 //! | `dead-event`      | workspace-wide                | `Event` variants never constructed outside `obs` |
@@ -23,8 +23,9 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// Crates whose non-test code must be panic-free (rule `panic`).
-pub const PANIC_FREE_CRATES: [&str; 7] =
-    ["core", "sim", "proxy", "types", "trace", "metrics", "obs"];
+pub const PANIC_FREE_CRATES: [&str; 8] = [
+    "core", "sim", "proxy", "types", "trace", "metrics", "obs", "net",
+];
 
 /// Crates where hash-order iteration can reach outputs, events, or
 /// eviction decisions (rule `map-iter`).
@@ -687,8 +688,8 @@ mod tests {
     fn panic_rule_scopes_to_library_crates() {
         let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
         assert_eq!(rules(&lint("crates/core/src/x.rs", src)), vec![Rule::Panic]);
+        assert_eq!(rules(&lint("crates/net/src/x.rs", src)), vec![Rule::Panic]);
         assert!(lint("crates/cli/src/x.rs", src).is_empty());
-        assert!(lint("crates/net/src/x.rs", src).is_empty());
     }
 
     #[test]

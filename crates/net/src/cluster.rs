@@ -2,6 +2,7 @@
 
 use crate::clock::SharedClock;
 use crate::daemon::{BoundSockets, CacheDaemon, DaemonConfig, PeerAddr};
+use crate::fault::FaultPlan;
 use crate::origin::OriginServer;
 use coopcache_core::PlacementScheme;
 use coopcache_obs::SinkHandle;
@@ -9,6 +10,92 @@ use coopcache_proxy::RequestOutcome;
 use coopcache_types::{ByteSize, CacheId, DocId};
 use std::io;
 use std::time::Duration;
+
+/// Everything needed to start a [`LoopbackCluster`], including the
+/// optional chaos schedule. The plain starters cover the common cases;
+/// this covers the rest.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of cache daemons.
+    pub caches: u16,
+    /// Capacity of each cache.
+    pub per_cache_capacity: ByteSize,
+    /// Placement scheme.
+    pub scheme: PlacementScheme,
+    /// Artificial origin service delay.
+    pub origin_delay: Duration,
+    /// ICP reply deadline per request.
+    pub icp_timeout: Duration,
+    /// Per-connection I/O timeout.
+    pub io_timeout: Duration,
+    /// Consecutive peer failures before quarantine (0 disables it).
+    pub quarantine_after: u32,
+    /// First quarantine duration; doubles per re-quarantine.
+    pub quarantine_base: Duration,
+    /// Seeded fault schedule (empty = no injection anywhere).
+    pub faults: FaultPlan,
+}
+
+impl ClusterConfig {
+    /// A fault-free cluster with the default daemon timeouts.
+    #[must_use]
+    pub fn new(caches: u16, per_cache_capacity: ByteSize, scheme: PlacementScheme) -> Self {
+        let defaults = DaemonConfig::loopback(CacheId::new(0), per_cache_capacity, scheme);
+        Self {
+            caches,
+            per_cache_capacity,
+            scheme,
+            origin_delay: Duration::ZERO,
+            icp_timeout: defaults.icp_timeout,
+            io_timeout: defaults.io_timeout,
+            quarantine_after: defaults.quarantine_after,
+            quarantine_base: defaults.quarantine_base,
+            faults: FaultPlan::default(),
+        }
+    }
+
+    /// Sets the artificial origin delay (builder style).
+    #[must_use]
+    pub fn origin_delay(mut self, delay: Duration) -> Self {
+        self.origin_delay = delay;
+        self
+    }
+
+    /// Sets the ICP reply deadline (builder style).
+    #[must_use]
+    pub fn icp_timeout(mut self, timeout: Duration) -> Self {
+        self.icp_timeout = timeout;
+        self
+    }
+
+    /// Sets the per-connection I/O timeout (builder style).
+    #[must_use]
+    pub fn io_timeout(mut self, timeout: Duration) -> Self {
+        self.io_timeout = timeout;
+        self
+    }
+
+    /// Sets the quarantine threshold, 0 to disable (builder style).
+    #[must_use]
+    pub fn quarantine_after(mut self, failures: u32) -> Self {
+        self.quarantine_after = failures;
+        self
+    }
+
+    /// Sets the initial quarantine backoff (builder style).
+    #[must_use]
+    pub fn quarantine_base(mut self, base: Duration) -> Self {
+        self.quarantine_base = base;
+        self
+    }
+
+    /// Installs a fault schedule (builder style).
+    #[must_use]
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+}
 
 /// A running group of cache daemons plus a stub origin server, all on
 /// 127.0.0.1 — the live-network counterpart of
@@ -68,8 +155,25 @@ impl LoopbackCluster {
         scheme: PlacementScheme,
         origin_delay: Duration,
     ) -> io::Result<Self> {
+        Self::start_with_config(
+            ClusterConfig::new(n, per_cache_capacity, scheme).origin_delay(origin_delay),
+        )
+    }
+
+    /// Starts a cluster from a full [`ClusterConfig`] — the only way to
+    /// attach a [`FaultPlan`] or tune the protocol timeouts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and thread-spawn failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.caches` is zero.
+    pub fn start_with_config(config: ClusterConfig) -> io::Result<Self> {
+        let n = config.caches;
         assert!(n > 0, "a cluster needs at least one cache");
-        let origin = OriginServer::start(origin_delay)?;
+        let origin = OriginServer::start(config.origin_delay)?;
         let clock = SharedClock::start();
 
         // Two-phase start: bind every socket first so the full peer table
@@ -91,12 +195,19 @@ impl LoopbackCluster {
         for (i, socket) in sockets.into_iter().enumerate() {
             let id = CacheId::new(i as u16);
             let peers: Vec<PeerAddr> = addrs.iter().copied().filter(|p| p.id != id).collect();
-            daemons.push(CacheDaemon::start(
-                DaemonConfig::loopback(id, per_cache_capacity, scheme),
+            let mut daemon_config =
+                DaemonConfig::loopback(id, config.per_cache_capacity, config.scheme);
+            daemon_config.icp_timeout = config.icp_timeout;
+            daemon_config.io_timeout = config.io_timeout;
+            daemon_config.quarantine_after = config.quarantine_after;
+            daemon_config.quarantine_base = config.quarantine_base;
+            daemons.push(CacheDaemon::start_with_faults(
+                daemon_config,
                 socket,
                 peers,
                 origin.addr(),
                 clock.clone(),
+                config.faults.compile(id),
             )?);
         }
         Ok(Self { daemons, origin })
@@ -144,6 +255,18 @@ impl LoopbackCluster {
     #[must_use]
     pub fn daemon(&self, idx: usize) -> &CacheDaemon {
         &self.daemons[idx]
+    }
+
+    /// Kills the daemon at `idx` mid-run: its server threads stop and
+    /// its sockets close, so peers see ICP silence and refused document
+    /// connections. The daemon handle stays inspectable; requests to a
+    /// killed daemon still work (its client side needs no listeners).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn kill(&mut self, idx: usize) {
+        self.daemons[idx].halt();
     }
 
     /// Total documents the origin served (= group misses observed).

@@ -4,20 +4,42 @@
 //! socket and a document server on a TCP listener — around the same
 //! I/O-free [`ProxyNode`] the simulators use. The client-facing
 //! [`CacheDaemon::request`] drives the full protocol over the loopback
-//! network: local lookup, UDP ICP fan-out, TCP fetch from the first
-//! positive replier (with expiration ages piggybacked both ways), origin
-//! fallback.
+//! network: local lookup, UDP ICP fan-out, TCP fetch from the positive
+//! repliers in arrival order (with expiration ages piggybacked both
+//! ways), origin fallback.
+//!
+//! # Fault tolerance
+//!
+//! The responder that answered an ICP query may be dead, slow, or lying
+//! by the time the HTTP fetch arrives. The daemon absorbs every peer
+//! failure instead of surfacing it to the client:
+//!
+//! * **Multi-candidate failover** — the ICP wait collects *all* positive
+//!   repliers (deduplicated by cache id, ordered by arrival); the fetch
+//!   tries them in order with one bounded retry each and falls back to
+//!   the origin when the list is exhausted.
+//! * **Peer health tracking** — consecutive failures (including ICP
+//!   silence) quarantine a peer with exponential backoff, so a dead
+//!   sibling stops costing an ICP timeout on every group miss.
+//! * **Resilient server loops** — transient socket errors are logged as
+//!   [`Event::ServerLoopError`] and the loop keeps serving; only
+//!   shutdown exits.
+//!
+//! Chaos runs are auditable through the event stream (`PeerFault`,
+//! `Failover`, `PeerQuarantined`, `ServerLoopError`) and driven by a
+//! seeded [`FaultPlan`](crate::FaultPlan) compiled into the server loops.
 
 use crate::clock::SharedClock;
+use crate::fault::{DocFault, FaultState, IcpFault};
 use crate::origin::{drain_body, fetch_from_origin, write_body};
-use crate::wire::WireMessage;
+use crate::wire::{read_frame, write_frame, WireMessage};
 use coopcache_core::{ExpirationWindow, PlacementScheme, PolicyKind};
-use coopcache_obs::{Event, Histogram, HistogramSnapshot, SinkHandle};
+use coopcache_obs::{Event, FaultOp, Histogram, HistogramSnapshot, ServerLoop, SinkHandle};
 use coopcache_proxy::{IcpQuery, ProxyNode, RequestOutcome};
 use coopcache_types::{ByteSize, CacheId, DocId};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::io::{self, Read, Write};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
@@ -26,8 +48,23 @@ use std::time::Duration;
 
 /// Locks a mutex, recovering the data from a poisoned lock — a panicked
 /// server thread should degrade the daemon, not wedge it.
-fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+fn lock<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Maps an I/O error onto the closed label vocabulary the event stream
+/// uses (stable across runs, so chaos traces stay deterministic).
+fn error_label(e: &io::Error) -> &'static str {
+    match e.kind() {
+        io::ErrorKind::ConnectionRefused => "refused",
+        io::ErrorKind::ConnectionReset
+        | io::ErrorKind::ConnectionAborted
+        | io::ErrorKind::BrokenPipe => "reset",
+        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => "timeout",
+        io::ErrorKind::UnexpectedEof => "eof",
+        io::ErrorKind::InvalidData => "proto",
+        _ => "io",
+    }
 }
 
 /// Addresses a daemon needs to reach a peer.
@@ -41,7 +78,7 @@ pub struct PeerAddr {
     pub doc: SocketAddr,
 }
 
-/// Timeouts and identity for a daemon.
+/// Timeouts, identity, and failover policy for a daemon.
 #[derive(Debug, Clone)]
 pub struct DaemonConfig {
     /// This daemon's cache id.
@@ -58,6 +95,15 @@ pub struct DaemonConfig {
     pub icp_timeout: Duration,
     /// Per-connection I/O timeout.
     pub io_timeout: Duration,
+    /// Extra fetch attempts per failed candidate (bounded retry).
+    pub peer_retries: u32,
+    /// Consecutive failures before a peer is quarantined (0 disables
+    /// quarantine entirely).
+    pub quarantine_after: u32,
+    /// First quarantine duration; doubles on each re-quarantine.
+    pub quarantine_base: Duration,
+    /// Upper bound on the quarantine backoff.
+    pub quarantine_cap: Duration,
 }
 
 impl DaemonConfig {
@@ -72,6 +118,10 @@ impl DaemonConfig {
             window: ExpirationWindow::default(),
             icp_timeout: Duration::from_millis(250),
             io_timeout: Duration::from_secs(5),
+            peer_retries: 1,
+            quarantine_after: 2,
+            quarantine_base: Duration::from_millis(250),
+            quarantine_cap: Duration::from_secs(8),
         }
     }
 }
@@ -129,6 +179,66 @@ impl fmt::Display for ServeSource {
     }
 }
 
+/// Per-peer failure bookkeeping behind the quarantine policy.
+#[derive(Debug, Clone, Copy, Default)]
+struct PeerHealth {
+    /// Failures since the last successful interaction.
+    consecutive_failures: u32,
+    /// Times this peer has been quarantined (the backoff exponent).
+    quarantines: u32,
+    /// Clock microsecond until which the peer is benched (0 = active).
+    quarantined_until_us: u64,
+}
+
+/// A peer-fetch failure: which protocol step failed and how. Absorbed by
+/// failover, never surfaced to the client.
+#[derive(Debug)]
+struct PeerFetchError {
+    op: FaultOp,
+    error: io::Error,
+}
+
+impl PeerFetchError {
+    fn connect(error: io::Error) -> Self {
+        Self {
+            op: FaultOp::Connect,
+            error,
+        }
+    }
+
+    fn transfer(error: io::Error) -> Self {
+        Self {
+            op: FaultOp::Transfer,
+            error,
+        }
+    }
+}
+
+/// State shared between the daemon handle and its server threads.
+struct LoopCtx {
+    id: CacheId,
+    node: Arc<Mutex<ProxyNode>>,
+    stop: Arc<AtomicBool>,
+    sink: Arc<Mutex<Option<SinkHandle>>>,
+    faults: Option<Arc<FaultState>>,
+}
+
+impl LoopCtx {
+    fn emit(&self, event: &Event) {
+        if let Some(sink) = lock(&self.sink).as_ref() {
+            sink.emit(event);
+        }
+    }
+
+    fn loop_error(&self, server: ServerLoop, e: &io::Error) {
+        self.emit(&Event::ServerLoopError {
+            cache: self.id,
+            server,
+            error: error_label(e),
+        });
+    }
+}
+
 /// A running cache daemon.
 #[derive(Debug)]
 pub struct CacheDaemon {
@@ -137,15 +247,20 @@ pub struct CacheDaemon {
     clock: SharedClock,
     peers: Vec<PeerAddr>,
     origin: SocketAddr,
+    icp_addr: SocketAddr,
+    doc_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
-    /// Optional event stream; installed into the node too, so placement
-    /// and eviction events flow alongside the daemon's request events.
-    sink: Option<SinkHandle>,
+    /// Optional event stream, shared with the server loops; installed
+    /// into the node too, so placement and eviction events flow
+    /// alongside the daemon's request events.
+    sink: Arc<Mutex<Option<SinkHandle>>>,
     /// Request sequence numbers for the event stream.
     seq: AtomicU64,
     /// Measured wall-clock request latency (µs), split by serve source.
     latency: Mutex<BTreeMap<ServeSource, Histogram>>,
+    /// Consecutive-failure counts and quarantine state per peer.
+    health: Mutex<BTreeMap<CacheId, PeerHealth>>,
 }
 
 impl CacheDaemon {
@@ -164,6 +279,19 @@ impl CacheDaemon {
         origin: SocketAddr,
         clock: SharedClock,
     ) -> io::Result<Self> {
+        Self::start_with_faults(config, sockets, peers, origin, clock, None)
+    }
+
+    /// Starts a daemon with an optional compiled fault state injected
+    /// into its server loops (see [`crate::FaultPlan`]).
+    pub(crate) fn start_with_faults(
+        config: DaemonConfig,
+        sockets: BoundSockets,
+        peers: Vec<PeerAddr>,
+        origin: SocketAddr,
+        clock: SharedClock,
+        faults: Option<FaultState>,
+    ) -> io::Result<Self> {
         let node = Arc::new(Mutex::new(ProxyNode::with_window(
             config.id,
             config.capacity,
@@ -172,6 +300,8 @@ impl CacheDaemon {
             config.window,
         )));
         let stop = Arc::new(AtomicBool::new(false));
+        let sink: Arc<Mutex<Option<SinkHandle>>> = Arc::new(Mutex::new(None));
+        let faults = faults.map(Arc::new);
         let mut threads = Vec::new();
 
         // ICP responder thread.
@@ -179,28 +309,38 @@ impl CacheDaemon {
             .icp
             .set_read_timeout(Some(Duration::from_millis(20)))?;
         {
-            let node = Arc::clone(&node);
-            let stop = Arc::clone(&stop);
+            let ctx = LoopCtx {
+                id: config.id,
+                node: Arc::clone(&node),
+                stop: Arc::clone(&stop),
+                sink: Arc::clone(&sink),
+                faults: faults.clone(),
+            };
             let socket = sockets.icp;
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("coopcache-icp-{}", config.id))
-                    .spawn(move || icp_loop(&socket, &node, &stop))?,
+                    .spawn(move || icp_loop(&socket, &ctx))?,
             );
         }
 
         // Document server thread.
         sockets.doc.set_nonblocking(true)?;
         {
-            let node = Arc::clone(&node);
-            let stop = Arc::clone(&stop);
+            let ctx = LoopCtx {
+                id: config.id,
+                node: Arc::clone(&node),
+                stop: Arc::clone(&stop),
+                sink: Arc::clone(&sink),
+                faults,
+            };
             let clock = clock.clone();
             let listener = sockets.doc;
             let io_timeout = config.io_timeout;
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("coopcache-doc-{}", config.id))
-                    .spawn(move || doc_loop(&listener, &node, &clock, &stop, io_timeout))?,
+                    .spawn(move || doc_loop(&listener, &ctx, &clock, io_timeout))?,
             );
         }
 
@@ -210,11 +350,14 @@ impl CacheDaemon {
             clock,
             peers,
             origin,
+            icp_addr: sockets.icp_addr,
+            doc_addr: sockets.doc_addr,
             stop,
             threads,
-            sink: None,
+            sink,
             seq: AtomicU64::new(0),
             latency: Mutex::new(BTreeMap::new()),
+            health: Mutex::new(BTreeMap::new()),
         })
     }
 
@@ -224,12 +367,32 @@ impl CacheDaemon {
         self.config.id
     }
 
+    /// The ICP (UDP) endpoint this daemon answers queries on.
+    #[must_use]
+    pub fn icp_addr(&self) -> SocketAddr {
+        self.icp_addr
+    }
+
+    /// The TCP endpoint this daemon serves documents from.
+    #[must_use]
+    pub fn doc_addr(&self) -> SocketAddr {
+        self.doc_addr
+    }
+
     /// Installs an event sink: the daemon emits a `Request` event (with
-    /// measured wall-clock latency) per served request, and the inner
-    /// node emits placement/eviction events through the same sink.
+    /// measured wall-clock latency) per served request plus the failover
+    /// events (`PeerFault`, `Failover`, `PeerQuarantined`,
+    /// `ServerLoopError`), and the inner node emits placement/eviction
+    /// events through the same sink.
     pub fn set_sink(&mut self, sink: SinkHandle) {
         lock(&self.node).set_sink(sink.clone());
-        self.sink = Some(sink);
+        *lock(&self.sink) = Some(sink);
+    }
+
+    fn emit(&self, event: &Event) {
+        if let Some(sink) = lock(&self.sink).as_ref() {
+            sink.emit(event);
+        }
     }
 
     /// Snapshot of the wall-clock latency histograms, one per serve
@@ -239,6 +402,17 @@ impl CacheDaemon {
         lock(&self.latency)
             .iter()
             .map(|(source, hist)| (*source, hist.snapshot()))
+            .collect()
+    }
+
+    /// Peers currently under quarantine (for inspection and tests).
+    #[must_use]
+    pub fn quarantined_peers(&self) -> Vec<CacheId> {
+        let now_us = self.clock.now_micros();
+        lock(&self.health)
+            .iter()
+            .filter(|(_, h)| now_us < h.quarantined_until_us)
+            .map(|(id, _)| *id)
             .collect()
     }
 
@@ -254,8 +428,11 @@ impl CacheDaemon {
     ///
     /// # Errors
     ///
-    /// Propagates socket errors (a vanished peer is handled by falling
-    /// back to the origin, not reported as an error).
+    /// Propagates only local socket failures and an unreachable origin.
+    /// Peer failures — a responder that died, reset the connection, or
+    /// truncated the body between ICP reply and fetch — are absorbed by
+    /// failover to the remaining candidates and finally the origin,
+    /// never reported as an error.
     pub fn request(&self, doc: DocId, size: ByteSize) -> io::Result<RequestOutcome> {
         let started_us = self.clock.now_micros();
         let outcome = self.serve(doc, size)?;
@@ -269,7 +446,7 @@ impl CacheDaemon {
             .entry(source)
             .or_default()
             .record(latency_us);
-        if let Some(sink) = &self.sink {
+        if let Some(sink) = lock(&self.sink).clone() {
             let (class, responder, stored) = outcome.event_parts();
             sink.emit(&Event::Request {
                 seq: self.seq.fetch_add(1, Ordering::Relaxed),
@@ -292,15 +469,38 @@ impl CacheDaemon {
             return Ok(RequestOutcome::LocalHit);
         }
 
-        // 2. ICP fan-out over UDP; first positive reply wins.
-        let responder = self.icp_locate(doc)?;
+        // 2. ICP fan-out over UDP: collect every positive replier within
+        // the deadline, in arrival order.
+        let candidates = self.icp_candidates(doc)?;
 
-        // 3a. Remote fetch with piggybacked expiration ages.
-        if let Some(peer) = responder {
-            if let Some(outcome) = self.fetch_from_peer(peer, doc)? {
-                return Ok(outcome);
+        // 3a. Remote fetch with piggybacked expiration ages, failing
+        // over through the candidate list.
+        for (i, peer) in candidates.iter().enumerate() {
+            match self.fetch_with_retry(*peer, doc) {
+                Ok(Some(outcome)) => {
+                    self.note_peer_ok(peer.id);
+                    return Ok(outcome);
+                }
+                // Peer lost the document between ICP and fetch: an
+                // honest answer from a healthy peer — try the next one.
+                Ok(None) => self.note_peer_ok(peer.id),
+                Err(fault) => {
+                    self.emit(&Event::PeerFault {
+                        cache: self.config.id,
+                        peer: peer.id,
+                        doc,
+                        op: fault.op,
+                        error: error_label(&fault.error),
+                    });
+                    self.note_peer_failure(peer.id);
+                    self.emit(&Event::Failover {
+                        cache: self.config.id,
+                        doc,
+                        from: peer.id,
+                        to: candidates.get(i + 1).map(|p| p.id),
+                    });
+                }
             }
-            // Peer lost the document between ICP and fetch: fall through.
         }
 
         // 3b. Origin fetch; the requester always stores (distributed
@@ -318,11 +518,24 @@ impl CacheDaemon {
         })
     }
 
-    /// Queries every peer over UDP and returns the first that replied
-    /// with a hit, if any.
-    fn icp_locate(&self, doc: DocId) -> io::Result<Option<PeerAddr>> {
+    /// Queries every non-quarantined peer over UDP and returns all that
+    /// replied with a hit, deduplicated by cache id, in arrival order.
+    ///
+    /// Per-peer send failures and ICP silence are health signals, not
+    /// request errors; only local socket failures propagate.
+    fn icp_candidates(&self, doc: DocId) -> io::Result<Vec<PeerAddr>> {
         if self.peers.is_empty() {
-            return Ok(None);
+            return Ok(Vec::new());
+        }
+        let now_us = self.clock.now_micros();
+        let targets: Vec<PeerAddr> = self
+            .peers
+            .iter()
+            .copied()
+            .filter(|p| !self.is_quarantined(p.id, now_us))
+            .collect();
+        if targets.is_empty() {
+            return Ok(Vec::new());
         }
         let socket = UdpSocket::bind("127.0.0.1:0")?;
         socket.set_read_timeout(Some(Duration::from_millis(20)))?;
@@ -331,67 +544,112 @@ impl CacheDaemon {
             doc,
         })
         .encode();
-        for peer in &self.peers {
-            socket.send_to(&query, peer.icp)?;
+        let mut queried: Vec<CacheId> = Vec::new();
+        for peer in &targets {
+            match socket.send_to(&query, peer.icp) {
+                Ok(_) => queried.push(peer.id),
+                Err(e) => {
+                    // A vanished peer must not fail the request.
+                    self.emit(&Event::PeerFault {
+                        cache: self.config.id,
+                        peer: peer.id,
+                        doc,
+                        op: FaultOp::Icp,
+                        error: error_label(&e),
+                    });
+                    self.note_peer_failure(peer.id);
+                }
+            }
         }
         let timeout_us = u64::try_from(self.config.icp_timeout.as_micros()).unwrap_or(u64::MAX);
         let deadline_us = self.clock.now_micros().saturating_add(timeout_us);
         let mut buf = [0u8; 64];
-        let mut replies = 0usize;
-        while self.clock.now_micros() < deadline_us && replies < self.peers.len() {
-            match socket.recv_from(&mut buf) {
-                Ok((n, _)) => {
-                    if let Ok(WireMessage::IcpReply(reply)) = WireMessage::decode(&buf[..n]) {
-                        if reply.doc != doc {
-                            continue; // stale reply from an earlier query
-                        }
-                        replies += 1;
-                        if reply.hit {
-                            return Ok(self.peers.iter().copied().find(|p| p.id == reply.from));
-                        }
+        let mut seen: Vec<CacheId> = Vec::new();
+        let mut positive: Vec<PeerAddr> = Vec::new();
+        while self.clock.now_micros() < deadline_us && seen.len() < queried.len() {
+            // Timeouts poll the deadline; any other transient recv error
+            // is skipped — never a client error.
+            let Ok((n, _)) = socket.recv_from(&mut buf) else {
+                continue;
+            };
+            if let Ok(WireMessage::IcpReply(reply)) = WireMessage::decode(&buf[..n]) {
+                if reply.doc != doc {
+                    continue; // stale reply from an earlier query
+                }
+                if !queried.contains(&reply.from) || seen.contains(&reply.from) {
+                    continue; // stray sender, or a duplicate reply
+                }
+                seen.push(reply.from);
+                if reply.hit {
+                    if let Some(p) = targets.iter().find(|p| p.id == reply.from) {
+                        positive.push(*p);
                     }
                 }
-                Err(e)
-                    if e.kind() == io::ErrorKind::WouldBlock
-                        || e.kind() == io::ErrorKind::TimedOut =>
-                {
-                    continue;
-                }
-                Err(e) => return Err(e),
             }
         }
-        Ok(None)
+        // Silence before the deadline is a failed health probe.
+        for id in &queried {
+            if !seen.contains(id) {
+                self.emit(&Event::PeerFault {
+                    cache: self.config.id,
+                    peer: *id,
+                    doc,
+                    op: FaultOp::Icp,
+                    error: "silent",
+                });
+                self.note_peer_failure(*id);
+            }
+        }
+        Ok(positive)
+    }
+
+    /// One candidate fetch with the configured number of bounded
+    /// retries.
+    fn fetch_with_retry(
+        &self,
+        peer: PeerAddr,
+        doc: DocId,
+    ) -> Result<Option<RequestOutcome>, PeerFetchError> {
+        let mut last = self.fetch_from_peer(peer, doc);
+        for _ in 0..self.config.peer_retries {
+            if last.is_ok() {
+                break;
+            }
+            last = self.fetch_from_peer(peer, doc);
+        }
+        last
     }
 
     /// Fetches `doc` from `peer` over TCP. Returns `Ok(None)` when the
     /// peer no longer holds the document.
-    fn fetch_from_peer(&self, peer: PeerAddr, doc: DocId) -> io::Result<Option<RequestOutcome>> {
+    fn fetch_from_peer(
+        &self,
+        peer: PeerAddr,
+        doc: DocId,
+    ) -> Result<Option<RequestOutcome>, PeerFetchError> {
         let sent = lock(&self.node).build_http_request(doc);
-        let mut stream = TcpStream::connect_timeout(&peer.doc, self.config.io_timeout)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(self.config.io_timeout))?;
-        stream.set_write_timeout(Some(self.config.io_timeout))?;
-        let header = WireMessage::DocRequest(sent).encode();
-        stream.write_all(&(header.len() as u32).to_be_bytes())?;
-        stream.write_all(&header)?;
-
-        let mut len_buf = [0u8; 4];
-        stream.read_exact(&mut len_buf)?;
-        let header_len = u32::from_be_bytes(len_buf) as usize;
-        let mut header = vec![0u8; header_len];
-        stream.read_exact(&mut header)?;
-        let decoded = WireMessage::decode(&header)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let mut stream = TcpStream::connect_timeout(&peer.doc, self.config.io_timeout)
+            .map_err(PeerFetchError::connect)?;
+        stream.set_nodelay(true).map_err(PeerFetchError::transfer)?;
+        stream
+            .set_read_timeout(Some(self.config.io_timeout))
+            .map_err(PeerFetchError::transfer)?;
+        stream
+            .set_write_timeout(Some(self.config.io_timeout))
+            .map_err(PeerFetchError::transfer)?;
+        write_frame(&mut stream, &WireMessage::DocRequest(sent))
+            .map_err(PeerFetchError::transfer)?;
+        let decoded = read_frame(&mut stream).map_err(PeerFetchError::transfer)?;
         let WireMessage::DocResponse { response, found } = decoded else {
-            return Err(io::Error::new(
+            return Err(PeerFetchError::transfer(io::Error::new(
                 io::ErrorKind::InvalidData,
                 "peer sent a non-response message",
-            ));
+            )));
         };
         if !found {
             return Ok(None);
         }
-        drain_body(&mut stream, response.size.as_bytes())?;
+        drain_body(&mut stream, response.size.as_bytes()).map_err(PeerFetchError::transfer)?;
         let promoted = self
             .config
             .scheme
@@ -404,12 +662,69 @@ impl CacheDaemon {
         }))
     }
 
-    /// Stops the background threads and waits for them to exit.
-    pub fn shutdown(mut self) {
+    /// True while `peer` is benched by the quarantine policy.
+    fn is_quarantined(&self, peer: CacheId, now_us: u64) -> bool {
+        lock(&self.health)
+            .get(&peer)
+            .is_some_and(|h| now_us < h.quarantined_until_us)
+    }
+
+    /// A successful interaction fully rehabilitates the peer.
+    fn note_peer_ok(&self, peer: CacheId) {
+        let mut health = lock(&self.health);
+        if let Some(h) = health.get_mut(&peer) {
+            *h = PeerHealth::default();
+        }
+    }
+
+    /// Records a failure; past the threshold the peer is quarantined
+    /// with exponential backoff (doubling per quarantine, capped).
+    fn note_peer_failure(&self, peer: CacheId) {
+        if self.config.quarantine_after == 0 {
+            return;
+        }
+        let event = {
+            let mut health = lock(&self.health);
+            let h = health.entry(peer).or_default();
+            h.consecutive_failures = h.consecutive_failures.saturating_add(1);
+            if h.consecutive_failures < self.config.quarantine_after {
+                None
+            } else {
+                let backoff = self
+                    .config
+                    .quarantine_base
+                    .saturating_mul(1u32 << h.quarantines.min(16))
+                    .min(self.config.quarantine_cap);
+                let backoff_us = u64::try_from(backoff.as_micros()).unwrap_or(u64::MAX);
+                h.quarantined_until_us = self.clock.now_micros().saturating_add(backoff_us);
+                h.quarantines = h.quarantines.saturating_add(1);
+                Some(Event::PeerQuarantined {
+                    cache: self.config.id,
+                    peer,
+                    failures: u64::from(h.consecutive_failures),
+                    backoff_ms: u64::try_from(backoff.as_millis()).unwrap_or(u64::MAX),
+                })
+            }
+        };
+        if let Some(event) = event {
+            self.emit(&event);
+        }
+    }
+
+    /// Stops the background server threads and waits for them to exit,
+    /// leaving the handle usable for inspection. Peers see a killed
+    /// daemon as a dead sibling: ICP queries go unanswered and document
+    /// connections are refused.
+    pub fn halt(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
         for handle in self.threads.drain(..) {
             let _ = handle.join();
         }
+    }
+
+    /// Stops the background threads and waits for them to exit.
+    pub fn shutdown(mut self) {
+        self.halt();
     }
 }
 
@@ -420,43 +735,72 @@ impl Drop for CacheDaemon {
     }
 }
 
-fn icp_loop(socket: &UdpSocket, node: &Mutex<ProxyNode>, stop: &AtomicBool) {
+fn icp_loop(socket: &UdpSocket, ctx: &LoopCtx) {
     let mut buf = [0u8; 64];
-    while !stop.load(Ordering::Relaxed) {
+    while !ctx.stop.load(Ordering::Relaxed) {
         match socket.recv_from(&mut buf) {
             Ok((n, from)) => {
                 if let Ok(WireMessage::IcpQuery(query)) = WireMessage::decode(&buf[..n]) {
-                    let reply = lock(node).handle_icp_query(query);
-                    let _ = socket.send_to(&WireMessage::IcpReply(reply).encode(), from);
+                    let fault = ctx
+                        .faults
+                        .as_deref()
+                        .map_or(IcpFault::None, FaultState::icp_fault);
+                    if fault == IcpFault::DropQuery {
+                        continue; // the query datagram "was lost"
+                    }
+                    let reply = lock(&ctx.node).handle_icp_query(query);
+                    match fault {
+                        IcpFault::DropReply => {} // the reply "was lost"
+                        IcpFault::DelayReply(d) => {
+                            std::thread::sleep(d);
+                            let _ = socket.send_to(&WireMessage::IcpReply(reply).encode(), from);
+                        }
+                        _ => {
+                            let _ = socket.send_to(&WireMessage::IcpReply(reply).encode(), from);
+                        }
+                    }
                 }
             }
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
             }
-            Err(_) => break,
+            // Transient socket errors degrade to a logged event, never a
+            // silently dead responder; only shutdown exits the loop.
+            Err(e) => {
+                ctx.loop_error(ServerLoop::Icp, &e);
+                std::thread::sleep(Duration::from_millis(2));
+            }
         }
     }
 }
 
-fn doc_loop(
-    listener: &TcpListener,
-    node: &Mutex<ProxyNode>,
-    clock: &SharedClock,
-    stop: &AtomicBool,
-    io_timeout: Duration,
-) {
-    while !stop.load(Ordering::Relaxed) {
+fn doc_loop(listener: &TcpListener, ctx: &LoopCtx, clock: &SharedClock, io_timeout: Duration) {
+    while !ctx.stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((mut stream, _)) => {
+                let fault = ctx
+                    .faults
+                    .as_deref()
+                    .map_or(DocFault::None, FaultState::doc_fault);
+                if fault == DocFault::Refuse {
+                    continue; // close before reading: died between ICP and fetch
+                }
                 let _ = stream.set_nodelay(true);
                 let _ = stream.set_read_timeout(Some(io_timeout));
                 let _ = stream.set_write_timeout(Some(io_timeout));
-                let _ = serve_doc(&mut stream, node, clock);
+                if let Err(e) = serve_doc(&mut stream, &ctx.node, clock, fault) {
+                    // A misbehaving client connection is logged and the
+                    // listener keeps serving.
+                    ctx.loop_error(ServerLoop::Doc, &e);
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(2));
             }
-            Err(_) => break,
+            Err(e) => {
+                ctx.loop_error(ServerLoop::Doc, &e);
+                std::thread::sleep(Duration::from_millis(2));
+            }
         }
     }
 }
@@ -465,26 +809,18 @@ fn serve_doc(
     stream: &mut TcpStream,
     node: &Mutex<ProxyNode>,
     clock: &SharedClock,
+    fault: DocFault,
 ) -> io::Result<()> {
-    let mut len_buf = [0u8; 4];
-    stream.read_exact(&mut len_buf)?;
-    let header_len = u32::from_be_bytes(len_buf) as usize;
-    if header_len > 1024 {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "oversized header",
-        ));
-    }
-    let mut header = vec![0u8; header_len];
-    stream.read_exact(&mut header)?;
-    let decoded =
-        WireMessage::decode(&header).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let decoded = read_frame(stream)?;
     let WireMessage::DocRequest(request) = decoded else {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "expected a document request",
         ));
     };
+    if fault == DocFault::Reset {
+        return Ok(()); // drop the connection after reading: crash mid-exchange
+    }
     let (response, found) = {
         let mut node = lock(node);
         match node.handle_http_request(request, clock.now()) {
@@ -500,11 +836,15 @@ fn serve_doc(
             ),
         }
     };
-    let header = WireMessage::DocResponse { response, found }.encode();
-    stream.write_all(&(header.len() as u32).to_be_bytes())?;
-    stream.write_all(&header)?;
+    write_frame(stream, &WireMessage::DocResponse { response, found })?;
     if found {
-        write_body(stream, response.size.as_bytes())?;
+        let full = response.size.as_bytes();
+        let len = if fault == DocFault::Truncate {
+            full / 2 // half the body, then the connection drops
+        } else {
+            full
+        };
+        write_body(stream, len)?;
     }
     Ok(())
 }

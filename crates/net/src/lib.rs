@@ -13,6 +13,13 @@
 //! peer fetch, origin fallback — runs over genuine sockets with genuine
 //! concurrency (including the doc-vanished-between-ICP-and-fetch race).
 //!
+//! Peer failures never surface to clients: the ICP wait collects every
+//! positive replier, the fetch fails over through them (with bounded
+//! retries) to the origin, and repeatedly failing peers are quarantined
+//! with exponential backoff. A seeded [`FaultPlan`] injects dropped ICP
+//! traffic, refused/reset connections and truncated bodies
+//! deterministically for chaos testing (see `ClusterConfig::faults`).
+//!
 //! ```no_run
 //! use coopcache_net::LoopbackCluster;
 //! use coopcache_core::PlacementScheme;
@@ -29,11 +36,13 @@
 mod clock;
 mod cluster;
 mod daemon;
+mod fault;
 mod origin;
 mod wire;
 
 pub use clock::SharedClock;
-pub use cluster::LoopbackCluster;
+pub use cluster::{ClusterConfig, LoopbackCluster};
 pub use daemon::{BoundSockets, CacheDaemon, DaemonConfig, PeerAddr, ServeSource};
+pub use fault::{FaultKind, FaultMode, FaultPlan, FaultRule};
 pub use origin::OriginServer;
-pub use wire::{DecodeError, WireMessage, MAGIC};
+pub use wire::{DecodeError, WireMessage, MAGIC, MAX_FRAME_LEN};

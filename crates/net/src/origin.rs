@@ -146,7 +146,9 @@ fn serve_loop(listener: &TcpListener, delay: Duration, served: &AtomicU64, stop:
                 if stream.read_exact(&mut req).is_err() {
                     continue;
                 }
-                let size = u64::from_be_bytes(req[8..].try_into().expect("8 bytes"));
+                let mut size_bytes = [0u8; 8];
+                size_bytes.copy_from_slice(&req[8..]);
+                let size = u64::from_be_bytes(size_bytes);
                 // Count BEFORE replying: a client that has received the
                 // whole body must observe the incremented counter.
                 served.fetch_add(1, Ordering::SeqCst);
@@ -154,10 +156,11 @@ fn serve_loop(listener: &TcpListener, delay: Duration, served: &AtomicU64, stop:
                     let _ = write_body(&mut stream, size);
                 }
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+            // Any other accept error is transient on loopback; keep the
+            // origin alive — only shutdown exits.
+            Err(_) => {
                 std::thread::sleep(Duration::from_millis(2));
             }
-            Err(_) => break,
         }
     }
 }

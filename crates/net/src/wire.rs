@@ -17,9 +17,51 @@
 use coopcache_proxy::{HttpRequest, HttpResponse, IcpQuery, IcpReply};
 use coopcache_types::{ByteSize, CacheId, DocId, DurationMs, ExpirationAge};
 use std::fmt;
+use std::io::{self, Read, Write};
 
 /// Protocol magic prepended to every TCP header.
 pub const MAGIC: u16 = 0xCA5E;
+
+/// Upper bound on a length-prefixed TCP header frame. Real headers are
+/// ~40 bytes; the cap keeps a malicious or corrupted length field from
+/// forcing a giant allocation. Both directions of the document protocol
+/// enforce it through [`read_frame`], so the client and server paths
+/// cannot drift apart.
+pub const MAX_FRAME_LEN: usize = 1024;
+
+/// Writes one length-prefixed header frame to a TCP stream.
+///
+/// # Errors
+///
+/// Propagates write failures.
+pub fn write_frame<W: Write>(writer: &mut W, msg: &WireMessage) -> io::Result<()> {
+    let header = msg.encode();
+    debug_assert!(header.len() <= MAX_FRAME_LEN, "encoded header too large");
+    writer.write_all(&(header.len() as u32).to_be_bytes())?;
+    writer.write_all(&header)
+}
+
+/// Reads one length-prefixed header frame, enforcing [`MAX_FRAME_LEN`]
+/// before allocating.
+///
+/// # Errors
+///
+/// Propagates read failures; an oversized length prefix or an
+/// undecodable header surfaces as [`io::ErrorKind::InvalidData`].
+pub fn read_frame<R: Read>(reader: &mut R) -> io::Result<WireMessage> {
+    let mut len_buf = [0u8; 4];
+    reader.read_exact(&mut len_buf)?;
+    let header_len = u32::from_be_bytes(len_buf) as usize;
+    if header_len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "oversized header",
+        ));
+    }
+    let mut header = vec![0u8; header_len];
+    reader.read_exact(&mut header)?;
+    WireMessage::decode(&header).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
 
 const OP_ICP_QUERY: u8 = 1;
 const OP_ICP_REPLY: u8 = 2;
@@ -329,6 +371,40 @@ mod tests {
         put_u64(&mut bytes, 0);
         let err = WireMessage::decode(&bytes).unwrap_err();
         assert_eq!(err, DecodeError::Malformed("unknown expiration-age tag"));
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let msg = WireMessage::DocRequest(HttpRequest {
+            from: CacheId::new(3),
+            doc: DocId::new(9),
+            requester_age: ExpirationAge::Infinite,
+        });
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg).unwrap();
+        let got = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(got, msg);
+    }
+
+    #[test]
+    fn read_frame_rejects_oversized_length_prefix() {
+        // A peer-supplied length just past the cap must be rejected
+        // before any allocation happens.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_be_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("oversized"));
+    }
+
+    #[test]
+    fn read_frame_rejects_undecodable_header() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&4u32.to_be_bytes());
+        buf.extend_from_slice(b"junk");
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

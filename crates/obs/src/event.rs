@@ -81,6 +81,50 @@ impl EvictionCause {
     }
 }
 
+/// The protocol step at which a requester observed a peer failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultOp {
+    /// The peer never answered the ICP query before the deadline.
+    Icp,
+    /// The TCP connection to the peer's document port failed.
+    Connect,
+    /// The connection was established but the transfer failed
+    /// (reset, premature EOF, truncated body, malformed header).
+    Transfer,
+}
+
+impl FaultOp {
+    /// Stable lowercase name used in the JSON encoding.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::Icp => "icp",
+            Self::Connect => "connect",
+            Self::Transfer => "transfer",
+        }
+    }
+}
+
+/// Which of a daemon's two server loops reported an error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServerLoop {
+    /// The UDP ICP responder loop.
+    Icp,
+    /// The TCP document server loop.
+    Doc,
+}
+
+impl ServerLoop {
+    /// Stable lowercase name used in the JSON encoding.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::Icp => "icp",
+            Self::Doc => "doc",
+        }
+    }
+}
+
 /// One protocol-level occurrence, emitted through an
 /// [`EventSink`](crate::EventSink).
 #[derive(Debug, Clone, PartialEq)]
@@ -153,6 +197,59 @@ pub enum Event {
         /// Why it was evicted.
         cause: EvictionCause,
     },
+    /// A requester observed a peer failing at some step of the remote
+    /// fetch protocol. The failure is absorbed by failover — it is never
+    /// surfaced to the client.
+    PeerFault {
+        /// The cache that observed the failure (the requester).
+        cache: CacheId,
+        /// The peer that failed.
+        peer: CacheId,
+        /// The document being fetched.
+        doc: DocId,
+        /// The protocol step that failed.
+        op: FaultOp,
+        /// A short label from a closed vocabulary (`refused`, `reset`,
+        /// `timeout`, `eof`, `silent`, `proto`, `io`) — stable across
+        /// runs so chaos traces stay deterministic.
+        error: &'static str,
+    },
+    /// A requester moved on after a peer failure: to the next positive
+    /// ICP replier, or to the origin when none remain.
+    Failover {
+        /// The failing-over requester.
+        cache: CacheId,
+        /// The document being fetched.
+        doc: DocId,
+        /// The candidate that just failed.
+        from: CacheId,
+        /// The next candidate, or `None` for the origin server.
+        to: Option<CacheId>,
+    },
+    /// A peer crossed the consecutive-failure threshold; the requester
+    /// stops querying it until the backoff expires.
+    PeerQuarantined {
+        /// The cache applying the quarantine.
+        cache: CacheId,
+        /// The quarantined peer.
+        peer: CacheId,
+        /// Consecutive failures observed at quarantine time.
+        failures: u64,
+        /// How long the peer is benched, in milliseconds (doubles on
+        /// each re-quarantine up to the configured cap).
+        backoff_ms: u64,
+    },
+    /// A daemon server loop hit a non-timeout socket error and kept
+    /// running (the loop only exits on shutdown).
+    ServerLoopError {
+        /// The daemon whose loop erred.
+        cache: CacheId,
+        /// Which server loop.
+        server: ServerLoop,
+        /// A short label from the same closed vocabulary as
+        /// [`Event::PeerFault`].
+        error: &'static str,
+    },
     /// The synchronous runner closed one reporting window of the trace.
     WindowRollover {
         /// Zero-based window index.
@@ -182,17 +279,29 @@ pub enum EventKind {
     Placement,
     /// [`Event::Eviction`].
     Eviction,
+    /// [`Event::PeerFault`].
+    PeerFault,
+    /// [`Event::Failover`].
+    Failover,
+    /// [`Event::PeerQuarantined`].
+    PeerQuarantined,
+    /// [`Event::ServerLoopError`].
+    ServerLoopError,
     /// [`Event::WindowRollover`].
     WindowRollover,
 }
 
 /// All event kinds, in the order they appear in summaries.
-pub const EVENT_KINDS: [EventKind; 6] = [
+pub const EVENT_KINDS: [EventKind; 10] = [
     EventKind::Request,
     EventKind::IcpQuery,
     EventKind::IcpReply,
     EventKind::Placement,
     EventKind::Eviction,
+    EventKind::PeerFault,
+    EventKind::Failover,
+    EventKind::PeerQuarantined,
+    EventKind::ServerLoopError,
     EventKind::WindowRollover,
 ];
 
@@ -206,6 +315,10 @@ impl EventKind {
             Self::IcpReply => "icp-reply",
             Self::Placement => "placement",
             Self::Eviction => "eviction",
+            Self::PeerFault => "peer-fault",
+            Self::Failover => "failover",
+            Self::PeerQuarantined => "quarantine",
+            Self::ServerLoopError => "loop-error",
             Self::WindowRollover => "window",
         }
     }
@@ -228,6 +341,10 @@ impl Event {
             Self::IcpReply { .. } => EventKind::IcpReply,
             Self::Placement { .. } => EventKind::Placement,
             Self::Eviction { .. } => EventKind::Eviction,
+            Self::PeerFault { .. } => EventKind::PeerFault,
+            Self::Failover { .. } => EventKind::Failover,
+            Self::PeerQuarantined { .. } => EventKind::PeerQuarantined,
+            Self::ServerLoopError { .. } => EventKind::ServerLoopError,
             Self::WindowRollover { .. } => EventKind::WindowRollover,
         }
     }
@@ -321,6 +438,66 @@ impl Event {
                 w.u64(*age_ms);
                 w.key("cause");
                 w.string(cause.name());
+            }
+            Self::PeerFault {
+                cache,
+                peer,
+                doc,
+                op,
+                error,
+            } => {
+                w.key("cache");
+                w.u64(u64::from(cache.as_u16()));
+                w.key("peer");
+                w.u64(u64::from(peer.as_u16()));
+                w.key("doc");
+                w.u64(doc.as_u64());
+                w.key("op");
+                w.string(op.name());
+                w.key("error");
+                w.string(error);
+            }
+            Self::Failover {
+                cache,
+                doc,
+                from,
+                to,
+            } => {
+                w.key("cache");
+                w.u64(u64::from(cache.as_u16()));
+                w.key("doc");
+                w.u64(doc.as_u64());
+                w.key("from");
+                w.u64(u64::from(from.as_u16()));
+                w.key("to");
+                w.opt_u64(to.map(|c| u64::from(c.as_u16())));
+            }
+            Self::PeerQuarantined {
+                cache,
+                peer,
+                failures,
+                backoff_ms,
+            } => {
+                w.key("cache");
+                w.u64(u64::from(cache.as_u16()));
+                w.key("peer");
+                w.u64(u64::from(peer.as_u16()));
+                w.key("failures");
+                w.u64(*failures);
+                w.key("backoff_ms");
+                w.u64(*backoff_ms);
+            }
+            Self::ServerLoopError {
+                cache,
+                server,
+                error,
+            } => {
+                w.key("cache");
+                w.u64(u64::from(cache.as_u16()));
+                w.key("server");
+                w.string(server.name());
+                w.key("error");
+                w.string(error);
             }
             Self::WindowRollover {
                 index,
@@ -432,10 +609,63 @@ mod tests {
 
     #[test]
     fn kinds_cover_all_events() {
-        assert_eq!(EVENT_KINDS.len(), 6);
+        assert_eq!(EVENT_KINDS.len(), 10);
         for kind in EVENT_KINDS {
             assert!(!kind.name().is_empty());
         }
+    }
+
+    #[test]
+    fn fault_json_shapes() {
+        let ev = Event::PeerFault {
+            cache: CacheId::new(0),
+            peer: CacheId::new(2),
+            doc: DocId::new(7),
+            op: FaultOp::Connect,
+            error: "refused",
+        };
+        assert_eq!(ev.kind(), EventKind::PeerFault);
+        assert_eq!(
+            ev.to_json(),
+            r#"{"ev":"peer-fault","cache":0,"peer":2,"doc":7,"op":"connect","error":"refused"}"#
+        );
+        let ev = Event::Failover {
+            cache: CacheId::new(0),
+            doc: DocId::new(7),
+            from: CacheId::new(2),
+            to: None,
+        };
+        assert_eq!(
+            ev.to_json(),
+            r#"{"ev":"failover","cache":0,"doc":7,"from":2,"to":null}"#
+        );
+        let ev = Event::PeerQuarantined {
+            cache: CacheId::new(0),
+            peer: CacheId::new(2),
+            failures: 3,
+            backoff_ms: 500,
+        };
+        assert_eq!(
+            ev.to_json(),
+            r#"{"ev":"quarantine","cache":0,"peer":2,"failures":3,"backoff_ms":500}"#
+        );
+        let ev = Event::ServerLoopError {
+            cache: CacheId::new(1),
+            server: ServerLoop::Doc,
+            error: "proto",
+        };
+        assert_eq!(
+            ev.to_json(),
+            r#"{"ev":"loop-error","cache":1,"server":"doc","error":"proto"}"#
+        );
+    }
+
+    #[test]
+    fn fault_name_vocabularies() {
+        assert_eq!(FaultOp::Icp.name(), "icp");
+        assert_eq!(FaultOp::Transfer.name(), "transfer");
+        assert_eq!(ServerLoop::Icp.name(), "icp");
+        assert_eq!(ServerLoop::Doc.name(), "doc");
     }
 
     #[test]

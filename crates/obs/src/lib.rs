@@ -48,7 +48,8 @@ mod json;
 mod sink;
 
 pub use event::{
-    age_to_ms, Event, EventKind, EvictionCause, PlacementRole, RequestClass, EVENT_KINDS,
+    age_to_ms, Event, EventKind, EvictionCause, FaultOp, PlacementRole, RequestClass, ServerLoop,
+    EVENT_KINDS,
 };
 pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
 pub use json::{escape_into, JsonWriter};

@@ -30,4 +30,7 @@ cargo test -q --workspace
 echo "== cargo test (paranoid invariant audits)"
 cargo test -q -p coopcache-core --features paranoid
 
+echo "== cargo test (chaos: live cluster under injected faults)"
+cargo test -q --test chaos
+
 echo "All checks passed."

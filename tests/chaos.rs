@@ -1,0 +1,300 @@
+//! Chaos suite: the live cluster under injected peer failures.
+//!
+//! The contract under test is the daemon's fault-tolerance guarantee:
+//! under every fault class — refused/reset connections, truncated
+//! bodies, dropped ICP traffic, a daemon killed mid-run — every client
+//! `request()` still returns `Ok`, with failover visible in the event
+//! stream and repeat offenders quarantined. Fault schedules are seeded,
+//! so a fixed seed reproduces the same run.
+
+use coopcache::net::{ClusterConfig, FaultKind, FaultMode, FaultPlan, LoopbackCluster};
+use coopcache::obs::{EventKind, RingBufferSink};
+use coopcache::prelude::*;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+fn kb(n: u64) -> ByteSize {
+    ByteSize::from_kb(n)
+}
+
+fn d(i: u64) -> DocId {
+    DocId::new(i)
+}
+
+fn c(i: u16) -> CacheId {
+    CacheId::new(i)
+}
+
+/// A cluster with short protocol timeouts so silence-heavy scenarios
+/// stay fast, plus a ring sink capturing the event stream.
+fn chaos_cluster(
+    caches: u16,
+    scheme: PlacementScheme,
+    faults: FaultPlan,
+) -> (LoopbackCluster, Arc<Mutex<RingBufferSink>>) {
+    let config = ClusterConfig::new(caches, kb(64), scheme)
+        .icp_timeout(Duration::from_millis(80))
+        .io_timeout(Duration::from_secs(2))
+        .faults(faults);
+    let mut cluster = LoopbackCluster::start_with_config(config).unwrap();
+    let ring = Arc::new(Mutex::new(RingBufferSink::new(512)));
+    cluster.set_sink(SinkHandle::from_arc(Arc::clone(&ring)));
+    (cluster, ring)
+}
+
+fn kind_count(ring: &Mutex<RingBufferSink>, kind: EventKind) -> usize {
+    ring.lock()
+        .unwrap()
+        .events()
+        .filter(|e| e.kind() == kind)
+        .count()
+}
+
+#[test]
+fn refused_doc_connection_falls_back_to_origin() {
+    // Cache 1 answers ICP but its doc listener drops every connection —
+    // a peer that died between the ICP reply and the fetch.
+    let plan = FaultPlan::seeded(1).rule(c(1), FaultKind::RefuseDoc, FaultMode::Always);
+    let (cluster, ring) = chaos_cluster(2, PlacementScheme::Ea, plan);
+    cluster.request(1, d(5), kb(4)).unwrap(); // warm the doc at cache 1
+
+    let out = cluster.request(0, d(5), kb(4)).unwrap();
+    assert!(
+        matches!(out, RequestOutcome::Miss { .. }),
+        "must fall back to the origin, got {out:?}"
+    );
+    assert_eq!(cluster.origin_fetches(), 2);
+    assert!(kind_count(&ring, EventKind::PeerFault) >= 1);
+    let failovers: Vec<(CacheId, Option<CacheId>)> = ring
+        .lock()
+        .unwrap()
+        .events()
+        .filter_map(|e| match e {
+            Event::Failover { from, to, .. } => Some((*from, *to)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(failovers, vec![(c(1), None)], "one failover, to the origin");
+    cluster.shutdown();
+}
+
+#[test]
+fn second_positive_replier_serves_after_first_fails() {
+    // Ad-hoc replication puts the doc at caches 1 and 2. Cache 1 replies
+    // to ICP first (cache 2's reply is delayed) but refuses the fetch,
+    // so the request must fail over to cache 2 and still be a RemoteHit.
+    let plan = FaultPlan::seeded(2)
+        .rule(c(1), FaultKind::RefuseDoc, FaultMode::Always)
+        .rule(
+            c(2),
+            FaultKind::DelayIcpReply(Duration::from_millis(15)),
+            FaultMode::Always,
+        );
+    let (cluster, ring) = chaos_cluster(3, PlacementScheme::AdHoc, plan);
+    cluster.request(1, d(9), kb(4)).unwrap(); // origin miss, stored at 1
+    cluster.request(2, d(9), kb(4)).unwrap(); // ad-hoc replicates to 2
+
+    let out = cluster.request(0, d(9), kb(4)).unwrap();
+    match out {
+        RequestOutcome::RemoteHit { responder, .. } => {
+            assert_eq!(responder, c(2), "the second replier must serve");
+        }
+        other => panic!("expected a remote hit from cache 2, got {other:?}"),
+    }
+    let saw_handoff = ring.lock().unwrap().events().any(|e| {
+        matches!(
+            e,
+            Event::Failover {
+                from,
+                to: Some(to),
+                ..
+            } if *from == c(1) && *to == c(2)
+        )
+    });
+    assert!(
+        saw_handoff,
+        "failover from cache 1 to cache 2 must be logged"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn killed_peer_is_absorbed_and_quarantined() {
+    // No fault plan: the peer genuinely dies. ICP goes silent and the
+    // doc port refuses; requests keep succeeding via the origin, and
+    // after repeated silence the dead peer is quarantined.
+    let config =
+        ClusterConfig::new(2, kb(64), PlacementScheme::Ea).icp_timeout(Duration::from_millis(80));
+    let mut cluster = LoopbackCluster::start_with_config(config).unwrap();
+    let ring = Arc::new(Mutex::new(RingBufferSink::new(512)));
+    cluster.set_sink(SinkHandle::from_arc(Arc::clone(&ring)));
+    cluster.request(1, d(3), kb(4)).unwrap(); // warm the doc at cache 1
+    cluster.kill(1);
+
+    for i in 0..4 {
+        let out = cluster.request(0, d(10 + i), kb(2)).unwrap();
+        assert!(
+            matches!(out, RequestOutcome::Miss { .. }),
+            "request {i} must be served by the origin, got {out:?}"
+        );
+    }
+    assert!(kind_count(&ring, EventKind::PeerQuarantined) >= 1);
+    assert_eq!(cluster.daemon(0).quarantined_peers(), vec![c(1)]);
+    cluster.shutdown();
+}
+
+#[test]
+fn dropped_icp_queries_degrade_to_origin_misses() {
+    let plan = FaultPlan::seeded(3).rule(c(1), FaultKind::DropIcpQuery, FaultMode::Always);
+    let (cluster, ring) = chaos_cluster(2, PlacementScheme::Ea, plan);
+    cluster.request(1, d(7), kb(4)).unwrap();
+
+    let out = cluster.request(0, d(7), kb(4)).unwrap();
+    assert!(matches!(out, RequestOutcome::Miss { .. }), "{out:?}");
+    assert_eq!(cluster.origin_fetches(), 2);
+    // Silence is a logged health probe failure.
+    let saw_silent = ring
+        .lock()
+        .unwrap()
+        .events()
+        .any(|e| matches!(e, Event::PeerFault { error, .. } if *error == "silent"));
+    assert!(saw_silent, "ICP silence must be recorded as a peer fault");
+    cluster.shutdown();
+}
+
+#[test]
+fn truncated_body_is_absorbed_by_origin_fallback() {
+    let plan = FaultPlan::seeded(4).rule(c(1), FaultKind::TruncateDocBody, FaultMode::Always);
+    let (cluster, ring) = chaos_cluster(2, PlacementScheme::Ea, plan);
+    cluster.request(1, d(11), kb(8)).unwrap();
+
+    let out = cluster.request(0, d(11), kb(8)).unwrap();
+    assert!(matches!(out, RequestOutcome::Miss { .. }), "{out:?}");
+    assert!(kind_count(&ring, EventKind::PeerFault) >= 1);
+    assert!(kind_count(&ring, EventKind::Failover) >= 1);
+    cluster.shutdown();
+}
+
+#[test]
+fn reset_connection_is_absorbed_by_origin_fallback() {
+    let plan = FaultPlan::seeded(5).rule(c(1), FaultKind::ResetDoc, FaultMode::Always);
+    let (cluster, _ring) = chaos_cluster(2, PlacementScheme::Ea, plan);
+    cluster.request(1, d(13), kb(4)).unwrap();
+
+    let out = cluster.request(0, d(13), kb(4)).unwrap();
+    assert!(matches!(out, RequestOutcome::Miss { .. }), "{out:?}");
+    assert_eq!(
+        cluster.origin_fetches(),
+        2,
+        "the fallback reached the origin"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn chaos_run_is_deterministic_for_a_fixed_seed() {
+    // Two identical runs under probabilistic document faults must serve
+    // the same outcome classes and absorb the same number of faults.
+    // The shape is chosen to be timing-free: a single faulty peer (so
+    // candidate order is never an arrival-time race) and quarantine
+    // disabled (its backoff expiry reads the wall clock).
+    let run = |seed: u64| -> (Vec<&'static str>, usize, usize) {
+        let plan = FaultPlan::seeded(seed)
+            .rule(c(1), FaultKind::RefuseDoc, FaultMode::Probability(40))
+            .rule(c(1), FaultKind::ResetDoc, FaultMode::Probability(30));
+        let config = ClusterConfig::new(2, kb(64), PlacementScheme::Ea)
+            .icp_timeout(Duration::from_millis(80))
+            .quarantine_after(0)
+            .faults(plan);
+        let mut cluster = LoopbackCluster::start_with_config(config).unwrap();
+        let ring = Arc::new(Mutex::new(RingBufferSink::new(1024)));
+        cluster.set_sink(SinkHandle::from_arc(Arc::clone(&ring)));
+        for i in 0..6 {
+            cluster.request(1, d(i), kb(2)).unwrap(); // warm six docs at 1
+        }
+        let mut outcomes = Vec::new();
+        for i in 0..30u64 {
+            let out = cluster.request(0, d(i % 6), kb(2)).unwrap();
+            outcomes.push(match out {
+                RequestOutcome::LocalHit => "local",
+                RequestOutcome::RemoteHit { .. } => "remote",
+                RequestOutcome::Miss { .. } => "miss",
+            });
+        }
+        let faults = kind_count(&ring, EventKind::PeerFault);
+        let failovers = kind_count(&ring, EventKind::Failover);
+        cluster.shutdown();
+        (outcomes, faults, failovers)
+    };
+    let first = run(42);
+    let second = run(42);
+    assert_eq!(first, second, "same seed must reproduce the same run");
+    assert!(first.1 > 0, "the schedule must actually inject faults");
+}
+
+#[test]
+fn garbage_connection_logs_loop_error_and_listener_survives() {
+    let config =
+        ClusterConfig::new(2, kb(64), PlacementScheme::Ea).icp_timeout(Duration::from_millis(80));
+    let mut cluster = LoopbackCluster::start_with_config(config).unwrap();
+    let ring = Arc::new(Mutex::new(RingBufferSink::new(64)));
+    cluster.set_sink(SinkHandle::from_arc(Arc::clone(&ring)));
+    cluster.request(0, d(21), kb(4)).unwrap(); // warm the doc at cache 0
+
+    // A client that speaks garbage: an oversized length prefix.
+    {
+        use std::io::Write;
+        let mut stream = std::net::TcpStream::connect(cluster.daemon(0).doc_addr()).unwrap();
+        stream.write_all(&u32::MAX.to_be_bytes()).unwrap();
+        stream.write_all(b"not a frame").unwrap();
+    }
+    // The listener logs the error and keeps serving.
+    let mut polls = 0;
+    while kind_count(&ring, EventKind::ServerLoopError) == 0 {
+        polls += 1;
+        assert!(polls < 400, "server loop error was never logged");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let out = cluster.request(1, d(21), kb(4)).unwrap();
+    assert!(
+        out.is_remote_hit(),
+        "listener must survive garbage: {out:?}"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn quarantined_peer_recovers_after_backoff() {
+    // Cache 1 refuses its first four connections (two requests' worth,
+    // with one retry each), gets quarantined, and after the backoff
+    // expires serves normally again.
+    let plan = FaultPlan::seeded(6).rule(c(1), FaultKind::RefuseDoc, FaultMode::FirstN(4));
+    let config = ClusterConfig::new(2, kb(64), PlacementScheme::Ea)
+        .icp_timeout(Duration::from_millis(80))
+        .quarantine_after(2)
+        .quarantine_base(Duration::from_millis(50))
+        .faults(plan);
+    let mut cluster = LoopbackCluster::start_with_config(config).unwrap();
+    let ring = Arc::new(Mutex::new(RingBufferSink::new(256)));
+    cluster.set_sink(SinkHandle::from_arc(Arc::clone(&ring)));
+    for i in 1..=4 {
+        cluster.request(1, d(i), kb(4)).unwrap(); // warm four docs at cache 1
+    }
+
+    // Two failed fetch attempts (plus retries) trip the quarantine.
+    assert!(!cluster.request(0, d(1), kb(4)).unwrap().is_remote_hit());
+    assert!(!cluster.request(0, d(2), kb(4)).unwrap().is_remote_hit());
+    assert!(kind_count(&ring, EventKind::PeerQuarantined) >= 1);
+    // While benched, the peer is not even consulted.
+    assert_eq!(cluster.daemon(0).quarantined_peers(), vec![c(1)]);
+    assert!(!cluster.request(0, d(3), kb(4)).unwrap().is_remote_hit());
+
+    std::thread::sleep(Duration::from_millis(80)); // past the backoff
+    assert!(cluster.daemon(0).quarantined_peers().is_empty());
+    let out = cluster.request(0, d(4), kb(4)).unwrap();
+    assert!(
+        out.is_remote_hit(),
+        "recovered peer must serve again: {out:?}"
+    );
+    cluster.shutdown();
+}
