@@ -6,7 +6,9 @@ use crate::args::{
 };
 use coopcache_metrics::{pct, Table};
 use coopcache_net::{ClusterConfig, FaultKind, FaultMode, FaultPlan, LoopbackCluster};
-use coopcache_obs::{Event, EventKind, EventSink, HistogramSink, JsonlSink, SinkHandle};
+use coopcache_obs::{
+    parse_json, Event, EventKind, EventSink, HistogramSink, JsonValue, JsonlSink, SinkHandle,
+};
 use coopcache_sim::{capacity_sweep, run, run_with_sink, SimConfig, PAPER_CACHE_SIZES};
 use coopcache_trace::{generate, read_trace, write_trace, Rng, Trace, TraceProfile};
 use coopcache_types::{ByteSize, CacheId, DocId, DurationMs};
@@ -25,8 +27,15 @@ COMMANDS:
                 --seed N                      (default profile seed)
                 --requests N                  (default profile size)
                 --out PATH                    (required)
-    stats     print aggregate statistics of a trace
+    stats     print aggregate statistics of a trace, or scrape a daemon
                 --trace PATH | --profile NAME
+                --addr HOST:PORT              (scrape OP_STATS from a live daemon)
+                --format table|json|prom      (scrape rendering, default table)
+                --timeout-ms N                (scrape timeout, default 2000)
+    trace     assemble span events into per-request trace trees
+                --events PATH                 (required, a JSONL event stream)
+                --id TRACEID | --seq N        (one trace; default: all of them)
+                --times true                  (append start offsets and durations)
     simulate  replay a trace through a cache group
                 --trace PATH | --profile NAME (default small)
                 --aggregate SIZE              (default 10MB)
@@ -48,6 +57,7 @@ COMMANDS:
                 --requests N                  (default 300)
                 --chaos SEED                  (inject a seeded peer-fault mix)
                 --kill-after N                (halt the last daemon mid-run)
+                --events PATH                 (stream events, spans included, as JSONL)
     analyze   characterize a workload (locality, popularity, sharing, MIN bound)
                 --trace PATH | --profile NAME (default small)
                 --aggregate SIZE for the MIN bound (default 10MB)
@@ -68,6 +78,7 @@ pub fn dispatch<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError
     match args.command.as_str() {
         "gen" => cmd_gen(args, out),
         "stats" => cmd_stats(args, out),
+        "trace" => cmd_trace(args, out),
         "simulate" => cmd_simulate(args, out),
         "sweep" => cmd_sweep(args, out),
         "serve" => cmd_serve(args, out),
@@ -131,6 +142,9 @@ fn cmd_gen<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
 }
 
 fn cmd_stats<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
+    if args.get("addr").is_some() {
+        return cmd_stats_scrape(args, out);
+    }
     args.expect_only(&["trace", "profile"])?;
     let trace = load_trace(args)?;
     let s = trace.stats();
@@ -146,6 +160,241 @@ fn cmd_stats<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
         format!("{:.1}", (s.end - s.start).as_secs_f64() / 86_400.0),
     ]);
     write_out(out, table.to_string())
+}
+
+/// The `stats --addr` path: one `OP_STATS` request to a live daemon's
+/// document port, rendered as a table, raw JSON, or Prometheus text.
+fn cmd_stats_scrape<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
+    use std::net::SocketAddr;
+    use std::time::Duration;
+    args.expect_only(&["addr", "format", "timeout-ms"])?;
+    let raw = args.get("addr").expect("checked by cmd_stats");
+    let addr: SocketAddr = raw
+        .parse()
+        .map_err(|e| ArgError(format!("--addr {raw:?}: {e}")))?;
+    let timeout = Duration::from_millis(args.get_or("timeout-ms", 2_000u64)?);
+    let format = args.get("format").unwrap_or("table");
+    if !["table", "json", "prom"].contains(&format) {
+        return Err(ArgError(format!(
+            "unknown format {format:?} (table, json, prom)"
+        )));
+    }
+    let body = coopcache_net::scrape_stats(addr, timeout)
+        .map_err(|e| ArgError(format!("scrape of {addr} failed: {e}")))?;
+    match format {
+        "json" => {
+            write_out(out, &body)?;
+            write_out(out, "\n")
+        }
+        "prom" => write_out(out, stats_prometheus(&body)?),
+        _ => write_out(out, stats_table(&body)?),
+    }
+}
+
+fn parse_stats_body(body: &str) -> Result<JsonValue, ArgError> {
+    parse_json(body).map_err(|e| ArgError(format!("malformed stats body: {e}")))
+}
+
+fn stats_cache_id(v: &JsonValue) -> Result<u64, ArgError> {
+    v.get("cache")
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| ArgError("stats body has no cache id".into()))
+}
+
+/// Renders an `OP_STATS` body as a two-column table: non-zero event
+/// counters, per-source latency quantiles, quarantine and occupancy.
+fn stats_table(body: &str) -> Result<String, ArgError> {
+    let v = parse_stats_body(body)?;
+    let mut table = Table::new(vec!["field", "value"]);
+    table.row(vec!["cache".into(), stats_cache_id(&v)?.to_string()]);
+    if let Some(counters) = v.get("counters").and_then(JsonValue::as_object) {
+        for (kind, n) in counters {
+            let n = n.as_u64().unwrap_or(0);
+            if n > 0 {
+                table.row(vec![format!("events.{kind}"), n.to_string()]);
+            }
+        }
+    }
+    if let Some(latency) = v.get("latency").and_then(JsonValue::as_object) {
+        for (source, snap) in latency {
+            let g = |key: &str| snap.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+            table.row(vec![
+                format!("latency.{source}"),
+                format!(
+                    "p50={}us p99={}us max={}us (n={})",
+                    g("p50_us"),
+                    g("p99_us"),
+                    g("max_us"),
+                    g("count")
+                ),
+            ]);
+        }
+    }
+    let quarantined = v
+        .get("quarantined")
+        .and_then(JsonValue::as_array)
+        .map_or_else(String::new, |ids| {
+            ids.iter()
+                .filter_map(JsonValue::as_u64)
+                .map(|id| id.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        });
+    table.row(vec![
+        "quarantined".into(),
+        if quarantined.is_empty() {
+            "-".into()
+        } else {
+            quarantined
+        },
+    ]);
+    if let Some(occ) = v.get("occupancy") {
+        let g = |key: &str| occ.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+        table.row(vec![
+            "occupancy".into(),
+            format!(
+                "{} docs, {} / {} bytes",
+                g("docs"),
+                g("used_bytes"),
+                g("capacity_bytes")
+            ),
+        ]);
+    }
+    table.row(vec![
+        "expiration age (ms)".into(),
+        v.get("expiration_age_ms")
+            .and_then(JsonValue::as_u64)
+            .map_or("-".into(), |ms| ms.to_string()),
+    ]);
+    Ok(table.to_string())
+}
+
+/// Renders an `OP_STATS` body in the Prometheus text exposition format —
+/// counters keep their zero series so scrapes produce stable label sets.
+fn stats_prometheus(body: &str) -> Result<String, ArgError> {
+    use std::fmt::Write as _;
+    let v = parse_stats_body(body)?;
+    let cache = stats_cache_id(&v)?;
+    let mut out = String::new();
+    out.push_str("# TYPE coopcache_events_total counter\n");
+    if let Some(counters) = v.get("counters").and_then(JsonValue::as_object) {
+        for (kind, n) in counters {
+            let n = n.as_u64().unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "coopcache_events_total{{cache=\"{cache}\",kind=\"{kind}\"}} {n}"
+            );
+        }
+    }
+    out.push_str("# TYPE coopcache_latency_us gauge\n");
+    if let Some(latency) = v.get("latency").and_then(JsonValue::as_object) {
+        for (source, snap) in latency {
+            for stat in ["p50", "p90", "p99", "max"] {
+                let n = snap
+                    .get(&format!("{stat}_us"))
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "coopcache_latency_us{{cache=\"{cache}\",source=\"{source}\",stat=\"{stat}\"}} {n}"
+                );
+            }
+            let n = snap.get("count").and_then(JsonValue::as_u64).unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "coopcache_latency_samples_total{{cache=\"{cache}\",source=\"{source}\"}} {n}"
+            );
+        }
+    }
+    let quarantined = v
+        .get("quarantined")
+        .and_then(JsonValue::as_array)
+        .map_or(0, <[JsonValue]>::len);
+    let _ = writeln!(
+        out,
+        "coopcache_quarantined_peers{{cache=\"{cache}\"}} {quarantined}"
+    );
+    if let Some(occ) = v.get("occupancy") {
+        let g = |key: &str| occ.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "coopcache_cache_docs{{cache=\"{cache}\"}} {}",
+            g("docs")
+        );
+        let _ = writeln!(
+            out,
+            "coopcache_cache_used_bytes{{cache=\"{cache}\"}} {}",
+            g("used_bytes")
+        );
+        let _ = writeln!(
+            out,
+            "coopcache_cache_capacity_bytes{{cache=\"{cache}\"}} {}",
+            g("capacity_bytes")
+        );
+    }
+    if let Some(ms) = v.get("expiration_age_ms").and_then(JsonValue::as_u64) {
+        let _ = writeln!(out, "coopcache_expiration_age_ms{{cache=\"{cache}\"}} {ms}");
+    }
+    Ok(out)
+}
+
+/// Parses a trace id: decimal, or hex with an `0x` prefix (daemon trace
+/// ids embed the cache id in the top bits, so hex is the natural form).
+fn parse_trace_id(raw: &str) -> Result<u64, ArgError> {
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    parsed.map_err(|e| ArgError(format!("--id {raw:?}: {e}")))
+}
+
+fn cmd_trace<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
+    use coopcache_obs::TraceAssembler;
+    args.expect_only(&["events", "id", "seq", "times"])?;
+    let path = args
+        .get("events")
+        .ok_or_else(|| ArgError("trace requires --events PATH".into()))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    let mut assembler = TraceAssembler::new();
+    assembler
+        .observe_jsonl(&text)
+        .map_err(|e| ArgError(format!("{path}: {e}")))?;
+    let with_times = parse_bool("times", args.get("times").unwrap_or("false"))?;
+    match (args.get("id"), args.get("seq")) {
+        (Some(_), Some(_)) => Err(ArgError("pass --id or --seq, not both".into())),
+        (Some(raw), None) => {
+            let id = parse_trace_id(raw)?;
+            let rendered = assembler
+                .render(id, with_times)
+                .ok_or_else(|| ArgError(format!("no trace {raw} in {path}")))?;
+            write_out(out, rendered)
+        }
+        (None, Some(raw)) => {
+            let seq: u64 = raw
+                .parse()
+                .map_err(|e| ArgError(format!("--seq {raw:?}: {e}")))?;
+            let ids = assembler.trace_ids_for_seq(seq);
+            if ids.is_empty() {
+                return Err(ArgError(format!(
+                    "no trace with request seq {seq} in {path}"
+                )));
+            }
+            for id in ids {
+                if let Some(rendered) = assembler.render(id, with_times) {
+                    write_out(out, rendered)?;
+                }
+            }
+            Ok(())
+        }
+        (None, None) => {
+            if assembler.trace_ids().is_empty() {
+                return Err(ArgError(format!("no spans in {path}")));
+            }
+            write_out(out, assembler.render_all(with_times))
+        }
+    }
 }
 
 /// Both optional simulate observers behind one `EventSink`, so a single
@@ -339,6 +588,7 @@ fn cmd_serve<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
         "requests",
         "chaos",
         "kill-after",
+        "events",
     ])?;
     let caches = args.get_or("caches", 3u16)?;
     let capacity = parse_size(args.get("capacity").unwrap_or("128KB"))?;
@@ -366,15 +616,41 @@ fn cmd_serve<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
             .icp_timeout(Duration::from_millis(80));
     }
     let faulty = chaos.is_some() || kill_after.is_some();
+    let events_path = args.get("events");
     let mut cluster = LoopbackCluster::start_with_config(config)
         .map_err(|e| ArgError(format!("cluster start failed: {e}")))?;
-    let hist = Arc::new(Mutex::new(HistogramSink::new()));
-    if faulty {
-        cluster.set_sink(SinkHandle::from_arc(Arc::clone(&hist)));
-    }
+    let sink = if faulty || events_path.is_some() {
+        let jsonl = events_path
+            .map(|path| {
+                let file = std::fs::File::create(path)
+                    .map_err(|e| ArgError(format!("cannot create {path}: {e}")))?;
+                Ok::<_, ArgError>(JsonlSink::new(std::io::BufWriter::new(file)))
+            })
+            .transpose()?;
+        let sink = Arc::new(Mutex::new(SimulateSink {
+            jsonl,
+            summary: Some(HistogramSink::new()),
+        }));
+        cluster.set_sink(SinkHandle::from_arc(Arc::clone(&sink)));
+        Some(sink)
+    } else {
+        None
+    };
     write_out(
         out,
         format!("started {caches} daemons ({capacity} each, {scheme} placement)\n"),
+    )?;
+    write_out(
+        out,
+        format!(
+            "doc endpoints: {}\n",
+            cluster
+                .doc_addrs()
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(" ")
+        ),
     )?;
     if let Some(seed) = chaos {
         write_out(out, format!("chaos on (seed {seed})\n"))?;
@@ -403,23 +679,71 @@ fn cmd_serve<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
             cluster.origin_fetches()
         ),
     )?;
-    if faulty {
-        let agg = hist
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+    // Per-daemon shutdown summary: measured wall-clock latency by serve
+    // source, and whichever peers are still under quarantine.
+    for idx in 0..cluster.len() {
+        let daemon = cluster.daemon(idx);
+        let latency: Vec<String> = daemon
+            .latency_snapshots()
+            .into_iter()
+            .map(|(source, s)| format!("{source} p50={}us p99={}us (n={})", s.p50, s.p99, s.count))
+            .collect();
+        let latency = if latency.is_empty() {
+            "no requests".into()
+        } else {
+            latency.join(", ")
+        };
+        let quarantined = daemon.quarantined_peers();
+        let quarantined = if quarantined.is_empty() {
+            "none".into()
+        } else {
+            quarantined
+                .iter()
+                .map(|id| id.as_u16().to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
         write_out(
             out,
-            format!(
-                "faults absorbed: {} peer faults, {} failovers, {} quarantines, {} loop errors — 0 client errors\n",
-                agg.count(EventKind::PeerFault),
-                agg.count(EventKind::Failover),
-                agg.count(EventKind::PeerQuarantined),
-                agg.count(EventKind::ServerLoopError),
-            ),
+            format!("daemon {idx}: {latency}; quarantined: {quarantined}\n"),
         )?;
     }
+    if faulty {
+        if let Some(sink) = &sink {
+            let agg = sink
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(summary) = &agg.summary {
+                write_out(
+                    out,
+                    format!(
+                        "faults absorbed: {} peer faults, {} failovers, {} quarantines, {} loop errors — 0 client errors\n",
+                        summary.count(EventKind::PeerFault),
+                        summary.count(EventKind::Failover),
+                        summary.count(EventKind::PeerQuarantined),
+                        summary.count(EventKind::ServerLoopError),
+                    ),
+                )?;
+            }
+        }
+    }
     cluster.shutdown();
-    write_out(out, "cluster shut down cleanly\n")
+    write_out(out, "cluster shut down cleanly\n")?;
+    if let Some(sink) = sink {
+        // The daemons are gone, so this is the last handle to the sink.
+        let sink = Arc::try_unwrap(sink)
+            .map_err(|_| ArgError("event sink is still shared after shutdown".into()))?
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(jsonl) = sink.jsonl {
+            let lines = jsonl
+                .finish()
+                .map_err(|e| ArgError(format!("--events write failed: {e}")))?;
+            let path = events_path.expect("jsonl sink implies --events");
+            write_out(out, format!("wrote {lines} events to {path}\n"))?;
+        }
+    }
+    Ok(())
 }
 
 fn cmd_analyze<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
@@ -707,7 +1031,105 @@ mod tests {
     fn serve_runs_a_live_cluster() {
         let text = run_cmd(&["serve", "--caches", "2", "--requests", "50"]).unwrap();
         assert!(text.contains("served 50 requests"));
+        assert!(text.contains("doc endpoints: "));
+        // The shutdown summary surfaces per-source latency and quarantine.
+        assert!(text.contains("daemon 0: local p50="), "{text}");
+        assert!(text.contains("quarantined: none"));
         assert!(text.contains("shut down cleanly"));
+    }
+
+    #[test]
+    fn serve_streams_events_and_trace_renders_them() {
+        let dir = std::env::temp_dir().join("coopcache_cli_serve_trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let path_s = path.to_str().unwrap();
+        let text = run_cmd(&[
+            "serve",
+            "--caches",
+            "2",
+            "--requests",
+            "40",
+            "--events",
+            path_s,
+        ])
+        .unwrap();
+        assert!(text.contains("events to"), "{text}");
+
+        // The full stream assembles into one tree per request.
+        let text = run_cmd(&["trace", "--events", path_s]).unwrap();
+        assert!(text.contains("trace "), "{text}");
+        assert!(text.contains("request"), "{text}");
+        assert!(text.contains("status="), "{text}");
+
+        // Selecting by request seq narrows to the matching trees, and
+        // --times appends offsets.
+        let text = run_cmd(&["trace", "--events", path_s, "--seq", "0"]).unwrap();
+        assert!(text.starts_with("trace "), "{text}");
+        let timed =
+            run_cmd(&["trace", "--events", path_s, "--seq", "0", "--times", "true"]).unwrap();
+        assert!(timed.contains("us"), "{timed}");
+
+        // Selecting the rendered id directly returns the same tree.
+        let first_id = text.split_whitespace().nth(1).unwrap().to_string();
+        let by_id = run_cmd(&["trace", "--events", path_s, "--id", &first_id]).unwrap();
+        assert!(text.starts_with(&by_id), "{text}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn trace_flag_validation() {
+        assert!(run_cmd(&["trace"]).is_err(), "--events required");
+        assert!(run_cmd(&["trace", "--events", "/nonexistent/x"]).is_err());
+        let dir = std::env::temp_dir().join("coopcache_cli_trace_flags");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.jsonl");
+        std::fs::write(&path, "").unwrap();
+        let path_s = path.to_str().unwrap();
+        assert!(run_cmd(&["trace", "--events", path_s]).is_err(), "no spans");
+        assert!(run_cmd(&["trace", "--events", path_s, "--id", "1", "--seq", "1"]).is_err());
+        assert!(run_cmd(&["trace", "--events", path_s, "--id", "zz"]).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stats_scrapes_a_live_daemon() {
+        use coopcache_core::PlacementScheme;
+        let cluster =
+            LoopbackCluster::start(1, ByteSize::from_kb(64), PlacementScheme::Ea).unwrap();
+        cluster
+            .request(0, DocId::new(1), ByteSize::from_kb(1))
+            .unwrap();
+        let addr = cluster.doc_addrs()[0].to_string();
+
+        let table = run_cmd(&["stats", "--addr", &addr]).unwrap();
+        assert!(table.contains("events.request"), "{table}");
+        assert!(table.contains("latency.origin"), "{table}");
+        assert!(table.contains("quarantined"), "{table}");
+
+        let json = run_cmd(&["stats", "--addr", &addr, "--format", "json"]).unwrap();
+        assert!(json.starts_with("{\"cache\":0,"), "{json}");
+
+        let prom = run_cmd(&["stats", "--addr", &addr, "--format", "prom"]).unwrap();
+        assert!(
+            prom.contains("coopcache_events_total{cache=\"0\",kind=\"request\"} 1"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("coopcache_quarantined_peers{cache=\"0\"} 0"),
+            "{prom}"
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn stats_scrape_flag_validation() {
+        assert!(run_cmd(&["stats", "--addr", "not-an-addr"]).is_err());
+        // An unreachable daemon is a clean error, not a hang: port 1 on
+        // localhost is never listening.
+        let e = run_cmd(&["stats", "--addr", "127.0.0.1:1", "--timeout-ms", "200"]).unwrap_err();
+        assert!(e.to_string().contains("scrape of"), "{e}");
+        assert!(run_cmd(&["stats", "--addr", "127.0.0.1:1", "--format", "xml"]).is_err());
     }
 
     #[test]

@@ -257,6 +257,13 @@ impl LoopbackCluster {
         &self.daemons[idx]
     }
 
+    /// Every daemon's document (TCP) endpoint, in cache-id order — the
+    /// addresses `scrape_stats` pulls `OP_STATS` snapshots from.
+    #[must_use]
+    pub fn doc_addrs(&self) -> Vec<std::net::SocketAddr> {
+        self.daemons.iter().map(CacheDaemon::doc_addr).collect()
+    }
+
     /// Kills the daemon at `idx` mid-run: its server threads stop and
     /// its sockets close, so peers see ICP silence and refused document
     /// connections. The daemon handle stays inspectable; requests to a
@@ -328,6 +335,46 @@ mod tests {
             other => panic!("expected remote hit, got {other:?}"),
         }
         assert_eq!(cluster.origin_fetches(), 1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn op_stats_scrape_matches_local_snapshot() {
+        let cluster = LoopbackCluster::start(2, kb(64), PlacementScheme::Ea).unwrap();
+        cluster.request(0, d(3), kb(4)).unwrap(); // miss, stored
+        cluster.request(1, d(3), kb(4)).unwrap(); // remote hit from 0
+        let addrs = cluster.doc_addrs();
+        assert_eq!(addrs.len(), 2);
+        let timeout = Duration::from_secs(2);
+        for (idx, addr) in addrs.iter().enumerate() {
+            let body = crate::scrape_stats(*addr, timeout).unwrap();
+            // The scrape is the daemon's own snapshot, byte for byte.
+            assert_eq!(body, cluster.daemon(idx).stats_json());
+            let doc = coopcache_obs::parse_json(&body).unwrap();
+            assert_eq!(
+                doc.get("cache").and_then(coopcache_obs::JsonValue::as_u64),
+                Some(idx as u64)
+            );
+            let counters = doc.get("counters").unwrap();
+            assert_eq!(
+                counters
+                    .get("request")
+                    .and_then(coopcache_obs::JsonValue::as_u64),
+                Some(1),
+                "each daemon served one client request"
+            );
+            assert!(
+                counters
+                    .get("span")
+                    .and_then(coopcache_obs::JsonValue::as_u64)
+                    .unwrap()
+                    > 0,
+                "spans are counted with no sink installed"
+            );
+        }
+        // The requester's snapshot shows where its request was served.
+        let body = crate::scrape_stats(addrs[1], timeout).unwrap();
+        assert!(body.contains("\"peer:0\""), "{body}");
         cluster.shutdown();
     }
 
@@ -426,20 +473,25 @@ mod tests {
         let ring = Arc::new(Mutex::new(RingBufferSink::new(16)));
         cluster.set_sink(SinkHandle::from_arc(Arc::clone(&ring)));
         cluster.request(1, d(1), kb(4)).unwrap(); // remote hit again
-        let ring = ring.lock().unwrap();
-        let requests: Vec<_> = ring
-            .events()
-            .filter(|e| e.kind() == EventKind::Request)
-            .collect();
-        assert_eq!(requests.len(), 1);
-        match requests[0] {
-            coopcache_obs::Event::Request {
-                class, latency_us, ..
-            } => {
-                assert_eq!(*class, RequestClass::RemoteHit);
-                assert!(latency_us.is_some());
+        {
+            // Server threads emit trailing spans after the client's read
+            // returns, so this guard must drop before `shutdown` joins
+            // them — an emit blocked on it would deadlock the join.
+            let ring = ring.lock().unwrap();
+            let requests: Vec<_> = ring
+                .events()
+                .filter(|e| e.kind() == EventKind::Request)
+                .collect();
+            assert_eq!(requests.len(), 1);
+            match requests[0] {
+                coopcache_obs::Event::Request {
+                    class, latency_us, ..
+                } => {
+                    assert_eq!(*class, RequestClass::RemoteHit);
+                    assert!(latency_us.is_some());
+                }
+                other => panic!("expected request event, got {other:?}"),
             }
-            other => panic!("expected request event, got {other:?}"),
         }
         cluster.shutdown();
     }

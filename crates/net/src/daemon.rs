@@ -34,12 +34,16 @@ use crate::fault::{DocFault, FaultState, IcpFault};
 use crate::origin::{drain_body, fetch_from_origin, write_body};
 use crate::wire::{read_frame, write_frame, WireMessage};
 use coopcache_core::{ExpirationWindow, PlacementScheme, PolicyKind};
-use coopcache_obs::{Event, FaultOp, Histogram, HistogramSnapshot, ServerLoop, SinkHandle};
+use coopcache_obs::{
+    age_to_ms, scoped_id, Event, FaultOp, Histogram, HistogramSnapshot, JsonWriter, ServerLoop,
+    SinkHandle, Span, SpanKind, StatsRegistry, TraceCtx,
+};
 use coopcache_proxy::{IcpQuery, ProxyNode, RequestOutcome};
 use coopcache_types::{ByteSize, CacheId, DocId};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io;
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
@@ -215,19 +219,36 @@ impl PeerFetchError {
 }
 
 /// State shared between the daemon handle and its server threads.
+#[derive(Clone)]
 struct LoopCtx {
     id: CacheId,
     node: Arc<Mutex<ProxyNode>>,
     stop: Arc<AtomicBool>,
     sink: Arc<Mutex<Option<SinkHandle>>>,
     faults: Option<Arc<FaultState>>,
+    clock: SharedClock,
+    /// Always-on live counters behind the `OP_STATS` snapshot.
+    stats: Arc<StatsRegistry>,
+    /// Wall-clock latency histograms, shared with the daemon handle so
+    /// the doc server can serve them over `OP_STATS`.
+    latency: Arc<Mutex<BTreeMap<ServeSource, Histogram>>>,
+    /// Peer health map, shared for the same reason.
+    health: Arc<Mutex<BTreeMap<CacheId, PeerHealth>>>,
+    /// Span id allocator, shared with the daemon handle so client-side
+    /// and server-side spans of one daemon never collide.
+    span_seq: Arc<AtomicU64>,
 }
 
 impl LoopCtx {
     fn emit(&self, event: &Event) {
+        self.stats.record(event.kind());
         if let Some(sink) = lock(&self.sink).as_ref() {
             sink.emit(event);
         }
+    }
+
+    fn next_span(&self) -> u64 {
+        scoped_id(self.id, self.span_seq.fetch_add(1, Ordering::Relaxed) + 1)
     }
 
     fn loop_error(&self, server: ServerLoop, e: &io::Error) {
@@ -255,12 +276,19 @@ pub struct CacheDaemon {
     /// into the node too, so placement and eviction events flow
     /// alongside the daemon's request events.
     sink: Arc<Mutex<Option<SinkHandle>>>,
-    /// Request sequence numbers for the event stream.
+    /// Request sequence numbers for the event stream and trace ids.
     seq: AtomicU64,
+    /// Always-on live counters, served over `OP_STATS`. Shared with the
+    /// server loops and the inner node.
+    stats: Arc<StatsRegistry>,
+    /// Span id allocator shared with the server loops.
+    span_seq: Arc<AtomicU64>,
     /// Measured wall-clock request latency (µs), split by serve source.
-    latency: Mutex<BTreeMap<ServeSource, Histogram>>,
+    /// Shared with the doc server so `OP_STATS` can report it.
+    latency: Arc<Mutex<BTreeMap<ServeSource, Histogram>>>,
     /// Consecutive-failure counts and quarantine state per peer.
-    health: Mutex<BTreeMap<CacheId, PeerHealth>>,
+    /// Shared with the doc server so `OP_STATS` can report it.
+    health: Arc<Mutex<BTreeMap<CacheId, PeerHealth>>>,
 }
 
 impl CacheDaemon {
@@ -301,21 +329,36 @@ impl CacheDaemon {
         )));
         let stop = Arc::new(AtomicBool::new(false));
         let sink: Arc<Mutex<Option<SinkHandle>>> = Arc::new(Mutex::new(None));
+        let stats = Arc::new(StatsRegistry::new());
+        let span_seq = Arc::new(AtomicU64::new(0));
+        let latency: Arc<Mutex<BTreeMap<ServeSource, Histogram>>> =
+            Arc::new(Mutex::new(BTreeMap::new()));
+        let health: Arc<Mutex<BTreeMap<CacheId, PeerHealth>>> =
+            Arc::new(Mutex::new(BTreeMap::new()));
+        // Placement/eviction decisions count into the same registry as
+        // the daemon's own events, with or without a sink.
+        lock(&node).set_stats(Arc::clone(&stats));
         let faults = faults.map(Arc::new);
         let mut threads = Vec::new();
+        let ctx = LoopCtx {
+            id: config.id,
+            node: Arc::clone(&node),
+            stop: Arc::clone(&stop),
+            sink: Arc::clone(&sink),
+            faults,
+            clock: clock.clone(),
+            stats: Arc::clone(&stats),
+            latency: Arc::clone(&latency),
+            health: Arc::clone(&health),
+            span_seq: Arc::clone(&span_seq),
+        };
 
         // ICP responder thread.
         sockets
             .icp
             .set_read_timeout(Some(Duration::from_millis(20)))?;
         {
-            let ctx = LoopCtx {
-                id: config.id,
-                node: Arc::clone(&node),
-                stop: Arc::clone(&stop),
-                sink: Arc::clone(&sink),
-                faults: faults.clone(),
-            };
+            let ctx = ctx.clone();
             let socket = sockets.icp;
             threads.push(
                 std::thread::Builder::new()
@@ -327,20 +370,12 @@ impl CacheDaemon {
         // Document server thread.
         sockets.doc.set_nonblocking(true)?;
         {
-            let ctx = LoopCtx {
-                id: config.id,
-                node: Arc::clone(&node),
-                stop: Arc::clone(&stop),
-                sink: Arc::clone(&sink),
-                faults,
-            };
-            let clock = clock.clone();
             let listener = sockets.doc;
             let io_timeout = config.io_timeout;
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("coopcache-doc-{}", config.id))
-                    .spawn(move || doc_loop(&listener, &ctx, &clock, io_timeout))?,
+                    .spawn(move || doc_loop(&listener, &ctx, io_timeout))?,
             );
         }
 
@@ -356,8 +391,10 @@ impl CacheDaemon {
             threads,
             sink,
             seq: AtomicU64::new(0),
-            latency: Mutex::new(BTreeMap::new()),
-            health: Mutex::new(BTreeMap::new()),
+            stats,
+            span_seq,
+            latency,
+            health,
         })
     }
 
@@ -390,9 +427,41 @@ impl CacheDaemon {
     }
 
     fn emit(&self, event: &Event) {
+        self.stats.record(event.kind());
         if let Some(sink) = lock(&self.sink).as_ref() {
             sink.emit(event);
         }
+    }
+
+    /// Allocates the next span id, scoped to this daemon's cache id so
+    /// ids from different daemons never collide in one trace.
+    fn next_span(&self) -> u64 {
+        scoped_id(
+            self.config.id,
+            self.span_seq.fetch_add(1, Ordering::Relaxed) + 1,
+        )
+    }
+
+    /// Stamps `span` closed at the current clock and emits it.
+    fn close_span(&self, mut span: Span) {
+        span.end_us = self.clock.now_micros();
+        self.emit(&Event::Span(span));
+    }
+
+    /// Deterministic JSON snapshot of this daemon's live state: event
+    /// counters, latency histograms, quarantined peers, cache occupancy
+    /// and the current cache expiration age (paper eq. 5). This is the
+    /// same document the daemon serves over `OP_STATS`.
+    #[must_use]
+    pub fn stats_json(&self) -> String {
+        build_stats_json(
+            self.config.id,
+            &self.stats,
+            &self.latency,
+            &self.health,
+            &self.node,
+            &self.clock,
+        )
     }
 
     /// Snapshot of the wall-clock latency histograms, one per serve
@@ -434,9 +503,13 @@ impl CacheDaemon {
     /// failover to the remaining candidates and finally the origin,
     /// never reported as an error.
     pub fn request(&self, doc: DocId, size: ByteSize) -> io::Result<RequestOutcome> {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let trace = scoped_id(self.config.id, seq);
+        let root = self.next_span();
         let started_us = self.clock.now_micros();
-        let outcome = self.serve(doc, size)?;
-        let latency_us = self.clock.now_micros().saturating_sub(started_us);
+        let outcome = self.serve(doc, size, trace, root)?;
+        let ended_us = self.clock.now_micros();
+        let latency_us = ended_us.saturating_sub(started_us);
         let source = match outcome {
             RequestOutcome::LocalHit => ServeSource::Local,
             RequestOutcome::RemoteHit { responder, .. } => ServeSource::Peer(responder),
@@ -446,23 +519,43 @@ impl CacheDaemon {
             .entry(source)
             .or_default()
             .record(latency_us);
-        if let Some(sink) = lock(&self.sink).clone() {
-            let (class, responder, stored) = outcome.event_parts();
-            sink.emit(&Event::Request {
-                seq: self.seq.fetch_add(1, Ordering::Relaxed),
-                cache: self.config.id,
-                doc,
-                class,
-                responder,
-                stored,
-                latency_us: Some(latency_us),
-            });
-        }
+        let (class, responder, stored) = outcome.event_parts();
+        self.emit(&Event::Span(Span {
+            trace_id: trace,
+            span_id: root,
+            parent: None,
+            cache: self.config.id,
+            kind: SpanKind::Request,
+            doc: Some(doc),
+            peer: None,
+            start_us: started_us,
+            end_us: ended_us,
+            status: class.name(),
+        }));
+        self.emit(&Event::Request {
+            seq,
+            cache: self.config.id,
+            doc,
+            class,
+            responder,
+            stored,
+            latency_us: Some(latency_us),
+        });
         Ok(outcome)
     }
 
-    /// The protocol flow behind [`CacheDaemon::request`].
-    fn serve(&self, doc: DocId, size: ByteSize) -> io::Result<RequestOutcome> {
+    /// The protocol flow behind [`CacheDaemon::request`]. `trace` is the
+    /// request's trace id, `root` its root span: every protocol step
+    /// opens a child span under `root`, and remote steps carry the
+    /// context on the wire so peers attach their server-side spans to
+    /// the same tree.
+    fn serve(
+        &self,
+        doc: DocId,
+        size: ByteSize,
+        trace: u64,
+        root: u64,
+    ) -> io::Result<RequestOutcome> {
         // 1. Local lookup.
         let now = self.clock.now();
         if lock(&self.node).handle_client_lookup(doc, now).is_some() {
@@ -471,20 +564,50 @@ impl CacheDaemon {
 
         // 2. ICP fan-out over UDP: collect every positive replier within
         // the deadline, in arrival order.
-        let candidates = self.icp_candidates(doc)?;
+        let candidates = self.icp_candidates(doc, trace, root)?;
 
         // 3a. Remote fetch with piggybacked expiration ages, failing
         // over through the candidate list.
         for (i, peer) in candidates.iter().enumerate() {
-            match self.fetch_with_retry(*peer, doc) {
+            let span_id = self.next_span();
+            let start_us = self.clock.now_micros();
+            let ctx = TraceCtx {
+                trace_id: trace,
+                parent_span: span_id,
+            };
+            let fetch_span = |status: &'static str| Span {
+                trace_id: trace,
+                span_id,
+                parent: Some(root),
+                cache: self.config.id,
+                kind: SpanKind::PeerFetch,
+                doc: Some(doc),
+                peer: Some(peer.id),
+                start_us,
+                end_us: 0,
+                status,
+            };
+            match self.fetch_with_retry(*peer, doc, ctx) {
                 Ok(Some(outcome)) => {
+                    let stored = matches!(
+                        outcome,
+                        RequestOutcome::RemoteHit {
+                            stored_locally: true,
+                            ..
+                        }
+                    );
+                    self.close_span(fetch_span(if stored { "stored" } else { "declined" }));
                     self.note_peer_ok(peer.id);
                     return Ok(outcome);
                 }
                 // Peer lost the document between ICP and fetch: an
                 // honest answer from a healthy peer — try the next one.
-                Ok(None) => self.note_peer_ok(peer.id),
+                Ok(None) => {
+                    self.close_span(fetch_span("not-found"));
+                    self.note_peer_ok(peer.id);
+                }
                 Err(fault) => {
+                    self.close_span(fetch_span(error_label(&fault.error)));
                     self.emit(&Event::PeerFault {
                         cache: self.config.id,
                         peer: peer.id,
@@ -505,6 +628,8 @@ impl CacheDaemon {
 
         // 3b. Origin fetch; the requester always stores (distributed
         // architecture, paper §4.1).
+        let span_id = self.next_span();
+        let start_us = self.clock.now_micros();
         fetch_from_origin(
             self.origin,
             doc.as_u64(),
@@ -512,6 +637,18 @@ impl CacheDaemon {
             self.config.io_timeout,
         )?;
         let stored = lock(&self.node).complete_origin_fetch(doc, size, self.clock.now());
+        self.close_span(Span {
+            trace_id: trace,
+            span_id,
+            parent: Some(root),
+            cache: self.config.id,
+            kind: SpanKind::OriginFetch,
+            doc: Some(doc),
+            peer: None,
+            start_us,
+            end_us: 0,
+            status: if stored { "stored" } else { "declined" },
+        });
         Ok(RequestOutcome::Miss {
             stored_locally: stored,
             stored_at_ancestor: false,
@@ -523,10 +660,24 @@ impl CacheDaemon {
     ///
     /// Per-peer send failures and ICP silence are health signals, not
     /// request errors; only local socket failures propagate.
-    fn icp_candidates(&self, doc: DocId) -> io::Result<Vec<PeerAddr>> {
+    fn icp_candidates(&self, doc: DocId, trace: u64, root: u64) -> io::Result<Vec<PeerAddr>> {
         if self.peers.is_empty() {
             return Ok(Vec::new());
         }
+        let round = self.next_span();
+        let start_us = self.clock.now_micros();
+        let round_span = |status: &'static str| Span {
+            trace_id: trace,
+            span_id: round,
+            parent: Some(root),
+            cache: self.config.id,
+            kind: SpanKind::IcpRound,
+            doc: Some(doc),
+            peer: None,
+            start_us,
+            end_us: 0,
+            status,
+        };
         let now_us = self.clock.now_micros();
         let targets: Vec<PeerAddr> = self
             .peers
@@ -535,14 +686,21 @@ impl CacheDaemon {
             .filter(|p| !self.is_quarantined(p.id, now_us))
             .collect();
         if targets.is_empty() {
+            self.close_span(round_span("miss"));
             return Ok(Vec::new());
         }
         let socket = UdpSocket::bind("127.0.0.1:0")?;
         socket.set_read_timeout(Some(Duration::from_millis(20)))?;
-        let query = WireMessage::IcpQuery(IcpQuery {
-            from: self.config.id,
-            doc,
-        })
+        let query = WireMessage::IcpQuery {
+            query: IcpQuery {
+                from: self.config.id,
+                doc,
+            },
+            ctx: Some(TraceCtx {
+                trace_id: trace,
+                parent_span: round,
+            }),
+        }
         .encode();
         let mut queried: Vec<CacheId> = Vec::new();
         for peer in &targets {
@@ -600,6 +758,7 @@ impl CacheDaemon {
                 self.note_peer_failure(*id);
             }
         }
+        self.close_span(round_span(if positive.is_empty() { "miss" } else { "hit" }));
         Ok(positive)
     }
 
@@ -609,13 +768,14 @@ impl CacheDaemon {
         &self,
         peer: PeerAddr,
         doc: DocId,
+        ctx: TraceCtx,
     ) -> Result<Option<RequestOutcome>, PeerFetchError> {
-        let mut last = self.fetch_from_peer(peer, doc);
+        let mut last = self.fetch_from_peer(peer, doc, ctx);
         for _ in 0..self.config.peer_retries {
             if last.is_ok() {
                 break;
             }
-            last = self.fetch_from_peer(peer, doc);
+            last = self.fetch_from_peer(peer, doc, ctx);
         }
         last
     }
@@ -626,6 +786,7 @@ impl CacheDaemon {
         &self,
         peer: PeerAddr,
         doc: DocId,
+        ctx: TraceCtx,
     ) -> Result<Option<RequestOutcome>, PeerFetchError> {
         let sent = lock(&self.node).build_http_request(doc);
         let mut stream = TcpStream::connect_timeout(&peer.doc, self.config.io_timeout)
@@ -637,8 +798,14 @@ impl CacheDaemon {
         stream
             .set_write_timeout(Some(self.config.io_timeout))
             .map_err(PeerFetchError::transfer)?;
-        write_frame(&mut stream, &WireMessage::DocRequest(sent))
-            .map_err(PeerFetchError::transfer)?;
+        write_frame(
+            &mut stream,
+            &WireMessage::DocRequest {
+                request: sent,
+                ctx: Some(ctx),
+            },
+        )
+        .map_err(PeerFetchError::transfer)?;
         let decoded = read_frame(&mut stream).map_err(PeerFetchError::transfer)?;
         let WireMessage::DocResponse { response, found } = decoded else {
             return Err(PeerFetchError::transfer(io::Error::new(
@@ -740,7 +907,9 @@ fn icp_loop(socket: &UdpSocket, ctx: &LoopCtx) {
     while !ctx.stop.load(Ordering::Relaxed) {
         match socket.recv_from(&mut buf) {
             Ok((n, from)) => {
-                if let Ok(WireMessage::IcpQuery(query)) = WireMessage::decode(&buf[..n]) {
+                if let Ok(WireMessage::IcpQuery { query, ctx: trace }) =
+                    WireMessage::decode(&buf[..n])
+                {
                     let fault = ctx
                         .faults
                         .as_deref()
@@ -748,7 +917,12 @@ fn icp_loop(socket: &UdpSocket, ctx: &LoopCtx) {
                     if fault == IcpFault::DropQuery {
                         continue; // the query datagram "was lost"
                     }
+                    let start_us = ctx.clock.now_micros();
                     let reply = lock(&ctx.node).handle_icp_query(query);
+                    // The span id is allocated before the (possibly
+                    // delayed) send, so this daemon's id sequence is
+                    // ordered by protocol causality, not by emit races.
+                    let span_id = trace.map(|_| ctx.next_span());
                     match fault {
                         IcpFault::DropReply => {} // the reply "was lost"
                         IcpFault::DelayReply(d) => {
@@ -758,6 +932,20 @@ fn icp_loop(socket: &UdpSocket, ctx: &LoopCtx) {
                         _ => {
                             let _ = socket.send_to(&WireMessage::IcpReply(reply).encode(), from);
                         }
+                    }
+                    if let (Some(t), Some(span_id)) = (trace, span_id) {
+                        ctx.emit(&Event::Span(Span {
+                            trace_id: t.trace_id,
+                            span_id,
+                            parent: Some(t.parent_span),
+                            cache: ctx.id,
+                            kind: SpanKind::IcpHandle,
+                            doc: Some(query.doc),
+                            peer: Some(query.from),
+                            start_us,
+                            end_us: ctx.clock.now_micros(),
+                            status: if reply.hit { "hit" } else { "miss" },
+                        }));
                     }
                 }
             }
@@ -774,7 +962,7 @@ fn icp_loop(socket: &UdpSocket, ctx: &LoopCtx) {
     }
 }
 
-fn doc_loop(listener: &TcpListener, ctx: &LoopCtx, clock: &SharedClock, io_timeout: Duration) {
+fn doc_loop(listener: &TcpListener, ctx: &LoopCtx, io_timeout: Duration) {
     while !ctx.stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((mut stream, _)) => {
@@ -782,13 +970,16 @@ fn doc_loop(listener: &TcpListener, ctx: &LoopCtx, clock: &SharedClock, io_timeo
                     .faults
                     .as_deref()
                     .map_or(DocFault::None, FaultState::doc_fault);
-                if fault == DocFault::Refuse {
-                    continue; // close before reading: died between ICP and fetch
-                }
                 let _ = stream.set_nodelay(true);
                 let _ = stream.set_read_timeout(Some(io_timeout));
                 let _ = stream.set_write_timeout(Some(io_timeout));
-                if let Err(e) = serve_doc(&mut stream, &ctx.node, clock, fault) {
+                // A stats probe shares the doc port and is answered even
+                // on a refuse-rigged daemon; peeking (not reading) keeps
+                // the refused document fetch dying with its frame unread.
+                if fault == DocFault::Refuse && !crate::wire::frame_is_stats_probe(&stream) {
+                    continue; // close before reading: died between ICP and fetch
+                }
+                if let Err(e) = serve_doc(&mut stream, ctx, fault) {
                     // A misbehaving client connection is logged and the
                     // listener keeps serving.
                     ctx.loop_error(ServerLoop::Doc, &e);
@@ -805,26 +996,55 @@ fn doc_loop(listener: &TcpListener, ctx: &LoopCtx, clock: &SharedClock, io_timeo
     }
 }
 
-fn serve_doc(
-    stream: &mut TcpStream,
-    node: &Mutex<ProxyNode>,
-    clock: &SharedClock,
-    fault: DocFault,
-) -> io::Result<()> {
-    let decoded = read_frame(stream)?;
-    let WireMessage::DocRequest(request) = decoded else {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "expected a document request",
-        ));
+fn serve_doc(stream: &mut TcpStream, ctx: &LoopCtx, fault: DocFault) -> io::Result<()> {
+    let start_us = ctx.clock.now_micros();
+    let (request, trace) = match read_frame(stream)? {
+        // A stats scrape shares the doc port; it is answered even on a
+        // fault-injected daemon — observability must survive chaos.
+        WireMessage::StatsRequest => {
+            let body = build_stats_json(
+                ctx.id,
+                &ctx.stats,
+                &ctx.latency,
+                &ctx.health,
+                &ctx.node,
+                &ctx.clock,
+            );
+            write_frame(
+                stream,
+                &WireMessage::StatsResponse {
+                    cache: ctx.id,
+                    body_len: u64::try_from(body.len()).unwrap_or(u64::MAX),
+                },
+            )?;
+            return stream.write_all(body.as_bytes());
+        }
+        WireMessage::DocRequest {
+            request,
+            ctx: trace,
+        } => (request, trace),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "expected a document request",
+            ))
+        }
     };
     if fault == DocFault::Reset {
         return Ok(()); // drop the connection after reading: crash mid-exchange
     }
-    let (response, found) = {
-        let mut node = lock(node);
-        match node.handle_http_request(request, clock.now()) {
-            Some(response) => (response, true),
+    let span_id = trace.map(|_| ctx.next_span());
+    let (response, found, promoted) = {
+        let mut node = lock(&ctx.node);
+        let scheme = node.scheme();
+        match node.handle_http_request(request, ctx.clock.now()) {
+            Some(response) => {
+                // Mirror of the responder-side promote rule (paper §3.5)
+                // the node just applied, recomputed for the span status.
+                let promoted =
+                    scheme.responder_promotes(response.responder_age, request.requester_age);
+                (response, true, promoted)
+            }
             None => (
                 coopcache_proxy::HttpResponse {
                     from: node.id(),
@@ -832,6 +1052,7 @@ fn serve_doc(
                     size: ByteSize::ZERO,
                     responder_age: node.expiration_age(),
                 },
+                false,
                 false,
             ),
         }
@@ -846,5 +1067,103 @@ fn serve_doc(
         };
         write_body(stream, len)?;
     }
+    if let (Some(t), Some(span_id)) = (trace, span_id) {
+        let status = if !found {
+            "not-found"
+        } else if promoted {
+            "promoted"
+        } else {
+            "kept"
+        };
+        ctx.emit(&Event::Span(Span {
+            trace_id: t.trace_id,
+            span_id,
+            parent: Some(t.parent_span),
+            cache: ctx.id,
+            kind: SpanKind::DocServe,
+            doc: Some(request.doc),
+            peer: Some(request.from),
+            start_us,
+            end_us: ctx.clock.now_micros(),
+            status,
+        }));
+    }
     Ok(())
+}
+
+/// Builds the deterministic JSON document behind `OP_STATS`: per-kind
+/// event counters (zeros included, [`coopcache_obs::EVENT_KINDS`]
+/// order), wall-clock
+/// latency snapshots per serve source, currently quarantined peers,
+/// cache occupancy, and the live cache expiration age (paper eq. 5,
+/// `null` while the cache still reports an infinite age).
+fn build_stats_json(
+    cache: CacheId,
+    stats: &StatsRegistry,
+    latency: &Mutex<BTreeMap<ServeSource, Histogram>>,
+    health: &Mutex<BTreeMap<CacheId, PeerHealth>>,
+    node: &Mutex<ProxyNode>,
+    clock: &SharedClock,
+) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("cache");
+    w.u64(u64::from(cache.as_u16()));
+    w.key("counters");
+    stats.write_counters(&mut w);
+    w.key("latency");
+    w.begin_object();
+    for (source, hist) in lock(latency).iter() {
+        let s = hist.snapshot();
+        w.key(&source.to_string());
+        w.begin_object();
+        w.key("count");
+        w.u64(s.count);
+        w.key("mean_us");
+        w.f64(s.mean);
+        w.key("min_us");
+        w.u64(s.min);
+        w.key("p50_us");
+        w.u64(s.p50);
+        w.key("p90_us");
+        w.u64(s.p90);
+        w.key("p99_us");
+        w.u64(s.p99);
+        w.key("max_us");
+        w.u64(s.max);
+        w.end_object();
+    }
+    w.end_object();
+    w.key("quarantined");
+    w.begin_array();
+    let now_us = clock.now_micros();
+    for (id, h) in lock(health).iter() {
+        if now_us < h.quarantined_until_us {
+            w.u64(u64::from(id.as_u16()));
+        }
+    }
+    w.end_array();
+    let (docs, used, capacity, age_ms) = {
+        let node = lock(node);
+        let cache = node.cache();
+        (
+            u64::try_from(cache.len()).unwrap_or(u64::MAX),
+            cache.used().as_bytes(),
+            cache.capacity().as_bytes(),
+            age_to_ms(node.expiration_age()),
+        )
+    };
+    w.key("occupancy");
+    w.begin_object();
+    w.key("docs");
+    w.u64(docs);
+    w.key("used_bytes");
+    w.u64(used);
+    w.key("capacity_bytes");
+    w.u64(capacity);
+    w.end_object();
+    w.key("expiration_age_ms");
+    w.opt_u64(age_ms);
+    w.end_object();
+    w.finish()
 }

@@ -38,6 +38,7 @@ mod cluster;
 mod daemon;
 mod fault;
 mod origin;
+mod stats;
 mod wire;
 
 pub use clock::SharedClock;
@@ -45,4 +46,5 @@ pub use cluster::{ClusterConfig, LoopbackCluster};
 pub use daemon::{BoundSockets, CacheDaemon, DaemonConfig, PeerAddr, ServeSource};
 pub use fault::{FaultKind, FaultMode, FaultPlan, FaultRule};
 pub use origin::OriginServer;
-pub use wire::{DecodeError, WireMessage, MAGIC, MAX_FRAME_LEN};
+pub use stats::{scrape_stats, MAX_STATS_BODY};
+pub use wire::{DecodeError, WireMessage, FRAME_V2, MAGIC, MAX_FRAME_LEN};

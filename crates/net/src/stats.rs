@@ -1,0 +1,49 @@
+//! Client side of the `OP_STATS` live-stats plane.
+//!
+//! Any daemon's document (TCP) endpoint answers a [`WireMessage::StatsRequest`]
+//! with a [`WireMessage::StatsResponse`] header frame followed by a raw
+//! JSON body — the same deterministic document
+//! [`CacheDaemon::stats_json`](crate::CacheDaemon::stats_json) builds
+//! locally. [`scrape_stats`] is the one-shot client the `coopcache
+//! stats` subcommand (and tests) use to pull that snapshot off a live
+//! cluster without disturbing its request path.
+
+use crate::wire::{read_frame, write_frame, WireMessage};
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Upper bound on an `OP_STATS` body: a snapshot is a few kilobytes, so
+/// anything approaching a megabyte is a corrupt or hostile length.
+pub const MAX_STATS_BODY: u64 = 1 << 20;
+
+/// Scrapes one live-stats snapshot from the daemon whose *document*
+/// endpoint is `addr`, returning the JSON body.
+///
+/// # Errors
+///
+/// Propagates connect/read/write failures; a non-stats reply or an
+/// oversized body surfaces as [`io::ErrorKind::InvalidData`].
+pub fn scrape_stats(addr: SocketAddr, timeout: Duration) -> io::Result<String> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    write_frame(&mut stream, &WireMessage::StatsRequest)?;
+    let WireMessage::StatsResponse { body_len, .. } = read_frame(&mut stream)? else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "expected a stats response",
+        ));
+    };
+    if body_len > MAX_STATS_BODY {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "oversized stats body",
+        ));
+    }
+    let mut body = vec![0u8; usize::try_from(body_len).unwrap_or(0)];
+    stream.read_exact(&mut body)?;
+    String::from_utf8(body)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "stats body is not UTF-8"))
+}

@@ -6,14 +6,30 @@
 //!
 //! * **ICP datagrams** — fixed-size, one per UDP packet;
 //! * **TCP messages** — a length-prefixed header, followed (for document
-//!   responses) by `size` bytes of body streamed on the same connection.
+//!   responses) by `size` bytes of body streamed on the same connection,
+//!   and (for stats responses) by `body_len` bytes of JSON.
 //!
 //! The cache expiration age rides in every document request and response,
-//! exactly as the EA scheme piggybacks it on HTTP messages.
+//! exactly as the EA scheme piggybacks it on HTTP messages; since v2 the
+//! requester's [`TraceCtx`] rides the same way on queries and requests,
+//! so remote daemons can attach their spans to the requester's trace.
+//!
+//! # Versioning
+//!
+//! The original (v1) layout was `MAGIC, opcode, fields` with opcodes
+//! `1..=4`. v2 inserts a version byte after the magic — chosen outside
+//! the v1 opcode range, so the byte position disambiguates the two
+//! layouts — and appends the optional trace context to queries and
+//! requests. Decoding accepts both: a v1 frame from an old daemon parses
+//! with no trace context, a v2 frame with the context tag `0` parses the
+//! same way, and any other version byte is a typed
+//! [`DecodeError::UnsupportedVersion`] so future bumps fail loudly
+//! instead of being misparsed.
 //!
 //! The codec is hand-rolled over `Vec<u8>` / slice cursors (big-endian
 //! fields) — the workspace is dependency-free by construction.
 
+use coopcache_obs::TraceCtx;
 use coopcache_proxy::{HttpRequest, HttpResponse, IcpQuery, IcpReply};
 use coopcache_types::{ByteSize, CacheId, DocId, DurationMs, ExpirationAge};
 use std::fmt;
@@ -22,8 +38,13 @@ use std::io::{self, Read, Write};
 /// Protocol magic prepended to every TCP header.
 pub const MAGIC: u16 = 0xCA5E;
 
+/// Version byte of the current frame layout. Deliberately outside the
+/// legacy opcode range `1..=4`: the byte after the magic is an opcode in
+/// a v1 frame and a version tag from v2 on.
+pub const FRAME_V2: u8 = 0xC2;
+
 /// Upper bound on a length-prefixed TCP header frame. Real headers are
-/// ~40 bytes; the cap keeps a malicious or corrupted length field from
+/// ~60 bytes; the cap keeps a malicious or corrupted length field from
 /// forcing a giant allocation. Both directions of the document protocol
 /// enforce it through [`read_frame`], so the client and server paths
 /// cannot drift apart.
@@ -63,13 +84,46 @@ pub fn read_frame<R: Read>(reader: &mut R) -> io::Result<WireMessage> {
     WireMessage::decode(&header).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
+/// Peeks at an accepted doc-port connection — without consuming any
+/// bytes — to check whether its first frame is an `OP_STATS` probe.
+/// A refuse-rigged daemon uses this to keep serving stats scrapes
+/// while document fetches still see the connection die unread
+/// (observability must survive chaos). The client's length prefix and
+/// header are written separately and can land in different segments,
+/// so short peeks wait briefly for the rest; on timeout or error the
+/// connection is treated as a document fetch.
+pub(crate) fn frame_is_stats_probe(stream: &std::net::TcpStream) -> bool {
+    // length prefix (4) + magic (2) + version (1) + opcode (1)
+    let mut buf = [0u8; 8];
+    for _ in 0..50 {
+        match stream.peek(&mut buf) {
+            Ok(n) if n >= buf.len() => {
+                return buf[4..6] == MAGIC.to_be_bytes()
+                    && buf[6] == FRAME_V2
+                    && buf[7] == OP_STATS_REQUEST;
+            }
+            Ok(0) => return false, // closed without writing a frame
+            Ok(_) => std::thread::sleep(std::time::Duration::from_millis(1)),
+            Err(_) => return false,
+        }
+    }
+    false
+}
+
 const OP_ICP_QUERY: u8 = 1;
 const OP_ICP_REPLY: u8 = 2;
 const OP_DOC_REQUEST: u8 = 3;
 const OP_DOC_RESPONSE: u8 = 4;
+/// v2-only: ask a daemon's doc port for its live stats snapshot.
+const OP_STATS_REQUEST: u8 = 5;
+/// v2-only: stats snapshot header; `body_len` bytes of JSON follow.
+const OP_STATS_RESPONSE: u8 = 6;
 
 const AGE_INFINITE: u8 = 0;
 const AGE_FINITE: u8 = 1;
+
+const CTX_ABSENT: u8 = 0;
+const CTX_PRESENT: u8 = 1;
 
 /// Error decoding a wire message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,6 +132,9 @@ pub enum DecodeError {
     Truncated,
     /// Unknown opcode or malformed field.
     Malformed(&'static str),
+    /// A well-formed magic followed by a version byte this build does
+    /// not speak (neither a legacy v1 opcode nor [`FRAME_V2`]).
+    UnsupportedVersion(u8),
 }
 
 impl fmt::Display for DecodeError {
@@ -85,6 +142,7 @@ impl fmt::Display for DecodeError {
         match self {
             Self::Truncated => f.write_str("truncated wire message"),
             Self::Malformed(what) => write!(f, "malformed wire message: {what}"),
+            Self::UnsupportedVersion(v) => write!(f, "unsupported frame version {v:#04x}"),
         }
     }
 }
@@ -163,15 +221,49 @@ fn get_age(buf: &mut Cursor<'_>) -> Result<ExpirationAge, DecodeError> {
     }
 }
 
+fn put_ctx(buf: &mut Vec<u8>, ctx: Option<TraceCtx>) {
+    match ctx {
+        None => put_u8(buf, CTX_ABSENT),
+        Some(ctx) => {
+            put_u8(buf, CTX_PRESENT);
+            put_u64(buf, ctx.trace_id);
+            put_u64(buf, ctx.parent_span);
+        }
+    }
+}
+
+fn get_ctx(buf: &mut Cursor<'_>) -> Result<Option<TraceCtx>, DecodeError> {
+    match buf.get_u8()? {
+        CTX_ABSENT => Ok(None),
+        CTX_PRESENT => Ok(Some(TraceCtx {
+            trace_id: buf.get_u64()?,
+            parent_span: buf.get_u64()?,
+        })),
+        _ => Err(DecodeError::Malformed("unknown trace-context tag")),
+    }
+}
+
 /// A message of the inter-proxy protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireMessage {
-    /// ICP query (UDP).
-    IcpQuery(IcpQuery),
+    /// ICP query (UDP), optionally carrying the requester's trace
+    /// context (absent on frames from pre-tracing daemons).
+    IcpQuery {
+        /// The query itself.
+        query: IcpQuery,
+        /// The requester's trace context, if it traces.
+        ctx: Option<TraceCtx>,
+    },
     /// ICP reply (UDP).
     IcpReply(IcpReply),
-    /// Document request (TCP), carrying the requester's expiration age.
-    DocRequest(HttpRequest),
+    /// Document request (TCP), carrying the requester's expiration age
+    /// and optionally its trace context.
+    DocRequest {
+        /// The request itself.
+        request: HttpRequest,
+        /// The requester's trace context, if it traces.
+        ctx: Option<TraceCtx>,
+    },
     /// Document response header (TCP). `found == false` means the
     /// document vanished between ICP and fetch; no body follows.
     DocResponse {
@@ -180,19 +272,33 @@ pub enum WireMessage {
         /// Whether the document was present and a body follows.
         found: bool,
     },
+    /// Live stats request (TCP, v2 only): ask the daemon behind this
+    /// doc port for its `OP_STATS` snapshot.
+    StatsRequest,
+    /// Live stats response header (TCP, v2 only); `body_len` bytes of
+    /// deterministic JSON follow on the same connection.
+    StatsResponse {
+        /// The responding daemon.
+        cache: CacheId,
+        /// Length of the JSON body that follows.
+        body_len: u64,
+    },
 }
 
 impl WireMessage {
-    /// Encodes the message (header only — bodies are streamed separately).
+    /// Encodes the message in the current (v2) layout (header only —
+    /// bodies are streamed separately).
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(40);
+        let mut buf = Vec::with_capacity(64);
         put_u16(&mut buf, MAGIC);
+        put_u8(&mut buf, FRAME_V2);
         match self {
-            Self::IcpQuery(q) => {
+            Self::IcpQuery { query, ctx } => {
                 put_u8(&mut buf, OP_ICP_QUERY);
-                put_u16(&mut buf, q.from.as_u16());
-                put_u64(&mut buf, q.doc.as_u64());
+                put_u16(&mut buf, query.from.as_u16());
+                put_u64(&mut buf, query.doc.as_u64());
+                put_ctx(&mut buf, *ctx);
             }
             Self::IcpReply(r) => {
                 put_u8(&mut buf, OP_ICP_REPLY);
@@ -200,11 +306,12 @@ impl WireMessage {
                 put_u64(&mut buf, r.doc.as_u64());
                 put_u8(&mut buf, u8::from(r.hit));
             }
-            Self::DocRequest(req) => {
+            Self::DocRequest { request, ctx } => {
                 put_u8(&mut buf, OP_DOC_REQUEST);
-                put_u16(&mut buf, req.from.as_u16());
-                put_u64(&mut buf, req.doc.as_u64());
-                put_age(&mut buf, req.requester_age);
+                put_u16(&mut buf, request.from.as_u16());
+                put_u64(&mut buf, request.doc.as_u64());
+                put_age(&mut buf, request.requester_age);
+                put_ctx(&mut buf, *ctx);
             }
             Self::DocResponse { response, found } => {
                 put_u8(&mut buf, OP_DOC_RESPONSE);
@@ -214,41 +321,100 @@ impl WireMessage {
                 put_age(&mut buf, response.responder_age);
                 put_u8(&mut buf, u8::from(*found));
             }
+            Self::StatsRequest => {
+                put_u8(&mut buf, OP_STATS_REQUEST);
+            }
+            Self::StatsResponse { cache, body_len } => {
+                put_u8(&mut buf, OP_STATS_RESPONSE);
+                put_u16(&mut buf, cache.as_u16());
+                put_u64(&mut buf, *body_len);
+            }
         }
         buf
     }
 
-    /// Decodes a message from a byte slice.
+    /// Encodes the message in the legacy (v1) layout a pre-tracing
+    /// daemon understands: no version byte, no trace context. Returns
+    /// `None` for the v2-only stats messages, which have no v1 form.
+    #[must_use]
+    pub fn encode_legacy(&self) -> Option<Vec<u8>> {
+        let mut buf = Vec::with_capacity(40);
+        put_u16(&mut buf, MAGIC);
+        match self {
+            Self::IcpQuery { query, .. } => {
+                put_u8(&mut buf, OP_ICP_QUERY);
+                put_u16(&mut buf, query.from.as_u16());
+                put_u64(&mut buf, query.doc.as_u64());
+            }
+            Self::IcpReply(r) => {
+                put_u8(&mut buf, OP_ICP_REPLY);
+                put_u16(&mut buf, r.from.as_u16());
+                put_u64(&mut buf, r.doc.as_u64());
+                put_u8(&mut buf, u8::from(r.hit));
+            }
+            Self::DocRequest { request, .. } => {
+                put_u8(&mut buf, OP_DOC_REQUEST);
+                put_u16(&mut buf, request.from.as_u16());
+                put_u64(&mut buf, request.doc.as_u64());
+                put_age(&mut buf, request.requester_age);
+            }
+            Self::DocResponse { response, found } => {
+                put_u8(&mut buf, OP_DOC_RESPONSE);
+                put_u16(&mut buf, response.from.as_u16());
+                put_u64(&mut buf, response.doc.as_u64());
+                put_u64(&mut buf, response.size.as_bytes());
+                put_age(&mut buf, response.responder_age);
+                put_u8(&mut buf, u8::from(*found));
+            }
+            Self::StatsRequest | Self::StatsResponse { .. } => return None,
+        }
+        Some(buf)
+    }
+
+    /// Decodes a message from a byte slice, accepting both the legacy
+    /// v1 layout (trace context absent) and the v2 layout.
     ///
     /// # Errors
     ///
     /// Returns [`DecodeError`] on short input, a bad magic, an unknown
-    /// opcode, or a malformed field.
+    /// version byte, an unknown opcode, or a malformed field.
     pub fn decode(data: &[u8]) -> Result<Self, DecodeError> {
         let buf = &mut Cursor::new(data);
         if buf.get_u16()? != MAGIC {
             return Err(DecodeError::Malformed("bad magic"));
         }
-        let op = buf.get_u8()?;
+        // v1 frames carry an opcode (1..=4) where v2 and later carry a
+        // version byte chosen outside that range.
+        let first = buf.get_u8()?;
+        let (op, versioned) = if (OP_ICP_QUERY..=OP_DOC_RESPONSE).contains(&first) {
+            (first, false)
+        } else if first == FRAME_V2 {
+            (buf.get_u8()?, true)
+        } else {
+            return Err(DecodeError::UnsupportedVersion(first));
+        };
         match op {
-            OP_ICP_QUERY => Ok(Self::IcpQuery(IcpQuery {
-                from: CacheId::new(buf.get_u16()?),
-                doc: DocId::new(buf.get_u64()?),
-            })),
+            OP_ICP_QUERY => {
+                let query = IcpQuery {
+                    from: CacheId::new(buf.get_u16()?),
+                    doc: DocId::new(buf.get_u64()?),
+                };
+                let ctx = if versioned { get_ctx(buf)? } else { None };
+                Ok(Self::IcpQuery { query, ctx })
+            }
             OP_ICP_REPLY => Ok(Self::IcpReply(IcpReply {
                 from: CacheId::new(buf.get_u16()?),
                 doc: DocId::new(buf.get_u64()?),
                 hit: buf.get_u8()? != 0,
             })),
             OP_DOC_REQUEST => {
-                let from = CacheId::new(buf.get_u16()?);
-                let doc = DocId::new(buf.get_u64()?);
-                let requester_age = get_age(buf)?;
-                Ok(Self::DocRequest(HttpRequest {
-                    from,
-                    doc,
-                    requester_age,
-                }))
+                let request = HttpRequest {
+                    from: CacheId::new(buf.get_u16()?),
+                    doc: DocId::new(buf.get_u64()?),
+                    requester_age: get_age(buf)?,
+                };
+                let ctx = if versioned { get_ctx(buf)? } else { None };
+                Ok(Self::DocRequest { request, ctx })
             }
             OP_DOC_RESPONSE => {
                 let from = CacheId::new(buf.get_u16()?);
@@ -266,6 +432,11 @@ impl WireMessage {
                     found,
                 })
             }
+            OP_STATS_REQUEST => Ok(Self::StatsRequest),
+            OP_STATS_RESPONSE => Ok(Self::StatsResponse {
+                cache: CacheId::new(buf.get_u16()?),
+                body_len: buf.get_u64()?,
+            }),
             _ => Err(DecodeError::Malformed("unknown opcode")),
         }
     }
@@ -283,13 +454,28 @@ mod tests {
         ]
     }
 
+    fn ctxs() -> [Option<TraceCtx>; 2] {
+        [
+            None,
+            Some(TraceCtx {
+                trace_id: (7 << 48) | 3,
+                parent_span: u64::MAX,
+            }),
+        ]
+    }
+
     #[test]
     fn icp_query_roundtrip() {
-        let msg = WireMessage::IcpQuery(IcpQuery {
-            from: CacheId::new(7),
-            doc: DocId::new(u64::MAX),
-        });
-        assert_eq!(WireMessage::decode(&msg.encode()).unwrap(), msg);
+        for ctx in ctxs() {
+            let msg = WireMessage::IcpQuery {
+                query: IcpQuery {
+                    from: CacheId::new(7),
+                    doc: DocId::new(u64::MAX),
+                },
+                ctx,
+            };
+            assert_eq!(WireMessage::decode(&msg.encode()).unwrap(), msg);
+        }
     }
 
     #[test]
@@ -307,12 +493,17 @@ mod tests {
     #[test]
     fn doc_request_roundtrip_all_ages() {
         for age in ages() {
-            let msg = WireMessage::DocRequest(HttpRequest {
-                from: CacheId::new(3),
-                doc: DocId::new(9),
-                requester_age: age,
-            });
-            assert_eq!(WireMessage::decode(&msg.encode()).unwrap(), msg);
+            for ctx in ctxs() {
+                let msg = WireMessage::DocRequest {
+                    request: HttpRequest {
+                        from: CacheId::new(3),
+                        doc: DocId::new(9),
+                        requester_age: age,
+                    },
+                    ctx,
+                };
+                assert_eq!(WireMessage::decode(&msg.encode()).unwrap(), msg);
+            }
         }
     }
 
@@ -335,11 +526,74 @@ mod tests {
     }
 
     #[test]
+    fn stats_messages_roundtrip() {
+        let msg = WireMessage::StatsRequest;
+        assert_eq!(WireMessage::decode(&msg.encode()).unwrap(), msg);
+        let msg = WireMessage::StatsResponse {
+            cache: CacheId::new(9),
+            body_len: 4096,
+        };
+        assert_eq!(WireMessage::decode(&msg.encode()).unwrap(), msg);
+        // v2-only messages have no legacy form.
+        assert_eq!(msg.encode_legacy(), None);
+        assert_eq!(WireMessage::StatsRequest.encode_legacy(), None);
+    }
+
+    #[test]
+    fn legacy_frames_decode_with_ctx_absent() {
+        // A v1 daemon's frames must still parse, with no trace context;
+        // equally, v2 frames with ctx tag 0 parse to the same message.
+        let msg = WireMessage::IcpQuery {
+            query: IcpQuery {
+                from: CacheId::new(2),
+                doc: DocId::new(11),
+            },
+            ctx: Some(TraceCtx {
+                trace_id: 5,
+                parent_span: 6,
+            }),
+        };
+        let legacy = msg.encode_legacy().expect("v1 form exists");
+        let decoded = WireMessage::decode(&legacy).unwrap();
+        assert_eq!(
+            decoded,
+            WireMessage::IcpQuery {
+                query: IcpQuery {
+                    from: CacheId::new(2),
+                    doc: DocId::new(11),
+                },
+                ctx: None,
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_version_byte_is_typed_error() {
+        for version in [0u8, 7, 0xC3, 0xFF] {
+            let mut bytes = Vec::new();
+            put_u16(&mut bytes, MAGIC);
+            put_u8(&mut bytes, version);
+            put_u64(&mut bytes, 0);
+            assert_eq!(
+                WireMessage::decode(&bytes).unwrap_err(),
+                DecodeError::UnsupportedVersion(version),
+                "version byte {version:#04x}"
+            );
+        }
+    }
+
+    #[test]
     fn truncated_inputs_rejected() {
-        let msg = WireMessage::IcpQuery(IcpQuery {
-            from: CacheId::new(1),
-            doc: DocId::new(2),
-        });
+        let msg = WireMessage::IcpQuery {
+            query: IcpQuery {
+                from: CacheId::new(1),
+                doc: DocId::new(2),
+            },
+            ctx: Some(TraceCtx {
+                trace_id: 3,
+                parent_span: 4,
+            }),
+        };
         let bytes = msg.encode();
         for cut in 0..bytes.len() {
             assert!(
@@ -355,31 +609,48 @@ mod tests {
         assert_eq!(err, DecodeError::Malformed("bad magic"));
         let mut bytes = Vec::new();
         put_u16(&mut bytes, MAGIC);
-        put_u8(&mut bytes, 99);
+        put_u8(&mut bytes, FRAME_V2);
+        put_u8(&mut bytes, 99); // valid version, bogus opcode
         let err = WireMessage::decode(&bytes).unwrap_err();
         assert_eq!(err, DecodeError::Malformed("unknown opcode"));
     }
 
     #[test]
-    fn bad_age_tag_rejected() {
+    fn bad_age_and_ctx_tags_rejected() {
         let mut bytes = Vec::new();
         put_u16(&mut bytes, MAGIC);
-        put_u8(&mut bytes, OP_DOC_REQUEST);
+        put_u8(&mut bytes, OP_DOC_REQUEST); // legacy layout
         put_u16(&mut bytes, 1);
         put_u64(&mut bytes, 2);
         put_u8(&mut bytes, 7); // bogus age tag
         put_u64(&mut bytes, 0);
         let err = WireMessage::decode(&bytes).unwrap_err();
         assert_eq!(err, DecodeError::Malformed("unknown expiration-age tag"));
+
+        let mut bytes = Vec::new();
+        put_u16(&mut bytes, MAGIC);
+        put_u8(&mut bytes, FRAME_V2);
+        put_u8(&mut bytes, OP_ICP_QUERY);
+        put_u16(&mut bytes, 1);
+        put_u64(&mut bytes, 2);
+        put_u8(&mut bytes, 9); // bogus ctx tag
+        let err = WireMessage::decode(&bytes).unwrap_err();
+        assert_eq!(err, DecodeError::Malformed("unknown trace-context tag"));
     }
 
     #[test]
     fn frame_roundtrip() {
-        let msg = WireMessage::DocRequest(HttpRequest {
-            from: CacheId::new(3),
-            doc: DocId::new(9),
-            requester_age: ExpirationAge::Infinite,
-        });
+        let msg = WireMessage::DocRequest {
+            request: HttpRequest {
+                from: CacheId::new(3),
+                doc: DocId::new(9),
+                requester_age: ExpirationAge::Infinite,
+            },
+            ctx: Some(TraceCtx {
+                trace_id: 1,
+                parent_span: 2,
+            }),
+        };
         let mut buf = Vec::new();
         write_frame(&mut buf, &msg).unwrap();
         let got = read_frame(&mut buf.as_slice()).unwrap();
@@ -411,5 +682,178 @@ mod tests {
     fn error_display() {
         assert!(DecodeError::Truncated.to_string().contains("truncated"));
         assert!(DecodeError::Malformed("x").to_string().contains("x"));
+        assert!(DecodeError::UnsupportedVersion(0xC3)
+            .to_string()
+            .contains("0xc3"));
+    }
+
+    // ---- seeded property tests -------------------------------------
+    //
+    // The daemons already chaos-test the protocol end to end; these
+    // tests attack the codec itself with a deterministic splitmix64
+    // stream, so every `cargo test` covers the same few thousand cases.
+
+    /// Minimal splitmix64 — the test generator must not depend on the
+    /// trace crate (net does not).
+    struct TestRng(u64);
+
+    impl TestRng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+
+        fn age(&mut self) -> ExpirationAge {
+            match self.below(3) {
+                0 => ExpirationAge::Infinite,
+                1 => ExpirationAge::finite(DurationMs::ZERO),
+                _ => ExpirationAge::finite(DurationMs::from_millis(self.next() >> 1)),
+            }
+        }
+
+        fn ctx(&mut self) -> Option<TraceCtx> {
+            if self.below(2) == 0 {
+                None
+            } else {
+                Some(TraceCtx {
+                    trace_id: self.next(),
+                    parent_span: self.next(),
+                })
+            }
+        }
+
+        fn cache(&mut self) -> CacheId {
+            CacheId::new((self.next() & 0xFFFF) as u16)
+        }
+
+        fn message(&mut self) -> WireMessage {
+            match self.below(6) {
+                0 => WireMessage::IcpQuery {
+                    query: IcpQuery {
+                        from: self.cache(),
+                        doc: DocId::new(self.next()),
+                    },
+                    ctx: self.ctx(),
+                },
+                1 => WireMessage::IcpReply(IcpReply {
+                    from: self.cache(),
+                    doc: DocId::new(self.next()),
+                    hit: self.below(2) == 0,
+                }),
+                2 => WireMessage::DocRequest {
+                    request: HttpRequest {
+                        from: self.cache(),
+                        doc: DocId::new(self.next()),
+                        requester_age: self.age(),
+                    },
+                    ctx: self.ctx(),
+                },
+                3 => WireMessage::DocResponse {
+                    response: HttpResponse {
+                        from: self.cache(),
+                        doc: DocId::new(self.next()),
+                        size: ByteSize::from_bytes(self.next()),
+                        responder_age: self.age(),
+                    },
+                    found: self.below(2) == 0,
+                },
+                4 => WireMessage::StatsRequest,
+                _ => WireMessage::StatsResponse {
+                    cache: self.cache(),
+                    body_len: self.next(),
+                },
+            }
+        }
+    }
+
+    /// Strips the trace context a legacy (v1) encoding cannot carry.
+    fn without_ctx(msg: &WireMessage) -> WireMessage {
+        match msg.clone() {
+            WireMessage::IcpQuery { query, .. } => WireMessage::IcpQuery { query, ctx: None },
+            WireMessage::DocRequest { request, .. } => {
+                WireMessage::DocRequest { request, ctx: None }
+            }
+            other => other,
+        }
+    }
+
+    #[test]
+    fn seeded_roundtrip_every_variant() {
+        let mut rng = TestRng(0xC0FF_EE00);
+        let mut seen = [false; 6];
+        for _ in 0..2_000 {
+            let msg = rng.message();
+            seen[match &msg {
+                WireMessage::IcpQuery { .. } => 0,
+                WireMessage::IcpReply(..) => 1,
+                WireMessage::DocRequest { .. } => 2,
+                WireMessage::DocResponse { .. } => 3,
+                WireMessage::StatsRequest => 4,
+                WireMessage::StatsResponse { .. } => 5,
+            }] = true;
+            let bytes = msg.encode();
+            assert!(bytes.len() <= MAX_FRAME_LEN);
+            assert_eq!(WireMessage::decode(&bytes).unwrap(), msg);
+            let mut framed = Vec::new();
+            write_frame(&mut framed, &msg).unwrap();
+            assert_eq!(read_frame(&mut framed.as_slice()).unwrap(), msg);
+        }
+        assert!(seen.iter().all(|&s| s), "generator missed a variant");
+    }
+
+    #[test]
+    fn seeded_legacy_roundtrip_drops_ctx() {
+        let mut rng = TestRng(0xBEEF);
+        for _ in 0..1_000 {
+            let msg = rng.message();
+            let Some(legacy) = msg.encode_legacy() else {
+                continue; // stats messages are v2-only
+            };
+            assert_eq!(WireMessage::decode(&legacy).unwrap(), without_ctx(&msg));
+        }
+    }
+
+    #[test]
+    fn seeded_truncations_error_never_panic() {
+        let mut rng = TestRng(0x7A3E);
+        for _ in 0..500 {
+            let bytes = rng.message().encode();
+            for cut in 0..bytes.len() {
+                assert!(
+                    WireMessage::decode(&bytes[..cut]).is_err(),
+                    "decode of {cut}-byte prefix of {bytes:?} should fail"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_garbage_never_panics() {
+        let mut rng = TestRng(0x5EED);
+        for _ in 0..5_000 {
+            let len = rng.below(64) as usize;
+            let bytes: Vec<u8> = (0..len).map(|_| (rng.next() & 0xFF) as u8).collect();
+            // Any outcome but a panic is acceptable.
+            let _ = WireMessage::decode(&bytes);
+        }
+    }
+
+    #[test]
+    fn seeded_bitflips_never_panic() {
+        let mut rng = TestRng(0xF11B);
+        for _ in 0..2_000 {
+            let msg = rng.message();
+            let mut bytes = msg.encode();
+            let at = rng.below(bytes.len() as u64) as usize;
+            bytes[at] ^= 1 << rng.below(8);
+            let _ = WireMessage::decode(&bytes);
+        }
     }
 }

@@ -8,6 +8,7 @@
 //! — which keeps replays of the same trace byte-identical.
 
 use crate::json::JsonWriter;
+use crate::span::Span;
 use coopcache_types::{CacheId, DocId, ExpirationAge};
 
 /// How a request was ultimately served (the three-way split behind every
@@ -264,6 +265,10 @@ pub enum Event {
         /// (`None` while every tracker is still empty/infinite).
         mean_age_ms: Option<u64>,
     },
+    /// One completed unit of request-scoped work (trace tree node); the
+    /// requester's trace context rides the wire so remote daemons join
+    /// the same tree.
+    Span(Span),
 }
 
 /// The discriminant of an [`Event`], for counting and filtering.
@@ -289,10 +294,17 @@ pub enum EventKind {
     ServerLoopError,
     /// [`Event::WindowRollover`].
     WindowRollover,
+    /// [`Event::Span`].
+    Span,
 }
 
 /// All event kinds, in the order they appear in summaries.
-pub const EVENT_KINDS: [EventKind; 10] = [
+///
+/// Must list every [`EventKind`] exactly once, at the position
+/// [`EventKind::index`] assigns it; the `event_kinds` tests enforce the
+/// lockstep, and the exhaustive match in `index` makes adding a variant
+/// without extending this array a compile error.
+pub const EVENT_KINDS: [EventKind; 11] = [
     EventKind::Request,
     EventKind::IcpQuery,
     EventKind::IcpReply,
@@ -303,6 +315,7 @@ pub const EVENT_KINDS: [EventKind; 10] = [
     EventKind::PeerQuarantined,
     EventKind::ServerLoopError,
     EventKind::WindowRollover,
+    EventKind::Span,
 ];
 
 impl EventKind {
@@ -320,6 +333,31 @@ impl EventKind {
             Self::PeerQuarantined => "quarantine",
             Self::ServerLoopError => "loop-error",
             Self::WindowRollover => "window",
+            Self::Span => "span",
+        }
+    }
+
+    /// This kind's position in [`EVENT_KINDS`] — the counter slot used
+    /// by summaries and the live stats registry.
+    ///
+    /// The match is exhaustive on purpose: adding an `EventKind` variant
+    /// fails to compile here until it is given a slot, and the
+    /// `event_kinds_lockstep` test then fails until [`EVENT_KINDS`] is
+    /// extended to match.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            Self::Request => 0,
+            Self::IcpQuery => 1,
+            Self::IcpReply => 2,
+            Self::Placement => 3,
+            Self::Eviction => 4,
+            Self::PeerFault => 5,
+            Self::Failover => 6,
+            Self::PeerQuarantined => 7,
+            Self::ServerLoopError => 8,
+            Self::WindowRollover => 9,
+            Self::Span => 10,
         }
     }
 }
@@ -346,6 +384,7 @@ impl Event {
             Self::PeerQuarantined { .. } => EventKind::PeerQuarantined,
             Self::ServerLoopError { .. } => EventKind::ServerLoopError,
             Self::WindowRollover { .. } => EventKind::WindowRollover,
+            Self::Span(..) => EventKind::Span,
         }
     }
 
@@ -517,6 +556,28 @@ impl Event {
                 w.key("mean_age_ms");
                 w.opt_u64(*mean_age_ms);
             }
+            Self::Span(span) => {
+                w.key("trace");
+                w.u64(span.trace_id);
+                w.key("span");
+                w.u64(span.span_id);
+                w.key("parent");
+                w.opt_u64(span.parent);
+                w.key("cache");
+                w.u64(u64::from(span.cache.as_u16()));
+                w.key("kind");
+                w.string(span.kind.name());
+                w.key("doc");
+                w.opt_u64(span.doc.map(DocId::as_u64));
+                w.key("peer");
+                w.opt_u64(span.peer.map(|c| u64::from(c.as_u16())));
+                w.key("start_us");
+                w.u64(span.start_us);
+                w.key("end_us");
+                w.u64(span.end_us);
+                w.key("status");
+                w.string(span.status);
+            }
         }
         w.end_object();
         w.finish()
@@ -607,12 +668,74 @@ mod tests {
         );
     }
 
+    /// Satellite guard: `EVENT_KINDS` must stay in lockstep with the
+    /// `EventKind` enum. The exhaustive match inside
+    /// [`EventKind::index`] makes adding a variant a compile error until
+    /// it is slotted, and this test then fails until `EVENT_KINDS` lists
+    /// it at that slot.
+    #[test]
+    fn event_kinds_lockstep() {
+        for (i, kind) in EVENT_KINDS.iter().enumerate() {
+            assert_eq!(
+                kind.index(),
+                i,
+                "EVENT_KINDS[{i}] = {kind:?} is out of lockstep with EventKind::index"
+            );
+        }
+        // Every slot `index` can assign must exist in the array: the
+        // indices above are a bijection onto 0..len, so a variant
+        // slotted beyond the array would break the `index() == i` loop
+        // for whichever kind it displaced — and a duplicate would too.
+        let mut names: Vec<&str> = EVENT_KINDS.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), EVENT_KINDS.len(), "duplicate kind names");
+    }
+
     #[test]
     fn kinds_cover_all_events() {
-        assert_eq!(EVENT_KINDS.len(), 10);
+        assert_eq!(EVENT_KINDS.len(), 11);
         for kind in EVENT_KINDS {
             assert!(!kind.name().is_empty());
         }
+    }
+
+    #[test]
+    fn span_json_shape() {
+        use crate::span::{Span, SpanKind};
+        let ev = Event::Span(Span {
+            trace_id: 7,
+            span_id: 9,
+            parent: Some(8),
+            cache: CacheId::new(2),
+            kind: SpanKind::PeerFetch,
+            doc: Some(DocId::new(41)),
+            peer: Some(CacheId::new(1)),
+            start_us: 1_000,
+            end_us: 1_450,
+            status: "refused",
+        });
+        assert_eq!(ev.kind(), EventKind::Span);
+        assert_eq!(
+            ev.to_json(),
+            r#"{"ev":"span","trace":7,"span":9,"parent":8,"cache":2,"kind":"peer-fetch","doc":41,"peer":1,"start_us":1000,"end_us":1450,"status":"refused"}"#
+        );
+        let root = Event::Span(Span {
+            trace_id: 7,
+            span_id: 1,
+            parent: None,
+            cache: CacheId::new(0),
+            kind: SpanKind::Request,
+            doc: None,
+            peer: None,
+            start_us: 0,
+            end_us: 2_000,
+            status: "remote-hit",
+        });
+        assert_eq!(
+            root.to_json(),
+            r#"{"ev":"span","trace":7,"span":1,"parent":null,"cache":0,"kind":"request","doc":null,"peer":null,"start_us":0,"end_us":2000,"status":"remote-hit"}"#
+        );
     }
 
     #[test]

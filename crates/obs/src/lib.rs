@@ -17,7 +17,15 @@
 //!   [snapshots](Histogram::snapshot);
 //! * [`JsonWriter`] — the hand-rolled compact JSON writer behind the
 //!   JSONL stream and the bench binaries' `--json` output (the workspace
-//!   builds against an offline registry; there is no serde).
+//!   builds against an offline registry; there is no serde) — and its
+//!   inverse, [`parse_json`], used wherever those documents are read
+//!   back;
+//! * [`Span`] / [`TraceCtx`] — the causal-tracing layer: every protocol
+//!   step of a request opens a span, the requester forwards its trace
+//!   context on the wire, and a [`TraceAssembler`] folds the resulting
+//!   [`Event::Span`] stream back into per-request trace trees;
+//! * [`StatsRegistry`] — relaxed atomic counters per [`EventKind`],
+//!   always on in the daemons, behind the `OP_STATS` live snapshot.
 //!
 //! [`DistributedGroup`]: https://docs.rs/coopcache-proxy
 //!
@@ -42,15 +50,21 @@
 //! assert_eq!(hist.lock().unwrap().request_split(), (1, 0, 0));
 //! ```
 
+mod assemble;
 mod event;
 mod histogram;
 mod json;
 mod sink;
+mod span;
+mod stats;
 
+pub use assemble::{SpanRecord, TraceAssembler};
 pub use event::{
     age_to_ms, Event, EventKind, EvictionCause, FaultOp, PlacementRole, RequestClass, ServerLoop,
     EVENT_KINDS,
 };
 pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
-pub use json::{escape_into, JsonWriter};
+pub use json::{escape_into, parse_json, JsonParseError, JsonValue, JsonWriter};
 pub use sink::{EventSink, HistogramSink, JsonlSink, NullSink, RingBufferSink, SinkHandle};
+pub use span::{scoped_cache, scoped_id, scoped_seq, Span, SpanKind, TraceCtx};
+pub use stats::StatsRegistry;

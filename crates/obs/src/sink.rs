@@ -182,7 +182,7 @@ impl HistogramSink {
     /// Events seen of the given kind.
     #[must_use]
     pub fn count(&self, kind: EventKind) -> u64 {
-        self.counts[kind as usize]
+        self.counts[kind.index()]
     }
 
     /// `(local hits, remote hits, misses)` among request events.
@@ -252,7 +252,7 @@ impl HistogramSink {
 
 impl EventSink for HistogramSink {
     fn emit(&mut self, event: &Event) {
-        self.counts[event.kind() as usize] += 1;
+        self.counts[event.kind().index()] += 1;
         match event {
             Event::Request {
                 class, latency_us, ..
@@ -313,6 +313,10 @@ impl SinkHandle {
     /// Wraps an existing shared sink; the caller keeps its typed `Arc` to
     /// inspect the sink after the run (e.g. read a
     /// [`HistogramSink`] summary).
+    ///
+    /// Emitters block on the shared lock, and live-daemon threads emit
+    /// even after a request's reply is on the wire — never hold the typed
+    /// `Arc`'s lock across a shutdown that joins emitting threads.
     pub fn from_arc<S: EventSink + Send + 'static>(sink: Arc<Mutex<S>>) -> Self {
         Self { inner: sink }
     }

@@ -1,0 +1,132 @@
+//! Lock-free live counters, one per [`EventKind`].
+//!
+//! A [`StatsRegistry`] is the always-on backing store for the daemons'
+//! `OP_STATS` snapshot: every emitted event bumps one relaxed atomic,
+//! whether or not an event sink is installed, so scraping a live daemon
+//! never contends with the request hot path and never requires a sink.
+
+use crate::event::{EventKind, EVENT_KINDS};
+use crate::json::JsonWriter;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-[`EventKind`] atomic counters.
+///
+/// Counts are monotonically increasing and use relaxed ordering: a
+/// snapshot taken while requests are in flight is a consistent-enough
+/// gauge, not a barrier.
+#[derive(Debug)]
+pub struct StatsRegistry {
+    counts: [AtomicU64; EVENT_KINDS.len()],
+}
+
+impl StatsRegistry {
+    /// Creates a registry with every counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Bumps the counter for `kind` by one.
+    pub fn record(&self, kind: EventKind) {
+        self.counts[kind.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current count for `kind`.
+    #[must_use]
+    pub fn count(&self, kind: EventKind) -> u64 {
+        self.counts[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total events recorded across all kinds.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// All counters in [`EVENT_KINDS`] order.
+    #[must_use]
+    pub fn snapshot(&self) -> [(EventKind, u64); EVENT_KINDS.len()] {
+        std::array::from_fn(|i| (EVENT_KINDS[i], self.counts[i].load(Ordering::Relaxed)))
+    }
+
+    /// Writes the counters as one JSON object keyed by kind name, in
+    /// [`EVENT_KINDS`] order (zeros included, so the schema is fixed).
+    pub fn write_counters(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        for (kind, count) in self.snapshot() {
+            w.key(kind.name());
+            w.u64(count);
+        }
+        w.end_object();
+    }
+}
+
+impl Default for StatsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_start_at_zero_and_accumulate() {
+        let stats = StatsRegistry::new();
+        for kind in EVENT_KINDS {
+            assert_eq!(stats.count(kind), 0);
+        }
+        stats.record(EventKind::Request);
+        stats.record(EventKind::Request);
+        stats.record(EventKind::Span);
+        assert_eq!(stats.count(EventKind::Request), 2);
+        assert_eq!(stats.count(EventKind::Span), 1);
+        assert_eq!(stats.count(EventKind::Eviction), 0);
+        assert_eq!(stats.total(), 3);
+    }
+
+    #[test]
+    fn snapshot_preserves_event_kinds_order() {
+        let stats = StatsRegistry::new();
+        stats.record(EventKind::Failover);
+        let snap = stats.snapshot();
+        for (i, (kind, _)) in snap.iter().enumerate() {
+            assert_eq!(*kind, EVENT_KINDS[i]);
+        }
+        assert_eq!(snap[EventKind::Failover.index()].1, 1);
+    }
+
+    #[test]
+    fn counters_json_has_fixed_schema() {
+        let stats = StatsRegistry::new();
+        stats.record(EventKind::Request);
+        let mut w = JsonWriter::new();
+        stats.write_counters(&mut w);
+        let json = w.finish();
+        assert!(json.starts_with(r#"{"request":1,"icp-query":0,"#));
+        assert!(json.contains(r#""span":0"#));
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        use std::sync::Arc;
+        let stats = Arc::new(StatsRegistry::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let stats = Arc::clone(&stats);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        stats.record(EventKind::IcpQuery);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        assert_eq!(stats.count(EventKind::IcpQuery), 400);
+    }
+}

@@ -11,8 +11,9 @@ use coopcache_core::{
     Cache, EvictionReason, EvictionRecord, ExpirationFlavor, ExpirationWindow, InsertOutcome,
     PlacementScheme, PolicyKind,
 };
-use coopcache_obs::{Event, EvictionCause, PlacementRole, SinkHandle};
+use coopcache_obs::{Event, EventKind, EvictionCause, PlacementRole, SinkHandle, StatsRegistry};
 use coopcache_types::{ByteSize, CacheId, DocId, ExpirationAge, Timestamp};
+use std::sync::Arc;
 
 /// One cooperative proxy: a [`Cache`] plus the requester/responder logic
 /// of the configured [`PlacementScheme`].
@@ -42,6 +43,10 @@ pub struct ProxyNode {
     /// Optional event sink; `None` (the default) costs one branch per
     /// protocol step.
     sink: Option<SinkHandle>,
+    /// Optional live counters; unlike the sink these count placements
+    /// and evictions even when no sink is installed (relaxed atomics,
+    /// so the hot path takes no lock).
+    stats: Option<Arc<StatsRegistry>>,
 }
 
 impl ProxyNode {
@@ -69,6 +74,7 @@ impl ProxyNode {
             cache: Cache::with_window(id, capacity, policy, window),
             scheme,
             sink: None,
+            stats: None,
         }
     }
 
@@ -81,6 +87,12 @@ impl ProxyNode {
     /// Detaches the event sink (back to the zero-cost default).
     pub fn clear_sink(&mut self) {
         self.sink = None;
+    }
+
+    /// Attaches a live stats registry; placement and eviction counts
+    /// from this node land in it whether or not a sink is installed.
+    pub fn set_stats(&mut self, stats: Arc<StatsRegistry>) {
+        self.stats = Some(stats);
     }
 
     fn emit(&self, event: &Event) {
@@ -97,6 +109,9 @@ impl ProxyNode {
         peer_age: ExpirationAge,
         stored: bool,
     ) {
+        if let Some(stats) = &self.stats {
+            stats.record(EventKind::Placement);
+        }
         if self.sink.is_some() {
             self.emit(&Event::Placement {
                 cache: self.id(),
@@ -111,6 +126,11 @@ impl ProxyNode {
     }
 
     fn emit_evictions(&self, evictions: &[EvictionRecord]) {
+        if let Some(stats) = &self.stats {
+            for _ in evictions {
+                stats.record(EventKind::Eviction);
+            }
+        }
         if self.sink.is_none() {
             return;
         }
@@ -543,6 +563,28 @@ mod tests {
         n.clear_sink();
         make_contended(&mut n, 0);
         assert_eq!(ring.lock().unwrap().total_emitted(), 0);
+    }
+
+    #[test]
+    fn stats_registry_counts_without_a_sink() {
+        use coopcache_obs::{EventKind, StatsRegistry};
+        use std::sync::Arc;
+
+        let stats = Arc::new(StatsRegistry::new());
+        let mut n = node(0, 4, PlacementScheme::AdHoc);
+        n.set_stats(Arc::clone(&stats));
+        // No sink installed: counters must still move.
+        make_contended(&mut n, 0);
+        let sent = n.build_http_request(d(1));
+        let response = HttpResponse {
+            from: CacheId::new(1),
+            doc: d(1),
+            size: kb(1),
+            responder_age: ExpirationAge::Infinite,
+        };
+        n.complete_remote_fetch(sent, response, t(100));
+        assert!(stats.count(EventKind::Placement) > 0);
+        assert!(stats.count(EventKind::Eviction) > 0);
     }
 
     #[test]

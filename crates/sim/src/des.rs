@@ -11,12 +11,31 @@
 
 use crate::config::SimConfig;
 use coopcache_metrics::GroupMetrics;
-use coopcache_obs::{Event, SinkHandle};
+use coopcache_obs::{Event, SinkHandle, Span, SpanKind};
 use coopcache_proxy::{DistributedGroup, HttpRequest, IcpQuery, RequestOutcome};
 use coopcache_trace::Trace;
 use coopcache_types::{ByteSize, CacheId, DocId, DurationMs, Timestamp};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Simulated-time µs for a span timestamp.
+fn sim_us(t: Timestamp) -> u64 {
+    t.as_millis().saturating_mul(1_000)
+}
+
+/// The root span of request `idx` (always the first id of its trace).
+fn root_span(idx: usize) -> u64 {
+    ((idx as u64) << 16) | 1
+}
+
+/// Allocates the next span id of request `idx`'s trace: ids are
+/// `(idx << 16) | k` with `k` sequential, so two same-seed runs assemble
+/// byte-identical trace trees.
+fn alloc_span(span_next: &mut [u64], idx: usize) -> u64 {
+    let k = span_next[idx];
+    span_next[idx] += 1;
+    ((idx as u64) << 16) | k
+}
 
 /// One-way delays and transfer rates of the simulated network.
 ///
@@ -146,8 +165,9 @@ enum Phase {
         responder: CacheId,
         sent: HttpRequest,
     },
-    /// The origin transfer completed.
-    OriginFetchDone,
+    /// The origin transfer completed (`started` = when the fetch began,
+    /// for the origin-fetch span).
+    OriginFetchDone { started: Timestamp },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -231,6 +251,8 @@ fn run_des_inner(
     // Min-heap of (time, tiebreak seq, request index, phase).
     let mut queue: BinaryHeap<Reverse<(Timestamp, u64, usize)>> = BinaryHeap::new();
     let mut phases: Vec<Phase> = vec![Phase::Arrival; requests.len()];
+    // Next span-id suffix per request; the root span is always k = 1.
+    let mut span_next: Vec<u64> = vec![2; requests.len()];
     let mut seq = 0u64;
     let push = |queue: &mut BinaryHeap<Reverse<(Timestamp, u64, usize)>>,
                 seq: &mut u64,
@@ -258,6 +280,21 @@ fn run_des_inner(
         latencies.push(latency_ms);
         if let Some(sink) = &sink {
             let (class, responder, stored) = outcome.event_parts();
+            // The root span closes when the request completes; its id is
+            // fixed (`k = 1`), so it sorts first in the assembled tree
+            // even though the child spans were emitted earlier.
+            sink.emit(&Event::Span(Span {
+                trace_id: idx as u64,
+                span_id: root_span(idx),
+                parent: None,
+                cache: r.requester,
+                kind: SpanKind::Request,
+                doc: Some(r.doc),
+                peer: None,
+                start_us: sim_us(r.arrival),
+                end_us: sim_us(done),
+                status: class.name(),
+            }));
             sink.emit(&Event::Request {
                 seq: idx as u64,
                 cache: r.requester,
@@ -297,6 +334,7 @@ fn run_des_inner(
                     from: r.requester,
                     doc: r.doc,
                 };
+                let round = sink.as_ref().map(|_| alloc_span(&mut span_next, idx));
                 let mut responder = None;
                 for off in 1..n {
                     let peer = CacheId::new(((r.requester.index() + off) % n) as u16);
@@ -309,7 +347,8 @@ fn run_des_inner(
                     }
                     if network.icp_lost(idx, peer) {
                         // The exchange vanished on the wire: the query
-                        // event stands, but no reply ever arrives.
+                        // event stands, but no reply ever arrives (and
+                        // no icp-handle span — the peer never saw it).
                         continue;
                     }
                     let hit = group.node(peer).handle_icp_query(query).hit;
@@ -319,11 +358,39 @@ fn run_des_inner(
                             doc: r.doc,
                             hit,
                         });
+                        if let Some(round) = round {
+                            sink.emit(&Event::Span(Span {
+                                trace_id: idx as u64,
+                                span_id: alloc_span(&mut span_next, idx),
+                                parent: Some(round),
+                                cache: peer,
+                                kind: SpanKind::IcpHandle,
+                                doc: Some(r.doc),
+                                peer: Some(r.requester),
+                                start_us: sim_us(now),
+                                end_us: sim_us(now),
+                                status: if hit { "hit" } else { "miss" },
+                            }));
+                        }
                     }
                     if hit {
                         responder = Some(peer);
                         break;
                     }
+                }
+                if let (Some(sink), Some(round)) = (&sink, round) {
+                    sink.emit(&Event::Span(Span {
+                        trace_id: idx as u64,
+                        span_id: round,
+                        parent: Some(root_span(idx)),
+                        cache: r.requester,
+                        kind: SpanKind::IcpRound,
+                        doc: Some(r.doc),
+                        peer: None,
+                        start_us: sim_us(r.arrival),
+                        end_us: sim_us(now),
+                        status: if responder.is_some() { "hit" } else { "miss" },
+                    }));
                 }
                 match responder {
                     Some(peer) => {
@@ -338,7 +405,7 @@ fn run_des_inner(
                         push(&mut queue, &mut seq, at, idx);
                     }
                     None => {
-                        phases[idx] = Phase::OriginFetchDone;
+                        phases[idx] = Phase::OriginFetchDone { started: now };
                         let at = now
                             + network.origin_rtt
                             + NetworkModel::transfer(r.size, network.origin_bytes_per_ms);
@@ -347,7 +414,45 @@ fn run_des_inner(
                 }
             }
             Phase::PeerFetchDone { responder, sent } => {
-                match group.node_mut(responder).handle_http_request(sent, now) {
+                let served = group.node_mut(responder).handle_http_request(sent, now);
+                let spans = sink.as_ref().map(|_| {
+                    (
+                        alloc_span(&mut span_next, idx),
+                        alloc_span(&mut span_next, idx),
+                    )
+                });
+                // Mirrors the live daemon: the requester's peer-fetch
+                // span covers the TCP leg, the responder's doc-serve
+                // span hangs under it.
+                let emit_spans = |fetch_status: &'static str, serve_status: &'static str| {
+                    if let (Some(sink), Some((fetch, serve))) = (&sink, spans) {
+                        sink.emit(&Event::Span(Span {
+                            trace_id: idx as u64,
+                            span_id: fetch,
+                            parent: Some(root_span(idx)),
+                            cache: r.requester,
+                            kind: SpanKind::PeerFetch,
+                            doc: Some(r.doc),
+                            peer: Some(responder),
+                            start_us: sim_us(r.arrival + network.icp_round),
+                            end_us: sim_us(now),
+                            status: fetch_status,
+                        }));
+                        sink.emit(&Event::Span(Span {
+                            trace_id: idx as u64,
+                            span_id: serve,
+                            parent: Some(fetch),
+                            cache: responder,
+                            kind: SpanKind::DocServe,
+                            doc: Some(r.doc),
+                            peer: Some(r.requester),
+                            start_us: sim_us(now),
+                            end_us: sim_us(now),
+                            status: serve_status,
+                        }));
+                    }
+                };
+                match served {
                     Some(response) => {
                         let promoted = group
                             .node(responder)
@@ -356,6 +461,10 @@ fn run_des_inner(
                         let stored = group
                             .node_mut(r.requester)
                             .complete_remote_fetch(sent, response, now);
+                        emit_spans(
+                            if stored { "stored" } else { "declined" },
+                            if promoted { "promoted" } else { "kept" },
+                        );
                         complete(
                             &mut metrics,
                             &mut latencies,
@@ -372,8 +481,9 @@ fn run_des_inner(
                     None => {
                         // The document vanished between ICP and HTTP:
                         // fall back to the origin server.
+                        emit_spans("not-found", "not-found");
                         icp_fallbacks += 1;
-                        phases[idx] = Phase::OriginFetchDone;
+                        phases[idx] = Phase::OriginFetchDone { started: now };
                         let at = now
                             + network.origin_rtt
                             + NetworkModel::transfer(r.size, network.origin_bytes_per_ms);
@@ -381,10 +491,24 @@ fn run_des_inner(
                     }
                 }
             }
-            Phase::OriginFetchDone => {
+            Phase::OriginFetchDone { started } => {
                 let stored = group
                     .node_mut(r.requester)
                     .complete_origin_fetch(r.doc, r.size, now);
+                if let Some(sink) = &sink {
+                    sink.emit(&Event::Span(Span {
+                        trace_id: idx as u64,
+                        span_id: alloc_span(&mut span_next, idx),
+                        parent: Some(root_span(idx)),
+                        cache: r.requester,
+                        kind: SpanKind::OriginFetch,
+                        doc: Some(r.doc),
+                        peer: None,
+                        start_us: sim_us(started),
+                        end_us: sim_us(now),
+                        status: if stored { "stored" } else { "declined" },
+                    }));
+                }
                 complete(
                     &mut metrics,
                     &mut latencies,
@@ -605,6 +729,32 @@ mod tests {
         assert!(agg.count(EventKind::Placement) > 0);
         assert!(agg.count(EventKind::Eviction) > 0);
         assert!(agg.count(EventKind::IcpQuery) >= agg.count(EventKind::IcpReply));
+    }
+
+    #[test]
+    fn every_request_assembles_into_a_trace_tree() {
+        use coopcache_obs::{SinkHandle, TraceAssembler};
+        use std::sync::{Arc, Mutex};
+        let t = generate(&TraceProfile::small().with_requests(400)).unwrap();
+        let run_once = || {
+            let asm = Arc::new(Mutex::new(TraceAssembler::new()));
+            let handle = SinkHandle::from_arc(Arc::clone(&asm));
+            let _ = run_des_with_sink(
+                &cfg(100).with_scheme(PlacementScheme::Ea),
+                &NetworkModel::default(),
+                &t,
+                Some(handle),
+            );
+            let asm = asm.lock().unwrap();
+            (asm.trace_ids(), asm.render_all(true))
+        };
+        let (ids, rendered) = run_once();
+        assert_eq!(ids.len(), t.len(), "one trace per request");
+        assert!(rendered.contains("request"));
+        assert!(rendered.contains("icp-round"));
+        // Simulated timestamps make even the timed render reproducible.
+        let (_, again) = run_once();
+        assert_eq!(rendered, again);
     }
 
     #[test]

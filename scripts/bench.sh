@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Reproduce the paper benchmarks with fixed seeds and snapshot the
+# result tables into BENCH_5.json.
+#
+# Runs (from the repo root):
+#   cargo run --release -p coopcache-bench --bin fig1_hit_rates -- --json
+#   cargo run --release -p coopcache-bench --bin des_latency -- --json
+#
+# then merges results/fig1_hit_rates.json and results/des_latency.json
+# into a single document:
+#
+#   {"bench":"BENCH_5","experiments":[<fig1_hit_rates>,<des_latency>]}
+#
+# Each experiment keeps the standard results/ shape
+# ({"id","title","trace","headers":[...],"rows":[[...]]}).  The seeds
+# live in the benchmark binaries, so the output is byte-identical run
+# to run; no timestamps are recorded for exactly that reason.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -q -p coopcache-bench --bin fig1_hit_rates -- --json
+cargo run --release -q -p coopcache-bench --bin des_latency -- --json
+
+for f in results/fig1_hit_rates.json results/des_latency.json; do
+    [ -s "$f" ] || { echo "bench.sh: missing $f" >&2; exit 1; }
+done
+
+{
+    printf '{"bench":"BENCH_5","experiments":['
+    printf '%s' "$(cat results/fig1_hit_rates.json)"
+    printf ','
+    printf '%s' "$(cat results/des_latency.json)"
+    printf ']}\n'
+} > BENCH_5.json
+
+echo "wrote BENCH_5.json"

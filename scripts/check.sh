@@ -33,4 +33,7 @@ cargo test -q -p coopcache-core --features paranoid
 echo "== cargo test (chaos: live cluster under injected faults)"
 cargo test -q --test chaos
 
+echo "== trace determinism (two same-seed DES runs, byte-identical trees)"
+cargo test -q --test determinism des_trace_trees_are_identical_across_runs
+
 echo "All checks passed."

@@ -75,6 +75,15 @@ fn refused_doc_connection_falls_back_to_origin() {
         })
         .collect();
     assert_eq!(failovers, vec![(c(1), None)], "one failover, to the origin");
+
+    // Observability survives chaos: the refuse-rigged daemon drops every
+    // document fetch, but an OP_STATS probe on the same port is answered.
+    let addr = cluster.doc_addrs()[1];
+    let body = coopcache::net::scrape_stats(addr, Duration::from_secs(2)).unwrap();
+    assert!(
+        body.starts_with("{\"cache\":1,"),
+        "stats scrape must succeed on a refusing daemon: {body}"
+    );
     cluster.shutdown();
 }
 
@@ -297,4 +306,144 @@ fn quarantined_peer_recovers_after_backoff() {
         "recovered peer must serve again: {out:?}"
     );
     cluster.shutdown();
+}
+
+/// One seeded chaos run for the tracing acceptance scenario. Returns the
+/// assembled structural trace trees and each daemon's scraped `OP_STATS`
+/// body, so callers can assert on one run and compare two.
+fn traced_failover_run() -> (String, Vec<String>) {
+    use coopcache::net::scrape_stats;
+    use coopcache::obs::TraceAssembler;
+
+    // Cache 1 resets every document connection after reading the request
+    // (a deterministic clean EOF at the requester), and swallows its
+    // first two ICP replies so cache 2 acquires replicas via the origin.
+    // Cache 2 answers ICP late, pinning the candidate order to [1, 2].
+    let plan = FaultPlan::seeded(42)
+        .rule(c(1), FaultKind::DropIcpReply, FaultMode::FirstN(2))
+        .rule(c(1), FaultKind::ResetDoc, FaultMode::Always)
+        .rule(
+            c(2),
+            FaultKind::DelayIcpReply(Duration::from_millis(15)),
+            FaultMode::Always,
+        );
+    let config = ClusterConfig::new(3, kb(64), PlacementScheme::Ea)
+        .icp_timeout(Duration::from_millis(80))
+        .io_timeout(Duration::from_secs(2))
+        .quarantine_base(Duration::from_secs(60))
+        .faults(plan);
+    let mut cluster = LoopbackCluster::start_with_config(config).unwrap();
+    let assembler = Arc::new(Mutex::new(TraceAssembler::new()));
+    cluster.set_sink(SinkHandle::from_arc(Arc::clone(&assembler)));
+
+    cluster.request(1, d(7), kb(4)).unwrap(); // origin, stored at 1
+    cluster.request(1, d(8), kb(4)).unwrap(); // origin, stored at 1
+    cluster.request(2, d(7), kb(4)).unwrap(); // cache 1's reply dropped: origin, stored at 2
+    cluster.request(2, d(8), kb(4)).unwrap(); // same again
+                                              // Failover under trace: candidate 1 resets, candidate 2 serves.
+    let out = cluster.request(0, d(7), kb(4)).unwrap();
+    assert!(out.is_remote_hit(), "failover must still hit: {out:?}");
+    // Second failure quarantines cache 1.
+    let out = cluster.request(0, d(8), kb(4)).unwrap();
+    assert!(out.is_remote_hit(), "failover must still hit: {out:?}");
+    assert_eq!(cluster.daemon(0).quarantined_peers(), vec![c(1)]);
+
+    let stats: Vec<String> = cluster
+        .doc_addrs()
+        .into_iter()
+        .map(|addr| scrape_stats(addr, Duration::from_secs(2)).unwrap())
+        .collect();
+    cluster.shutdown();
+    let assembler = Arc::try_unwrap(assembler)
+        .expect("daemons drop their sink handles on shutdown")
+        .into_inner()
+        .unwrap();
+    (assembler.render_all(false), stats)
+}
+
+#[test]
+fn traced_failover_spans_and_stats_are_complete_and_reproducible() {
+    use coopcache::obs::{parse_json, JsonValue};
+
+    let (trees, stats) = traced_failover_run();
+
+    // The traced failover request (daemon 0, seq 0 => trace id 0) shows
+    // the ICP round, the failed attempt on cache 1, the successful hop
+    // to cache 2 with the responder's serve span, and the EA placement
+    // decision as the fetch span's status.
+    let tree = trees
+        .split_inclusive('\n')
+        .skip_while(|l| !l.starts_with("trace 0 "))
+        .take_while(|l| l.starts_with("trace 0 ") || !l.starts_with("trace "))
+        .collect::<String>();
+    assert!(!tree.is_empty(), "trace 0 missing from:\n{trees}");
+    assert!(
+        tree.contains("`- request cache=0 doc=7 status=remote-hit"),
+        "{tree}"
+    );
+    assert!(
+        tree.contains("|- icp-round cache=0 doc=7 status=hit"),
+        "{tree}"
+    );
+    assert!(
+        tree.contains("|- icp-handle cache=1 peer=0 doc=7 status=hit"),
+        "{tree}"
+    );
+    assert!(
+        tree.contains("`- icp-handle cache=2 peer=0 doc=7 status=hit"),
+        "{tree}"
+    );
+    assert!(
+        tree.contains("|- peer-fetch cache=0 peer=1 doc=7 status=eof"),
+        "{tree}"
+    );
+    assert!(
+        tree.contains("`- peer-fetch cache=0 peer=2 doc=7 status=stored")
+            || tree.contains("`- peer-fetch cache=0 peer=2 doc=7 status=declined"),
+        "{tree}"
+    );
+    assert!(
+        tree.contains("`- doc-serve cache=2 peer=0 doc=7 status="),
+        "{tree}"
+    );
+
+    // Every daemon's OP_STATS snapshot agrees with the scenario.
+    let parsed: Vec<JsonValue> = stats.iter().map(|s| parse_json(s).unwrap()).collect();
+    let counter = |v: &JsonValue, kind: &str| {
+        v.get("counters")
+            .and_then(|c| c.get(kind))
+            .and_then(JsonValue::as_u64)
+            .unwrap()
+    };
+    for (idx, v) in parsed.iter().enumerate() {
+        assert_eq!(v.get("cache").and_then(JsonValue::as_u64), Some(idx as u64));
+        assert!(counter(v, "span") > 0, "daemon {idx} emitted no spans");
+    }
+    assert_eq!(counter(&parsed[0], "request"), 2);
+    assert_eq!(counter(&parsed[0], "peer-fault"), 2);
+    assert_eq!(counter(&parsed[0], "failover"), 2);
+    assert_eq!(counter(&parsed[0], "quarantine"), 1);
+    let quarantined: Vec<u64> = parsed[0]
+        .get("quarantined")
+        .and_then(JsonValue::as_array)
+        .unwrap()
+        .iter()
+        .filter_map(JsonValue::as_u64)
+        .collect();
+    assert_eq!(quarantined, vec![1]);
+    assert_eq!(counter(&parsed[1], "request"), 2);
+    assert_eq!(counter(&parsed[2], "request"), 2);
+    for v in &parsed[1..] {
+        let docs = v
+            .get("occupancy")
+            .and_then(|o| o.get("docs"))
+            .and_then(JsonValue::as_u64)
+            .unwrap();
+        assert!(docs >= 2, "warmed daemons hold both documents");
+    }
+
+    // The whole scenario is reproducible: a second same-seed run
+    // assembles byte-identical structural trace trees.
+    let (again, _) = traced_failover_run();
+    assert_eq!(trees, again);
 }

@@ -130,3 +130,31 @@ fn partitioners_are_stable_functions() {
         }
     }
 }
+
+#[test]
+fn des_trace_trees_are_identical_across_runs() {
+    use coopcache::obs::TraceAssembler;
+    use std::sync::{Arc, Mutex, PoisonError};
+    let trace = generate(&TraceProfile::small().with_requests(2_000)).unwrap();
+    let cfg = SimConfig::new(ByteSize::from_kb(300)).with_scheme(PlacementScheme::Ea);
+    let net = NetworkModel::paper_calibrated();
+    // Timed render included: DES stamps spans with simulated time, so
+    // even durations must reproduce bit-for-bit.
+    let trees = || {
+        let assembler = Arc::new(Mutex::new(TraceAssembler::new()));
+        let _ = run_des_with_sink(
+            &cfg,
+            &net,
+            &trace,
+            Some(SinkHandle::from_arc(Arc::clone(&assembler))),
+        );
+        Arc::try_unwrap(assembler)
+            .expect("runner drops its sink handles")
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .render_all(true)
+    };
+    let a = trees();
+    assert!(a.contains("request"), "trace trees must not be empty");
+    assert_eq!(a, trees(), "assembled trace trees must be deterministic");
+}

@@ -2,26 +2,46 @@
 //! runtime beyond the happy path.
 
 use coopcache::net::{LoopbackCluster, WireMessage};
+use coopcache::obs::TraceCtx;
 use coopcache::prelude::*;
 use coopcache::proxy::{HttpRequest, HttpResponse, IcpQuery, IcpReply};
 
 #[test]
 fn wire_messages_roundtrip_through_encode_decode() {
     let messages = vec![
-        WireMessage::IcpQuery(IcpQuery {
-            from: CacheId::new(3),
-            doc: DocId::new(u64::MAX - 1),
-        }),
+        WireMessage::IcpQuery {
+            query: IcpQuery {
+                from: CacheId::new(3),
+                doc: DocId::new(u64::MAX - 1),
+            },
+            ctx: None,
+        },
+        WireMessage::IcpQuery {
+            query: IcpQuery {
+                from: CacheId::new(3),
+                doc: DocId::new(9),
+            },
+            ctx: Some(TraceCtx {
+                trace_id: u64::MAX,
+                parent_span: 7,
+            }),
+        },
         WireMessage::IcpReply(IcpReply {
             from: CacheId::new(0),
             doc: DocId::new(0),
             hit: true,
         }),
-        WireMessage::DocRequest(HttpRequest {
-            from: CacheId::new(1),
-            doc: DocId::new(77),
-            requester_age: ExpirationAge::finite(DurationMs::from_secs(12)),
-        }),
+        WireMessage::DocRequest {
+            request: HttpRequest {
+                from: CacheId::new(1),
+                doc: DocId::new(77),
+                requester_age: ExpirationAge::finite(DurationMs::from_secs(12)),
+            },
+            ctx: Some(TraceCtx {
+                trace_id: 1,
+                parent_span: 0,
+            }),
+        },
         WireMessage::DocResponse {
             response: HttpResponse {
                 from: CacheId::new(2),
@@ -30,6 +50,11 @@ fn wire_messages_roundtrip_through_encode_decode() {
                 responder_age: ExpirationAge::Infinite,
             },
             found: true,
+        },
+        WireMessage::StatsRequest,
+        WireMessage::StatsResponse {
+            cache: CacheId::new(5),
+            body_len: 4096,
         },
     ];
     for msg in messages {
