@@ -7,7 +7,8 @@ use crate::args::{
 use coopcache_metrics::{pct, Table};
 use coopcache_net::{ClusterConfig, FaultKind, FaultMode, FaultPlan, LoopbackCluster};
 use coopcache_obs::{
-    parse_json, Event, EventKind, EventSink, HistogramSink, JsonValue, JsonlSink, SinkHandle,
+    parse_json, Event, EventKind, EventSink, HistogramSink, JsonValue, JsonlSink, SeriesRing,
+    SinkHandle,
 };
 use coopcache_sim::{capacity_sweep, run, run_with_sink, SimConfig, PAPER_CACHE_SIZES};
 use coopcache_trace::{generate, read_trace, write_trace, Rng, Trace, TraceProfile};
@@ -27,10 +28,20 @@ COMMANDS:
                 --seed N                      (default profile seed)
                 --requests N                  (default profile size)
                 --out PATH                    (required)
-    stats     print aggregate statistics of a trace, or scrape a daemon
+    stats     print aggregate statistics of a trace, or scrape daemons
                 --trace PATH | --profile NAME
                 --addr HOST:PORT              (scrape OP_STATS from a live daemon)
+                --cluster HOST:PORT,...       (scrape many daemons; errors isolated)
                 --format table|json|prom      (scrape rendering, default table)
+                --timeout-ms N                (scrape timeout, default 2000)
+    top       cluster dashboard over per-node time series
+                --addrs HOST:PORT,...         (scrape OP_SERIES from live daemons)
+                --replay PATH                 (rebuild series offline from JSONL events)
+                --once true                   (render one frame, no screen clearing)
+                --frames N                    (stop the live view after N frames)
+                --refresh-ms N                (live refresh period, default 1000)
+                --interval-ms N               (replay sampling interval, default 1000)
+                --points N                    (replay ring capacity, default 120)
                 --timeout-ms N                (scrape timeout, default 2000)
     trace     assemble span events into per-request trace trees
                 --events PATH                 (required, a JSONL event stream)
@@ -65,6 +76,9 @@ COMMANDS:
                 --log PATH                    (required)
                 --format squid|clf            (default squid)
                 --out PATH                    (required)
+    bench-diff  compare two BENCH_*.json snapshots cell by cell
+                --old PATH                    (required)
+                --new PATH                    (required)
     help      print this message
 ";
 
@@ -78,6 +92,8 @@ pub fn dispatch<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError
     match args.command.as_str() {
         "gen" => cmd_gen(args, out),
         "stats" => cmd_stats(args, out),
+        "top" => cmd_top(args, out),
+        "bench-diff" => cmd_bench_diff(args, out),
         "trace" => cmd_trace(args, out),
         "simulate" => cmd_simulate(args, out),
         "sweep" => cmd_sweep(args, out),
@@ -142,6 +158,9 @@ fn cmd_gen<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
 }
 
 fn cmd_stats<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
+    if args.get("cluster").is_some() {
+        return cmd_stats_cluster(args, out);
+    }
     if args.get("addr").is_some() {
         return cmd_stats_scrape(args, out);
     }
@@ -336,6 +355,339 @@ fn stats_prometheus(body: &str) -> Result<String, ArgError> {
         let _ = writeln!(out, "coopcache_expiration_age_ms{{cache=\"{cache}\"}} {ms}");
     }
     Ok(out)
+}
+
+/// Parses a comma-separated daemon address list.
+fn parse_addrs(raw: &str) -> Result<Vec<std::net::SocketAddr>, ArgError> {
+    let addrs = raw
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse()
+                .map_err(|e| ArgError(format!("bad address {s:?}: {e}")))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    if addrs.is_empty() {
+        return Err(ArgError("expected HOST:PORT[,HOST:PORT...]".into()));
+    }
+    Ok(addrs)
+}
+
+/// The `stats --cluster` path: one `OP_STATS` scrape per daemon with
+/// per-node error isolation — an unreachable or refusing daemon gets an
+/// error row and the rest of the scrape proceeds.
+fn cmd_stats_cluster<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
+    use std::time::Duration;
+    args.expect_only(&["cluster", "timeout-ms"])?;
+    let addrs = parse_addrs(args.get("cluster").expect("checked by cmd_stats"))?;
+    let timeout = Duration::from_millis(args.get_or("timeout-ms", 2_000u64)?);
+    let mut table = Table::new(vec![
+        "node",
+        "status",
+        "requests",
+        "docs",
+        "used_bytes",
+        "ea_ms",
+        "quar",
+    ]);
+    let mut reached = 0usize;
+    for addr in &addrs {
+        let scraped = coopcache_net::scrape_stats(*addr, timeout)
+            .map_err(|e| e.to_string())
+            .and_then(|body| parse_stats_body(&body).map_err(|e| e.to_string()));
+        match scraped {
+            Ok(v) => {
+                reached += 1;
+                let requests = v
+                    .get("counters")
+                    .and_then(|c| c.get("request"))
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or(0);
+                let occ = |key: &str| {
+                    v.get("occupancy")
+                        .and_then(|o| o.get(key))
+                        .and_then(JsonValue::as_u64)
+                        .unwrap_or(0)
+                };
+                table.row(vec![
+                    addr.to_string(),
+                    v.get("cache")
+                        .and_then(JsonValue::as_u64)
+                        .map_or_else(|| "cache ?".into(), |id| format!("cache {id}")),
+                    requests.to_string(),
+                    occ("docs").to_string(),
+                    occ("used_bytes").to_string(),
+                    v.get("expiration_age_ms")
+                        .and_then(JsonValue::as_u64)
+                        .map_or("-".into(), |ms| ms.to_string()),
+                    v.get("quarantined")
+                        .and_then(JsonValue::as_array)
+                        .map_or(0, <[JsonValue]>::len)
+                        .to_string(),
+                ]);
+            }
+            Err(e) => {
+                let dash = || "-".to_owned();
+                table.row(vec![
+                    addr.to_string(),
+                    format!("error: {e}"),
+                    dash(),
+                    dash(),
+                    dash(),
+                    dash(),
+                    dash(),
+                ]);
+            }
+        }
+    }
+    write_out(out, table.to_string())?;
+    write_out(out, format!("scraped {reached}/{} daemons\n", addrs.len()))
+}
+
+/// Scrapes one `OP_SERIES` ring per daemon, isolating per-node failures
+/// into error strings so a dead node never hides the live ones.
+fn scrape_rings(
+    addrs: &[std::net::SocketAddr],
+    timeout: std::time::Duration,
+) -> (Vec<SeriesRing>, Vec<String>) {
+    let mut rings = Vec::new();
+    let mut errors = Vec::new();
+    for addr in addrs {
+        match coopcache_net::scrape_series(*addr, timeout)
+            .map_err(|e| e.to_string())
+            .and_then(|body| SeriesRing::from_json(&body).map_err(|e| e.to_string()))
+        {
+            Ok(ring) => rings.push(ring),
+            Err(e) => errors.push(format!("node {addr}: {e}")),
+        }
+    }
+    (rings, errors)
+}
+
+/// The `top` subcommand: a cluster dashboard over per-node series rings,
+/// either scraped live over `OP_SERIES` or rebuilt offline from a JSONL
+/// event stream. The replay path is a pure function of the file bytes,
+/// so the same file always renders byte-identically.
+fn cmd_top<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
+    use std::time::Duration;
+    args.expect_only(&[
+        "addrs",
+        "replay",
+        "once",
+        "frames",
+        "refresh-ms",
+        "interval-ms",
+        "points",
+        "timeout-ms",
+    ])?;
+    if let Some(path) = args.get("replay") {
+        if args.get("addrs").is_some() {
+            return Err(ArgError("pass --addrs or --replay, not both".into()));
+        }
+        let interval_ms = args.get_or("interval-ms", 1_000u64)?;
+        let points = args.get_or("points", coopcache_obs::DEFAULT_SERIES_CAPACITY)?;
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+        let mut replayer = coopcache_obs::SeriesReplayer::new(interval_ms, points);
+        replayer
+            .observe_jsonl(&text)
+            .map_err(|e| ArgError(format!("{path}: {e}")))?;
+        let rings = replayer.finish();
+        if rings.is_empty() {
+            return Err(ArgError(format!("no node events in {path}")));
+        }
+        // Replayed series carry no gauges (occupancy is not in the
+        // event stream), so the lean column set is rendered.
+        return write_out(out, coopcache_obs::render_top(&rings, false));
+    }
+    let addrs =
+        parse_addrs(args.get("addrs").ok_or_else(|| {
+            ArgError("top requires --addrs HOST:PORT,... or --replay PATH".into())
+        })?)?;
+    let timeout = Duration::from_millis(args.get_or("timeout-ms", 2_000u64)?);
+    let once = parse_bool("once", args.get("once").unwrap_or("false"))?;
+    let frames: u64 = args.get_or("frames", 0u64)?;
+    let refresh = Duration::from_millis(args.get_or("refresh-ms", 1_000u64)?);
+    let mut frame = 0u64;
+    loop {
+        let (rings, errors) = scrape_rings(&addrs, timeout);
+        let mut text = String::new();
+        if !once {
+            // Clear + home, like top(1), so each frame overdraws the last.
+            text.push_str("\x1b[2J\x1b[H");
+        }
+        text.push_str(&coopcache_obs::render_top(&rings, true));
+        for e in &errors {
+            text.push_str(e);
+            text.push('\n');
+        }
+        write_out(out, text)?;
+        out.flush()
+            .map_err(|e| ArgError(format!("write failed: {e}")))?;
+        frame += 1;
+        if once || (frames > 0 && frame >= frames) {
+            return Ok(());
+        }
+        std::thread::sleep(refresh);
+    }
+}
+
+/// One experiment out of a `BENCH_*.json` snapshot.
+struct BenchExperiment {
+    id: String,
+    headers: Vec<String>,
+    /// Rows keyed by their leading non-numeric label cells.
+    rows: Vec<(String, Vec<String>)>,
+}
+
+/// A bench table cell as a number, `None` for label cells like `100KB`
+/// or `ad-hoc`. Signed cells (`+1.46`) parse.
+fn bench_cell_value(cell: &str) -> Option<f64> {
+    let v: f64 = cell.trim().parse().ok()?;
+    v.is_finite().then_some(v)
+}
+
+/// The label a row is matched on across snapshots: every leading cell
+/// that is not a number (`["100KB", "ad-hoc"]` → `"100KB ad-hoc"`).
+fn bench_row_key(cells: &[String]) -> String {
+    let label: Vec<&str> = cells
+        .iter()
+        .map(String::as_str)
+        .take_while(|c| bench_cell_value(c).is_none())
+        .collect();
+    if label.is_empty() {
+        cells.first().cloned().unwrap_or_default()
+    } else {
+        label.join(" ")
+    }
+}
+
+/// Loads a snapshot written by `scripts/bench.sh`.
+fn load_bench(path: &str) -> Result<(String, Vec<BenchExperiment>), ArgError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    let v = parse_json(&text).map_err(|e| ArgError(format!("{path}: {e}")))?;
+    let name = v
+        .get("bench")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("?")
+        .to_owned();
+    let raw = v
+        .get("experiments")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| ArgError(format!("{path}: no experiments array")))?;
+    let mut experiments = Vec::new();
+    for exp in raw {
+        let id = exp
+            .get("id")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| ArgError(format!("{path}: experiment without an id")))?
+            .to_owned();
+        let strings = |key: &str| -> Vec<String> {
+            exp.get(key)
+                .and_then(JsonValue::as_array)
+                .map_or_else(Vec::new, |cells| {
+                    cells
+                        .iter()
+                        .filter_map(JsonValue::as_str)
+                        .map(str::to_owned)
+                        .collect()
+                })
+        };
+        let headers = strings("headers");
+        let rows = exp
+            .get("rows")
+            .and_then(JsonValue::as_array)
+            .map_or_else(Vec::new, |rows| {
+                rows.iter()
+                    .map(|row| {
+                        let cells: Vec<String> = row.as_array().map_or_else(Vec::new, |cells| {
+                            cells
+                                .iter()
+                                .filter_map(JsonValue::as_str)
+                                .map(str::to_owned)
+                                .collect()
+                        });
+                        (bench_row_key(&cells), cells)
+                    })
+                    .collect()
+            });
+        experiments.push(BenchExperiment { id, headers, rows });
+    }
+    Ok((name, experiments))
+}
+
+/// The `bench-diff` subcommand: compares two benchmark snapshots
+/// experiment by experiment and prints per-cell deltas. Advisory by
+/// design — drift is reported, only unreadable snapshots are errors.
+fn cmd_bench_diff<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
+    args.expect_only(&["old", "new"])?;
+    let old_path = args
+        .get("old")
+        .ok_or_else(|| ArgError("bench-diff requires --old PATH".into()))?;
+    let new_path = args
+        .get("new")
+        .ok_or_else(|| ArgError("bench-diff requires --new PATH".into()))?;
+    let (old_name, old) = load_bench(old_path)?;
+    let (new_name, new) = load_bench(new_path)?;
+    write_out(
+        out,
+        format!("bench-diff: {old_name} ({old_path}) -> {new_name} ({new_path})\n"),
+    )?;
+    let mut changed = 0usize;
+    let mut compared = 0usize;
+    for exp in &new {
+        let Some(before) = old.iter().find(|e| e.id == exp.id) else {
+            write_out(out, format!("  {}: only in {new_path}\n", exp.id))?;
+            continue;
+        };
+        for (key, cells) in &exp.rows {
+            let Some((_, old_cells)) = before.rows.iter().find(|(k, _)| k == key) else {
+                write_out(out, format!("  {} / {key}: new row\n", exp.id))?;
+                continue;
+            };
+            for (i, (n, o)) in cells.iter().zip(old_cells.iter()).enumerate() {
+                compared += 1;
+                let column = exp.headers.get(i).map_or("?", String::as_str);
+                match (bench_cell_value(o), bench_cell_value(n)) {
+                    (Some(a), Some(b)) if (b - a).abs() > 1e-9 => {
+                        changed += 1;
+                        write_out(
+                            out,
+                            format!(
+                                "  {} / {key} / {column}: {o} -> {n} ({:+.2})\n",
+                                exp.id,
+                                b - a
+                            ),
+                        )?;
+                    }
+                    (Some(_), Some(_)) => {}
+                    _ if o != n => {
+                        changed += 1;
+                        write_out(
+                            out,
+                            format!("  {} / {key} / {column}: {o} -> {n}\n", exp.id),
+                        )?;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    for exp in &old {
+        if !new.iter().any(|e| e.id == exp.id) {
+            write_out(out, format!("  {}: only in {old_path}\n", exp.id))?;
+        }
+    }
+    write_out(
+        out,
+        if changed == 0 {
+            format!("no differences across {compared} compared cell(s)\n")
+        } else {
+            format!("{changed} differing cell(s) of {compared} compared\n")
+        },
+    )
 }
 
 /// Parses a trace id: decimal, or hex with an `0x` prefix (daemon trace
@@ -1130,6 +1482,192 @@ mod tests {
         let e = run_cmd(&["stats", "--addr", "127.0.0.1:1", "--timeout-ms", "200"]).unwrap_err();
         assert!(e.to_string().contains("scrape of"), "{e}");
         assert!(run_cmd(&["stats", "--addr", "127.0.0.1:1", "--format", "xml"]).is_err());
+    }
+
+    #[test]
+    fn top_scrapes_a_live_cluster_and_isolates_dead_nodes() {
+        use coopcache_core::PlacementScheme;
+        let cluster =
+            LoopbackCluster::start(2, ByteSize::from_kb(64), PlacementScheme::Ea).unwrap();
+        for i in 0..6u64 {
+            cluster
+                .request(
+                    (i % 2) as usize,
+                    DocId::new(i % 3 + 1),
+                    ByteSize::from_kb(1),
+                )
+                .unwrap();
+        }
+        for idx in 0..cluster.len() {
+            cluster.daemon(idx).sample_now();
+        }
+        let addrs = cluster
+            .doc_addrs()
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        let text = run_cmd(&["top", "--addrs", &addrs, "--once", "true"]).unwrap();
+        assert!(text.contains("series: 2 node(s)"), "{text}");
+        assert!(text.contains("req/s"), "{text}");
+        assert!(text.contains("group"), "{text}");
+        assert!(
+            !text.contains("\x1b[2J"),
+            "--once must not clear the screen"
+        );
+
+        // A bounded live view clears between frames instead.
+        let live = run_cmd(&[
+            "top",
+            "--addrs",
+            &addrs,
+            "--frames",
+            "2",
+            "--refresh-ms",
+            "10",
+        ])
+        .unwrap();
+        assert_eq!(live.matches("\x1b[2J").count(), 2, "{live:?}");
+
+        // A dead node is an error line, not an abort: port 1 is closed.
+        let mixed = format!("{addrs},127.0.0.1:1");
+        let text = run_cmd(&[
+            "top",
+            "--addrs",
+            &mixed,
+            "--once",
+            "true",
+            "--timeout-ms",
+            "200",
+        ])
+        .unwrap();
+        assert!(text.contains("series: 2 node(s)"), "{text}");
+        assert!(text.contains("node 127.0.0.1:1:"), "{text}");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn top_replays_an_event_stream_byte_identically() {
+        let dir = std::env::temp_dir().join("coopcache_cli_top_replay");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let path_s = path.to_str().unwrap();
+        run_cmd(&[
+            "serve",
+            "--caches",
+            "2",
+            "--requests",
+            "40",
+            "--events",
+            path_s,
+        ])
+        .unwrap();
+        let replay = |interval: &str| {
+            run_cmd(&["top", "--replay", path_s, "--interval-ms", interval]).unwrap()
+        };
+        let a = replay("50");
+        assert!(a.contains("req/s"), "{a}");
+        assert!(a.contains("group"), "{a}");
+        // Replayed series carry no gauges, so the occupancy columns stay
+        // out of the lean rendering.
+        assert!(!a.contains("used_kb"), "{a}");
+        assert_eq!(a, replay("50"), "same file must render byte-identically");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn top_flag_validation() {
+        assert!(run_cmd(&["top"]).is_err(), "--addrs or --replay required");
+        assert!(run_cmd(&["top", "--addrs", "x", "--replay", "y"]).is_err());
+        assert!(run_cmd(&["top", "--addrs", "not-an-addr"]).is_err());
+        assert!(run_cmd(&["top", "--replay", "/nonexistent/x"]).is_err());
+        assert!(run_cmd(&["top", "--addrs", "127.0.0.1:1", "--once", "maybe"]).is_err());
+    }
+
+    #[test]
+    fn stats_cluster_scrape_survives_chaos_and_a_killed_daemon() {
+        use coopcache_core::PlacementScheme;
+        use std::time::Duration;
+        // Daemon 1 refuses every document connection; stats probes are
+        // exempt by design, so its row must still fill in.
+        let config = ClusterConfig::new(3, ByteSize::from_kb(64), PlacementScheme::Ea)
+            .faults(FaultPlan::seeded(11).rule(
+                CacheId::new(1),
+                FaultKind::RefuseDoc,
+                FaultMode::Always,
+            ))
+            .icp_timeout(Duration::from_millis(80));
+        let mut cluster = LoopbackCluster::start_with_config(config).unwrap();
+        for i in 0..9u64 {
+            cluster
+                .request(
+                    (i % 3) as usize,
+                    DocId::new(i % 4 + 1),
+                    ByteSize::from_kb(1),
+                )
+                .unwrap();
+        }
+        cluster.kill(2);
+        let addrs = cluster
+            .doc_addrs()
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        let text = run_cmd(&["stats", "--cluster", &addrs, "--timeout-ms", "500"]).unwrap();
+        assert!(text.contains("cache 0"), "{text}");
+        assert!(text.contains("cache 1"), "{text}");
+        assert!(text.contains("error: "), "{text}");
+        assert!(text.contains("scraped 2/3 daemons"), "{text}");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn stats_cluster_flag_validation() {
+        assert!(run_cmd(&["stats", "--cluster", ""]).is_err());
+        assert!(run_cmd(&["stats", "--cluster", "nope"]).is_err());
+    }
+
+    fn write_bench(path: &std::path::Path, ea_hit: &str) -> String {
+        let body = format!(
+            concat!(
+                r#"{{"bench":"BENCH_T","experiments":[{{"id":"fig1","title":"t","#,
+                r#""trace":"x","headers":["aggregate","ad-hoc hit %","EA hit %"],"#,
+                r#""rows":[["100KB","53.08","{}"],["1MB","76.03","76.18"]]}}]}}"#
+            ),
+            ea_hit
+        );
+        std::fs::write(path, &body).unwrap();
+        path.to_str().unwrap().to_owned()
+    }
+
+    #[test]
+    fn bench_diff_reports_deltas_and_identity() {
+        let dir = std::env::temp_dir().join("coopcache_cli_bench_diff");
+        std::fs::create_dir_all(&dir).unwrap();
+        let old = write_bench(&dir.join("old.json"), "54.54");
+        let new = write_bench(&dir.join("new.json"), "55.04");
+
+        let same = run_cmd(&["bench-diff", "--old", &old, "--new", &old]).unwrap();
+        assert!(same.contains("no differences"), "{same}");
+
+        let diff = run_cmd(&["bench-diff", "--old", &old, "--new", &new]).unwrap();
+        assert!(diff.contains("fig1 / 100KB / EA hit %"), "{diff}");
+        assert!(diff.contains("54.54 -> 55.04 (+0.50)"), "{diff}");
+        assert!(diff.contains("1 differing cell(s)"), "{diff}");
+
+        assert!(run_cmd(&["bench-diff", "--old", &old]).is_err());
+        assert!(run_cmd(&["bench-diff", "--old", "/nonexistent/x", "--new", &new]).is_err());
+        let garbage = dir.join("garbage.json");
+        std::fs::write(&garbage, "not json").unwrap();
+        assert!(run_cmd(&[
+            "bench-diff",
+            "--old",
+            &old,
+            "--new",
+            garbage.to_str().unwrap()
+        ])
+        .is_err());
     }
 
     #[test]

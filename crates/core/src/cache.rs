@@ -45,6 +45,10 @@ pub struct Cache {
     tracker: ExpirationTracker,
     stats: CacheStats,
     ttl: Option<DurationMs>,
+    // Hot-path per-op wall-time accounting, compiled only under the
+    // `profile` feature (see crate::profile).
+    #[cfg(feature = "profile")]
+    profile: crate::profile::ProfileSnapshot,
 }
 
 /// A broken internal invariant, as reported by
@@ -174,6 +178,8 @@ impl Cache {
             tracker: ExpirationTracker::new(policy.expiration_flavor(), window),
             stats: CacheStats::default(),
             ttl: None,
+            #[cfg(feature = "profile")]
+            profile: crate::profile::ProfileSnapshot::default(),
         }
     }
 
@@ -292,12 +298,19 @@ impl Cache {
     /// (last-hit time, hit counter, policy promotion) and its size is
     /// returned; on a miss, `None`.
     pub fn lookup(&mut self, doc: DocId, now: Timestamp) -> Option<ByteSize> {
+        let timer = crate::profile::Timer::start();
+        let served = self.lookup_inner(doc, now);
+        self.audit();
+        self.record_profile(crate::profile::ProfileOp::Lookup, timer);
+        served
+    }
+
+    fn lookup_inner(&mut self, doc: DocId, now: Timestamp) -> Option<ByteSize> {
         if self.expire_if_stale(doc, now) {
             self.stats.local_misses += 1;
-            self.audit();
             return None;
         }
-        let served = match self.entries.get_mut(&doc) {
+        match self.entries.get_mut(&doc) {
             Some(entry) => {
                 entry.record_hit(now);
                 self.policy.on_hit(doc);
@@ -308,9 +321,7 @@ impl Cache {
                 self.stats.local_misses += 1;
                 None
             }
-        };
-        self.audit();
-        served
+        }
     }
 
     /// Serves a sibling cache (a remote hit at this responder).
@@ -324,8 +335,20 @@ impl Cache {
     /// Returns the document size, or `None` if the document is not here
     /// (e.g. it was evicted between the ICP reply and the HTTP request).
     pub fn serve_remote(&mut self, doc: DocId, now: Timestamp, promote: bool) -> Option<ByteSize> {
+        let timer = crate::profile::Timer::start();
+        let served = self.serve_remote_inner(doc, now, promote);
+        self.audit();
+        self.record_profile(crate::profile::ProfileOp::ServeRemote, timer);
+        served
+    }
+
+    fn serve_remote_inner(
+        &mut self,
+        doc: DocId,
+        now: Timestamp,
+        promote: bool,
+    ) -> Option<ByteSize> {
         if self.expire_if_stale(doc, now) {
-            self.audit();
             return None;
         }
         let size = match self.entries.get_mut(&doc) {
@@ -341,7 +364,6 @@ impl Cache {
             self.policy.on_hit(doc);
         }
         self.stats.remote_serves += 1;
-        self.audit();
         Some(size)
     }
 
@@ -351,6 +373,14 @@ impl Cache {
     /// the caller (the simulator logs them). A document wider than the
     /// whole cache is rejected rather than flushing everything.
     pub fn insert(&mut self, doc: DocId, size: ByteSize, now: Timestamp) -> InsertOutcome {
+        let timer = crate::profile::Timer::start();
+        let outcome = self.insert_inner(doc, size, now);
+        self.audit();
+        self.record_profile(crate::profile::ProfileOp::Insert, timer);
+        outcome
+    }
+
+    fn insert_inner(&mut self, doc: DocId, size: ByteSize, now: Timestamp) -> InsertOutcome {
         if self.entries.contains_key(&doc) {
             return InsertOutcome::AlreadyPresent;
         }
@@ -378,7 +408,6 @@ impl Cache {
         self.policy.on_insert(doc, size);
         self.used += size;
         self.stats.insertions += 1;
-        self.audit();
         InsertOutcome::Stored(evictions)
     }
 
@@ -396,6 +425,18 @@ impl Cache {
     }
 
     fn evict(
+        &mut self,
+        doc: DocId,
+        now: Timestamp,
+        reason: EvictionReason,
+    ) -> Option<EvictionRecord> {
+        let timer = crate::profile::Timer::start();
+        let record = self.evict_inner(doc, now, reason);
+        self.record_profile(crate::profile::ProfileOp::Evict, timer);
+        record
+    }
+
+    fn evict_inner(
         &mut self,
         doc: DocId,
         now: Timestamp,
@@ -475,6 +516,33 @@ impl Cache {
             return Err(InvariantViolation::TrackerWindow);
         }
         Ok(())
+    }
+
+    /// The accumulated hot-path profile.
+    ///
+    /// `Some` only when the crate is built with the `profile` feature;
+    /// `None` otherwise, so callers can report "profiling off"
+    /// explicitly instead of showing all-zero timings.
+    #[must_use]
+    pub fn profile(&self) -> Option<crate::profile::ProfileSnapshot> {
+        #[cfg(feature = "profile")]
+        {
+            Some(self.profile)
+        }
+        #[cfg(not(feature = "profile"))]
+        {
+            None
+        }
+    }
+
+    /// Accounts one timed hot-path call; compiles to nothing without the
+    /// `profile` feature.
+    #[inline]
+    fn record_profile(&mut self, op: crate::profile::ProfileOp, timer: crate::profile::Timer) {
+        #[cfg(feature = "profile")]
+        self.profile.record(op, timer.elapsed_ns());
+        #[cfg(not(feature = "profile"))]
+        let _ = (op, timer);
     }
 
     /// Paranoid-mode hook: re-verifies every invariant after a mutation.
@@ -733,6 +801,32 @@ mod tests {
             assert!(c.used() <= c.capacity());
             assert!(c.len() <= 2);
             assert!(c.tracker().eviction_count() >= 8);
+        }
+    }
+
+    #[test]
+    fn profile_matches_feature_state() {
+        let mut c = cache(8);
+        let now = t(5);
+        c.insert(d(1), kb(4), now);
+        c.lookup(d(1), now);
+        c.lookup(d(2), now);
+        c.serve_remote(d(1), now, true);
+        c.insert(d(2), kb(8), now); // evicts d(1) under capacity pressure
+        c.remove(d(2), now);
+        assert_eq!(
+            c.profile().is_some(),
+            cfg!(feature = "profile"),
+            "profile() must be Some exactly under the profile feature"
+        );
+        if let Some(profile) = c.profile() {
+            assert_eq!(profile.lookup.calls, 2);
+            assert_eq!(profile.serve_remote.calls, 1);
+            assert_eq!(profile.insert.calls, 2);
+            assert_eq!(
+                profile.evict.calls, 2,
+                "capacity eviction + explicit remove"
+            );
         }
     }
 }

@@ -43,6 +43,7 @@ mod entry;
 mod expiration;
 mod placement;
 mod policy;
+mod profile;
 mod stats;
 
 pub use cache::{Cache, InsertOutcome, InvariantViolation};
@@ -52,4 +53,5 @@ pub use placement::{PlacementScheme, TieBreak};
 pub use policy::{
     ExpirationFlavor, Fifo, Gds, Gdsf, Lfu, Lru, PolicyKind, ReplacementPolicy, Slru,
 };
+pub use profile::{OpProfile, ProfileOp, ProfileSnapshot, Timer as ProfileTimer};
 pub use stats::CacheStats;

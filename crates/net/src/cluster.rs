@@ -34,6 +34,9 @@ pub struct ClusterConfig {
     pub quarantine_base: Duration,
     /// Seeded fault schedule (empty = no injection anywhere).
     pub faults: FaultPlan,
+    /// Metrics sampling interval for every daemon (`None` = on-demand
+    /// sampling only; see `DaemonConfig::sample_interval`).
+    pub sample_interval: Option<Duration>,
 }
 
 impl ClusterConfig {
@@ -51,6 +54,7 @@ impl ClusterConfig {
             quarantine_after: defaults.quarantine_after,
             quarantine_base: defaults.quarantine_base,
             faults: FaultPlan::default(),
+            sample_interval: None,
         }
     }
 
@@ -93,6 +97,13 @@ impl ClusterConfig {
     #[must_use]
     pub fn faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Sets the metrics sampling interval (builder style).
+    #[must_use]
+    pub fn sample_interval(mut self, interval: Duration) -> Self {
+        self.sample_interval = Some(interval);
         self
     }
 }
@@ -201,6 +212,7 @@ impl LoopbackCluster {
             daemon_config.io_timeout = config.io_timeout;
             daemon_config.quarantine_after = config.quarantine_after;
             daemon_config.quarantine_base = config.quarantine_base;
+            daemon_config.sample_interval = config.sample_interval;
             daemons.push(CacheDaemon::start_with_faults(
                 daemon_config,
                 socket,

@@ -35,8 +35,9 @@ use crate::origin::{drain_body, fetch_from_origin, write_body};
 use crate::wire::{read_frame, write_frame, WireMessage};
 use coopcache_core::{ExpirationWindow, PlacementScheme, PolicyKind};
 use coopcache_obs::{
-    age_to_ms, scoped_id, Event, FaultOp, Histogram, HistogramSnapshot, JsonWriter, ServerLoop,
-    SinkHandle, Span, SpanKind, StatsRegistry, TraceCtx,
+    age_to_ms, scoped_id, Event, FaultOp, Histogram, HistogramSnapshot, JsonWriter, SeriesPoint,
+    SeriesRing, ServerLoop, SinkHandle, Span, SpanKind, StatsRegistry, TraceCtx,
+    DEFAULT_SERIES_CAPACITY,
 };
 use coopcache_proxy::{IcpQuery, ProxyNode, RequestOutcome};
 use coopcache_types::{ByteSize, CacheId, DocId};
@@ -108,6 +109,11 @@ pub struct DaemonConfig {
     pub quarantine_base: Duration,
     /// Upper bound on the quarantine backoff.
     pub quarantine_cap: Duration,
+    /// Metrics sampling interval. `Some` starts a sampler thread that
+    /// snapshots the daemon's counters, latency and occupancy into the
+    /// `OP_SERIES` ring at this cadence; `None` (the default) samples
+    /// only on demand ([`CacheDaemon::sample_now`]).
+    pub sample_interval: Option<Duration>,
 }
 
 impl DaemonConfig {
@@ -126,6 +132,7 @@ impl DaemonConfig {
             quarantine_after: 2,
             quarantine_base: Duration::from_millis(250),
             quarantine_cap: Duration::from_secs(8),
+            sample_interval: None,
         }
     }
 }
@@ -234,6 +241,9 @@ struct LoopCtx {
     latency: Arc<Mutex<BTreeMap<ServeSource, Histogram>>>,
     /// Peer health map, shared for the same reason.
     health: Arc<Mutex<BTreeMap<CacheId, PeerHealth>>>,
+    /// Sampled time-series ring, shared with the sampler thread and the
+    /// daemon handle so the doc server can serve it over `OP_SERIES`.
+    series: Arc<Mutex<SeriesRing>>,
     /// Span id allocator, shared with the daemon handle so client-side
     /// and server-side spans of one daemon never collide.
     span_seq: Arc<AtomicU64>,
@@ -289,6 +299,9 @@ pub struct CacheDaemon {
     /// Consecutive-failure counts and quarantine state per peer.
     /// Shared with the doc server so `OP_STATS` can report it.
     health: Arc<Mutex<BTreeMap<CacheId, PeerHealth>>>,
+    /// Sampled time-series ring, shared with the sampler thread and the
+    /// doc server so `OP_SERIES` can report it.
+    series: Arc<Mutex<SeriesRing>>,
 }
 
 impl CacheDaemon {
@@ -335,6 +348,16 @@ impl CacheDaemon {
             Arc::new(Mutex::new(BTreeMap::new()));
         let health: Arc<Mutex<BTreeMap<CacheId, PeerHealth>>> =
             Arc::new(Mutex::new(BTreeMap::new()));
+        // The ring exists even without a sampler thread, so on-demand
+        // samples and `OP_SERIES` scrapes always have a document.
+        let interval_ms = config
+            .sample_interval
+            .map_or(1_000, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX));
+        let series = Arc::new(Mutex::new(SeriesRing::new(
+            config.id,
+            interval_ms,
+            DEFAULT_SERIES_CAPACITY,
+        )));
         // Placement/eviction decisions count into the same registry as
         // the daemon's own events, with or without a sink.
         lock(&node).set_stats(Arc::clone(&stats));
@@ -350,6 +373,7 @@ impl CacheDaemon {
             stats: Arc::clone(&stats),
             latency: Arc::clone(&latency),
             health: Arc::clone(&health),
+            series: Arc::clone(&series),
             span_seq: Arc::clone(&span_seq),
         };
 
@@ -370,12 +394,22 @@ impl CacheDaemon {
         // Document server thread.
         sockets.doc.set_nonblocking(true)?;
         {
+            let ctx = ctx.clone();
             let listener = sockets.doc;
             let io_timeout = config.io_timeout;
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("coopcache-doc-{}", config.id))
                     .spawn(move || doc_loop(&listener, &ctx, io_timeout))?,
+            );
+        }
+
+        // Metrics sampler thread, only when an interval is configured.
+        if let Some(interval) = config.sample_interval {
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("coopcache-sample-{}", config.id))
+                    .spawn(move || sample_loop(&ctx, interval))?,
             );
         }
 
@@ -395,6 +429,7 @@ impl CacheDaemon {
             span_seq,
             latency,
             health,
+            series,
         })
     }
 
@@ -462,6 +497,33 @@ impl CacheDaemon {
             &self.node,
             &self.clock,
         )
+    }
+
+    /// Deterministic JSON document of this daemon's sampled time
+    /// series — the same document it serves over `OP_SERIES`.
+    #[must_use]
+    pub fn series_json(&self) -> String {
+        lock(&self.series).to_json()
+    }
+
+    /// A clone of the sampled time-series ring.
+    #[must_use]
+    pub fn series(&self) -> SeriesRing {
+        lock(&self.series).clone()
+    }
+
+    /// Takes one time-series sample immediately, regardless of the
+    /// configured interval (tests and one-shot scrapes need points
+    /// without waiting out a wall-clock cadence).
+    pub fn sample_now(&self) {
+        let point = sample_point(
+            &self.stats,
+            &self.latency,
+            &self.health,
+            &self.node,
+            &self.clock,
+        );
+        lock(&self.series).push(point);
     }
 
     /// Snapshot of the wall-clock latency histograms, one per serve
@@ -1019,6 +1081,19 @@ fn serve_doc(stream: &mut TcpStream, ctx: &LoopCtx, fault: DocFault) -> io::Resu
             )?;
             return stream.write_all(body.as_bytes());
         }
+        // A series scrape shares the doc port and survives chaos the
+        // same way the stats probe does.
+        WireMessage::SeriesRequest => {
+            let body = lock(&ctx.series).to_json();
+            write_frame(
+                stream,
+                &WireMessage::SeriesResponse {
+                    cache: ctx.id,
+                    body_len: u64::try_from(body.len()).unwrap_or(u64::MAX),
+                },
+            )?;
+            return stream.write_all(body.as_bytes());
+        }
         WireMessage::DocRequest {
             request,
             ctx: trace,
@@ -1114,24 +1189,8 @@ fn build_stats_json(
     w.key("latency");
     w.begin_object();
     for (source, hist) in lock(latency).iter() {
-        let s = hist.snapshot();
         w.key(&source.to_string());
-        w.begin_object();
-        w.key("count");
-        w.u64(s.count);
-        w.key("mean_us");
-        w.f64(s.mean);
-        w.key("min_us");
-        w.u64(s.min);
-        w.key("p50_us");
-        w.u64(s.p50);
-        w.key("p90_us");
-        w.u64(s.p90);
-        w.key("p99_us");
-        w.u64(s.p99);
-        w.key("max_us");
-        w.u64(s.max);
-        w.end_object();
+        hist.snapshot().write_json_us(&mut w);
     }
     w.end_object();
     w.key("quarantined");
@@ -1143,7 +1202,7 @@ fn build_stats_json(
         }
     }
     w.end_array();
-    let (docs, used, capacity, age_ms) = {
+    let (docs, used, capacity, age_ms, profile) = {
         let node = lock(node);
         let cache = node.cache();
         (
@@ -1151,6 +1210,7 @@ fn build_stats_json(
             cache.used().as_bytes(),
             cache.capacity().as_bytes(),
             age_to_ms(node.expiration_age()),
+            cache.profile(),
         )
     };
     w.key("occupancy");
@@ -1164,6 +1224,98 @@ fn build_stats_json(
     w.end_object();
     w.key("expiration_age_ms");
     w.opt_u64(age_ms);
+    w.key("profile");
+    write_profile_json(&mut w, profile);
     w.end_object();
     w.finish()
+}
+
+/// Writes the `profile` section of the stats document: `null` when the
+/// workspace was built without the core `profile` feature, else one
+/// object per hot-path op with call count and accumulated wall time.
+fn write_profile_json(w: &mut JsonWriter, profile: Option<coopcache_core::ProfileSnapshot>) {
+    let Some(p) = profile else {
+        w.null();
+        return;
+    };
+    w.begin_object();
+    for op in coopcache_core::ProfileOp::ALL {
+        let slot = p.op(op);
+        w.key(op.name());
+        w.begin_object();
+        w.key("calls");
+        w.u64(slot.calls);
+        w.key("total_ns");
+        w.u64(slot.total_ns);
+        w.key("mean_ns");
+        w.u64(slot.mean_ns());
+        w.end_object();
+    }
+    w.end_object();
+}
+
+/// Takes one time-series sample of a daemon's live state: cumulative
+/// event counters, the merged request-latency histogram, cache
+/// occupancy, the live expiration age (paper eq. 5) and the number of
+/// quarantined peers, stamped with the daemon clock.
+fn sample_point(
+    stats: &StatsRegistry,
+    latency: &Mutex<BTreeMap<ServeSource, Histogram>>,
+    health: &Mutex<BTreeMap<CacheId, PeerHealth>>,
+    node: &Mutex<ProxyNode>,
+    clock: &SharedClock,
+) -> SeriesPoint {
+    let mut counters = [0u64; coopcache_obs::EVENT_KINDS.len()];
+    for (slot, (_, count)) in counters.iter_mut().zip(stats.snapshot()) {
+        *slot = count;
+    }
+    let mut merged = Histogram::new();
+    for hist in lock(latency).values() {
+        merged.merge(hist);
+    }
+    let snapshot = merged.snapshot();
+    let now_us = clock.now_micros();
+    let quarantined = lock(health)
+        .values()
+        .filter(|h| now_us < h.quarantined_until_us)
+        .count();
+    let (docs, used_bytes, capacity_bytes, expiration_age_ms) = {
+        let node = lock(node);
+        let cache = node.cache();
+        (
+            u64::try_from(cache.len()).unwrap_or(u64::MAX),
+            cache.used().as_bytes(),
+            cache.capacity().as_bytes(),
+            age_to_ms(node.expiration_age()),
+        )
+    };
+    SeriesPoint {
+        t_ms: clock.now().as_millis(),
+        counters,
+        latency: (snapshot.count > 0).then_some(snapshot),
+        docs,
+        used_bytes,
+        capacity_bytes,
+        expiration_age_ms,
+        quarantined: u64::try_from(quarantined).unwrap_or(u64::MAX),
+    }
+}
+
+/// Sampler thread body: pushes one [`SeriesPoint`] per interval into
+/// the shared ring. The sleep is chunked so shutdown never blocks
+/// behind a long interval.
+fn sample_loop(ctx: &LoopCtx, interval: Duration) {
+    while !ctx.stop.load(Ordering::Relaxed) {
+        let mut remaining = interval;
+        while !remaining.is_zero() {
+            if ctx.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            let chunk = remaining.min(Duration::from_millis(5));
+            std::thread::sleep(chunk);
+            remaining = remaining.saturating_sub(chunk);
+        }
+        let point = sample_point(&ctx.stats, &ctx.latency, &ctx.health, &ctx.node, &ctx.clock);
+        lock(&ctx.series).push(point);
+    }
 }

@@ -46,5 +46,5 @@ pub use cluster::{ClusterConfig, LoopbackCluster};
 pub use daemon::{BoundSockets, CacheDaemon, DaemonConfig, PeerAddr, ServeSource};
 pub use fault::{FaultKind, FaultMode, FaultPlan, FaultRule};
 pub use origin::OriginServer;
-pub use stats::{scrape_stats, MAX_STATS_BODY};
+pub use stats::{scrape_series, scrape_stats, MAX_STATS_BODY};
 pub use wire::{DecodeError, WireMessage, FRAME_V2, MAGIC, MAX_FRAME_LEN};

@@ -1,12 +1,16 @@
-//! Client side of the `OP_STATS` live-stats plane.
+//! Client side of the `OP_STATS`/`OP_SERIES` live observability plane.
 //!
 //! Any daemon's document (TCP) endpoint answers a [`WireMessage::StatsRequest`]
 //! with a [`WireMessage::StatsResponse`] header frame followed by a raw
 //! JSON body — the same deterministic document
 //! [`CacheDaemon::stats_json`](crate::CacheDaemon::stats_json) builds
-//! locally. [`scrape_stats`] is the one-shot client the `coopcache
-//! stats` subcommand (and tests) use to pull that snapshot off a live
-//! cluster without disturbing its request path.
+//! locally — and a [`WireMessage::SeriesRequest`] with the sampled
+//! time-series ring behind
+//! [`CacheDaemon::series_json`](crate::CacheDaemon::series_json).
+//! [`scrape_stats`] and [`scrape_series`] are the one-shot clients the
+//! `coopcache stats` and `coopcache top` subcommands (and tests) use to
+//! pull those documents off a live cluster without disturbing its
+//! request path.
 
 use crate::wire::{read_frame, write_frame, WireMessage};
 use std::io::{self, Read};
@@ -46,4 +50,36 @@ pub fn scrape_stats(addr: SocketAddr, timeout: Duration) -> io::Result<String> {
     stream.read_exact(&mut body)?;
     String::from_utf8(body)
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "stats body is not UTF-8"))
+}
+
+/// Scrapes the sampled time-series ring from the daemon whose
+/// *document* endpoint is `addr`, returning the JSON body (decode it
+/// with [`coopcache_obs::SeriesRing::from_json`]).
+///
+/// # Errors
+///
+/// Propagates connect/read/write failures; a non-series reply or an
+/// oversized body surfaces as [`io::ErrorKind::InvalidData`].
+pub fn scrape_series(addr: SocketAddr, timeout: Duration) -> io::Result<String> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    write_frame(&mut stream, &WireMessage::SeriesRequest)?;
+    let WireMessage::SeriesResponse { body_len, .. } = read_frame(&mut stream)? else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "expected a series response",
+        ));
+    };
+    if body_len > MAX_STATS_BODY {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "oversized series body",
+        ));
+    }
+    let mut body = vec![0u8; usize::try_from(body_len).unwrap_or(0)];
+    stream.read_exact(&mut body)?;
+    String::from_utf8(body)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "series body is not UTF-8"))
 }

@@ -85,13 +85,14 @@ pub fn read_frame<R: Read>(reader: &mut R) -> io::Result<WireMessage> {
 }
 
 /// Peeks at an accepted doc-port connection — without consuming any
-/// bytes — to check whether its first frame is an `OP_STATS` probe.
-/// A refuse-rigged daemon uses this to keep serving stats scrapes
-/// while document fetches still see the connection die unread
-/// (observability must survive chaos). The client's length prefix and
-/// header are written separately and can land in different segments,
-/// so short peeks wait briefly for the rest; on timeout or error the
-/// connection is treated as a document fetch.
+/// bytes — to check whether its first frame is an observability probe
+/// (`OP_STATS` or `OP_SERIES`). A refuse-rigged daemon uses this to
+/// keep serving stats and series scrapes while document fetches still
+/// see the connection die unread (observability must survive chaos).
+/// The client's length prefix and header are written separately and
+/// can land in different segments, so short peeks wait briefly for
+/// the rest; on timeout or error the connection is treated as a
+/// document fetch.
 pub(crate) fn frame_is_stats_probe(stream: &std::net::TcpStream) -> bool {
     // length prefix (4) + magic (2) + version (1) + opcode (1)
     let mut buf = [0u8; 8];
@@ -100,7 +101,7 @@ pub(crate) fn frame_is_stats_probe(stream: &std::net::TcpStream) -> bool {
             Ok(n) if n >= buf.len() => {
                 return buf[4..6] == MAGIC.to_be_bytes()
                     && buf[6] == FRAME_V2
-                    && buf[7] == OP_STATS_REQUEST;
+                    && (buf[7] == OP_STATS_REQUEST || buf[7] == OP_SERIES_REQUEST);
             }
             Ok(0) => return false, // closed without writing a frame
             Ok(_) => std::thread::sleep(std::time::Duration::from_millis(1)),
@@ -118,6 +119,10 @@ const OP_DOC_RESPONSE: u8 = 4;
 const OP_STATS_REQUEST: u8 = 5;
 /// v2-only: stats snapshot header; `body_len` bytes of JSON follow.
 const OP_STATS_RESPONSE: u8 = 6;
+/// v2-only: ask a daemon's doc port for its sampled time-series ring.
+const OP_SERIES_REQUEST: u8 = 7;
+/// v2-only: series header; `body_len` bytes of JSON follow.
+const OP_SERIES_RESPONSE: u8 = 8;
 
 const AGE_INFINITE: u8 = 0;
 const AGE_FINITE: u8 = 1;
@@ -283,6 +288,17 @@ pub enum WireMessage {
         /// Length of the JSON body that follows.
         body_len: u64,
     },
+    /// Time-series request (TCP, v2 only): ask the daemon behind this
+    /// doc port for its sampled metrics ring (`OP_SERIES`).
+    SeriesRequest,
+    /// Time-series response header (TCP, v2 only); `body_len` bytes of
+    /// deterministic JSON follow on the same connection.
+    SeriesResponse {
+        /// The responding daemon.
+        cache: CacheId,
+        /// Length of the JSON body that follows.
+        body_len: u64,
+    },
 }
 
 impl WireMessage {
@@ -329,6 +345,14 @@ impl WireMessage {
                 put_u16(&mut buf, cache.as_u16());
                 put_u64(&mut buf, *body_len);
             }
+            Self::SeriesRequest => {
+                put_u8(&mut buf, OP_SERIES_REQUEST);
+            }
+            Self::SeriesResponse { cache, body_len } => {
+                put_u8(&mut buf, OP_SERIES_RESPONSE);
+                put_u16(&mut buf, cache.as_u16());
+                put_u64(&mut buf, *body_len);
+            }
         }
         buf
     }
@@ -366,7 +390,10 @@ impl WireMessage {
                 put_age(&mut buf, response.responder_age);
                 put_u8(&mut buf, u8::from(*found));
             }
-            Self::StatsRequest | Self::StatsResponse { .. } => return None,
+            Self::StatsRequest
+            | Self::StatsResponse { .. }
+            | Self::SeriesRequest
+            | Self::SeriesResponse { .. } => return None,
         }
         Some(buf)
     }
@@ -434,6 +461,11 @@ impl WireMessage {
             }
             OP_STATS_REQUEST => Ok(Self::StatsRequest),
             OP_STATS_RESPONSE => Ok(Self::StatsResponse {
+                cache: CacheId::new(buf.get_u16()?),
+                body_len: buf.get_u64()?,
+            }),
+            OP_SERIES_REQUEST => Ok(Self::SeriesRequest),
+            OP_SERIES_RESPONSE => Ok(Self::SeriesResponse {
                 cache: CacheId::new(buf.get_u16()?),
                 body_len: buf.get_u64()?,
             }),
@@ -537,6 +569,20 @@ mod tests {
         // v2-only messages have no legacy form.
         assert_eq!(msg.encode_legacy(), None);
         assert_eq!(WireMessage::StatsRequest.encode_legacy(), None);
+    }
+
+    #[test]
+    fn series_messages_roundtrip() {
+        let msg = WireMessage::SeriesRequest;
+        assert_eq!(WireMessage::decode(&msg.encode()).unwrap(), msg);
+        let msg = WireMessage::SeriesResponse {
+            cache: CacheId::new(3),
+            body_len: 1 << 20,
+        };
+        assert_eq!(WireMessage::decode(&msg.encode()).unwrap(), msg);
+        // v2-only messages have no legacy form.
+        assert_eq!(msg.encode_legacy(), None);
+        assert_eq!(WireMessage::SeriesRequest.encode_legacy(), None);
     }
 
     #[test]
@@ -734,7 +780,7 @@ mod tests {
         }
 
         fn message(&mut self) -> WireMessage {
-            match self.below(6) {
+            match self.below(8) {
                 0 => WireMessage::IcpQuery {
                     query: IcpQuery {
                         from: self.cache(),
@@ -765,7 +811,12 @@ mod tests {
                     found: self.below(2) == 0,
                 },
                 4 => WireMessage::StatsRequest,
-                _ => WireMessage::StatsResponse {
+                5 => WireMessage::StatsResponse {
+                    cache: self.cache(),
+                    body_len: self.next(),
+                },
+                6 => WireMessage::SeriesRequest,
+                _ => WireMessage::SeriesResponse {
                     cache: self.cache(),
                     body_len: self.next(),
                 },
@@ -787,7 +838,7 @@ mod tests {
     #[test]
     fn seeded_roundtrip_every_variant() {
         let mut rng = TestRng(0xC0FF_EE00);
-        let mut seen = [false; 6];
+        let mut seen = [false; 8];
         for _ in 0..2_000 {
             let msg = rng.message();
             seen[match &msg {
@@ -797,6 +848,8 @@ mod tests {
                 WireMessage::DocResponse { .. } => 3,
                 WireMessage::StatsRequest => 4,
                 WireMessage::StatsResponse { .. } => 5,
+                WireMessage::SeriesRequest => 6,
+                WireMessage::SeriesResponse { .. } => 7,
             }] = true;
             let bytes = msg.encode();
             assert!(bytes.len() <= MAX_FRAME_LEN);

@@ -337,6 +337,14 @@ impl EventKind {
         }
     }
 
+    /// The inverse of [`Self::name`]: the kind carrying a JSON `"ev"`
+    /// tag, `None` for unknown tags. Series replay uses this to count
+    /// events straight off a JSONL stream without decoding full events.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        EVENT_KINDS.into_iter().find(|k| k.name() == name)
+    }
+
     /// This kind's position in [`EVENT_KINDS`] — the counter slot used
     /// by summaries and the live stats registry.
     ///
@@ -698,6 +706,14 @@ mod tests {
         for kind in EVENT_KINDS {
             assert!(!kind.name().is_empty());
         }
+    }
+
+    #[test]
+    fn from_name_inverts_name() {
+        for kind in EVENT_KINDS {
+            assert_eq!(EventKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(EventKind::from_name("no-such-event"), None);
     }
 
     #[test]

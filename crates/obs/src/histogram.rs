@@ -202,9 +202,70 @@ pub struct HistogramSnapshot {
     pub max: u64,
 }
 
+impl HistogramSnapshot {
+    /// Writes the snapshot as one JSON object with microsecond-suffixed
+    /// keys (`count`, `mean_us`, `min_us`, `p50_us`, `p90_us`, `p99_us`,
+    /// `max_us`) — the single latency shape shared by the `OP_STATS`
+    /// latency section and every `OP_SERIES` point, so scrapers parse
+    /// one format everywhere.
+    pub fn write_json_us(&self, w: &mut crate::json::JsonWriter) {
+        w.begin_object();
+        w.key("count");
+        w.u64(self.count);
+        w.key("mean_us");
+        w.f64(self.mean);
+        w.key("min_us");
+        w.u64(self.min);
+        w.key("p50_us");
+        w.u64(self.p50);
+        w.key("p90_us");
+        w.u64(self.p90);
+        w.key("p99_us");
+        w.u64(self.p99);
+        w.key("max_us");
+        w.u64(self.max);
+        w.end_object();
+    }
+
+    /// Decodes a snapshot written by [`Self::write_json_us`]; `None` on
+    /// missing or mistyped fields.
+    #[must_use]
+    pub fn from_json_us(value: &crate::json::JsonValue) -> Option<Self> {
+        Some(Self {
+            count: value.get("count")?.as_u64()?,
+            mean: value.get("mean_us")?.as_f64()?,
+            min: value.get("min_us")?.as_u64()?,
+            p50: value.get("p50_us")?.as_u64()?,
+            p90: value.get("p90_us")?.as_u64()?,
+            p99: value.get("p99_us")?.as_u64()?,
+            max: value.get("max_us")?.as_u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::json::{parse_json, JsonWriter};
+
+    #[test]
+    fn snapshot_json_roundtrip() {
+        let mut h = Histogram::new();
+        for v in [120, 240, 480] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut w = JsonWriter::new();
+        snap.write_json_us(&mut w);
+        let json = w.finish();
+        assert!(json.starts_with(r#"{"count":3,"mean_us":"#), "got {json}");
+        let value = parse_json(&json).expect("well-formed");
+        let back = HistogramSnapshot::from_json_us(&value).expect("decodes");
+        assert_eq!(back, snap);
+        // Missing fields decode to None, never panic.
+        let partial = parse_json(r#"{"count":3}"#).unwrap();
+        assert!(HistogramSnapshot::from_json_us(&partial).is_none());
+    }
 
     #[test]
     fn bucket_boundaries_are_powers_of_two() {

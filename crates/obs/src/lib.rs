@@ -54,6 +54,7 @@ mod assemble;
 mod event;
 mod histogram;
 mod json;
+mod series;
 mod sink;
 mod span;
 mod stats;
@@ -65,6 +66,10 @@ pub use event::{
 };
 pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
 pub use json::{escape_into, parse_json, JsonParseError, JsonValue, JsonWriter};
+pub use series::{
+    aggregate_points, event_cache, render_top, SeriesGauges, SeriesPoint, SeriesRecorder,
+    SeriesReplayer, SeriesRing, DEFAULT_SERIES_CAPACITY,
+};
 pub use sink::{EventSink, HistogramSink, JsonlSink, NullSink, RingBufferSink, SinkHandle};
 pub use span::{scoped_cache, scoped_id, scoped_seq, Span, SpanKind, TraceCtx};
 pub use stats::StatsRegistry;

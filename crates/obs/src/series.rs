@@ -1,0 +1,800 @@
+//! Fixed-capacity time series over the live stats plane.
+//!
+//! The [`StatsRegistry`](crate::StatsRegistry) answers "what are the
+//! counters *now*"; this module records how they *evolve*. A
+//! [`SeriesRecorder`] accumulates per-kind event counts and request
+//! latencies, and emits one [`SeriesPoint`] per elapsed sampling
+//! interval into a [`SeriesRing`] — a bounded ring buffer whose JSON
+//! form is the `OP_SERIES` wire body. Points carry cumulative counters
+//! (rates are derived from deltas at render time), the cumulative
+//! latency snapshot, cache occupancy, the live expiration age (paper
+//! eq. 5) and the quarantine count.
+//!
+//! Determinism contract: a recorder is a pure function of the
+//! `(time, event)` stream it observes. The DES drives it with simulated
+//! time and the [`SeriesReplayer`] with span timestamps read back from
+//! a JSONL file, so both produce byte-identical series for the same
+//! seed; only the live daemons' wall-clock sampler threads are
+//! nondeterministic, and they use the same point format.
+
+use crate::event::{Event, EventKind, EVENT_KINDS};
+use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::json::{parse_json, JsonParseError, JsonValue, JsonWriter};
+use coopcache_types::CacheId;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Default number of points a series ring retains.
+pub const DEFAULT_SERIES_CAPACITY: usize = 120;
+
+/// Largest ring capacity accepted when decoding a series body — a
+/// corrupt or hostile `capacity` field cannot force a huge allocation.
+const MAX_SERIES_CAPACITY: usize = 4_096;
+
+/// Instantaneous gauge values attached to a sample: everything in a
+/// point that is *not* derived from the event stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SeriesGauges {
+    /// Documents resident in the cache.
+    pub docs: u64,
+    /// Bytes used.
+    pub used_bytes: u64,
+    /// Configured capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Live cache expiration age (paper eq. 5), `None` while infinite.
+    pub expiration_age_ms: Option<u64>,
+    /// Peers currently quarantined by this node.
+    pub quarantined: u64,
+}
+
+/// One periodic sample of a node's live state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesPoint {
+    /// Sample time in milliseconds (virtual under the DES and replay,
+    /// clock-relative on a live daemon).
+    pub t_ms: u64,
+    /// Cumulative per-kind event counts, [`EVENT_KINDS`] order.
+    pub counters: [u64; EVENT_KINDS.len()],
+    /// Cumulative request-latency snapshot, `None` before any request.
+    pub latency: Option<HistogramSnapshot>,
+    /// Documents resident at sample time.
+    pub docs: u64,
+    /// Bytes used at sample time.
+    pub used_bytes: u64,
+    /// Configured capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Live expiration age, `None` while infinite.
+    pub expiration_age_ms: Option<u64>,
+    /// Quarantined peer count at sample time.
+    pub quarantined: u64,
+}
+
+impl SeriesPoint {
+    fn zero(t_ms: u64) -> Self {
+        Self {
+            t_ms,
+            counters: [0; EVENT_KINDS.len()],
+            latency: None,
+            docs: 0,
+            used_bytes: 0,
+            capacity_bytes: 0,
+            expiration_age_ms: None,
+            quarantined: 0,
+        }
+    }
+
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("t_ms");
+        w.u64(self.t_ms);
+        w.key("counters");
+        w.begin_object();
+        for kind in EVENT_KINDS {
+            w.key(kind.name());
+            w.u64(self.counters[kind.index()]);
+        }
+        w.end_object();
+        w.key("latency");
+        match &self.latency {
+            Some(snapshot) => snapshot.write_json_us(w),
+            None => w.null(),
+        }
+        w.key("occupancy");
+        w.begin_object();
+        w.key("docs");
+        w.u64(self.docs);
+        w.key("used_bytes");
+        w.u64(self.used_bytes);
+        w.key("capacity_bytes");
+        w.u64(self.capacity_bytes);
+        w.end_object();
+        w.key("expiration_age_ms");
+        w.opt_u64(self.expiration_age_ms);
+        w.key("quarantined");
+        w.u64(self.quarantined);
+        w.end_object();
+    }
+
+    fn from_json(value: &JsonValue) -> Option<Self> {
+        let counters_obj = value.get("counters")?;
+        let mut counters = [0u64; EVENT_KINDS.len()];
+        for kind in EVENT_KINDS {
+            counters[kind.index()] = counters_obj.get(kind.name())?.as_u64()?;
+        }
+        let latency = match value.get("latency")? {
+            JsonValue::Null => None,
+            v => Some(HistogramSnapshot::from_json_us(v)?),
+        };
+        let occupancy = value.get("occupancy")?;
+        let expiration_age_ms = match value.get("expiration_age_ms")? {
+            JsonValue::Null => None,
+            v => Some(v.as_u64()?),
+        };
+        Some(Self {
+            t_ms: value.get("t_ms")?.as_u64()?,
+            counters,
+            latency,
+            docs: occupancy.get("docs")?.as_u64()?,
+            used_bytes: occupancy.get("used_bytes")?.as_u64()?,
+            capacity_bytes: occupancy.get("capacity_bytes")?.as_u64()?,
+            expiration_age_ms,
+            quarantined: value.get("quarantined")?.as_u64()?,
+        })
+    }
+}
+
+/// A bounded ring of [`SeriesPoint`]s for one node; pushing past
+/// capacity drops the oldest point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesRing {
+    cache: CacheId,
+    interval_ms: u64,
+    capacity: usize,
+    points: Vec<SeriesPoint>,
+}
+
+impl SeriesRing {
+    /// Creates an empty ring. The interval is clamped to at least 1 ms
+    /// and the capacity to `1..=4096`.
+    #[must_use]
+    pub fn new(cache: CacheId, interval_ms: u64, capacity: usize) -> Self {
+        Self {
+            cache,
+            interval_ms: interval_ms.max(1),
+            capacity: capacity.clamp(1, MAX_SERIES_CAPACITY),
+            points: Vec::new(),
+        }
+    }
+
+    /// The node this series belongs to.
+    #[must_use]
+    pub const fn cache(&self) -> CacheId {
+        self.cache
+    }
+
+    /// The sampling interval in milliseconds.
+    #[must_use]
+    pub const fn interval_ms(&self) -> u64 {
+        self.interval_ms
+    }
+
+    /// Maximum number of retained points.
+    #[must_use]
+    pub const fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The retained points, oldest first.
+    #[must_use]
+    pub fn points(&self) -> &[SeriesPoint] {
+        &self.points
+    }
+
+    /// Number of retained points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no point has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Appends a point, evicting the oldest once at capacity.
+    pub fn push(&mut self, point: SeriesPoint) {
+        if self.points.len() >= self.capacity {
+            self.points.remove(0);
+        }
+        self.points.push(point);
+    }
+
+    /// Encodes the ring as one deterministic JSON document — the
+    /// `OP_SERIES` response body.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("cache");
+        w.u64(u64::from(self.cache.as_u16()));
+        w.key("interval_ms");
+        w.u64(self.interval_ms);
+        w.key("capacity");
+        w.u64(self.capacity as u64);
+        w.key("points");
+        w.begin_array();
+        for point in &self.points {
+            point.write_json(&mut w);
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Decodes a document written by [`Self::to_json`]. Structural
+    /// problems (missing or mistyped fields) are reported as parse
+    /// errors; excess points beyond the declared capacity keep only the
+    /// newest.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonParseError`] for malformed JSON or a well-formed
+    /// document that is not a series body.
+    pub fn from_json(text: &str) -> Result<Self, JsonParseError> {
+        const MALFORMED: JsonParseError = JsonParseError {
+            offset: 0,
+            what: "malformed series body",
+        };
+        let value = parse_json(text)?;
+        let decode = || -> Option<SeriesRing> {
+            let cache = u16::try_from(value.get("cache")?.as_u64()?).ok()?;
+            let mut ring = SeriesRing::new(
+                CacheId::new(cache),
+                value.get("interval_ms")?.as_u64()?,
+                usize::try_from(value.get("capacity")?.as_u64()?).ok()?,
+            );
+            for raw in value.get("points")?.as_array()? {
+                ring.push(SeriesPoint::from_json(raw)?);
+            }
+            Some(ring)
+        };
+        decode().ok_or(MALFORMED)
+    }
+}
+
+/// Accumulates events and emits interval-boundary samples into a ring.
+#[derive(Debug, Clone)]
+pub struct SeriesRecorder {
+    counters: [u64; EVENT_KINDS.len()],
+    latency: Histogram,
+    next_t_ms: u64,
+    ring: SeriesRing,
+}
+
+impl SeriesRecorder {
+    /// Creates a recorder whose first sample lands at `interval_ms`.
+    #[must_use]
+    pub fn new(cache: CacheId, interval_ms: u64, capacity: usize) -> Self {
+        let ring = SeriesRing::new(cache, interval_ms, capacity);
+        Self {
+            counters: [0; EVENT_KINDS.len()],
+            latency: Histogram::new(),
+            next_t_ms: ring.interval_ms(),
+            ring,
+        }
+    }
+
+    /// The node this recorder samples.
+    #[must_use]
+    pub const fn cache(&self) -> CacheId {
+        self.ring.cache()
+    }
+
+    /// Counts one event of `kind`.
+    pub fn observe_kind(&mut self, kind: EventKind) {
+        let slot = &mut self.counters[kind.index()];
+        *slot = slot.saturating_add(1);
+    }
+
+    /// Records one measured request latency.
+    pub fn record_latency_us(&mut self, us: u64) {
+        self.latency.record(us);
+    }
+
+    /// Counts one event, folding in its measured latency when it is a
+    /// completed request.
+    pub fn observe(&mut self, event: &Event) {
+        self.observe_kind(event.kind());
+        if let Event::Request {
+            latency_us: Some(us),
+            ..
+        } = event
+        {
+            self.latency.record(*us);
+        }
+    }
+
+    /// Advances the sampling clock to `now_ms`, emitting one point per
+    /// crossed interval boundary with the supplied gauge values. Pure in
+    /// its inputs: same event stream + same advance calls → the same
+    /// ring, byte for byte.
+    pub fn advance(&mut self, now_ms: u64, gauges: SeriesGauges) {
+        while self.next_t_ms <= now_ms {
+            let latency = if self.latency.is_empty() {
+                None
+            } else {
+                Some(self.latency.snapshot())
+            };
+            self.ring.push(SeriesPoint {
+                t_ms: self.next_t_ms,
+                counters: self.counters,
+                latency,
+                docs: gauges.docs,
+                used_bytes: gauges.used_bytes,
+                capacity_bytes: gauges.capacity_bytes,
+                expiration_age_ms: gauges.expiration_age_ms,
+                quarantined: gauges.quarantined,
+            });
+            self.next_t_ms = self.next_t_ms.saturating_add(self.ring.interval_ms());
+        }
+    }
+
+    /// The time of the next sample boundary, in milliseconds. Callers
+    /// that must fetch gauge values before [`Self::advance`] can skip
+    /// the fetch while `now_ms` is still short of this.
+    #[must_use]
+    pub const fn next_sample_ms(&self) -> u64 {
+        self.next_t_ms
+    }
+
+    /// The ring recorded so far.
+    #[must_use]
+    pub fn ring(&self) -> &SeriesRing {
+        &self.ring
+    }
+
+    /// Consumes the recorder, returning its ring.
+    #[must_use]
+    pub fn into_ring(self) -> SeriesRing {
+        self.ring
+    }
+}
+
+/// The node an event is attributed to for series accounting: the acting
+/// cache for most kinds, the querier for ICP traffic, `None` for the
+/// synchronous runner's group-wide window rollovers.
+#[must_use]
+pub fn event_cache(event: &Event) -> Option<CacheId> {
+    match event {
+        Event::Request { cache, .. }
+        | Event::Placement { cache, .. }
+        | Event::Eviction { cache, .. }
+        | Event::PeerFault { cache, .. }
+        | Event::Failover { cache, .. }
+        | Event::PeerQuarantined { cache, .. }
+        | Event::ServerLoopError { cache, .. } => Some(*cache),
+        Event::IcpQuery { from, .. } | Event::IcpReply { from, .. } => Some(*from),
+        Event::Span(span) => Some(span.cache),
+        Event::WindowRollover { .. } => None,
+    }
+}
+
+/// Rebuilds per-node series offline from a JSONL event stream.
+///
+/// The replay clock is driven by span timestamps (`end_us`), the only
+/// absolute times an event stream carries; every recorder advances in
+/// lockstep whenever the clock moves, so rings from one file always
+/// align on `t_ms`. Gauges are not reconstructable from events and stay
+/// zero. Replaying the same bytes always yields the same rings.
+#[derive(Debug)]
+pub struct SeriesReplayer {
+    interval_ms: u64,
+    capacity: usize,
+    now_ms: u64,
+    recorders: BTreeMap<u16, SeriesRecorder>,
+}
+
+impl SeriesReplayer {
+    /// Creates a replayer sampling every `interval_ms` (clamped ≥ 1).
+    #[must_use]
+    pub fn new(interval_ms: u64, capacity: usize) -> Self {
+        Self {
+            interval_ms: interval_ms.max(1),
+            capacity,
+            now_ms: 0,
+            recorders: BTreeMap::new(),
+        }
+    }
+
+    /// Folds one JSONL event line in.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonParseError`] for lines that do not parse or are
+    /// not tagged with a known `"ev"` kind.
+    pub fn observe_json_line(&mut self, line: &str) -> Result<(), JsonParseError> {
+        let value = parse_json(line)?;
+        let kind = value
+            .get("ev")
+            .and_then(JsonValue::as_str)
+            .and_then(EventKind::from_name)
+            .ok_or(JsonParseError {
+                offset: 0,
+                what: "not a coopcache event line",
+            })?;
+        if kind == EventKind::Span {
+            if let Some(end_us) = value.get("end_us").and_then(JsonValue::as_u64) {
+                let t = end_us / 1_000;
+                if t > self.now_ms {
+                    self.now_ms = t;
+                    for recorder in self.recorders.values_mut() {
+                        recorder.advance(t, SeriesGauges::default());
+                    }
+                }
+            }
+        }
+        let cache = ["cache", "from"]
+            .iter()
+            .find_map(|k| value.get(k).and_then(JsonValue::as_u64))
+            .and_then(|c| u16::try_from(c).ok());
+        let Some(cache) = cache else {
+            return Ok(()); // group-wide events carry no node to bill
+        };
+        let (interval_ms, capacity, now_ms) = (self.interval_ms, self.capacity, self.now_ms);
+        let recorder = self.recorders.entry(cache).or_insert_with(|| {
+            let mut r = SeriesRecorder::new(CacheId::new(cache), interval_ms, capacity);
+            r.advance(now_ms, SeriesGauges::default()); // backfill for alignment
+            r
+        });
+        recorder.observe_kind(kind);
+        if kind == EventKind::Request {
+            if let Some(us) = value.get("latency_us").and_then(JsonValue::as_u64) {
+                recorder.record_latency_us(us);
+            }
+        }
+        Ok(())
+    }
+
+    /// Folds every line of a JSONL document in, skipping blanks and
+    /// stopping at the first malformed line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`JsonParseError`].
+    pub fn observe_jsonl(&mut self, text: &str) -> Result<(), JsonParseError> {
+        for line in text.lines() {
+            if !line.trim().is_empty() {
+                self.observe_json_line(line)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Finishes the replay: emits the final boundary samples and
+    /// returns one ring per node, ascending by cache id.
+    #[must_use]
+    pub fn finish(mut self) -> Vec<SeriesRing> {
+        let now = self.now_ms;
+        for recorder in self.recorders.values_mut() {
+            recorder.advance(now, SeriesGauges::default());
+        }
+        self.recorders
+            .into_values()
+            .map(SeriesRecorder::into_ring)
+            .collect()
+    }
+}
+
+/// Sums per-node rings into one group-wide point list aligned on
+/// `t_ms`. Counters, occupancy and quarantine counts add; the
+/// expiration age becomes the mean of the finite per-node ages; latency
+/// snapshots do not merge (quantiles are not additive) so the aggregate
+/// carries `None`.
+#[must_use]
+pub fn aggregate_points(rings: &[SeriesRing]) -> Vec<SeriesPoint> {
+    let mut by_t: BTreeMap<u64, (SeriesPoint, u64, u64)> = BTreeMap::new();
+    for ring in rings {
+        for p in ring.points() {
+            let (acc, finite, age_sum) = by_t
+                .entry(p.t_ms)
+                .or_insert_with(|| (SeriesPoint::zero(p.t_ms), 0, 0));
+            for (slot, add) in acc.counters.iter_mut().zip(p.counters.iter()) {
+                *slot = slot.saturating_add(*add);
+            }
+            acc.docs = acc.docs.saturating_add(p.docs);
+            acc.used_bytes = acc.used_bytes.saturating_add(p.used_bytes);
+            acc.capacity_bytes = acc.capacity_bytes.saturating_add(p.capacity_bytes);
+            acc.quarantined = acc.quarantined.saturating_add(p.quarantined);
+            if let Some(age) = p.expiration_age_ms {
+                *finite += 1;
+                *age_sum = age_sum.saturating_add(age);
+            }
+        }
+    }
+    by_t.into_values()
+        .map(|(mut p, finite, age_sum)| {
+            if let Some(mean) = age_sum.checked_div(finite) {
+                p.expiration_age_ms = Some(mean);
+            }
+            p
+        })
+        .collect()
+}
+
+/// Events-per-second over the window ending at `cur`, derived from the
+/// cumulative counter delta against `prev` (all-zero when `cur` is the
+/// first point).
+fn rate(cur: &SeriesPoint, prev: Option<&SeriesPoint>, kind: EventKind, interval_ms: u64) -> f64 {
+    let before = prev.map_or(0, |p| p.counters[kind.index()]);
+    let delta = cur.counters[kind.index()].saturating_sub(before);
+    delta as f64 * 1_000.0 / interval_ms.max(1) as f64
+}
+
+fn push_cells(out: &mut String, label: &str, cells: &[String]) {
+    let _ = write!(out, "{label:<6}");
+    for cell in cells {
+        let _ = write!(out, "  {cell:>8}");
+    }
+    out.push('\n');
+}
+
+fn row_cells(points: &[SeriesPoint], interval_ms: u64, with_gauges: bool) -> Vec<String> {
+    let Some(cur) = points.last() else {
+        let n = if with_gauges { 11 } else { 6 };
+        return vec!["-".to_owned(); n];
+    };
+    let prev = points.len().checked_sub(2).and_then(|i| points.get(i));
+    let mut cells = vec![
+        format!("{:.1}", rate(cur, prev, EventKind::Request, interval_ms)),
+        format!("{:.1}", rate(cur, prev, EventKind::IcpQuery, interval_ms)),
+        format!("{:.1}", rate(cur, prev, EventKind::Placement, interval_ms)),
+        format!("{:.1}", rate(cur, prev, EventKind::Eviction, interval_ms)),
+        format!("{:.1}", rate(cur, prev, EventKind::PeerFault, interval_ms)),
+        cur.latency
+            .map_or_else(|| "-".to_owned(), |l| (l.p50 / 1_000).to_string()),
+    ];
+    if with_gauges {
+        cells.push(cur.docs.to_string());
+        cells.push((cur.used_bytes / 1_024).to_string());
+        cells.push((cur.capacity_bytes / 1_024).to_string());
+        cells.push(
+            cur.expiration_age_ms
+                .map_or_else(|| "-".to_owned(), |a| a.to_string()),
+        );
+        cells.push(cur.quarantined.to_string());
+    }
+    cells
+}
+
+/// How many trailing aggregate points the history section shows.
+const HISTORY_POINTS: usize = 12;
+
+/// Renders the `coopcache top` dashboard: one row per node (latest
+/// sample; rates over the last interval) plus a `group` row, then a
+/// short group-wide history. A pure function of the rings — identical
+/// input renders byte-identical output. `with_gauges` adds the
+/// occupancy/age/quarantine columns, which replayed series cannot
+/// reconstruct and therefore omit.
+#[must_use]
+pub fn render_top(rings: &[SeriesRing], with_gauges: bool) -> String {
+    let mut out = String::new();
+    let interval_ms = rings.iter().map(SeriesRing::interval_ms).max().unwrap_or(1);
+    let samples: usize = rings.iter().map(SeriesRing::len).sum();
+    let _ = writeln!(
+        out,
+        "series: {} node(s), interval {} ms, {} sample(s)",
+        rings.len(),
+        interval_ms,
+        samples
+    );
+    let mut headers = vec!["req/s", "icp/s", "plc/s", "evt/s", "flt/s", "p50_ms"];
+    if with_gauges {
+        headers.extend(["docs", "used_kb", "cap_kb", "ea_ms", "quar"]);
+    }
+    push_cells(
+        &mut out,
+        "cache",
+        &headers.iter().map(|h| (*h).to_owned()).collect::<Vec<_>>(),
+    );
+    for ring in rings {
+        push_cells(
+            &mut out,
+            &ring.cache().as_u16().to_string(),
+            &row_cells(ring.points(), ring.interval_ms(), with_gauges),
+        );
+    }
+    let group = aggregate_points(rings);
+    push_cells(
+        &mut out,
+        "group",
+        &row_cells(&group, interval_ms, with_gauges),
+    );
+    if group.len() > 1 {
+        let _ = writeln!(out, "\ngroup history (req/s, evt/s per window):");
+        let start = group.len().saturating_sub(HISTORY_POINTS);
+        for (i, point) in group.iter().enumerate().skip(start) {
+            let prev = i.checked_sub(1).and_then(|j| group.get(j));
+            let _ = writeln!(
+                out,
+                "{:>8}  {:>8.1}  {:>8.1}",
+                point.t_ms,
+                rate(point, prev, EventKind::Request, interval_ms),
+                rate(point, prev, EventKind::Eviction, interval_ms),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::RequestClass;
+    use coopcache_types::DocId;
+
+    fn request_event(cache: u16, latency_us: Option<u64>) -> Event {
+        Event::Request {
+            seq: 0,
+            cache: CacheId::new(cache),
+            doc: DocId::new(1),
+            class: RequestClass::LocalHit,
+            responder: None,
+            stored: false,
+            latency_us,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_at_capacity() {
+        let mut ring = SeriesRing::new(CacheId::new(0), 100, 3);
+        for t in 1..=5u64 {
+            ring.push(SeriesPoint::zero(t * 100));
+        }
+        assert_eq!(ring.len(), 3);
+        let times: Vec<u64> = ring.points().iter().map(|p| p.t_ms).collect();
+        assert_eq!(times, vec![300, 400, 500]);
+    }
+
+    #[test]
+    fn ring_json_roundtrip_is_byte_stable() {
+        let mut recorder = SeriesRecorder::new(CacheId::new(2), 250, 8);
+        recorder.observe(&request_event(2, Some(1_500)));
+        recorder.observe_kind(EventKind::Eviction);
+        recorder.advance(
+            500,
+            SeriesGauges {
+                docs: 3,
+                used_bytes: 9_216,
+                capacity_bytes: 131_072,
+                expiration_age_ms: Some(42),
+                quarantined: 1,
+            },
+        );
+        let ring = recorder.into_ring();
+        assert_eq!(ring.len(), 2);
+        let json = ring.to_json();
+        assert!(json.starts_with(r#"{"cache":2,"interval_ms":250,"capacity":8,"points":["#));
+        let back = SeriesRing::from_json(&json).expect("roundtrip");
+        assert_eq!(back, ring);
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(SeriesRing::from_json("{not json").is_err());
+        assert!(SeriesRing::from_json(r#"{"cache":0}"#).is_err());
+        assert!(SeriesRing::from_json(
+            r#"{"cache":"zero","interval_ms":1,"capacity":1,"points":[]}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn recorder_emits_one_point_per_boundary() {
+        let mut recorder = SeriesRecorder::new(CacheId::new(0), 100, 16);
+        recorder.observe_kind(EventKind::Request);
+        recorder.advance(350, SeriesGauges::default());
+        let points = recorder.ring().points();
+        let times: Vec<u64> = points.iter().map(|p| p.t_ms).collect();
+        assert_eq!(times, vec![100, 200, 300]);
+        // Counters are cumulative: every emitted point sees the count.
+        assert!(points
+            .iter()
+            .all(|p| p.counters[EventKind::Request.index()] == 1));
+        // No boundary crossed → no new point.
+        recorder.advance(399, SeriesGauges::default());
+        assert_eq!(recorder.ring().len(), 3);
+    }
+
+    #[test]
+    fn replayer_builds_aligned_rings_from_jsonl() {
+        use crate::span::{Span, SpanKind};
+        let span = |cache: u16, end_us: u64| {
+            Event::Span(Span {
+                trace_id: 1,
+                span_id: u64::from(cache) + 1,
+                parent: None,
+                cache: CacheId::new(cache),
+                kind: SpanKind::Request,
+                doc: None,
+                peer: None,
+                start_us: 0,
+                end_us,
+                status: "miss",
+            })
+        };
+        let lines = [
+            request_event(0, Some(2_000)).to_json(),
+            span(0, 150_000).to_json(),
+            request_event(1, None).to_json(),
+            span(1, 410_000).to_json(),
+        ];
+        let text = lines.join("\n");
+        let replay = |txt: &str| {
+            let mut r = SeriesReplayer::new(100, 32);
+            r.observe_jsonl(txt).expect("well-formed");
+            r.finish()
+        };
+        let rings = replay(&text);
+        assert_eq!(rings.len(), 2);
+        assert_eq!(rings[0].cache(), CacheId::new(0));
+        assert_eq!(rings[1].cache(), CacheId::new(1));
+        // Clock reached 410 ms → both rings sample boundaries 100..=400.
+        assert_eq!(rings[0].len(), 4);
+        assert_eq!(rings[1].len(), 4);
+        // Cache 0 saw its request before t=100; cache 1's request+span
+        // arrive after the 100 ms boundary backfill.
+        assert_eq!(rings[0].points()[0].counters[EventKind::Request.index()], 1);
+        // Same bytes → byte-identical rings.
+        let again = replay(&text);
+        let json = |rs: &[SeriesRing]| rs.iter().map(SeriesRing::to_json).collect::<Vec<_>>();
+        assert_eq!(json(&rings), json(&again));
+        // Malformed lines are typed errors, never panics.
+        let mut bad = SeriesReplayer::new(100, 32);
+        assert!(bad.observe_json_line("{oops").is_err());
+        assert!(bad.observe_json_line(r#"{"ev":"martian"}"#).is_err());
+    }
+
+    #[test]
+    fn aggregate_sums_counters_and_averages_ages() {
+        let mut a = SeriesRing::new(CacheId::new(0), 100, 4);
+        let mut b = SeriesRing::new(CacheId::new(1), 100, 4);
+        let mut pa = SeriesPoint::zero(100);
+        pa.counters[EventKind::Request.index()] = 4;
+        pa.docs = 2;
+        pa.expiration_age_ms = Some(100);
+        let mut pb = SeriesPoint::zero(100);
+        pb.counters[EventKind::Request.index()] = 6;
+        pb.docs = 3;
+        pb.expiration_age_ms = Some(300);
+        a.push(pa);
+        b.push(pb);
+        let group = aggregate_points(&[a, b]);
+        assert_eq!(group.len(), 1);
+        assert_eq!(group[0].counters[EventKind::Request.index()], 10);
+        assert_eq!(group[0].docs, 5);
+        assert_eq!(group[0].expiration_age_ms, Some(200));
+        assert_eq!(group[0].latency, None);
+    }
+
+    #[test]
+    fn render_top_is_deterministic_and_labels_rows() {
+        let mut recorder = SeriesRecorder::new(CacheId::new(0), 100, 8);
+        recorder.observe(&request_event(0, Some(3_000)));
+        recorder.advance(200, SeriesGauges::default());
+        let rings = vec![recorder.into_ring()];
+        let a = render_top(&rings, true);
+        let b = render_top(&rings, true);
+        assert_eq!(a, b);
+        assert!(a.contains("cache"), "{a}");
+        assert!(a.contains("group"), "{a}");
+        assert!(a.contains("req/s"), "{a}");
+        // Gauge columns only when asked for.
+        let lean = render_top(&rings, false);
+        assert!(!lean.contains("used_kb"), "{lean}");
+        // Empty rings render placeholder rows, never panic.
+        let empty = render_top(&[SeriesRing::new(CacheId::new(7), 50, 4)], true);
+        assert!(empty.contains('7'), "{empty}");
+    }
+}

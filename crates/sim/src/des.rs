@@ -11,12 +11,16 @@
 
 use crate::config::SimConfig;
 use coopcache_metrics::GroupMetrics;
-use coopcache_obs::{Event, SinkHandle, Span, SpanKind};
+use coopcache_obs::{
+    age_to_ms, event_cache, Event, EventSink, SeriesGauges, SeriesRecorder, SeriesRing, SinkHandle,
+    Span, SpanKind,
+};
 use coopcache_proxy::{DistributedGroup, HttpRequest, IcpQuery, RequestOutcome};
 use coopcache_trace::Trace;
 use coopcache_types::{ByteSize, CacheId, DocId, DurationMs, Timestamp};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Simulated-time µs for a span timestamp.
 fn sim_us(t: Timestamp) -> u64 {
@@ -178,6 +182,60 @@ struct InFlight {
     arrival: Timestamp,
 }
 
+/// Counts events per cache into series recorders while forwarding them
+/// to the caller's sink, if any. Installed as the run's sink whenever a
+/// sink *or* a series is requested, so placement and eviction events
+/// from inside the group are counted exactly once.
+struct SeriesTap {
+    inner: Option<SinkHandle>,
+    recorders: Vec<SeriesRecorder>,
+}
+
+impl EventSink for SeriesTap {
+    fn emit(&mut self, event: &Event) {
+        if !self.recorders.is_empty() {
+            if let Some(cache) = event_cache(event) {
+                if let Some(rec) = self.recorders.get_mut(cache.index()) {
+                    rec.observe(event);
+                }
+            }
+        }
+        if let Some(inner) = &self.inner {
+            inner.emit(event);
+        }
+    }
+}
+
+/// Locks the tap, recovering from poisoning — the DES is single-threaded,
+/// but the sim crate stays panic-free regardless.
+fn lock_tap(tap: &Mutex<SeriesTap>) -> MutexGuard<'_, SeriesTap> {
+    tap.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Advances every recorder to virtual time `now`, reading occupancy
+/// gauges from the group only when a sample boundary is actually due.
+fn advance_series(tap: &Mutex<SeriesTap>, group: &DistributedGroup, now: Timestamp) {
+    let now_ms = now.as_millis();
+    let mut tap = lock_tap(tap);
+    for rec in &mut tap.recorders {
+        if now_ms < rec.next_sample_ms() {
+            continue;
+        }
+        let node = group.node(rec.cache());
+        let cache = node.cache();
+        let gauges = SeriesGauges {
+            docs: u64::try_from(cache.len()).unwrap_or(u64::MAX),
+            used_bytes: cache.used().as_bytes(),
+            capacity_bytes: cache.capacity().as_bytes(),
+            expiration_age_ms: age_to_ms(node.expiration_age()),
+            // The DES has no peer-health plane; quarantine is a live-
+            // daemon concept.
+            quarantined: 0,
+        };
+        rec.advance(now_ms, gauges);
+    }
+}
+
 /// Runs the discrete-event simulation of a distributed group.
 ///
 /// Uses `config` for the group shape/scheme and `network` for timing.
@@ -202,7 +260,7 @@ struct InFlight {
 /// ```
 #[must_use]
 pub fn run_des(config: &SimConfig, network: &NetworkModel, trace: &Trace) -> DesReport {
-    run_des_inner(config, network, trace, None)
+    run_des_inner(config, network, trace, None, None).0
 }
 
 /// Like [`run_des`], but streams events into `sink` when one is supplied.
@@ -216,7 +274,27 @@ pub fn run_des_with_sink(
     trace: &Trace,
     sink: Option<SinkHandle>,
 ) -> DesReport {
-    run_des_inner(config, network, trace, sink)
+    run_des_inner(config, network, trace, sink, None).0
+}
+
+/// Like [`run_des_with_sink`], but additionally samples every node's
+/// cumulative counters, request latency and occupancy into a per-node
+/// time-series ring at `interval_ms` boundaries of *virtual* time
+/// (`capacity` retained points per node, oldest evicted first).
+///
+/// Fully deterministic: the same trace and config produce byte-identical
+/// rings ([`SeriesRing::to_json`]) on every run — the pinned fixture
+/// behind `coopcache top --replay` and the determinism suite.
+#[must_use]
+pub fn run_des_with_series(
+    config: &SimConfig,
+    network: &NetworkModel,
+    trace: &Trace,
+    sink: Option<SinkHandle>,
+    interval_ms: u64,
+    capacity: usize,
+) -> (DesReport, Vec<SeriesRing>) {
+    run_des_inner(config, network, trace, sink, Some((interval_ms, capacity)))
 }
 
 fn run_des_inner(
@@ -224,7 +302,8 @@ fn run_des_inner(
     network: &NetworkModel,
     trace: &Trace,
     sink: Option<SinkHandle>,
-) -> DesReport {
+    series: Option<(u64, usize)>,
+) -> (DesReport, Vec<SeriesRing>) {
     let mut group = DistributedGroup::with_window(
         config.group_size,
         config.aggregate_capacity,
@@ -232,10 +311,25 @@ fn run_des_inner(
         config.scheme,
         config.window,
     );
+    let n = config.group_size as usize;
+    // The tap fronts the caller's sink whenever anything observes the
+    // run; with neither a sink nor a series requested there is no tap
+    // and the run pays nothing.
+    let tap = (sink.is_some() || series.is_some()).then(|| {
+        let recorders = series.map_or_else(Vec::new, |(interval_ms, capacity)| {
+            (0..n)
+                .map(|i| SeriesRecorder::new(CacheId::new(i as u16), interval_ms, capacity))
+                .collect()
+        });
+        Arc::new(Mutex::new(SeriesTap {
+            inner: sink.clone(),
+            recorders,
+        }))
+    });
+    let sink = tap.as_ref().map(|t| SinkHandle::from_arc(Arc::clone(t)));
     if let Some(sink) = &sink {
         group.set_sink(sink.clone());
     }
-    let n = config.group_size as usize;
 
     let requests: Vec<InFlight> = trace
         .iter()
@@ -307,7 +401,12 @@ fn run_des_inner(
         }
     };
 
+    let mut end_time = Timestamp::from_millis(0);
     while let Some(Reverse((now, _, idx))) = queue.pop() {
+        if let Some(tap) = &tap {
+            advance_series(tap, &group, now);
+        }
+        end_time = end_time.max(now);
         let r = requests[idx];
         match phases[idx] {
             Phase::Arrival => {
@@ -538,14 +637,27 @@ fn run_des_inner(
             latencies[idx]
         }
     };
-    DesReport {
-        metrics,
-        mean_latency_ms: mean,
-        p50_latency_ms: percentile(0.50),
-        p95_latency_ms: percentile(0.95),
-        icp_fallbacks,
-        avg_expiration_age_ms: group.average_expiration_age_ms(),
-    }
+    // Flush trailing sample boundaries up to the last event time, then
+    // hand the rings back.
+    let series_rings = tap.map_or_else(Vec::new, |tap| {
+        advance_series(&tap, &group, end_time);
+        lock_tap(&tap)
+            .recorders
+            .drain(..)
+            .map(SeriesRecorder::into_ring)
+            .collect()
+    });
+    (
+        DesReport {
+            metrics,
+            mean_latency_ms: mean,
+            p50_latency_ms: percentile(0.50),
+            p95_latency_ms: percentile(0.95),
+            icp_fallbacks,
+            avg_expiration_age_ms: group.average_expiration_age_ms(),
+        },
+        series_rings,
+    )
 }
 
 #[cfg(test)]
@@ -605,6 +717,41 @@ mod tests {
         let a = run_des(&cfg(500), &NetworkModel::default(), &t);
         let b = run_des(&cfg(500), &NetworkModel::default(), &t);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn des_series_is_byte_identical_across_runs() {
+        let t = trace();
+        let (_, a) = run_des_with_series(&cfg(500), &NetworkModel::default(), &t, None, 500, 64);
+        let (_, b) = run_des_with_series(&cfg(500), &NetworkModel::default(), &t, None, 500, 64);
+        assert_eq!(a.len(), b.len());
+        assert!(!a.is_empty(), "a group run must produce rings");
+        for (ra, rb) in a.iter().zip(&b) {
+            assert!(!ra.points().is_empty(), "virtual time crosses boundaries");
+            assert_eq!(ra.to_json(), rb.to_json(), "cache {}", ra.cache());
+        }
+    }
+
+    #[test]
+    fn des_series_does_not_change_the_report() {
+        let t = trace();
+        let plain = run_des(&cfg(500), &NetworkModel::default(), &t);
+        let (sampled, rings) =
+            run_des_with_series(&cfg(500), &NetworkModel::default(), &t, None, 500, 64);
+        assert_eq!(plain, sampled);
+        // Counters accumulate: the last point of each ring dominates the
+        // first, and the per-node request counts sum to the run's total.
+        let req_idx = coopcache_obs::EventKind::Request.index();
+        let total: u64 = rings
+            .iter()
+            .filter_map(|r| r.points().last())
+            .map(|p| p.counters[req_idx])
+            .sum();
+        assert!(
+            total <= plain.metrics.requests,
+            "cumulative counters cannot exceed the request total"
+        );
+        assert!(total > 0, "sampling must observe requests");
     }
 
     #[test]

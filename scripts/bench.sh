@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Reproduce the paper benchmarks with fixed seeds and snapshot the
-# result tables into BENCH_5.json.
+# result tables into BENCH_6.json.
 #
 # Runs (from the repo root):
 #   cargo run --release -p coopcache-bench --bin fig1_hit_rates -- --json
@@ -9,12 +9,15 @@
 # then merges results/fig1_hit_rates.json and results/des_latency.json
 # into a single document:
 #
-#   {"bench":"BENCH_5","experiments":[<fig1_hit_rates>,<des_latency>]}
+#   {"bench":"BENCH_6","experiments":[<fig1_hit_rates>,<des_latency>]}
 #
 # Each experiment keeps the standard results/ shape
 # ({"id","title","trace","headers":[...],"rows":[[...]]}).  The seeds
 # live in the benchmark binaries, so the output is byte-identical run
 # to run; no timestamps are recorded for exactly that reason.
+#
+# When the previous snapshot (BENCH_5.json) is present, the run closes
+# with an advisory scripts/bench_diff.sh report of any drift.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,11 +29,15 @@ for f in results/fig1_hit_rates.json results/des_latency.json; do
 done
 
 {
-    printf '{"bench":"BENCH_5","experiments":['
+    printf '{"bench":"BENCH_6","experiments":['
     printf '%s' "$(cat results/fig1_hit_rates.json)"
     printf ','
     printf '%s' "$(cat results/des_latency.json)"
     printf ']}\n'
-} > BENCH_5.json
+} > BENCH_6.json
 
-echo "wrote BENCH_5.json"
+echo "wrote BENCH_6.json"
+
+if [ -s BENCH_5.json ]; then
+    scripts/bench_diff.sh BENCH_5.json BENCH_6.json
+fi

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Compare two BENCH_*.json snapshots produced by scripts/bench.sh and
+# report per-experiment, per-cell deltas (a thin wrapper around
+# `coopcache bench-diff`). Advisory by design: drift is printed, the
+# exit code only reflects missing or unreadable snapshots.
+# Usage: scripts/bench_diff.sh OLD.json NEW.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ $# -ne 2 ]]; then
+    echo "usage: scripts/bench_diff.sh OLD.json NEW.json" >&2
+    exit 2
+fi
+
+cargo run -q -p coopcache-cli -- bench-diff --old "$1" --new "$2"

@@ -30,10 +30,24 @@ cargo test -q --workspace
 echo "== cargo test (paranoid invariant audits)"
 cargo test -q -p coopcache-core --features paranoid
 
+echo "== cargo test (hot-path profiling feature)"
+cargo test -q -p coopcache-core --features profile
+
 echo "== cargo test (chaos: live cluster under injected faults)"
 cargo test -q --test chaos
 
 echo "== trace determinism (two same-seed DES runs, byte-identical trees)"
 cargo test -q --test determinism des_trace_trees_are_identical_across_runs
+
+echo "== series determinism (DES + replayed series, byte-identical)"
+cargo test -q --test determinism des_series_rings_are_identical_across_runs
+cargo test -q --test determinism series_replay_is_byte_identical_across_runs
+
+echo "== bench drift (advisory; compares the last two snapshots)"
+if [[ -s BENCH_5.json && -s BENCH_6.json ]]; then
+  scripts/bench_diff.sh BENCH_5.json BENCH_6.json || true
+else
+  echo "   skipped: run scripts/bench.sh to produce BENCH_6.json"
+fi
 
 echo "All checks passed."

@@ -106,6 +106,65 @@ fn des_event_streams_are_byte_identical_across_runs() {
 }
 
 #[test]
+fn des_series_rings_are_identical_across_runs() {
+    use coopcache::obs::SeriesRing;
+    use coopcache::sim::run_des_with_series;
+    let trace = generate(&TraceProfile::small().with_requests(3_000)).unwrap();
+    let cfg = SimConfig::new(ByteSize::from_kb(300));
+    let net = NetworkModel::paper_calibrated();
+    let rings = || -> Vec<String> {
+        let (_, rings) = run_des_with_series(&cfg, &net, &trace, None, 500, 64);
+        rings.iter().map(SeriesRing::to_json).collect()
+    };
+    let a = rings();
+    assert!(!a.is_empty());
+    assert!(
+        a.iter().any(|r| r.contains(r#""points":[{"#)),
+        "series must carry samples: {a:?}"
+    );
+    assert_eq!(a, rings(), "DES series must be byte-identical across runs");
+}
+
+#[test]
+fn series_replay_is_byte_identical_across_runs() {
+    use coopcache::obs::{render_top, SeriesReplayer, SeriesRing};
+    use std::sync::{Arc, Mutex, PoisonError};
+    let trace = generate(&TraceProfile::small().with_requests(2_000)).unwrap();
+    let cfg = SimConfig::new(ByteSize::from_kb(300)).with_scheme(PlacementScheme::Ea);
+    let net = NetworkModel::paper_calibrated();
+    let stream = || -> Vec<u8> {
+        let sink = Arc::new(Mutex::new(JsonlSink::new(Vec::new())));
+        let _ = run_des_with_sink(
+            &cfg,
+            &net,
+            &trace,
+            Some(SinkHandle::from_arc(Arc::clone(&sink))),
+        );
+        Arc::try_unwrap(sink)
+            .expect("runner drops its sink handles")
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .into_inner()
+    };
+    // Event stream → replayer → rings → rendered dashboard: the whole
+    // offline pipeline must reproduce bit for bit from the same seed.
+    let replay = |bytes: &[u8]| -> (Vec<String>, String) {
+        let mut r = SeriesReplayer::new(250, 64);
+        r.observe_jsonl(std::str::from_utf8(bytes).expect("jsonl is utf-8"))
+            .expect("well-formed stream");
+        let rings = r.finish();
+        let json = rings.iter().map(SeriesRing::to_json).collect();
+        (json, render_top(&rings, false))
+    };
+    let (rings_a, top_a) = replay(&stream());
+    assert!(!rings_a.is_empty());
+    assert!(top_a.contains("group"), "{top_a}");
+    let (rings_b, top_b) = replay(&stream());
+    assert_eq!(rings_a, rings_b, "replayed rings must be byte-identical");
+    assert_eq!(top_a, top_b, "rendered dashboard must be byte-identical");
+}
+
+#[test]
 fn trace_survives_file_roundtrip_at_scale() {
     let trace = generate(&TraceProfile::small()).unwrap();
     let mut buf = Vec::new();

@@ -68,6 +68,47 @@ fn cluster_agrees_with_synchronous_group_on_small_workload() {
 }
 
 #[test]
+fn concurrent_stats_and_series_probes_do_not_disturb_serving() {
+    use coopcache::net::{scrape_series, scrape_stats};
+    use coopcache::obs::SeriesRing;
+    use std::time::Duration;
+    let cluster = LoopbackCluster::start(2, kb(64), PlacementScheme::Ea).unwrap();
+    cluster.request(0, d(1), kb(2)).unwrap();
+    for idx in 0..cluster.len() {
+        cluster.daemon(idx).sample_now();
+    }
+    let addr = cluster.doc_addrs()[0];
+    let timeout = Duration::from_secs(2);
+    let probes: Vec<_> = (0..8)
+        .map(|i| {
+            std::thread::spawn(move || {
+                for _ in 0..10 {
+                    if i % 2 == 0 {
+                        let body = scrape_stats(addr, timeout).expect("stats scrape");
+                        assert!(body.starts_with("{\"cache\":0,"), "{body}");
+                    } else {
+                        let body = scrape_series(addr, timeout).expect("series scrape");
+                        let ring = SeriesRing::from_json(&body).expect("series body decodes");
+                        assert_eq!(ring.cache(), CacheId::new(0));
+                        assert!(!ring.is_empty(), "sampled ring must carry points");
+                    }
+                }
+            })
+        })
+        .collect();
+    // Document traffic interleaves with the probe storm.
+    for i in 0..20 {
+        cluster
+            .request((i % 2) as usize, d(i % 5 + 1), kb(1))
+            .unwrap();
+    }
+    for p in probes {
+        p.join().unwrap();
+    }
+    cluster.shutdown();
+}
+
+#[test]
 fn origin_counts_match_miss_outcomes() {
     let cluster = LoopbackCluster::start(2, kb(64), PlacementScheme::Ea).unwrap();
     let mut misses = 0;

@@ -56,6 +56,11 @@ fn wire_messages_roundtrip_through_encode_decode() {
             cache: CacheId::new(5),
             body_len: 4096,
         },
+        WireMessage::SeriesRequest,
+        WireMessage::SeriesResponse {
+            cache: CacheId::new(5),
+            body_len: 65_536,
+        },
     ];
     for msg in messages {
         let bytes = msg.encode();
