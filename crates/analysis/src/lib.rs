@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Workload analytics for cooperative-caching research.
 //!
 //! Tools for characterizing a trace before simulating it, and an offline

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared plumbing for the experiment binaries that regenerate every
 //! table and figure of the paper (see `DESIGN.md` §3 for the index).
 //!

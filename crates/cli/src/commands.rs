@@ -1061,22 +1061,25 @@ fn cmd_serve<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
         )?;
     }
     if faulty {
-        if let Some(sink) = &sink {
+        // Format under the lock, write after it drops: daemon threads are
+        // still emitting into this sink, and console I/O under the shared
+        // guard is exactly the deadlock class the lock-blocking lint flags.
+        let fault_line = sink.as_ref().and_then(|sink| {
             let agg = sink
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
-            if let Some(summary) = &agg.summary {
-                write_out(
-                    out,
-                    format!(
-                        "faults absorbed: {} peer faults, {} failovers, {} quarantines, {} loop errors — 0 client errors\n",
-                        summary.count(EventKind::PeerFault),
-                        summary.count(EventKind::Failover),
-                        summary.count(EventKind::PeerQuarantined),
-                        summary.count(EventKind::ServerLoopError),
-                    ),
-                )?;
-            }
+            agg.summary.as_ref().map(|summary| {
+                format!(
+                    "faults absorbed: {} peer faults, {} failovers, {} quarantines, {} loop errors — 0 client errors\n",
+                    summary.count(EventKind::PeerFault),
+                    summary.count(EventKind::Failover),
+                    summary.count(EventKind::PeerQuarantined),
+                    summary.count(EventKind::ServerLoopError),
+                )
+            })
+        });
+        if let Some(line) = fault_line {
+            write_out(out, line)?;
         }
     }
     cluster.shutdown();

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `coopcache` — the command-line front end of the workspace.
 //!
 //! ```sh

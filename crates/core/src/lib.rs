@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Core cache engine for expiration-age based cooperative web caching.
 //!
 //! This crate implements the primary contribution of *"A New Document

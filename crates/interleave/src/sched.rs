@@ -1,0 +1,531 @@
+//! The deterministic interleaving scheduler.
+//!
+//! Threads are finite step lists; [`explore`] runs a depth-first search
+//! over every schedule, cloning the model state at each branch point so
+//! backtracking is trivial. Sleep sets prune schedules that only reorder
+//! independent (footprint-disjoint) steps; the search stays exhaustive
+//! over *distinguishable* behaviours.
+
+use std::collections::BTreeSet;
+
+/// Identifies one shared variable in a step's declared footprint.
+///
+/// Footprints drive sleep-set pruning: two steps commute when neither
+/// writes a variable the other reads or writes. A step whose *guard*
+/// reads a variable must declare that variable in `reads` as well —
+/// otherwise pruning could skip a schedule in which the guard's value
+/// differs.
+pub type VarId = u16;
+
+/// Footprint sentinel: a step carrying this id conflicts with every
+/// other step and is never considered independent. Steps registered via
+/// [`MockThread::step`] (no footprint) use it implicitly.
+pub const CONFLICTS_ALL: VarId = VarId::MAX;
+
+/// A step's enabledness predicate over the shared state.
+type Guard<S> = Box<dyn Fn(&S) -> bool>;
+
+/// One atomic step of a modelled thread.
+///
+/// `run` mutates the shared state; the optional `guard` makes the step
+/// blocking (a disabled step cannot be scheduled — this is how mutex
+/// acquisition and `join` are modelled). `reads`/`writes` declare the
+/// footprint used for independence pruning.
+pub struct Step<S> {
+    name: &'static str,
+    guard: Option<Guard<S>>,
+    run: Box<dyn Fn(&mut S)>,
+    reads: Vec<VarId>,
+    writes: Vec<VarId>,
+}
+
+impl<S> Step<S> {
+    /// The step's display name, as it appears in reported schedules.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// A modelled thread: a named, finite sequence of steps executed in
+/// program order. Build one with the fluent `step`/`step_rw`/`guarded`
+/// methods, then hand a slice of threads to [`explore`].
+pub struct MockThread<S> {
+    name: &'static str,
+    steps: Vec<Step<S>>,
+}
+
+impl<S> MockThread<S> {
+    /// A new thread with no steps yet.
+    #[must_use]
+    pub fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Append an always-enabled step with an unknown footprint: it
+    /// conflicts with everything, so no pruning applies around it.
+    #[must_use]
+    pub fn step(self, name: &'static str, run: impl Fn(&mut S) + 'static) -> Self {
+        self.push(name, None, &[CONFLICTS_ALL], &[CONFLICTS_ALL], run)
+    }
+
+    /// Append an always-enabled step with a declared read/write footprint.
+    #[must_use]
+    pub fn step_rw(
+        self,
+        name: &'static str,
+        reads: &[VarId],
+        writes: &[VarId],
+        run: impl Fn(&mut S) + 'static,
+    ) -> Self {
+        self.push(name, None, reads, writes, run)
+    }
+
+    /// Append a *blocking* step: it can only be scheduled in states where
+    /// `guard` returns true. Model mutex acquisition as a step guarded on
+    /// the mutex being free, and `join` as a step guarded on the target
+    /// thread's "done" flag. Variables the guard reads MUST appear in
+    /// `reads`.
+    #[must_use]
+    pub fn guarded(
+        self,
+        name: &'static str,
+        reads: &[VarId],
+        writes: &[VarId],
+        guard: impl Fn(&S) -> bool + 'static,
+        run: impl Fn(&mut S) + 'static,
+    ) -> Self {
+        let mut this = self.push(name, None, reads, writes, run);
+        if let Some(last) = this.steps.last_mut() {
+            last.guard = Some(Box::new(guard));
+        }
+        this
+    }
+
+    /// The thread's display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of steps in the thread's program.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when the thread has no steps.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    fn push(
+        mut self,
+        name: &'static str,
+        guard: Option<Guard<S>>,
+        reads: &[VarId],
+        writes: &[VarId],
+        run: impl Fn(&mut S) + 'static,
+    ) -> Self {
+        self.steps.push(Step {
+            name,
+            guard,
+            run: Box::new(run),
+            reads: reads.to_vec(),
+            writes: writes.to_vec(),
+        });
+        self
+    }
+}
+
+/// Exploration bounds and the seed that permutes DFS visit order.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Hard cap on schedule length; exceeding it marks the search
+    /// [`Outcome::Exhausted`] instead of silently truncating.
+    pub max_steps: usize,
+    /// Hard cap on completed interleavings explored.
+    pub max_interleavings: u64,
+    /// Seed for the per-depth rotation of scheduling choices. Changing
+    /// it reorders the search but cannot change the verdict of an
+    /// exhaustive run.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            max_steps: 64,
+            max_interleavings: 1_000_000,
+            seed: 0x5EED_CA11,
+        }
+    }
+}
+
+/// The verdict of an exploration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Every interleaving ran to completion and satisfied the invariant.
+    Pass {
+        /// Completed schedules actually executed (after pruning).
+        interleavings: u64,
+    },
+    /// Some reachable state violated the invariant; `schedule` is the
+    /// exact step sequence (as `thread:step` labels) that reaches it.
+    InvariantViolation {
+        /// The step labels, in execution order, that reach the bad state.
+        schedule: Vec<String>,
+        /// The invariant's error message.
+        message: String,
+    },
+    /// A reachable state has unfinished threads but no enabled step:
+    /// every remaining thread is blocked on a guard. `blocked` names the
+    /// stuck threads.
+    Deadlock {
+        /// The step labels, in execution order, that reach the stuck state.
+        schedule: Vec<String>,
+        /// Names of the threads blocked on their next guard.
+        blocked: Vec<String>,
+    },
+    /// A bound in [`Config`] was hit before the search completed; the
+    /// absence of a violation proves nothing.
+    Exhausted {
+        /// Completed schedules executed before the budget ran out.
+        interleavings: u64,
+    },
+}
+
+impl Outcome {
+    /// True only for a completed, violation-free exploration.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        matches!(self, Outcome::Pass { .. })
+    }
+}
+
+/// Exhaustively explore all interleavings of `threads` from `initial`,
+/// checking `invariant` on the initial state and after every step.
+///
+/// Returns the first violation or deadlock found (with its reproducing
+/// schedule), [`Outcome::Exhausted`] if a budget was hit first, and
+/// [`Outcome::Pass`] otherwise.
+pub fn explore<S, I>(
+    initial: &S,
+    threads: &[MockThread<S>],
+    invariant: I,
+    config: Config,
+) -> Outcome
+where
+    S: Clone,
+    I: Fn(&S) -> Result<(), String>,
+{
+    if let Err(message) = invariant(initial) {
+        return Outcome::InvariantViolation {
+            schedule: Vec::new(),
+            message,
+        };
+    }
+    let mut search = Search {
+        threads,
+        invariant: &invariant,
+        config,
+        interleavings: 0,
+        budget_hit: false,
+    };
+    let pcs = vec![0usize; threads.len()];
+    let mut schedule = Vec::new();
+    match search.dfs(initial.clone(), &pcs, &mut schedule, &BTreeSet::new(), 0) {
+        Some(bad) => bad,
+        None if search.budget_hit => Outcome::Exhausted {
+            interleavings: search.interleavings,
+        },
+        None => Outcome::Pass {
+            interleavings: search.interleavings,
+        },
+    }
+}
+
+struct Search<'a, S, I> {
+    threads: &'a [MockThread<S>],
+    invariant: &'a I,
+    config: Config,
+    interleavings: u64,
+    budget_hit: bool,
+}
+
+impl<S, I> Search<'_, S, I>
+where
+    S: Clone,
+    I: Fn(&S) -> Result<(), String>,
+{
+    fn dfs(
+        &mut self,
+        state: S,
+        pcs: &[usize],
+        schedule: &mut Vec<String>,
+        sleep: &BTreeSet<usize>,
+        depth: u64,
+    ) -> Option<Outcome> {
+        let remaining: Vec<usize> = (0..self.threads.len())
+            .filter(|&t| pcs[t] < self.threads[t].steps.len())
+            .collect();
+        if remaining.is_empty() {
+            self.interleavings += 1;
+            if self.interleavings >= self.config.max_interleavings {
+                self.budget_hit = true;
+            }
+            return None;
+        }
+        if schedule.len() >= self.config.max_steps {
+            self.budget_hit = true;
+            return None;
+        }
+        let enabled: Vec<usize> = remaining
+            .iter()
+            .copied()
+            .filter(|&t| {
+                let step = &self.threads[t].steps[pcs[t]];
+                step.guard.as_ref().is_none_or(|g| g(&state))
+            })
+            .collect();
+        if enabled.is_empty() {
+            // Unfinished threads, none runnable: a real deadlock, reported
+            // before sleep-set filtering so pruning can never mask it.
+            return Some(Outcome::Deadlock {
+                schedule: schedule.clone(),
+                blocked: remaining
+                    .iter()
+                    .map(|&t| self.threads[t].name.to_string())
+                    .collect(),
+            });
+        }
+        let mut runnable: Vec<usize> = enabled
+            .iter()
+            .copied()
+            .filter(|t| !sleep.contains(t))
+            .collect();
+        if runnable.is_empty() {
+            // Everything enabled is asleep: this subtree is equivalent to
+            // one already explored under a different order.
+            return None;
+        }
+        let rot = (splitmix64(self.config.seed ^ depth) % runnable.len() as u64) as usize;
+        runnable.rotate_left(rot);
+
+        let mut slept = sleep.clone();
+        for &t in &runnable {
+            if self.budget_hit {
+                return None;
+            }
+            let step = &self.threads[t].steps[pcs[t]];
+            let mut next = state.clone();
+            (step.run)(&mut next);
+            schedule.push(format!("{}:{}", self.threads[t].name, step.name));
+            if let Err(message) = (self.invariant)(&next) {
+                return Some(Outcome::InvariantViolation {
+                    schedule: schedule.clone(),
+                    message,
+                });
+            }
+            let mut next_pcs = pcs.to_vec();
+            next_pcs[t] += 1;
+            // A sibling stays asleep in the child only if its pending step
+            // is independent of the one we just took.
+            let child_sleep: BTreeSet<usize> = slept
+                .iter()
+                .copied()
+                .filter(|&u| independent(&self.threads[u].steps[pcs[u]], step))
+                .collect();
+            if let Some(bad) = self.dfs(next, &next_pcs, schedule, &child_sleep, depth + 1) {
+                return Some(bad);
+            }
+            schedule.pop();
+            slept.insert(t);
+        }
+        None
+    }
+}
+
+fn conflicts(a: &[VarId], b: &[VarId]) -> bool {
+    a.iter().any(|x| b.contains(x))
+}
+
+fn independent<S>(a: &Step<S>, b: &Step<S>) -> bool {
+    let opaque =
+        |s: &Step<S>| s.reads.contains(&CONFLICTS_ALL) || s.writes.contains(&CONFLICTS_ALL);
+    if opaque(a) || opaque(b) {
+        return false;
+    }
+    !conflicts(&a.writes, &b.writes)
+        && !conflicts(&a.writes, &b.reads)
+        && !conflicts(&b.writes, &a.reads)
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VX: VarId = 0;
+    const VY: VarId = 1;
+
+    #[derive(Clone, Default)]
+    struct Pair {
+        x: u64,
+        y: u64,
+    }
+
+    #[test]
+    fn lost_update_is_found() {
+        // Two threads doing read-then-write on the same cell: the classic
+        // lost update must be reachable, so a "sum is 2 at the end" claim
+        // phrased as "x never observed stuck at 1 after both writes" fails.
+        #[derive(Clone, Default)]
+        struct M {
+            x: u64,
+            tmp: [u64; 2],
+            wrote: [bool; 2],
+        }
+        let mk = |tid: usize| {
+            MockThread::new(if tid == 0 { "a" } else { "b" })
+                .step_rw("read", &[VX], &[], move |s: &mut M| s.tmp[tid] = s.x)
+                .step_rw("write", &[], &[VX], move |s: &mut M| {
+                    s.x = s.tmp[tid] + 1;
+                    s.wrote[tid] = true;
+                })
+        };
+        let out = explore(
+            &M::default(),
+            &[mk(0), mk(1)],
+            |s| {
+                if s.wrote[0] && s.wrote[1] && s.x != 2 {
+                    return Err(format!("lost update: x = {}", s.x));
+                }
+                Ok(())
+            },
+            Config::default(),
+        );
+        match out {
+            Outcome::InvariantViolation { schedule, .. } => {
+                assert_eq!(schedule.len(), 4, "violation needs all four steps");
+            }
+            other => unreachable!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn independent_steps_are_pruned_but_explored() {
+        // Two threads touching disjoint variables: one interleaving order
+        // suffices; sleep sets must prune the mirror schedules.
+        let a = MockThread::new("a").step_rw("wx", &[], &[VX], |s: &mut Pair| s.x += 1);
+        let b = MockThread::new("b").step_rw("wy", &[], &[VY], |s: &mut Pair| s.y += 1);
+        let out = explore(
+            &Pair::default(),
+            &[a, b],
+            |s| {
+                if s.x > 1 || s.y > 1 {
+                    return Err("double increment".to_string());
+                }
+                Ok(())
+            },
+            Config::default(),
+        );
+        match out {
+            Outcome::Pass { interleavings } => assert_eq!(interleavings, 1),
+            other => unreachable!("expected pass, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conflicting_steps_explore_both_orders() {
+        let a = MockThread::new("a").step_rw("wx", &[], &[VX], |s: &mut Pair| s.x += 1);
+        let b = MockThread::new("b").step_rw("rx", &[VX], &[VY], |s: &mut Pair| s.y = s.x);
+        let out = explore(&Pair::default(), &[a, b], |_| Ok(()), Config::default());
+        match out {
+            Outcome::Pass { interleavings } => assert_eq!(interleavings, 2),
+            other => unreachable!("expected pass, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cross_blocked_guards_deadlock() {
+        // a waits for y, b waits for x; neither ever runs.
+        let a = MockThread::new("a").guarded(
+            "wait-y",
+            &[VY],
+            &[VX],
+            |s: &Pair| s.y == 1,
+            |s: &mut Pair| s.x = 1,
+        );
+        let b = MockThread::new("b").guarded(
+            "wait-x",
+            &[VX],
+            &[VY],
+            |s: &Pair| s.x == 1,
+            |s: &mut Pair| s.y = 1,
+        );
+        let out = explore(&Pair::default(), &[a, b], |_| Ok(()), Config::default());
+        match out {
+            Outcome::Deadlock { blocked, schedule } => {
+                assert_eq!(blocked, vec!["a".to_string(), "b".to_string()]);
+                assert!(schedule.is_empty(), "stuck in the initial state");
+            }
+            other => unreachable!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn seed_changes_order_not_verdict() {
+        let mk = || {
+            [
+                MockThread::new("a").step_rw("wx", &[], &[VX], |s: &mut Pair| s.x += 1),
+                MockThread::new("b").step_rw("rx", &[VX], &[VY], |s: &mut Pair| s.y = s.x),
+            ]
+        };
+        let base = explore(&Pair::default(), &mk(), |_| Ok(()), Config::default());
+        for seed in [1u64, 7, 0xDEAD_BEEF] {
+            let out = explore(
+                &Pair::default(),
+                &mk(),
+                |_| Ok(()),
+                Config {
+                    seed,
+                    ..Config::default()
+                },
+            );
+            assert_eq!(out, base);
+        }
+    }
+
+    #[test]
+    fn interleaving_budget_reports_exhausted() {
+        let mk = |n: &'static str| {
+            MockThread::new(n)
+                .step("s1", |s: &mut Pair| s.x += 1)
+                .step("s2", |s: &mut Pair| s.y += 1)
+        };
+        let out = explore(
+            &Pair::default(),
+            &[mk("a"), mk("b"), mk("c")],
+            |_| Ok(()),
+            Config {
+                max_interleavings: 3,
+                ..Config::default()
+            },
+        );
+        match out {
+            Outcome::Exhausted { interleavings } => assert_eq!(interleavings, 3),
+            other => unreachable!("expected exhausted, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Mock shared-state primitives for interleaving models.
+//!
+//! These mirror the shapes the real code uses (`AtomicU64` counters,
+//! `Mutex`-guarded structures) but live inside a plain `Clone` model
+//! state, so the scheduler can snapshot and restore them freely. Each
+//! carries the [`VarId`] it was registered under; models pass that id in
+//! step footprints so sleep-set pruning sees the true conflicts.
+//!
+//! Misuse (double-acquire, releasing a mutex you don't hold) never
+//! panics — it latches a `poisoned` flag the model's invariant should
+//! assert on, keeping this crate panic-free like the rest of the
+//! workspace.
+
+use crate::sched::VarId;
+
+/// A model atomic counter. All operations are sequentially consistent at
+/// model granularity — one whole step is atomic, so `fetch_add` here is
+/// the *correct* RMW; model a racy read-modify-write as two separate
+/// `load`/`store` steps instead.
+#[derive(Clone, Debug)]
+pub struct MockAtomicU64 {
+    value: u64,
+    var: VarId,
+}
+
+impl MockAtomicU64 {
+    /// A new counter registered under footprint variable `var`.
+    #[must_use]
+    pub fn new(var: VarId, value: u64) -> Self {
+        Self { value, var }
+    }
+
+    /// The footprint variable this counter was registered under.
+    #[must_use]
+    pub fn var(&self) -> VarId {
+        self.var
+    }
+
+    /// Read the current value.
+    #[must_use]
+    pub fn load(&self) -> u64 {
+        self.value
+    }
+
+    /// Overwrite the value.
+    pub fn store(&mut self, value: u64) {
+        self.value = value;
+    }
+
+    /// Atomic (at step granularity) add; returns the previous value.
+    pub fn fetch_add(&mut self, n: u64) -> u64 {
+        let prev = self.value;
+        self.value = self.value.wrapping_add(n);
+        prev
+    }
+}
+
+/// A model mutex. Acquisition is modelled as a *guarded* step: guard on
+/// [`MockMutex::is_free`], then call [`MockMutex::acquire`] in the step
+/// body. The scheduler's deadlock detection then sees blocked acquirers
+/// for free.
+#[derive(Clone, Debug)]
+pub struct MockMutex {
+    var: VarId,
+    holder: Option<usize>,
+    poisoned: bool,
+}
+
+impl MockMutex {
+    /// A new unlocked mutex registered under footprint variable `var`.
+    #[must_use]
+    pub fn new(var: VarId) -> Self {
+        Self {
+            var,
+            holder: None,
+            poisoned: false,
+        }
+    }
+
+    /// The footprint variable this mutex was registered under.
+    #[must_use]
+    pub fn var(&self) -> VarId {
+        self.var
+    }
+
+    /// True when no thread holds the lock. Use as the acquire guard.
+    #[must_use]
+    pub fn is_free(&self) -> bool {
+        self.holder.is_none()
+    }
+
+    /// The thread id currently holding the lock, if any.
+    #[must_use]
+    pub fn holder(&self) -> Option<usize> {
+        self.holder
+    }
+
+    /// True once any protocol violation (acquire-while-held, bad release)
+    /// has happened. Invariants should assert `!poisoned()`.
+    #[must_use]
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Take the lock for thread `tid`. Acquiring a held lock poisons the
+    /// mutex instead of panicking — a correctly guarded model never does
+    /// this, so poisoning means the *model* skipped its `is_free` guard.
+    pub fn acquire(&mut self, tid: usize) {
+        if self.holder.is_some() {
+            self.poisoned = true;
+        }
+        self.holder = Some(tid);
+    }
+
+    /// Release the lock held by thread `tid`. Releasing a lock the thread
+    /// does not hold poisons the mutex.
+    pub fn release(&mut self, tid: usize) {
+        if self.holder != Some(tid) {
+            self.poisoned = true;
+        }
+        self.holder = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_fetch_add_returns_previous() {
+        let mut a = MockAtomicU64::new(3, 41);
+        assert_eq!(a.fetch_add(1), 41);
+        assert_eq!(a.load(), 42);
+        assert_eq!(a.var(), 3);
+    }
+
+    #[test]
+    fn mutex_protocol_violations_poison() {
+        let mut m = MockMutex::new(0);
+        assert!(m.is_free());
+        m.acquire(0);
+        assert_eq!(m.holder(), Some(0));
+        assert!(!m.poisoned());
+        m.acquire(1); // double acquire
+        assert!(m.poisoned());
+
+        let mut n = MockMutex::new(1);
+        n.acquire(0);
+        n.release(1); // wrong thread
+        assert!(n.poisoned());
+    }
+}

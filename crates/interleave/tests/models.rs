@@ -1,0 +1,763 @@
+//! Exhaustive interleaving models of the workspace's concurrency planes.
+//!
+//! Each model re-states one real component at the granularity of its
+//! shared-memory operations and lets the scheduler enumerate every
+//! schedule. Paired with most "fixed" models is a seeded-violation
+//! variant proving the checker still catches the bug class the real
+//! code is defending against.
+
+use coopcache_interleave::{explore, Config, MockAtomicU64, MockMutex, MockThread, Outcome, VarId};
+
+// ---------------------------------------------------------------------------
+// StatsRegistry: record/snapshot/total (crates/obs/src/stats.rs)
+// ---------------------------------------------------------------------------
+
+const V_C0: VarId = 0;
+const V_C1: VarId = 1;
+const V_READER: VarId = 2;
+
+#[derive(Clone)]
+struct StatsModel {
+    counts: [MockAtomicU64; 2],
+    snap: [u64; 2],
+    total: u64,
+    total_done: bool,
+}
+
+impl StatsModel {
+    fn new() -> Self {
+        Self {
+            counts: [MockAtomicU64::new(V_C0, 0), MockAtomicU64::new(V_C1, 0)],
+            snap: [0; 2],
+            total: 0,
+            total_done: false,
+        }
+    }
+}
+
+fn stats_recorder() -> MockThread<StatsModel> {
+    MockThread::new("recorder")
+        .step_rw("record-kind0", &[], &[V_C0], |s: &mut StatsModel| {
+            s.counts[0].fetch_add(1);
+        })
+        .step_rw("record-kind1", &[], &[V_C1], |s: &mut StatsModel| {
+            s.counts[1].fetch_add(1);
+        })
+}
+
+/// The pre-fix `total()`: a second independent pass over the live
+/// atomics. A record landing between the snapshot pass and the total
+/// pass makes `total()` disagree with the snapshot the caller just took.
+#[test]
+fn stats_total_second_pass_disagrees_with_snapshot() {
+    let reader = MockThread::new("scraper")
+        .step_rw("snap0", &[V_C0], &[V_READER], |s: &mut StatsModel| {
+            s.snap[0] = s.counts[0].load();
+        })
+        .step_rw("snap1", &[V_C1], &[V_READER], |s: &mut StatsModel| {
+            s.snap[1] = s.counts[1].load();
+        })
+        .step_rw("total-live0", &[V_C0], &[V_READER], |s: &mut StatsModel| {
+            s.total = s.counts[0].load();
+        })
+        .step_rw("total-live1", &[V_C1], &[V_READER], |s: &mut StatsModel| {
+            s.total += s.counts[1].load();
+            s.total_done = true;
+        });
+    let out = explore(
+        &StatsModel::new(),
+        &[stats_recorder(), reader],
+        |s| {
+            if s.total_done && s.total != s.snap[0] + s.snap[1] {
+                return Err(format!(
+                    "total() {} != sum of caller's snapshot {}",
+                    s.total,
+                    s.snap[0] + s.snap[1]
+                ));
+            }
+            Ok(())
+        },
+        Config::default(),
+    );
+    assert!(
+        matches!(out, Outcome::InvariantViolation { .. }),
+        "the two-pass total must be caught: {out:?}"
+    );
+}
+
+/// The fixed `total()`: derived from the same single snapshot pass, so
+/// it can never disagree with that snapshot, in any interleaving.
+#[test]
+fn stats_total_from_one_snapshot_pass_is_consistent() {
+    let reader = MockThread::new("scraper")
+        .step_rw("snap0", &[V_C0], &[V_READER], |s: &mut StatsModel| {
+            s.snap[0] = s.counts[0].load();
+        })
+        .step_rw("snap1", &[V_C1], &[V_READER], |s: &mut StatsModel| {
+            s.snap[1] = s.counts[1].load();
+        })
+        .step_rw(
+            "total-derive",
+            &[V_READER],
+            &[V_READER],
+            |s: &mut StatsModel| {
+                s.total = s.snap[0] + s.snap[1];
+                s.total_done = true;
+            },
+        );
+    let out = explore(
+        &StatsModel::new(),
+        &[stats_recorder(), reader],
+        |s| {
+            if s.total_done && s.total != s.snap[0] + s.snap[1] {
+                return Err("derived total diverged from its snapshot".to_string());
+            }
+            Ok(())
+        },
+        Config::default(),
+    );
+    assert!(out.passed(), "one-pass total must hold everywhere: {out:?}");
+}
+
+/// Successive snapshots are pointwise monotone: counters only grow, so
+/// a later pass can never observe a smaller per-kind value.
+#[test]
+fn stats_snapshots_are_pointwise_monotone() {
+    #[derive(Clone)]
+    struct Mono {
+        counts: [MockAtomicU64; 2],
+        first: [u64; 2],
+        second: [u64; 2],
+        first_done: bool,
+        second_done: bool,
+    }
+    let initial = Mono {
+        counts: [MockAtomicU64::new(V_C0, 0), MockAtomicU64::new(V_C1, 0)],
+        first: [0; 2],
+        second: [0; 2],
+        first_done: false,
+        second_done: false,
+    };
+    let recorder = MockThread::new("recorder")
+        .step_rw("record-kind0", &[], &[V_C0], |s: &mut Mono| {
+            s.counts[0].fetch_add(1);
+        })
+        .step_rw("record-kind1", &[], &[V_C1], |s: &mut Mono| {
+            s.counts[1].fetch_add(1);
+        });
+    let reader = MockThread::new("scraper")
+        .step_rw("first0", &[V_C0], &[V_READER], |s: &mut Mono| {
+            s.first[0] = s.counts[0].load();
+        })
+        .step_rw("first1", &[V_C1], &[V_READER], |s: &mut Mono| {
+            s.first[1] = s.counts[1].load();
+            s.first_done = true;
+        })
+        .step_rw("second0", &[V_C0], &[V_READER], |s: &mut Mono| {
+            s.second[0] = s.counts[0].load();
+        })
+        .step_rw("second1", &[V_C1], &[V_READER], |s: &mut Mono| {
+            s.second[1] = s.counts[1].load();
+            s.second_done = true;
+        });
+    let out = explore(
+        &initial,
+        &[recorder, reader],
+        |s| {
+            if s.first_done && s.second_done {
+                for k in 0..2 {
+                    if s.second[k] < s.first[k] {
+                        return Err(format!("kind {k} went backwards"));
+                    }
+                }
+            }
+            Ok(())
+        },
+        Config::default(),
+    );
+    assert!(out.passed(), "snapshot monotonicity must hold: {out:?}");
+}
+
+// ---------------------------------------------------------------------------
+// SeriesRing: sampler vs scraper handoff (crates/obs/src/series.rs,
+// crates/net/src/daemon.rs sample_loop / OP_SERIES)
+// ---------------------------------------------------------------------------
+
+const V_RING_MUTEX: VarId = 10;
+const V_RING_T: VarId = 11;
+const V_RING_CTR: VarId = 12;
+const V_RING_SEEN: VarId = 13;
+
+/// A sample point is written field-by-field (`t_ms`, then the counter
+/// derived from it). The model invariant is the point's internal
+/// consistency: an observed counter must match its observed `t_ms`.
+#[derive(Clone)]
+struct PointModel {
+    ring: MockMutex,
+    t_ms: u64,
+    counter: u64,
+    seen: Option<(u64, u64)>,
+}
+
+impl PointModel {
+    fn new() -> Self {
+        Self {
+            ring: MockMutex::new(V_RING_MUTEX),
+            t_ms: 0,
+            counter: 0,
+            seen: None,
+        }
+    }
+
+    fn check(&self) -> Result<(), String> {
+        if self.ring.poisoned() {
+            return Err("ring mutex protocol violated".to_string());
+        }
+        if let Some((t, c)) = self.seen {
+            if c != 2 * t {
+                return Err(format!("torn point observed: t_ms={t} counter={c}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The real arrangement: both sides serialize on the ring mutex, so the
+/// two-field write is atomic with respect to the scraper.
+#[test]
+fn series_ring_locked_handoff_never_tears() {
+    let sampler = MockThread::new("sampler")
+        .guarded(
+            "lock",
+            &[V_RING_MUTEX],
+            &[V_RING_MUTEX],
+            |s: &PointModel| s.ring.is_free(),
+            |s: &mut PointModel| s.ring.acquire(0),
+        )
+        .step_rw("write-t", &[], &[V_RING_T], |s: &mut PointModel| {
+            s.t_ms = 10
+        })
+        .step_rw(
+            "write-counter",
+            &[V_RING_T],
+            &[V_RING_CTR],
+            |s: &mut PointModel| {
+                s.counter = 2 * s.t_ms;
+            },
+        )
+        .step_rw("unlock", &[], &[V_RING_MUTEX], |s: &mut PointModel| {
+            s.ring.release(0)
+        });
+    let scraper = MockThread::new("scraper")
+        .guarded(
+            "lock",
+            &[V_RING_MUTEX],
+            &[V_RING_MUTEX],
+            |s: &PointModel| s.ring.is_free(),
+            |s: &mut PointModel| s.ring.acquire(1),
+        )
+        .step_rw(
+            "read-point",
+            &[V_RING_T, V_RING_CTR],
+            &[V_RING_SEEN],
+            |s: &mut PointModel| s.seen = Some((s.t_ms, s.counter)),
+        )
+        .step_rw("unlock", &[], &[V_RING_MUTEX], |s: &mut PointModel| {
+            s.ring.release(1)
+        });
+    let out = explore(
+        &PointModel::new(),
+        &[sampler, scraper],
+        PointModel::check,
+        Config::default(),
+    );
+    assert!(out.passed(), "locked handoff must never tear: {out:?}");
+}
+
+/// Seeded violation: drop the mutex and the scraper can land between the
+/// two field writes, observing a torn point — the checker must find it.
+#[test]
+fn series_ring_unlocked_handoff_is_caught() {
+    let sampler = MockThread::new("sampler")
+        .step_rw("write-t", &[], &[V_RING_T], |s: &mut PointModel| {
+            s.t_ms = 10
+        })
+        .step_rw(
+            "write-counter",
+            &[V_RING_T],
+            &[V_RING_CTR],
+            |s: &mut PointModel| {
+                s.counter = 2 * s.t_ms;
+            },
+        );
+    let scraper = MockThread::new("scraper").step_rw(
+        "read-point",
+        &[V_RING_T, V_RING_CTR],
+        &[V_RING_SEEN],
+        |s: &mut PointModel| s.seen = Some((s.t_ms, s.counter)),
+    );
+    let out = explore(
+        &PointModel::new(),
+        &[sampler, scraper],
+        PointModel::check,
+        Config::default(),
+    );
+    match out {
+        Outcome::InvariantViolation { schedule, .. } => {
+            assert_eq!(
+                schedule.last().map(String::as_str),
+                Some("scraper:read-point"),
+                "the tear is observed by the scraper: {schedule:?}"
+            );
+        }
+        other => unreachable!("unlocked handoff must be caught, got {other:?}"),
+    }
+}
+
+/// Bounded-ring eviction under the lock: capacity and ordering hold in
+/// every interleaving of a pushing sampler and a copying scraper.
+#[test]
+fn series_ring_eviction_keeps_bound_and_order() {
+    const CAP: usize = 2;
+    #[derive(Clone)]
+    struct RingModel {
+        m: MockMutex,
+        ring: Vec<u64>,
+        seen: Option<Vec<u64>>,
+    }
+    fn well_formed(points: &[u64]) -> Result<(), String> {
+        if points.len() > CAP {
+            return Err(format!("ring over capacity: {points:?}"));
+        }
+        if points.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(format!("ring out of order: {points:?}"));
+        }
+        Ok(())
+    }
+    let initial = RingModel {
+        m: MockMutex::new(V_RING_MUTEX),
+        ring: Vec::new(),
+        seen: None,
+    };
+    let mut sampler = MockThread::new("sampler");
+    for t in [10u64, 20, 30] {
+        sampler = sampler
+            .guarded(
+                "lock",
+                &[V_RING_MUTEX],
+                &[V_RING_MUTEX],
+                |s: &RingModel| s.m.is_free(),
+                |s: &mut RingModel| s.m.acquire(0),
+            )
+            .step_rw("evict", &[V_RING_T], &[V_RING_T], |s: &mut RingModel| {
+                if s.ring.len() == CAP {
+                    s.ring.remove(0);
+                }
+            })
+            .step_rw(
+                "push",
+                &[V_RING_T],
+                &[V_RING_T],
+                move |s: &mut RingModel| {
+                    s.ring.push(t);
+                },
+            )
+            .step_rw("unlock", &[], &[V_RING_MUTEX], |s: &mut RingModel| {
+                s.m.release(0)
+            });
+    }
+    let scraper = MockThread::new("scraper")
+        .guarded(
+            "lock",
+            &[V_RING_MUTEX],
+            &[V_RING_MUTEX],
+            |s: &RingModel| s.m.is_free(),
+            |s: &mut RingModel| s.m.acquire(1),
+        )
+        .step_rw("copy", &[V_RING_T], &[V_RING_SEEN], |s: &mut RingModel| {
+            s.seen = Some(s.ring.clone());
+        })
+        .step_rw("unlock", &[], &[V_RING_MUTEX], |s: &mut RingModel| {
+            s.m.release(1)
+        });
+    let out = explore(
+        &initial,
+        &[sampler, scraper],
+        |s| {
+            if s.m.poisoned() {
+                return Err("ring mutex protocol violated".to_string());
+            }
+            well_formed(&s.ring)?;
+            if let Some(seen) = &s.seen {
+                well_formed(seen)?;
+            }
+            Ok(())
+        },
+        Config::default(),
+    );
+    assert!(out.passed(), "eviction bound/order must hold: {out:?}");
+}
+
+// ---------------------------------------------------------------------------
+// PeerHealth quarantine backoff (crates/net/src/daemon.rs)
+// ---------------------------------------------------------------------------
+
+const V_Q_MUTEX: VarId = 20;
+const V_Q_STATE: VarId = 21;
+
+const Q_BASE_US: u64 = 250_000;
+const Q_CAP_US: u64 = 1_000_000;
+const Q_AFTER: u32 = 1;
+
+#[derive(Clone)]
+struct QuarModel {
+    m: MockMutex,
+    failures: u32,
+    quarantines: u32,
+    until_us: u64,
+    last_backoff_us: u64,
+    done: bool,
+}
+
+impl QuarModel {
+    fn new() -> Self {
+        Self {
+            m: MockMutex::new(V_Q_MUTEX),
+            failures: 0,
+            quarantines: 0,
+            until_us: 0,
+            last_backoff_us: 0,
+            done: false,
+        }
+    }
+
+    /// Mirrors `CacheDaemon::note_peer_failure` under the health lock.
+    fn record_failure(&mut self) {
+        self.failures = self.failures.saturating_add(1);
+        if self.failures >= Q_AFTER {
+            let backoff = (Q_BASE_US << self.quarantines.min(16)).min(Q_CAP_US);
+            self.until_us = backoff; // clock pinned at 0 in the model
+            self.last_backoff_us = backoff;
+            self.quarantines = self.quarantines.saturating_add(1);
+        }
+    }
+
+    /// Mirrors `CacheDaemon::note_peer_ok` (full rehabilitation).
+    fn record_ok(&mut self) {
+        self.failures = 0;
+        self.quarantines = 0;
+        self.until_us = 0;
+    }
+
+    fn check(&self) -> Result<(), String> {
+        if self.m.poisoned() {
+            return Err("health mutex protocol violated".to_string());
+        }
+        if self.last_backoff_us > Q_CAP_US {
+            return Err(format!("backoff over cap: {}", self.last_backoff_us));
+        }
+        if self.quarantines > 0 {
+            let expect = (Q_BASE_US << (self.quarantines - 1).min(16)).min(Q_CAP_US);
+            if self.last_backoff_us != expect {
+                return Err(format!(
+                    "backoff {} != expected {} at quarantine #{}",
+                    self.last_backoff_us, expect, self.quarantines
+                ));
+            }
+        }
+        if self.until_us > 0 && self.until_us != self.last_backoff_us {
+            return Err("until_us diverged from the backoff that set it".to_string());
+        }
+        Ok(())
+    }
+}
+
+fn quar_cycle(
+    thread: MockThread<QuarModel>,
+    tid: usize,
+    name: &'static str,
+    body: impl Fn(&mut QuarModel) + 'static,
+) -> MockThread<QuarModel> {
+    thread
+        .guarded(
+            "lock",
+            &[V_Q_MUTEX],
+            &[V_Q_MUTEX],
+            |s: &QuarModel| s.m.is_free(),
+            move |s: &mut QuarModel| s.m.acquire(tid),
+        )
+        .step_rw(name, &[V_Q_STATE], &[V_Q_STATE], body)
+        .step_rw("unlock", &[], &[V_Q_MUTEX], move |s: &mut QuarModel| {
+            s.m.release(tid)
+        })
+}
+
+/// Two failure reporters, one rehabilitator and one prober race on the
+/// health map: the backoff formula and the mutex protocol hold in every
+/// schedule.
+#[test]
+fn quarantine_transitions_hold_under_races() {
+    let mut failer = MockThread::new("failer");
+    for _ in 0..2 {
+        failer = quar_cycle(failer, 0, "record-failure", QuarModel::record_failure);
+    }
+    let rehab = quar_cycle(
+        MockThread::new("rehab"),
+        1,
+        "record-ok",
+        QuarModel::record_ok,
+    );
+    let prober = quar_cycle(MockThread::new("prober"), 2, "probe", |s| {
+        // `is_quarantined` is a pure read under the lock.
+        let _ = s.until_us > 0;
+    });
+    let out = explore(
+        &QuarModel::new(),
+        &[failer, rehab, prober],
+        QuarModel::check,
+        Config::default(),
+    );
+    assert!(out.passed(), "quarantine invariants must hold: {out:?}");
+}
+
+/// Repeated failures double the backoff until the cap and never past it.
+#[test]
+fn quarantine_backoff_doubles_to_cap() {
+    let mut failer = MockThread::new("failer");
+    for _ in 0..4 {
+        failer = quar_cycle(failer, 0, "record-failure", QuarModel::record_failure);
+    }
+    failer = failer.step_rw("done", &[], &[V_Q_STATE], |s: &mut QuarModel| s.done = true);
+    let out = explore(
+        &QuarModel::new(),
+        &[failer],
+        |s| {
+            s.check()?;
+            if s.done && s.last_backoff_us != Q_CAP_US {
+                return Err(format!(
+                    "4 quarantines should reach the cap, got {}",
+                    s.last_backoff_us
+                ));
+            }
+            Ok(())
+        },
+        Config::default(),
+    );
+    assert!(out.passed(), "backoff ladder must reach the cap: {out:?}");
+}
+
+/// Seeded violation: skip the `is_free` guard on one path and the mutex
+/// poisons — the model cannot silently tolerate a protocol break.
+#[test]
+fn quarantine_unguarded_acquire_is_caught() {
+    let failer = MockThread::new("failer")
+        .step_rw(
+            "lock-unguarded",
+            &[V_Q_MUTEX],
+            &[V_Q_MUTEX],
+            |s: &mut QuarModel| {
+                s.m.acquire(0);
+            },
+        )
+        .step_rw(
+            "record-failure",
+            &[V_Q_STATE],
+            &[V_Q_STATE],
+            QuarModel::record_failure,
+        )
+        .step_rw("unlock", &[], &[V_Q_MUTEX], |s: &mut QuarModel| {
+            s.m.release(0)
+        });
+    let prober = quar_cycle(MockThread::new("prober"), 1, "probe", |_| {});
+    let out = explore(
+        &QuarModel::new(),
+        &[failer, prober],
+        QuarModel::check,
+        Config::default(),
+    );
+    assert!(
+        matches!(out, Outcome::InvariantViolation { .. }),
+        "unguarded acquire must poison and be caught: {out:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// PR 5 regression: holding a shared sink's lock across a shutdown that
+// joins emitting threads (crates/obs/src/sink.rs SinkHandle::from_arc)
+// ---------------------------------------------------------------------------
+
+const V_SINK_MUTEX: VarId = 30;
+const V_WORKER_DONE: VarId = 31;
+const V_EMITTED: VarId = 32;
+const V_SUMMARY: VarId = 33;
+
+#[derive(Clone)]
+struct ShutdownModel {
+    sink: MockMutex,
+    worker_done: bool,
+    emitted: u64,
+    summary: Option<u64>,
+}
+
+impl ShutdownModel {
+    fn new() -> Self {
+        Self {
+            sink: MockMutex::new(V_SINK_MUTEX),
+            worker_done: false,
+            emitted: 0,
+            summary: None,
+        }
+    }
+
+    fn check(&self) -> Result<(), String> {
+        if self.sink.poisoned() {
+            return Err("sink mutex protocol violated".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// The worker loop: emit one event under the sink lock, then exit
+/// (its final step is the `join` handshake flag).
+fn emitting_worker() -> MockThread<ShutdownModel> {
+    MockThread::new("worker")
+        .guarded(
+            "lock-sink",
+            &[V_SINK_MUTEX],
+            &[V_SINK_MUTEX],
+            |s: &ShutdownModel| s.sink.is_free(),
+            |s: &mut ShutdownModel| s.sink.acquire(0),
+        )
+        .step_rw(
+            "emit",
+            &[V_EMITTED],
+            &[V_EMITTED],
+            |s: &mut ShutdownModel| {
+                s.emitted += 1;
+            },
+        )
+        .step_rw(
+            "unlock-sink",
+            &[],
+            &[V_SINK_MUTEX],
+            |s: &mut ShutdownModel| {
+                s.sink.release(0);
+            },
+        )
+        .step_rw("exit", &[], &[V_WORKER_DONE], |s: &mut ShutdownModel| {
+            s.worker_done = true;
+        })
+}
+
+/// The PR 5 bug, as a model: the harness takes the sink lock to read a
+/// summary and — still holding it — joins the worker. If the worker has
+/// not yet emitted, it blocks on the sink lock forever while the harness
+/// blocks on the join: a deadlock the scheduler must find.
+#[test]
+fn pr5_sink_lock_across_join_deadlocks() {
+    let harness = MockThread::new("harness")
+        .guarded(
+            "lock-sink",
+            &[V_SINK_MUTEX],
+            &[V_SINK_MUTEX],
+            |s: &ShutdownModel| s.sink.is_free(),
+            |s: &mut ShutdownModel| s.sink.acquire(1),
+        )
+        .step_rw(
+            "read-summary",
+            &[V_EMITTED],
+            &[V_SUMMARY],
+            |s: &mut ShutdownModel| {
+                s.summary = Some(s.emitted);
+            },
+        )
+        .guarded(
+            "join-worker",
+            &[V_WORKER_DONE],
+            &[],
+            |s: &ShutdownModel| s.worker_done,
+            |_| {},
+        )
+        .step_rw(
+            "unlock-sink",
+            &[],
+            &[V_SINK_MUTEX],
+            |s: &mut ShutdownModel| {
+                s.sink.release(1);
+            },
+        );
+    let out = explore(
+        &ShutdownModel::new(),
+        &[emitting_worker(), harness],
+        ShutdownModel::check,
+        Config::default(),
+    );
+    match out {
+        Outcome::Deadlock { blocked, schedule } => {
+            assert!(
+                blocked.contains(&"worker".to_string()) && blocked.contains(&"harness".to_string()),
+                "both sides wedge: {blocked:?}"
+            );
+            assert!(
+                schedule.iter().any(|s| s == "harness:lock-sink"),
+                "the deadlock requires the harness holding the sink: {schedule:?}"
+            );
+        }
+        other => unreachable!("the PR 5 class must deadlock in some schedule, got {other:?}"),
+    }
+}
+
+/// The fix: read the summary, release the sink lock, *then* join. No
+/// interleaving deadlocks or breaks the mutex protocol.
+#[test]
+fn pr5_release_before_join_is_clean() {
+    let harness = MockThread::new("harness")
+        .guarded(
+            "lock-sink",
+            &[V_SINK_MUTEX],
+            &[V_SINK_MUTEX],
+            |s: &ShutdownModel| s.sink.is_free(),
+            |s: &mut ShutdownModel| s.sink.acquire(1),
+        )
+        .step_rw(
+            "read-summary",
+            &[V_EMITTED],
+            &[V_SUMMARY],
+            |s: &mut ShutdownModel| {
+                s.summary = Some(s.emitted);
+            },
+        )
+        .step_rw(
+            "unlock-sink",
+            &[],
+            &[V_SINK_MUTEX],
+            |s: &mut ShutdownModel| {
+                s.sink.release(1);
+            },
+        )
+        .guarded(
+            "join-worker",
+            &[V_WORKER_DONE],
+            &[],
+            |s: &ShutdownModel| s.worker_done,
+            |_| {},
+        );
+    let out = explore(
+        &ShutdownModel::new(),
+        &[emitting_worker(), harness],
+        |s| {
+            s.check()?;
+            if let Some(summary) = s.summary {
+                if summary > 1 {
+                    return Err(format!("impossible summary {summary}"));
+                }
+            }
+            Ok(())
+        },
+        Config::default(),
+    );
+    assert!(
+        out.passed(),
+        "release-before-join must be deadlock-free: {out:?}"
+    );
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `coopcache-lint` — a zero-dependency conformance linter for this
 //! workspace.
 //!
@@ -22,9 +23,11 @@
 //! // lint:allow(panic) -- documented caller contract: doc must be tracked
 //! ```
 
+pub mod concurrency;
 pub mod mask;
 pub mod rules;
 
+pub use concurrency::check_lock_order;
 pub use mask::{mask, AllowDirective, Masked};
 pub use rules::{
     check_event_taxonomy, check_paranoid_wiring, crate_of, lint_source, Finding, Rule,
@@ -69,10 +72,11 @@ pub fn collect_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(files)
 }
 
-/// Lints the whole workspace rooted at `root`: per-file rules R1–R4 on
-/// every production source, then the cross-file checks — R5 (dead event
-/// taxonomy) against `crates/obs/src/event.rs` and R6 (paranoid audit
-/// wiring) against `crates/core/src/cache.rs`.
+/// Lints the whole workspace rooted at `root`: per-file rules (R1–R4,
+/// R7, R9–R11) on every production source, then the cross-file checks —
+/// R5 (dead event taxonomy) against `crates/obs/src/event.rs`, R6
+/// (paranoid audit wiring) against `crates/core/src/cache.rs`, and R8
+/// (lock-order cycles) over the workspace-wide acquisition graph.
 ///
 /// # Errors
 ///
@@ -106,6 +110,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     {
         findings.extend(check_paranoid_wiring(rel, src));
     }
+    findings.extend(check_lock_order(&sources));
     findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(findings)
 }

@@ -1,7 +1,9 @@
+#![forbid(unsafe_code)]
 //! CLI for the workspace conformance linter.
 //!
 //! ```sh
-//! cargo run -p coopcache-lint            # lint the enclosing workspace
+//! cargo run -p coopcache-lint                  # lint the enclosing workspace
+//! cargo run -p coopcache-lint -- --concurrency # concurrency rules only
 //! cargo run -p coopcache-lint -- --root /path/to/repo
 //! ```
 //!
@@ -11,7 +13,7 @@
 use std::path::PathBuf;
 
 fn usage() -> ! {
-    eprintln!("usage: coopcache-lint [--root <workspace-dir>]");
+    eprintln!("usage: coopcache-lint [--root <workspace-dir>] [--concurrency]");
     std::process::exit(2);
 }
 
@@ -35,19 +37,23 @@ fn find_workspace_root(start: PathBuf) -> Option<PathBuf> {
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut root: Option<PathBuf> = None;
+    let mut concurrency_only = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => usage(),
             },
+            "--concurrency" => concurrency_only = true,
             "--help" | "-h" => {
                 println!("coopcache-lint: workspace conformance linter");
                 println!();
-                println!("usage: coopcache-lint [--root <workspace-dir>]");
+                println!("usage: coopcache-lint [--root <workspace-dir>] [--concurrency]");
                 println!();
                 println!("rules: wall-clock, panic, map-iter, float-eq, dead-event,");
-                println!("       paranoid-wiring (see DESIGN.md §8)");
+                println!("       paranoid-wiring (see DESIGN.md §8); with --concurrency,");
+                println!("       only lock-blocking, lock-order, atomic-order, guard-await,");
+                println!("       unsafe (see DESIGN.md §13)");
                 return;
             }
             _ => usage(),
@@ -72,10 +78,21 @@ fn main() {
             }
         }
     };
-    match coopcache_lint::lint_workspace(&root) {
+    let filtered = coopcache_lint::lint_workspace(&root).map(|mut findings| {
+        if concurrency_only {
+            findings.retain(|f| f.rule.is_concurrency());
+        }
+        findings
+    });
+    match filtered {
         Ok(findings) if findings.is_empty() => {
             let n = coopcache_lint::count_files(&root).unwrap_or(0);
-            println!("coopcache-lint: clean ({n} files)");
+            let scope = if concurrency_only {
+                " (concurrency rules)"
+            } else {
+                ""
+            };
+            println!("coopcache-lint: clean ({n} files){scope}");
         }
         Ok(findings) => {
             for f in &findings {

@@ -17,14 +17,29 @@
 //! | `float-eq`        | everywhere                    | `==` / `!=` against a float literal |
 //! | `dead-event`      | workspace-wide                | `Event` variants never constructed outside `obs` |
 //! | `paranoid-wiring` | `core/src/cache.rs`           | mutating cache methods missing the invariant audit |
+//! | `lock-blocking`   | everywhere                    | blocking calls (join, I/O, sleep, channel recv) under a live `MutexGuard` |
+//! | `lock-order`      | workspace-wide                | cycles in the lock-acquisition graph, or re-acquiring a held lock |
+//! | `atomic-order`    | everywhere                    | unjustified non-`Relaxed` orderings; `Relaxed` on cross-thread `AtomicBool` flags |
+//! | `guard-await`     | everywhere                    | a guard live across `.await` or captured by a `move` closure |
+//! | `unsafe`          | everywhere                    | unjustified `unsafe`; crate roots missing `#![forbid(unsafe_code)]` |
+//!
+//! The concurrency rules (R7–R11) live in [`crate::concurrency`].
 
 use crate::mask::{find_word, mask, Masked};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// Crates whose non-test code must be panic-free (rule `panic`).
-pub const PANIC_FREE_CRATES: [&str; 8] = [
-    "core", "sim", "proxy", "types", "trace", "metrics", "obs", "net",
+pub const PANIC_FREE_CRATES: [&str; 9] = [
+    "core",
+    "sim",
+    "proxy",
+    "types",
+    "trace",
+    "metrics",
+    "obs",
+    "net",
+    "interleave",
 ];
 
 /// Crates where hash-order iteration can reach outputs, events, or
@@ -49,6 +64,16 @@ pub enum Rule {
     DeadEvent,
     /// R6: cache mutation path missing its invariant audit call.
     ParanoidWiring,
+    /// R7: a blocking call while a `MutexGuard` is live.
+    LockBlocking,
+    /// R8: a cycle in the workspace lock-acquisition graph.
+    LockOrder,
+    /// R9: an unjustified atomic ordering (or a too-weak one on a flag).
+    AtomicOrder,
+    /// R10: a guard live across `.await` or escaping into a closure.
+    GuardAwait,
+    /// R11: unjustified `unsafe`, or a crate root not forbidding it.
+    UnsafeCode,
     /// A malformed `lint:allow` directive.
     BadAllow,
 }
@@ -64,19 +89,45 @@ impl Rule {
             Self::FloatEq => "float-eq",
             Self::DeadEvent => "dead-event",
             Self::ParanoidWiring => "paranoid-wiring",
+            Self::LockBlocking => "lock-blocking",
+            Self::LockOrder => "lock-order",
+            Self::AtomicOrder => "atomic-order",
+            Self::GuardAwait => "guard-await",
+            Self::UnsafeCode => "unsafe",
             Self::BadAllow => "bad-allow",
         }
     }
 
     /// All rule names accepted by `lint:allow`.
-    pub const ALLOWABLE: [Rule; 6] = [
+    pub const ALLOWABLE: [Rule; 11] = [
         Self::WallClock,
         Self::Panic,
         Self::MapIter,
         Self::FloatEq,
         Self::DeadEvent,
         Self::ParanoidWiring,
+        Self::LockBlocking,
+        Self::LockOrder,
+        Self::AtomicOrder,
+        Self::GuardAwait,
+        Self::UnsafeCode,
     ];
+
+    /// The concurrency-soundness subset (R7–R11), selected by the CLI's
+    /// `--concurrency` flag.
+    pub const CONCURRENCY: [Rule; 5] = [
+        Self::LockBlocking,
+        Self::LockOrder,
+        Self::AtomicOrder,
+        Self::GuardAwait,
+        Self::UnsafeCode,
+    ];
+
+    /// True for rules in the [`Rule::CONCURRENCY`] subset.
+    #[must_use]
+    pub fn is_concurrency(self) -> bool {
+        Self::CONCURRENCY.contains(&self)
+    }
 }
 
 impl fmt::Display for Rule {
@@ -127,7 +178,8 @@ fn unslash(rel: &Path) -> String {
     rel.to_string_lossy().replace('\\', "/")
 }
 
-/// Runs every per-file rule (R1–R4 plus allow validation) on one source.
+/// Runs every per-file rule (R1–R4, R7, R9–R11, plus allow validation)
+/// on one source.
 #[must_use]
 pub fn lint_source(rel: &Path, src: &str) -> Vec<Finding> {
     let masked = mask(src);
@@ -146,6 +198,7 @@ pub fn lint_source(rel: &Path, src: &str) -> Vec<Finding> {
         check_map_iter(rel, &masked, &mut findings);
     }
     check_float_eq(rel, &masked, &mut findings);
+    crate::concurrency::check_concurrency(rel, &masked, &mut findings);
     findings
 }
 

@@ -1,0 +1,28 @@
+//! Deliberately violating fixture: `Relaxed` on a cross-thread
+//! `AtomicBool` handoff flag, and an undocumented `SeqCst` on a counter.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct Flags {
+    stop: AtomicBool,
+    count: AtomicU64,
+}
+
+impl Flags {
+    fn request_stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    fn bump(&self) {
+        self.count.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn read(&self) -> u64 {
+        // A pure counter: Relaxed is the correct, unflagged choice.
+        self.count.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,27 @@
+//! Clean fixture: the stop flag uses a documented Release/Acquire pair,
+//! and the pure counter stays `Relaxed`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct Flags {
+    stop: AtomicBool,
+    count: AtomicU64,
+}
+
+impl Flags {
+    fn request_stop(&self) {
+        // lint:allow(atomic-order) -- Release: pairs with the Acquire
+        // load in `is_stopped`.
+        self.stop.store(true, Ordering::Release);
+    }
+
+    fn is_stopped(&self) -> bool {
+        // lint:allow(atomic-order) -- Acquire: pairs with the Release
+        // store in `request_stop`.
+        self.stop.load(Ordering::Acquire)
+    }
+
+    fn bump(&self) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,27 @@
+//! Deliberately violating fixture: a guard held across an `.await`
+//! suspension point, and a guard captured by a `move` closure.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct Shared {
+    queue: Mutex<Vec<u64>>,
+}
+
+impl Shared {
+    async fn drain_holding_guard(&self) {
+        let queue = lock(&self.queue);
+        tick().await;
+        let _ = queue.len();
+    }
+
+    fn escape_into_callback(&self) -> impl FnOnce() -> usize + '_ {
+        let queue = lock(&self.queue);
+        move || queue.len()
+    }
+}
+
+async fn tick() {}

@@ -1,0 +1,31 @@
+//! Clean fixture: the same shapes as `guard_await_bad.rs`, with the
+//! guard scoped to end before the suspension point and the closure
+//! capturing plain data instead of the guard.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct Shared {
+    queue: Mutex<Vec<u64>>,
+}
+
+impl Shared {
+    async fn drain_scoped(&self) {
+        let len = {
+            let queue = lock(&self.queue);
+            queue.len()
+        };
+        tick().await;
+        let _ = len;
+    }
+
+    fn callback_without_guard(&self) -> impl FnOnce() -> usize {
+        let len = lock(&self.queue).len();
+        move || len
+    }
+}
+
+async fn tick() {}

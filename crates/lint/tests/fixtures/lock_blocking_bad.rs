@@ -1,0 +1,30 @@
+//! Deliberately violating fixture: blocking calls under a live guard —
+//! the exact shape of the PR 5 shutdown deadlock.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct Daemon {
+    sink: Mutex<Vec<u64>>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Daemon {
+    fn shutdown_holding_sink(&mut self) {
+        let guard = lock(&self.sink);
+        for handle in self.threads.drain(..) {
+            let _ = handle.join(); // joins emitters that need `sink`
+        }
+        drop(guard);
+    }
+
+    fn sleep_under_scrutinee(&self) {
+        if let Some(first) = lock(&self.sink).first() {
+            std::thread::sleep(Duration::from_millis(*first));
+        }
+    }
+}

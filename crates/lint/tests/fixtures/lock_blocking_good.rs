@@ -1,0 +1,33 @@
+//! Clean fixture: the same shutdown and sampling shapes as
+//! `lock_blocking_bad.rs`, with every guard dropped before blocking.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct Daemon {
+    sink: Mutex<Vec<u64>>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Daemon {
+    fn shutdown_cleanly(&mut self) {
+        {
+            let guard = lock(&self.sink);
+            let _ = guard.len();
+        }
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    fn sleep_after_read(&self) {
+        let first = lock(&self.sink).first().copied();
+        if let Some(ms) = first {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Deliberately violating fixture: two paths acquire `health` and
+//! `series` in opposite orders (a cycle in the acquisition graph), and a
+//! third re-acquires a lock under its own guard.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct Planes {
+    health: Mutex<u64>,
+    series: Mutex<u64>,
+}
+
+impl Planes {
+    fn forward(&self) -> u64 {
+        let health = lock(&self.health);
+        let series = lock(&self.series);
+        *health + *series
+    }
+
+    fn backward(&self) -> u64 {
+        let series = lock(&self.series);
+        let health = lock(&self.health);
+        *series - *health
+    }
+
+    fn reentrant(&self) -> u64 {
+        let outer = lock(&self.health);
+        let inner = lock(&self.health);
+        *outer + *inner
+    }
+}

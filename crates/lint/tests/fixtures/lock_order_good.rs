@@ -1,0 +1,33 @@
+//! Clean fixture: every path acquires `health` strictly before
+//! `series`, so the acquisition graph is acyclic.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct Planes {
+    health: Mutex<u64>,
+    series: Mutex<u64>,
+}
+
+impl Planes {
+    fn sum(&self) -> u64 {
+        let health = lock(&self.health);
+        let series = lock(&self.series);
+        *health + *series
+    }
+
+    fn diff(&self) -> u64 {
+        let health = lock(&self.health);
+        let series = lock(&self.series);
+        *health - *series
+    }
+
+    fn sequential(&self) -> u64 {
+        let h = *lock(&self.health);
+        let s = *lock(&self.series);
+        h + s
+    }
+}

@@ -1,0 +1,14 @@
+//! Deliberately violating fixture: one bare `unsafe` block (flagged)
+//! and one with a justified allow (accepted). Linted under a crate-root
+//! pseudo path, the missing `#![forbid(unsafe_code)]` is a second
+//! finding.
+
+fn first_byte_bare(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}
+
+fn first_byte_justified(v: &[u8]) -> u8 {
+    // lint:allow(unsafe) -- fixture: caller guarantees `v` is non-empty,
+    // so the read is in bounds.
+    unsafe { *v.as_ptr() }
+}

@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+//! Clean fixture: a crate root that forbids unsafe outright.
+
+pub fn first_byte(v: &[u8]) -> Option<u8> {
+    v.first().copied()
+}

@@ -6,7 +6,9 @@
 //! exactly as they would in the real tree. The fixtures directory itself
 //! is in the linter's skip list, so the workspace scan never sees them.
 
-use coopcache_lint::{check_event_taxonomy, check_paranoid_wiring, lint_source, Finding, Rule};
+use coopcache_lint::{
+    check_event_taxonomy, check_lock_order, check_paranoid_wiring, lint_source, Finding, Rule,
+};
 use std::path::{Path, PathBuf};
 
 fn lint(pseudo_path: &str, src: &str) -> Vec<Finding> {
@@ -164,6 +166,125 @@ fn paranoid_wiring_flags_a_missing_invariant_layer() {
     let findings = check_paranoid_wiring(Path::new("crates/core/src/cache.rs"), src);
     assert_eq!(findings.len(), 1, "{findings:?}");
     assert!(findings[0].message.contains("check_invariants"));
+}
+
+#[test]
+fn lock_blocking_fixture_flags_join_and_sleep() {
+    let src = include_str!("fixtures/lock_blocking_bad.rs");
+    let findings = lint("crates/net/src/fixture.rs", src);
+    assert_eq!(count(&findings, Rule::LockBlocking), 2, "{findings:?}");
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    lines_contain(&findings, src, Rule::LockBlocking, "(");
+}
+
+#[test]
+fn lock_blocking_clean_fixture_produces_nothing() {
+    let src = include_str!("fixtures/lock_blocking_good.rs");
+    let findings = lint("crates/net/src/fixture.rs", src);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn lock_order_fixture_reports_the_cycle_and_the_reentry() {
+    let src = include_str!("fixtures/lock_order_bad.rs");
+    let sources = vec![(PathBuf::from("crates/net/src/fixture.rs"), src.to_string())];
+    let findings = check_lock_order(&sources);
+    assert_eq!(count(&findings, Rule::LockOrder), 2, "{findings:?}");
+    assert!(
+        findings.iter().any(|f| f.message.contains("cycle")
+            && f.message.contains("health")
+            && f.message.contains("series")),
+        "{findings:?}"
+    );
+    assert!(
+        findings.iter().any(|f| f.message.contains("re-acquired")),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn lock_order_clean_fixture_produces_nothing() {
+    let src = include_str!("fixtures/lock_order_good.rs");
+    let sources = vec![(PathBuf::from("crates/net/src/fixture.rs"), src.to_string())];
+    let findings = check_lock_order(&sources);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn lock_order_sees_cycles_spanning_files() {
+    // `forward` and `backward` in different files still form one cycle:
+    // the acquisition graph is workspace-wide.
+    let src = include_str!("fixtures/lock_order_bad.rs");
+    let (fwd, rest) = src.split_once("    fn backward").expect("fixture shape");
+    let fwd = format!("{fwd}}}\n");
+    let bwd = format!(
+        "use std::sync::{{Mutex, MutexGuard, PoisonError}};\n\
+         fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {{\n\
+             m.lock().unwrap_or_else(PoisonError::into_inner)\n\
+         }}\n\
+         struct Planes {{ health: Mutex<u64>, series: Mutex<u64> }}\n\
+         impl Planes {{\n    fn backward{}",
+        rest.split_once("    fn reentrant")
+            .expect("fixture shape")
+            .0
+    );
+    let sources = vec![
+        (PathBuf::from("crates/net/src/a.rs"), fwd),
+        (PathBuf::from("crates/net/src/b.rs"), format!("{bwd}}}\n")),
+    ];
+    let findings = check_lock_order(&sources);
+    assert_eq!(count(&findings, Rule::LockOrder), 1, "{findings:?}");
+    assert!(findings[0].message.contains("cycle"), "{findings:?}");
+}
+
+#[test]
+fn atomic_order_fixture_flags_relaxed_flags_and_bare_seqcst() {
+    let src = include_str!("fixtures/atomic_order_bad.rs");
+    let findings = lint("crates/net/src/fixture.rs", src);
+    assert_eq!(count(&findings, Rule::AtomicOrder), 3, "{findings:?}");
+    assert_eq!(findings.len(), 3, "{findings:?}");
+    lines_contain(&findings, src, Rule::AtomicOrder, "Ordering::");
+}
+
+#[test]
+fn atomic_order_clean_fixture_produces_nothing() {
+    let src = include_str!("fixtures/atomic_order_good.rs");
+    let findings = lint("crates/net/src/fixture.rs", src);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn guard_await_fixture_flags_await_and_move_escape() {
+    let src = include_str!("fixtures/guard_await_bad.rs");
+    let findings = lint("crates/net/src/fixture.rs", src);
+    assert_eq!(count(&findings, Rule::GuardAwait), 2, "{findings:?}");
+    assert_eq!(findings.len(), 2, "{findings:?}");
+}
+
+#[test]
+fn guard_await_clean_fixture_produces_nothing() {
+    let src = include_str!("fixtures/guard_await_good.rs");
+    let findings = lint("crates/net/src/fixture.rs", src);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn unsafe_fixture_requires_justification_and_forbid() {
+    let src = include_str!("fixtures/unsafe_bad.rs");
+    // As a non-root file: only the bare unsafe block is flagged; the
+    // justified one passes.
+    let findings = lint("crates/net/src/fixture.rs", src);
+    assert_eq!(count(&findings, Rule::UnsafeCode), 1, "{findings:?}");
+    // As a crate root: the missing forbid attribute is a second finding.
+    let as_root = lint("crates/net/src/lib.rs", src);
+    assert_eq!(count(&as_root, Rule::UnsafeCode), 2, "{as_root:?}");
+}
+
+#[test]
+fn unsafe_clean_fixture_produces_nothing() {
+    let src = include_str!("fixtures/unsafe_good.rs");
+    let findings = lint("crates/net/src/lib.rs", src);
+    assert!(findings.is_empty(), "{findings:?}");
 }
 
 #[test]

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Evaluation metrics for cooperative caching experiments.
 //!
 //! Implements exactly the measurement apparatus of the paper's §4:

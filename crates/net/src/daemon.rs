@@ -945,7 +945,10 @@ impl CacheDaemon {
     /// daemon as a dead sibling: ICP queries go unanswered and document
     /// connections are refused.
     pub fn halt(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        // lint:allow(atomic-order) -- Release: pairs with the Acquire
+        // loads in the server loops, so a loop that observes the flag
+        // also observes everything written before shutdown began.
+        self.stop.store(true, Ordering::Release);
         for handle in self.threads.drain(..) {
             let _ = handle.join();
         }
@@ -960,13 +963,16 @@ impl CacheDaemon {
 impl Drop for CacheDaemon {
     fn drop(&mut self) {
         // Non-blocking best effort; `shutdown` is the clean path.
-        self.stop.store(true, Ordering::Relaxed);
+        // lint:allow(atomic-order) -- Release: same pairing as `halt`.
+        self.stop.store(true, Ordering::Release);
     }
 }
 
 fn icp_loop(socket: &UdpSocket, ctx: &LoopCtx) {
     let mut buf = [0u8; 64];
-    while !ctx.stop.load(Ordering::Relaxed) {
+    // lint:allow(atomic-order) -- Acquire: pairs with the Release store
+    // in `halt`, ordering the flag read before loop teardown.
+    while !ctx.stop.load(Ordering::Acquire) {
         match socket.recv_from(&mut buf) {
             Ok((n, from)) => {
                 if let Ok(WireMessage::IcpQuery { query, ctx: trace }) =
@@ -1025,7 +1031,9 @@ fn icp_loop(socket: &UdpSocket, ctx: &LoopCtx) {
 }
 
 fn doc_loop(listener: &TcpListener, ctx: &LoopCtx, io_timeout: Duration) {
-    while !ctx.stop.load(Ordering::Relaxed) {
+    // lint:allow(atomic-order) -- Acquire: pairs with the Release store
+    // in `halt`, ordering the flag read before loop teardown.
+    while !ctx.stop.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((mut stream, _)) => {
                 let fault = ctx
@@ -1305,10 +1313,13 @@ fn sample_point(
 /// the shared ring. The sleep is chunked so shutdown never blocks
 /// behind a long interval.
 fn sample_loop(ctx: &LoopCtx, interval: Duration) {
-    while !ctx.stop.load(Ordering::Relaxed) {
+    // lint:allow(atomic-order) -- Acquire: pairs with the Release store
+    // in `halt`, ordering the flag read before loop teardown.
+    while !ctx.stop.load(Ordering::Acquire) {
         let mut remaining = interval;
         while !remaining.is_zero() {
-            if ctx.stop.load(Ordering::Relaxed) {
+            // lint:allow(atomic-order) -- Acquire: same pairing as above.
+            if ctx.stop.load(Ordering::Acquire) {
                 return;
             }
             let chunk = remaining.min(Duration::from_millis(5));

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Live cooperative caching over real sockets.
 //!
 //! The paper ran its simulator instances on several department machines,

@@ -114,12 +114,18 @@ impl OriginServer {
     /// Number of documents served so far (each is one group miss).
     #[must_use]
     pub fn served(&self) -> u64 {
+        // lint:allow(atomic-order) -- SeqCst: pairs with the SeqCst
+        // fetch_add in `serve_loop`; tests compare this against bytes
+        // already received over TCP, so the count may never lag a
+        // completed response.
         self.served.load(Ordering::SeqCst)
     }
 
     /// Stops the listener thread and waits for it to exit.
     pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        // lint:allow(atomic-order) -- Release: pairs with the Acquire
+        // load in `serve_loop`.
+        self.stop.store(true, Ordering::Release);
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }
@@ -129,12 +135,15 @@ impl OriginServer {
 impl Drop for OriginServer {
     fn drop(&mut self) {
         // Non-blocking best effort; `shutdown` is the clean path.
-        self.stop.store(true, Ordering::Relaxed);
+        // lint:allow(atomic-order) -- Release: same pairing as `shutdown`.
+        self.stop.store(true, Ordering::Release);
     }
 }
 
 fn serve_loop(listener: &TcpListener, delay: Duration, served: &AtomicU64, stop: &AtomicBool) {
-    while !stop.load(Ordering::Relaxed) {
+    // lint:allow(atomic-order) -- Acquire: pairs with the Release store
+    // in `shutdown`/`drop`, ordering the flag read before loop exit.
+    while !stop.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((mut stream, _)) => {
                 let _ = stream.set_nodelay(true);
@@ -151,6 +160,8 @@ fn serve_loop(listener: &TcpListener, delay: Duration, served: &AtomicU64, stop:
                 let size = u64::from_be_bytes(size_bytes);
                 // Count BEFORE replying: a client that has received the
                 // whole body must observe the incremented counter.
+                // lint:allow(atomic-order) -- SeqCst: pairs with the
+                // SeqCst load in `served`; see that comment.
                 served.fetch_add(1, Ordering::SeqCst);
                 if stream.write_all(&size.to_be_bytes()).is_ok() {
                     let _ = write_body(&mut stream, size);

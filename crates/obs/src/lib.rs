@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Observability for the `coopcache` workspace.
 //!
 //! All three execution modes — the synchronous [`DistributedGroup`],

@@ -14,6 +14,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Counts are monotonically increasing and use relaxed ordering: a
 /// snapshot taken while requests are in flight is a consistent-enough
 /// gauge, not a barrier.
+///
+/// # Consistency contract
+///
+/// Every derived quantity ([`Self::total`], the JSON written by
+/// [`Self::write_counters`]) is computed from **one** [`Self::snapshot`]
+/// pass — never from a second independent read of the atomics. Two
+/// snapshots taken around concurrent `record` calls may differ, but
+/// within one snapshot the total always equals the sum of its parts, and
+/// each per-kind value is monotone across successive snapshots. The
+/// interleave crate's `StatsRegistry` model checks exactly this: a
+/// two-pass total can disagree with the snapshot it is reported next to.
 #[derive(Debug)]
 pub struct StatsRegistry {
     counts: [AtomicU64; EVENT_KINDS.len()],
@@ -39,10 +50,13 @@ impl StatsRegistry {
         self.counts[kind.index()].load(Ordering::Relaxed)
     }
 
-    /// Total events recorded across all kinds.
+    /// Total events recorded across all kinds, derived from a single
+    /// [`Self::snapshot`] pass (see the consistency contract above): the
+    /// returned total is exactly the sum of some observable snapshot,
+    /// never a mix of two read passes racing concurrent `record`s.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+        self.snapshot().iter().map(|(_, count)| count).sum()
     }
 
     /// All counters in [`EVENT_KINDS`] order.
@@ -86,6 +100,16 @@ mod tests {
         assert_eq!(stats.count(EventKind::Span), 1);
         assert_eq!(stats.count(EventKind::Eviction), 0);
         assert_eq!(stats.total(), 3);
+    }
+
+    #[test]
+    fn total_is_the_sum_of_one_snapshot() {
+        let stats = StatsRegistry::new();
+        stats.record(EventKind::Request);
+        stats.record(EventKind::Span);
+        stats.record(EventKind::Span);
+        let snap = stats.snapshot();
+        assert_eq!(stats.total(), snap.iter().map(|(_, c)| c).sum::<u64>());
     }
 
     #[test]

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The cooperative caching protocol layer.
 //!
 //! This crate turns the single-cache engine of `coopcache-core` into a

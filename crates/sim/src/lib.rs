@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Trace-driven simulation of cooperative cache groups.
 //!
 //! Reproduces the paper's experimental apparatus (§4.1) in two flavors:

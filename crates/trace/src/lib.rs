@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Synthetic web-proxy workload traces for cooperative-caching experiments.
 //!
 //! The paper's evaluation replays the Boston University 1994–95 proxy trace,

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared vocabulary types for the `coopcache` workspace.
 //!
 //! Every crate in the workspace speaks in terms of the newtypes defined here:

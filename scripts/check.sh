@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Pre-PR gate: formatting, lints, the workspace conformance linter, and
 # the full test suite (including the paranoid invariant audits).
-# Usage: scripts/check.sh          run the whole gate
-#        scripts/check.sh lint     run only the conformance linter
+# Usage: scripts/check.sh              run the whole gate
+#        scripts/check.sh lint         run only the conformance linter
+#        scripts/check.sh concurrency  run only the concurrency rules
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,8 +12,18 @@ run_lint() {
   cargo run -q -p coopcache-lint
 }
 
+run_concurrency_lint() {
+  echo "== coopcache-lint --concurrency (lock/atomic soundness)"
+  cargo run -q -p coopcache-lint -- --concurrency
+}
+
 if [[ "${1:-}" == "lint" ]]; then
   run_lint
+  exit 0
+fi
+
+if [[ "${1:-}" == "concurrency" ]]; then
+  run_concurrency_lint
   exit 0
 fi
 
@@ -23,6 +34,11 @@ echo "== cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
 run_lint
+
+run_concurrency_lint
+
+echo "== cargo test (interleave: bounded model checking)"
+cargo test -q -p coopcache-interleave
 
 echo "== cargo test"
 cargo test -q --workspace
@@ -42,6 +58,15 @@ cargo test -q --test determinism des_trace_trees_are_identical_across_runs
 echo "== series determinism (DES + replayed series, byte-identical)"
 cargo test -q --test determinism des_series_rings_are_identical_across_runs
 cargo test -q --test determinism series_replay_is_byte_identical_across_runs
+
+echo "== ThreadSanitizer storm test (advisory; needs nightly + rust-src)"
+if cargo +nightly --version >/dev/null 2>&1 &&
+  [[ -f "$(rustc +nightly --print sysroot)/lib/rustlib/src/rust/library/Cargo.lock" ]]; then
+  RUSTFLAGS="-Z sanitizer=thread" cargo +nightly test -q --test concurrency_storm \
+    --target x86_64-unknown-linux-gnu -Z build-std || true
+else
+  echo "   skipped: no nightly toolchain with rust-src available offline"
+fi
 
 echo "== bench drift (advisory; compares the last two snapshots)"
 if [[ -s BENCH_5.json && -s BENCH_6.json ]]; then

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # coopcache — expiration-age based cooperative web caching
 //!
 //! A faithful, from-scratch reproduction of *"A New Document Placement
