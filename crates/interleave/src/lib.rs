@@ -20,8 +20,13 @@
 //! Exploration is a seeded DFS with sleep-set pruning: commutative step
 //! pairs (disjoint read/write footprints) are explored in one order only,
 //! which keeps the full search exhaustive while skipping redundant
-//! schedules. Everything is deterministic for a fixed seed; changing the
-//! seed permutes visit order but never the verdict.
+//! schedules. The invariant itself declares a read footprint to
+//! [`explore`]; steps writing those variables are *visible* and never
+//! commuted with each other, so the invariant observes every
+//! intermediate state it could distinguish — provided its declared
+//! footprint is honest, which is part of the model contract just like
+//! step footprints. Everything is deterministic for a fixed seed;
+//! changing the seed permutes visit order but never the verdict.
 
 mod sched;
 mod shim;

@@ -4,7 +4,14 @@
 //! over every schedule, cloning the model state at each branch point so
 //! backtracking is trivial. Sleep sets prune schedules that only reorder
 //! independent (footprint-disjoint) steps; the search stays exhaustive
-//! over *distinguishable* behaviours.
+//! over *distinguishable* behaviours, where "distinguishable" includes
+//! the invariant: the invariant declares the variables it reads, steps
+//! writing any of those variables are *visible*, and two visible steps
+//! are never treated as independent — so every intermediate state the
+//! invariant could tell apart is checked in some explored schedule. An
+//! invariant that reads a variable missing from its declared footprint
+//! voids that guarantee, exactly like a step with an under-declared
+//! footprint.
 
 use std::collections::BTreeSet;
 
@@ -210,6 +217,15 @@ impl Outcome {
 /// Exhaustively explore all interleavings of `threads` from `initial`,
 /// checking `invariant` on the initial state and after every step.
 ///
+/// `invariant_reads` is the invariant's own read footprint: every
+/// shared variable the invariant inspects MUST appear in it (or pass
+/// `&[CONFLICTS_ALL]` to disable pruning between writing steps
+/// entirely). Steps writing any of those variables are *visible* and
+/// are never commuted with each other, so an invariant that can
+/// distinguish the intermediate states of two reordered steps sees both
+/// orders. Omitting a variable the invariant reads can silently skip a
+/// violating intermediate state.
+///
 /// Returns the first violation or deadlock found (with its reproducing
 /// schedule), [`Outcome::Exhausted`] if a budget was hit first, and
 /// [`Outcome::Pass`] otherwise.
@@ -217,6 +233,7 @@ pub fn explore<S, I>(
     initial: &S,
     threads: &[MockThread<S>],
     invariant: I,
+    invariant_reads: &[VarId],
     config: Config,
 ) -> Outcome
 where
@@ -232,6 +249,7 @@ where
     let mut search = Search {
         threads,
         invariant: &invariant,
+        invariant_reads,
         config,
         interleavings: 0,
         budget_hit: false,
@@ -252,6 +270,7 @@ where
 struct Search<'a, S, I> {
     threads: &'a [MockThread<S>],
     invariant: &'a I,
+    invariant_reads: &'a [VarId],
     config: Config,
     interleavings: u64,
     budget_hit: bool,
@@ -270,14 +289,19 @@ where
         sleep: &BTreeSet<usize>,
         depth: u64,
     ) -> Option<Outcome> {
+        // The interleaving budget is checked lazily, on the next node
+        // *after* the cap-th completion: a search that finishes exactly
+        // at the cap never reaches another node, so it still counts as
+        // exhaustive and reports Pass.
+        if self.interleavings >= self.config.max_interleavings {
+            self.budget_hit = true;
+            return None;
+        }
         let remaining: Vec<usize> = (0..self.threads.len())
             .filter(|&t| pcs[t] < self.threads[t].steps.len())
             .collect();
         if remaining.is_empty() {
             self.interleavings += 1;
-            if self.interleavings >= self.config.max_interleavings {
-                self.budget_hit = true;
-            }
             return None;
         }
         if schedule.len() >= self.config.max_steps {
@@ -338,7 +362,9 @@ where
             let child_sleep: BTreeSet<usize> = slept
                 .iter()
                 .copied()
-                .filter(|&u| independent(&self.threads[u].steps[pcs[u]], step))
+                .filter(|&u| {
+                    independent(&self.threads[u].steps[pcs[u]], step, self.invariant_reads)
+                })
                 .collect();
             if let Some(bad) = self.dfs(next, &next_pcs, schedule, &child_sleep, depth + 1) {
                 return Some(bad);
@@ -354,10 +380,24 @@ fn conflicts(a: &[VarId], b: &[VarId]) -> bool {
     a.iter().any(|x| b.contains(x))
 }
 
-fn independent<S>(a: &Step<S>, b: &Step<S>) -> bool {
+/// A step is *visible* when it writes a variable the invariant reads:
+/// reordering two visible steps produces intermediate states the
+/// invariant can tell apart, so such a pair must never be pruned even
+/// when their footprints are disjoint.
+fn visible(writes: &[VarId], invariant_reads: &[VarId]) -> bool {
+    if invariant_reads.contains(&CONFLICTS_ALL) {
+        return !writes.is_empty();
+    }
+    conflicts(writes, invariant_reads)
+}
+
+fn independent<S>(a: &Step<S>, b: &Step<S>, invariant_reads: &[VarId]) -> bool {
     let opaque =
         |s: &Step<S>| s.reads.contains(&CONFLICTS_ALL) || s.writes.contains(&CONFLICTS_ALL);
     if opaque(a) || opaque(b) {
+        return false;
+    }
+    if visible(&a.writes, invariant_reads) && visible(&b.writes, invariant_reads) {
         return false;
     }
     !conflicts(&a.writes, &b.writes)
@@ -385,6 +425,8 @@ mod tests {
         y: u64,
     }
 
+    const VW: VarId = 2;
+
     #[test]
     fn lost_update_is_found() {
         // Two threads doing read-then-write on the same cell: the classic
@@ -399,7 +441,7 @@ mod tests {
         let mk = |tid: usize| {
             MockThread::new(if tid == 0 { "a" } else { "b" })
                 .step_rw("read", &[VX], &[], move |s: &mut M| s.tmp[tid] = s.x)
-                .step_rw("write", &[], &[VX], move |s: &mut M| {
+                .step_rw("write", &[], &[VX, VW], move |s: &mut M| {
                     s.x = s.tmp[tid] + 1;
                     s.wrote[tid] = true;
                 })
@@ -413,6 +455,7 @@ mod tests {
                 }
                 Ok(())
             },
+            &[VX, VW],
             Config::default(),
         );
         match out {
@@ -425,19 +468,22 @@ mod tests {
 
     #[test]
     fn independent_steps_are_pruned_but_explored() {
-        // Two threads touching disjoint variables: one interleaving order
-        // suffices; sleep sets must prune the mirror schedules.
+        // Two threads touching disjoint variables, and an invariant that
+        // only reads one of them: one interleaving order suffices; sleep
+        // sets must prune the mirror schedule (the `wy` writer is
+        // invisible to the invariant, so the pair stays independent).
         let a = MockThread::new("a").step_rw("wx", &[], &[VX], |s: &mut Pair| s.x += 1);
         let b = MockThread::new("b").step_rw("wy", &[], &[VY], |s: &mut Pair| s.y += 1);
         let out = explore(
             &Pair::default(),
             &[a, b],
             |s| {
-                if s.x > 1 || s.y > 1 {
+                if s.x > 1 {
                     return Err("double increment".to_string());
                 }
                 Ok(())
             },
+            &[VX],
             Config::default(),
         );
         match out {
@@ -447,10 +493,43 @@ mod tests {
     }
 
     #[test]
+    fn visible_writers_are_never_commuted() {
+        // Footprint-disjoint writers of x and y, but the invariant reads
+        // BOTH: the intermediate state {y=1, x=0} exists only in the
+        // order `b; a`, so pruning that order would mask the violation.
+        // Declaring the invariant's reads makes both steps visible and
+        // forces both orders to be explored.
+        let a = MockThread::new("a").step_rw("wx", &[], &[VX], |s: &mut Pair| s.x = 1);
+        let b = MockThread::new("b").step_rw("wy", &[], &[VY], |s: &mut Pair| s.y = 1);
+        let out = explore(
+            &Pair::default(),
+            &[a, b],
+            |s| {
+                if s.y == 1 && s.x == 0 {
+                    return Err("y set before x".to_string());
+                }
+                Ok(())
+            },
+            &[VX, VY],
+            Config::default(),
+        );
+        assert!(
+            matches!(out, Outcome::InvariantViolation { .. }),
+            "the order-sensitive intermediate state must be observed: {out:?}"
+        );
+    }
+
+    #[test]
     fn conflicting_steps_explore_both_orders() {
         let a = MockThread::new("a").step_rw("wx", &[], &[VX], |s: &mut Pair| s.x += 1);
         let b = MockThread::new("b").step_rw("rx", &[VX], &[VY], |s: &mut Pair| s.y = s.x);
-        let out = explore(&Pair::default(), &[a, b], |_| Ok(()), Config::default());
+        let out = explore(
+            &Pair::default(),
+            &[a, b],
+            |_| Ok(()),
+            &[],
+            Config::default(),
+        );
         match out {
             Outcome::Pass { interleavings } => assert_eq!(interleavings, 2),
             other => unreachable!("expected pass, got {other:?}"),
@@ -474,7 +553,13 @@ mod tests {
             |s: &Pair| s.x == 1,
             |s: &mut Pair| s.y = 1,
         );
-        let out = explore(&Pair::default(), &[a, b], |_| Ok(()), Config::default());
+        let out = explore(
+            &Pair::default(),
+            &[a, b],
+            |_| Ok(()),
+            &[],
+            Config::default(),
+        );
         match out {
             Outcome::Deadlock { blocked, schedule } => {
                 assert_eq!(blocked, vec!["a".to_string(), "b".to_string()]);
@@ -492,12 +577,13 @@ mod tests {
                 MockThread::new("b").step_rw("rx", &[VX], &[VY], |s: &mut Pair| s.y = s.x),
             ]
         };
-        let base = explore(&Pair::default(), &mk(), |_| Ok(()), Config::default());
+        let base = explore(&Pair::default(), &mk(), |_| Ok(()), &[], Config::default());
         for seed in [1u64, 7, 0xDEAD_BEEF] {
             let out = explore(
                 &Pair::default(),
                 &mk(),
                 |_| Ok(()),
+                &[],
                 Config {
                     seed,
                     ..Config::default()
@@ -518,6 +604,7 @@ mod tests {
             &Pair::default(),
             &[mk("a"), mk("b"), mk("c")],
             |_| Ok(()),
+            &[],
             Config {
                 max_interleavings: 3,
                 ..Config::default()
@@ -526,6 +613,33 @@ mod tests {
         match out {
             Outcome::Exhausted { interleavings } => assert_eq!(interleavings, 3),
             other => unreachable!("expected exhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn completing_exactly_at_the_cap_still_passes() {
+        // Two conflicting single-step threads have exactly 2 schedules; a
+        // cap of 2 is fully spent but nothing was skipped, so the search
+        // is exhaustive and must report Pass, not Exhausted.
+        let mk = || {
+            [
+                MockThread::new("a").step_rw("wx", &[], &[VX], |s: &mut Pair| s.x += 1),
+                MockThread::new("b").step_rw("rx", &[VX], &[VY], |s: &mut Pair| s.y = s.x),
+            ]
+        };
+        let out = explore(
+            &Pair::default(),
+            &mk(),
+            |_| Ok(()),
+            &[],
+            Config {
+                max_interleavings: 2,
+                ..Config::default()
+            },
+        );
+        match out {
+            Outcome::Pass { interleavings } => assert_eq!(interleavings, 2),
+            other => unreachable!("exact-cap completion is exhaustive, got {other:?}"),
         }
     }
 }

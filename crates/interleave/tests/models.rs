@@ -77,6 +77,7 @@ fn stats_total_second_pass_disagrees_with_snapshot() {
             }
             Ok(())
         },
+        &[V_READER],
         Config::default(),
     );
     assert!(
@@ -114,6 +115,7 @@ fn stats_total_from_one_snapshot_pass_is_consistent() {
             }
             Ok(())
         },
+        &[V_READER],
         Config::default(),
     );
     assert!(out.passed(), "one-pass total must hold everywhere: {out:?}");
@@ -173,6 +175,7 @@ fn stats_snapshots_are_pointwise_monotone() {
             }
             Ok(())
         },
+        &[V_READER],
         Config::default(),
     );
     assert!(out.passed(), "snapshot monotonicity must hold: {out:?}");
@@ -269,6 +272,7 @@ fn series_ring_locked_handoff_never_tears() {
         &PointModel::new(),
         &[sampler, scraper],
         PointModel::check,
+        &[V_RING_MUTEX, V_RING_SEEN],
         Config::default(),
     );
     assert!(out.passed(), "locked handoff must never tear: {out:?}");
@@ -300,6 +304,7 @@ fn series_ring_unlocked_handoff_is_caught() {
         &PointModel::new(),
         &[sampler, scraper],
         PointModel::check,
+        &[V_RING_MUTEX, V_RING_SEEN],
         Config::default(),
     );
     match out {
@@ -393,6 +398,7 @@ fn series_ring_eviction_keeps_bound_and_order() {
             }
             Ok(())
         },
+        &[V_RING_MUTEX, V_RING_T, V_RING_SEEN],
         Config::default(),
     );
     assert!(out.passed(), "eviction bound/order must hold: {out:?}");
@@ -515,6 +521,7 @@ fn quarantine_transitions_hold_under_races() {
         &QuarModel::new(),
         &[failer, rehab, prober],
         QuarModel::check,
+        &[V_Q_MUTEX, V_Q_STATE],
         Config::default(),
     );
     assert!(out.passed(), "quarantine invariants must hold: {out:?}");
@@ -541,6 +548,7 @@ fn quarantine_backoff_doubles_to_cap() {
             }
             Ok(())
         },
+        &[V_Q_MUTEX, V_Q_STATE],
         Config::default(),
     );
     assert!(out.passed(), "backoff ladder must reach the cap: {out:?}");
@@ -573,6 +581,7 @@ fn quarantine_unguarded_acquire_is_caught() {
         &QuarModel::new(),
         &[failer, prober],
         QuarModel::check,
+        &[V_Q_MUTEX, V_Q_STATE],
         Config::default(),
     );
     assert!(
@@ -690,6 +699,7 @@ fn pr5_sink_lock_across_join_deadlocks() {
         &ShutdownModel::new(),
         &[emitting_worker(), harness],
         ShutdownModel::check,
+        &[V_SINK_MUTEX],
         Config::default(),
     );
     match out {
@@ -754,6 +764,7 @@ fn pr5_release_before_join_is_clean() {
             }
             Ok(())
         },
+        &[V_SINK_MUTEX, V_EMITTED, V_SUMMARY],
         Config::default(),
     );
     assert!(

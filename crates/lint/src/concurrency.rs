@@ -121,50 +121,89 @@ pub fn check_concurrency(rel: &Path, masked: &Masked, findings: &mut Vec<Finding
 ///
 /// Lock identity is by normalized name (`lock(&self.health)` and
 /// `lock(&ctx.health)` are the same lock); distinct mutexes must use
-/// distinct field names, which this workspace does.
+/// distinct field names. That convention is the rule's known blind
+/// spot: two unrelated mutexes that happen to share a field name are
+/// treated as one lock and can produce a false self-edge or cycle — so
+/// when a flagged name has more than one `Mutex` declaration site in
+/// the workspace, the finding says so and names the fix (rename one
+/// mutex, or carry a justified lock-order allow).
 #[must_use]
 pub fn check_lock_order(sources: &[(PathBuf, String)]) -> Vec<Finding> {
+    let masked: Vec<(&PathBuf, Masked)> =
+        sources.iter().map(|(rel, src)| (rel, mask(src))).collect();
+    // Every `Mutex` declaration site per lock name, to tell a real
+    // re-acquisition/cycle from a naming collision between distinct locks.
+    let mut decl_sites: BTreeMap<String, Vec<PathBuf>> = BTreeMap::new();
+    for (rel, m) in &masked {
+        for name in collect_decl_names(&m.app_code, "Mutex", false) {
+            decl_sites.entry(name).or_default().push((*rel).clone());
+        }
+    }
     let mut findings = Vec::new();
     // first acquisition site per ordered pair, for reporting
     let mut edges: BTreeMap<(String, String), (PathBuf, usize)> = BTreeMap::new();
-    for (rel, src) in sources {
-        let masked = mask(src);
-        let guards = guard_spans(&masked.app_code);
+    for (rel, m) in &masked {
+        let guards = guard_spans(&m.app_code);
         for outer in &guards {
             for inner in &guards {
                 if inner.pos <= outer.pos || inner.pos >= outer.end {
                     continue;
                 }
                 let line = inner.line;
-                if masked.allowed(Rule::LockOrder.name(), line) {
+                if m.allowed(Rule::LockOrder.name(), line) {
                     continue;
                 }
                 if inner.lock == outer.lock {
                     findings.push(Finding {
-                        file: rel.clone(),
+                        file: (*rel).clone(),
                         line,
                         rule: Rule::LockOrder,
                         message: format!(
                             "`{}` re-acquired while its own guard (line {}) is live: \
-                             std::sync::Mutex is not reentrant — this deadlocks",
-                            inner.lock, outer.line
+                             std::sync::Mutex is not reentrant — this deadlocks{}",
+                            inner.lock,
+                            outer.line,
+                            collision_note(&inner.lock, &decl_sites)
                         ),
                     });
                     continue;
                 }
                 edges
                     .entry((outer.lock.clone(), inner.lock.clone()))
-                    .or_insert_with(|| (rel.clone(), line));
+                    .or_insert_with(|| ((*rel).clone(), line));
             }
         }
     }
-    findings.extend(report_cycles(&edges));
+    findings.extend(report_cycles(&edges, &decl_sites));
     findings
+}
+
+/// A trailer for lock-order findings whose lock name has several
+/// `Mutex` declaration sites: lock identity is by name, so the finding
+/// may be a naming collision rather than a real ordering bug, and the
+/// message must make the fix obvious.
+fn collision_note(lock: &str, decl_sites: &BTreeMap<String, Vec<PathBuf>>) -> String {
+    match decl_sites.get(lock) {
+        Some(sites) if sites.len() > 1 => {
+            let files: BTreeSet<String> = sites.iter().map(|p| p.display().to_string()).collect();
+            format!(
+                " [note: lock identity is by field name and `{lock}` has {} Mutex \
+                 declarations ({}) — if those are distinct locks this finding is a naming \
+                 collision: rename one, or justify with `lint:allow(lock-order) -- <why>`]",
+                sites.len(),
+                files.into_iter().collect::<Vec<_>>().join(", ")
+            )
+        }
+        _ => String::new(),
+    }
 }
 
 /// DFS over the acquisition graph; each distinct cycle becomes one
 /// finding anchored at its first edge's site.
-fn report_cycles(edges: &BTreeMap<(String, String), (PathBuf, usize)>) -> Vec<Finding> {
+fn report_cycles(
+    edges: &BTreeMap<(String, String), (PathBuf, usize)>,
+    decl_sites: &BTreeMap<String, Vec<PathBuf>>,
+) -> Vec<Finding> {
     let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
     for (from, to) in edges.keys() {
         adj.entry(from).or_default().push(to);
@@ -179,6 +218,7 @@ fn report_cycles(edges: &BTreeMap<(String, String), (PathBuf, usize)>) -> Vec<Fi
             &mut path,
             &mut seen_cycles,
             edges,
+            decl_sites,
             &mut findings,
         );
     }
@@ -191,6 +231,7 @@ fn dfs_cycles<'a>(
     path: &mut Vec<&'a str>,
     seen: &mut BTreeSet<Vec<String>>,
     edges: &BTreeMap<(String, String), (PathBuf, usize)>,
+    decl_sites: &BTreeMap<String, Vec<PathBuf>>,
     findings: &mut Vec<Finding>,
 ) {
     let Some(nexts) = adj.get(node) else { return };
@@ -226,19 +267,23 @@ fn dfs_cycles<'a>(
                 .get(&(canon[0].clone(), canon[1 % canon.len()].clone()))
                 .cloned()
                 .unwrap_or_else(|| (PathBuf::from("<graph>"), 1));
+            let notes: String = canon
+                .iter()
+                .map(|name| collision_note(name, decl_sites))
+                .collect();
             findings.push(Finding {
                 file,
                 line,
                 rule: Rule::LockOrder,
                 message: format!(
                     "lock-order cycle: {desc} — different paths acquire these locks in \
-                     opposite orders; pick one order or merge the critical sections"
+                     opposite orders; pick one order or merge the critical sections{notes}"
                 ),
             });
             continue;
         }
         path.push(next);
-        dfs_cycles(next, adj, path, seen, edges, findings);
+        dfs_cycles(next, adj, path, seen, edges, decl_sites, findings);
         path.pop();
     }
 }
@@ -779,11 +824,19 @@ fn line_of(code: &str, offset: usize) -> usize {
 /// through an `Arc<..>` wrapper or an `Arc::new(AtomicBool::new(..))`
 /// initializer chain.
 fn collect_atomic_bool_names(code: &str) -> Vec<String> {
+    collect_decl_names(code, "AtomicBool", true)
+}
+
+/// Identifiers declared (or initialized) as type `ty` — through an
+/// `Arc<..>` wrapper or an `Arc::new(ty::new(..))` initializer chain.
+/// With `dedup` false every declaration site is kept, so callers can
+/// count how many distinct declarations share one name.
+fn collect_decl_names(code: &str, ty: &str, dedup: bool) -> Vec<String> {
     let bytes = code.as_bytes();
     let mut names = Vec::new();
     let mut from = 0;
-    while let Some(pos) = find_word(code, "AtomicBool", from) {
-        from = pos + "AtomicBool".len();
+    while let Some(pos) = find_word(code, ty, from) {
+        from = pos + ty.len();
         let mut q = pos;
         let name = loop {
             while q > 0 && bytes[q - 1].is_ascii_whitespace() {
@@ -816,7 +869,7 @@ fn collect_atomic_bool_names(code: &str) -> Vec<String> {
             }
         };
         if let Some(name) = name {
-            if !names.contains(&name) {
+            if !dedup || !names.contains(&name) {
                 names.push(name);
             }
         }

@@ -235,6 +235,41 @@ fn lock_order_sees_cycles_spanning_files() {
     let findings = check_lock_order(&sources);
     assert_eq!(count(&findings, Rule::LockOrder), 1, "{findings:?}");
     assert!(findings[0].message.contains("cycle"), "{findings:?}");
+    // Both files declare `health`/`series` Mutex fields, so the finding
+    // must disclose that name-based lock identity may be a collision.
+    assert!(
+        findings[0].message.contains("naming collision"),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn lock_order_collision_note_names_multi_declared_locks() {
+    // Two structs in different files share a Mutex field name; nesting
+    // their acquisitions looks like a reentrant self-deadlock to the
+    // name-based graph. The finding must say the identity is by name,
+    // list the declaration files, and point at the rename/allow fix.
+    let a = "struct D { state: Mutex<u64> }\n\
+             impl D {\n\
+                 fn both(&self, other: &E) {\n\
+                     let g = lock(&self.state);\n\
+                     let h = lock(&other.state);\n\
+                     drop(h);\n\
+                     drop(g);\n\
+                 }\n\
+             }\n";
+    let b = "struct E { state: Mutex<u64> }\n";
+    let sources = vec![
+        (PathBuf::from("crates/net/src/a.rs"), a.to_string()),
+        (PathBuf::from("crates/net/src/b.rs"), b.to_string()),
+    ];
+    let findings = check_lock_order(&sources);
+    assert_eq!(count(&findings, Rule::LockOrder), 1, "{findings:?}");
+    let msg = &findings[0].message;
+    assert!(msg.contains("re-acquired"), "{findings:?}");
+    assert!(msg.contains("naming collision"), "{findings:?}");
+    assert!(msg.contains("a.rs") && msg.contains("b.rs"), "{findings:?}");
+    assert!(msg.contains("lint:allow(lock-order)"), "{findings:?}");
 }
 
 #[test]
