@@ -168,8 +168,9 @@ pub fn parse_policy(raw: &str) -> Result<PolicyKind, ArgError> {
         "gdsf" => Ok(PolicyKind::Gdsf),
         "gds" => Ok(PolicyKind::Gds),
         "slru" => Ok(PolicyKind::Slru),
+        "s3fifo" => Ok(PolicyKind::S3Fifo),
         other => Err(err(format!(
-            "unknown policy {other:?} (lru, lfu, fifo, gdsf, gds, slru)"
+            "unknown policy {other:?} (lru, lfu, fifo, gdsf, gds, slru, s3fifo)"
         ))),
     }
 }
@@ -259,6 +260,7 @@ mod tests {
         assert_eq!(parse_scheme("adhoc").unwrap(), PlacementScheme::AdHoc);
         assert!(parse_scheme("best").is_err());
         assert_eq!(parse_policy("gdsf").unwrap(), PolicyKind::Gdsf);
+        assert_eq!(parse_policy("s3fifo").unwrap(), PolicyKind::S3Fifo);
         assert!(parse_policy("mru").is_err());
         assert_eq!(parse_discovery("icp").unwrap(), Discovery::Icp);
         assert!(matches!(

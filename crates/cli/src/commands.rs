@@ -52,7 +52,7 @@ COMMANDS:
                 --aggregate SIZE              (default 10MB)
                 --caches N                    (default 4)
                 --scheme adhoc|ea|ea-tie-store (default ea)
-                --policy lru|lfu|fifo|gdsf|gds|slru (default lru)
+                --policy lru|lfu|fifo|gdsf|gds|slru|s3fifo (default lru)
                 --discovery icp|isolated|digest:SECONDS (default icp)
                 --ttl SECONDS                 (default none)
                 --warmup FRACTION             (default 0)

@@ -1,11 +1,12 @@
-//! A single byte-capacity-bounded proxy cache.
+//! A single byte-capacity-bounded proxy cache over N arena-backed shards.
 
-use crate::entry::{CacheEntry, EvictionReason, EvictionRecord};
-use crate::expiration::{ExpirationTracker, ExpirationWindow};
-use crate::policy::{PolicyKind, ReplacementPolicy};
-use crate::stats::CacheStats;
+use crate::config::CacheConfig;
+use crate::entry::{CacheEntry, EvictionRecord};
+use crate::expiration::ExpirationWindow;
+use crate::index::mix64;
+use crate::policy::PolicyKind;
+use crate::store::{Shard, StoreOutcome};
 use coopcache_types::{ByteSize, CacheId, DocId, DurationMs, ExpirationAge, Timestamp};
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// One proxy cache: a byte-bounded document store with a pluggable
@@ -20,6 +21,16 @@ use std::fmt;
 /// * [`serve_remote`](Cache::serve_remote) — serving a sibling, where the
 ///   EA scheme decides via `promote` whether the serve refreshes the
 ///   entry or leaves it to age out (paper §3.4).
+///
+/// # Storage layout
+///
+/// Documents live in shards: flat arenas with open-addressing doc→slot
+/// tables and intrusive policy orders, so every hot-path operation is
+/// pointer-free O(1) (O(log n) for the heap-ordered policies) with zero
+/// steady-state allocation. A cache built through [`Cache::new`] has one
+/// shard — bit-for-bit the old single-store behaviour; [`CacheConfig`]
+/// can split the capacity over 2^k shards assigned by seeded document
+/// hash, which is what [`crate::ConcurrentCache`] locks independently.
 ///
 /// # Example
 ///
@@ -37,18 +48,10 @@ use std::fmt;
 pub struct Cache {
     id: CacheId,
     capacity: ByteSize,
-    used: ByteSize,
-    // BTreeMap, not HashMap: `iter` is part of the public API and feeds
-    // reports and tests, so visit order must be deterministic.
-    entries: BTreeMap<DocId, CacheEntry>,
-    policy: Box<dyn ReplacementPolicy>,
-    tracker: ExpirationTracker,
-    stats: CacheStats,
+    seed: u64,
+    shard_mask: u64,
+    shards: Vec<Shard>,
     ttl: Option<DurationMs>,
-    // Hot-path per-op wall-time accounting, compiled only under the
-    // `profile` feature (see crate::profile).
-    #[cfg(feature = "profile")]
-    profile: crate::profile::ProfileSnapshot,
 }
 
 /// A broken internal invariant, as reported by
@@ -70,12 +73,19 @@ pub enum InvariantViolation {
         /// The configured limit.
         capacity: ByteSize,
     },
+    /// The doc→slot table and the entry arena disagree about occupancy.
+    StoreDesync {
+        /// Mappings in the open-addressing table.
+        table_len: usize,
+        /// Live slots in the entry arena.
+        arena_len: usize,
+    },
     /// The replacement policy tracks a different document set than the
-    /// entry map.
+    /// entry store.
     PolicyDesync {
         /// Documents the policy tracks.
         policy_len: usize,
-        /// Documents the entry map holds.
+        /// Documents the entry store holds.
         entries_len: usize,
     },
     /// The policy proposed a victim that is not cached.
@@ -102,6 +112,13 @@ impl fmt::Display for InvariantViolation {
             Self::OverCapacity { used, capacity } => {
                 write!(f, "over capacity: used={used} > capacity={capacity}")
             }
+            Self::StoreDesync {
+                table_len,
+                arena_len,
+            } => write!(
+                f,
+                "doc table maps {table_len} docs but the arena holds {arena_len}"
+            ),
             Self::PolicyDesync {
                 policy_len,
                 entries_len,
@@ -110,7 +127,7 @@ impl fmt::Display for InvariantViolation {
                 "policy tracks {policy_len} docs but the cache holds {entries_len}"
             ),
             Self::VictimNotCached { victim } => {
-                write!(f, "policy victim {victim} is not in the entry map")
+                write!(f, "policy victim {victim} is not in the entry store")
             }
             Self::VictimUnavailable => {
                 f.write_str("cache is non-empty but the policy offers no victim")
@@ -152,16 +169,17 @@ impl InsertOutcome {
 }
 
 impl Cache {
-    /// Creates a cache with the default expiration-age window.
+    /// Creates a single-shard cache with the default expiration-age window.
     ///
     /// The expiration-age *flavor* (LRU formula vs LFU formula) follows the
-    /// replacement policy, per the paper's eq. 1.
+    /// replacement policy, per the paper's eq. 1. For shard, window, TTL
+    /// and seed knobs use [`CacheConfig`].
     #[must_use]
     pub fn new(id: CacheId, capacity: ByteSize, policy: PolicyKind) -> Self {
-        Self::with_window(id, capacity, policy, ExpirationWindow::default())
+        CacheConfig::new(id, capacity, policy).build()
     }
 
-    /// Creates a cache with an explicit expiration-age window.
+    /// Creates a single-shard cache with an explicit expiration-age window.
     #[must_use]
     pub fn with_window(
         id: CacheId,
@@ -169,18 +187,34 @@ impl Cache {
         policy: PolicyKind,
         window: ExpirationWindow,
     ) -> Self {
+        CacheConfig::new(id, capacity, policy)
+            .window(window)
+            .build()
+    }
+
+    /// Assembles a cache from built shards (called by [`CacheConfig`]).
+    pub(crate) fn from_parts(
+        id: CacheId,
+        capacity: ByteSize,
+        seed: u64,
+        shards: Vec<Shard>,
+        ttl: Option<DurationMs>,
+    ) -> Self {
+        debug_assert!(shards.len().is_power_of_two());
         Self {
             id,
             capacity,
-            used: ByteSize::ZERO,
-            entries: BTreeMap::new(),
-            policy: policy.build(),
-            tracker: ExpirationTracker::new(policy.expiration_flavor(), window),
-            stats: CacheStats::default(),
-            ttl: None,
-            #[cfg(feature = "profile")]
-            profile: crate::profile::ProfileSnapshot::default(),
+            seed,
+            shard_mask: shards.len() as u64 - 1,
+            shards,
+            ttl,
         }
+    }
+
+    /// The shard holding `doc`: seeded document hash masked to 2^k shards.
+    #[inline]
+    fn shard_of(&self, doc: DocId) -> usize {
+        (mix64(doc.as_u64() ^ self.seed) & self.shard_mask) as usize
     }
 
     /// Sets (or clears) a freshness TTL: a document older than `ttl`
@@ -193,6 +227,9 @@ impl Cache {
     /// freshness discard says nothing about disk pressure.
     pub fn set_ttl(&mut self, ttl: Option<DurationMs>) {
         self.ttl = ttl;
+        for shard in &mut self.shards {
+            shard.set_ttl(ttl);
+        }
     }
 
     /// The configured freshness TTL, if any.
@@ -201,97 +238,123 @@ impl Cache {
         self.ttl
     }
 
-    fn entry_expired(&self, entry: &CacheEntry, now: Timestamp) -> bool {
-        self.ttl
-            .is_some_and(|ttl| now.saturating_since(entry.entered_at) > ttl)
-    }
-
-    /// Discards `doc` if it has outlived the TTL; returns true if so.
-    fn expire_if_stale(&mut self, doc: DocId, now: Timestamp) -> bool {
-        let stale = match self.entries.get(&doc) {
-            Some(entry) => self.entry_expired(entry, now),
-            None => false,
-        };
-        if stale {
-            self.expire(doc);
-        }
-        stale
-    }
-
-    fn expire(&mut self, doc: DocId) {
-        let Some(entry) = self.entries.remove(&doc) else {
-            return;
-        };
-        self.policy.on_remove(doc);
-        self.used -= entry.size;
-        self.stats.expirations += 1;
-        // Intentionally NOT recorded in the expiration-age tracker.
-    }
-
     /// This cache's id.
     #[must_use]
     pub fn id(&self) -> CacheId {
         self.id
     }
 
-    /// Configured capacity in bytes.
+    /// Configured capacity in bytes (split evenly over the shards).
     #[must_use]
     pub fn capacity(&self) -> ByteSize {
         self.capacity
     }
 
-    /// Bytes currently stored.
+    /// Number of shards the store is split into.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Bytes currently stored, summed over the shards.
     #[must_use]
     pub fn used(&self) -> ByteSize {
-        self.used
+        self.shards.iter().map(Shard::used).sum()
     }
 
     /// Number of cached documents.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.shards.iter().map(Shard::len).sum()
     }
 
     /// True when nothing is cached.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// The replacement policy in use.
     #[must_use]
     pub fn policy_kind(&self) -> PolicyKind {
-        self.policy.kind()
+        self.shards[0].policy_kind()
     }
 
     /// Read-only ICP probe: is the document cached here?
     #[must_use]
     pub fn contains(&self, doc: DocId) -> bool {
-        self.entries.contains_key(&doc)
+        self.shards[self.shard_of(doc)].contains(doc)
     }
 
     /// Read-only view of a cached entry.
     #[must_use]
     pub fn entry(&self, doc: DocId) -> Option<&CacheEntry> {
-        self.entries.get(&doc)
+        self.shards[self.shard_of(doc)].entry(doc)
     }
 
-    /// Operation counters.
+    /// Operation counters, aggregated over the shards.
     #[must_use]
-    pub fn stats(&self) -> &CacheStats {
-        &self.stats
+    pub fn stats(&self) -> crate::stats::CacheStats {
+        let mut total = crate::stats::CacheStats::default();
+        for shard in &self.shards {
+            total.merge(shard.stats());
+        }
+        total
     }
 
-    /// The expiration-age tracker (windowed and lifetime views).
+    /// Total capacity-contention samples (evictions plus observed ghost
+    /// re-admission gaps) recorded over the cache's lifetime.
     #[must_use]
-    pub fn tracker(&self) -> &ExpirationTracker {
-        &self.tracker
+    pub fn eviction_count(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.tracker().eviction_count())
+            .sum()
     }
 
-    /// The cache expiration age piggybacked on inter-proxy messages.
+    /// Mean document expiration age over *all* samples so far — the
+    /// quantity averaged across caches in the paper's Table 1. `None`
+    /// before anything has been evicted.
+    #[must_use]
+    pub fn lifetime_average(&self) -> Option<DurationMs> {
+        let (sum, count) = self.shards.iter().fold((0u128, 0u64), |(s, c), shard| {
+            (
+                s + shard.tracker().lifetime_sum_ms(),
+                c + shard.tracker().eviction_count(),
+            )
+        });
+        if count == 0 {
+            None
+        } else {
+            Some(DurationMs::from_millis((sum / u128::from(count)) as u64))
+        }
+    }
+
+    /// The expiration-age formula the cache's trackers apply (follows the
+    /// replacement policy, paper eq. 1).
+    #[must_use]
+    pub fn expiration_flavor(&self) -> crate::policy::ExpirationFlavor {
+        self.policy_kind().expiration_flavor()
+    }
+
+    /// The cache expiration age piggybacked on inter-proxy messages
+    /// (paper eq. 5), averaged over every shard's window.
+    ///
+    /// With one shard this is exactly the tracker's windowed mean; with N
+    /// shards it is `Σ window sums / Σ window lengths`, which equals the
+    /// mean over the union of the windows.
     #[must_use]
     pub fn expiration_age(&self) -> ExpirationAge {
-        self.tracker.cache_expiration_age()
+        let (sum, len) = self.shards.iter().fold((0u128, 0usize), |(s, l), shard| {
+            (
+                s + shard.tracker().window_sum_ms(),
+                l + shard.tracker().window_len(),
+            )
+        });
+        if len == 0 {
+            return ExpirationAge::Infinite;
+        }
+        ExpirationAge::finite(DurationMs::from_millis((sum / len as u128) as u64))
     }
 
     /// Serves a local client request. On a hit the entry is refreshed
@@ -299,29 +362,11 @@ impl Cache {
     /// returned; on a miss, `None`.
     pub fn lookup(&mut self, doc: DocId, now: Timestamp) -> Option<ByteSize> {
         let timer = crate::profile::Timer::start();
-        let served = self.lookup_inner(doc, now);
+        let shard = self.shard_of(doc);
+        let served = self.shards[shard].lookup(doc, now);
         self.audit();
-        self.record_profile(crate::profile::ProfileOp::Lookup, timer);
+        self.shards[shard].record_profile(crate::profile::ProfileOp::Lookup, timer);
         served
-    }
-
-    fn lookup_inner(&mut self, doc: DocId, now: Timestamp) -> Option<ByteSize> {
-        if self.expire_if_stale(doc, now) {
-            self.stats.local_misses += 1;
-            return None;
-        }
-        match self.entries.get_mut(&doc) {
-            Some(entry) => {
-                entry.record_hit(now);
-                self.policy.on_hit(doc);
-                self.stats.local_hits += 1;
-                Some(entry.size)
-            }
-            None => {
-                self.stats.local_misses += 1;
-                None
-            }
-        }
     }
 
     /// Serves a sibling cache (a remote hit at this responder).
@@ -336,198 +381,116 @@ impl Cache {
     /// (e.g. it was evicted between the ICP reply and the HTTP request).
     pub fn serve_remote(&mut self, doc: DocId, now: Timestamp, promote: bool) -> Option<ByteSize> {
         let timer = crate::profile::Timer::start();
-        let served = self.serve_remote_inner(doc, now, promote);
+        let shard = self.shard_of(doc);
+        let served = self.shards[shard].serve_remote(doc, now, promote);
         self.audit();
-        self.record_profile(crate::profile::ProfileOp::ServeRemote, timer);
+        self.shards[shard].record_profile(crate::profile::ProfileOp::ServeRemote, timer);
         served
-    }
-
-    fn serve_remote_inner(
-        &mut self,
-        doc: DocId,
-        now: Timestamp,
-        promote: bool,
-    ) -> Option<ByteSize> {
-        if self.expire_if_stale(doc, now) {
-            return None;
-        }
-        let size = match self.entries.get_mut(&doc) {
-            Some(entry) => {
-                if promote {
-                    entry.record_hit(now);
-                }
-                entry.size
-            }
-            None => return None,
-        };
-        if promote {
-            self.policy.on_hit(doc);
-        }
-        self.stats.remote_serves += 1;
-        Some(size)
     }
 
     /// Stores a document, evicting victims as needed.
     ///
     /// Every eviction is fed to the expiration-age tracker and returned to
-    /// the caller (the simulator logs them). A document wider than the
-    /// whole cache is rejected rather than flushing everything.
+    /// the caller (the simulator logs them). A document wider than its
+    /// shard is rejected rather than flushing everything.
     pub fn insert(&mut self, doc: DocId, size: ByteSize, now: Timestamp) -> InsertOutcome {
-        let timer = crate::profile::Timer::start();
-        let outcome = self.insert_inner(doc, size, now);
+        let mut evictions = Vec::new();
+        let outcome = self.insert_into(doc, size, now, &mut evictions);
+        // insert_into runs the per-shard audit; repeating it here is free
+        // outside paranoid builds and keeps this entry point audited even
+        // if the delegation above ever changes.
         self.audit();
-        self.record_profile(crate::profile::ProfileOp::Insert, timer);
-        outcome
+        match outcome {
+            StoreOutcome::Stored => InsertOutcome::Stored(evictions),
+            StoreOutcome::AlreadyPresent => InsertOutcome::AlreadyPresent,
+            StoreOutcome::TooLarge => InsertOutcome::TooLarge,
+        }
     }
 
-    fn insert_inner(&mut self, doc: DocId, size: ByteSize, now: Timestamp) -> InsertOutcome {
-        if self.entries.contains_key(&doc) {
-            return InsertOutcome::AlreadyPresent;
-        }
-        if size > self.capacity {
-            self.stats.rejected_too_large += 1;
-            return InsertOutcome::TooLarge;
-        }
-        let mut evictions = Vec::new();
-        while self.used + size > self.capacity {
-            let victim = self
-                .policy
-                .victim()
-                // lint:allow(panic) -- used > 0 here, and every insert keeps
-                // the policy and entry map in lockstep (paranoid-audited), so
-                // a missing victim is unrecoverable bookkeeping corruption.
-                .expect("used > 0 implies the policy tracks a victim");
-            let record = self
-                .evict(victim, now, EvictionReason::CapacityPressure)
-                // lint:allow(panic) -- the victim came from the policy, which
-                // mirrors the entry map (see PolicyDesync invariant).
-                .expect("victim is tracked, so it is cached");
-            evictions.push(record);
-        }
-        self.entries.insert(doc, CacheEntry::new(doc, size, now));
-        self.policy.on_insert(doc, size);
-        self.used += size;
-        self.stats.insertions += 1;
-        InsertOutcome::Stored(evictions)
+    /// Allocation-free insert: victims are pushed onto the caller's
+    /// buffer instead of a fresh `Vec`, so a steady-state caller that
+    /// clears and reuses one buffer keeps the whole path off the
+    /// allocator (the `bench-core` harness and the smoke check use this).
+    pub fn insert_into(
+        &mut self,
+        doc: DocId,
+        size: ByteSize,
+        now: Timestamp,
+        evictions: &mut Vec<EvictionRecord>,
+    ) -> StoreOutcome {
+        let timer = crate::profile::Timer::start();
+        let shard = self.shard_of(doc);
+        let outcome = self.shards[shard].insert(doc, size, now, evictions);
+        self.audit();
+        self.shards[shard].record_profile(crate::profile::ProfileOp::Insert, timer);
+        outcome
     }
 
     /// Explicitly removes a document (tests, tools, invalidation).
     ///
-    /// The removal is recorded with [`EvictionReason::Explicit`] and fed to
-    /// the expiration-age tracker like any other departure.
+    /// The removal is recorded with
+    /// [`EvictionReason::Explicit`](crate::entry::EvictionReason::Explicit)
+    /// and fed to the expiration-age tracker like any other departure.
     pub fn remove(&mut self, doc: DocId, now: Timestamp) -> Option<EvictionRecord> {
-        let rec = self.evict(doc, now, EvictionReason::Explicit);
-        if rec.is_some() {
-            self.stats.explicit_removals += 1;
-        }
+        let shard = self.shard_of(doc);
+        let rec = self.shards[shard].remove(doc, now);
         self.audit();
         rec
     }
 
-    fn evict(
-        &mut self,
-        doc: DocId,
-        now: Timestamp,
-        reason: EvictionReason,
-    ) -> Option<EvictionRecord> {
-        let timer = crate::profile::Timer::start();
-        let record = self.evict_inner(doc, now, reason);
-        self.record_profile(crate::profile::ProfileOp::Evict, timer);
-        record
-    }
-
-    fn evict_inner(
-        &mut self,
-        doc: DocId,
-        now: Timestamp,
-        reason: EvictionReason,
-    ) -> Option<EvictionRecord> {
-        let entry = self.entries.remove(&doc)?;
-        self.policy.on_remove(doc);
-        self.used -= entry.size;
-        let record = EvictionRecord {
-            entry,
-            evicted_at: now,
-            reason,
-        };
-        self.tracker.record_eviction(&record);
-        if reason == EvictionReason::CapacityPressure {
-            self.stats.evictions += 1;
-            self.stats.bytes_evicted += entry.size;
-        }
-        Some(record)
-    }
-
-    /// Iterates over the cached documents in ascending [`DocId`] order.
+    /// Iterates over the cached documents shard by shard, in ascending
+    /// [`DocId`] order within each shard.
     ///
-    /// The order is deterministic (the store is a `BTreeMap`), so report
+    /// The order is deterministic (arena walks are sorted before leaving
+    /// the shard, and shards are visited in index order), so report
     /// generation and event emission that walk the cache never depend on
-    /// hasher state.
+    /// hasher state. A single-shard cache — the default — yields exactly
+    /// the globally DocId-sorted order the old `BTreeMap` store produced.
     pub fn iter(&self) -> impl Iterator<Item = &CacheEntry> {
-        self.entries.values()
+        self.shards.iter().flat_map(|s| s.sorted_entries())
     }
 
-    /// Verifies the cache's internal bookkeeping relations.
+    /// Verifies the cache's internal bookkeeping relations, shard by
+    /// shard.
     ///
-    /// Checked relations:
+    /// Checked relations (per shard):
     ///
     /// 1. `used` equals the sum of all stored entry sizes;
     /// 2. `used <= capacity`;
-    /// 3. the replacement policy tracks exactly the cached document set
+    /// 3. the doc→slot table and the entry arena agree on occupancy;
+    /// 4. the replacement policy tracks exactly the cached document set
     ///    (by count), and its proposed victim is cached — with a victim
-    ///    available whenever the cache is non-empty;
-    /// 4. the expiration-age tracker's window respects its configured
+    ///    available whenever the shard is non-empty;
+    /// 5. the expiration-age tracker's window respects its configured
     ///    bound and its running sums match the recorded ages (the inputs
     ///    to the paper's eq. 5).
     ///
     /// This is cheap enough for tests but linear in the cache size, so
     /// production paths only run it under the `paranoid` cargo feature
-    /// (via the internal `audit` hook after every mutation).
+    /// (via the internal `audit` hook after every mutation, which
+    /// additionally walks each arena's freelist).
     pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
-        let actual: ByteSize = self.entries.values().map(|e| e.size).sum();
-        if actual != self.used {
-            return Err(InvariantViolation::ByteAccounting {
-                used: self.used,
-                actual,
-            });
-        }
-        if self.used > self.capacity {
-            return Err(InvariantViolation::OverCapacity {
-                used: self.used,
-                capacity: self.capacity,
-            });
-        }
-        if self.policy.len() != self.entries.len() {
-            return Err(InvariantViolation::PolicyDesync {
-                policy_len: self.policy.len(),
-                entries_len: self.entries.len(),
-            });
-        }
-        match self.policy.victim() {
-            Some(victim) if !self.entries.contains_key(&victim) => {
-                return Err(InvariantViolation::VictimNotCached { victim });
-            }
-            None if !self.entries.is_empty() => {
-                return Err(InvariantViolation::VictimUnavailable);
-            }
-            _ => {}
-        }
-        if !self.tracker.window_is_consistent() {
-            return Err(InvariantViolation::TrackerWindow);
+        for shard in &self.shards {
+            shard.check_invariants()?;
         }
         Ok(())
     }
 
-    /// The accumulated hot-path profile.
+    /// The accumulated hot-path profile, aggregated over the shards.
     ///
     /// `Some` only when the crate is built with the `profile` feature;
     /// `None` otherwise, so callers can report "profiling off"
-    /// explicitly instead of showing all-zero timings.
+    /// explicitly instead of showing all-zero timings. The snapshot's
+    /// `growth_events` field carries [`Cache::growth_events`].
     #[must_use]
     pub fn profile(&self) -> Option<crate::profile::ProfileSnapshot> {
         #[cfg(feature = "profile")]
         {
-            Some(self.profile)
+            let mut total = crate::profile::ProfileSnapshot::default();
+            for shard in &self.shards {
+                total.merge(&shard.profile());
+            }
+            Some(total)
         }
         #[cfg(not(feature = "profile"))]
         {
@@ -535,14 +498,13 @@ impl Cache {
         }
     }
 
-    /// Accounts one timed hot-path call; compiles to nothing without the
-    /// `profile` feature.
-    #[inline]
-    fn record_profile(&mut self, op: crate::profile::ProfileOp, timer: crate::profile::Timer) {
-        #[cfg(feature = "profile")]
-        self.profile.record(op, timer.elapsed_ns());
-        #[cfg(not(feature = "profile"))]
-        let _ = (op, timer);
+    /// Times the store's backing vectors grew, summed over arenas, tables
+    /// and policy internals. Flat under steady-state churn — the
+    /// `bench-core --smoke` check asserts exactly that. Available with or
+    /// without the `profile` feature.
+    #[must_use]
+    pub fn growth_events(&self) -> u64 {
+        self.shards.iter().map(Shard::growth_events).sum()
     }
 
     /// Paranoid-mode hook: re-verifies every invariant after a mutation.
@@ -553,10 +515,8 @@ impl Cache {
     #[inline]
     fn audit(&self) {
         #[cfg(feature = "paranoid")]
-        if let Err(violation) = self.check_invariants() {
-            // lint:allow(panic) -- paranoid mode exists to crash loudly on
-            // corruption; release builds compile this block out.
-            panic!("cache {} invariant violated: {violation}", self.id);
+        for shard in &self.shards {
+            shard.audit();
         }
     }
 }
@@ -564,6 +524,7 @@ impl Cache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::entry::EvictionReason;
 
     fn d(i: u64) -> DocId {
         DocId::new(i)
@@ -692,7 +653,35 @@ mod tests {
             c.expiration_age(),
             ExpirationAge::finite(coopcache_types::DurationMs::from_secs(2))
         );
-        assert_eq!(c.tracker().eviction_count(), 1);
+        assert_eq!(c.eviction_count(), 1);
+    }
+
+    #[test]
+    fn s3fifo_ghost_readmission_feeds_the_eq5_tracker() {
+        // The S3-FIFO ghost queue is wired into the shard's expiration-age
+        // bookkeeping: re-admitting a ghosted doc reports its
+        // eviction→return gap as one extra capacity-contention sample
+        // (paper eq. 5), on top of the eviction samples themselves.
+        let mut c = Cache::new(CacheId::new(0), kb(4), PolicyKind::S3Fifo);
+        c.insert(d(1), kb(1), t(0));
+        // Fill past capacity: doc 1 washes out of the small queue into
+        // the ghost queue.
+        for i in 2..=6u64 {
+            c.insert(d(i), kb(1), t(i * 100));
+        }
+        assert!(c.entry(d(1)).is_none(), "doc 1 was evicted");
+        let evictions = c.stats().evictions;
+        let samples = c.eviction_count();
+        assert_eq!(samples, evictions, "so far every sample is an eviction");
+        // Re-admission within the ghost window: one insert, one extra
+        // observed-gap sample beyond the eviction it may itself cause.
+        c.insert(d(1), kb(1), t(2_000));
+        let new_evictions = c.stats().evictions;
+        assert_eq!(
+            c.eviction_count(),
+            new_evictions + 1,
+            "the ghost gap is an extra eq. 5 sample"
+        );
     }
 
     #[test]
@@ -745,6 +734,16 @@ mod tests {
     }
 
     #[test]
+    fn single_shard_iter_is_globally_sorted() {
+        let mut c = cache(100);
+        for i in [9u64, 3, 7, 1, 5, 2, 8] {
+            c.insert(d(i), kb(1), t(i));
+        }
+        let ids: Vec<u64> = c.iter().map(|e| e.doc.as_u64()).collect();
+        assert_eq!(ids, vec![1, 2, 3, 5, 7, 8, 9], "BTreeMap-era order kept");
+    }
+
+    #[test]
     fn ttl_expires_stale_documents_on_lookup() {
         let mut c = cache(8);
         c.set_ttl(Some(coopcache_types::DurationMs::from_secs(10)));
@@ -758,7 +757,7 @@ mod tests {
         assert_eq!(c.stats().expirations, 1);
         assert_eq!(c.used(), ByteSize::ZERO);
         // Expirations do not pollute the contention tracker.
-        assert_eq!(c.tracker().eviction_count(), 0);
+        assert_eq!(c.eviction_count(), 0);
     }
 
     #[test]
@@ -800,8 +799,56 @@ mod tests {
             }
             assert!(c.used() <= c.capacity());
             assert!(c.len() <= 2);
-            assert!(c.tracker().eviction_count() >= 8);
+            assert!(c.eviction_count() >= 8);
         }
+    }
+
+    #[test]
+    fn insert_into_reuses_the_caller_buffer() {
+        let mut c = cache(8);
+        let mut evictions = Vec::with_capacity(8);
+        assert_eq!(
+            c.insert_into(d(1), kb(4), t(0), &mut evictions),
+            StoreOutcome::Stored
+        );
+        assert_eq!(
+            c.insert_into(d(1), kb(4), t(1), &mut evictions),
+            StoreOutcome::AlreadyPresent
+        );
+        assert_eq!(
+            c.insert_into(d(2), kb(8), t(2), &mut evictions),
+            StoreOutcome::Stored
+        );
+        assert_eq!(evictions.len(), 1, "victim lands in the caller's buffer");
+        assert_eq!(evictions[0].entry.doc, d(1));
+        // The caller clears between calls; the buffer's capacity survives.
+        evictions.clear();
+        assert_eq!(
+            c.insert_into(d(3), kb(9), t(3), &mut evictions),
+            StoreOutcome::TooLarge
+        );
+        assert!(evictions.is_empty());
+    }
+
+    #[test]
+    fn steady_state_churn_stops_growing() {
+        let mut c = cache(64);
+        let mut evictions = Vec::with_capacity(8);
+        for i in 0..64u64 {
+            c.insert_into(d(i), kb(1), t(i), &mut evictions);
+            evictions.clear();
+        }
+        let baseline = c.growth_events();
+        for i in 64..4096u64 {
+            c.insert_into(d(i), kb(1), t(i), &mut evictions);
+            evictions.clear();
+            c.lookup(d(i), t(i));
+        }
+        assert_eq!(
+            c.growth_events(),
+            baseline,
+            "hot path must not grow backing vectors at steady state"
+        );
     }
 
     #[test]
@@ -827,6 +874,104 @@ mod tests {
                 profile.evict.calls, 2,
                 "capacity eviction + explicit remove"
             );
+            assert_eq!(profile.growth_events, c.growth_events());
+        }
+    }
+
+    mod sharded {
+        use super::*;
+        use crate::store::Shard;
+
+        fn sharded(cap_kb: u64, shards: usize) -> Cache {
+            CacheConfig::new(CacheId::new(7), kb(cap_kb), PolicyKind::Lru)
+                .shards(shards)
+                .build()
+        }
+
+        #[test]
+        fn documents_spread_over_shards() {
+            // 64 KB per shard: the seeded spread is uneven, so give every
+            // shard room for all 64 docs to keep eviction out of the test.
+            let mut c = sharded(256, 4);
+            assert_eq!(c.shard_count(), 4);
+            for i in 0..64u64 {
+                c.insert(d(i), kb(1), t(i));
+            }
+            // With 64 docs over 4 seeded shards, every shard should hold
+            // something (P(an empty shard) ~ 4·(3/4)^64).
+            let per_shard: Vec<usize> = c.shards.iter().map(Shard::len).collect();
+            assert!(
+                per_shard.iter().all(|&n| n > 0),
+                "starved shard: {per_shard:?}"
+            );
+            assert_eq!(c.len(), 64);
+            assert_eq!(c.used(), kb(64));
+        }
+
+        #[test]
+        fn iter_is_sorted_within_each_shard() {
+            let mut c = sharded(64, 4);
+            for i in 0..48u64 {
+                c.insert(d(i), kb(1), t(i));
+            }
+            let all: Vec<u64> = c.iter().map(|e| e.doc.as_u64()).collect();
+            assert_eq!(all.len(), 48);
+            // Reconstruct the expected order: shard index, then DocId.
+            let mut expected: Vec<(usize, u64)> =
+                (0..48u64).map(|i| (c.shard_of(d(i)), i)).collect();
+            expected.sort_unstable();
+            let expected: Vec<u64> = expected.into_iter().map(|(_, i)| i).collect();
+            assert_eq!(all, expected, "shard-by-shard DocId order");
+        }
+
+        #[test]
+        fn same_seed_same_placement() {
+            let mut a = sharded(64, 8);
+            let mut b = sharded(64, 8);
+            for i in 0..32u64 {
+                a.insert(d(i), kb(1), t(i));
+                b.insert(d(i), kb(1), t(i));
+            }
+            let ids_a: Vec<u64> = a.iter().map(|e| e.doc.as_u64()).collect();
+            let ids_b: Vec<u64> = b.iter().map(|e| e.doc.as_u64()).collect();
+            assert_eq!(ids_a, ids_b, "placement is a pure function of the seed");
+        }
+
+        #[test]
+        fn eviction_pressure_is_per_shard() {
+            let mut c = sharded(8, 2); // 4 KB per shard
+            let mut stored = 0u64;
+            for i in 0..16u64 {
+                if c.insert(d(i), kb(1), t(i)).is_stored() {
+                    stored += 1;
+                }
+            }
+            assert_eq!(stored, 16);
+            assert!(c.used() <= c.capacity());
+            c.check_invariants().expect("shard invariants hold");
+        }
+
+        #[test]
+        fn aggregate_stats_and_tracker_sum_over_shards() {
+            let mut c = sharded(8, 4); // 2 KB per shard -> heavy eviction
+            for i in 0..40u64 {
+                c.insert(d(i), kb(1), t(i));
+                c.lookup(d(i), t(i));
+                c.lookup(d(i + 1000), t(i));
+            }
+            let s = c.stats();
+            assert_eq!(s.insertions, 40);
+            assert_eq!(s.local_hits, 40);
+            assert_eq!(s.local_misses, 40);
+            assert_eq!(s.evictions, c.eviction_count());
+            assert!(c.expiration_age() != ExpirationAge::Infinite);
+            assert!(c.lifetime_average().is_some());
+        }
+
+        #[test]
+        fn shard_count_must_be_a_power_of_two() {
+            let cfg = CacheConfig::new(CacheId::new(0), kb(8), PolicyKind::Lru);
+            assert!(std::panic::catch_unwind(move || cfg.shards(3)).is_err());
         }
     }
 }

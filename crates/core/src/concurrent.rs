@@ -1,0 +1,494 @@
+//! A shared-reference cache with one lock per shard.
+//!
+//! [`ConcurrentCache`] wraps the same [`Shard`]s as [`crate::Cache`] but
+//! puts each behind its own `Mutex`, so requests touching different
+//! shards never serialize: a hot lookup on shard 3 proceeds while an
+//! evicting insert runs on shard 0. Every operation takes `&self`.
+//!
+//! # Lock discipline
+//!
+//! * A document operation locks exactly **one** shard (the document's).
+//! * Aggregations (`stats`, `len`, `expiration_age`, `snapshot`, …) lock
+//!   shards **one at a time in index order**, never holding two locks at
+//!   once.
+//!
+//! No code path ever holds more than one shard lock, so lock-order
+//! deadlock is impossible by construction — the `interleave` crate's
+//! `shard_locks` model checks exactly this discipline, and the
+//! `snapshot` consistency contract, under a bounded scheduler.
+//!
+//! # Contention accounting
+//!
+//! Every acquisition first tries `try_lock`; a miss is counted before
+//! falling back to a blocking lock. [`ConcurrentCache::contention`]
+//! exposes the totals, which is how the `bench-core` concurrent-reader
+//! run demonstrates that disjoint-shard readers do not contend (the
+//! interesting claim on any machine, and the only measurable one on a
+//! single-CPU box where wall-clock scaling is physically impossible).
+
+use crate::cache::InvariantViolation;
+use crate::entry::{CacheEntry, EvictionRecord};
+use crate::index::mix64;
+use crate::policy::PolicyKind;
+use crate::stats::CacheStats;
+use crate::store::{Shard, StoreOutcome};
+use coopcache_types::{ByteSize, CacheId, DocId, DurationMs, ExpirationAge, Timestamp};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, TryLockError};
+
+/// Lock-acquisition counters (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LockContention {
+    /// Total shard-lock acquisitions.
+    pub acquisitions: u64,
+    /// Acquisitions that found the lock held and had to block.
+    pub contended: u64,
+}
+
+/// A sharded cache safe to share across threads (`&self` everywhere).
+#[derive(Debug)]
+pub struct ConcurrentCache {
+    id: CacheId,
+    capacity: ByteSize,
+    seed: u64,
+    shard_mask: u64,
+    shards: Vec<Mutex<Shard>>,
+    acquisitions: AtomicU64,
+    contended: AtomicU64,
+}
+
+impl ConcurrentCache {
+    /// Assembles the cache from built shards (called by
+    /// [`crate::CacheConfig::build_concurrent`]).
+    pub(crate) fn from_parts(
+        id: CacheId,
+        capacity: ByteSize,
+        seed: u64,
+        shards: Vec<Shard>,
+        _ttl: Option<DurationMs>,
+    ) -> Self {
+        debug_assert!(shards.len().is_power_of_two());
+        Self {
+            id,
+            capacity,
+            seed,
+            shard_mask: shards.len() as u64 - 1,
+            shards: shards.into_iter().map(Mutex::new).collect(),
+            acquisitions: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+        }
+    }
+
+    /// Which shard (and therefore which lock) serves `doc`. Stable for
+    /// the life of the cache; lets callers partition work so threads
+    /// never contend (the `bench-core` concurrent-reader run uses this
+    /// to prove the disjoint-shard path lock-free in practice).
+    #[inline]
+    #[must_use]
+    pub fn shard_of(&self, doc: DocId) -> usize {
+        (mix64(doc.as_u64() ^ self.seed) & self.shard_mask) as usize
+    }
+
+    /// Locks shard `i`, counting the acquisition and whether it contended.
+    ///
+    /// A poisoned mutex is recovered rather than propagated: the shard's
+    /// invariants are re-audited on the next paranoid pass, and refusing
+    /// to serve the whole shard because one request panicked would turn a
+    /// bug into an outage.
+    fn lock_shard(&self, i: usize) -> MutexGuard<'_, Shard> {
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        match self.shards[i].try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::WouldBlock) => {
+                self.contended.fetch_add(1, Ordering::Relaxed);
+                match self.shards[i].lock() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                }
+            }
+            Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+        }
+    }
+
+    /// This cache's id.
+    #[must_use]
+    pub fn id(&self) -> CacheId {
+        self.id
+    }
+
+    /// Configured capacity in bytes (split evenly over the shards).
+    #[must_use]
+    pub fn capacity(&self) -> ByteSize {
+        self.capacity
+    }
+
+    /// Number of shards (and therefore independent locks).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The lock-acquisition counters accumulated so far.
+    #[must_use]
+    pub fn contention(&self) -> LockContention {
+        LockContention {
+            acquisitions: self.acquisitions.load(Ordering::Relaxed),
+            contended: self.contended.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The replacement policy in use.
+    #[must_use]
+    pub fn policy_kind(&self) -> PolicyKind {
+        self.lock_shard(0).policy_kind()
+    }
+
+    /// Which expiration-age flavor (eq. 5 numerator) this cache records.
+    #[must_use]
+    pub fn expiration_flavor(&self) -> crate::policy::ExpirationFlavor {
+        self.policy_kind().expiration_flavor()
+    }
+
+    /// Sets (or clears) the freshness TTL on every shard.
+    pub fn set_ttl(&self, ttl: Option<DurationMs>) {
+        for i in 0..self.shards.len() {
+            self.lock_shard(i).set_ttl(ttl);
+        }
+    }
+
+    /// Read-only ICP probe: is the document cached here?
+    #[must_use]
+    pub fn contains(&self, doc: DocId) -> bool {
+        let shard = self.shard_of(doc);
+        self.lock_shard(shard).contains(doc)
+    }
+
+    /// Copy of a cached entry (a reference cannot outlive the shard lock).
+    #[must_use]
+    pub fn entry(&self, doc: DocId) -> Option<CacheEntry> {
+        let shard = self.shard_of(doc);
+        self.lock_shard(shard).entry(doc).copied()
+    }
+
+    /// Serves a local client request (see [`crate::Cache::lookup`]).
+    pub fn lookup(&self, doc: DocId, now: Timestamp) -> Option<ByteSize> {
+        let timer = crate::profile::Timer::start();
+        let shard = self.shard_of(doc);
+        let mut guard = self.lock_shard(shard);
+        let served = guard.lookup(doc, now);
+        guard.audit();
+        guard.record_profile(crate::profile::ProfileOp::Lookup, timer);
+        served
+    }
+
+    /// Serves a sibling cache (see [`crate::Cache::serve_remote`]).
+    pub fn serve_remote(&self, doc: DocId, now: Timestamp, promote: bool) -> Option<ByteSize> {
+        let timer = crate::profile::Timer::start();
+        let shard = self.shard_of(doc);
+        let mut guard = self.lock_shard(shard);
+        let served = guard.serve_remote(doc, now, promote);
+        guard.audit();
+        guard.record_profile(crate::profile::ProfileOp::ServeRemote, timer);
+        served
+    }
+
+    /// Stores a document (see [`crate::Cache::insert`]).
+    pub fn insert(&self, doc: DocId, size: ByteSize, now: Timestamp) -> crate::InsertOutcome {
+        let mut evictions = Vec::new();
+        match self.insert_into(doc, size, now, &mut evictions) {
+            StoreOutcome::Stored => crate::InsertOutcome::Stored(evictions),
+            StoreOutcome::AlreadyPresent => crate::InsertOutcome::AlreadyPresent,
+            StoreOutcome::TooLarge => crate::InsertOutcome::TooLarge,
+        }
+    }
+
+    /// Allocation-free insert into a caller buffer (see
+    /// [`crate::Cache::insert_into`]).
+    pub fn insert_into(
+        &self,
+        doc: DocId,
+        size: ByteSize,
+        now: Timestamp,
+        evictions: &mut Vec<EvictionRecord>,
+    ) -> StoreOutcome {
+        let timer = crate::profile::Timer::start();
+        let shard = self.shard_of(doc);
+        let mut guard = self.lock_shard(shard);
+        let outcome = guard.insert(doc, size, now, evictions);
+        guard.audit();
+        guard.record_profile(crate::profile::ProfileOp::Insert, timer);
+        outcome
+    }
+
+    /// Explicitly removes a document (see [`crate::Cache::remove`]).
+    pub fn remove(&self, doc: DocId, now: Timestamp) -> Option<EvictionRecord> {
+        let shard = self.shard_of(doc);
+        let mut guard = self.lock_shard(shard);
+        let rec = guard.remove(doc, now);
+        guard.audit();
+        rec
+    }
+
+    /// Bytes currently stored (shards locked one at a time, so the value
+    /// is a consistent *per-shard* sum, not a global atomic snapshot).
+    #[must_use]
+    pub fn used(&self) -> ByteSize {
+        (0..self.shards.len())
+            .map(|i| self.lock_shard(i).used())
+            .sum()
+    }
+
+    /// Number of cached documents (same per-shard consistency as `used`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        (0..self.shards.len())
+            .map(|i| self.lock_shard(i).len())
+            .sum()
+    }
+
+    /// True when nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Operation counters, aggregated over the shards.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for i in 0..self.shards.len() {
+            total.merge(self.lock_shard(i).stats());
+        }
+        total
+    }
+
+    /// Total contention samples recorded (see
+    /// [`crate::Cache::eviction_count`]).
+    #[must_use]
+    pub fn eviction_count(&self) -> u64 {
+        (0..self.shards.len())
+            .map(|i| self.lock_shard(i).tracker().eviction_count())
+            .sum()
+    }
+
+    /// Lifetime mean expiration age (see
+    /// [`crate::Cache::lifetime_average`]).
+    #[must_use]
+    pub fn lifetime_average(&self) -> Option<DurationMs> {
+        let mut sum = 0u128;
+        let mut count = 0u64;
+        for i in 0..self.shards.len() {
+            let guard = self.lock_shard(i);
+            sum += guard.tracker().lifetime_sum_ms();
+            count += guard.tracker().eviction_count();
+        }
+        if count == 0 {
+            None
+        } else {
+            Some(DurationMs::from_millis((sum / u128::from(count)) as u64))
+        }
+    }
+
+    /// The windowed cache expiration age (see
+    /// [`crate::Cache::expiration_age`]).
+    #[must_use]
+    pub fn expiration_age(&self) -> ExpirationAge {
+        let mut sum = 0u128;
+        let mut len = 0usize;
+        for i in 0..self.shards.len() {
+            let guard = self.lock_shard(i);
+            sum += guard.tracker().window_sum_ms();
+            len += guard.tracker().window_len();
+        }
+        if len == 0 {
+            return ExpirationAge::Infinite;
+        }
+        ExpirationAge::finite(DurationMs::from_millis((sum / len as u128) as u64))
+    }
+
+    /// Copies out every cached entry, shard by shard in index order,
+    /// ascending [`DocId`] within each shard — the same deterministic
+    /// order [`crate::Cache::iter`] walks.
+    ///
+    /// Shards are locked one at a time, so the snapshot is per-shard
+    /// consistent: each shard's slice is an instant in that shard's
+    /// history, and concurrent writers to *other* shards are not blocked
+    /// while it is taken. The `interleave` model proves this weaker (and
+    /// honestly documented) contract is actually delivered.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<CacheEntry> {
+        let mut out = Vec::new();
+        for i in 0..self.shards.len() {
+            let guard = self.lock_shard(i);
+            out.extend(guard.sorted_entries().into_iter().copied());
+        }
+        out
+    }
+
+    /// Verifies every shard's bookkeeping (see
+    /// [`crate::Cache::check_invariants`]).
+    pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        for i in 0..self.shards.len() {
+            self.lock_shard(i).check_invariants()?;
+        }
+        Ok(())
+    }
+
+    /// Backing-vector growth events, summed over the shards.
+    #[must_use]
+    pub fn growth_events(&self) -> u64 {
+        (0..self.shards.len())
+            .map(|i| self.lock_shard(i).growth_events())
+            .sum()
+    }
+
+    /// The accumulated hot-path profile (see [`crate::Cache::profile`]).
+    #[must_use]
+    pub fn profile(&self) -> Option<crate::profile::ProfileSnapshot> {
+        #[cfg(feature = "profile")]
+        {
+            let mut total = crate::profile::ProfileSnapshot::default();
+            for i in 0..self.shards.len() {
+                total.merge(&self.lock_shard(i).profile());
+            }
+            Some(total)
+        }
+        #[cfg(not(feature = "profile"))]
+        {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+    use std::sync::Arc;
+
+    fn d(i: u64) -> DocId {
+        DocId::new(i)
+    }
+
+    fn t(ms: u64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    fn kb(n: u64) -> ByteSize {
+        ByteSize::from_kb(n)
+    }
+
+    fn concurrent(cap_kb: u64, shards: usize) -> ConcurrentCache {
+        CacheConfig::new(CacheId::new(0), kb(cap_kb), PolicyKind::Lru)
+            .shards(shards)
+            .build_concurrent()
+    }
+
+    #[test]
+    fn shared_reference_roundtrip() {
+        let c = concurrent(64, 4);
+        assert!(c.insert(d(1), kb(4), t(0)).is_stored());
+        assert_eq!(c.lookup(d(1), t(1)), Some(kb(4)));
+        assert_eq!(c.lookup(d(2), t(1)), None);
+        assert!(c.contains(d(1)));
+        assert_eq!(c.entry(d(1)).unwrap().hit_count, 2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used(), kb(4));
+        let s = c.stats();
+        assert_eq!(s.local_hits, 1);
+        assert_eq!(s.local_misses, 1);
+        c.check_invariants().expect("invariants hold");
+    }
+
+    #[test]
+    fn matches_the_single_threaded_cache_per_doc_results() {
+        let concurrent = concurrent(16, 4);
+        let mut serial = CacheConfig::new(CacheId::new(0), kb(16), PolicyKind::Lru)
+            .shards(4)
+            .build();
+        for i in 0..200u64 {
+            let doc = d(i % 50);
+            let now = t(i);
+            let a = concurrent.insert(doc, kb(1), now);
+            let b = serial.insert(doc, kb(1), now);
+            assert_eq!(a, b, "insert #{i} diverged");
+            let la = concurrent.lookup(doc, now);
+            let lb = serial.lookup(doc, now);
+            assert_eq!(la, lb, "lookup #{i} diverged");
+        }
+        assert_eq!(concurrent.len(), serial.len());
+        assert_eq!(concurrent.used(), serial.used());
+        assert_eq!(concurrent.stats(), serial.stats());
+        assert_eq!(concurrent.expiration_age(), serial.expiration_age());
+        let snap: Vec<u64> = concurrent
+            .snapshot()
+            .iter()
+            .map(|e| e.doc.as_u64())
+            .collect();
+        let serial_iter: Vec<u64> = serial.iter().map(|e| e.doc.as_u64()).collect();
+        assert_eq!(snap, serial_iter, "snapshot order matches Cache::iter");
+    }
+
+    #[test]
+    fn parallel_readers_on_disjoint_shards() {
+        let c = Arc::new(concurrent(256, 8));
+        for i in 0..128u64 {
+            c.insert(d(i), kb(1), t(i));
+        }
+        let mut handles = Vec::new();
+        for reader in 0..4u64 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                let mut hits = 0u64;
+                for round in 0..200u64 {
+                    let doc = d((reader * 31 + round) % 128);
+                    if c.lookup(doc, t(1_000 + round)).is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().expect("reader")).sum();
+        assert!(total > 0, "readers must observe the preloaded docs");
+        c.check_invariants().expect("invariants hold after racing");
+        let contention = c.contention();
+        assert!(contention.acquisitions >= 128 + 800);
+    }
+
+    #[test]
+    fn snapshot_races_with_writers_without_deadlock() {
+        let c = Arc::new(concurrent(64, 4));
+        let writer = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    c.insert(d(i % 80), kb(1), t(i));
+                }
+            })
+        };
+        let snapshotter = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let snap = c.snapshot();
+                    // Within each shard's slice the DocIds are sorted:
+                    // per-shard consistency is the documented contract.
+                    assert!(snap.len() <= 64);
+                }
+            })
+        };
+        writer.join().expect("writer");
+        snapshotter.join().expect("snapshotter");
+        c.check_invariants().expect("invariants hold");
+    }
+
+    #[test]
+    fn contention_counters_start_at_zero() {
+        let c = concurrent(8, 2);
+        assert_eq!(c.contention(), LockContention::default());
+        c.insert(d(1), kb(1), t(0));
+        assert!(c.contention().acquisitions >= 1);
+        assert_eq!(c.contention().contended, 0, "uncontended single thread");
+    }
+}

@@ -1,0 +1,184 @@
+//! Builder-style cache construction.
+//!
+//! [`CacheConfig`] replaces the positional-argument constructors that used
+//! to be threaded through the simulator, the proxy layer and the daemons:
+//! the required identity (id, capacity, policy) is given up front and the
+//! optional knobs — shard count, expiration window, freshness TTL, shard
+//! seed — are chained. The same config builds either a single-threaded
+//! [`Cache`] or a lock-per-shard [`ConcurrentCache`].
+
+use crate::cache::Cache;
+use crate::concurrent::ConcurrentCache;
+use crate::expiration::ExpirationWindow;
+use crate::index::mix64;
+use crate::policy::PolicyKind;
+use crate::store::Shard;
+use coopcache_types::{ByteSize, CacheId, DurationMs};
+
+/// Default shard-assignment seed. Any fixed value works — determinism
+/// only requires that the same seed is used across a comparison run.
+pub const DEFAULT_SHARD_SEED: u64 = 0x5348_4152_4453_4545; // "SHARDSEE[D]"
+
+/// Everything needed to build a cache.
+///
+/// # Example
+///
+/// ```
+/// use coopcache_core::{CacheConfig, PolicyKind};
+/// use coopcache_types::{ByteSize, CacheId};
+///
+/// let cache = CacheConfig::new(CacheId::new(0), ByteSize::from_mb(1), PolicyKind::S3Fifo)
+///     .shards(4)
+///     .build();
+/// assert_eq!(cache.shard_count(), 4);
+/// assert_eq!(cache.policy_kind(), PolicyKind::S3Fifo);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    id: CacheId,
+    capacity: ByteSize,
+    policy: PolicyKind,
+    shards: usize,
+    window: ExpirationWindow,
+    ttl: Option<DurationMs>,
+    seed: u64,
+}
+
+impl CacheConfig {
+    /// Starts a config with the required identity; one shard, the default
+    /// expiration window, no TTL.
+    #[must_use]
+    pub fn new(id: CacheId, capacity: ByteSize, policy: PolicyKind) -> Self {
+        Self {
+            id,
+            capacity,
+            policy,
+            shards: 1,
+            window: ExpirationWindow::default(),
+            ttl: None,
+            seed: DEFAULT_SHARD_SEED,
+        }
+    }
+
+    /// Splits the store over `n` independently indexed shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a power of two (the shard mask must cover the
+    /// hash range evenly, or placement would be biased).
+    #[must_use]
+    pub fn shards(mut self, n: usize) -> Self {
+        assert!(
+            n.is_power_of_two(),
+            "shard count must be a power of two, got {n}"
+        );
+        self.shards = n;
+        self
+    }
+
+    /// Sets the expiration-age window (paper eq. 5's "finite duration").
+    #[must_use]
+    pub fn window(mut self, window: ExpirationWindow) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Sets a freshness TTL (see [`Cache::set_ttl`]).
+    #[must_use]
+    pub fn ttl(mut self, ttl: Option<DurationMs>) -> Self {
+        self.ttl = ttl;
+        self
+    }
+
+    /// Overrides the shard-assignment seed (decorrelates placements
+    /// between runs while keeping each run reproducible).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The configured shard count.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    fn build_shards(&self) -> Vec<Shard> {
+        let per_shard = self.capacity.split_evenly(self.shards as u64);
+        (0..self.shards)
+            .map(|i| {
+                // Each shard's table gets its own derived seed so probe
+                // sequences decorrelate between shards.
+                let table_seed = mix64(self.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                let mut shard =
+                    Shard::new(self.id, i, per_shard, self.policy, self.window, table_seed);
+                shard.set_ttl(self.ttl);
+                shard
+            })
+            .collect()
+    }
+
+    /// Builds a single-threaded [`Cache`].
+    #[must_use]
+    pub fn build(self) -> Cache {
+        Cache::from_parts(
+            self.id,
+            self.capacity,
+            self.seed,
+            self.build_shards(),
+            self.ttl,
+        )
+    }
+
+    /// Builds a [`ConcurrentCache`] with one lock per shard.
+    #[must_use]
+    pub fn build_concurrent(self) -> ConcurrentCache {
+        ConcurrentCache::from_parts(
+            self.id,
+            self.capacity,
+            self.seed,
+            self.build_shards(),
+            self.ttl,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_build_a_single_shard_cache() {
+        let c = CacheConfig::new(CacheId::new(3), ByteSize::from_kb(8), PolicyKind::Gdsf).build();
+        assert_eq!(c.shard_count(), 1);
+        assert_eq!(c.id(), CacheId::new(3));
+        assert_eq!(c.capacity(), ByteSize::from_kb(8));
+        assert_eq!(c.policy_kind(), PolicyKind::Gdsf);
+        assert_eq!(c.ttl(), None);
+    }
+
+    #[test]
+    fn ttl_and_window_carry_into_the_cache() {
+        let c = CacheConfig::new(CacheId::new(0), ByteSize::from_kb(8), PolicyKind::Lru)
+            .window(ExpirationWindow::LastEvictions(5))
+            .ttl(Some(DurationMs::from_secs(60)))
+            .build();
+        assert_eq!(c.ttl(), Some(DurationMs::from_secs(60)));
+    }
+
+    #[test]
+    fn capacity_splits_evenly_over_shards() {
+        let c = CacheConfig::new(CacheId::new(0), ByteSize::from_mb(1), PolicyKind::Lru)
+            .shards(4)
+            .build();
+        assert_eq!(c.capacity(), ByteSize::from_mb(1));
+        assert_eq!(c.shard_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_shards_rejected() {
+        let _ = CacheConfig::new(CacheId::new(0), ByteSize::from_kb(8), PolicyKind::Lru).shards(6);
+    }
+}

@@ -115,9 +115,21 @@ impl ExpirationTracker {
             ExpirationFlavor::Lru => record.entry.lru_expiration_age(record.evicted_at),
             ExpirationFlavor::Lfu => record.entry.lfu_expiration_age(record.evicted_at),
         };
+        self.record_age(record.evicted_at, age);
+    }
+
+    /// Records a directly observed expiration-age sample that did not come
+    /// from an eviction record.
+    ///
+    /// The S3-FIFO policy's ghost queue produces these: when a document is
+    /// re-admitted after a ghost hit, the gap between its eviction and its
+    /// return is an *observed* inter-reference gap — exactly the quantity
+    /// eq. 5 estimates from bookkeeping timestamps for the other policies —
+    /// so the gap is fed to the same windowed average.
+    pub fn record_age(&mut self, at: Timestamp, age: DurationMs) {
         self.lifetime_sum_ms += u128::from(age.as_millis());
         self.lifetime_count += 1;
-        self.recent.push_back((record.evicted_at, age));
+        self.recent.push_back((at, age));
         self.recent_sum_ms += u128::from(age.as_millis());
         if let ExpirationWindow::LastEvictions(n) = self.window {
             while self.recent.len() > n {
@@ -128,7 +140,7 @@ impl ExpirationTracker {
             }
         }
         if let ExpirationWindow::LastDuration(d) = self.window {
-            self.expire_older_than(record.evicted_at, d);
+            self.expire_older_than(at, d);
         }
     }
 
@@ -182,6 +194,23 @@ impl ExpirationTracker {
     #[must_use]
     pub fn window_len(&self) -> usize {
         self.recent.len()
+    }
+
+    /// Sum of the ages inside the window, in milliseconds.
+    ///
+    /// Exposed so a sharded cache can combine per-shard windows into one
+    /// aggregate eq. 5 mean (`Σ sums / Σ lens`) without flattening the
+    /// per-shard deques.
+    #[must_use]
+    pub fn window_sum_ms(&self) -> u128 {
+        self.recent_sum_ms
+    }
+
+    /// Sum of every age ever recorded, in milliseconds (pairs with
+    /// [`ExpirationTracker::eviction_count`] for aggregate lifetime means).
+    #[must_use]
+    pub fn lifetime_sum_ms(&self) -> u128 {
+        self.lifetime_sum_ms
     }
 
     /// Verifies the tracker's windowed bookkeeping (used by the cache's

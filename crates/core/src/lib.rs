@@ -40,19 +40,26 @@
 //! ```
 
 mod cache;
+mod concurrent;
+mod config;
 mod entry;
 mod expiration;
+mod index;
 mod placement;
 mod policy;
 mod profile;
 mod stats;
+mod store;
 
 pub use cache::{Cache, InsertOutcome, InvariantViolation};
+pub use concurrent::{ConcurrentCache, LockContention};
+pub use config::{CacheConfig, DEFAULT_SHARD_SEED};
 pub use entry::{CacheEntry, EvictionReason, EvictionRecord};
 pub use expiration::{ExpirationTracker, ExpirationWindow};
 pub use placement::{PlacementScheme, TieBreak};
 pub use policy::{
-    ExpirationFlavor, Fifo, Gds, Gdsf, Lfu, Lru, PolicyKind, ReplacementPolicy, Slru,
+    ExpirationFlavor, Fifo, Gds, Gdsf, Lfu, Lru, PolicyKind, ReplacementPolicy, S3Fifo, Slru,
 };
 pub use profile::{OpProfile, ProfileOp, ProfileSnapshot, Timer as ProfileTimer};
 pub use stats::CacheStats;
+pub use store::StoreOutcome;

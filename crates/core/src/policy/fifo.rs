@@ -1,12 +1,33 @@
 //! First-in-first-out replacement.
 
 use super::{PolicyKind, ReplacementPolicy};
+use crate::index::{DocTable, Linked, Links, List, Slab, NIL};
 use coopcache_types::{ByteSize, DocId};
-use std::collections::{BTreeMap, HashMap};
+
+const TABLE_SEED: u64 = 0x4649_464f_0000_0001; // "FIFO"
+
+#[derive(Debug, Clone)]
+struct Node {
+    doc: DocId,
+    links: Links,
+}
+
+impl Linked for Node {
+    fn links(&self) -> &Links {
+        &self.links
+    }
+    fn links_mut(&mut self) -> &mut Links {
+        &mut self.links
+    }
+}
 
 /// FIFO victim ordering: documents are evicted in insertion order and hits
 /// do not refresh an entry. Included as the classic lower-bound baseline
 /// for replacement-policy ablations.
+///
+/// Implemented as an intrusive queue over a flat arena (head = oldest =
+/// victim, tail = newest) with an open-addressing doc→slot table; every
+/// operation is pointer-free O(1).
 ///
 /// # Example
 ///
@@ -20,54 +41,72 @@ use std::collections::{BTreeMap, HashMap};
 /// fifo.on_hit(DocId::new(1)); // ignored
 /// assert_eq!(fifo.victim(), Some(DocId::new(1)));
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Fifo {
-    by_seq: BTreeMap<u64, DocId>,
-    seq_of: HashMap<DocId, u64>,
-    next_seq: u64,
+    nodes: Slab<Node>,
+    table: DocTable,
+    queue: List,
+}
+
+impl Default for Fifo {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Fifo {
     /// Creates an empty FIFO ordering.
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            nodes: Slab::new(),
+            table: DocTable::new(TABLE_SEED),
+            queue: List::new(),
+        }
     }
 }
 
 impl ReplacementPolicy for Fifo {
     fn on_insert(&mut self, doc: DocId, _size: ByteSize) {
         assert!(
-            !self.seq_of.contains_key(&doc),
+            self.table.get(doc).is_none(),
             "{doc} inserted twice into FIFO"
         );
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.seq_of.insert(doc, seq);
-        self.by_seq.insert(seq, doc);
+        let idx = self.nodes.alloc(Node {
+            doc,
+            links: Links::default(),
+        });
+        self.table.insert(doc, idx);
+        self.queue.push_tail(&mut self.nodes, idx);
     }
 
     fn on_hit(&mut self, doc: DocId) {
         // FIFO ignores hits, but an untracked hit is still a caller bug.
-        assert!(self.seq_of.contains_key(&doc), "hit on untracked {doc}");
+        assert!(self.table.get(doc).is_some(), "hit on untracked {doc}");
     }
 
     fn on_remove(&mut self, doc: DocId) {
-        let seq = self
-            .seq_of
-            .remove(&doc)
+        let idx = self
+            .table
+            .remove(doc)
             // lint:allow(panic) -- ReplacementPolicy contract: removing an
             // untracked doc is a caller bug (see trait docs).
             .unwrap_or_else(|| panic!("remove of untracked {doc}"));
-        self.by_seq.remove(&seq);
+        self.queue.unlink(&mut self.nodes, idx);
+        self.nodes.free(idx);
     }
 
     fn victim(&self) -> Option<DocId> {
-        self.by_seq.values().next().copied()
+        let head = self.queue.head();
+        (head != NIL).then(|| self.nodes.get(head).doc)
     }
 
     fn len(&self) -> usize {
-        self.seq_of.len()
+        self.queue.len()
+    }
+
+    fn growth_events(&self) -> u64 {
+        self.nodes.growth_events() + self.table.growth_events()
     }
 
     fn kind(&self) -> PolicyKind {
@@ -113,6 +152,21 @@ mod tests {
         assert_eq!(fifo.victim(), Some(d(1)));
         fifo.on_remove(d(1));
         assert_eq!(fifo.victim(), Some(d(3)));
+    }
+
+    #[test]
+    fn steady_state_churn_is_allocation_free() {
+        let mut fifo = Fifo::new();
+        for i in 0..64 {
+            fifo.on_insert(d(i), sz());
+        }
+        let baseline = fifo.growth_events();
+        for i in 64..4096 {
+            let v = fifo.victim().unwrap();
+            fifo.on_remove(v);
+            fifo.on_insert(d(i), sz());
+        }
+        assert_eq!(fifo.growth_events(), baseline);
     }
 
     #[test]

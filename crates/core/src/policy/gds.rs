@@ -1,8 +1,31 @@
 //! GreedyDual-Size replacement (Cao & Irani, USITS '97).
 
 use super::{PolicyKind, ReplacementPolicy};
+use crate::index::{DocTable, HeapKeyed, KeyedMinHeap, Slab, NIL};
 use coopcache_types::{ByteSize, DocId};
-use std::collections::{BTreeSet, HashMap};
+
+const TABLE_SEED: u64 = 0x4744_5300_0000_0001; // "GDS"
+
+#[derive(Debug, Clone)]
+struct Node {
+    doc: DocId,
+    priority: u64,
+    seq: u64,
+    size: ByteSize,
+    heap_pos: u32,
+}
+
+impl HeapKeyed for Node {
+    fn heap_key(&self) -> (u64, u64) {
+        (self.priority, self.seq)
+    }
+    fn heap_pos(&self) -> u32 {
+        self.heap_pos
+    }
+    fn set_heap_pos(&mut self, pos: u32) {
+        self.heap_pos = pos;
+    }
+}
 
 /// GreedyDual-Size: each document carries priority `H = L + 1/size_kb`
 /// where `L` is the inflation clock; a **hit re-computes `H` with the
@@ -12,6 +35,11 @@ use std::collections::{BTreeSet, HashMap};
 ///
 /// Cited by the paper as the canonical cost-aware replacement family
 /// (\[4\]); included so the ABL-R replacement sweep covers it.
+///
+/// Implemented as an arena-backed min-heap keyed by `(priority, seq)` —
+/// the unique seq totalizes the order, reproducing the previous
+/// ordered-set representation exactly — plus an open-addressing doc→slot
+/// table. Priority arithmetic is unchanged bit for bit.
 ///
 /// # Example
 ///
@@ -24,28 +52,34 @@ use std::collections::{BTreeSet, HashMap};
 /// gds.on_insert(DocId::new(2), ByteSize::from_kb(1));   // small
 /// assert_eq!(gds.victim(), Some(DocId::new(1)));
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Gds {
-    order: BTreeSet<(u64, u64, DocId)>,
-    state: HashMap<DocId, GdsState>,
+    nodes: Slab<Node>,
+    table: DocTable,
+    heap: KeyedMinHeap,
     clock: u64,
     next_seq: u64,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct GdsState {
-    priority: u64,
-    seq: u64,
-    size: ByteSize,
-}
-
 const SCALE: u64 = 1_000_000;
+
+impl Default for Gds {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 impl Gds {
     /// Creates an empty GDS ordering.
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            nodes: Slab::new(),
+            table: DocTable::new(TABLE_SEED),
+            heap: KeyedMinHeap::new(),
+            clock: 0,
+            next_seq: 0,
+        }
     }
 
     fn priority(&self, size: ByteSize) -> u64 {
@@ -53,62 +87,73 @@ impl Gds {
         self.clock + ((1.0 / size_kb) * SCALE as f64) as u64
     }
 
-    fn reinsert(&mut self, doc: DocId, size: ByteSize) {
+    fn bump_seq(&mut self) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let priority = self.priority(size);
-        if let Some(old) = self.state.insert(
-            doc,
-            GdsState {
-                priority,
-                seq,
-                size,
-            },
-        ) {
-            self.order.remove(&(old.priority, old.seq, doc));
-        }
-        self.order.insert((priority, seq, doc));
+        seq
     }
 }
 
 impl ReplacementPolicy for Gds {
     fn on_insert(&mut self, doc: DocId, size: ByteSize) {
         assert!(
-            !self.state.contains_key(&doc),
+            self.table.get(doc).is_none(),
             "{doc} inserted twice into GDS"
         );
-        self.reinsert(doc, size);
+        let seq = self.bump_seq();
+        let priority = self.priority(size);
+        let idx = self.nodes.alloc(Node {
+            doc,
+            priority,
+            seq,
+            size,
+            heap_pos: NIL,
+        });
+        self.table.insert(doc, idx);
+        self.heap.push(&mut self.nodes, idx);
     }
 
     fn on_hit(&mut self, doc: DocId) {
-        let size = self
-            .state
-            .get(&doc)
+        let idx = self
+            .table
+            .get(doc)
             // lint:allow(panic) -- ReplacementPolicy contract: a hit on an
             // untracked doc is a caller bug (see trait docs).
-            .unwrap_or_else(|| panic!("hit on untracked {doc}"))
-            .size;
+            .unwrap_or_else(|| panic!("hit on untracked {doc}"));
         // The defining GDS move: restore full priority at the current clock.
-        self.reinsert(doc, size);
+        let seq = self.bump_seq();
+        let priority = self.priority(self.nodes.get(idx).size);
+        self.heap.remove(&mut self.nodes, idx);
+        {
+            let node = self.nodes.get_mut(idx);
+            node.priority = priority;
+            node.seq = seq;
+        }
+        self.heap.push(&mut self.nodes, idx);
     }
 
     fn on_remove(&mut self, doc: DocId) {
-        let st = self
-            .state
-            .remove(&doc)
+        let idx = self
+            .table
+            .remove(doc)
             // lint:allow(panic) -- ReplacementPolicy contract: removing an
             // untracked doc is a caller bug (see trait docs).
             .unwrap_or_else(|| panic!("remove of untracked {doc}"));
-        self.order.remove(&(st.priority, st.seq, doc));
-        self.clock = self.clock.max(st.priority);
+        self.heap.remove(&mut self.nodes, idx);
+        let node = self.nodes.free(idx);
+        self.clock = self.clock.max(node.priority);
     }
 
     fn victim(&self) -> Option<DocId> {
-        self.order.iter().next().map(|&(_, _, doc)| doc)
+        self.heap.peek().map(|idx| self.nodes.get(idx).doc)
     }
 
     fn len(&self) -> usize {
-        self.state.len()
+        self.heap.len()
+    }
+
+    fn growth_events(&self) -> u64 {
+        self.nodes.growth_events() + self.table.growth_events() + self.heap.growth_events()
     }
 
     fn kind(&self) -> PolicyKind {
@@ -157,6 +202,22 @@ mod tests {
             g.on_hit(d(2)); // clock still 0: H stays 0.5
         }
         assert_eq!(g.victim(), Some(d(2)), "hits alone must not out-rank size");
+    }
+
+    #[test]
+    fn steady_state_churn_is_allocation_free() {
+        let mut g = Gds::new();
+        for i in 0..64 {
+            g.on_insert(d(i), ByteSize::from_kb(1 + i % 7));
+        }
+        let baseline = g.growth_events();
+        for i in 64..4096 {
+            let v = g.victim().unwrap();
+            g.on_remove(v);
+            g.on_insert(d(i), ByteSize::from_kb(1 + i % 7));
+            g.on_hit(d(i));
+        }
+        assert_eq!(g.growth_events(), baseline);
     }
 
     #[test]

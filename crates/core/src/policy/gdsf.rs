@@ -1,8 +1,32 @@
 //! GreedyDual-Size-Frequency replacement.
 
 use super::{PolicyKind, ReplacementPolicy};
+use crate::index::{DocTable, HeapKeyed, KeyedMinHeap, Slab, NIL};
 use coopcache_types::{ByteSize, DocId};
-use std::collections::{BTreeSet, HashMap};
+
+const TABLE_SEED: u64 = 0x4744_5346_0000_0001; // "GDSF"
+
+#[derive(Debug, Clone)]
+struct Node {
+    doc: DocId,
+    priority: u64,
+    seq: u64,
+    freq: u64,
+    size: ByteSize,
+    heap_pos: u32,
+}
+
+impl HeapKeyed for Node {
+    fn heap_key(&self) -> (u64, u64) {
+        (self.priority, self.seq)
+    }
+    fn heap_pos(&self) -> u32 {
+        self.heap_pos
+    }
+    fn set_heap_pos(&mut self, pos: u32) {
+        self.heap_pos = pos;
+    }
+}
 
 /// GreedyDual-Size-Frequency (GDSF) victim ordering.
 ///
@@ -15,7 +39,10 @@ use std::collections::{BTreeSet, HashMap};
 /// (Cao & Irani).
 ///
 /// Priorities are kept as integer micro-units to give a total order
-/// without floating-point `NaN` hazards.
+/// without floating-point `NaN` hazards. The order lives in an
+/// arena-backed min-heap keyed by `(priority, seq)` with an
+/// open-addressing doc→slot table; the unique seq totalizes the order,
+/// reproducing the previous ordered-set representation exactly.
 ///
 /// # Example
 ///
@@ -28,31 +55,36 @@ use std::collections::{BTreeSet, HashMap};
 /// gdsf.on_insert(DocId::new(2), ByteSize::from_kb(1));   // small
 /// assert_eq!(gdsf.victim(), Some(DocId::new(1))); // big goes first
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Gdsf {
-    order: BTreeSet<(u64, u64, DocId)>,
-    state: HashMap<DocId, GdsfState>,
+    nodes: Slab<Node>,
+    table: DocTable,
+    heap: KeyedMinHeap,
     /// Inflation clock `L`, in micro-priority units.
     clock: u64,
     next_seq: u64,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct GdsfState {
-    priority: u64,
-    seq: u64,
-    freq: u64,
-    size: ByteSize,
-}
-
 /// Micro-units per 1.0 of priority.
 const SCALE: u64 = 1_000_000;
+
+impl Default for Gdsf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 impl Gdsf {
     /// Creates an empty GDSF ordering.
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            nodes: Slab::new(),
+            table: DocTable::new(TABLE_SEED),
+            heap: KeyedMinHeap::new(),
+            clock: 0,
+            next_seq: 0,
+        }
     }
 
     /// The current inflation-clock value, in priority units.
@@ -68,60 +100,79 @@ impl Gdsf {
         self.clock + (value * SCALE as f64) as u64
     }
 
-    fn reinsert(&mut self, doc: DocId, freq: u64, size: ByteSize) {
+    fn bump_seq(&mut self) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let priority = self.priority(freq, size);
-        let new = GdsfState {
-            priority,
-            seq,
-            freq,
-            size,
-        };
-        if let Some(old) = self.state.insert(doc, new) {
-            self.order.remove(&(old.priority, old.seq, doc));
-        }
-        self.order.insert((priority, seq, doc));
+        seq
     }
 }
 
 impl ReplacementPolicy for Gdsf {
     fn on_insert(&mut self, doc: DocId, size: ByteSize) {
         assert!(
-            !self.state.contains_key(&doc),
+            self.table.get(doc).is_none(),
             "{doc} inserted twice into GDSF"
         );
-        self.reinsert(doc, 1, size);
+        let seq = self.bump_seq();
+        let priority = self.priority(1, size);
+        let idx = self.nodes.alloc(Node {
+            doc,
+            priority,
+            seq,
+            freq: 1,
+            size,
+            heap_pos: NIL,
+        });
+        self.table.insert(doc, idx);
+        self.heap.push(&mut self.nodes, idx);
     }
 
     fn on_hit(&mut self, doc: DocId) {
-        let st = *self
-            .state
-            .get(&doc)
+        let idx = self
+            .table
+            .get(doc)
             // lint:allow(panic) -- ReplacementPolicy contract: a hit on an
             // untracked doc is a caller bug (see trait docs).
             .unwrap_or_else(|| panic!("hit on untracked {doc}"));
-        self.reinsert(doc, st.freq + 1, st.size);
+        let (freq, size) = {
+            let node = self.nodes.get(idx);
+            (node.freq + 1, node.size)
+        };
+        let seq = self.bump_seq();
+        let priority = self.priority(freq, size);
+        self.heap.remove(&mut self.nodes, idx);
+        {
+            let node = self.nodes.get_mut(idx);
+            node.priority = priority;
+            node.seq = seq;
+            node.freq = freq;
+        }
+        self.heap.push(&mut self.nodes, idx);
     }
 
     fn on_remove(&mut self, doc: DocId) {
-        let st = self
-            .state
-            .remove(&doc)
+        let idx = self
+            .table
+            .remove(doc)
             // lint:allow(panic) -- ReplacementPolicy contract: removing an
             // untracked doc is a caller bug (see trait docs).
             .unwrap_or_else(|| panic!("remove of untracked {doc}"));
-        self.order.remove(&(st.priority, st.seq, doc));
+        self.heap.remove(&mut self.nodes, idx);
+        let node = self.nodes.free(idx);
         // Inflate the clock to the departed priority (GreedyDual aging).
-        self.clock = self.clock.max(st.priority);
+        self.clock = self.clock.max(node.priority);
     }
 
     fn victim(&self) -> Option<DocId> {
-        self.order.iter().next().map(|&(_, _, doc)| doc)
+        self.heap.peek().map(|idx| self.nodes.get(idx).doc)
     }
 
     fn len(&self) -> usize {
-        self.state.len()
+        self.heap.len()
+    }
+
+    fn growth_events(&self) -> u64 {
+        self.nodes.growth_events() + self.table.growth_events() + self.heap.growth_events()
     }
 
     fn kind(&self) -> PolicyKind {
@@ -195,6 +246,22 @@ mod tests {
         g.on_insert(d(2), ByteSize::from_kb(1));
         assert_eq!(g.len(), 2);
         assert!(g.victim().is_some());
+    }
+
+    #[test]
+    fn steady_state_churn_is_allocation_free() {
+        let mut g = Gdsf::new();
+        for i in 0..64 {
+            g.on_insert(d(i), ByteSize::from_kb(1 + i % 7));
+        }
+        let baseline = g.growth_events();
+        for i in 64..4096 {
+            let v = g.victim().unwrap();
+            g.on_remove(v);
+            g.on_insert(d(i), ByteSize::from_kb(1 + i % 7));
+            g.on_hit(d(i));
+        }
+        assert_eq!(g.growth_events(), baseline);
     }
 
     #[test]

@@ -1,8 +1,30 @@
 //! Least-frequently-used replacement.
 
 use super::{PolicyKind, ReplacementPolicy};
+use crate::index::{DocTable, HeapKeyed, KeyedMinHeap, Slab, NIL};
 use coopcache_types::{ByteSize, DocId};
-use std::collections::{BTreeSet, HashMap};
+
+const TABLE_SEED: u64 = 0x4c46_5500_0000_0001; // "LFU"
+
+#[derive(Debug, Clone)]
+struct Node {
+    doc: DocId,
+    freq: u64,
+    seq: u64,
+    heap_pos: u32,
+}
+
+impl HeapKeyed for Node {
+    fn heap_key(&self) -> (u64, u64) {
+        (self.freq, self.seq)
+    }
+    fn heap_pos(&self) -> u32 {
+        self.heap_pos
+    }
+    fn set_heap_pos(&mut self, pos: u32) {
+        self.heap_pos = pos;
+    }
+}
 
 /// LFU victim ordering: the document with the fewest hits is evicted
 /// first; ties break toward the least recently *inserted-or-hit* (so LFU
@@ -11,6 +33,12 @@ use std::collections::{BTreeSet, HashMap};
 ///
 /// The hit counter starts at 1 when the document enters, matching the
 /// paper's description of LFU bookkeeping (§3.2.2).
+///
+/// Implemented as an arena-backed binary min-heap keyed by `(frequency,
+/// tie_seq)` — the unique monotone tie sequence makes the order total, so
+/// the heap reproduces the old ordered-set order exactly — plus an
+/// open-addressing doc→slot table. Operations are pointer-free O(log n)
+/// with zero steady-state allocation.
 ///
 /// # Example
 ///
@@ -24,71 +52,100 @@ use std::collections::{BTreeSet, HashMap};
 /// lfu.on_hit(DocId::new(1));
 /// assert_eq!(lfu.victim(), Some(DocId::new(2))); // fewer hits
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Lfu {
-    // Ordered by (frequency, tie_seq): the minimum is the victim.
-    order: BTreeSet<(u64, u64, DocId)>,
-    state: HashMap<DocId, (u64, u64)>,
+    nodes: Slab<Node>,
+    table: DocTable,
+    heap: KeyedMinHeap,
     next_seq: u64,
+}
+
+impl Default for Lfu {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Lfu {
     /// Creates an empty LFU ordering.
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            nodes: Slab::new(),
+            table: DocTable::new(TABLE_SEED),
+            heap: KeyedMinHeap::new(),
+            next_seq: 0,
+        }
     }
 
     /// The current hit count of a tracked document (for tests and tools).
     #[must_use]
     pub fn frequency(&self, doc: DocId) -> Option<u64> {
-        self.state.get(&doc).map(|&(f, _)| f)
+        self.table.get(doc).map(|idx| self.nodes.get(idx).freq)
     }
 
-    fn reinsert(&mut self, doc: DocId, freq: u64) {
+    fn bump_seq(&mut self) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        if let Some((old_f, old_s)) = self.state.insert(doc, (freq, seq)) {
-            self.order.remove(&(old_f, old_s, doc));
-        }
-        self.order.insert((freq, seq, doc));
+        seq
     }
 }
 
 impl ReplacementPolicy for Lfu {
     fn on_insert(&mut self, doc: DocId, _size: ByteSize) {
         assert!(
-            !self.state.contains_key(&doc),
+            self.table.get(doc).is_none(),
             "{doc} inserted twice into LFU"
         );
-        self.reinsert(doc, 1);
+        let seq = self.bump_seq();
+        let idx = self.nodes.alloc(Node {
+            doc,
+            freq: 1,
+            seq,
+            heap_pos: NIL,
+        });
+        self.table.insert(doc, idx);
+        self.heap.push(&mut self.nodes, idx);
     }
 
     fn on_hit(&mut self, doc: DocId) {
-        let freq = self
-            .frequency(doc)
+        let idx = self
+            .table
+            .get(doc)
             // lint:allow(panic) -- ReplacementPolicy contract: a hit on an
             // untracked doc is a caller bug (see trait docs).
             .unwrap_or_else(|| panic!("hit on untracked {doc}"));
-        self.reinsert(doc, freq + 1);
+        let seq = self.bump_seq();
+        self.heap.remove(&mut self.nodes, idx);
+        {
+            let node = self.nodes.get_mut(idx);
+            node.freq += 1;
+            node.seq = seq;
+        }
+        self.heap.push(&mut self.nodes, idx);
     }
 
     fn on_remove(&mut self, doc: DocId) {
-        let (f, s) = self
-            .state
-            .remove(&doc)
+        let idx = self
+            .table
+            .remove(doc)
             // lint:allow(panic) -- ReplacementPolicy contract: removing an
             // untracked doc is a caller bug (see trait docs).
             .unwrap_or_else(|| panic!("remove of untracked {doc}"));
-        self.order.remove(&(f, s, doc));
+        self.heap.remove(&mut self.nodes, idx);
+        self.nodes.free(idx);
     }
 
     fn victim(&self) -> Option<DocId> {
-        self.order.iter().next().map(|&(_, _, doc)| doc)
+        self.heap.peek().map(|idx| self.nodes.get(idx).doc)
     }
 
     fn len(&self) -> usize {
-        self.state.len()
+        self.heap.len()
+    }
+
+    fn growth_events(&self) -> u64 {
+        self.nodes.growth_events() + self.table.growth_events() + self.heap.growth_events()
     }
 
     fn kind(&self) -> PolicyKind {
@@ -161,6 +218,22 @@ mod tests {
         }
         // freq: 1->3, 3->2, 2->1 (older), 4->1 (newer)
         assert_eq!(order, vec![2, 4, 3, 1]);
+    }
+
+    #[test]
+    fn steady_state_churn_is_allocation_free() {
+        let mut lfu = Lfu::new();
+        for i in 0..64 {
+            lfu.on_insert(d(i), sz());
+        }
+        let baseline = lfu.growth_events();
+        for i in 64..4096 {
+            let v = lfu.victim().unwrap();
+            lfu.on_remove(v);
+            lfu.on_insert(d(i), sz());
+            lfu.on_hit(d(i));
+        }
+        assert_eq!(lfu.growth_events(), baseline);
     }
 
     #[test]

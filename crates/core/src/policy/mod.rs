@@ -5,7 +5,8 @@
 //! accounting and metadata live in [`crate::Cache`]; the policy only orders
 //! document ids.
 //!
-//! Four classic policies are provided, all O(log n) per operation:
+//! Seven policies are provided, all intrusive-list or arena-heap backed
+//! (pointer-free O(1), O(log n) for the heap-ordered family):
 //!
 //! * [`Lru`] — least recently used (the paper's evaluation policy);
 //! * [`Lfu`] — least frequently used, with LRU tie-breaking;
@@ -13,13 +14,16 @@
 //! * [`Gdsf`] — GreedyDual-Size-Frequency (Cao & Irani's cost-aware family,
 //!   cited by the paper as related document-replacement work);
 //! * [`Gds`] — plain GreedyDual-Size (the same family, no frequency);
-//! * [`Slru`] — segmented LRU, the scan-resistant LRU variant.
+//! * [`Slru`] — segmented LRU, the scan-resistant LRU variant;
+//! * [`S3Fifo`] — Small/Main/Ghost three-queue FIFO whose ghost queue
+//!   reports observed inter-reference gaps to the eq. 5 tracker.
 
 mod fifo;
 mod gds;
 mod gdsf;
 mod lfu;
 mod lru;
+mod s3fifo;
 mod slru;
 
 pub use fifo::Fifo;
@@ -27,9 +31,10 @@ pub use gds::Gds;
 pub use gdsf::Gdsf;
 pub use lfu::Lfu;
 pub use lru::Lru;
+pub use s3fifo::S3Fifo;
 pub use slru::Slru;
 
-use coopcache_types::{ByteSize, DocId};
+use coopcache_types::{ByteSize, DocId, DurationMs, Timestamp};
 use std::fmt;
 
 /// The victim ordering of a cache.
@@ -78,6 +83,28 @@ pub trait ReplacementPolicy: fmt::Debug + Send {
 
     /// Which well-known policy this is (drives the expiration-age flavor).
     fn kind(&self) -> PolicyKind;
+
+    /// Timestamped admission notice, called by the cache right after
+    /// [`on_insert`](Self::on_insert). Policies that keep eviction history
+    /// (the [`S3Fifo`] ghost queue) return the observed gap between the
+    /// document's last capacity eviction and this re-admission — the
+    /// "observed inter-reference gap" the cache feeds into the eq. 5
+    /// expiration-age tracker. History-less policies return `None`.
+    fn on_admit(&mut self, _doc: DocId, _now: Timestamp) -> Option<DurationMs> {
+        None
+    }
+
+    /// Timestamped capacity-eviction notice, called by the cache right
+    /// after [`on_remove`](Self::on_remove) — only for capacity-pressure
+    /// evictions, never for explicit removals or TTL expiry. Lets
+    /// history-keeping policies start a ghost clock for the document.
+    fn on_evicted(&mut self, _doc: DocId, _now: Timestamp) {}
+
+    /// Times this policy's backing storage reallocated (0 in steady
+    /// state); feeds the `profile` feature's allocation-free audit.
+    fn growth_events(&self) -> u64 {
+        0
+    }
 }
 
 /// Identifies a replacement policy; used in configuration and to select
@@ -97,6 +124,8 @@ pub enum PolicyKind {
     Gds,
     /// Segmented LRU.
     Slru,
+    /// S3-FIFO-style Small/Main/Ghost three-queue policy.
+    S3Fifo,
 }
 
 impl PolicyKind {
@@ -110,6 +139,7 @@ impl PolicyKind {
             Self::Gdsf => Box::new(Gdsf::new()),
             Self::Gds => Box::new(Gds::new()),
             Self::Slru => Box::new(Slru::new()),
+            Self::S3Fifo => Box::new(S3Fifo::new()),
         }
     }
 
@@ -119,14 +149,14 @@ impl PolicyKind {
     #[must_use]
     pub fn expiration_flavor(self) -> ExpirationFlavor {
         match self {
-            Self::Lru | Self::Fifo | Self::Gds | Self::Slru => ExpirationFlavor::Lru,
+            Self::Lru | Self::Fifo | Self::Gds | Self::Slru | Self::S3Fifo => ExpirationFlavor::Lru,
             Self::Lfu | Self::Gdsf => ExpirationFlavor::Lfu,
         }
     }
 
     /// All provided policies, for sweeps and tests.
     #[must_use]
-    pub const fn all() -> [PolicyKind; 6] {
+    pub const fn all() -> [PolicyKind; 7] {
         [
             Self::Lru,
             Self::Lfu,
@@ -134,6 +164,7 @@ impl PolicyKind {
             Self::Gdsf,
             Self::Gds,
             Self::Slru,
+            Self::S3Fifo,
         ]
     }
 }
@@ -147,6 +178,7 @@ impl fmt::Display for PolicyKind {
             Self::Gdsf => "gdsf",
             Self::Gds => "gds",
             Self::Slru => "slru",
+            Self::S3Fifo => "s3fifo",
         };
         f.write_str(name)
     }
@@ -220,6 +252,10 @@ mod tests {
         assert_eq!(PolicyKind::Fifo.expiration_flavor(), ExpirationFlavor::Lru);
         assert_eq!(PolicyKind::Gds.expiration_flavor(), ExpirationFlavor::Lru);
         assert_eq!(PolicyKind::Slru.expiration_flavor(), ExpirationFlavor::Lru);
+        assert_eq!(
+            PolicyKind::S3Fifo.expiration_flavor(),
+            ExpirationFlavor::Lru
+        );
         assert_eq!(PolicyKind::Lfu.expiration_flavor(), ExpirationFlavor::Lfu);
         assert_eq!(PolicyKind::Gdsf.expiration_flavor(), ExpirationFlavor::Lfu);
     }

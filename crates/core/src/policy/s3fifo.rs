@@ -1,0 +1,565 @@
+//! S3-FIFO-style Small/Main/Ghost replacement (after Yang et al.,
+//! "FIFO queues are all you need for cache eviction", SOSP '23).
+
+use super::{PolicyKind, ReplacementPolicy};
+use crate::index::{DocTable, Linked, Links, List, Slab, NIL};
+use coopcache_types::{ByteSize, DocId, DurationMs, Timestamp};
+
+const TABLE_SEED: u64 = 0x5333_4649_0000_0001; // "S3FI"
+const GHOST_SEED: u64 = 0x5333_4649_0000_0002;
+
+/// Hit counters saturate here; a small cap keeps one burst of popularity
+/// from granting permanent immunity (the S3-FIFO design point).
+const FREQ_CAP: u8 = 3;
+
+/// Minimum ghost-queue bound, so history survives a nearly empty cache.
+const GHOST_FLOOR: usize = 8;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Queue {
+    Small,
+    Main,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    doc: DocId,
+    freq: u8,
+    queue: Queue,
+    links: Links,
+}
+
+impl Linked for Node {
+    fn links(&self) -> &Links {
+        &self.links
+    }
+    fn links_mut(&mut self) -> &mut Links {
+        &mut self.links
+    }
+}
+
+#[derive(Debug, Clone)]
+struct GhostNode {
+    doc: DocId,
+    evicted_at: Timestamp,
+    links: Links,
+}
+
+impl Linked for GhostNode {
+    fn links(&self) -> &Links {
+        &self.links
+    }
+    fn links_mut(&mut self) -> &mut Links {
+        &mut self.links
+    }
+}
+
+/// S3-FIFO-style victim ordering with three queues:
+///
+/// * **Small** — newly admitted documents enter here; one-shot documents
+///   wash through without touching Main (scan resistance, like SLRU's
+///   probation but FIFO-ordered so no per-hit relinking).
+/// * **Main** — documents that proved themselves (hit while in Small, or
+///   re-admitted from Ghost). Evicted CLOCK-style: a hit buys one second
+///   chance per sweep.
+/// * **Ghost** — a bounded FIFO of *recently evicted* document ids and
+///   their eviction timestamps. A request for a ghost document re-admits
+///   it straight into Main, and the gap between eviction and re-admission
+///   is reported through [`ReplacementPolicy::on_admit`] — an *observed
+///   inter-reference gap* that the cache feeds to the paper's eq. 5
+///   expiration-age tracker. Where eq. 5 normally estimates how long a
+///   document would have stayed useful from eviction-time state, a ghost
+///   re-admission measures it directly.
+///
+/// Victim selection walks Small head-first for the first never-hit
+/// document (hit documents ahead of it are owed promotion to Main, which
+/// [`on_remove`](ReplacementPolicy::on_remove) performs lazily), falling
+/// back to Main with CLOCK second chances. The walk is amortized O(1):
+/// each document is promoted or second-chanced at most once per
+/// residency, paid for by the eviction that skipped it.
+///
+/// All three queues are intrusive lists over flat arenas with
+/// open-addressing doc→slot tables — pointer-free, zero steady-state
+/// allocation, deterministic for a given operation sequence.
+///
+/// # Example
+///
+/// ```
+/// use coopcache_core::{ReplacementPolicy, S3Fifo};
+/// use coopcache_types::{ByteSize, DocId};
+///
+/// let mut p = S3Fifo::new();
+/// p.on_insert(DocId::new(1), ByteSize::from_kb(1));
+/// p.on_insert(DocId::new(2), ByteSize::from_kb(1));
+/// p.on_hit(DocId::new(1)); // doc 1 earns promotion; doc 2 is the victim
+/// assert_eq!(p.victim(), Some(DocId::new(2)));
+/// ```
+#[derive(Debug)]
+pub struct S3Fifo {
+    nodes: Slab<Node>,
+    table: DocTable,
+    small: List,
+    main: List,
+    ghosts: Slab<GhostNode>,
+    ghost_table: DocTable,
+    ghost_queue: List,
+    /// Set when the latest `on_insert` was a ghost re-admission; consumed
+    /// by `on_admit` to report the observed inter-reference gap.
+    pending_readmit: Option<(DocId, Timestamp)>,
+}
+
+impl Default for S3Fifo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl S3Fifo {
+    /// Creates an empty S3-FIFO ordering.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            nodes: Slab::new(),
+            table: DocTable::new(TABLE_SEED),
+            small: List::new(),
+            main: List::new(),
+            ghosts: Slab::new(),
+            ghost_table: DocTable::new(GHOST_SEED),
+            ghost_queue: List::new(),
+            pending_readmit: None,
+        }
+    }
+
+    /// True when the document currently sits in the Main queue.
+    #[must_use]
+    pub fn is_main(&self, doc: DocId) -> bool {
+        self.table
+            .get(doc)
+            .is_some_and(|idx| self.nodes.get(idx).queue == Queue::Main)
+    }
+
+    /// True when the document's id is remembered in the ghost queue.
+    #[must_use]
+    pub fn is_ghost(&self, doc: DocId) -> bool {
+        self.ghost_table.get(doc).is_some()
+    }
+
+    /// Number of remembered ghosts (bounded by live size, floored at 8).
+    #[must_use]
+    pub fn ghost_len(&self) -> usize {
+        self.ghost_queue.len()
+    }
+
+    /// Small stays at ~10% of tracked documents (min 1), the S3-FIFO
+    /// design ratio; beyond it Small must give up the next victim.
+    fn small_target(&self) -> usize {
+        (self.len() / 10).max(1)
+    }
+
+    fn ghost_target(&self) -> usize {
+        self.len().max(GHOST_FLOOR)
+    }
+
+    /// First never-hit node in a queue, walking head→tail.
+    fn scan_cold(&self, list: &List) -> Option<u32> {
+        let mut cursor = list.head();
+        while cursor != NIL {
+            let node = self.nodes.get(cursor);
+            if node.freq == 0 {
+                return Some(cursor);
+            }
+            cursor = node.links.next;
+        }
+        None
+    }
+
+    /// The slot `victim()` would name, with the queue it came from.
+    fn victim_slot(&self) -> Option<u32> {
+        if self.small.is_empty() && self.main.is_empty() {
+            return None;
+        }
+        let small_due = !self.small.is_empty()
+            && (self.small.len() >= self.small_target() || self.main.is_empty());
+        if small_due {
+            if let Some(idx) = self.scan_cold(&self.small) {
+                return Some(idx);
+            }
+            // Every Small document was hit: all owed promotion. If Main
+            // has candidates, evict there; else the oldest hot Small doc
+            // goes (nowhere to promote that would change the outcome).
+            if self.main.is_empty() {
+                return Some(self.small.head());
+            }
+        }
+        if self.main.is_empty() {
+            // Small exists but is under target: it still must yield.
+            return self.scan_cold(&self.small).or(Some(self.small.head()));
+        }
+        Some(self.scan_cold(&self.main).unwrap_or(self.main.head()))
+    }
+
+    /// Settles the debts the read-only victim walk skipped over: Small
+    /// nodes with hits ahead of the victim move to Main (promotion);
+    /// Main nodes with hits ahead of the victim spend them CLOCK-style
+    /// (freq cleared, requeued at tail). Called only when the removed doc
+    /// is the announced victim, so explicit removals stay pure unlinks.
+    fn settle_before(&mut self, victim_idx: u32) {
+        match self.nodes.get(victim_idx).queue {
+            Queue::Small => {
+                let mut cursor = self.small.head();
+                while cursor != victim_idx && cursor != NIL {
+                    let next = self.nodes.get(cursor).links.next;
+                    debug_assert!(self.nodes.get(cursor).freq > 0);
+                    self.small.unlink(&mut self.nodes, cursor);
+                    let node = self.nodes.get_mut(cursor);
+                    node.queue = Queue::Main;
+                    node.freq = 0;
+                    self.main.push_tail(&mut self.nodes, cursor);
+                    cursor = next;
+                }
+            }
+            Queue::Main => {
+                let mut cursor = self.main.head();
+                while cursor != victim_idx && cursor != NIL {
+                    let next = self.nodes.get(cursor).links.next;
+                    debug_assert!(self.nodes.get(cursor).freq > 0);
+                    self.main.unlink(&mut self.nodes, cursor);
+                    self.nodes.get_mut(cursor).freq = 0;
+                    self.main.push_tail(&mut self.nodes, cursor);
+                    cursor = next;
+                }
+            }
+        }
+    }
+
+    fn drop_ghost(&mut self, doc: DocId) {
+        if let Some(gidx) = self.ghost_table.remove(doc) {
+            self.ghost_queue.unlink(&mut self.ghosts, gidx);
+            self.ghosts.free(gidx);
+        }
+    }
+}
+
+impl ReplacementPolicy for S3Fifo {
+    fn on_insert(&mut self, doc: DocId, _size: ByteSize) {
+        assert!(
+            self.table.get(doc).is_none(),
+            "{doc} inserted twice into S3-FIFO"
+        );
+        let remembered = self
+            .ghost_table
+            .get(doc)
+            .map(|g| self.ghosts.get(g).evicted_at);
+        self.pending_readmit = remembered.map(|t| (doc, t));
+        if remembered.is_some() {
+            self.drop_ghost(doc);
+        }
+        let queue = if remembered.is_some() {
+            Queue::Main
+        } else {
+            Queue::Small
+        };
+        let idx = self.nodes.alloc(Node {
+            doc,
+            freq: 0,
+            queue,
+            links: Links::default(),
+        });
+        self.table.insert(doc, idx);
+        match queue {
+            Queue::Small => self.small.push_tail(&mut self.nodes, idx),
+            Queue::Main => self.main.push_tail(&mut self.nodes, idx),
+        }
+    }
+
+    fn on_hit(&mut self, doc: DocId) {
+        let idx = self
+            .table
+            .get(doc)
+            // lint:allow(panic) -- ReplacementPolicy contract: a hit on an
+            // untracked doc is a caller bug (see trait docs).
+            .unwrap_or_else(|| panic!("hit on untracked {doc}"));
+        let node = self.nodes.get_mut(idx);
+        node.freq = node.freq.saturating_add(1).min(FREQ_CAP);
+    }
+
+    fn on_remove(&mut self, doc: DocId) {
+        let idx = self
+            .table
+            .remove(doc)
+            // lint:allow(panic) -- ReplacementPolicy contract: removing an
+            // untracked doc is a caller bug (see trait docs).
+            .unwrap_or_else(|| panic!("remove of untracked {doc}"));
+        if self.victim_slot() == Some(idx) {
+            self.settle_before(idx);
+        }
+        match self.nodes.get(idx).queue {
+            Queue::Small => self.small.unlink(&mut self.nodes, idx),
+            Queue::Main => self.main.unlink(&mut self.nodes, idx),
+        }
+        self.nodes.free(idx);
+    }
+
+    fn victim(&self) -> Option<DocId> {
+        self.victim_slot().map(|idx| self.nodes.get(idx).doc)
+    }
+
+    fn len(&self) -> usize {
+        self.small.len() + self.main.len()
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::S3Fifo
+    }
+
+    fn on_admit(&mut self, doc: DocId, now: Timestamp) -> Option<DurationMs> {
+        match self.pending_readmit.take() {
+            Some((ghost_doc, evicted_at)) if ghost_doc == doc => {
+                Some(now.saturating_since(evicted_at))
+            }
+            _ => None,
+        }
+    }
+
+    fn on_evicted(&mut self, doc: DocId, now: Timestamp) {
+        debug_assert!(self.table.get(doc).is_none(), "ghosting a live doc");
+        self.drop_ghost(doc); // re-eviction refreshes the ghost clock
+        let gidx = self.ghosts.alloc(GhostNode {
+            doc,
+            evicted_at: now,
+            links: Links::default(),
+        });
+        self.ghost_table.insert(doc, gidx);
+        self.ghost_queue.push_tail(&mut self.ghosts, gidx);
+        while self.ghost_queue.len() > self.ghost_target() {
+            let oldest = self.ghost_queue.head();
+            let stale = self.ghosts.get(oldest).doc;
+            self.ghost_queue.unlink(&mut self.ghosts, oldest);
+            self.ghosts.free(oldest);
+            self.ghost_table.remove(stale);
+        }
+    }
+
+    fn growth_events(&self) -> u64 {
+        self.nodes.growth_events()
+            + self.table.growth_events()
+            + self.ghosts.growth_events()
+            + self.ghost_table.growth_events()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(i: u64) -> DocId {
+        DocId::new(i)
+    }
+
+    fn sz() -> ByteSize {
+        ByteSize::from_kb(1)
+    }
+
+    fn t(secs: u64) -> Timestamp {
+        Timestamp::from_secs(secs)
+    }
+
+    /// Capacity-eviction helper mirroring the cache's call sequence.
+    fn evict(p: &mut S3Fifo, now: Timestamp) -> DocId {
+        let v = p.victim().expect("non-empty policy has a victim");
+        p.on_remove(v);
+        p.on_evicted(v, now);
+        v
+    }
+
+    #[test]
+    fn one_shot_docs_wash_through_small() {
+        let mut p = S3Fifo::new();
+        p.on_insert(d(1), sz());
+        p.on_hit(d(1));
+        for i in 10..30 {
+            p.on_insert(d(i), sz());
+            let v = evict(&mut p, t(i));
+            assert_ne!(v, d(1), "hit doc evicted by a one-shot scan");
+        }
+    }
+
+    #[test]
+    fn small_hit_earns_main_promotion_on_next_eviction() {
+        let mut p = S3Fifo::new();
+        for i in 1..=12 {
+            p.on_insert(d(i), sz());
+        }
+        p.on_hit(d(1));
+        assert!(!p.is_main(d(1)), "promotion is lazy, not immediate");
+        // Doc 1 sits at Small's head with a hit; the eviction walk skips
+        // it, evicts doc 2, and the settle pass moves doc 1 to Main.
+        let v = evict(&mut p, t(1));
+        assert_eq!(v, d(2));
+        assert!(
+            p.is_main(d(1)),
+            "skipped-over hit doc should now be in Main"
+        );
+    }
+
+    #[test]
+    fn ghost_readmission_lands_in_main_and_reports_the_gap() {
+        let mut p = S3Fifo::new();
+        for i in 1..=3 {
+            p.on_insert(d(i), sz());
+        }
+        let v = evict(&mut p, t(10));
+        assert_eq!(v, d(1));
+        assert!(p.is_ghost(d(1)));
+        // Re-request the evicted doc 40 s later.
+        p.on_insert(d(1), sz());
+        let gap = p.on_admit(d(1), t(50));
+        assert_eq!(gap, Some(DurationMs::from_secs(40)));
+        assert!(p.is_main(d(1)), "ghost re-admission skips Small");
+        assert!(!p.is_ghost(d(1)), "re-admitted doc leaves the ghost queue");
+    }
+
+    #[test]
+    fn fresh_inserts_report_no_gap() {
+        let mut p = S3Fifo::new();
+        p.on_insert(d(7), sz());
+        assert_eq!(p.on_admit(d(7), t(1)), None);
+    }
+
+    #[test]
+    fn ghost_queue_is_bounded() {
+        let mut p = S3Fifo::new();
+        // Keep one live doc; churn hundreds through eviction.
+        p.on_insert(d(1), sz());
+        p.on_hit(d(1));
+        for i in 100..400 {
+            p.on_insert(d(i), sz());
+            evict(&mut p, t(i));
+        }
+        assert!(
+            p.ghost_len() <= p.len().max(8),
+            "ghost queue grew past its bound: {}",
+            p.ghost_len()
+        );
+        let oldest_refused = d(100);
+        assert!(
+            !p.is_ghost(oldest_refused),
+            "oldest ghost should have aged out"
+        );
+    }
+
+    #[test]
+    fn main_eviction_gives_second_chances() {
+        let mut p = S3Fifo::new();
+        // Build a Main population via ghost re-admission.
+        for i in 1..=3 {
+            p.on_insert(d(i), sz());
+        }
+        for _ in 0..3 {
+            evict(&mut p, t(1));
+        }
+        for i in 1..=3 {
+            p.on_insert(d(i), sz()); // all re-admitted into Main
+            p.on_admit(d(i), t(2));
+        }
+        assert!(p.is_main(d(1)) && p.is_main(d(2)) && p.is_main(d(3)));
+        p.on_hit(d(1)); // head of Main earns a second chance
+        let v = evict(&mut p, t(3));
+        assert_eq!(v, d(2), "hit Main head must be skipped once");
+        assert!(p.is_main(d(1)), "second-chanced doc stays in Main");
+    }
+
+    #[test]
+    fn explicit_remove_of_non_victim_is_a_pure_unlink() {
+        let mut p = S3Fifo::new();
+        for i in 1..=12 {
+            p.on_insert(d(i), sz());
+        }
+        p.on_hit(d(1));
+        p.on_remove(d(5)); // not the victim: no promotions happen
+        assert!(!p.is_main(d(1)));
+        assert_eq!(p.len(), 11);
+    }
+
+    #[test]
+    fn deterministic_under_seeded_stress() {
+        // Two identical seeded runs must produce identical eviction logs;
+        // the 96-doc universe against a 48-doc budget forces heavy ghost
+        // re-admission traffic.
+        let run = |seed: u64| -> Vec<u64> {
+            let mut p = S3Fifo::new();
+            let mut live = std::collections::BTreeSet::new();
+            let mut state = seed;
+            let mut log = Vec::new();
+            for step in 0..4000u64 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let doc = (state >> 33) % 96;
+                let now = Timestamp::from_millis(step);
+                if live.contains(&doc) {
+                    p.on_hit(d(doc));
+                } else {
+                    p.on_insert(d(doc), sz());
+                    p.on_admit(d(doc), now);
+                    live.insert(doc);
+                }
+                while live.len() > 48 {
+                    let v = evict(&mut p, now);
+                    live.remove(&v.as_u64());
+                    log.push(v.as_u64());
+                }
+            }
+            assert!(!log.is_empty());
+            log
+        };
+        assert_eq!(run(42), run(42), "same seed, same eviction order");
+        assert_ne!(run(42), run(43), "different seeds should diverge");
+    }
+
+    #[test]
+    fn steady_state_churn_is_allocation_free() {
+        let mut p = S3Fifo::new();
+        for i in 0..64 {
+            p.on_insert(d(i), sz());
+        }
+        let baseline_fill = p.growth_events();
+        let mut baseline = None;
+        for i in 64..8192u64 {
+            let v = p.victim().unwrap();
+            p.on_remove(v);
+            p.on_evicted(v, Timestamp::from_millis(i));
+            p.on_insert(d(i), sz());
+            p.on_admit(d(i), Timestamp::from_millis(i));
+            if i % 3 == 0 {
+                p.on_hit(d(i));
+            }
+            // The ghost plane fills for a while after the live plane; take
+            // the baseline once both are warm.
+            if i == 4096 {
+                baseline = Some(p.growth_events());
+            }
+        }
+        let baseline = baseline.unwrap();
+        assert!(baseline >= baseline_fill);
+        assert_eq!(
+            p.growth_events(),
+            baseline,
+            "warm churn must not reallocate"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "inserted twice")]
+    fn double_insert_panics() {
+        let mut p = S3Fifo::new();
+        p.on_insert(d(1), sz());
+        p.on_insert(d(1), sz());
+    }
+
+    #[test]
+    #[should_panic(expected = "untracked")]
+    fn hit_on_missing_panics() {
+        S3Fifo::new().on_hit(d(1));
+    }
+}

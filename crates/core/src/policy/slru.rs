@@ -1,8 +1,26 @@
 //! Segmented LRU replacement.
 
 use super::{PolicyKind, ReplacementPolicy};
+use crate::index::{DocTable, Linked, Links, List, Slab, NIL};
 use coopcache_types::{ByteSize, DocId};
-use std::collections::{BTreeMap, HashMap};
+
+const TABLE_SEED: u64 = 0x534c_5255_0000_0001; // "SLRU"
+
+#[derive(Debug, Clone)]
+struct Node {
+    doc: DocId,
+    protected: bool,
+    links: Links,
+}
+
+impl Linked for Node {
+    fn links(&self) -> &Links {
+        &self.links
+    }
+    fn links_mut(&mut self) -> &mut Links {
+        &mut self.links
+    }
+}
 
 /// Segmented LRU: a *probationary* segment for first-time documents and
 /// a *protected* segment for documents hit at least twice. One-shot
@@ -12,6 +30,9 @@ use std::collections::{BTreeMap, HashMap};
 /// The protected segment is bounded to half the tracked documents
 /// (rounded up); overflowing demotes its LRU entry back to the MRU end
 /// of probation. Victims come from probation first.
+///
+/// Both segments are intrusive lists over one flat arena, so promotion
+/// and demotion are O(1) relinks with zero steady-state allocation.
 ///
 /// # Example
 ///
@@ -25,58 +46,51 @@ use std::collections::{BTreeMap, HashMap};
 /// slru.on_hit(DocId::new(1)); // promoted to protected
 /// assert_eq!(slru.victim(), Some(DocId::new(2)));
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Slru {
-    probation: BTreeMap<u64, DocId>,
-    protected: BTreeMap<u64, DocId>,
-    // doc -> (seq, in_protected)
-    state: HashMap<DocId, (u64, bool)>,
-    next_seq: u64,
+    nodes: Slab<Node>,
+    table: DocTable,
+    probation: List,
+    protected: List,
+}
+
+impl Default for Slru {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Slru {
     /// Creates an empty segmented-LRU ordering.
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            nodes: Slab::new(),
+            table: DocTable::new(TABLE_SEED),
+            probation: List::new(),
+            protected: List::new(),
+        }
     }
 
     /// True when the document currently sits in the protected segment.
     #[must_use]
     pub fn is_protected(&self, doc: DocId) -> bool {
-        self.state.get(&doc).is_some_and(|&(_, prot)| prot)
+        self.table
+            .get(doc)
+            .is_some_and(|idx| self.nodes.get(idx).protected)
     }
 
     fn protected_limit(&self) -> usize {
-        self.state.len().div_ceil(2)
-    }
-
-    fn push(&mut self, doc: DocId, protected: bool) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        if let Some((old_seq, was_protected)) = self.state.insert(doc, (seq, protected)) {
-            let seg = if was_protected {
-                &mut self.protected
-            } else {
-                &mut self.probation
-            };
-            seg.remove(&old_seq);
-        }
-        let seg = if protected {
-            &mut self.protected
-        } else {
-            &mut self.probation
-        };
-        seg.insert(seq, doc);
+        self.len().div_ceil(2)
     }
 
     fn rebalance(&mut self) {
         while self.protected.len() > self.protected_limit() {
-            let Some((_, doc)) = self.protected.pop_first() else {
-                break;
-            };
-            self.state.remove(&doc);
-            self.push(doc, false); // demote to MRU of probation
+            let head = self.protected.head();
+            debug_assert_ne!(head, NIL);
+            self.protected.unlink(&mut self.nodes, head);
+            self.nodes.get_mut(head).protected = false;
+            self.probation.push_tail(&mut self.nodes, head); // demote to MRU of probation
         }
     }
 }
@@ -84,42 +98,65 @@ impl Slru {
 impl ReplacementPolicy for Slru {
     fn on_insert(&mut self, doc: DocId, _size: ByteSize) {
         assert!(
-            !self.state.contains_key(&doc),
+            self.table.get(doc).is_none(),
             "{doc} inserted twice into SLRU"
         );
-        self.push(doc, false);
+        let idx = self.nodes.alloc(Node {
+            doc,
+            protected: false,
+            links: Links::default(),
+        });
+        self.table.insert(doc, idx);
+        self.probation.push_tail(&mut self.nodes, idx);
     }
 
     fn on_hit(&mut self, doc: DocId) {
-        assert!(self.state.contains_key(&doc), "hit on untracked {doc}");
-        self.push(doc, true);
+        let idx = self
+            .table
+            .get(doc)
+            // lint:allow(panic) -- ReplacementPolicy contract: a hit on an
+            // untracked doc is a caller bug (see trait docs).
+            .unwrap_or_else(|| panic!("hit on untracked {doc}"));
+        if self.nodes.get(idx).protected {
+            self.protected.move_to_tail(&mut self.nodes, idx);
+        } else {
+            self.probation.unlink(&mut self.nodes, idx);
+            self.nodes.get_mut(idx).protected = true;
+            self.protected.push_tail(&mut self.nodes, idx);
+        }
         self.rebalance();
     }
 
     fn on_remove(&mut self, doc: DocId) {
-        let (seq, protected) = self
-            .state
-            .remove(&doc)
+        let idx = self
+            .table
+            .remove(doc)
             // lint:allow(panic) -- ReplacementPolicy contract: removing an
             // untracked doc is a caller bug (see trait docs).
             .unwrap_or_else(|| panic!("remove of untracked {doc}"));
-        if protected {
-            self.protected.remove(&seq);
+        if self.nodes.get(idx).protected {
+            self.protected.unlink(&mut self.nodes, idx);
         } else {
-            self.probation.remove(&seq);
+            self.probation.unlink(&mut self.nodes, idx);
         }
+        self.nodes.free(idx);
     }
 
     fn victim(&self) -> Option<DocId> {
-        self.probation
-            .values()
-            .next()
-            .or_else(|| self.protected.values().next())
-            .copied()
+        let head = if self.probation.is_empty() {
+            self.protected.head()
+        } else {
+            self.probation.head()
+        };
+        (head != NIL).then(|| self.nodes.get(head).doc)
     }
 
     fn len(&self) -> usize {
-        self.state.len()
+        self.probation.len() + self.protected.len()
+    }
+
+    fn growth_events(&self) -> u64 {
+        self.nodes.growth_events() + self.table.growth_events()
     }
 
     fn kind(&self) -> PolicyKind {
@@ -195,6 +232,24 @@ mod tests {
         s.on_hit(d(1)); // doc 1 now fresher than doc 2
         s.on_remove(d(2));
         assert!(s.is_protected(d(1)));
+    }
+
+    #[test]
+    fn steady_state_churn_is_allocation_free() {
+        let mut s = Slru::new();
+        for i in 0..64 {
+            s.on_insert(d(i), sz());
+        }
+        let baseline = s.growth_events();
+        for i in 64..4096 {
+            let v = s.victim().unwrap();
+            s.on_remove(v);
+            s.on_insert(d(i), sz());
+            if i % 3 == 0 {
+                s.on_hit(d(i));
+            }
+        }
+        assert_eq!(s.growth_events(), baseline);
     }
 
     #[test]

@@ -81,6 +81,11 @@ pub struct ProfileSnapshot {
     pub insert: OpProfile,
     /// Individual evictions.
     pub evict: OpProfile,
+    /// Backing-vector growth events across the cache's arenas, tables,
+    /// heaps and ghost queues at snapshot time. Zero once the store
+    /// reaches steady state — the `bench-core --smoke` check asserts the
+    /// hot path stopped allocating by watching this stay flat.
+    pub growth_events: u64,
 }
 
 impl ProfileSnapshot {
@@ -93,6 +98,20 @@ impl ProfileSnapshot {
             ProfileOp::Insert => self.insert,
             ProfileOp::Evict => self.evict,
         }
+    }
+
+    /// Folds another snapshot into this one (per-shard → cache-wide).
+    pub fn merge(&mut self, other: &Self) {
+        for (mine, theirs) in [
+            (&mut self.lookup, &other.lookup),
+            (&mut self.serve_remote, &other.serve_remote),
+            (&mut self.insert, &other.insert),
+            (&mut self.evict, &other.evict),
+        ] {
+            mine.calls = mine.calls.saturating_add(theirs.calls);
+            mine.total_ns = mine.total_ns.saturating_add(theirs.total_ns);
+        }
+        self.growth_events = self.growth_events.saturating_add(other.growth_events);
     }
 
     /// Folds one timed call into the accumulator for `op`.

@@ -30,6 +30,20 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Folds another counter set into this one (used to aggregate
+    /// per-shard counters into one cache-wide view).
+    pub fn merge(&mut self, other: &Self) {
+        self.local_hits += other.local_hits;
+        self.local_misses += other.local_misses;
+        self.remote_serves += other.remote_serves;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
+        self.explicit_removals += other.explicit_removals;
+        self.rejected_too_large += other.rejected_too_large;
+        self.expirations += other.expirations;
+        self.bytes_evicted += other.bytes_evicted;
+    }
+
     /// Local lookups observed (hits + misses).
     #[must_use]
     pub fn lookups(&self) -> u64 {

@@ -1,0 +1,389 @@
+//! One shard of the arena-backed document store.
+//!
+//! A [`Shard`] owns a dense [`Slab`] of [`CacheEntry`] nodes, an
+//! open-addressing [`DocTable`] mapping document hash → slot index, a
+//! replacement policy, and the shard's slice of the expiration-age
+//! bookkeeping. Lookup, insert and evict are pointer-free O(1) table/arena
+//! operations (plus the policy's own O(1) or O(log n) bookkeeping) with
+//! zero per-operation allocation once the backing vectors reach
+//! steady-state capacity.
+//!
+//! [`crate::Cache`] composes N shards behind the original single-threaded
+//! API; [`crate::ConcurrentCache`] wraps each shard in its own lock so
+//! readers of different shards never serialize. All externally observable
+//! iteration sorts by [`DocId`] before leaving the shard, keeping the
+//! deterministic-order contract the `BTreeMap` store used to give for free.
+
+use crate::cache::InvariantViolation;
+use crate::entry::{CacheEntry, EvictionReason, EvictionRecord};
+use crate::expiration::{ExpirationTracker, ExpirationWindow};
+use crate::index::{DocTable, Slab};
+use crate::policy::{PolicyKind, ReplacementPolicy};
+use crate::stats::CacheStats;
+use coopcache_types::{ByteSize, CacheId, DocId, DurationMs, Timestamp};
+
+/// Outcome of a store attempt, minus the eviction list (which the caller
+/// provides as a reusable buffer — see [`crate::Cache::insert_into`]).
+///
+/// [`crate::InsertOutcome`] is the allocating convenience wrapper built
+/// from this plus the filled buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreOutcome {
+    /// The document was stored (victims, if any, were pushed onto the
+    /// caller's eviction buffer).
+    Stored,
+    /// The document was already cached; nothing changed.
+    AlreadyPresent,
+    /// The document is larger than the shard and was not stored.
+    TooLarge,
+}
+
+impl StoreOutcome {
+    /// True when the insert stored the document.
+    #[must_use]
+    pub fn is_stored(self) -> bool {
+        matches!(self, Self::Stored)
+    }
+}
+
+/// One independent slice of a cache: arena + table + policy + trackers.
+#[derive(Debug)]
+pub(crate) struct Shard {
+    // Identity, read by the paranoid panic message only.
+    #[cfg_attr(not(feature = "paranoid"), allow(dead_code))]
+    cache_id: CacheId,
+    #[cfg_attr(not(feature = "paranoid"), allow(dead_code))]
+    index: usize,
+    capacity: ByteSize,
+    used: ByteSize,
+    entries: Slab<CacheEntry>,
+    table: DocTable,
+    policy: Box<dyn ReplacementPolicy>,
+    tracker: ExpirationTracker,
+    stats: CacheStats,
+    ttl: Option<DurationMs>,
+    #[cfg(feature = "profile")]
+    profile: crate::profile::ProfileSnapshot,
+}
+
+impl Shard {
+    pub(crate) fn new(
+        cache_id: CacheId,
+        index: usize,
+        capacity: ByteSize,
+        policy: PolicyKind,
+        window: ExpirationWindow,
+        table_seed: u64,
+    ) -> Self {
+        Self {
+            cache_id,
+            index,
+            capacity,
+            used: ByteSize::ZERO,
+            entries: Slab::new(),
+            table: DocTable::new(table_seed),
+            policy: policy.build(),
+            tracker: ExpirationTracker::new(policy.expiration_flavor(), window),
+            stats: CacheStats::default(),
+            ttl: None,
+            #[cfg(feature = "profile")]
+            profile: crate::profile::ProfileSnapshot::default(),
+        }
+    }
+
+    pub(crate) fn used(&self) -> ByteSize {
+        self.used
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn policy_kind(&self) -> PolicyKind {
+        self.policy.kind()
+    }
+
+    pub(crate) fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    pub(crate) fn tracker(&self) -> &ExpirationTracker {
+        &self.tracker
+    }
+
+    pub(crate) fn set_ttl(&mut self, ttl: Option<DurationMs>) {
+        self.ttl = ttl;
+    }
+
+    pub(crate) fn contains(&self, doc: DocId) -> bool {
+        self.table.get(doc).is_some()
+    }
+
+    pub(crate) fn entry(&self, doc: DocId) -> Option<&CacheEntry> {
+        self.table.get(doc).map(|idx| self.entries.get(idx))
+    }
+
+    /// Backing-vector growth events across arena, table and policy
+    /// internals (0 once the shard reaches steady-state occupancy).
+    pub(crate) fn growth_events(&self) -> u64 {
+        self.entries.growth_events() + self.table.growth_events() + self.policy.growth_events()
+    }
+
+    fn entry_expired(&self, entry: &CacheEntry, now: Timestamp) -> bool {
+        self.ttl
+            .is_some_and(|ttl| now.saturating_since(entry.entered_at) > ttl)
+    }
+
+    fn expire(&mut self, doc: DocId) {
+        let Some(idx) = self.table.remove(doc) else {
+            return;
+        };
+        let entry = self.entries.free(idx);
+        self.policy.on_remove(doc);
+        self.used -= entry.size;
+        self.stats.expirations += 1;
+        // Intentionally NOT recorded in the expiration-age tracker, and no
+        // `on_evicted` ghosting: a freshness discard says nothing about
+        // capacity contention (paper eq. 5 measures disk pressure).
+    }
+
+    pub(crate) fn lookup(&mut self, doc: DocId, now: Timestamp) -> Option<ByteSize> {
+        // One probe serves both the staleness check and the hit: the
+        // stale branch is the rare one, so the hot path is a single
+        // table probe plus one node access.
+        match self.table.get(doc) {
+            Some(idx) => {
+                if self.entry_expired(self.entries.get(idx), now) {
+                    self.expire(doc);
+                    self.stats.local_misses += 1;
+                    return None;
+                }
+                let entry = self.entries.get_mut(idx);
+                entry.record_hit(now);
+                let size = entry.size;
+                self.policy.on_hit(doc);
+                self.stats.local_hits += 1;
+                Some(size)
+            }
+            None => {
+                self.stats.local_misses += 1;
+                None
+            }
+        }
+    }
+
+    pub(crate) fn serve_remote(
+        &mut self,
+        doc: DocId,
+        now: Timestamp,
+        promote: bool,
+    ) -> Option<ByteSize> {
+        let size = match self.table.get(doc) {
+            Some(idx) => {
+                if self.entry_expired(self.entries.get(idx), now) {
+                    self.expire(doc);
+                    return None;
+                }
+                let entry = self.entries.get_mut(idx);
+                if promote {
+                    entry.record_hit(now);
+                }
+                entry.size
+            }
+            None => return None,
+        };
+        if promote {
+            self.policy.on_hit(doc);
+        }
+        self.stats.remote_serves += 1;
+        Some(size)
+    }
+
+    /// Stores a document, pushing any victims onto `evictions`.
+    ///
+    /// The buffer is the caller's: a steady-state caller that reuses one
+    /// buffer across inserts keeps the whole path allocation-free.
+    pub(crate) fn insert(
+        &mut self,
+        doc: DocId,
+        size: ByteSize,
+        now: Timestamp,
+        evictions: &mut Vec<EvictionRecord>,
+    ) -> StoreOutcome {
+        if self.table.get(doc).is_some() {
+            return StoreOutcome::AlreadyPresent;
+        }
+        if size > self.capacity {
+            self.stats.rejected_too_large += 1;
+            return StoreOutcome::TooLarge;
+        }
+        while self.used + size > self.capacity {
+            let victim = self
+                .policy
+                .victim()
+                // lint:allow(panic) -- used > 0 here, and every insert keeps
+                // the policy and entry arena in lockstep (paranoid-audited),
+                // so a missing victim is unrecoverable bookkeeping corruption.
+                .expect("used > 0 implies the policy tracks a victim");
+            let record = self
+                .evict(victim, now, EvictionReason::CapacityPressure)
+                // lint:allow(panic) -- the victim came from the policy, which
+                // mirrors the entry arena (see PolicyDesync invariant).
+                .expect("victim is tracked, so it is cached");
+            evictions.push(record);
+        }
+        let idx = self.entries.alloc(CacheEntry::new(doc, size, now));
+        self.table.insert(doc, idx);
+        self.policy.on_insert(doc, size);
+        if let Some(gap) = self.policy.on_admit(doc, now) {
+            // Ghost re-admission (S3-FIFO): the eviction→return gap is an
+            // observed inter-reference gap, fed to the eq. 5 average.
+            self.tracker.record_age(now, gap);
+        }
+        self.used += size;
+        self.stats.insertions += 1;
+        StoreOutcome::Stored
+    }
+
+    pub(crate) fn remove(&mut self, doc: DocId, now: Timestamp) -> Option<EvictionRecord> {
+        let rec = self.evict(doc, now, EvictionReason::Explicit);
+        if rec.is_some() {
+            self.stats.explicit_removals += 1;
+        }
+        rec
+    }
+
+    fn evict(
+        &mut self,
+        doc: DocId,
+        now: Timestamp,
+        reason: EvictionReason,
+    ) -> Option<EvictionRecord> {
+        let timer = crate::profile::Timer::start();
+        let record = self.evict_inner(doc, now, reason);
+        self.record_profile(crate::profile::ProfileOp::Evict, timer);
+        record
+    }
+
+    fn evict_inner(
+        &mut self,
+        doc: DocId,
+        now: Timestamp,
+        reason: EvictionReason,
+    ) -> Option<EvictionRecord> {
+        let idx = self.table.remove(doc)?;
+        let entry = self.entries.free(idx);
+        self.policy.on_remove(doc);
+        self.used -= entry.size;
+        let record = EvictionRecord {
+            entry,
+            evicted_at: now,
+            reason,
+        };
+        self.tracker.record_eviction(&record);
+        if reason == EvictionReason::CapacityPressure {
+            self.stats.evictions += 1;
+            self.stats.bytes_evicted += entry.size;
+            // Capacity evictions (and only those) enter the policy's ghost
+            // plane: explicit removals and TTL expirations are not
+            // contention signals.
+            self.policy.on_evicted(doc, now);
+        }
+        Some(record)
+    }
+
+    /// The shard's entries in ascending [`DocId`] order.
+    ///
+    /// Arena order is allocation history, not a semantic order, so every
+    /// externally visible walk sorts first (the map-iter lint's
+    /// open-addressing clause checks this pattern statically).
+    pub(crate) fn sorted_entries(&self) -> Vec<&CacheEntry> {
+        let mut out: Vec<&CacheEntry> = self.entries.iter_unordered().map(|(_, e)| e).collect();
+        out.sort_unstable_by_key(|e| e.doc);
+        out
+    }
+
+    /// Verifies the shard's bookkeeping relations (see
+    /// [`crate::Cache::check_invariants`] for the list).
+    pub(crate) fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        let actual: ByteSize = self.sorted_entries().iter().map(|e| e.size).sum();
+        if actual != self.used {
+            return Err(InvariantViolation::ByteAccounting {
+                used: self.used,
+                actual,
+            });
+        }
+        if self.used > self.capacity {
+            return Err(InvariantViolation::OverCapacity {
+                used: self.used,
+                capacity: self.capacity,
+            });
+        }
+        if self.table.len() != self.entries.len() {
+            return Err(InvariantViolation::StoreDesync {
+                table_len: self.table.len(),
+                arena_len: self.entries.len(),
+            });
+        }
+        if self.policy.len() != self.entries.len() {
+            return Err(InvariantViolation::PolicyDesync {
+                policy_len: self.policy.len(),
+                entries_len: self.entries.len(),
+            });
+        }
+        match self.policy.victim() {
+            Some(victim) if self.table.get(victim).is_none() => {
+                return Err(InvariantViolation::VictimNotCached { victim });
+            }
+            None if self.entries.len() > 0 => {
+                return Err(InvariantViolation::VictimUnavailable);
+            }
+            _ => {}
+        }
+        if !self.tracker.window_is_consistent() {
+            return Err(InvariantViolation::TrackerWindow);
+        }
+        Ok(())
+    }
+
+    /// Paranoid-mode hook: re-verifies every invariant after a mutation,
+    /// including the arena freelist walk (which panics directly on
+    /// corruption rather than returning a violation).
+    #[inline]
+    pub(crate) fn audit(&self) {
+        #[cfg(feature = "paranoid")]
+        {
+            if let Err(violation) = self.check_invariants() {
+                // lint:allow(panic) -- paranoid mode exists to crash loudly
+                // on corruption; release builds compile this block out.
+                panic!(
+                    "cache {} shard {} invariant violated: {violation}",
+                    self.cache_id, self.index
+                );
+            }
+            self.entries.audit_freelist();
+        }
+    }
+
+    /// Accounts one timed hot-path call; compiles to nothing without the
+    /// `profile` feature.
+    #[inline]
+    pub(crate) fn record_profile(
+        &mut self,
+        op: crate::profile::ProfileOp,
+        timer: crate::profile::Timer,
+    ) {
+        #[cfg(feature = "profile")]
+        self.profile.record(op, timer.elapsed_ns());
+        #[cfg(not(feature = "profile"))]
+        let _ = (op, timer);
+    }
+
+    /// The shard's accumulated profile, with its growth counter folded in.
+    #[cfg(feature = "profile")]
+    pub(crate) fn profile(&self) -> crate::profile::ProfileSnapshot {
+        let mut snap = self.profile;
+        snap.growth_events = self.growth_events();
+        snap
+    }
+}

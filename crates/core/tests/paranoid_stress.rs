@@ -8,7 +8,7 @@
 
 #![cfg(feature = "paranoid")]
 
-use coopcache_core::{Cache, ExpirationWindow, PolicyKind};
+use coopcache_core::{CacheConfig, ExpirationWindow, PolicyKind};
 use coopcache_types::{ByteSize, CacheId, DocId, DurationMs, Timestamp};
 
 /// Xorshift64*: tiny, deterministic, no dependencies. Seed must be
@@ -31,7 +31,14 @@ impl Rng {
 }
 
 fn stress(kind: PolicyKind, window: ExpirationWindow, seed: u64, ops: u64) {
-    let mut cache = Cache::with_window(CacheId::new(0), ByteSize::from_kb(64), kind, window);
+    stress_sharded(kind, window, seed, ops, 1);
+}
+
+fn stress_sharded(kind: PolicyKind, window: ExpirationWindow, seed: u64, ops: u64, shards: usize) {
+    let mut cache = CacheConfig::new(CacheId::new(0), ByteSize::from_kb(64), kind)
+        .window(window)
+        .shards(shards)
+        .build();
     let mut rng = Rng(seed);
     let mut now_ms = 0u64;
     for op in 0..ops {
@@ -95,6 +102,19 @@ fn duration_windows_are_audited_too() {
             ExpirationWindow::LastDuration(DurationMs::from_millis(500)),
             0xDEAD_BEEF_CAFE_F00D ^ (i as u64 + 1),
             10_000,
+        );
+    }
+}
+
+#[test]
+fn sharded_stores_are_audited_per_shard() {
+    for (i, kind) in PolicyKind::all().into_iter().enumerate() {
+        stress_sharded(
+            kind,
+            ExpirationWindow::default(),
+            0x5EED_5EED_5EED_5EED ^ (i as u64 + 1),
+            10_000,
+            4,
         );
     }
 }

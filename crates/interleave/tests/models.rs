@@ -772,3 +772,318 @@ fn pr5_release_before_join_is_clean() {
         "release-before-join must be deadlock-free: {out:?}"
     );
 }
+
+// ---------------------------------------------------------------------------
+// PR 8: sharded arena store — per-shard locking in ConcurrentCache
+// (crates/core/src/concurrent.rs lock_shard / snapshot)
+// ---------------------------------------------------------------------------
+
+const V_SHARD0_MUTEX: VarId = 40;
+const V_SHARD1_MUTEX: VarId = 41;
+const V_SHARD0_DATA: VarId = 42;
+const V_SHARD1_DATA: VarId = 43;
+const V_SNAP: VarId = 44;
+
+/// Two shards of a `ConcurrentCache`: each shard is a lock plus its
+/// insert count; the snapshot pass copies shard 0 then shard 1, taking
+/// one lock at a time in index order (exactly `ConcurrentCache::snapshot`).
+#[derive(Clone)]
+struct ShardModel {
+    locks: [MockMutex; 2],
+    applied: [u64; 2],
+    snap: [Option<u64>; 2],
+}
+
+impl ShardModel {
+    fn new() -> Self {
+        Self {
+            locks: [
+                MockMutex::new(V_SHARD0_MUTEX),
+                MockMutex::new(V_SHARD1_MUTEX),
+            ],
+            applied: [0; 2],
+            snap: [None; 2],
+        }
+    }
+
+    fn check(&self) -> Result<(), String> {
+        for (i, lock) in self.locks.iter().enumerate() {
+            if lock.poisoned() {
+                return Err(format!("shard {i} mutex protocol violated"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A requester pinned to one shard: lock it, apply an insert, unlock.
+/// Never touches the other shard's lock — the property the doc-hash
+/// shard assignment guarantees for every request path.
+fn shard_requester(tid: usize, shard: usize, cycles: usize) -> MockThread<ShardModel> {
+    let mutex_var = if shard == 0 {
+        V_SHARD0_MUTEX
+    } else {
+        V_SHARD1_MUTEX
+    };
+    let data_var = if shard == 0 {
+        V_SHARD0_DATA
+    } else {
+        V_SHARD1_DATA
+    };
+    let name: &'static str = if shard == 0 { "req-s0" } else { "req-s1" };
+    let mut t = MockThread::new(name);
+    for _ in 0..cycles {
+        t = t
+            .guarded(
+                "lock",
+                &[mutex_var],
+                &[mutex_var],
+                move |s: &ShardModel| s.locks[shard].is_free(),
+                move |s: &mut ShardModel| s.locks[shard].acquire(tid),
+            )
+            .step_rw(
+                "insert",
+                &[data_var],
+                &[data_var],
+                move |s: &mut ShardModel| {
+                    s.applied[shard] += 1;
+                },
+            )
+            .step_rw("unlock", &[], &[mutex_var], move |s: &mut ShardModel| {
+                s.locks[shard].release(tid);
+            });
+    }
+    t
+}
+
+/// The snapshot/iter pass: shard 0 under its lock, release, then shard 1
+/// under its lock — never two locks at once.
+fn shard_snapshotter(tid: usize) -> MockThread<ShardModel> {
+    MockThread::new("snapshot")
+        .guarded(
+            "lock-s0",
+            &[V_SHARD0_MUTEX],
+            &[V_SHARD0_MUTEX],
+            |s: &ShardModel| s.locks[0].is_free(),
+            move |s: &mut ShardModel| s.locks[0].acquire(tid),
+        )
+        .step_rw(
+            "copy-s0",
+            &[V_SHARD0_DATA],
+            &[V_SNAP],
+            |s: &mut ShardModel| {
+                s.snap[0] = Some(s.applied[0]);
+            },
+        )
+        .step_rw(
+            "unlock-s0",
+            &[],
+            &[V_SHARD0_MUTEX],
+            move |s: &mut ShardModel| {
+                s.locks[0].release(tid);
+            },
+        )
+        .guarded(
+            "lock-s1",
+            &[V_SHARD1_MUTEX],
+            &[V_SHARD1_MUTEX],
+            |s: &ShardModel| s.locks[1].is_free(),
+            move |s: &mut ShardModel| s.locks[1].acquire(tid),
+        )
+        .step_rw(
+            "copy-s1",
+            &[V_SHARD1_DATA],
+            &[V_SNAP],
+            |s: &mut ShardModel| {
+                s.snap[1] = Some(s.applied[1]);
+            },
+        )
+        .step_rw(
+            "unlock-s1",
+            &[],
+            &[V_SHARD1_MUTEX],
+            move |s: &mut ShardModel| {
+                s.locks[1].release(tid);
+            },
+        )
+}
+
+/// Two requesters on distinct shards race a full snapshot pass: no
+/// schedule deadlocks, no lock protocol break, and every per-shard copy
+/// is a value that shard actually held (0..=cycles, monotone under its
+/// own lock). This is the deadlock-freedom argument for the shard-lock
+/// scheme: every thread holds at most one shard lock at any moment, so
+/// no hold-and-wait cycle can form.
+#[test]
+fn shard_locks_requesters_vs_snapshot_never_deadlock() {
+    const CYCLES: usize = 2;
+    let out = explore(
+        &ShardModel::new(),
+        &[
+            shard_requester(0, 0, CYCLES),
+            shard_requester(1, 1, CYCLES),
+            shard_snapshotter(2),
+        ],
+        |s| {
+            s.check()?;
+            for i in 0..2 {
+                if let Some(v) = s.snap[i] {
+                    if v > CYCLES as u64 {
+                        return Err(format!("shard {i} snapshot {v} exceeds all inserts"));
+                    }
+                }
+            }
+            Ok(())
+        },
+        &[V_SHARD0_MUTEX, V_SHARD1_MUTEX, V_SNAP],
+        Config::default(),
+    );
+    assert!(
+        out.passed(),
+        "one-lock-at-a-time snapshot must be deadlock-free: {out:?}"
+    );
+}
+
+/// The iter contract is per-shard consistency, NOT a global cut — and
+/// that weaker contract is the strongest one available: with a writer
+/// inserting into shard 0 then shard 1 (in program order), some schedule
+/// yields the combined snapshot (0, 1), a state the cache never globally
+/// held. The checker must find that schedule; the DESIGN.md §14 wording
+/// ("shard-by-shard consistent, no cross-shard cut") documents exactly
+/// this.
+#[test]
+fn shard_snapshot_is_not_a_global_cut_and_docs_say_so() {
+    let writer = MockThread::new("writer")
+        .guarded(
+            "lock-s0",
+            &[V_SHARD0_MUTEX],
+            &[V_SHARD0_MUTEX],
+            |s: &ShardModel| s.locks[0].is_free(),
+            |s: &mut ShardModel| s.locks[0].acquire(0),
+        )
+        .step_rw(
+            "insert-s0",
+            &[V_SHARD0_DATA],
+            &[V_SHARD0_DATA],
+            |s: &mut ShardModel| {
+                s.applied[0] += 1;
+            },
+        )
+        .step_rw("unlock-s0", &[], &[V_SHARD0_MUTEX], |s: &mut ShardModel| {
+            s.locks[0].release(0);
+        })
+        .guarded(
+            "lock-s1",
+            &[V_SHARD1_MUTEX],
+            &[V_SHARD1_MUTEX],
+            |s: &ShardModel| s.locks[1].is_free(),
+            |s: &mut ShardModel| s.locks[1].acquire(0),
+        )
+        .step_rw(
+            "insert-s1",
+            &[V_SHARD1_DATA],
+            &[V_SHARD1_DATA],
+            |s: &mut ShardModel| {
+                s.applied[1] += 1;
+            },
+        )
+        .step_rw("unlock-s1", &[], &[V_SHARD1_MUTEX], |s: &mut ShardModel| {
+            s.locks[1].release(0);
+        });
+    // The writer's global states, in order: (0,0) -> (1,0) -> (1,1).
+    // Demanding the snapshot be one of those is demanding a global cut.
+    let out = explore(
+        &ShardModel::new(),
+        &[writer, shard_snapshotter(1)],
+        |s| {
+            s.check()?;
+            if let [Some(a), Some(b)] = s.snap {
+                let is_global_cut = matches!((a, b), (0, 0) | (1, 0) | (1, 1));
+                if !is_global_cut {
+                    return Err(format!("snapshot ({a}, {b}) is not a global cut"));
+                }
+            }
+            Ok(())
+        },
+        &[V_SHARD0_MUTEX, V_SHARD1_MUTEX, V_SNAP],
+        Config::default(),
+    );
+    match out {
+        Outcome::InvariantViolation { message, .. } => {
+            assert!(
+                message.contains("(0, 1)"),
+                "the torn cut is shard0-early/shard1-late: {message}"
+            );
+        }
+        other => unreachable!(
+            "a per-shard snapshot cannot be a global cut; the checker must \
+             find the (0, 1) schedule, got {other:?}"
+        ),
+    }
+}
+
+/// Seeded violation: break the one-lock-at-a-time discipline with two
+/// threads taking both shard locks in opposite orders — the classic
+/// hold-and-wait cycle the real aggregation paths avoid by construction.
+/// The checker must report the deadlock.
+#[test]
+fn shard_lock_order_inversion_deadlocks_and_is_caught() {
+    let forward = MockThread::new("fwd")
+        .guarded(
+            "lock-s0",
+            &[V_SHARD0_MUTEX],
+            &[V_SHARD0_MUTEX],
+            |s: &ShardModel| s.locks[0].is_free(),
+            |s: &mut ShardModel| s.locks[0].acquire(0),
+        )
+        .guarded(
+            "lock-s1",
+            &[V_SHARD1_MUTEX],
+            &[V_SHARD1_MUTEX],
+            |s: &ShardModel| s.locks[1].is_free(),
+            |s: &mut ShardModel| s.locks[1].acquire(0),
+        )
+        .step_rw("unlock-s1", &[], &[V_SHARD1_MUTEX], |s: &mut ShardModel| {
+            s.locks[1].release(0);
+        })
+        .step_rw("unlock-s0", &[], &[V_SHARD0_MUTEX], |s: &mut ShardModel| {
+            s.locks[0].release(0);
+        });
+    let backward = MockThread::new("bwd")
+        .guarded(
+            "lock-s1",
+            &[V_SHARD1_MUTEX],
+            &[V_SHARD1_MUTEX],
+            |s: &ShardModel| s.locks[1].is_free(),
+            |s: &mut ShardModel| s.locks[1].acquire(1),
+        )
+        .guarded(
+            "lock-s0",
+            &[V_SHARD0_MUTEX],
+            &[V_SHARD0_MUTEX],
+            |s: &ShardModel| s.locks[0].is_free(),
+            |s: &mut ShardModel| s.locks[0].acquire(1),
+        )
+        .step_rw("unlock-s0", &[], &[V_SHARD0_MUTEX], |s: &mut ShardModel| {
+            s.locks[0].release(1);
+        })
+        .step_rw("unlock-s1", &[], &[V_SHARD1_MUTEX], |s: &mut ShardModel| {
+            s.locks[1].release(1);
+        });
+    let out = explore(
+        &ShardModel::new(),
+        &[forward, backward],
+        ShardModel::check,
+        &[V_SHARD0_MUTEX, V_SHARD1_MUTEX],
+        Config::default(),
+    );
+    match out {
+        Outcome::Deadlock { blocked, .. } => {
+            assert!(
+                blocked.contains(&"fwd".to_string()) && blocked.contains(&"bwd".to_string()),
+                "both inverted lockers wedge: {blocked:?}"
+            );
+        }
+        other => unreachable!("lock-order inversion must deadlock somewhere, got {other:?}"),
+    }
+}

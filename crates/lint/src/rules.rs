@@ -13,7 +13,7 @@
 //! |-------------------|-------------------------------|-----------------|
 //! | `wall-clock`      | everywhere but `net/src/clock.rs` | `Instant::now` / `SystemTime::now` leaking into logic |
 //! | `panic`           | the eight library crates      | `.unwrap()`, `.expect(`, `panic!(`, `unreachable!(` |
-//! | `map-iter`        | `core`, `sim`, `proxy`        | iterating a `HashMap`/`HashSet` (nondeterministic order) |
+//! | `map-iter`        | `core`, `sim`, `proxy`        | iterating a `HashMap`/`HashSet` (nondeterministic order), or an arena `iter_unordered()` walk that escapes unsorted |
 //! | `float-eq`        | everywhere                    | `==` / `!=` against a float literal |
 //! | `dead-event`      | workspace-wide                | `Event` variants never constructed outside `obs` |
 //! | `paranoid-wiring` | `core/src/cache.rs`           | mutating cache methods missing the invariant audit |
@@ -303,6 +303,7 @@ const ITER_METHODS: [&str; 9] = [
 
 /// R3: iterating a `HashMap`/`HashSet` where order can leak out.
 fn check_map_iter(rel: &Path, masked: &Masked, findings: &mut Vec<Finding>) {
+    check_unordered_iter(rel, masked, findings);
     let code = &masked.app_code;
     let names = collect_hash_names(code);
     for name in &names {
@@ -329,6 +330,96 @@ fn check_map_iter(rel: &Path, masked: &Masked, findings: &mut Vec<Finding>) {
             });
         }
     }
+}
+
+/// R3, open-addressing clause: `iter_unordered()` — the arena/table
+/// iterator the sharded store exposes — visits slots in allocation
+/// order, which is operation history, not a semantic order. The blessed
+/// shard-walk pattern collects into a local and sorts it before the
+/// result escapes:
+///
+/// ```text
+/// let mut out: Vec<_> = self.entries.iter_unordered().map(..).collect();
+/// out.sort_unstable_by_key(|e| e.doc);
+/// ```
+///
+/// That pattern is recognised statically; any other use of
+/// `iter_unordered` in a determinism-critical crate is flagged, so shard
+/// walks cannot silently leak allocation order the way a blanket
+/// `lint:allow` would let them.
+fn check_unordered_iter(rel: &Path, masked: &Masked, findings: &mut Vec<Finding>) {
+    let code = &masked.app_code;
+    let mut from = 0;
+    while let Some(pos) = find_word(code, "iter_unordered", from) {
+        from = pos + "iter_unordered".len();
+        // The declaration site (`fn iter_unordered`) defines the
+        // iterator; only call sites can leak its order.
+        if code[..pos].trim_end().ends_with("fn") {
+            continue;
+        }
+        let line = masked.line_of(pos);
+        if masked.allowed(Rule::MapIter.name(), line) {
+            continue;
+        }
+        if collected_then_sorted(code, pos) {
+            continue;
+        }
+        findings.push(Finding {
+            file: rel.to_path_buf(),
+            line,
+            rule: Rule::MapIter,
+            message: "`iter_unordered()` walks the arena in allocation order: \
+                      collect into a local and sort it before the walk escapes \
+                      (the ordered shard loop), or justify with \
+                      `lint:allow(map-iter) -- <why>`"
+                .to_owned(),
+        });
+    }
+}
+
+/// True when the `iter_unordered` call at `pos` is the ordered shard
+/// loop: its statement binds `let [mut] <name> = …` and `<name>.sort*` is
+/// called later in the same item (searched up to the next `fn`).
+fn collected_then_sorted(code: &str, pos: usize) -> bool {
+    let bytes = code.as_bytes();
+    // Statement start: just past the previous statement/block boundary.
+    let stmt_start = code[..pos].rfind([';', '{', '}']).map_or(0, |p| p + 1);
+    let Some(let_at) = code[stmt_start..pos].rfind("let ") else {
+        return false;
+    };
+    let mut name_at = stmt_start + let_at + 4;
+    while code[name_at..].starts_with(char::is_whitespace) {
+        name_at += 1;
+    }
+    if code[name_at..].starts_with("mut ") {
+        name_at += 4;
+        while code[name_at..].starts_with(char::is_whitespace) {
+            name_at += 1;
+        }
+    }
+    let mut name_end = name_at;
+    while name_end < bytes.len()
+        && (bytes[name_end].is_ascii_alphanumeric() || bytes[name_end] == b'_')
+    {
+        name_end += 1;
+    }
+    let name = &code[name_at..name_end];
+    if name.is_empty() {
+        return false;
+    }
+    // Scan from the end of the binding statement to the next `fn` item
+    // for a sort call on the binding.
+    let tail_start = code[pos..].find(';').map_or(code.len(), |p| pos + p + 1);
+    let tail_end = find_word(code, "fn", tail_start).unwrap_or(code.len());
+    let tail = &code[tail_start..tail_end];
+    let mut f = 0;
+    while let Some(np) = find_word(tail, name, f) {
+        f = np + name.len();
+        if tail[f..].starts_with(".sort") {
+            return true;
+        }
+    }
+    false
 }
 
 /// Identifiers declared as `HashMap`/`HashSet` in this file, via either a
@@ -759,6 +850,56 @@ mod tests {
             rules(&lint("crates/core/src/x.rs", src)),
             vec![Rule::MapIter]
         );
+    }
+
+    #[test]
+    fn unordered_iter_escaping_unsorted_is_flagged() {
+        let src = "impl Shard { fn all(&self) -> Vec<u64> {\n\
+                   let out: Vec<u64> = self.entries.iter_unordered().collect();\n\
+                   out } }\n";
+        assert_eq!(
+            rules(&lint("crates/core/src/x.rs", src)),
+            vec![Rule::MapIter]
+        );
+    }
+
+    #[test]
+    fn unordered_iter_sorted_shard_loop_is_clean() {
+        let src = "impl Shard { fn all(&self) -> Vec<u64> {\n\
+                   let mut out: Vec<u64> = self.entries.iter_unordered().collect();\n\
+                   out.sort_unstable();\n\
+                   out } }\n";
+        assert!(lint("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unordered_iter_definition_site_is_not_flagged() {
+        let src = "impl Slab { fn iter_unordered(&self) -> std::slice::Iter<'_, u64> {\n\
+                   self.slots.iter() } }\n";
+        assert!(lint("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unordered_iter_sort_on_other_binding_still_flagged() {
+        let src = "impl Shard { fn all(&self) -> Vec<u64> {\n\
+                   let out: Vec<u64> = self.entries.iter_unordered().collect();\n\
+                   let mut other: Vec<u64> = Vec::new();\n\
+                   other.sort_unstable();\n\
+                   out } }\n";
+        assert_eq!(
+            rules(&lint("crates/core/src/x.rs", src)),
+            vec![Rule::MapIter]
+        );
+    }
+
+    #[test]
+    fn unordered_iter_only_in_deterministic_crates() {
+        let src = "fn f(s: &Slab) -> Vec<u64> { s.iter_unordered().collect() }\n";
+        assert_eq!(
+            rules(&lint("crates/core/src/x.rs", src)),
+            vec![Rule::MapIter]
+        );
+        assert!(lint("crates/metrics/src/x.rs", src).is_empty());
     }
 
     #[test]

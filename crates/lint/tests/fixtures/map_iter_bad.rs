@@ -22,3 +22,23 @@ impl State {
         self.pending.drain().collect()
     }
 }
+
+pub struct Arena {
+    slots: Vec<u64>,
+}
+
+impl Arena {
+    pub fn iter_unordered(&self) -> std::slice::Iter<'_, u64> {
+        self.slots.iter()
+    }
+
+    pub fn escapes_allocation_order(&self) -> Vec<u64> {
+        self.iter_unordered().copied().collect()
+    }
+
+    pub fn walks_allocation_order(&self) {
+        for v in self.iter_unordered() {
+            let _ = v;
+        }
+    }
+}

@@ -26,3 +26,25 @@ mod tests {
         for (_k, _v) in m.iter() {}
     }
 }
+
+pub struct Shard {
+    slots: Vec<u64>,
+}
+
+impl Shard {
+    pub fn iter_unordered(&self) -> std::slice::Iter<'_, u64> {
+        self.slots.iter()
+    }
+
+    /// The ordered shard loop: collect, then sort before escaping.
+    pub fn sorted_entries(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self.iter_unordered().copied().collect();
+        out.sort_unstable();
+        out
+    }
+
+    pub fn checksum(&self) -> u64 {
+        // lint:allow(map-iter) -- order folds through a commutative sum
+        self.iter_unordered().sum()
+    }
+}

@@ -33,13 +33,13 @@ use crate::clock::SharedClock;
 use crate::fault::{DocFault, FaultState, IcpFault};
 use crate::origin::{drain_body, fetch_from_origin, write_body};
 use crate::wire::{read_frame, write_frame, WireMessage};
-use coopcache_core::{ExpirationWindow, PlacementScheme, PolicyKind};
+use coopcache_core::{CacheConfig, ExpirationWindow, PlacementScheme, PolicyKind};
 use coopcache_obs::{
     age_to_ms, scoped_id, Event, FaultOp, Histogram, HistogramSnapshot, JsonWriter, SeriesPoint,
     SeriesRing, ServerLoop, SinkHandle, Span, SpanKind, StatsRegistry, TraceCtx,
     DEFAULT_SERIES_CAPACITY,
 };
-use coopcache_proxy::{IcpQuery, ProxyNode, RequestOutcome};
+use coopcache_proxy::{ConcurrentNode, IcpQuery, RequestOutcome};
 use coopcache_types::{ByteSize, CacheId, DocId};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -96,6 +96,11 @@ pub struct DaemonConfig {
     pub scheme: PlacementScheme,
     /// Expiration-age window.
     pub window: ExpirationWindow,
+    /// Shard count for the node's cache (power of two). With more than
+    /// one shard, requests touching different shards are served
+    /// concurrently by the daemon's threads instead of serializing on a
+    /// node-wide lock; `1` reproduces the single-store behavior exactly.
+    pub shards: usize,
     /// How long to wait for ICP replies before declaring a group miss.
     pub icp_timeout: Duration,
     /// Per-connection I/O timeout.
@@ -126,6 +131,7 @@ impl DaemonConfig {
             policy: PolicyKind::Lru,
             scheme,
             window: ExpirationWindow::default(),
+            shards: 1,
             icp_timeout: Duration::from_millis(250),
             io_timeout: Duration::from_secs(5),
             peer_retries: 1,
@@ -229,7 +235,7 @@ impl PeerFetchError {
 #[derive(Clone)]
 struct LoopCtx {
     id: CacheId,
-    node: Arc<Mutex<ProxyNode>>,
+    node: Arc<ConcurrentNode>,
     stop: Arc<AtomicBool>,
     sink: Arc<Mutex<Option<SinkHandle>>>,
     faults: Option<Arc<FaultState>>,
@@ -274,7 +280,7 @@ impl LoopCtx {
 #[derive(Debug)]
 pub struct CacheDaemon {
     config: DaemonConfig,
-    node: Arc<Mutex<ProxyNode>>,
+    node: Arc<ConcurrentNode>,
     clock: SharedClock,
     peers: Vec<PeerAddr>,
     origin: SocketAddr,
@@ -333,13 +339,12 @@ impl CacheDaemon {
         clock: SharedClock,
         faults: Option<FaultState>,
     ) -> io::Result<Self> {
-        let node = Arc::new(Mutex::new(ProxyNode::with_window(
-            config.id,
-            config.capacity,
-            config.policy,
+        let node = Arc::new(ConcurrentNode::from_config(
+            CacheConfig::new(config.id, config.capacity, config.policy)
+                .window(config.window)
+                .shards(config.shards),
             config.scheme,
-            config.window,
-        )));
+        ));
         let stop = Arc::new(AtomicBool::new(false));
         let sink: Arc<Mutex<Option<SinkHandle>>> = Arc::new(Mutex::new(None));
         let stats = Arc::new(StatsRegistry::new());
@@ -360,7 +365,7 @@ impl CacheDaemon {
         )));
         // Placement/eviction decisions count into the same registry as
         // the daemon's own events, with or without a sink.
-        lock(&node).set_stats(Arc::clone(&stats));
+        node.set_stats(Arc::clone(&stats));
         let faults = faults.map(Arc::new);
         let mut threads = Vec::new();
         let ctx = LoopCtx {
@@ -457,7 +462,7 @@ impl CacheDaemon {
     /// `ServerLoopError`), and the inner node emits placement/eviction
     /// events through the same sink.
     pub fn set_sink(&mut self, sink: SinkHandle) {
-        lock(&self.node).set_sink(sink.clone());
+        self.node.set_sink(sink.clone());
         *lock(&self.sink) = Some(sink);
     }
 
@@ -549,8 +554,8 @@ impl CacheDaemon {
 
     /// Runs a closure with read access to the underlying node (for
     /// inspecting stats and cache contents).
-    pub fn with_node<R>(&self, f: impl FnOnce(&ProxyNode) -> R) -> R {
-        f(&lock(&self.node))
+    pub fn with_node<R>(&self, f: impl FnOnce(&ConcurrentNode) -> R) -> R {
+        f(&self.node)
     }
 
     /// Serves one client request end-to-end over the real network,
@@ -620,7 +625,7 @@ impl CacheDaemon {
     ) -> io::Result<RequestOutcome> {
         // 1. Local lookup.
         let now = self.clock.now();
-        if lock(&self.node).handle_client_lookup(doc, now).is_some() {
+        if self.node.handle_client_lookup(doc, now).is_some() {
             return Ok(RequestOutcome::LocalHit);
         }
 
@@ -698,7 +703,7 @@ impl CacheDaemon {
             size.as_bytes(),
             self.config.io_timeout,
         )?;
-        let stored = lock(&self.node).complete_origin_fetch(doc, size, self.clock.now());
+        let stored = self.node.complete_origin_fetch(doc, size, self.clock.now());
         self.close_span(Span {
             trace_id: trace,
             span_id,
@@ -850,7 +855,7 @@ impl CacheDaemon {
         doc: DocId,
         ctx: TraceCtx,
     ) -> Result<Option<RequestOutcome>, PeerFetchError> {
-        let sent = lock(&self.node).build_http_request(doc);
+        let sent = self.node.build_http_request(doc);
         let mut stream = TcpStream::connect_timeout(&peer.doc, self.config.io_timeout)
             .map_err(PeerFetchError::connect)?;
         stream.set_nodelay(true).map_err(PeerFetchError::transfer)?;
@@ -883,7 +888,9 @@ impl CacheDaemon {
             .config
             .scheme
             .responder_promotes(response.responder_age, sent.requester_age);
-        let stored = lock(&self.node).complete_remote_fetch(sent, response, self.clock.now());
+        let stored = self
+            .node
+            .complete_remote_fetch(sent, response, self.clock.now());
         Ok(Some(RequestOutcome::RemoteHit {
             responder: peer.id,
             stored_locally: stored,
@@ -986,7 +993,7 @@ fn icp_loop(socket: &UdpSocket, ctx: &LoopCtx) {
                         continue; // the query datagram "was lost"
                     }
                     let start_us = ctx.clock.now_micros();
-                    let reply = lock(&ctx.node).handle_icp_query(query);
+                    let reply = ctx.node.handle_icp_query(query);
                     // The span id is allocated before the (possibly
                     // delayed) send, so this daemon's id sequence is
                     // ordered by protocol causality, not by emit races.
@@ -1118,7 +1125,7 @@ fn serve_doc(stream: &mut TcpStream, ctx: &LoopCtx, fault: DocFault) -> io::Resu
     }
     let span_id = trace.map(|_| ctx.next_span());
     let (response, found, promoted) = {
-        let mut node = lock(&ctx.node);
+        let node = &ctx.node;
         let scheme = node.scheme();
         match node.handle_http_request(request, ctx.clock.now()) {
             Some(response) => {
@@ -1185,7 +1192,7 @@ fn build_stats_json(
     stats: &StatsRegistry,
     latency: &Mutex<BTreeMap<ServeSource, Histogram>>,
     health: &Mutex<BTreeMap<CacheId, PeerHealth>>,
-    node: &Mutex<ProxyNode>,
+    node: &ConcurrentNode,
     clock: &SharedClock,
 ) -> String {
     let mut w = JsonWriter::new();
@@ -1211,7 +1218,6 @@ fn build_stats_json(
     }
     w.end_array();
     let (docs, used, capacity, age_ms, profile) = {
-        let node = lock(node);
         let cache = node.cache();
         (
             u64::try_from(cache.len()).unwrap_or(u64::MAX),
@@ -1270,7 +1276,7 @@ fn sample_point(
     stats: &StatsRegistry,
     latency: &Mutex<BTreeMap<ServeSource, Histogram>>,
     health: &Mutex<BTreeMap<CacheId, PeerHealth>>,
-    node: &Mutex<ProxyNode>,
+    node: &ConcurrentNode,
     clock: &SharedClock,
 ) -> SeriesPoint {
     let mut counters = [0u64; coopcache_obs::EVENT_KINDS.len()];
@@ -1288,7 +1294,6 @@ fn sample_point(
         .filter(|h| now_us < h.quarantined_until_us)
         .count();
     let (docs, used_bytes, capacity_bytes, expiration_age_ms) = {
-        let node = lock(node);
         let cache = node.cache();
         (
             u64::try_from(cache.len()).unwrap_or(u64::MAX),

@@ -1,0 +1,405 @@
+//! A shared-reference proxy node for the socket daemons.
+//!
+//! [`ConcurrentNode`] is [`crate::ProxyNode`] rebuilt over
+//! [`ConcurrentCache`]: every protocol handler takes `&self`, so the
+//! ICP responder, the document server and the client request path of a
+//! `coopcache-net` daemon operate on the node simultaneously — two
+//! requests touching different shards no longer serialize on a
+//! node-wide mutex. The handlers themselves are line-for-line the same
+//! protocol logic as `ProxyNode`; only the locking moved (into the
+//! cache's per-shard mutexes, plus one short-lived mutex around the
+//! optional event sink).
+//!
+//! The event vocabulary, ordering *per document*, and placement
+//! decisions are identical to `ProxyNode` — the daemons' determinism
+//! tests run the same trace through both and compare streams.
+
+use crate::message::{HttpRequest, HttpResponse, IcpQuery, IcpReply};
+use coopcache_core::{
+    CacheConfig, ConcurrentCache, EvictionReason, EvictionRecord, ExpirationFlavor, InsertOutcome,
+    PlacementScheme, StoreOutcome,
+};
+use coopcache_obs::{Event, EventKind, EvictionCause, PlacementRole, SinkHandle, StatsRegistry};
+use coopcache_types::{ByteSize, CacheId, DocId, ExpirationAge, Timestamp};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// One cooperative proxy, sharable across server threads by reference.
+#[derive(Debug)]
+pub struct ConcurrentNode {
+    cache: ConcurrentCache,
+    scheme: PlacementScheme,
+    /// Optional event sink. Guarded by its own mutex (held only while
+    /// emitting) so sinks can be installed on a node that is already
+    /// shared; the cache's shard locks are never held across an emit of
+    /// a placement event, and eviction events are emitted after the
+    /// owning shard's lock is released.
+    sink: Mutex<Option<SinkHandle>>,
+    /// Optional live counters (relaxed atomics inside, so recording
+    /// takes no lock; the mutex only guards installation).
+    stats: Mutex<Option<Arc<StatsRegistry>>>,
+}
+
+impl ConcurrentNode {
+    /// Creates a node from a full cache configuration.
+    #[must_use]
+    pub fn from_config(config: CacheConfig, scheme: PlacementScheme) -> Self {
+        Self {
+            cache: config.build_concurrent(),
+            scheme,
+            sink: Mutex::new(None),
+            stats: Mutex::new(None),
+        }
+    }
+
+    /// Attaches an event sink; placement decisions and evictions from
+    /// this node flow into it.
+    pub fn set_sink(&self, sink: SinkHandle) {
+        *lock(&self.sink) = Some(sink);
+    }
+
+    /// Detaches the event sink (back to the zero-cost default).
+    pub fn clear_sink(&self) {
+        *lock(&self.sink) = None;
+    }
+
+    /// Attaches a live stats registry; placement and eviction counts
+    /// from this node land in it whether or not a sink is installed.
+    pub fn set_stats(&self, stats: Arc<StatsRegistry>) {
+        *lock(&self.stats) = Some(stats);
+    }
+
+    fn emit(&self, event: &Event) {
+        if let Some(sink) = lock(&self.sink).as_ref() {
+            sink.emit(event);
+        }
+    }
+
+    fn record_stat(&self, kind: EventKind) {
+        if let Some(stats) = lock(&self.stats).as_ref() {
+            stats.record(kind);
+        }
+    }
+
+    fn emit_placement(
+        &self,
+        doc: DocId,
+        role: PlacementRole,
+        self_age: ExpirationAge,
+        peer_age: ExpirationAge,
+        stored: bool,
+    ) {
+        self.record_stat(EventKind::Placement);
+        if lock(&self.sink).is_some() {
+            self.emit(&Event::Placement {
+                cache: self.id(),
+                doc,
+                role,
+                self_age,
+                peer_age,
+                stored,
+                tie: self_age == peer_age,
+            });
+        }
+    }
+
+    fn emit_evictions(&self, evictions: &[EvictionRecord]) {
+        for _ in evictions {
+            self.record_stat(EventKind::Eviction);
+        }
+        if lock(&self.sink).is_none() {
+            return;
+        }
+        let flavor = self.cache.expiration_flavor();
+        for rec in evictions {
+            let age = match flavor {
+                ExpirationFlavor::Lru => rec.entry.lru_expiration_age(rec.evicted_at),
+                ExpirationFlavor::Lfu => rec.entry.lfu_expiration_age(rec.evicted_at),
+            };
+            self.emit(&Event::Eviction {
+                cache: self.id(),
+                doc: rec.entry.doc,
+                age_ms: age.as_millis(),
+                cause: match rec.reason {
+                    EvictionReason::CapacityPressure => EvictionCause::Capacity,
+                    EvictionReason::Explicit => EvictionCause::Explicit,
+                    EvictionReason::Expired => EvictionCause::Expired,
+                },
+            });
+        }
+    }
+
+    /// Inserts, reusing the node-shared protocol: emits eviction events
+    /// and returns whether a copy was stored.
+    fn insert_and_emit(&self, doc: DocId, size: ByteSize, now: Timestamp) -> InsertOutcome {
+        let outcome = self.cache.insert(doc, size, now);
+        self.emit_evictions(outcome.evictions());
+        outcome
+    }
+
+    /// This node's cache id.
+    #[must_use]
+    pub fn id(&self) -> CacheId {
+        self.cache.id()
+    }
+
+    /// Sets (or clears) the underlying cache's freshness TTL.
+    pub fn set_ttl(&self, ttl: Option<coopcache_types::DurationMs>) {
+        self.cache.set_ttl(ttl);
+    }
+
+    /// The placement scheme in force.
+    #[must_use]
+    pub fn scheme(&self) -> PlacementScheme {
+        self.scheme
+    }
+
+    /// Read access to the underlying cache (stats, snapshots, entries).
+    #[must_use]
+    pub fn cache(&self) -> &ConcurrentCache {
+        &self.cache
+    }
+
+    /// This node's current cache expiration age.
+    #[must_use]
+    pub fn expiration_age(&self) -> ExpirationAge {
+        self.cache.expiration_age()
+    }
+
+    /// Serves a local client request; `Some(size)` on a local hit.
+    pub fn handle_client_lookup(&self, doc: DocId, now: Timestamp) -> Option<ByteSize> {
+        self.cache.lookup(doc, now)
+    }
+
+    /// Answers an ICP query (read-only).
+    #[must_use]
+    pub fn handle_icp_query(&self, query: IcpQuery) -> IcpReply {
+        IcpReply {
+            from: self.id(),
+            doc: query.doc,
+            hit: self.cache.contains(query.doc),
+        }
+    }
+
+    /// Responder side of a remote hit (see
+    /// [`crate::ProxyNode::handle_http_request`]).
+    pub fn handle_http_request(
+        &self,
+        request: HttpRequest,
+        now: Timestamp,
+    ) -> Option<HttpResponse> {
+        let responder_age = self.expiration_age();
+        let promote = self
+            .scheme
+            .responder_promotes(responder_age, request.requester_age);
+        let size = self.cache.serve_remote(request.doc, now, promote)?;
+        self.emit_placement(
+            request.doc,
+            PlacementRole::ResponderPromote,
+            responder_age,
+            request.requester_age,
+            promote,
+        );
+        Some(HttpResponse {
+            from: self.id(),
+            doc: request.doc,
+            size,
+            responder_age,
+        })
+    }
+
+    /// Builds the HTTP request this node sends after a positive ICP
+    /// reply, capturing the node's current expiration age.
+    #[must_use]
+    pub fn build_http_request(&self, doc: DocId) -> HttpRequest {
+        HttpRequest {
+            from: self.id(),
+            doc,
+            requester_age: self.expiration_age(),
+        }
+    }
+
+    /// Requester side of a remote hit (see
+    /// [`crate::ProxyNode::complete_remote_fetch`]).
+    pub fn complete_remote_fetch(
+        &self,
+        sent: HttpRequest,
+        response: HttpResponse,
+        now: Timestamp,
+    ) -> bool {
+        debug_assert_eq!(sent.doc, response.doc, "response for a different doc");
+        let store = self
+            .scheme
+            .requester_stores(sent.requester_age, response.responder_age);
+        self.emit_placement(
+            sent.doc,
+            PlacementRole::RequesterStore,
+            sent.requester_age,
+            response.responder_age,
+            store,
+        );
+        if !store {
+            return false;
+        }
+        self.insert_and_emit(response.doc, response.size, now)
+            .is_stored()
+    }
+
+    /// Requester side of a group miss: the document came from the origin
+    /// server and is always stored (both schemes; paper §4.1).
+    pub fn complete_origin_fetch(&self, doc: DocId, size: ByteSize, now: Timestamp) -> bool {
+        self.insert_and_emit(doc, size, now).is_stored()
+    }
+
+    /// Parent side of a hierarchical miss (see
+    /// [`crate::ProxyNode::resolve_miss_for_child`]).
+    pub fn resolve_miss_for_child(
+        &self,
+        request: HttpRequest,
+        size: ByteSize,
+        now: Timestamp,
+    ) -> (HttpResponse, bool) {
+        let parent_age = self.expiration_age();
+        let keep = self.scheme.parent_stores(parent_age, request.requester_age);
+        self.emit_placement(
+            request.doc,
+            PlacementRole::ParentStore,
+            parent_age,
+            request.requester_age,
+            keep,
+        );
+        let stored = if keep {
+            let outcome = self.insert_and_emit(request.doc, size, now);
+            matches!(
+                outcome,
+                InsertOutcome::Stored(_) | InsertOutcome::AlreadyPresent
+            )
+        } else {
+            false
+        };
+        (
+            HttpResponse {
+                from: self.id(),
+                doc: request.doc,
+                size,
+                responder_age: parent_age,
+            },
+            stored,
+        )
+    }
+
+    /// Allocation-free origin-store variant used by tight benchmark
+    /// loops: evictions land in the caller's buffer instead of a fresh
+    /// `Vec`, and no events are emitted.
+    pub fn store_quiet(
+        &self,
+        doc: DocId,
+        size: ByteSize,
+        now: Timestamp,
+        evictions: &mut Vec<EvictionRecord>,
+    ) -> StoreOutcome {
+        self.cache.insert_into(doc, size, now, evictions)
+    }
+}
+
+/// Locks a mutex, recovering from poisoning (a panicked peer thread
+/// should degrade the node, not wedge it — same stance as the daemons).
+fn lock<T: ?Sized>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProxyNode;
+    use coopcache_core::PolicyKind;
+
+    fn d(i: u64) -> DocId {
+        DocId::new(i)
+    }
+
+    fn t(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn kb(n: u64) -> ByteSize {
+        ByteSize::from_kb(n)
+    }
+
+    fn pair() -> (ConcurrentNode, ProxyNode) {
+        let config = CacheConfig::new(CacheId::new(0), kb(64), PolicyKind::Lru).shards(4);
+        (
+            ConcurrentNode::from_config(config, PlacementScheme::Ea),
+            ProxyNode::from_config(config, PlacementScheme::Ea),
+        )
+    }
+
+    #[test]
+    fn mirrors_the_single_threaded_node() {
+        let (shared, mut serial) = pair();
+        for i in 0..40u64 {
+            let doc = d(i % 10);
+            let a = shared.complete_origin_fetch(doc, kb(4), t(i));
+            let b = serial.complete_origin_fetch(doc, kb(4), t(i));
+            assert_eq!(a, b, "origin fetch #{i} diverged");
+            assert_eq!(
+                shared.handle_client_lookup(doc, t(i)),
+                serial.handle_client_lookup(doc, t(i)),
+                "lookup #{i} diverged"
+            );
+            assert_eq!(shared.expiration_age(), serial.expiration_age());
+        }
+        assert_eq!(shared.cache().len(), serial.cache().len());
+        assert_eq!(shared.cache().stats(), serial.cache().stats());
+    }
+
+    #[test]
+    fn responder_and_requester_handlers_work_through_shared_refs() {
+        // AdHoc always stores at the requester, which keeps the assertion
+        // independent of the EA tie rule (both nodes start at age ∞).
+        let responder = ConcurrentNode::from_config(
+            CacheConfig::new(CacheId::new(0), kb(64), PolicyKind::Lru).shards(4),
+            PlacementScheme::AdHoc,
+        );
+        let requester = ConcurrentNode::from_config(
+            CacheConfig::new(CacheId::new(1), kb(64), PolicyKind::Lru).shards(4),
+            PlacementScheme::AdHoc,
+        );
+        responder.complete_origin_fetch(d(7), kb(4), t(1));
+        let reply = responder.handle_icp_query(IcpQuery {
+            from: requester.id(),
+            doc: d(7),
+        });
+        assert!(reply.hit);
+        let sent = requester.build_http_request(d(7));
+        let response = responder.handle_http_request(sent, t(2)).expect("hit");
+        assert!(requester.complete_remote_fetch(sent, response, t(2)));
+        assert!(requester.cache().contains(d(7)));
+    }
+
+    #[test]
+    fn handlers_run_from_multiple_threads() {
+        let node = Arc::new(ConcurrentNode::from_config(
+            CacheConfig::new(CacheId::new(0), kb(256), PolicyKind::S3Fifo).shards(8),
+            PlacementScheme::Ea,
+        ));
+        let mut handles = Vec::new();
+        for worker in 0..4u64 {
+            let node = Arc::clone(&node);
+            handles.push(std::thread::spawn(move || {
+                for round in 0..100u64 {
+                    let doc = d(worker * 1_000 + round % 40);
+                    node.complete_origin_fetch(doc, kb(1), t(round));
+                    node.handle_client_lookup(doc, t(round));
+                    let _ = node.handle_icp_query(IcpQuery {
+                        from: CacheId::new(9),
+                        doc,
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker");
+        }
+        node.cache().check_invariants().expect("invariants hold");
+    }
+}

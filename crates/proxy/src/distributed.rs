@@ -10,7 +10,7 @@ use crate::discovery::{Discovery, ProtocolStats};
 use crate::message::IcpQuery;
 use crate::node::ProxyNode;
 use crate::outcome::RequestOutcome;
-use coopcache_core::{ExpirationWindow, PlacementScheme, PolicyKind};
+use coopcache_core::{CacheConfig, ExpirationWindow, PlacementScheme, PolicyKind};
 use coopcache_obs::{Event, SinkHandle};
 use coopcache_types::{ByteSize, CacheId, DocId, ExpirationAge, Timestamp};
 
@@ -115,7 +115,10 @@ impl DistributedGroup {
             .iter()
             .enumerate()
             .map(|(i, &cap)| {
-                ProxyNode::with_window(CacheId::new(i as u16), cap, policy, scheme, window)
+                ProxyNode::from_config(
+                    CacheConfig::new(CacheId::new(i as u16), cap, policy).window(window),
+                    scheme,
+                )
             })
             .collect();
         let digests = nodes
@@ -213,7 +216,7 @@ impl DistributedGroup {
         let ages: Vec<f64> = self
             .nodes
             .iter()
-            .filter_map(|n| n.cache().tracker().lifetime_average())
+            .filter_map(|n| n.cache().lifetime_average())
             .map(|d| d.as_millis() as f64)
             .collect();
         if ages.is_empty() {

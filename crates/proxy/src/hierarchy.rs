@@ -11,7 +11,7 @@
 use crate::message::{HttpRequest, HttpResponse, IcpQuery};
 use crate::node::ProxyNode;
 use crate::outcome::RequestOutcome;
-use coopcache_core::{ExpirationWindow, PlacementScheme, PolicyKind};
+use coopcache_core::{CacheConfig, ExpirationWindow, PlacementScheme, PolicyKind};
 use coopcache_types::{ByteSize, CacheId, DocId, Timestamp};
 use std::fmt;
 
@@ -137,7 +137,10 @@ impl HierarchicalGroup {
             .iter()
             .enumerate()
             .map(|(i, &cap)| {
-                ProxyNode::with_window(CacheId::new(i as u16), cap, policy, scheme, window)
+                ProxyNode::from_config(
+                    CacheConfig::new(CacheId::new(i as u16), cap, policy).window(window),
+                    scheme,
+                )
             })
             .collect();
         Ok(Self {

@@ -37,6 +37,7 @@
 //! ```
 
 mod bloom;
+mod concurrent;
 mod discovery;
 mod distributed;
 mod hashring;
@@ -46,6 +47,7 @@ mod node;
 mod outcome;
 
 pub use bloom::BloomFilter;
+pub use concurrent::ConcurrentNode;
 pub use discovery::{Discovery, ProtocolStats};
 pub use distributed::DistributedGroup;
 pub use hashring::{HashRing, HashRoutedGroup};

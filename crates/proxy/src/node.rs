@@ -8,8 +8,8 @@
 
 use crate::message::{HttpRequest, HttpResponse, IcpQuery, IcpReply};
 use coopcache_core::{
-    Cache, EvictionReason, EvictionRecord, ExpirationFlavor, ExpirationWindow, InsertOutcome,
-    PlacementScheme, PolicyKind,
+    Cache, CacheConfig, EvictionReason, EvictionRecord, ExpirationFlavor, ExpirationWindow,
+    InsertOutcome, PlacementScheme, PolicyKind,
 };
 use coopcache_obs::{Event, EventKind, EvictionCause, PlacementRole, SinkHandle, StatsRegistry};
 use coopcache_types::{ByteSize, CacheId, DocId, ExpirationAge, Timestamp};
@@ -70,8 +70,18 @@ impl ProxyNode {
         scheme: PlacementScheme,
         window: ExpirationWindow,
     ) -> Self {
+        Self::from_config(
+            CacheConfig::new(id, capacity, policy).window(window),
+            scheme,
+        )
+    }
+
+    /// Creates a node from a full cache configuration (shard count, TTL,
+    /// seed and window all honored).
+    #[must_use]
+    pub fn from_config(config: CacheConfig, scheme: PlacementScheme) -> Self {
         Self {
-            cache: Cache::with_window(id, capacity, policy, window),
+            cache: config.build(),
             scheme,
             sink: None,
             stats: None,
@@ -134,7 +144,7 @@ impl ProxyNode {
         if self.sink.is_none() {
             return;
         }
-        let flavor = self.cache.tracker().flavor();
+        let flavor = self.cache.expiration_flavor();
         for rec in evictions {
             let age = match flavor {
                 ExpirationFlavor::Lru => rec.entry.lru_expiration_age(rec.evicted_at),

@@ -68,11 +68,14 @@ else
   echo "   skipped: no nightly toolchain with rust-src available offline"
 fi
 
+echo "== bench-core smoke (O(1) scaling + allocation-free hot path)"
+cargo run --release -q -p coopcache-bench --bin bench_core -- --smoke
+
 echo "== bench drift (advisory; compares the last two snapshots)"
-if [[ -s BENCH_5.json && -s BENCH_6.json ]]; then
-  scripts/bench_diff.sh BENCH_5.json BENCH_6.json || true
+if [[ -s BENCH_6.json && -s BENCH_7.json ]]; then
+  scripts/bench_diff.sh BENCH_6.json BENCH_7.json || true
 else
-  echo "   skipped: run scripts/bench.sh to produce BENCH_6.json"
+  echo "   skipped: run scripts/bench.sh to produce BENCH_7.json"
 fi
 
 echo "All checks passed."
