@@ -69,6 +69,15 @@ COMMANDS:
                 --chaos SEED                  (inject a seeded peer-fault mix)
                 --kill-after N                (halt the last daemon mid-run)
                 --events PATH                 (stream events, spans included, as JSONL)
+    bench-daemon  measure live daemon throughput over loopback sockets
+                --requests N                  (default 200000)
+                --clients N                   (default 2)
+                --pipeline N                  (default 64, requests per batch)
+                --doc-size BYTES              (default 256)
+                --docs N                      (default 64, pre-warmed working set)
+                --smoke true                  (small gating run; fails unless
+                                               connections are reused)
+                --json PATH                   (write the results/ experiment record)
     analyze   characterize a workload (locality, popularity, sharing, MIN bound)
                 --trace PATH | --profile NAME (default small)
                 --aggregate SIZE for the MIN bound (default 10MB)
@@ -94,6 +103,7 @@ pub fn dispatch<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError
         "stats" => cmd_stats(args, out),
         "top" => cmd_top(args, out),
         "bench-diff" => cmd_bench_diff(args, out),
+        "bench-daemon" => cmd_bench_daemon(args, out),
         "trace" => cmd_trace(args, out),
         "simulate" => cmd_simulate(args, out),
         "sweep" => cmd_sweep(args, out),
@@ -688,6 +698,87 @@ fn cmd_bench_diff<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgErr
             format!("{changed} differing cell(s) of {compared} compared\n")
         },
     )
+}
+
+/// The `bench-daemon` subcommand: drives the pooled daemon transport
+/// over loopback (`coopcache_net::run_daemon_bench`) and reports
+/// sustained throughput, latency percentiles, and the pooling/admission
+/// counters scraped over `OP_STATS`. `--smoke true` turns the run into
+/// a gate: it fails unless the pipelined clients actually reused their
+/// connections.
+fn cmd_bench_daemon<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), ArgError> {
+    use coopcache_net::{run_daemon_bench, DaemonBenchConfig};
+    args.expect_only(&[
+        "requests", "clients", "pipeline", "doc-size", "docs", "smoke", "json",
+    ])?;
+    let smoke = parse_bool("smoke", args.get("smoke").unwrap_or("false"))?;
+    let mut cfg = if smoke {
+        DaemonBenchConfig::smoke()
+    } else {
+        DaemonBenchConfig::default()
+    };
+    cfg.requests = args.get_or("requests", cfg.requests)?;
+    cfg.clients = args.get_or("clients", cfg.clients)?;
+    cfg.pipeline = args.get_or("pipeline", cfg.pipeline)?;
+    cfg.doc_size = args.get_or("doc-size", cfg.doc_size)?;
+    cfg.docs = args.get_or("docs", cfg.docs)?;
+    if cfg.clients == 0 || cfg.pipeline == 0 || cfg.docs == 0 {
+        return Err(ArgError(
+            "bench-daemon needs nonzero --clients, --pipeline and --docs".into(),
+        ));
+    }
+    let report = run_daemon_bench(&cfg).map_err(|e| ArgError(format!("bench failed: {e}")))?;
+    let mut table = Table::new(vec!["metric", "value"]);
+    table.row(vec!["requests".into(), report.requests.to_string()]);
+    table.row(vec![
+        "clients x pipeline".into(),
+        format!("{} x {}", cfg.clients, cfg.pipeline),
+    ]);
+    table.row(vec![
+        "elapsed (ms)".into(),
+        (report.elapsed_us / 1_000).to_string(),
+    ]);
+    table.row(vec!["req/s".into(), report.req_per_sec.to_string()]);
+    table.row(vec!["p50 latency (us)".into(), report.p50_us.to_string()]);
+    table.row(vec!["p99 latency (us)".into(), report.p99_us.to_string()]);
+    table.row(vec![
+        "connections reused".into(),
+        report.connections_reused.to_string(),
+    ]);
+    table.row(vec![
+        "admission shed".into(),
+        report.admission_shed.to_string(),
+    ]);
+    write_out(out, table.to_string())?;
+    if let Some(path) = args.get("json") {
+        // The standard results/ experiment shape, mergeable by
+        // scripts/bench.sh. Throughput varies run to run (like
+        // bench_core), so bench-diff treats drift here as advisory.
+        let record = format!(
+            concat!(
+                r#"{{"id":"bench_daemon","title":"live daemon loopback throughput","#,
+                r#""trace":"synthetic uniform, {docs} docs x {size}B","#,
+                r#""headers":["workload","req/s","p50 us","p99 us","reused","shed"],"#,
+                r#""rows":[["pipelined","{rps}","{p50}","{p99}","{reused}","{shed}"]]}}"#,
+                "\n"
+            ),
+            docs = cfg.docs,
+            size = cfg.doc_size,
+            rps = report.req_per_sec,
+            p50 = report.p50_us,
+            p99 = report.p99_us,
+            reused = report.connections_reused,
+            shed = report.admission_shed,
+        );
+        std::fs::write(path, record).map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        write_out(out, format!("wrote {path}\n"))?;
+    }
+    if smoke && report.connections_reused == 0 {
+        return Err(ArgError(
+            "bench-daemon --smoke: no connection reuse observed (pooled transport broken?)".into(),
+        ));
+    }
+    Ok(())
 }
 
 /// Parses a trace id: decimal, or hex with an `0x` prefix (daemon trace
@@ -1671,6 +1762,52 @@ mod tests {
             garbage.to_str().unwrap()
         ])
         .is_err());
+    }
+
+    #[test]
+    fn bench_daemon_smoke_gates_on_reuse_and_writes_json() {
+        let dir = std::env::temp_dir().join("coopcache_cli_bench_daemon");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench_daemon.json");
+        let path_s = path.to_str().unwrap();
+        let text = run_cmd(&[
+            "bench-daemon",
+            "--smoke",
+            "true",
+            "--requests",
+            "400",
+            "--pipeline",
+            "8",
+            "--docs",
+            "8",
+            "--doc-size",
+            "64",
+            "--json",
+            path_s,
+        ])
+        .unwrap();
+        assert!(text.contains("req/s"), "{text}");
+        assert!(text.contains("connections reused"), "{text}");
+        assert!(text.contains(&format!("wrote {path_s}")), "{text}");
+        let record = std::fs::read_to_string(&path).unwrap();
+        assert!(record.starts_with("{\"id\":\"bench_daemon\""), "{record}");
+        assert!(record.ends_with("}\n"), "{record:?}");
+        // The record is one well-formed experiment in the results/ shape.
+        let v = parse_json(record.trim()).unwrap();
+        assert_eq!(
+            v.get("headers")
+                .and_then(JsonValue::as_array)
+                .map(<[_]>::len),
+            Some(6)
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bench_daemon_flag_validation() {
+        assert!(run_cmd(&["bench-daemon", "--clients", "0"]).is_err());
+        assert!(run_cmd(&["bench-daemon", "--smoke", "maybe"]).is_err());
+        assert!(run_cmd(&["bench-daemon", "--bogus", "1"]).is_err());
     }
 
     #[test]

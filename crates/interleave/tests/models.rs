@@ -1087,3 +1087,226 @@ fn shard_lock_order_inversion_deadlocks_and_is_caught() {
         other => unreachable!("lock-order inversion must deadlock somewhere, got {other:?}"),
     }
 }
+
+// ---------------------------------------------------------------------------
+// ConnectionPool: checkout / checkin under `pool_idle`
+// (crates/net/src/pool.rs)
+// ---------------------------------------------------------------------------
+
+const V_POOL_MUTEX: VarId = 50;
+const V_POOL_IDLE: VarId = 51;
+const V_POOL_OUT: VarId = 52;
+
+/// The modeled per-host idle cap.
+const POOL_CAP: usize = 1;
+
+/// The pool's shared plane for one host: the parked-connection list
+/// behind the `pool_idle` mutex, plus ghost state tracking which thread
+/// holds which connection. `pool_idle` is a leaf lock in the real code —
+/// connects, drops and joins all happen outside the guard — so the model
+/// has no second lock to order against.
+#[derive(Clone)]
+struct PoolModel {
+    m: MockMutex,
+    /// Parked connection ids (one host).
+    idle: Vec<u64>,
+    /// (thread, conn) pairs currently checked out.
+    held: Vec<(usize, u64)>,
+    /// Connections dropped by the cap eviction.
+    evicted: Vec<u64>,
+    /// Per-thread checkout result: pool miss → fresh connect.
+    miss: [bool; 2],
+    /// Per-thread unlocked peek (racy variant only).
+    peeked: [Option<u64>; 2],
+    done: [bool; 2],
+}
+
+impl PoolModel {
+    /// One connection already parked: both clients race to reuse it.
+    fn new() -> Self {
+        Self {
+            m: MockMutex::new(V_POOL_MUTEX),
+            idle: vec![7],
+            held: Vec::new(),
+            evicted: Vec::new(),
+            miss: [false; 2],
+            peeked: [None; 2],
+            done: [false; 2],
+        }
+    }
+
+    fn check(&self) -> Result<(), String> {
+        if self.m.poisoned() {
+            return Err("pool_idle mutex protocol violated".to_string());
+        }
+        if self.idle.len() > POOL_CAP {
+            return Err(format!("idle list over cap: {}", self.idle.len()));
+        }
+        // A connection is in exactly one place: parked, held by one
+        // thread, or evicted. A duplicate means the same socket was
+        // handed to two requests at once.
+        let mut ids: Vec<u64> = self
+            .idle
+            .iter()
+            .copied()
+            .chain(self.held.iter().map(|&(_, id)| id))
+            .collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        if ids.len() != n {
+            return Err("one connection handed out or parked twice".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// The real checkout/checkin flow: pop and push+evict each atomic under
+/// the `pool_idle` lock, the fresh connect outside it.
+fn pool_client(tid: usize) -> MockThread<PoolModel> {
+    let name = if tid == 0 { "client-a" } else { "client-b" };
+    MockThread::new(name)
+        .guarded(
+            "lock-checkout",
+            &[V_POOL_MUTEX],
+            &[V_POOL_MUTEX],
+            |s: &PoolModel| s.m.is_free(),
+            move |s: &mut PoolModel| s.m.acquire(tid),
+        )
+        .step_rw(
+            "checkout-pop",
+            &[V_POOL_IDLE],
+            &[V_POOL_IDLE, V_POOL_OUT],
+            move |s: &mut PoolModel| {
+                if let Some(id) = s.idle.pop() {
+                    s.held.push((tid, id));
+                } else {
+                    s.miss[tid] = true;
+                }
+            },
+        )
+        .step_rw(
+            "unlock-checkout",
+            &[],
+            &[V_POOL_MUTEX],
+            move |s: &mut PoolModel| s.m.release(tid),
+        )
+        .step_rw(
+            "connect-outside-lock",
+            &[],
+            &[V_POOL_OUT],
+            move |s: &mut PoolModel| {
+                if s.miss[tid] {
+                    // Fresh sockets are unique by construction.
+                    s.held.push((tid, 100 + tid as u64));
+                }
+            },
+        )
+        .guarded(
+            "lock-checkin",
+            &[V_POOL_MUTEX],
+            &[V_POOL_MUTEX],
+            |s: &PoolModel| s.m.is_free(),
+            move |s: &mut PoolModel| s.m.acquire(tid),
+        )
+        .step_rw(
+            "checkin-push-evict",
+            &[V_POOL_IDLE, V_POOL_OUT],
+            &[V_POOL_IDLE, V_POOL_OUT],
+            move |s: &mut PoolModel| {
+                let at = s
+                    .held
+                    .iter()
+                    .position(|&(t, _)| t == tid)
+                    .expect("thread checks in its own connection");
+                let (_, id) = s.held.remove(at);
+                s.idle.push(id);
+                if s.idle.len() > POOL_CAP {
+                    let evicted = s.idle.remove(0);
+                    s.evicted.push(evicted);
+                }
+            },
+        )
+        .step_rw(
+            "unlock-checkin",
+            &[],
+            &[V_POOL_MUTEX],
+            move |s: &mut PoolModel| {
+                s.m.release(tid);
+                s.done[tid] = true;
+            },
+        )
+}
+
+/// Every interleaving of two clients holds the pool invariants: the cap
+/// is never exceeded, and no parked connection is handed out twice.
+#[test]
+fn pool_checkout_checkin_holds_cap_and_uniqueness() {
+    let out = explore(
+        &PoolModel::new(),
+        &[pool_client(0), pool_client(1)],
+        |s| {
+            s.check()?;
+            if s.done[0] && s.done[1] {
+                // Both checked in; the cap evicted the overflow.
+                if s.idle.len() != POOL_CAP || !s.held.is_empty() {
+                    return Err(format!(
+                        "final state wrong: idle={:?} held={:?}",
+                        s.idle, s.held
+                    ));
+                }
+            }
+            Ok(())
+        },
+        &[V_POOL_MUTEX, V_POOL_IDLE, V_POOL_OUT],
+        Config::default(),
+    );
+    assert!(
+        out.passed(),
+        "pooled checkout must hold everywhere: {out:?}"
+    );
+}
+
+/// Seeded violation: a checkout that peeks and takes the parked
+/// connection without the lock. Two clients can both observe the same
+/// head and both walk away with connection 7 — the checker must catch
+/// the double handout.
+#[test]
+fn pool_unlocked_checkout_double_handout_is_caught() {
+    let racy = |tid: usize| {
+        let name = if tid == 0 { "racy-a" } else { "racy-b" };
+        MockThread::new(name)
+            .step_rw(
+                "peek-unlocked",
+                &[V_POOL_IDLE],
+                &[V_POOL_OUT],
+                move |s: &mut PoolModel| {
+                    s.peeked[tid] = s.idle.first().copied();
+                },
+            )
+            .step_rw(
+                "take-unlocked",
+                &[V_POOL_IDLE],
+                &[V_POOL_IDLE, V_POOL_OUT],
+                move |s: &mut PoolModel| {
+                    if let Some(id) = s.peeked[tid] {
+                        if s.idle.first() == Some(&id) {
+                            s.idle.remove(0);
+                        }
+                        s.held.push((tid, id));
+                    }
+                },
+            )
+    };
+    let out = explore(
+        &PoolModel::new(),
+        &[racy(0), racy(1)],
+        PoolModel::check,
+        &[V_POOL_MUTEX, V_POOL_IDLE, V_POOL_OUT],
+        Config::default(),
+    );
+    assert!(
+        matches!(out, Outcome::InvariantViolation { .. }),
+        "the unlocked double handout must be caught: {out:?}"
+    );
+}

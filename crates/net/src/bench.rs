@@ -1,0 +1,289 @@
+//! Loopback throughput driver for the live daemon (`coopcache
+//! bench-daemon`).
+//!
+//! Starts a one-cache cluster, warms it with a working set, then hammers
+//! the daemon's document port from raw socket clients that *pipeline*
+//! batches of requests on persistent connections — the workload the
+//! pooled transport exists for. Reports sustained req/s, p50/p99 request
+//! latency, and the pooling/admission counters scraped over `OP_STATS`
+//! (`connections-reused` must be nonzero for any pipelined run, which is
+//! what the smoke gate asserts).
+
+use crate::clock::SharedClock;
+use crate::cluster::{ClusterConfig, LoopbackCluster};
+use crate::origin::drain_body;
+use crate::stats::scrape_stats;
+use crate::wire::{read_frame, write_frame, WireMessage};
+use coopcache_core::PlacementScheme;
+use coopcache_proxy::HttpRequest;
+use coopcache_types::{ByteSize, CacheId, DocId, DurationMs, ExpirationAge};
+use std::io::{self, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Workload shape for one bench run.
+#[derive(Debug, Clone)]
+pub struct DaemonBenchConfig {
+    /// Total document requests across all clients.
+    pub requests: u64,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests pipelined per batch on each connection.
+    pub pipeline: usize,
+    /// Body size of every document, bytes.
+    pub doc_size: u64,
+    /// Working-set size (documents are pre-warmed into the cache).
+    pub docs: u64,
+}
+
+impl Default for DaemonBenchConfig {
+    fn default() -> Self {
+        Self {
+            requests: 200_000,
+            clients: 2,
+            pipeline: 64,
+            doc_size: 256,
+            docs: 64,
+        }
+    }
+}
+
+impl DaemonBenchConfig {
+    /// The small gating configuration behind `bench-daemon --smoke`.
+    #[must_use]
+    pub fn smoke() -> Self {
+        Self {
+            requests: 20_000,
+            clients: 2,
+            pipeline: 32,
+            ..Self::default()
+        }
+    }
+}
+
+/// What one bench run measured.
+#[derive(Debug, Clone)]
+pub struct DaemonBenchReport {
+    /// Requests actually issued and answered.
+    pub requests: u64,
+    /// Wall time across the whole request phase, microseconds.
+    pub elapsed_us: u64,
+    /// Sustained throughput (integer arithmetic: no float drift in the
+    /// emitted tables).
+    pub req_per_sec: u64,
+    /// Median request latency, microseconds (batch-start to response).
+    pub p50_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: u64,
+    /// `connections-reused` counter scraped over `OP_STATS` after the
+    /// run (server-side frames served on an already-used connection).
+    pub connections_reused: u64,
+    /// `admission-shed` counter scraped over `OP_STATS`.
+    pub admission_shed: u64,
+}
+
+/// Runs the loopback daemon bench described by `cfg`.
+///
+/// # Errors
+///
+/// Propagates cluster start-up and socket failures; the bench makes no
+/// attempt to continue past a failed client.
+///
+/// # Panics
+///
+/// Panics if `cfg` is degenerate (zero clients, pipeline, or docs).
+pub fn run_daemon_bench(cfg: &DaemonBenchConfig) -> io::Result<DaemonBenchReport> {
+    assert!(cfg.clients > 0, "bench needs at least one client");
+    assert!(cfg.pipeline > 0, "bench needs a nonzero pipeline depth");
+    assert!(cfg.docs > 0, "bench needs a nonzero working set");
+    // Capacity holding the whole working set comfortably: the bench
+    // measures transport, not eviction.
+    let capacity = ByteSize::from_bytes((cfg.doc_size.max(1) * cfg.docs).saturating_mul(4));
+    let cluster =
+        LoopbackCluster::start_with_config(ClusterConfig::new(1, capacity, PlacementScheme::Ea))?;
+    let size = ByteSize::from_bytes(cfg.doc_size);
+    for d in 0..cfg.docs {
+        cluster.request(0, DocId::new(d), size)?;
+    }
+    let addr = cluster.daemon(0).doc_addr();
+
+    let clients = cfg
+        .clients
+        .min(usize::try_from(cfg.requests).unwrap_or(usize::MAX).max(1));
+    let per_client = cfg.requests / clients as u64;
+    let clock = SharedClock::start();
+    let started_us = clock.now_micros();
+    let mut workers = Vec::new();
+    for c in 0..clients {
+        // The last client absorbs the remainder.
+        let quota = if c + 1 == clients {
+            cfg.requests - per_client * (clients as u64 - 1)
+        } else {
+            per_client
+        };
+        let cfg = cfg.clone();
+        let clock = clock.clone();
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("bench-client-{c}"))
+                .spawn(move || client_loop(addr, &cfg, c, quota, &clock))?,
+        );
+    }
+    let mut latencies: Vec<u64> = Vec::with_capacity(usize::try_from(cfg.requests).unwrap_or(0));
+    for worker in workers {
+        let worker_latencies = worker
+            .join()
+            .map_err(|_| io::Error::other("bench client panicked"))??;
+        latencies.extend(worker_latencies);
+    }
+    let elapsed_us = clock.now_micros().saturating_sub(started_us).max(1);
+    latencies.sort_unstable();
+
+    let stats = scrape_stats(addr, Duration::from_secs(5))?;
+    let connections_reused = extract_counter(&stats, "connections-reused");
+    let admission_shed = extract_counter(&stats, "admission-shed");
+    cluster.shutdown();
+
+    let requests = u64::try_from(latencies.len()).unwrap_or(u64::MAX);
+    Ok(DaemonBenchReport {
+        requests,
+        elapsed_us,
+        req_per_sec: requests.saturating_mul(1_000_000) / elapsed_us,
+        p50_us: percentile(&latencies, 50),
+        p99_us: percentile(&latencies, 99),
+        connections_reused,
+        admission_shed,
+    })
+}
+
+/// One client: a single persistent connection pipelining batches of
+/// document requests. Returns per-request latencies in microseconds
+/// (batch write start to that response's arrival — the client-observed
+/// number under pipelining).
+fn client_loop(
+    addr: std::net::SocketAddr,
+    cfg: &DaemonBenchConfig,
+    client: usize,
+    quota: u64,
+    clock: &SharedClock,
+) -> io::Result<Vec<u64>> {
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let mut reader = BufReader::with_capacity(1 << 16, &stream);
+    let mut writer = &stream;
+    let from = CacheId::new(u16::try_from(1 + client).unwrap_or(u16::MAX));
+    // A finite requester age makes the responder's promote rule run on
+    // every request — the realistic hot path, not a short-circuit.
+    let requester_age = ExpirationAge::finite(DurationMs::from_secs(1));
+    let mut latencies = Vec::with_capacity(usize::try_from(quota).unwrap_or(0));
+    let mut sent = 0u64;
+    let mut batch = Vec::with_capacity(cfg.pipeline * 64);
+    while sent < quota {
+        let depth = u64::try_from(cfg.pipeline)
+            .unwrap_or(u64::MAX)
+            .min(quota - sent);
+        batch.clear();
+        for k in 0..depth {
+            // Stride the working set so clients interleave documents.
+            let doc = DocId::new((sent + k + (client as u64) * 7) % cfg.docs);
+            write_frame(
+                &mut batch,
+                &WireMessage::DocRequest {
+                    request: HttpRequest {
+                        from,
+                        doc,
+                        requester_age,
+                    },
+                    ctx: None,
+                },
+            )?;
+        }
+        let batch_start_us = clock.now_micros();
+        writer.write_all(&batch)?;
+        for _ in 0..depth {
+            let WireMessage::DocResponse { response, found } = read_frame(&mut reader)? else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "bench expected a document response",
+                ));
+            };
+            if found {
+                drain_body(&mut reader, response.size.as_bytes())?;
+            }
+            latencies.push(clock.now_micros().saturating_sub(batch_start_us));
+        }
+        sent += depth;
+    }
+    Ok(latencies)
+}
+
+/// Nearest-rank percentile over sorted data (0 for an empty slice).
+fn percentile(sorted: &[u64], pct: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let len = sorted.len() as u64;
+    let rank = (pct * len).div_ceil(100).clamp(1, len);
+    sorted[usize::try_from(rank - 1).unwrap_or(0)]
+}
+
+/// Pulls one named counter out of the deterministic `OP_STATS` JSON
+/// (`"name":123`). Missing counters read as zero — the bench is not a
+/// JSON parser.
+fn extract_counter(stats_json: &str, name: &str) -> u64 {
+    let needle = format!("\"{name}\":");
+    let Some(at) = stats_json.find(&needle) else {
+        return 0;
+    };
+    stats_json[at + needle.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let data: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&data, 50), 50);
+        assert_eq!(percentile(&data, 99), 99);
+        assert_eq!(percentile(&data, 100), 100);
+        assert_eq!(percentile(&[7], 50), 7);
+        assert_eq!(percentile(&[], 50), 0);
+    }
+
+    #[test]
+    fn counter_extraction_reads_the_stats_document() {
+        let doc =
+            r#"{"cache":0,"counters":{"request":12,"connections-reused":7,"admission-shed":0}}"#;
+        assert_eq!(extract_counter(doc, "connections-reused"), 7);
+        assert_eq!(extract_counter(doc, "admission-shed"), 0);
+        assert_eq!(extract_counter(doc, "absent"), 0);
+    }
+
+    #[test]
+    fn tiny_bench_run_reuses_connections() {
+        let report = run_daemon_bench(&DaemonBenchConfig {
+            requests: 600,
+            clients: 2,
+            pipeline: 16,
+            doc_size: 128,
+            docs: 8,
+        })
+        .expect("bench runs");
+        assert_eq!(report.requests, 600);
+        assert!(report.req_per_sec > 0);
+        assert!(
+            report.connections_reused > 0,
+            "pipelined clients must reuse their connections"
+        );
+        assert!(report.p50_us <= report.p99_us);
+    }
+}

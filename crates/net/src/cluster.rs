@@ -39,6 +39,18 @@ pub struct ClusterConfig {
     pub sample_interval: Option<Duration>,
     /// Shards per cache (power of two; see `DaemonConfig::shards`).
     pub shards: usize,
+    /// Idle pooled connections kept per remote host (0 disables pooling;
+    /// see `DaemonConfig::pool_max_idle`).
+    pub pool_max_idle: usize,
+    /// How long an idle pooled connection may sit before reaping.
+    pub pool_idle_timeout: Duration,
+    /// Concurrent inbound document connections per daemon.
+    pub max_conns: usize,
+    /// Where the admission gate reads available memory from.
+    pub memory_probe: crate::MemoryProbe,
+    /// Minimum available-memory percentage to admit origin stores
+    /// (0 disables admission control).
+    pub min_available_pct: u8,
 }
 
 impl ClusterConfig {
@@ -58,6 +70,11 @@ impl ClusterConfig {
             faults: FaultPlan::default(),
             sample_interval: None,
             shards: defaults.shards,
+            pool_max_idle: defaults.pool_max_idle,
+            pool_idle_timeout: defaults.pool_idle_timeout,
+            max_conns: defaults.max_conns,
+            memory_probe: defaults.memory_probe,
+            min_available_pct: defaults.min_available_pct,
         }
     }
 
@@ -118,6 +135,44 @@ impl ClusterConfig {
     #[must_use]
     pub fn sample_interval(mut self, interval: Duration) -> Self {
         self.sample_interval = Some(interval);
+        self
+    }
+
+    /// Sets the per-host idle-connection cap, 0 to disable pooling
+    /// (builder style).
+    #[must_use]
+    pub fn pool_max_idle(mut self, n: usize) -> Self {
+        self.pool_max_idle = n;
+        self
+    }
+
+    /// Sets the idle reaping deadline for pooled connections (builder
+    /// style).
+    #[must_use]
+    pub fn pool_idle_timeout(mut self, timeout: Duration) -> Self {
+        self.pool_idle_timeout = timeout;
+        self
+    }
+
+    /// Sets the inbound connection cap per daemon (builder style).
+    #[must_use]
+    pub fn max_conns(mut self, n: usize) -> Self {
+        self.max_conns = n;
+        self
+    }
+
+    /// Installs a memory probe for admission control (builder style).
+    #[must_use]
+    pub fn memory_probe(mut self, probe: crate::MemoryProbe) -> Self {
+        self.memory_probe = probe;
+        self
+    }
+
+    /// Sets the admission floor as available-memory percent, 0 to
+    /// disable shedding (builder style).
+    #[must_use]
+    pub fn min_available_pct(mut self, pct: u8) -> Self {
+        self.min_available_pct = pct;
         self
     }
 }
@@ -228,6 +283,11 @@ impl LoopbackCluster {
             daemon_config.quarantine_base = config.quarantine_base;
             daemon_config.sample_interval = config.sample_interval;
             daemon_config.shards = config.shards;
+            daemon_config.pool_max_idle = config.pool_max_idle;
+            daemon_config.pool_idle_timeout = config.pool_idle_timeout;
+            daemon_config.max_conns = config.max_conns;
+            daemon_config.memory_probe = config.memory_probe;
+            daemon_config.min_available_pct = config.min_available_pct;
             daemons.push(CacheDaemon::start_with_faults(
                 daemon_config,
                 socket,

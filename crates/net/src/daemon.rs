@@ -28,11 +28,31 @@
 //! Chaos runs are auditable through the event stream (`PeerFault`,
 //! `Failover`, `PeerQuarantined`, `ServerLoopError`) and driven by a
 //! seeded [`FaultPlan`](crate::FaultPlan) compiled into the server loops.
+//!
+//! # Transport
+//!
+//! Readiness is the kernel's job: every socket is fully blocking (the
+//! workspace forbids `unsafe`, so there is no epoll — a parked thread
+//! blocked in `recv`/`accept`/`read` *is* the readiness mechanism, and
+//! it burns zero CPU at idle, unlike the 20 ms poll loops this design
+//! replaced). The document port serves each accepted connection on its
+//! own thread, bounded by [`DaemonConfig::max_conns`], and connections
+//! are *persistent*: a client may pipeline any number of frames on one
+//! connection. Shutdown wakes the blocked threads explicitly — a junk
+//! datagram for the ICP responder, a throwaway connect for the
+//! acceptor, and a `shutdown(2)` on every registered live connection.
+//!
+//! The client side pools its outbound peer/origin connections
+//! (`pool.rs`) and sheds cacheable-store work under memory pressure
+//! (`memory.rs`); both surface in the stats plane as the
+//! `connections-reused` and `admission-shed` counters.
 
 use crate::clock::SharedClock;
 use crate::fault::{DocFault, FaultState, IcpFault};
-use crate::origin::{drain_body, fetch_from_origin, write_body};
-use crate::wire::{read_frame, write_frame, WireMessage};
+use crate::memory::AdmissionGate;
+use crate::origin::{drain_body, fetch_on_origin_conn, write_body};
+use crate::pool::ConnectionPool;
+use crate::wire::{peek_frame_kind, read_frame, write_frame, PeekedFrame, WireMessage};
 use coopcache_core::{CacheConfig, ExpirationWindow, PlacementScheme, PolicyKind};
 use coopcache_obs::{
     age_to_ms, scoped_id, Event, FaultOp, Histogram, HistogramSnapshot, JsonWriter, SeriesPoint,
@@ -44,8 +64,8 @@ use coopcache_types::{ByteSize, CacheId, DocId};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io;
-use std::io::Write;
-use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
@@ -55,6 +75,19 @@ use std::time::Duration;
 /// server thread should degrade the daemon, not wedge it.
 fn lock<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// True when `e` is a socket-timeout error. Which `ErrorKind` a timed
+/// out read/write surfaces as is platform-dependent (`WouldBlock` on
+/// most Unixes, `TimedOut` elsewhere); every timeout decision in this
+/// crate goes through this predicate so a timed-out but healthy pooled
+/// connection is reaped/retried uniformly, never misclassified by
+/// platform.
+pub(crate) fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
 }
 
 /// Maps an I/O error onto the closed label vocabulary the event stream
@@ -119,6 +152,22 @@ pub struct DaemonConfig {
     /// `OP_SERIES` ring at this cadence; `None` (the default) samples
     /// only on demand ([`CacheDaemon::sample_now`]).
     pub sample_interval: Option<Duration>,
+    /// Outbound connection pooling: idle connections kept per remote
+    /// host. `0` disables pooling (every fetch pays a fresh connect).
+    pub pool_max_idle: usize,
+    /// Pooled connections idle longer than this are reaped instead of
+    /// reused.
+    pub pool_idle_timeout: Duration,
+    /// Cap on concurrently served inbound document connections; beyond
+    /// it, new connections are closed at accept (peers absorb the
+    /// refusal through their normal failover path).
+    pub max_conns: usize,
+    /// How the admission gate measures available memory.
+    pub memory_probe: crate::MemoryProbe,
+    /// Available-memory floor (percent): below it the daemon sheds
+    /// cacheable-store work after origin fetches (it still serves the
+    /// bytes). `0` disables admission control.
+    pub min_available_pct: u8,
 }
 
 impl DaemonConfig {
@@ -139,6 +188,11 @@ impl DaemonConfig {
             quarantine_base: Duration::from_millis(250),
             quarantine_cap: Duration::from_secs(8),
             sample_interval: None,
+            pool_max_idle: 8,
+            pool_idle_timeout: Duration::from_secs(30),
+            max_conns: 64,
+            memory_probe: crate::MemoryProbe::Meminfo,
+            min_available_pct: 5,
         }
     }
 }
@@ -231,6 +285,47 @@ impl PeerFetchError {
     }
 }
 
+/// Registry of live server-side document connections, shared between
+/// the accept loop (inserts), each connection thread (removes itself)
+/// and `halt` (shuts every stream down to unblock parked reads, then
+/// joins the threads). The two locks are leaves: nothing blocking runs
+/// under either guard, and neither is ever held while taking the other.
+#[derive(Debug, Default)]
+struct ConnTable {
+    /// `try_clone`d handles of live connections by connection sequence.
+    doc_conns: Mutex<BTreeMap<u64, TcpStream>>,
+    /// Join handles of the per-connection server threads.
+    doc_handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ConnTable {
+    /// Number of connections currently being served.
+    fn active(&self) -> usize {
+        lock(&self.doc_conns).len()
+    }
+
+    /// Unblocks every parked connection thread, then joins them all.
+    fn shutdown_all(&self) {
+        let drained: Vec<TcpStream> = {
+            let mut conns = lock(&self.doc_conns);
+            std::mem::take(&mut *conns).into_values().collect()
+        };
+        // Socket teardown happens outside the guard: a connection
+        // thread removing itself must never contend with a blocking op.
+        for stream in &drained {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        drop(drained);
+        let handles: Vec<JoinHandle<()>> = {
+            let mut handles = lock(&self.doc_handles);
+            std::mem::take(&mut *handles)
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
 /// State shared between the daemon handle and its server threads.
 #[derive(Clone)]
 struct LoopCtx {
@@ -253,6 +348,12 @@ struct LoopCtx {
     /// Span id allocator, shared with the daemon handle so client-side
     /// and server-side spans of one daemon never collide.
     span_seq: Arc<AtomicU64>,
+    /// Live inbound document connections, shared with `halt`.
+    conns: Arc<ConnTable>,
+    /// Server-loop iteration counters (ICP, doc accept). A quiet daemon
+    /// makes no iterations — the idle-CPU regression test pins this.
+    icp_iters: Arc<AtomicU64>,
+    accept_iters: Arc<AtomicU64>,
 }
 
 impl LoopCtx {
@@ -308,6 +409,15 @@ pub struct CacheDaemon {
     /// Sampled time-series ring, shared with the sampler thread and the
     /// doc server so `OP_SERIES` can report it.
     series: Arc<Mutex<SeriesRing>>,
+    /// Pooled outbound peer/origin connections.
+    pool: ConnectionPool,
+    /// Memory-pressure gate over cacheable-store work.
+    admission: AdmissionGate,
+    /// Live inbound connections, shared with the accept loop.
+    conns: Arc<ConnTable>,
+    /// Server-loop iteration counters, shared with the loops.
+    icp_iters: Arc<AtomicU64>,
+    accept_iters: Arc<AtomicU64>,
 }
 
 impl CacheDaemon {
@@ -367,6 +477,9 @@ impl CacheDaemon {
         // the daemon's own events, with or without a sink.
         node.set_stats(Arc::clone(&stats));
         let faults = faults.map(Arc::new);
+        let conns = Arc::new(ConnTable::default());
+        let icp_iters = Arc::new(AtomicU64::new(0));
+        let accept_iters = Arc::new(AtomicU64::new(0));
         let mut threads = Vec::new();
         let ctx = LoopCtx {
             id: config.id,
@@ -380,12 +493,13 @@ impl CacheDaemon {
             health: Arc::clone(&health),
             series: Arc::clone(&series),
             span_seq: Arc::clone(&span_seq),
+            conns: Arc::clone(&conns),
+            icp_iters: Arc::clone(&icp_iters),
+            accept_iters: Arc::clone(&accept_iters),
         };
 
-        // ICP responder thread.
-        sockets
-            .icp
-            .set_read_timeout(Some(Duration::from_millis(20)))?;
+        // ICP responder thread: a plain blocking `recv_from` with no
+        // timeout — `halt` wakes it with a junk datagram.
         {
             let ctx = ctx.clone();
             let socket = sockets.icp;
@@ -396,16 +510,17 @@ impl CacheDaemon {
             );
         }
 
-        // Document server thread.
-        sockets.doc.set_nonblocking(true)?;
+        // Document acceptor thread: a plain blocking `accept` — `halt`
+        // wakes it with a throwaway connect.
         {
             let ctx = ctx.clone();
             let listener = sockets.doc;
             let io_timeout = config.io_timeout;
+            let max_conns = config.max_conns;
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("coopcache-doc-{}", config.id))
-                    .spawn(move || doc_loop(&listener, &ctx, io_timeout))?,
+                    .spawn(move || doc_loop(&listener, &ctx, io_timeout, max_conns))?,
             );
         }
 
@@ -418,6 +533,8 @@ impl CacheDaemon {
             );
         }
 
+        let pool = ConnectionPool::new(config.pool_max_idle, config.pool_idle_timeout);
+        let admission = AdmissionGate::new(config.memory_probe, config.min_available_pct);
         Ok(Self {
             config,
             node,
@@ -435,6 +552,11 @@ impl CacheDaemon {
             latency,
             health,
             series,
+            pool,
+            admission,
+            conns,
+            icp_iters,
+            accept_iters,
         })
     }
 
@@ -556,6 +678,26 @@ impl CacheDaemon {
     /// inspecting stats and cache contents).
     pub fn with_node<R>(&self, f: impl FnOnce(&ConcurrentNode) -> R) -> R {
         f(&self.node)
+    }
+
+    /// Cumulative server-loop iteration counts `(icp, doc_accept)`.
+    /// Each count moves only when a datagram/connection actually
+    /// arrives, so a quiet daemon holds both steady — the regression
+    /// handle for the retired 20 ms poll loops.
+    #[must_use]
+    pub fn loop_iterations(&self) -> (u64, u64) {
+        (
+            self.icp_iters.load(Ordering::Relaxed),
+            self.accept_iters.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of pooled outbound connections currently parked for
+    /// `addr` (tests and diagnostics — e.g. asserting a quarantined
+    /// peer's connections were discarded).
+    #[must_use]
+    pub fn pooled_idle_to(&self, addr: SocketAddr) -> usize {
+        self.pool.idle_count(addr)
     }
 
     /// Serves one client request end-to-end over the real network,
@@ -693,17 +835,30 @@ impl CacheDaemon {
             }
         }
 
-        // 3b. Origin fetch; the requester always stores (distributed
-        // architecture, paper §4.1).
+        // 3b. Origin fetch; the requester stores (distributed
+        // architecture, paper §4.1) unless the admission gate sheds the
+        // store under memory pressure — the client still gets its bytes
+        // either way.
         let span_id = self.next_span();
         let start_us = self.clock.now_micros();
-        fetch_from_origin(
-            self.origin,
-            doc.as_u64(),
-            size.as_bytes(),
-            self.config.io_timeout,
-        )?;
-        let stored = self.node.complete_origin_fetch(doc, size, self.clock.now());
+        self.fetch_origin_pooled(doc.as_u64(), size.as_bytes())?;
+        let admitted = self.admission.allow_store(&self.clock);
+        let stored = if admitted {
+            self.node.complete_origin_fetch(doc, size, self.clock.now())
+        } else {
+            self.emit(&Event::AdmissionShed {
+                cache: self.config.id,
+                doc,
+            });
+            false
+        };
+        let status = if !admitted {
+            "shed"
+        } else if stored {
+            "stored"
+        } else {
+            "declined"
+        };
         self.close_span(Span {
             trace_id: trace,
             span_id,
@@ -714,12 +869,51 @@ impl CacheDaemon {
             peer: None,
             start_us,
             end_us: 0,
-            status: if stored { "stored" } else { "declined" },
+            status,
         });
         Ok(RequestOutcome::Miss {
             stored_locally: stored,
             stored_at_ancestor: false,
         })
+    }
+
+    /// Fetches `doc` from the origin on a pooled connection, with one
+    /// transparent fresh-connection retry when a *reused* connection
+    /// turns out to have died while parked (the origin restarting or
+    /// reaping idle sockets is not an error worth surfacing).
+    fn fetch_origin_pooled(&self, doc: u64, size: u64) -> io::Result<u64> {
+        let checkout = self
+            .pool
+            .checkout(self.origin, self.config.io_timeout, &self.clock)?;
+        let reused = checkout.reused;
+        let mut stream = checkout.stream;
+        match fetch_on_origin_conn(&mut stream, doc, size, self.config.io_timeout) {
+            Ok(n) => {
+                if reused {
+                    self.emit(&Event::ConnReused {
+                        cache: self.config.id,
+                        peer: None,
+                    });
+                }
+                self.pool.checkin(self.origin, stream, &self.clock);
+                Ok(n)
+            }
+            Err(_) if reused => {
+                // Stale pooled connection: everything else parked for
+                // this host is at least as old, so drop the lot and
+                // retry once on a fresh connect.
+                drop(stream);
+                self.pool.discard(self.origin);
+                let fresh = self
+                    .pool
+                    .checkout(self.origin, self.config.io_timeout, &self.clock)?;
+                let mut stream = fresh.stream;
+                let n = fetch_on_origin_conn(&mut stream, doc, size, self.config.io_timeout)?;
+                self.pool.checkin(self.origin, stream, &self.clock);
+                Ok(n)
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Queries every non-quarantined peer over UDP and returns all that
@@ -757,7 +951,6 @@ impl CacheDaemon {
             return Ok(Vec::new());
         }
         let socket = UdpSocket::bind("127.0.0.1:0")?;
-        socket.set_read_timeout(Some(Duration::from_millis(20)))?;
         let query = WireMessage::IcpQuery {
             query: IcpQuery {
                 from: self.config.id,
@@ -791,11 +984,24 @@ impl CacheDaemon {
         let mut buf = [0u8; 64];
         let mut seen: Vec<CacheId> = Vec::new();
         let mut positive: Vec<PeerAddr> = Vec::new();
-        while self.clock.now_micros() < deadline_us && seen.len() < queried.len() {
-            // Timeouts poll the deadline; any other transient recv error
-            // is skipped — never a client error.
-            let Ok((n, _)) = socket.recv_from(&mut buf) else {
-                continue;
+        loop {
+            if seen.len() >= queried.len() {
+                break;
+            }
+            let now_us = self.clock.now_micros();
+            if now_us >= deadline_us {
+                break;
+            }
+            // One timed recv covering exactly the remaining window (the
+            // loop guard keeps the duration nonzero, which `set_read_
+            // timeout` requires) — replacing the retired 20 ms poll.
+            socket.set_read_timeout(Some(Duration::from_micros(deadline_us - now_us)))?;
+            let (n, _) = match socket.recv_from(&mut buf) {
+                Ok(received) => received,
+                Err(ref e) if is_timeout(e) => break, // deadline reached
+                // Any other transient recv error is skipped — never a
+                // client error.
+                Err(_) => continue,
             };
             if let Ok(WireMessage::IcpReply(reply)) = WireMessage::decode(&buf[..n]) {
                 if reply.doc != doc {
@@ -847,17 +1053,61 @@ impl CacheDaemon {
         last
     }
 
-    /// Fetches `doc` from `peer` over TCP. Returns `Ok(None)` when the
-    /// peer no longer holds the document.
+    /// Fetches `doc` from `peer` over a pooled TCP connection. Returns
+    /// `Ok(None)` when the peer no longer holds the document.
+    ///
+    /// A failure on a *reused* connection gets one transparent retry on
+    /// a fresh connect, with no `PeerFault` for the stale attempt: an
+    /// idle pooled socket dying (peer restarted, far-side reap, timeout
+    /// while parked) says nothing about the peer's present health. Only
+    /// a fresh-connection failure is a peer fault, exactly as before
+    /// pooling.
     fn fetch_from_peer(
         &self,
         peer: PeerAddr,
         doc: DocId,
         ctx: TraceCtx,
     ) -> Result<Option<RequestOutcome>, PeerFetchError> {
-        let sent = self.node.build_http_request(doc);
-        let mut stream = TcpStream::connect_timeout(&peer.doc, self.config.io_timeout)
+        let checkout = self
+            .pool
+            .checkout(peer.doc, self.config.io_timeout, &self.clock)
             .map_err(PeerFetchError::connect)?;
+        let reused = checkout.reused;
+        match self.exchange_with_peer(checkout.stream, peer, doc, ctx) {
+            Ok(outcome) => {
+                if reused {
+                    self.emit(&Event::ConnReused {
+                        cache: self.config.id,
+                        peer: Some(peer.id),
+                    });
+                }
+                Ok(outcome)
+            }
+            Err(_) if reused => {
+                // Stale pooled connection: drop everything parked for
+                // this peer (it is at least as old) and retry fresh.
+                self.pool.discard(peer.doc);
+                let fresh = self
+                    .pool
+                    .checkout(peer.doc, self.config.io_timeout, &self.clock)
+                    .map_err(PeerFetchError::connect)?;
+                self.exchange_with_peer(fresh.stream, peer, doc, ctx)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// One request/response exchange with `peer` on `stream`. A healthy
+    /// exchange (including an honest not-found) parks the connection
+    /// back in the pool; any error consumes it.
+    fn exchange_with_peer(
+        &self,
+        mut stream: TcpStream,
+        peer: PeerAddr,
+        doc: DocId,
+        ctx: TraceCtx,
+    ) -> Result<Option<RequestOutcome>, PeerFetchError> {
+        let sent = self.node.build_http_request(doc);
         stream.set_nodelay(true).map_err(PeerFetchError::transfer)?;
         stream
             .set_read_timeout(Some(self.config.io_timeout))
@@ -881,9 +1131,11 @@ impl CacheDaemon {
             )));
         };
         if !found {
+            self.pool.checkin(peer.doc, stream, &self.clock);
             return Ok(None);
         }
         drain_body(&mut stream, response.size.as_bytes()).map_err(PeerFetchError::transfer)?;
+        self.pool.checkin(peer.doc, stream, &self.clock);
         let promoted = self
             .config
             .scheme
@@ -944,7 +1196,27 @@ impl CacheDaemon {
         };
         if let Some(event) = event {
             self.emit(&event);
+            // A quarantined peer's parked connections are dead weight:
+            // reusing one after the backoff window would mask whatever
+            // got the peer benched. Discarded outside the health lock.
+            if let Some(p) = self.peers.iter().find(|p| p.id == peer) {
+                self.pool.discard(p.doc);
+            }
         }
+    }
+
+    /// Best-effort wake-ups for the blocking server loops: a junk
+    /// datagram unparks the ICP `recv_from`, a throwaway connect
+    /// unparks the doc `accept`. Errors are ignored — if the sockets
+    /// are already gone the loops are already dead.
+    fn wake_server_loops(&self) {
+        if let Ok(socket) = UdpSocket::bind("127.0.0.1:0") {
+            let _ = socket.send_to(&[0u8], self.icp_addr);
+        }
+        drop(TcpStream::connect_timeout(
+            &self.doc_addr,
+            Duration::from_millis(500),
+        ));
     }
 
     /// Stops the background server threads and waits for them to exit,
@@ -956,9 +1228,13 @@ impl CacheDaemon {
         // loads in the server loops, so a loop that observes the flag
         // also observes everything written before shutdown began.
         self.stop.store(true, Ordering::Release);
+        self.wake_server_loops();
         for handle in self.threads.drain(..) {
             let _ = handle.join();
         }
+        // With the acceptor joined, no new connections can register:
+        // shut down and join every in-flight connection thread.
+        self.conns.shutdown_all();
     }
 
     /// Stops the background threads and waits for them to exit.
@@ -969,9 +1245,14 @@ impl CacheDaemon {
 
 impl Drop for CacheDaemon {
     fn drop(&mut self) {
-        // Non-blocking best effort; `shutdown` is the clean path.
+        // Non-blocking best effort; `shutdown` is the clean path. The
+        // wakes matter here too: the loops block indefinitely in the
+        // kernel and only re-check the flag once woken.
         // lint:allow(atomic-order) -- Release: same pairing as `halt`.
         self.stop.store(true, Ordering::Release);
+        if !self.threads.is_empty() {
+            self.wake_server_loops();
+        }
     }
 }
 
@@ -980,6 +1261,9 @@ fn icp_loop(socket: &UdpSocket, ctx: &LoopCtx) {
     // lint:allow(atomic-order) -- Acquire: pairs with the Release store
     // in `halt`, ordering the flag read before loop teardown.
     while !ctx.stop.load(Ordering::Acquire) {
+        // The recv below blocks with no timeout: an iteration happens
+        // only when a datagram arrives (or `halt` sends the wake one).
+        ctx.icp_iters.fetch_add(1, Ordering::Relaxed);
         match socket.recv_from(&mut buf) {
             Ok((n, from)) => {
                 if let Ok(WireMessage::IcpQuery { query, ctx: trace }) =
@@ -1037,33 +1321,50 @@ fn icp_loop(socket: &UdpSocket, ctx: &LoopCtx) {
     }
 }
 
-fn doc_loop(listener: &TcpListener, ctx: &LoopCtx, io_timeout: Duration) {
+/// The document acceptor: a blocking `accept` loop that hands each
+/// connection to its own server thread. Connections are persistent —
+/// a client may pipeline any number of frames — and every live one is
+/// registered in [`ConnTable`] so `halt` can unblock it.
+fn doc_loop(listener: &TcpListener, ctx: &LoopCtx, io_timeout: Duration, max_conns: usize) {
+    let mut conn_seq = 0u64;
     // lint:allow(atomic-order) -- Acquire: pairs with the Release store
     // in `halt`, ordering the flag read before loop teardown.
     while !ctx.stop.load(Ordering::Acquire) {
+        // The accept below blocks: an iteration happens only when a
+        // connection actually arrives (or `halt` sends the wake one).
+        ctx.accept_iters.fetch_add(1, Ordering::Relaxed);
         match listener.accept() {
-            Ok((mut stream, _)) => {
-                let fault = ctx
-                    .faults
-                    .as_deref()
-                    .map_or(DocFault::None, FaultState::doc_fault);
-                let _ = stream.set_nodelay(true);
-                let _ = stream.set_read_timeout(Some(io_timeout));
-                let _ = stream.set_write_timeout(Some(io_timeout));
-                // A stats probe shares the doc port and is answered even
-                // on a refuse-rigged daemon; peeking (not reading) keeps
-                // the refused document fetch dying with its frame unread.
-                if fault == DocFault::Refuse && !crate::wire::frame_is_stats_probe(&stream) {
-                    continue; // close before reading: died between ICP and fetch
+            Ok((stream, _)) => {
+                // lint:allow(atomic-order) -- Acquire: same pairing; the
+                // wake connection from `halt` must not spawn a server.
+                if ctx.stop.load(Ordering::Acquire) {
+                    break;
                 }
-                if let Err(e) = serve_doc(&mut stream, ctx, fault) {
-                    // A misbehaving client connection is logged and the
-                    // listener keeps serving.
-                    ctx.loop_error(ServerLoop::Doc, &e);
+                if ctx.conns.active() >= max_conns {
+                    // Over the connection cap: shed by closing at
+                    // accept. Peers absorb this through failover.
+                    drop(stream);
+                    continue;
                 }
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
+                let id = conn_seq;
+                conn_seq += 1;
+                if let Ok(clone) = stream.try_clone() {
+                    lock(&ctx.conns.doc_conns).insert(id, clone);
+                }
+                let conn_ctx = ctx.clone();
+                let spawned = std::thread::Builder::new()
+                    .name(format!("coopcache-doc-{}-{id}", ctx.id))
+                    .spawn(move || {
+                        serve_conn(&stream, &conn_ctx, io_timeout);
+                        lock(&conn_ctx.conns.doc_conns).remove(&id);
+                    });
+                match spawned {
+                    Ok(handle) => lock(&ctx.conns.doc_handles).push(handle),
+                    Err(e) => {
+                        lock(&ctx.conns.doc_conns).remove(&id);
+                        ctx.loop_error(ServerLoop::Doc, &e);
+                    }
+                }
             }
             Err(e) => {
                 ctx.loop_error(ServerLoop::Doc, &e);
@@ -1073,9 +1374,115 @@ fn doc_loop(listener: &TcpListener, ctx: &LoopCtx, io_timeout: Duration) {
     }
 }
 
-fn serve_doc(stream: &mut TcpStream, ctx: &LoopCtx, fault: DocFault) -> io::Result<()> {
+/// Serves one inbound connection to completion: frames are read and
+/// answered in a loop until the client closes, errors, or shutdown.
+fn serve_conn(stream: &TcpStream, ctx: &LoopCtx, io_timeout: Duration) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(io_timeout));
+    let _ = stream.set_write_timeout(Some(io_timeout));
+    let mut served = 0u64;
+    let result = if ctx.faults.is_some() {
+        serve_conn_raw(stream, ctx, &mut served)
+    } else {
+        serve_conn_buffered(stream, ctx, &mut served)
+    };
+    if let Err(e) = result {
+        // Persistent-connection lifecycle is not an error: a clean EOF
+        // (client closed, or `halt` shut the socket down) is always
+        // silent, and a timeout after at least one served frame is just
+        // an idle connection expiring. Anything else — garbage framing,
+        // a connection that sent nothing until timeout — is logged and
+        // the listener keeps serving.
+        let benign = e.kind() == io::ErrorKind::UnexpectedEof || (served > 0 && is_timeout(&e));
+        if !benign {
+            ctx.loop_error(ServerLoop::Doc, &e);
+        }
+    }
+}
+
+/// The fault-free frame loop: buffered reads and writes, with the
+/// write side flushed lazily — only once the read buffer runs dry (a
+/// pipelined batch of requests is answered with a single `writev`-like
+/// flush instead of one syscall pair per frame).
+fn serve_conn_buffered(stream: &TcpStream, ctx: &LoopCtx, served: &mut u64) -> io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        // lint:allow(atomic-order) -- Acquire: pairs with the Release
+        // store in `halt`.
+        if ctx.stop.load(Ordering::Acquire) {
+            return writer.flush();
+        }
+        if reader.buffer().is_empty() {
+            writer.flush()?;
+        }
+        match serve_frame(&mut reader, &mut writer, ctx, DocFault::None, served)? {
+            FrameDisposition::KeepOpen => {}
+            FrameDisposition::Close => return writer.flush(),
+        }
+    }
+}
+
+/// The fault-injected frame loop: unbuffered, one fault draw per frame
+/// that actually arrives (peeked, so a refused fetch still dies with
+/// its frame unread, exactly like the pre-pooling accept-time refusal).
+fn serve_conn_raw(stream: &TcpStream, ctx: &LoopCtx, served: &mut u64) -> io::Result<()> {
+    loop {
+        // lint:allow(atomic-order) -- Acquire: pairs with the Release
+        // store in `halt`.
+        if ctx.stop.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        // Wait (blocking peek) for the next frame before drawing a
+        // fault: per-request fault semantics under connection reuse,
+        // and an idle close consumes no draws — keeping seeded draw
+        // sequences identical to the one-frame-per-connection era.
+        let peeked = peek_frame_kind(stream)?;
+        if peeked == PeekedFrame::Closed {
+            return Ok(());
+        }
+        let fault = draw_doc_fault(ctx);
+        // Stats/series probes are answered even on a refuse-rigged
+        // daemon — observability survives chaos. A refused *document*
+        // fetch closes with its frame unread, so to the client the
+        // responder died between ICP reply and fetch.
+        if fault == DocFault::Refuse && peeked == PeekedFrame::Doc {
+            return Ok(());
+        }
+        let (mut reader, mut writer) = (stream, stream);
+        match serve_frame(&mut reader, &mut writer, ctx, fault, served)? {
+            FrameDisposition::KeepOpen => {}
+            FrameDisposition::Close => return Ok(()),
+        }
+    }
+}
+
+/// Draws one document-port fault for the frame about to be served.
+fn draw_doc_fault(ctx: &LoopCtx) -> DocFault {
+    ctx.faults
+        .as_deref()
+        .map_or(DocFault::None, FaultState::doc_fault)
+}
+
+/// What to do with the connection after a served frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrameDisposition {
+    KeepOpen,
+    Close,
+}
+
+/// Reads and answers exactly one frame. Generic over the I/O halves so
+/// the fault-free path runs buffered while the fault path stays on the
+/// raw stream (whose bytes the chaos tests pin).
+fn serve_frame<R: Read, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
+    ctx: &LoopCtx,
+    fault: DocFault,
+    served: &mut u64,
+) -> io::Result<FrameDisposition> {
     let start_us = ctx.clock.now_micros();
-    let (request, trace) = match read_frame(stream)? {
+    let (request, trace) = match read_frame(reader)? {
         // A stats scrape shares the doc port; it is answered even on a
         // fault-injected daemon — observability must survive chaos.
         WireMessage::StatsRequest => {
@@ -1088,26 +1495,30 @@ fn serve_doc(stream: &mut TcpStream, ctx: &LoopCtx, fault: DocFault) -> io::Resu
                 &ctx.clock,
             );
             write_frame(
-                stream,
+                writer,
                 &WireMessage::StatsResponse {
                     cache: ctx.id,
                     body_len: u64::try_from(body.len()).unwrap_or(u64::MAX),
                 },
             )?;
-            return stream.write_all(body.as_bytes());
+            writer.write_all(body.as_bytes())?;
+            *served += 1;
+            return Ok(FrameDisposition::KeepOpen);
         }
         // A series scrape shares the doc port and survives chaos the
         // same way the stats probe does.
         WireMessage::SeriesRequest => {
             let body = lock(&ctx.series).to_json();
             write_frame(
-                stream,
+                writer,
                 &WireMessage::SeriesResponse {
                     cache: ctx.id,
                     body_len: u64::try_from(body.len()).unwrap_or(u64::MAX),
                 },
             )?;
-            return stream.write_all(body.as_bytes());
+            writer.write_all(body.as_bytes())?;
+            *served += 1;
+            return Ok(FrameDisposition::KeepOpen);
         }
         WireMessage::DocRequest {
             request,
@@ -1121,8 +1532,18 @@ fn serve_doc(stream: &mut TcpStream, ctx: &LoopCtx, fault: DocFault) -> io::Resu
         }
     };
     if fault == DocFault::Reset {
-        return Ok(()); // drop the connection after reading: crash mid-exchange
+        // Drop the connection after reading: crash mid-exchange.
+        return Ok(FrameDisposition::Close);
     }
+    if *served > 0 {
+        // A second (or later) frame on one inbound connection: the
+        // requester is reusing a persistent connection to this daemon.
+        ctx.emit(&Event::ConnReused {
+            cache: ctx.id,
+            peer: Some(request.from),
+        });
+    }
+    *served += 1;
     let span_id = trace.map(|_| ctx.next_span());
     let (response, found, promoted) = {
         let node = &ctx.node;
@@ -1147,15 +1568,17 @@ fn serve_doc(stream: &mut TcpStream, ctx: &LoopCtx, fault: DocFault) -> io::Resu
             ),
         }
     };
-    write_frame(stream, &WireMessage::DocResponse { response, found })?;
+    write_frame(writer, &WireMessage::DocResponse { response, found })?;
+    let mut truncated = false;
     if found {
         let full = response.size.as_bytes();
         let len = if fault == DocFault::Truncate {
+            truncated = true;
             full / 2 // half the body, then the connection drops
         } else {
             full
         };
-        write_body(stream, len)?;
+        write_body(writer, len)?;
     }
     if let (Some(t), Some(span_id)) = (trace, span_id) {
         let status = if !found {
@@ -1178,7 +1601,11 @@ fn serve_doc(stream: &mut TcpStream, ctx: &LoopCtx, fault: DocFault) -> io::Resu
             status,
         }));
     }
-    Ok(())
+    Ok(if truncated {
+        FrameDisposition::Close
+    } else {
+        FrameDisposition::KeepOpen
+    })
 }
 
 /// Builds the deterministic JSON document behind `OP_STATS`: per-kind

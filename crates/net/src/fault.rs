@@ -54,6 +54,10 @@ pub enum FaultMode {
     Always,
     /// Only the first `n` opportunities.
     FirstN(u64),
+    /// Every opportunity after the first `n`. Lets chaos target a
+    /// *reused* connection: the first exchanges succeed (so the client
+    /// parks the connection in its pool), later frames on it fault.
+    AfterFirstN(u64),
     /// Each opportunity fires with `pct`% probability, drawn from the
     /// plan's seeded PRNG (deterministic for a fixed seed).
     Probability(u8),
@@ -114,6 +118,7 @@ impl FaultPlan {
                 kind: r.kind,
                 mode: r.mode,
                 fired: 0,
+                seen: 0,
                 rng: SplitMix64::new(
                     self.seed
                         ^ (u64::from(at.as_u16()) << 32)
@@ -163,15 +168,19 @@ struct ArmedRule {
     kind: FaultKind,
     mode: FaultMode,
     fired: u64,
+    seen: u64,
     rng: SplitMix64,
 }
 
 impl ArmedRule {
     /// Consults the mode (advancing counters/PRNG) and reports firing.
     fn fires(&mut self) -> bool {
+        let past = self.seen;
+        self.seen += 1;
         let fire = match self.mode {
             FaultMode::Always => true,
             FaultMode::FirstN(n) => self.fired < n,
+            FaultMode::AfterFirstN(n) => past >= n,
             FaultMode::Probability(pct) => self.rng.next() % 100 < u64::from(pct.min(100)),
         };
         if fire {
@@ -278,6 +287,16 @@ mod tests {
         assert_eq!(state.icp_fault(), IcpFault::DropQuery);
         assert_eq!(state.icp_fault(), IcpFault::DropQuery);
         assert_eq!(state.icp_fault(), IcpFault::None);
+    }
+
+    #[test]
+    fn after_first_n_skips_then_always_fires() {
+        let plan = FaultPlan::seeded(1).rule(c(0), FaultKind::ResetDoc, FaultMode::AfterFirstN(2));
+        let state = plan.compile(c(0)).unwrap();
+        assert_eq!(state.doc_fault(), DocFault::None);
+        assert_eq!(state.doc_fault(), DocFault::None);
+        assert_eq!(state.doc_fault(), DocFault::Reset);
+        assert_eq!(state.doc_fault(), DocFault::Reset);
     }
 
     #[test]

@@ -34,18 +34,23 @@
 //! # Ok::<(), std::io::Error>(())
 //! ```
 
+mod bench;
 mod clock;
 mod cluster;
 mod daemon;
 mod fault;
+mod memory;
 mod origin;
+mod pool;
 mod stats;
 mod wire;
 
+pub use bench::{run_daemon_bench, DaemonBenchConfig, DaemonBenchReport};
 pub use clock::SharedClock;
 pub use cluster::{ClusterConfig, LoopbackCluster};
 pub use daemon::{BoundSockets, CacheDaemon, DaemonConfig, PeerAddr, ServeSource};
 pub use fault::{FaultKind, FaultMode, FaultPlan, FaultRule};
+pub use memory::MemoryProbe;
 pub use origin::OriginServer;
 pub use stats::{scrape_series, scrape_stats, MAX_STATS_BODY};
 pub use wire::{DecodeError, WireMessage, FRAME_V2, MAGIC, MAX_FRAME_LEN};

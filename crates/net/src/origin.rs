@@ -3,23 +3,42 @@
 //! Serves any document on request, synthesizing a body of the requested
 //! size, with an optional artificial service delay standing in for
 //! wide-area distance (the paper measured ~2.8 s for a real miss in 2002).
+//!
+//! Connections are persistent: each accepted connection gets its own
+//! thread that answers requests until the client closes or times out,
+//! so the daemons' pooled origin connections amortize their connect
+//! cost. Every accepted socket carries *both* a read and a write
+//! timeout — a stalled reader that never drains its response can no
+//! longer wedge the origin in `write_all` forever (such stalls are
+//! counted in [`OriginServer::write_timeouts`]).
 
+use crate::daemon::is_timeout;
+use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// Recovers the guard from a poisoned lock (a panicked connection
+/// thread must not wedge shutdown).
+fn lock<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One request/response exchange on an already-connected origin
+/// stream, leaving the connection healthy for reuse.
+///
 /// Wire format: request = `doc: u64, size: u64` (big-endian); response =
 /// `size: u64` followed by `size` body bytes.
-pub(crate) fn fetch_from_origin(
-    addr: SocketAddr,
+pub(crate) fn fetch_on_origin_conn(
+    stream: &mut TcpStream,
     doc: u64,
     size: u64,
     timeout: Duration,
 ) -> io::Result<u64> {
-    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
     let mut req = [0u8; 16];
@@ -29,8 +48,21 @@ pub(crate) fn fetch_from_origin(
     let mut header = [0u8; 8];
     stream.read_exact(&mut header)?;
     let body_len = u64::from_be_bytes(header);
-    drain_body(&mut stream, body_len)?;
+    drain_body(stream, body_len)?;
     Ok(body_len)
+}
+
+/// Connects, performs one exchange, and drops the connection (tests and
+/// one-shot callers; the daemons go through their pool instead).
+#[cfg(test)]
+pub(crate) fn fetch_from_origin(
+    addr: SocketAddr,
+    doc: u64,
+    size: u64,
+    timeout: Duration,
+) -> io::Result<u64> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    fetch_on_origin_conn(&mut stream, doc, size, timeout)
 }
 
 /// Reads and discards exactly `len` body bytes.
@@ -57,6 +89,19 @@ pub(crate) fn write_body<W: Write>(writer: &mut W, len: u64) -> io::Result<()> {
     Ok(())
 }
 
+/// State shared between the origin's accept loop, its per-connection
+/// threads, and the server handle.
+#[derive(Debug)]
+struct OriginShared {
+    served: AtomicU64,
+    write_timeouts: AtomicU64,
+    stop: AtomicBool,
+    /// `try_clone`d handles of live connections, shut down at exit to
+    /// unblock parked reads.
+    conns: Mutex<BTreeMap<u64, TcpStream>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
 /// A running stub origin server on a loopback TCP port.
 ///
 /// # Example
@@ -72,35 +117,46 @@ pub(crate) fn write_body<W: Write>(writer: &mut W, len: u64) -> io::Result<()> {
 #[derive(Debug)]
 pub struct OriginServer {
     addr: SocketAddr,
-    served: Arc<AtomicU64>,
-    stop: Arc<AtomicBool>,
+    shared: Arc<OriginShared>,
     handle: Option<JoinHandle<()>>,
 }
 
 impl OriginServer {
     /// Binds a loopback listener and starts serving with the given
-    /// artificial per-request delay.
+    /// artificial per-request delay and a default 5 s I/O timeout.
     ///
     /// # Errors
     ///
     /// Propagates socket bind errors.
     pub fn start(delay: Duration) -> io::Result<Self> {
+        Self::start_with_timeout(delay, Duration::from_secs(5))
+    }
+
+    /// As [`OriginServer::start`], with an explicit per-connection I/O
+    /// timeout (tests exercising stall handling want a short one).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind errors.
+    pub fn start_with_timeout(delay: Duration, io_timeout: Duration) -> io::Result<Self> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
-        let served = Arc::new(AtomicU64::new(0));
-        let stop = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(OriginShared {
+            served: AtomicU64::new(0),
+            write_timeouts: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(BTreeMap::new()),
+            handles: Mutex::new(Vec::new()),
+        });
         let handle = {
-            let served = Arc::clone(&served);
-            let stop = Arc::clone(&stop);
+            let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("coopcache-origin".into())
-                .spawn(move || serve_loop(&listener, delay, &served, &stop))?
+                .spawn(move || accept_loop(&listener, delay, io_timeout, &shared))?
         };
         Ok(Self {
             addr,
-            served,
-            stop,
+            shared,
             handle: Some(handle),
         })
     }
@@ -115,18 +171,51 @@ impl OriginServer {
     #[must_use]
     pub fn served(&self) -> u64 {
         // lint:allow(atomic-order) -- SeqCst: pairs with the SeqCst
-        // fetch_add in `serve_loop`; tests compare this against bytes
+        // fetch_add in `serve_conn`; tests compare this against bytes
         // already received over TCP, so the count may never lag a
         // completed response.
-        self.served.load(Ordering::SeqCst)
+        self.shared.served.load(Ordering::SeqCst)
     }
 
-    /// Stops the listener thread and waits for it to exit.
+    /// Number of responses abandoned because the client stalled without
+    /// draining them until the write timeout expired.
+    #[must_use]
+    pub fn write_timeouts(&self) -> u64 {
+        self.shared.write_timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Stops the listener and connection threads and waits for them.
     pub fn shutdown(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
         // lint:allow(atomic-order) -- Release: pairs with the Acquire
-        // load in `serve_loop`.
-        self.stop.store(true, Ordering::Release);
+        // load in `accept_loop`/`serve_conn`.
+        self.shared.stop.store(true, Ordering::Release);
+        // Wake the blocking accept with a throwaway connect.
+        drop(TcpStream::connect_timeout(
+            &self.addr,
+            Duration::from_millis(500),
+        ));
         if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+        // Acceptor joined: no new connections can register. Unblock and
+        // join the per-connection threads (teardown outside the locks).
+        let drained: Vec<TcpStream> = {
+            let mut conns = lock(&self.shared.conns);
+            std::mem::take(&mut *conns).into_values().collect()
+        };
+        for stream in &drained {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        drop(drained);
+        let handles: Vec<JoinHandle<()>> = {
+            let mut handles = lock(&self.shared.handles);
+            std::mem::take(&mut *handles)
+        };
+        for handle in handles {
             let _ = handle.join();
         }
     }
@@ -134,37 +223,54 @@ impl OriginServer {
 
 impl Drop for OriginServer {
     fn drop(&mut self) {
-        // Non-blocking best effort; `shutdown` is the clean path.
-        // lint:allow(atomic-order) -- Release: same pairing as `shutdown`.
-        self.stop.store(true, Ordering::Release);
+        // Best effort; `shutdown` is the clean path. The wake matters:
+        // the acceptor blocks indefinitely and only re-checks the flag
+        // once a connection arrives.
+        // lint:allow(atomic-order) -- Release: same pairing as `halt`.
+        self.shared.stop.store(true, Ordering::Release);
+        if self.handle.is_some() {
+            drop(TcpStream::connect_timeout(
+                &self.addr,
+                Duration::from_millis(500),
+            ));
+        }
     }
 }
 
-fn serve_loop(listener: &TcpListener, delay: Duration, served: &AtomicU64, stop: &AtomicBool) {
+fn accept_loop(
+    listener: &TcpListener,
+    delay: Duration,
+    io_timeout: Duration,
+    shared: &Arc<OriginShared>,
+) {
+    let mut conn_seq = 0u64;
     // lint:allow(atomic-order) -- Acquire: pairs with the Release store
-    // in `shutdown`/`drop`, ordering the flag read before loop exit.
-    while !stop.load(Ordering::Acquire) {
+    // in `halt`/`drop`, ordering the flag read before loop exit.
+    while !shared.stop.load(Ordering::Acquire) {
         match listener.accept() {
-            Ok((mut stream, _)) => {
-                let _ = stream.set_nodelay(true);
-                let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-                if !delay.is_zero() {
-                    std::thread::sleep(delay);
+            Ok((stream, _)) => {
+                // lint:allow(atomic-order) -- Acquire: same pairing; the
+                // wake connection must not spawn a server thread.
+                if shared.stop.load(Ordering::Acquire) {
+                    break;
                 }
-                let mut req = [0u8; 16];
-                if stream.read_exact(&mut req).is_err() {
-                    continue;
+                let id = conn_seq;
+                conn_seq += 1;
+                if let Ok(clone) = stream.try_clone() {
+                    lock(&shared.conns).insert(id, clone);
                 }
-                let mut size_bytes = [0u8; 8];
-                size_bytes.copy_from_slice(&req[8..]);
-                let size = u64::from_be_bytes(size_bytes);
-                // Count BEFORE replying: a client that has received the
-                // whole body must observe the incremented counter.
-                // lint:allow(atomic-order) -- SeqCst: pairs with the
-                // SeqCst load in `served`; see that comment.
-                served.fetch_add(1, Ordering::SeqCst);
-                if stream.write_all(&size.to_be_bytes()).is_ok() {
-                    let _ = write_body(&mut stream, size);
+                let conn_shared = Arc::clone(shared);
+                let spawned = std::thread::Builder::new()
+                    .name(format!("coopcache-origin-{id}"))
+                    .spawn(move || {
+                        serve_conn(&stream, delay, io_timeout, &conn_shared);
+                        lock(&conn_shared.conns).remove(&id);
+                    });
+                match spawned {
+                    Ok(handle) => lock(&shared.handles).push(handle),
+                    Err(_) => {
+                        lock(&shared.conns).remove(&id);
+                    }
                 }
             }
             // Any other accept error is transient on loopback; keep the
@@ -172,6 +278,50 @@ fn serve_loop(listener: &TcpListener, delay: Duration, served: &AtomicU64, stop:
             Err(_) => {
                 std::thread::sleep(Duration::from_millis(2));
             }
+        }
+    }
+}
+
+/// Serves one connection until the client closes, stalls past the I/O
+/// timeout, or shutdown.
+fn serve_conn(stream: &TcpStream, delay: Duration, io_timeout: Duration, shared: &OriginShared) {
+    let mut stream = stream;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(io_timeout));
+    let _ = stream.set_write_timeout(Some(io_timeout));
+    loop {
+        // lint:allow(atomic-order) -- Acquire: pairs with the Release
+        // store in `halt`/`drop`.
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let mut req = [0u8; 16];
+        if stream.read_exact(&mut req).is_err() {
+            return; // client closed or idled out; both end the connection
+        }
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        let mut size_bytes = [0u8; 8];
+        size_bytes.copy_from_slice(&req[8..]);
+        let size = u64::from_be_bytes(size_bytes);
+        // Count BEFORE replying: a client that has received the
+        // whole body must observe the incremented counter.
+        // lint:allow(atomic-order) -- SeqCst: pairs with the
+        // SeqCst load in `served`; see that comment.
+        shared.served.fetch_add(1, Ordering::SeqCst);
+        let wrote = stream
+            .write_all(&size.to_be_bytes())
+            .and_then(|()| write_body(&mut stream, size));
+        if let Err(e) = wrote {
+            if is_timeout(&e) {
+                // The client stalled without draining its response —
+                // the bug class write timeouts exist for. The response
+                // is abandoned and the connection dropped; the origin
+                // itself keeps serving.
+                shared.write_timeouts.fetch_add(1, Ordering::Relaxed);
+            }
+            return;
         }
     }
 }
@@ -204,6 +354,47 @@ mod tests {
         let origin = OriginServer::start(Duration::ZERO).unwrap();
         let got = fetch_from_origin(origin.addr(), 1, 0, Duration::from_secs(5)).unwrap();
         assert_eq!(got, 0);
+        origin.shutdown();
+    }
+
+    #[test]
+    fn persistent_connection_serves_many_requests() {
+        let origin = OriginServer::start(Duration::ZERO).unwrap();
+        let mut stream =
+            TcpStream::connect_timeout(&origin.addr(), Duration::from_secs(5)).unwrap();
+        for doc in 0..4 {
+            let got = fetch_on_origin_conn(&mut stream, doc, 64, Duration::from_secs(5)).unwrap();
+            assert_eq!(got, 64);
+        }
+        assert_eq!(origin.served(), 4, "four requests on one connection");
+        origin.shutdown();
+    }
+
+    #[test]
+    fn stalled_reader_times_out_without_wedging_the_origin() {
+        // Regression for the missing-write-timeout bug: a peer that
+        // requests a huge body and never reads it fills the kernel
+        // buffers until the origin's `write_all` would block forever.
+        // With a write timeout the origin abandons the response,
+        // counts it, and keeps serving other clients.
+        let origin =
+            OriginServer::start_with_timeout(Duration::ZERO, Duration::from_millis(200)).unwrap();
+        let mut stall = TcpStream::connect_timeout(&origin.addr(), Duration::from_secs(5)).unwrap();
+        let mut req = [0u8; 16];
+        req[..8].copy_from_slice(&7u64.to_be_bytes());
+        req[8..].copy_from_slice(&64_000_000u64.to_be_bytes()); // far beyond socket buffers
+        stall.write_all(&req).unwrap();
+        // Deliberately never read. Wait (bounded) for the origin's
+        // write to time out rather than sleeping a fixed interval.
+        let clock = crate::clock::SharedClock::start();
+        while origin.write_timeouts() == 0 && clock.now_micros() < 10_000_000 {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(origin.write_timeouts(), 1, "stall detected and abandoned");
+        // The origin is not wedged: a healthy client is still served.
+        let got = fetch_from_origin(origin.addr(), 8, 1000, Duration::from_secs(5)).unwrap();
+        assert_eq!(got, 1000);
+        drop(stall);
         origin.shutdown();
     }
 }

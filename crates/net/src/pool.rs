@@ -1,0 +1,263 @@
+//! A per-host pool of persistent peer/origin connections.
+//!
+//! The daemon's client side (peer fetches and origin fallback) checks
+//! connections out of this pool instead of paying a fresh
+//! `TcpStream::connect` per miss. Healthy connections are parked on
+//! check-in and reused LIFO (the most recently parked connection is the
+//! most likely to still be alive); parked connections past the idle
+//! timeout are reaped lazily at the next checkout or check-in for their
+//! host. Quarantining a peer discards its parked connections outright —
+//! a quarantined peer's sockets are dead weight and reusing one after
+//! recovery would mask the backoff window.
+//!
+//! Locking discipline: the single `pool_idle` mutex is held only for
+//! `BTreeMap`/`Vec` bookkeeping. Connects happen before the guard is
+//! taken and every drop of a reaped/evicted/discarded stream (which can
+//! touch the kernel) happens after it is released, so the pool never
+//! blocks under a lock (see the `lock-blocking` lint).
+
+use crate::clock::SharedClock;
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Recovers the guard from a poisoned pool lock. Pool state is a plain
+/// map of parked sockets — always valid — so a panicking peer thread
+/// must not take the whole daemon down with it.
+fn lock<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A parked connection and the daemon-clock microsecond it was parked.
+#[derive(Debug)]
+struct IdleConn {
+    stream: TcpStream,
+    parked_at_us: u64,
+}
+
+/// A checked-out connection, flagged with whether it came from the pool
+/// (`reused`) or a fresh connect.
+#[derive(Debug)]
+pub(crate) struct Checkout {
+    pub(crate) stream: TcpStream,
+    pub(crate) reused: bool,
+}
+
+#[derive(Debug)]
+pub(crate) struct ConnectionPool {
+    /// Parked idle connections per remote host, newest last.
+    pool_idle: Mutex<BTreeMap<SocketAddr, Vec<IdleConn>>>,
+    /// Cap on parked connections per host; 0 disables pooling entirely.
+    max_idle_per_host: usize,
+    idle_timeout_us: u64,
+}
+
+impl ConnectionPool {
+    pub(crate) fn new(max_idle_per_host: usize, idle_timeout: Duration) -> Self {
+        Self {
+            pool_idle: Mutex::new(BTreeMap::new()),
+            max_idle_per_host,
+            idle_timeout_us: u64::try_from(idle_timeout.as_micros()).unwrap_or(u64::MAX),
+        }
+    }
+
+    /// Checks out a connection to `addr`: the most recently parked live
+    /// connection when one exists, otherwise a fresh connect (made with
+    /// no pool lock held).
+    pub(crate) fn checkout(
+        &self,
+        addr: SocketAddr,
+        connect_timeout: Duration,
+        clock: &SharedClock,
+    ) -> io::Result<Checkout> {
+        let now_us = clock.now_micros();
+        let (hit, stale) = {
+            let mut idle = lock(&self.pool_idle);
+            let mut hit = None;
+            let mut stale = Vec::new();
+            if let Some(parked) = idle.get_mut(&addr) {
+                // Newest-first: parked order is by check-in time, so
+                // once the newest survivor is found everything still
+                // parked behind it is at least as old — but ages are
+                // checked per connection anyway, which keeps the loop
+                // correct even if clocks or check-ins interleave oddly.
+                while let Some(conn) = parked.pop() {
+                    if now_us.saturating_sub(conn.parked_at_us) <= self.idle_timeout_us {
+                        hit = Some(conn.stream);
+                        break;
+                    }
+                    stale.push(conn);
+                }
+                if parked.is_empty() {
+                    idle.remove(&addr);
+                }
+            }
+            (hit, stale)
+        };
+        drop(stale); // reaped sockets close outside the lock
+        match hit {
+            Some(stream) => Ok(Checkout {
+                stream,
+                reused: true,
+            }),
+            None => Ok(Checkout {
+                stream: TcpStream::connect_timeout(&addr, connect_timeout)?,
+                reused: false,
+            }),
+        }
+    }
+
+    /// Parks a healthy connection for reuse. When the per-host cap is
+    /// exceeded the oldest parked connection is evicted (and closed
+    /// outside the lock).
+    pub(crate) fn checkin(&self, addr: SocketAddr, stream: TcpStream, clock: &SharedClock) {
+        if self.max_idle_per_host == 0 {
+            return; // pooling disabled: the stream drops (closes) here
+        }
+        let parked_at_us = clock.now_micros();
+        let evicted = {
+            let mut idle = lock(&self.pool_idle);
+            let parked = idle.entry(addr).or_default();
+            parked.push(IdleConn {
+                stream,
+                parked_at_us,
+            });
+            if parked.len() > self.max_idle_per_host {
+                Some(parked.remove(0))
+            } else {
+                None
+            }
+        };
+        drop(evicted); // evicted socket closes outside the lock
+    }
+
+    /// Discards every parked connection for `addr`, returning how many
+    /// were dropped. Called when a peer is quarantined or a reused
+    /// connection turns out stale.
+    pub(crate) fn discard(&self, addr: SocketAddr) -> usize {
+        let drained = { lock(&self.pool_idle).remove(&addr) };
+        // Sockets close here, after the guard above is released.
+        drained.map_or(0, |parked| parked.len())
+    }
+
+    /// Number of connections currently parked for `addr`.
+    pub(crate) fn idle_count(&self, addr: SocketAddr) -> usize {
+        lock(&self.pool_idle).get(&addr).map_or(0, Vec::len)
+    }
+
+    /// Total parked connections across all hosts.
+    #[cfg(test)]
+    pub(crate) fn idle_total(&self) -> usize {
+        lock(&self.pool_idle).values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn listener() -> (TcpListener, SocketAddr) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("local addr");
+        (listener, addr)
+    }
+
+    #[test]
+    fn checkout_connects_fresh_then_reuses_checked_in_connection() {
+        let (_listener, addr) = listener();
+        let clock = SharedClock::start();
+        let pool = ConnectionPool::new(4, Duration::from_secs(30));
+
+        let first = pool
+            .checkout(addr, Duration::from_secs(1), &clock)
+            .expect("connect");
+        assert!(!first.reused);
+        pool.checkin(addr, first.stream, &clock);
+        assert_eq!(pool.idle_count(addr), 1);
+
+        let second = pool
+            .checkout(addr, Duration::from_secs(1), &clock)
+            .expect("reuse");
+        assert!(second.reused, "parked connection is handed back out");
+        assert_eq!(pool.idle_count(addr), 0);
+    }
+
+    #[test]
+    fn per_host_cap_evicts_oldest_and_zero_cap_disables_pooling() {
+        let (_listener, addr) = listener();
+        let clock = SharedClock::start();
+        let pool = ConnectionPool::new(2, Duration::from_secs(30));
+        for _ in 0..3 {
+            let conn = pool
+                .checkout(addr, Duration::from_secs(1), &clock)
+                .expect("connect");
+            pool.checkin(addr, conn.stream, &clock);
+        }
+        // Third check-in of a distinct connection trips the cap of 2.
+        let c1 = pool
+            .checkout(addr, Duration::from_secs(1), &clock)
+            .expect("a");
+        let c2 = pool
+            .checkout(addr, Duration::from_secs(1), &clock)
+            .expect("b");
+        pool.checkin(addr, c1.stream, &clock);
+        pool.checkin(addr, c2.stream, &clock);
+        assert_eq!(pool.idle_count(addr), 2);
+
+        let disabled = ConnectionPool::new(0, Duration::from_secs(30));
+        let conn = disabled
+            .checkout(addr, Duration::from_secs(1), &clock)
+            .expect("connect");
+        disabled.checkin(addr, conn.stream, &clock);
+        assert_eq!(disabled.idle_count(addr), 0, "cap 0 parks nothing");
+    }
+
+    #[test]
+    fn stale_connections_are_reaped_at_checkout() {
+        let (_listener, addr) = listener();
+        let clock = SharedClock::start();
+        let pool = ConnectionPool::new(4, Duration::ZERO); // everything is instantly stale
+        let conn = pool
+            .checkout(addr, Duration::from_secs(1), &clock)
+            .expect("connect");
+        pool.checkin(addr, conn.stream, &clock);
+        std::thread::sleep(Duration::from_millis(2));
+        let next = pool
+            .checkout(addr, Duration::from_secs(1), &clock)
+            .expect("connect");
+        assert!(
+            !next.reused,
+            "stale parked connection was reaped, not reused"
+        );
+        assert_eq!(pool.idle_total(), 0);
+    }
+
+    #[test]
+    fn discard_drops_every_parked_connection_for_the_host() {
+        let (_listener, addr) = listener();
+        let (_other_listener, other) = listener();
+        let clock = SharedClock::start();
+        let pool = ConnectionPool::new(4, Duration::from_secs(30));
+        // Check out two distinct connections to `addr` before parking
+        // either (sequential checkin would just reuse the first).
+        let a1 = pool
+            .checkout(addr, Duration::from_secs(1), &clock)
+            .expect("a1");
+        let a2 = pool
+            .checkout(addr, Duration::from_secs(1), &clock)
+            .expect("a2");
+        pool.checkin(addr, a1.stream, &clock);
+        pool.checkin(addr, a2.stream, &clock);
+        let o = pool
+            .checkout(other, Duration::from_secs(1), &clock)
+            .expect("o");
+        pool.checkin(other, o.stream, &clock);
+        assert_eq!(pool.discard(addr), 2);
+        assert_eq!(pool.idle_count(addr), 0);
+        assert_eq!(pool.idle_count(other), 1, "other hosts are untouched");
+        assert_eq!(pool.discard(addr), 0, "second discard finds nothing");
+    }
+}

@@ -84,31 +84,52 @@ pub fn read_frame<R: Read>(reader: &mut R) -> io::Result<WireMessage> {
     WireMessage::decode(&header).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
-/// Peeks at an accepted doc-port connection — without consuming any
-/// bytes — to check whether its first frame is an observability probe
-/// (`OP_STATS` or `OP_SERIES`). A refuse-rigged daemon uses this to
-/// keep serving stats and series scrapes while document fetches still
-/// see the connection die unread (observability must survive chaos).
-/// The client's length prefix and header are written separately and
-/// can land in different segments, so short peeks wait briefly for
-/// the rest; on timeout or error the connection is treated as a
+/// What a blocking peek at a doc-port connection found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PeekedFrame {
+    /// An observability probe (`OP_STATS` or `OP_SERIES`) is arriving.
+    Probe,
+    /// Anything else — treated as a document fetch.
+    Doc,
+    /// The peer closed without sending another frame.
+    Closed,
+}
+
+/// Blocks (via `peek`, consuming nothing) until the next frame starts
+/// arriving on an accepted doc-port connection, then classifies it. A
+/// refuse-rigged daemon uses this to keep serving stats and series
+/// scrapes while document fetches still see the connection die with the
+/// frame unread (observability must survive chaos) — and, on persistent
+/// connections, to draw faults per *arriving* frame rather than per
+/// idle wait. The client's length prefix and header are written
+/// separately and can land in different segments, so short peeks wait
+/// briefly for the rest; a stuck partial frame is treated as a
 /// document fetch.
-pub(crate) fn frame_is_stats_probe(stream: &std::net::TcpStream) -> bool {
+///
+/// # Errors
+///
+/// Propagates peek failures — including the read-timeout expiry of an
+/// idle connection.
+pub(crate) fn peek_frame_kind(stream: &std::net::TcpStream) -> io::Result<PeekedFrame> {
     // length prefix (4) + magic (2) + version (1) + opcode (1)
     let mut buf = [0u8; 8];
     for _ in 0..50 {
-        match stream.peek(&mut buf) {
-            Ok(n) if n >= buf.len() => {
-                return buf[4..6] == MAGIC.to_be_bytes()
+        match stream.peek(&mut buf)? {
+            0 => return Ok(PeekedFrame::Closed), // clean close
+            n if n >= buf.len() => {
+                let probe = buf[4..6] == MAGIC.to_be_bytes()
                     && buf[6] == FRAME_V2
                     && (buf[7] == OP_STATS_REQUEST || buf[7] == OP_SERIES_REQUEST);
+                return Ok(if probe {
+                    PeekedFrame::Probe
+                } else {
+                    PeekedFrame::Doc
+                });
             }
-            Ok(0) => return false, // closed without writing a frame
-            Ok(_) => std::thread::sleep(std::time::Duration::from_millis(1)),
-            Err(_) => return false,
+            _ => std::thread::sleep(std::time::Duration::from_millis(1)),
         }
     }
-    false
+    Ok(PeekedFrame::Doc)
 }
 
 const OP_ICP_QUERY: u8 = 1;

@@ -269,6 +269,26 @@ pub enum Event {
     /// requester's trace context rides the wire so remote daemons join
     /// the same tree.
     Span(Span),
+    /// A pooled connection carried one more exchange instead of a fresh
+    /// `connect`. Emitted by the client side on a pool checkout hit and
+    /// by the server side when a persistent connection serves its
+    /// second (or later) document frame.
+    ConnReused {
+        /// The cache observing the reuse.
+        cache: CacheId,
+        /// The remote peer, when it is a cache (`None` for the origin
+        /// pool and for server-side reuse of an anonymous client).
+        peer: Option<CacheId>,
+    },
+    /// Memory-pressure admission control declined to store an
+    /// origin-fetched document: the request was still served, but the
+    /// cacheable-store work was shed.
+    AdmissionShed {
+        /// The cache shedding the store.
+        cache: CacheId,
+        /// The document that was served but not stored.
+        doc: DocId,
+    },
 }
 
 /// The discriminant of an [`Event`], for counting and filtering.
@@ -296,6 +316,10 @@ pub enum EventKind {
     WindowRollover,
     /// [`Event::Span`].
     Span,
+    /// [`Event::ConnReused`].
+    ConnReused,
+    /// [`Event::AdmissionShed`].
+    AdmissionShed,
 }
 
 /// All event kinds, in the order they appear in summaries.
@@ -304,7 +328,7 @@ pub enum EventKind {
 /// [`EventKind::index`] assigns it; the `event_kinds` tests enforce the
 /// lockstep, and the exhaustive match in `index` makes adding a variant
 /// without extending this array a compile error.
-pub const EVENT_KINDS: [EventKind; 11] = [
+pub const EVENT_KINDS: [EventKind; 13] = [
     EventKind::Request,
     EventKind::IcpQuery,
     EventKind::IcpReply,
@@ -316,6 +340,8 @@ pub const EVENT_KINDS: [EventKind; 11] = [
     EventKind::ServerLoopError,
     EventKind::WindowRollover,
     EventKind::Span,
+    EventKind::ConnReused,
+    EventKind::AdmissionShed,
 ];
 
 impl EventKind {
@@ -334,6 +360,8 @@ impl EventKind {
             Self::ServerLoopError => "loop-error",
             Self::WindowRollover => "window",
             Self::Span => "span",
+            Self::ConnReused => "connections-reused",
+            Self::AdmissionShed => "admission-shed",
         }
     }
 
@@ -366,6 +394,8 @@ impl EventKind {
             Self::ServerLoopError => 8,
             Self::WindowRollover => 9,
             Self::Span => 10,
+            Self::ConnReused => 11,
+            Self::AdmissionShed => 12,
         }
     }
 }
@@ -393,6 +423,8 @@ impl Event {
             Self::ServerLoopError { .. } => EventKind::ServerLoopError,
             Self::WindowRollover { .. } => EventKind::WindowRollover,
             Self::Span(..) => EventKind::Span,
+            Self::ConnReused { .. } => EventKind::ConnReused,
+            Self::AdmissionShed { .. } => EventKind::AdmissionShed,
         }
     }
 
@@ -564,6 +596,18 @@ impl Event {
                 w.key("mean_age_ms");
                 w.opt_u64(*mean_age_ms);
             }
+            Self::ConnReused { cache, peer } => {
+                w.key("cache");
+                w.u64(u64::from(cache.as_u16()));
+                w.key("peer");
+                w.opt_u64(peer.map(|c| u64::from(c.as_u16())));
+            }
+            Self::AdmissionShed { cache, doc } => {
+                w.key("cache");
+                w.u64(u64::from(cache.as_u16()));
+                w.key("doc");
+                w.u64(doc.as_u64());
+            }
             Self::Span(span) => {
                 w.key("trace");
                 w.u64(span.trace_id);
@@ -702,10 +746,37 @@ mod tests {
 
     #[test]
     fn kinds_cover_all_events() {
-        assert_eq!(EVENT_KINDS.len(), 11);
+        assert_eq!(EVENT_KINDS.len(), 13);
         for kind in EVENT_KINDS {
             assert!(!kind.name().is_empty());
         }
+    }
+
+    #[test]
+    fn pool_and_admission_json_shapes() {
+        let ev = Event::ConnReused {
+            cache: CacheId::new(0),
+            peer: Some(CacheId::new(2)),
+        };
+        assert_eq!(ev.kind(), EventKind::ConnReused);
+        assert_eq!(
+            ev.to_json(),
+            r#"{"ev":"connections-reused","cache":0,"peer":2}"#
+        );
+        let ev = Event::ConnReused {
+            cache: CacheId::new(1),
+            peer: None,
+        };
+        assert_eq!(
+            ev.to_json(),
+            r#"{"ev":"connections-reused","cache":1,"peer":null}"#
+        );
+        let ev = Event::AdmissionShed {
+            cache: CacheId::new(3),
+            doc: DocId::new(9),
+        };
+        assert_eq!(ev.kind(), EventKind::AdmissionShed);
+        assert_eq!(ev.to_json(), r#"{"ev":"admission-shed","cache":3,"doc":9}"#);
     }
 
     #[test]

@@ -373,7 +373,9 @@ pub fn event_cache(event: &Event) -> Option<CacheId> {
         | Event::PeerFault { cache, .. }
         | Event::Failover { cache, .. }
         | Event::PeerQuarantined { cache, .. }
-        | Event::ServerLoopError { cache, .. } => Some(*cache),
+        | Event::ServerLoopError { cache, .. }
+        | Event::ConnReused { cache, .. }
+        | Event::AdmissionShed { cache, .. } => Some(*cache),
         Event::IcpQuery { from, .. } | Event::IcpReply { from, .. } => Some(*from),
         Event::Span(span) => Some(span.cache),
         Event::WindowRollover { .. } => None,

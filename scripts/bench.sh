@@ -1,26 +1,28 @@
 #!/usr/bin/env bash
 # Reproduce the paper benchmarks with fixed seeds and snapshot the
-# result tables into BENCH_7.json.
+# result tables into BENCH_8.json.
 #
 # Runs (from the repo root):
 #   cargo run --release -p coopcache-bench --bin fig1_hit_rates -- --json
 #   cargo run --release -p coopcache-bench --bin des_latency -- --json
 #   cargo run --release -p coopcache-bench --bin bench_core -- --json
+#   cargo run --release -p coopcache-cli --bin coopcache -- bench-daemon --json ...
 #
 # then merges the results/ JSON files into a single document:
 #
-#   {"bench":"BENCH_7","experiments":[<fig1_hit_rates>,<des_latency>,<bench_core>]}
+#   {"bench":"BENCH_8","experiments":[<fig1_hit_rates>,<des_latency>,<bench_core>,<bench_daemon>]}
 #
 # Each experiment keeps the standard results/ shape
 # ({"id","title","trace","headers":[...],"rows":[[...]]}).  The seeds
 # live in the benchmark binaries, so the paper-figure tables are
 # byte-identical run to run; no timestamps are recorded for exactly
-# that reason.  The bench_core experiment reports measured wall-clock
-# throughput of the sharded arena store, so its numbers vary run to
-# run — bench_diff treats new experiments as additions, and the
+# that reason.  The bench_core and bench_daemon experiments report
+# measured wall-clock throughput (of the sharded arena store and the
+# live pooled daemon transport respectively), so their numbers vary
+# run to run — bench_diff treats new experiments as additions, and the
 # paper-figure cells must not drift.
 #
-# When the previous snapshot (BENCH_6.json) is present, the run closes
+# When the previous snapshot (BENCH_7.json) is present, the run closes
 # with an advisory scripts/bench_diff.sh report of any drift.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -28,23 +30,26 @@ cd "$(dirname "$0")/.."
 cargo run --release -q -p coopcache-bench --bin fig1_hit_rates -- --json
 cargo run --release -q -p coopcache-bench --bin des_latency -- --json
 cargo run --release -q -p coopcache-bench --bin bench_core -- --json
+cargo run --release -q -p coopcache-cli --bin coopcache -- bench-daemon --json results/bench_daemon.json
 
-for f in results/fig1_hit_rates.json results/des_latency.json results/bench_core.json; do
+for f in results/fig1_hit_rates.json results/des_latency.json results/bench_core.json results/bench_daemon.json; do
     [ -s "$f" ] || { echo "bench.sh: missing $f" >&2; exit 1; }
 done
 
 {
-    printf '{"bench":"BENCH_7","experiments":['
+    printf '{"bench":"BENCH_8","experiments":['
     printf '%s' "$(cat results/fig1_hit_rates.json)"
     printf ','
     printf '%s' "$(cat results/des_latency.json)"
     printf ','
     printf '%s' "$(cat results/bench_core.json)"
+    printf ','
+    printf '%s' "$(cat results/bench_daemon.json)"
     printf ']}\n'
-} > BENCH_7.json
+} > BENCH_8.json
 
-echo "wrote BENCH_7.json"
+echo "wrote BENCH_8.json"
 
-if [ -s BENCH_6.json ]; then
-    scripts/bench_diff.sh BENCH_6.json BENCH_7.json
+if [ -s BENCH_7.json ]; then
+    scripts/bench_diff.sh BENCH_7.json BENCH_8.json
 fi

@@ -71,11 +71,14 @@ fi
 echo "== bench-core smoke (O(1) scaling + allocation-free hot path)"
 cargo run --release -q -p coopcache-bench --bin bench_core -- --smoke
 
+echo "== bench-daemon smoke (pooled transport must reuse connections)"
+cargo run --release -q -p coopcache-cli --bin coopcache -- bench-daemon --smoke true
+
 echo "== bench drift (advisory; compares the last two snapshots)"
-if [[ -s BENCH_6.json && -s BENCH_7.json ]]; then
-  scripts/bench_diff.sh BENCH_6.json BENCH_7.json || true
+if [[ -s BENCH_7.json && -s BENCH_8.json ]]; then
+  scripts/bench_diff.sh BENCH_7.json BENCH_8.json || true
 else
-  echo "   skipped: run scripts/bench.sh to produce BENCH_7.json"
+  echo "   skipped: run scripts/bench.sh to produce BENCH_8.json"
 fi
 
 echo "All checks passed."

@@ -6,12 +6,26 @@
 //! `request()` still returns `Ok`, with failover visible in the event
 //! stream and repeat offenders quarantined. Fault schedules are seeded,
 //! so a fixed seed reproduces the same run.
+//!
+//! Every scenario runs twice: once over the pooled transport (the
+//! default — fetches reuse parked peer/origin connections) and once
+//! with pooling disabled (`pool_max_idle == 0`, every fetch on a fresh
+//! connection), so the resilience guarantees hold under both connection
+//! lifecycles. The `_pooling` tests at the bottom cover the pool's own
+//! failure interactions: faults on *reused* connections and quarantine
+//! discarding a peer's parked connections.
 
 use coopcache::net::{ClusterConfig, FaultKind, FaultMode, FaultPlan, LoopbackCluster};
 use coopcache::obs::{EventKind, RingBufferSink};
 use coopcache::prelude::*;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+/// The per-host idle cap used for the pooled variants (the loopback
+/// daemon default).
+const POOLED: usize = 8;
+/// Pooling disabled: every fetch opens a fresh connection.
+const UNPOOLED: usize = 0;
 
 fn kb(n: u64) -> ByteSize {
     ByteSize::from_kb(n)
@@ -31,10 +45,12 @@ fn chaos_cluster(
     caches: u16,
     scheme: PlacementScheme,
     faults: FaultPlan,
+    pool_max_idle: usize,
 ) -> (LoopbackCluster, Arc<Mutex<RingBufferSink>>) {
     let config = ClusterConfig::new(caches, kb(64), scheme)
         .icp_timeout(Duration::from_millis(80))
         .io_timeout(Duration::from_secs(2))
+        .pool_max_idle(pool_max_idle)
         .faults(faults);
     let mut cluster = LoopbackCluster::start_with_config(config).unwrap();
     let ring = Arc::new(Mutex::new(RingBufferSink::new(512)));
@@ -50,12 +66,11 @@ fn kind_count(ring: &Mutex<RingBufferSink>, kind: EventKind) -> usize {
         .count()
 }
 
-#[test]
-fn refused_doc_connection_falls_back_to_origin() {
+fn refused_doc_scenario(pool_max_idle: usize) {
     // Cache 1 answers ICP but its doc listener drops every connection —
     // a peer that died between the ICP reply and the fetch.
     let plan = FaultPlan::seeded(1).rule(c(1), FaultKind::RefuseDoc, FaultMode::Always);
-    let (cluster, ring) = chaos_cluster(2, PlacementScheme::Ea, plan);
+    let (cluster, ring) = chaos_cluster(2, PlacementScheme::Ea, plan, pool_max_idle);
     cluster.request(1, d(5), kb(4)).unwrap(); // warm the doc at cache 1
 
     let out = cluster.request(0, d(5), kb(4)).unwrap();
@@ -88,7 +103,16 @@ fn refused_doc_connection_falls_back_to_origin() {
 }
 
 #[test]
-fn second_positive_replier_serves_after_first_fails() {
+fn refused_doc_connection_falls_back_to_origin() {
+    refused_doc_scenario(POOLED);
+}
+
+#[test]
+fn refused_doc_connection_falls_back_to_origin_without_pooling() {
+    refused_doc_scenario(UNPOOLED);
+}
+
+fn second_replier_scenario(pool_max_idle: usize) {
     // Ad-hoc replication puts the doc at caches 1 and 2. Cache 1 replies
     // to ICP first (cache 2's reply is delayed) but refuses the fetch,
     // so the request must fail over to cache 2 and still be a RemoteHit.
@@ -99,7 +123,7 @@ fn second_positive_replier_serves_after_first_fails() {
             FaultKind::DelayIcpReply(Duration::from_millis(15)),
             FaultMode::Always,
         );
-    let (cluster, ring) = chaos_cluster(3, PlacementScheme::AdHoc, plan);
+    let (cluster, ring) = chaos_cluster(3, PlacementScheme::AdHoc, plan, pool_max_idle);
     cluster.request(1, d(9), kb(4)).unwrap(); // origin miss, stored at 1
     cluster.request(2, d(9), kb(4)).unwrap(); // ad-hoc replicates to 2
 
@@ -128,12 +152,22 @@ fn second_positive_replier_serves_after_first_fails() {
 }
 
 #[test]
-fn killed_peer_is_absorbed_and_quarantined() {
+fn second_positive_replier_serves_after_first_fails() {
+    second_replier_scenario(POOLED);
+}
+
+#[test]
+fn second_positive_replier_serves_after_first_fails_without_pooling() {
+    second_replier_scenario(UNPOOLED);
+}
+
+fn killed_peer_scenario(pool_max_idle: usize) {
     // No fault plan: the peer genuinely dies. ICP goes silent and the
     // doc port refuses; requests keep succeeding via the origin, and
     // after repeated silence the dead peer is quarantined.
-    let config =
-        ClusterConfig::new(2, kb(64), PlacementScheme::Ea).icp_timeout(Duration::from_millis(80));
+    let config = ClusterConfig::new(2, kb(64), PlacementScheme::Ea)
+        .icp_timeout(Duration::from_millis(80))
+        .pool_max_idle(pool_max_idle);
     let mut cluster = LoopbackCluster::start_with_config(config).unwrap();
     let ring = Arc::new(Mutex::new(RingBufferSink::new(512)));
     cluster.set_sink(SinkHandle::from_arc(Arc::clone(&ring)));
@@ -153,9 +187,18 @@ fn killed_peer_is_absorbed_and_quarantined() {
 }
 
 #[test]
-fn dropped_icp_queries_degrade_to_origin_misses() {
+fn killed_peer_is_absorbed_and_quarantined() {
+    killed_peer_scenario(POOLED);
+}
+
+#[test]
+fn killed_peer_is_absorbed_and_quarantined_without_pooling() {
+    killed_peer_scenario(UNPOOLED);
+}
+
+fn dropped_icp_scenario(pool_max_idle: usize) {
     let plan = FaultPlan::seeded(3).rule(c(1), FaultKind::DropIcpQuery, FaultMode::Always);
-    let (cluster, ring) = chaos_cluster(2, PlacementScheme::Ea, plan);
+    let (cluster, ring) = chaos_cluster(2, PlacementScheme::Ea, plan, pool_max_idle);
     cluster.request(1, d(7), kb(4)).unwrap();
 
     let out = cluster.request(0, d(7), kb(4)).unwrap();
@@ -172,9 +215,18 @@ fn dropped_icp_queries_degrade_to_origin_misses() {
 }
 
 #[test]
-fn truncated_body_is_absorbed_by_origin_fallback() {
+fn dropped_icp_queries_degrade_to_origin_misses() {
+    dropped_icp_scenario(POOLED);
+}
+
+#[test]
+fn dropped_icp_queries_degrade_to_origin_misses_without_pooling() {
+    dropped_icp_scenario(UNPOOLED);
+}
+
+fn truncated_body_scenario(pool_max_idle: usize) {
     let plan = FaultPlan::seeded(4).rule(c(1), FaultKind::TruncateDocBody, FaultMode::Always);
-    let (cluster, ring) = chaos_cluster(2, PlacementScheme::Ea, plan);
+    let (cluster, ring) = chaos_cluster(2, PlacementScheme::Ea, plan, pool_max_idle);
     cluster.request(1, d(11), kb(8)).unwrap();
 
     let out = cluster.request(0, d(11), kb(8)).unwrap();
@@ -185,9 +237,18 @@ fn truncated_body_is_absorbed_by_origin_fallback() {
 }
 
 #[test]
-fn reset_connection_is_absorbed_by_origin_fallback() {
+fn truncated_body_is_absorbed_by_origin_fallback() {
+    truncated_body_scenario(POOLED);
+}
+
+#[test]
+fn truncated_body_is_absorbed_by_origin_fallback_without_pooling() {
+    truncated_body_scenario(UNPOOLED);
+}
+
+fn reset_connection_scenario(pool_max_idle: usize) {
     let plan = FaultPlan::seeded(5).rule(c(1), FaultKind::ResetDoc, FaultMode::Always);
-    let (cluster, _ring) = chaos_cluster(2, PlacementScheme::Ea, plan);
+    let (cluster, _ring) = chaos_cluster(2, PlacementScheme::Ea, plan, pool_max_idle);
     cluster.request(1, d(13), kb(4)).unwrap();
 
     let out = cluster.request(0, d(13), kb(4)).unwrap();
@@ -201,7 +262,16 @@ fn reset_connection_is_absorbed_by_origin_fallback() {
 }
 
 #[test]
-fn chaos_run_is_deterministic_for_a_fixed_seed() {
+fn reset_connection_is_absorbed_by_origin_fallback() {
+    reset_connection_scenario(POOLED);
+}
+
+#[test]
+fn reset_connection_is_absorbed_by_origin_fallback_without_pooling() {
+    reset_connection_scenario(UNPOOLED);
+}
+
+fn deterministic_seed_scenario(pool_max_idle: usize) {
     // Two identical runs under probabilistic document faults must serve
     // the same outcome classes and absorb the same number of faults.
     // The shape is chosen to be timing-free: a single faulty peer (so
@@ -214,6 +284,7 @@ fn chaos_run_is_deterministic_for_a_fixed_seed() {
         let config = ClusterConfig::new(2, kb(64), PlacementScheme::Ea)
             .icp_timeout(Duration::from_millis(80))
             .quarantine_after(0)
+            .pool_max_idle(pool_max_idle)
             .faults(plan);
         let mut cluster = LoopbackCluster::start_with_config(config).unwrap();
         let ring = Arc::new(Mutex::new(RingBufferSink::new(1024)));
@@ -242,9 +313,19 @@ fn chaos_run_is_deterministic_for_a_fixed_seed() {
 }
 
 #[test]
-fn garbage_connection_logs_loop_error_and_listener_survives() {
-    let config =
-        ClusterConfig::new(2, kb(64), PlacementScheme::Ea).icp_timeout(Duration::from_millis(80));
+fn chaos_run_is_deterministic_for_a_fixed_seed() {
+    deterministic_seed_scenario(POOLED);
+}
+
+#[test]
+fn chaos_run_is_deterministic_for_a_fixed_seed_without_pooling() {
+    deterministic_seed_scenario(UNPOOLED);
+}
+
+fn garbage_connection_scenario(pool_max_idle: usize) {
+    let config = ClusterConfig::new(2, kb(64), PlacementScheme::Ea)
+        .icp_timeout(Duration::from_millis(80))
+        .pool_max_idle(pool_max_idle);
     let mut cluster = LoopbackCluster::start_with_config(config).unwrap();
     let ring = Arc::new(Mutex::new(RingBufferSink::new(64)));
     cluster.set_sink(SinkHandle::from_arc(Arc::clone(&ring)));
@@ -273,7 +354,16 @@ fn garbage_connection_logs_loop_error_and_listener_survives() {
 }
 
 #[test]
-fn quarantined_peer_recovers_after_backoff() {
+fn garbage_connection_logs_loop_error_and_listener_survives() {
+    garbage_connection_scenario(POOLED);
+}
+
+#[test]
+fn garbage_connection_logs_loop_error_and_listener_survives_without_pooling() {
+    garbage_connection_scenario(UNPOOLED);
+}
+
+fn quarantine_recovery_scenario(pool_max_idle: usize) {
     // Cache 1 refuses its first four connections (two requests' worth,
     // with one retry each), gets quarantined, and after the backoff
     // expires serves normally again.
@@ -282,6 +372,7 @@ fn quarantined_peer_recovers_after_backoff() {
         .icp_timeout(Duration::from_millis(80))
         .quarantine_after(2)
         .quarantine_base(Duration::from_millis(50))
+        .pool_max_idle(pool_max_idle)
         .faults(plan);
     let mut cluster = LoopbackCluster::start_with_config(config).unwrap();
     let ring = Arc::new(Mutex::new(RingBufferSink::new(256)));
@@ -304,6 +395,106 @@ fn quarantined_peer_recovers_after_backoff() {
     assert!(
         out.is_remote_hit(),
         "recovered peer must serve again: {out:?}"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn quarantined_peer_recovers_after_backoff() {
+    quarantine_recovery_scenario(POOLED);
+}
+
+#[test]
+fn quarantined_peer_recovers_after_backoff_without_pooling() {
+    quarantine_recovery_scenario(UNPOOLED);
+}
+
+/// A fault on a *reused* pooled connection must be absorbed exactly like
+/// one on a fresh connection: transparent stale-retry first, then
+/// failover to the origin — never a client-visible error.
+fn reused_connection_fault_scenario(kind: FaultKind) {
+    // The first frame at cache 1's listener (the fetch of d(1)) is
+    // served cleanly, so the requester parks the connection; every later
+    // frame on it faults — including the transparent fresh-retry frame,
+    // so the failure genuinely surfaces as a peer fault and fails over.
+    let plan = FaultPlan::seeded(8).rule(c(1), kind, FaultMode::AfterFirstN(1));
+    let config = ClusterConfig::new(2, kb(64), PlacementScheme::Ea)
+        .icp_timeout(Duration::from_millis(80))
+        .io_timeout(Duration::from_secs(2))
+        .quarantine_after(0)
+        .faults(plan);
+    let mut cluster = LoopbackCluster::start_with_config(config).unwrap();
+    let ring = Arc::new(Mutex::new(RingBufferSink::new(256)));
+    cluster.set_sink(SinkHandle::from_arc(Arc::clone(&ring)));
+    cluster.request(1, d(1), kb(4)).unwrap(); // warm two docs at cache 1
+    cluster.request(1, d(2), kb(4)).unwrap();
+
+    let out = cluster.request(0, d(1), kb(4)).unwrap();
+    assert!(out.is_remote_hit(), "clean first fetch: {out:?}");
+    let peer_doc = cluster.doc_addrs()[1];
+    assert_eq!(
+        cluster.daemon(0).pooled_idle_to(peer_doc),
+        1,
+        "the healthy connection must be parked for reuse"
+    );
+
+    // The next fetch reuses the parked connection and hits the fault.
+    let out = cluster.request(0, d(2), kb(4)).unwrap();
+    assert!(
+        matches!(out, RequestOutcome::Miss { .. }),
+        "fault on the reused connection must fail over, got {out:?}"
+    );
+    assert!(
+        kind_count(&ring, EventKind::PeerFault) >= 1,
+        "the post-retry failure is a real peer fault"
+    );
+    assert!(kind_count(&ring, EventKind::Failover) >= 1);
+    cluster.shutdown();
+}
+
+#[test]
+fn reset_on_reused_connection_fails_over_not_client_error() {
+    reused_connection_fault_scenario(FaultKind::ResetDoc);
+}
+
+#[test]
+fn refuse_on_reused_connection_fails_over_not_client_error() {
+    reused_connection_fault_scenario(FaultKind::RefuseDoc);
+}
+
+#[test]
+fn quarantine_discards_the_peers_pooled_connections() {
+    // A healthy exchange parks a connection to cache 1; when cache 1 is
+    // quarantined, the parked connection must be discarded so the stale
+    // socket can never be replayed after the peer recovers.
+    let plan = FaultPlan::seeded(9).rule(c(1), FaultKind::ResetDoc, FaultMode::AfterFirstN(1));
+    let config = ClusterConfig::new(2, kb(64), PlacementScheme::Ea)
+        .icp_timeout(Duration::from_millis(80))
+        .io_timeout(Duration::from_secs(2))
+        .quarantine_after(1)
+        .quarantine_base(Duration::from_secs(60))
+        .faults(plan);
+    let mut cluster = LoopbackCluster::start_with_config(config).unwrap();
+    let ring = Arc::new(Mutex::new(RingBufferSink::new(256)));
+    cluster.set_sink(SinkHandle::from_arc(Arc::clone(&ring)));
+    cluster.request(1, d(1), kb(4)).unwrap();
+    cluster.request(1, d(2), kb(4)).unwrap();
+
+    let out = cluster.request(0, d(1), kb(4)).unwrap();
+    assert!(out.is_remote_hit(), "{out:?}");
+    let peer_doc = cluster.doc_addrs()[1];
+    assert_eq!(cluster.daemon(0).pooled_idle_to(peer_doc), 1);
+
+    // The reused-connection fault (and its failed retry) trips the
+    // quarantine threshold of 1.
+    let out = cluster.request(0, d(2), kb(4)).unwrap();
+    assert!(matches!(out, RequestOutcome::Miss { .. }), "{out:?}");
+    assert_eq!(cluster.daemon(0).quarantined_peers(), vec![c(1)]);
+    assert!(kind_count(&ring, EventKind::PeerQuarantined) >= 1);
+    assert_eq!(
+        cluster.daemon(0).pooled_idle_to(peer_doc),
+        0,
+        "quarantine must drop every parked connection to the peer"
     );
     cluster.shutdown();
 }

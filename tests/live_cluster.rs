@@ -121,3 +121,32 @@ fn origin_counts_match_miss_outcomes() {
     assert_eq!(cluster.origin_fetches(), misses);
     cluster.shutdown();
 }
+
+#[test]
+fn server_loops_are_event_driven_not_polling() {
+    // The transport parks its server threads in blocking accept/recv —
+    // no wake-every-20ms stop-flag polling. So over a quiet interval the
+    // per-daemon loop-iteration counters must stay (almost) flat; a
+    // busy-poll regression would show dozens of iterations here.
+    let cluster = LoopbackCluster::start(2, kb(64), PlacementScheme::Ea).unwrap();
+    for i in 0..4 {
+        cluster.request((i % 2) as usize, d(i), kb(2)).unwrap();
+    }
+    // Let any in-flight frames and ICP stragglers settle.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let before: Vec<(u64, u64)> = (0..2)
+        .map(|i| cluster.daemon(i).loop_iterations())
+        .collect();
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let after: Vec<(u64, u64)> = (0..2)
+        .map(|i| cluster.daemon(i).loop_iterations())
+        .collect();
+    for (i, (b, a)) in before.iter().zip(after.iter()).enumerate() {
+        let (icp, accept) = (a.0 - b.0, a.1 - b.1);
+        assert!(
+            icp <= 1 && accept <= 1,
+            "daemon {i} busy-polled while idle: +{icp} icp, +{accept} accept iterations"
+        );
+    }
+    cluster.shutdown();
+}
