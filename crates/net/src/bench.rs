@@ -15,11 +15,33 @@ use crate::origin::drain_body;
 use crate::stats::scrape_stats;
 use crate::wire::{read_frame, write_frame, WireMessage};
 use coopcache_core::PlacementScheme;
+use coopcache_obs::{JsonlSink, SamplerConfig, SinkHandle};
 use coopcache_proxy::HttpRequest;
 use coopcache_types::{ByteSize, CacheId, DocId, DurationMs, ExpirationAge};
 use std::io::{self, BufReader, Write};
 use std::net::TcpStream;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
+
+/// Whether the bench daemon streams events while being hammered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventsMode {
+    /// No sink installed — the baseline the overhead gate compares
+    /// against (span/counter bookkeeping still runs; it always does).
+    Off,
+    /// A deterministic head sampler in front of a JSONL serializer:
+    /// the always-on production posture. A dropped trace sheds *all* of
+    /// its request-scoped telemetry before the sink lock (spans by the
+    /// per-event filter, the rest via the daemon's per-frame mute);
+    /// kept events pay full serialization (the bytes go to a null
+    /// writer so the bench measures CPU, not disk).
+    Sampled {
+        /// Sampler seed (same seed → same kept traces).
+        seed: u64,
+        /// Keep rate in permille.
+        rate: u32,
+    },
+}
 
 /// Workload shape for one bench run.
 #[derive(Debug, Clone)]
@@ -34,6 +56,8 @@ pub struct DaemonBenchConfig {
     pub doc_size: u64,
     /// Working-set size (documents are pre-warmed into the cache).
     pub docs: u64,
+    /// Event-stream posture during the run.
+    pub events: EventsMode,
 }
 
 impl Default for DaemonBenchConfig {
@@ -44,6 +68,7 @@ impl Default for DaemonBenchConfig {
             pipeline: 64,
             doc_size: 256,
             docs: 64,
+            events: EventsMode::Off,
         }
     }
 }
@@ -80,6 +105,9 @@ pub struct DaemonBenchReport {
     pub connections_reused: u64,
     /// `admission-shed` counter scraped over `OP_STATS`.
     pub admission_shed: u64,
+    /// JSONL lines the event sink serialized during the run (0 with
+    /// [`EventsMode::Off`]; with sampling, the kept subsequence).
+    pub events_emitted: u64,
 }
 
 /// Runs the loopback daemon bench described by `cfg`.
@@ -99,8 +127,19 @@ pub fn run_daemon_bench(cfg: &DaemonBenchConfig) -> io::Result<DaemonBenchReport
     // Capacity holding the whole working set comfortably: the bench
     // measures transport, not eviction.
     let capacity = ByteSize::from_bytes((cfg.doc_size.max(1) * cfg.docs).saturating_mul(4));
-    let cluster =
+    let mut cluster =
         LoopbackCluster::start_with_config(ClusterConfig::new(1, capacity, PlacementScheme::Ea))?;
+    let events_sink = match cfg.events {
+        EventsMode::Off => None,
+        EventsMode::Sampled { seed, rate } => {
+            let jsonl = Arc::new(Mutex::new(JsonlSink::new(io::sink())));
+            cluster.set_sink(
+                SinkHandle::from_arc(Arc::clone(&jsonl))
+                    .sampled(Some(SamplerConfig::new(seed, rate))),
+            );
+            Some(jsonl)
+        }
+    };
     let size = ByteSize::from_bytes(cfg.doc_size);
     for d in 0..cfg.docs {
         cluster.request(0, DocId::new(d), size)?;
@@ -143,6 +182,11 @@ pub fn run_daemon_bench(cfg: &DaemonBenchConfig) -> io::Result<DaemonBenchReport
     let connections_reused = extract_counter(&stats, "connections-reused");
     let admission_shed = extract_counter(&stats, "admission-shed");
     cluster.shutdown();
+    // Read the line count after shutdown: server threads may emit
+    // trailing spans until their loops join.
+    let events_emitted = events_sink.map_or(0, |jsonl| {
+        jsonl.lock().unwrap_or_else(PoisonError::into_inner).lines()
+    });
 
     let requests = u64::try_from(latencies.len()).unwrap_or(u64::MAX);
     Ok(DaemonBenchReport {
@@ -153,6 +197,7 @@ pub fn run_daemon_bench(cfg: &DaemonBenchConfig) -> io::Result<DaemonBenchReport
         p99_us: percentile(&latencies, 99),
         connections_reused,
         admission_shed,
+        events_emitted,
     })
 }
 
@@ -276,6 +321,7 @@ mod tests {
             pipeline: 16,
             doc_size: 128,
             docs: 8,
+            events: EventsMode::Off,
         })
         .expect("bench runs");
         assert_eq!(report.requests, 600);
@@ -285,5 +331,34 @@ mod tests {
             "pipelined clients must reuse their connections"
         );
         assert!(report.p50_us <= report.p99_us);
+        assert_eq!(report.events_emitted, 0, "no sink installed");
+    }
+
+    #[test]
+    fn sampled_bench_run_emits_a_bounded_stream() {
+        let report = run_daemon_bench(&DaemonBenchConfig {
+            requests: 600,
+            clients: 2,
+            pipeline: 16,
+            doc_size: 128,
+            docs: 8,
+            events: EventsMode::Sampled {
+                seed: 0xC0FFEE,
+                rate: 100,
+            },
+        })
+        .expect("bench runs");
+        assert_eq!(report.requests, 600);
+        // At 100 permille the daemon sheds ~90% of request-scoped
+        // telemetry (each served frame emits a conn-reuse and a
+        // placement line when kept), so the stream is nonempty but far
+        // below the ~2-lines-per-request of an unsampled run.
+        assert!(report.events_emitted > 0, "sampled stream is nonempty");
+        assert!(
+            report.events_emitted < report.requests,
+            "sampling must shed most request-scoped lines: {} lines for {} requests",
+            report.events_emitted,
+            report.requests
+        );
     }
 }

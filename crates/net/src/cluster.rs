@@ -5,7 +5,7 @@ use crate::daemon::{BoundSockets, CacheDaemon, DaemonConfig, PeerAddr};
 use crate::fault::FaultPlan;
 use crate::origin::OriginServer;
 use coopcache_core::PlacementScheme;
-use coopcache_obs::SinkHandle;
+use coopcache_obs::{AlertRule, SinkHandle};
 use coopcache_proxy::RequestOutcome;
 use coopcache_types::{ByteSize, CacheId, DocId};
 use std::io;
@@ -51,6 +51,8 @@ pub struct ClusterConfig {
     /// Minimum available-memory percentage to admit origin stores
     /// (0 disables admission control).
     pub min_available_pct: u8,
+    /// SLO rules installed on every daemon (see `DaemonConfig::alerts`).
+    pub alerts: Vec<AlertRule>,
 }
 
 impl ClusterConfig {
@@ -75,6 +77,7 @@ impl ClusterConfig {
             max_conns: defaults.max_conns,
             memory_probe: defaults.memory_probe,
             min_available_pct: defaults.min_available_pct,
+            alerts: Vec::new(),
         }
     }
 
@@ -173,6 +176,13 @@ impl ClusterConfig {
     #[must_use]
     pub fn min_available_pct(mut self, pct: u8) -> Self {
         self.min_available_pct = pct;
+        self
+    }
+
+    /// Installs SLO rules on every daemon (builder style).
+    #[must_use]
+    pub fn alerts(mut self, rules: Vec<AlertRule>) -> Self {
+        self.alerts = rules;
         self
     }
 }
@@ -288,6 +298,7 @@ impl LoopbackCluster {
             daemon_config.max_conns = config.max_conns;
             daemon_config.memory_probe = config.memory_probe;
             daemon_config.min_available_pct = config.min_available_pct;
+            daemon_config.alerts = config.alerts.clone();
             daemons.push(CacheDaemon::start_with_faults(
                 daemon_config,
                 socket,

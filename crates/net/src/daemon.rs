@@ -55,9 +55,9 @@ use crate::pool::ConnectionPool;
 use crate::wire::{peek_frame_kind, read_frame, write_frame, PeekedFrame, WireMessage};
 use coopcache_core::{CacheConfig, ExpirationWindow, PlacementScheme, PolicyKind};
 use coopcache_obs::{
-    age_to_ms, scoped_id, Event, FaultOp, Histogram, HistogramSnapshot, JsonWriter, SeriesPoint,
-    SeriesRing, ServerLoop, SinkHandle, Span, SpanKind, StatsRegistry, TraceCtx,
-    DEFAULT_SERIES_CAPACITY,
+    age_to_ms, scoped_id, AlertEngine, AlertRule, Event, FaultOp, Histogram, HistogramSnapshot,
+    JsonWriter, Sampler, SamplerConfig, SeriesPoint, SeriesRing, ServerLoop, SinkHandle, Span,
+    SpanKind, StatsRegistry, TraceCtx, DEFAULT_SERIES_CAPACITY,
 };
 use coopcache_proxy::{ConcurrentNode, IcpQuery, RequestOutcome};
 use coopcache_types::{ByteSize, CacheId, DocId};
@@ -75,6 +75,62 @@ use std::time::Duration;
 /// server thread should degrade the daemon, not wedge it.
 fn lock<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Lock-free copy of the installed sink's sampler, refreshed by
+/// `set_sink`. The per-frame head decision runs at request rate and must
+/// not take the sink lock; two relaxed atomics carry the config
+/// (`rate_plus_one` packs presence: `0` = no sampler, `r + 1` = rate
+/// `r`). A torn read during a concurrent `set_sink` can at worst pair
+/// one sampler's seed with another's rate — still a pure, valid
+/// decision, and every driver installs its sink before serving anyway.
+#[derive(Debug, Default)]
+struct SamplerSnapshot {
+    seed: AtomicU64,
+    rate_plus_one: AtomicU64,
+}
+
+impl SamplerSnapshot {
+    fn store(&self, config: Option<SamplerConfig>) {
+        match config {
+            Some(c) => {
+                self.seed.store(c.seed, Ordering::Relaxed);
+                self.rate_plus_one
+                    .store(u64::from(c.rate) + 1, Ordering::Relaxed);
+            }
+            None => self.rate_plus_one.store(0, Ordering::Relaxed),
+        }
+    }
+
+    /// Whether a sampler is installed at all — lets hot paths skip even
+    /// the trace-id computation in the unsampled posture.
+    fn active(&self) -> bool {
+        self.rate_plus_one.load(Ordering::Relaxed) != 0
+    }
+
+    fn keeps_trace(&self, trace: u64) -> bool {
+        match self.rate_plus_one.load(Ordering::Relaxed) {
+            0 => true,
+            r => {
+                let rate = u32::try_from(r - 1).unwrap_or(u32::MAX);
+                let seed = self.seed.load(Ordering::Relaxed);
+                Sampler::new(SamplerConfig::new(seed, rate)).keeps_trace(trace)
+            }
+        }
+    }
+}
+
+/// Extends the installed sink's head-sampling decision to a whole
+/// request: when the sampler drops `trace`, every request-scoped event
+/// emitted while the returned guard lives (request completion,
+/// placement, ICP, conn-reuse and span lines) is shed before the sink
+/// lock. Health kinds keep flowing and `OP_STATS` counters are recorded
+/// ahead of the sink, so both stay exact at any sampling rate.
+fn mute_if_unsampled(
+    snap: &SamplerSnapshot,
+    trace: u64,
+) -> Option<coopcache_obs::RequestMuteGuard> {
+    (!snap.keeps_trace(trace)).then(coopcache_obs::mute_request_scoped)
 }
 
 /// True when `e` is a socket-timeout error. Which `ErrorKind` a timed
@@ -168,6 +224,11 @@ pub struct DaemonConfig {
     /// cacheable-store work after origin fetches (it still serves the
     /// bytes). `0` disables admission control.
     pub min_available_pct: u8,
+    /// Declarative SLO rules evaluated against every series sample
+    /// (interval cadence and [`CacheDaemon::sample_now`] alike). Each
+    /// state transition is emitted as an [`Event::Alert`] and counted in
+    /// the `OP_STATS` registry. Empty (the default) disables the plane.
+    pub alerts: Vec<AlertRule>,
 }
 
 impl DaemonConfig {
@@ -193,6 +254,7 @@ impl DaemonConfig {
             max_conns: 64,
             memory_probe: crate::MemoryProbe::Meminfo,
             min_available_pct: 5,
+            alerts: Vec::new(),
         }
     }
 }
@@ -345,6 +407,8 @@ struct LoopCtx {
     /// Sampled time-series ring, shared with the sampler thread and the
     /// daemon handle so the doc server can serve it over `OP_SERIES`.
     series: Arc<Mutex<SeriesRing>>,
+    /// SLO rule evaluation state, fed one point per series sample.
+    alerts: Arc<Mutex<AlertEngine>>,
     /// Span id allocator, shared with the daemon handle so client-side
     /// and server-side spans of one daemon never collide.
     span_seq: Arc<AtomicU64>,
@@ -354,11 +418,19 @@ struct LoopCtx {
     /// makes no iterations — the idle-CPU regression test pins this.
     icp_iters: Arc<AtomicU64>,
     accept_iters: Arc<AtomicU64>,
+    /// Lock-free view of the sink's sampler for per-frame decisions.
+    sampler_snap: Arc<SamplerSnapshot>,
 }
 
 impl LoopCtx {
     fn emit(&self, event: &Event) {
         self.stats.record(event.kind());
+        // Request-scoped kinds on a muted thread would be dropped by the
+        // sink handle; bail before the registry lock (the counter above
+        // stays exact either way).
+        if event.kind().is_request_scoped() && coopcache_obs::request_scoped_muted() {
+            return;
+        }
         if let Some(sink) = lock(&self.sink).as_ref() {
             sink.emit(event);
         }
@@ -409,6 +481,8 @@ pub struct CacheDaemon {
     /// Sampled time-series ring, shared with the sampler thread and the
     /// doc server so `OP_SERIES` can report it.
     series: Arc<Mutex<SeriesRing>>,
+    /// SLO rule evaluation state, shared with the sampler thread.
+    alerts: Arc<Mutex<AlertEngine>>,
     /// Pooled outbound peer/origin connections.
     pool: ConnectionPool,
     /// Memory-pressure gate over cacheable-store work.
@@ -418,6 +492,9 @@ pub struct CacheDaemon {
     /// Server-loop iteration counters, shared with the loops.
     icp_iters: Arc<AtomicU64>,
     accept_iters: Arc<AtomicU64>,
+    /// Lock-free view of the sink's sampler, shared with the loops so
+    /// the per-frame head decision never takes the sink lock.
+    sampler_snap: Arc<SamplerSnapshot>,
 }
 
 impl CacheDaemon {
@@ -473,6 +550,10 @@ impl CacheDaemon {
             interval_ms,
             DEFAULT_SERIES_CAPACITY,
         )));
+        let alerts = Arc::new(Mutex::new(AlertEngine::new(
+            config.id,
+            config.alerts.clone(),
+        )));
         // Placement/eviction decisions count into the same registry as
         // the daemon's own events, with or without a sink.
         node.set_stats(Arc::clone(&stats));
@@ -480,6 +561,7 @@ impl CacheDaemon {
         let conns = Arc::new(ConnTable::default());
         let icp_iters = Arc::new(AtomicU64::new(0));
         let accept_iters = Arc::new(AtomicU64::new(0));
+        let sampler_snap = Arc::new(SamplerSnapshot::default());
         let mut threads = Vec::new();
         let ctx = LoopCtx {
             id: config.id,
@@ -492,10 +574,12 @@ impl CacheDaemon {
             latency: Arc::clone(&latency),
             health: Arc::clone(&health),
             series: Arc::clone(&series),
+            alerts: Arc::clone(&alerts),
             span_seq: Arc::clone(&span_seq),
             conns: Arc::clone(&conns),
             icp_iters: Arc::clone(&icp_iters),
             accept_iters: Arc::clone(&accept_iters),
+            sampler_snap: Arc::clone(&sampler_snap),
         };
 
         // ICP responder thread: a plain blocking `recv_from` with no
@@ -552,11 +636,13 @@ impl CacheDaemon {
             latency,
             health,
             series,
+            alerts,
             pool,
             admission,
             conns,
             icp_iters,
             accept_iters,
+            sampler_snap,
         })
     }
 
@@ -584,12 +670,19 @@ impl CacheDaemon {
     /// `ServerLoopError`), and the inner node emits placement/eviction
     /// events through the same sink.
     pub fn set_sink(&mut self, sink: SinkHandle) {
+        self.sampler_snap.store(sink.sampler());
         self.node.set_sink(sink.clone());
         *lock(&self.sink) = Some(sink);
     }
 
     fn emit(&self, event: &Event) {
         self.stats.record(event.kind());
+        // Request-scoped kinds on a muted thread would be dropped by the
+        // sink handle; bail before the registry lock (the counter above
+        // stays exact either way).
+        if event.kind().is_request_scoped() && coopcache_obs::request_scoped_muted() {
+            return;
+        }
         if let Some(sink) = lock(&self.sink).as_ref() {
             sink.emit(event);
         }
@@ -650,7 +743,7 @@ impl CacheDaemon {
             &self.node,
             &self.clock,
         );
-        lock(&self.series).push(point);
+        record_sample(point, &self.series, &self.alerts, |event| self.emit(event));
     }
 
     /// Snapshot of the wall-clock latency histograms, one per serve
@@ -714,6 +807,7 @@ impl CacheDaemon {
     pub fn request(&self, doc: DocId, size: ByteSize) -> io::Result<RequestOutcome> {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let trace = scoped_id(self.config.id, seq);
+        let _mute = mute_if_unsampled(&self.sampler_snap, trace);
         let root = self.next_span();
         let started_us = self.clock.now_micros();
         let outcome = self.serve(doc, size, trace, root)?;
@@ -1381,10 +1475,16 @@ fn serve_conn(stream: &TcpStream, ctx: &LoopCtx, io_timeout: Duration) {
     let _ = stream.set_read_timeout(Some(io_timeout));
     let _ = stream.set_write_timeout(Some(io_timeout));
     let mut served = 0u64;
+    // Base for synthetic root trace ids handed to untraced frames: one
+    // scoped id per connection, spread across the 64-bit space by the
+    // sampler's own mixer, plus the frame ordinal. This keeps the hot
+    // per-frame path free of the shared span counter while still giving
+    // every untraced frame its own head-sampling decision.
+    let conn_trace_base = coopcache_obs::splitmix64(ctx.next_span());
     let result = if ctx.faults.is_some() {
-        serve_conn_raw(stream, ctx, &mut served)
+        serve_conn_raw(stream, ctx, &mut served, conn_trace_base)
     } else {
-        serve_conn_buffered(stream, ctx, &mut served)
+        serve_conn_buffered(stream, ctx, &mut served, conn_trace_base)
     };
     if let Err(e) = result {
         // Persistent-connection lifecycle is not an error: a clean EOF
@@ -1404,7 +1504,12 @@ fn serve_conn(stream: &TcpStream, ctx: &LoopCtx, io_timeout: Duration) {
 /// write side flushed lazily — only once the read buffer runs dry (a
 /// pipelined batch of requests is answered with a single `writev`-like
 /// flush instead of one syscall pair per frame).
-fn serve_conn_buffered(stream: &TcpStream, ctx: &LoopCtx, served: &mut u64) -> io::Result<()> {
+fn serve_conn_buffered(
+    stream: &TcpStream,
+    ctx: &LoopCtx,
+    served: &mut u64,
+    conn_trace_base: u64,
+) -> io::Result<()> {
     let mut reader = BufReader::new(stream);
     let mut writer = BufWriter::new(stream);
     loop {
@@ -1416,7 +1521,14 @@ fn serve_conn_buffered(stream: &TcpStream, ctx: &LoopCtx, served: &mut u64) -> i
         if reader.buffer().is_empty() {
             writer.flush()?;
         }
-        match serve_frame(&mut reader, &mut writer, ctx, DocFault::None, served)? {
+        match serve_frame(
+            &mut reader,
+            &mut writer,
+            ctx,
+            DocFault::None,
+            served,
+            conn_trace_base,
+        )? {
             FrameDisposition::KeepOpen => {}
             FrameDisposition::Close => return writer.flush(),
         }
@@ -1426,7 +1538,12 @@ fn serve_conn_buffered(stream: &TcpStream, ctx: &LoopCtx, served: &mut u64) -> i
 /// The fault-injected frame loop: unbuffered, one fault draw per frame
 /// that actually arrives (peeked, so a refused fetch still dies with
 /// its frame unread, exactly like the pre-pooling accept-time refusal).
-fn serve_conn_raw(stream: &TcpStream, ctx: &LoopCtx, served: &mut u64) -> io::Result<()> {
+fn serve_conn_raw(
+    stream: &TcpStream,
+    ctx: &LoopCtx,
+    served: &mut u64,
+    conn_trace_base: u64,
+) -> io::Result<()> {
     loop {
         // lint:allow(atomic-order) -- Acquire: pairs with the Release
         // store in `halt`.
@@ -1450,7 +1567,14 @@ fn serve_conn_raw(stream: &TcpStream, ctx: &LoopCtx, served: &mut u64) -> io::Re
             return Ok(());
         }
         let (mut reader, mut writer) = (stream, stream);
-        match serve_frame(&mut reader, &mut writer, ctx, fault, served)? {
+        match serve_frame(
+            &mut reader,
+            &mut writer,
+            ctx,
+            fault,
+            served,
+            conn_trace_base,
+        )? {
             FrameDisposition::KeepOpen => {}
             FrameDisposition::Close => return Ok(()),
         }
@@ -1480,6 +1604,7 @@ fn serve_frame<R: Read, W: Write>(
     ctx: &LoopCtx,
     fault: DocFault,
     served: &mut u64,
+    conn_trace_base: u64,
 ) -> io::Result<FrameDisposition> {
     let start_us = ctx.clock.now_micros();
     let (request, trace) = match read_frame(reader)? {
@@ -1535,6 +1660,17 @@ fn serve_frame<R: Read, W: Write>(
         // Drop the connection after reading: crash mid-exchange.
         return Ok(FrameDisposition::Close);
     }
+    // One head decision covers the whole frame: requests arriving with a
+    // trace context reuse the requester's decision (pure in the trace
+    // id, so both sides agree); untraced requests — raw clients hitting
+    // the doc port — get a synthetic root trace, which is exactly what a
+    // head sampler does for traffic entering at this hop.
+    let _mute = if ctx.sampler_snap.active() {
+        let frame_trace = trace.map_or(conn_trace_base.wrapping_add(*served), |t| t.trace_id);
+        mute_if_unsampled(&ctx.sampler_snap, frame_trace)
+    } else {
+        None
+    };
     if *served > 0 {
         // A second (or later) frame on one inbound connection: the
         // requester is reusing a persistent connection to this daemon.
@@ -1711,7 +1847,13 @@ fn sample_point(
         *slot = count;
     }
     let mut merged = Histogram::new();
-    for hist in lock(latency).values() {
+    let (mut local_hits, mut remote_hits) = (0u64, 0u64);
+    for (source, hist) in lock(latency).iter() {
+        match source {
+            ServeSource::Local => local_hits = local_hits.saturating_add(hist.count()),
+            ServeSource::Peer(_) => remote_hits = remote_hits.saturating_add(hist.count()),
+            ServeSource::Origin => {}
+        }
         merged.merge(hist);
     }
     let snapshot = merged.snapshot();
@@ -1732,6 +1874,8 @@ fn sample_point(
     SeriesPoint {
         t_ms: clock.now().as_millis(),
         counters,
+        local_hits,
+        remote_hits,
         latency: (snapshot.count > 0).then_some(snapshot),
         docs,
         used_bytes,
@@ -1759,6 +1903,31 @@ fn sample_loop(ctx: &LoopCtx, interval: Duration) {
             remaining = remaining.saturating_sub(chunk);
         }
         let point = sample_point(&ctx.stats, &ctx.latency, &ctx.health, &ctx.node, &ctx.clock);
-        lock(&ctx.series).push(point);
+        record_sample(point, &ctx.series, &ctx.alerts, |event| ctx.emit(event));
+    }
+}
+
+/// Lands one sample: pushes the point into the `OP_SERIES` ring, runs
+/// the SLO rules over it, and emits one [`Event::Alert`] per state
+/// transition. The alert carries no timestamp of its own, so same-seed
+/// workloads produce byte-identical alert streams even under the wall
+/// clock.
+fn record_sample(
+    point: SeriesPoint,
+    series: &Mutex<SeriesRing>,
+    alerts: &Mutex<AlertEngine>,
+    emit: impl Fn(&Event),
+) {
+    lock(series).push(point);
+    for firing in lock(alerts).observe(&point) {
+        emit(&Event::Alert {
+            cache: firing.cache,
+            metric: firing.metric,
+            op: firing.op,
+            threshold: firing.threshold,
+            value: firing.value,
+            windows: firing.windows,
+            state: firing.state,
+        });
     }
 }

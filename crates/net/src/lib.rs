@@ -45,7 +45,7 @@ mod pool;
 mod stats;
 mod wire;
 
-pub use bench::{run_daemon_bench, DaemonBenchConfig, DaemonBenchReport};
+pub use bench::{run_daemon_bench, DaemonBenchConfig, DaemonBenchReport, EventsMode};
 pub use clock::SharedClock;
 pub use cluster::{ClusterConfig, LoopbackCluster};
 pub use daemon::{BoundSockets, CacheDaemon, DaemonConfig, PeerAddr, ServeSource};

@@ -1,0 +1,491 @@
+//! Declarative SLO rules over the sampled series — the alert plane.
+//!
+//! An [`AlertRule`] names a metric derived from [`SeriesPoint`]s, a
+//! threshold, and a burn count: the rule fires only after the threshold
+//! has been violated for `for_windows` *consecutive* sampling windows,
+//! so one noisy window never pages. An [`AlertEngine`] holds the rules
+//! for one node and is fed every new series point; it returns
+//! [`AlertFiring`] transitions (firing ↔ resolved), which the drivers
+//! turn into [`Event::Alert`](crate::Event) emissions.
+//!
+//! # Virtual vs wall clock
+//!
+//! The engine itself never reads a clock — it sees only the points it
+//! is given, in order. Under the DES the points carry virtual time and
+//! the firings are byte-reproducible across same-seed runs; under a
+//! live daemon the points carry wall-clock time but the emitted
+//! `Event::Alert` carries *no* timestamp of its own, so the alert
+//! *stream* of a deterministic workload is still comparable line by
+//! line. All metric values are integers (permille for rates,
+//! microseconds for latency, a count for quarantine) for the same
+//! reason: no float formatting in the stream.
+//!
+//! # Metric semantics
+//!
+//! Rates are **per-window deltas** of the cumulative counters (hit rate
+//! = hits delta / requests delta); a window that served zero requests is
+//! *not evaluated* for rate rules — the burn streak holds rather than
+//! resetting, so an idle node neither fires nor spuriously resolves.
+//! The p99 ceiling reads the point's cumulative latency snapshot (the
+//! only latency the series carries); quarantine reads the instantaneous
+//! gauge.
+
+use crate::event::EventKind;
+use crate::series::{SeriesPoint, SeriesRing};
+use coopcache_types::CacheId;
+
+/// Which series-derived quantity a rule watches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlertMetric {
+    /// Group-visible hit rate (local + remote) per window, in permille.
+    HitRate,
+    /// p99 request latency from the cumulative snapshot, in µs.
+    P99Latency,
+    /// Quarantined peer count (instantaneous gauge).
+    Quarantined,
+    /// Admission-shed rate per window, in permille of requests.
+    ShedRate,
+}
+
+impl AlertMetric {
+    /// Stable lowercase name used in the JSON encoding.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::HitRate => "hit-rate",
+            Self::P99Latency => "p99-latency",
+            Self::Quarantined => "quarantined",
+            Self::ShedRate => "shed-rate",
+        }
+    }
+
+    /// The inverse of [`Self::name`], for rule parsing in the CLI.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        [
+            Self::HitRate,
+            Self::P99Latency,
+            Self::Quarantined,
+            Self::ShedRate,
+        ]
+        .into_iter()
+        .find(|m| m.name() == name)
+    }
+}
+
+/// Which side of the threshold violates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlertOp {
+    /// Violation when the value drops below the threshold (floors).
+    Below,
+    /// Violation when the value rises above the threshold (ceilings).
+    Above,
+}
+
+impl AlertOp {
+    /// Stable lowercase name used in the JSON encoding.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::Below => "below",
+            Self::Above => "above",
+        }
+    }
+}
+
+/// Whether a transition enters or leaves the alerting state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlertState {
+    /// The rule just crossed its burn count and is now firing.
+    Firing,
+    /// A previously firing rule just saw a healthy window.
+    Resolved,
+}
+
+impl AlertState {
+    /// Stable lowercase name used in the JSON encoding.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::Firing => "firing",
+            Self::Resolved => "resolved",
+        }
+    }
+}
+
+/// One declarative SLO rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlertRule {
+    /// The watched metric.
+    pub metric: AlertMetric,
+    /// Which side of the threshold violates.
+    pub op: AlertOp,
+    /// Threshold in the metric's unit (permille, µs, or count).
+    pub threshold: u64,
+    /// Consecutive violating windows required before firing (burn
+    /// count; clamped to at least 1).
+    pub for_windows: u32,
+}
+
+impl AlertRule {
+    /// Fires when the per-window hit rate stays below `permille`.
+    #[must_use]
+    pub const fn hit_rate_floor(permille: u64, for_windows: u32) -> Self {
+        Self {
+            metric: AlertMetric::HitRate,
+            op: AlertOp::Below,
+            threshold: permille,
+            for_windows,
+        }
+    }
+
+    /// Fires when cumulative p99 latency stays above `us` microseconds.
+    #[must_use]
+    pub const fn p99_ceiling(us: u64, for_windows: u32) -> Self {
+        Self {
+            metric: AlertMetric::P99Latency,
+            op: AlertOp::Above,
+            threshold: us,
+            for_windows,
+        }
+    }
+
+    /// Fires when more than `count` peers stay quarantined.
+    #[must_use]
+    pub const fn quarantine_ceiling(count: u64, for_windows: u32) -> Self {
+        Self {
+            metric: AlertMetric::Quarantined,
+            op: AlertOp::Above,
+            threshold: count,
+            for_windows,
+        }
+    }
+
+    /// Fires when the admission-shed rate stays above `permille` of
+    /// requests.
+    #[must_use]
+    pub const fn shed_rate_ceiling(permille: u64, for_windows: u32) -> Self {
+        Self {
+            metric: AlertMetric::ShedRate,
+            op: AlertOp::Above,
+            threshold: permille,
+            for_windows,
+        }
+    }
+
+    const fn violates(&self, value: u64) -> bool {
+        match self.op {
+            AlertOp::Below => value < self.threshold,
+            AlertOp::Above => value > self.threshold,
+        }
+    }
+}
+
+/// One state transition of one rule on one node — everything a driver
+/// needs to construct an [`Event::Alert`](crate::Event).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlertFiring {
+    /// The node the rule evaluated on.
+    pub cache: CacheId,
+    /// The watched metric.
+    pub metric: AlertMetric,
+    /// Which side of the threshold violates.
+    pub op: AlertOp,
+    /// The rule's threshold.
+    pub threshold: u64,
+    /// The metric value that caused the transition.
+    pub value: u64,
+    /// Consecutive windows in the transition's condition: the burn count
+    /// for `Firing`, `1` for `Resolved` (resolution is immediate).
+    pub windows: u64,
+    /// Entering or leaving the alerting state.
+    pub state: AlertState,
+}
+
+/// Per-rule burn bookkeeping.
+#[derive(Debug, Clone, Copy, Default)]
+struct RuleState {
+    /// Violating windows seen since the last healthy one.
+    streak: u32,
+    /// Whether the rule is currently firing.
+    firing: bool,
+}
+
+/// The cumulative-counter context a rate metric needs from the previous
+/// point.
+#[derive(Debug, Clone, Copy, Default)]
+struct PrevCounters {
+    requests: u64,
+    hits: u64,
+    shed: u64,
+}
+
+impl PrevCounters {
+    fn of(point: &SeriesPoint) -> Self {
+        Self {
+            requests: point.counters[EventKind::Request.index()],
+            hits: point.local_hits.saturating_add(point.remote_hits),
+            shed: point.counters[EventKind::AdmissionShed.index()],
+        }
+    }
+}
+
+/// Evaluates a rule set against one node's series, point by point.
+///
+/// Pure in its inputs: the same rules fed the same point sequence emit
+/// the same transitions — the determinism handle check.sh pins for both
+/// the DES (virtual time) and same-seed daemon workloads.
+#[derive(Debug, Clone)]
+pub struct AlertEngine {
+    cache: CacheId,
+    rules: Vec<AlertRule>,
+    states: Vec<RuleState>,
+    prev: Option<PrevCounters>,
+}
+
+impl AlertEngine {
+    /// Creates an engine for one node.
+    #[must_use]
+    pub fn new(cache: CacheId, rules: Vec<AlertRule>) -> Self {
+        let states = vec![RuleState::default(); rules.len()];
+        Self {
+            cache,
+            rules,
+            states,
+            prev: None,
+        }
+    }
+
+    /// The rules under evaluation.
+    #[must_use]
+    pub fn rules(&self) -> &[AlertRule] {
+        &self.rules
+    }
+
+    /// Rules currently in the firing state.
+    #[must_use]
+    pub fn firing(&self) -> Vec<AlertRule> {
+        self.rules
+            .iter()
+            .zip(&self.states)
+            .filter(|(_, s)| s.firing)
+            .map(|(r, _)| *r)
+            .collect()
+    }
+
+    /// Feeds one new series point; returns the transitions it caused,
+    /// in rule order. The first point's deltas are its absolute
+    /// counters, which is the right reading for a fresh series.
+    pub fn observe(&mut self, point: &SeriesPoint) -> Vec<AlertFiring> {
+        let mut out = Vec::new();
+        for (rule, state) in self.rules.iter().zip(self.states.iter_mut()) {
+            let Some(value) = Self::metric_value(self.prev, rule, point) else {
+                continue; // window not evaluable: hold the streak
+            };
+            if rule.violates(value) {
+                state.streak = state.streak.saturating_add(1);
+                if !state.firing && state.streak >= rule.for_windows.max(1) {
+                    state.firing = true;
+                    out.push(AlertFiring {
+                        cache: self.cache,
+                        metric: rule.metric,
+                        op: rule.op,
+                        threshold: rule.threshold,
+                        value,
+                        windows: u64::from(state.streak),
+                        state: AlertState::Firing,
+                    });
+                }
+            } else {
+                state.streak = 0;
+                if state.firing {
+                    state.firing = false;
+                    out.push(AlertFiring {
+                        cache: self.cache,
+                        metric: rule.metric,
+                        op: rule.op,
+                        threshold: rule.threshold,
+                        value,
+                        windows: 1,
+                        state: AlertState::Resolved,
+                    });
+                }
+            }
+        }
+        self.prev = Some(PrevCounters::of(point));
+        out
+    }
+
+    /// The metric value a rule sees at `point`, or `None` when the
+    /// window is not evaluable (no requests for a rate, no latency yet).
+    fn metric_value(
+        prev: Option<PrevCounters>,
+        rule: &AlertRule,
+        point: &SeriesPoint,
+    ) -> Option<u64> {
+        let prev = prev.unwrap_or_default();
+        match rule.metric {
+            AlertMetric::HitRate => {
+                let requests =
+                    point.counters[EventKind::Request.index()].saturating_sub(prev.requests);
+                let hits = point
+                    .local_hits
+                    .saturating_add(point.remote_hits)
+                    .saturating_sub(prev.hits);
+                (requests > 0).then(|| hits.saturating_mul(1_000) / requests)
+            }
+            AlertMetric::P99Latency => point.latency.map(|l| l.p99),
+            AlertMetric::Quarantined => Some(point.quarantined),
+            AlertMetric::ShedRate => {
+                let requests =
+                    point.counters[EventKind::Request.index()].saturating_sub(prev.requests);
+                let shed =
+                    point.counters[EventKind::AdmissionShed.index()].saturating_sub(prev.shed);
+                (requests > 0).then(|| shed.saturating_mul(1_000) / requests)
+            }
+        }
+    }
+
+    /// Replays a whole scraped ring through a fresh engine — how the
+    /// `coopcache health` view evaluates rules client-side.
+    #[must_use]
+    pub fn replay(ring: &SeriesRing, rules: Vec<AlertRule>) -> Vec<AlertFiring> {
+        let mut engine = Self::new(ring.cache(), rules);
+        let mut out = Vec::new();
+        for point in ring.points() {
+            out.extend(engine.observe(point));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EVENT_KINDS;
+    use crate::histogram::HistogramSnapshot;
+
+    /// A point with `requests` cumulative requests, `hits` of them
+    /// local, and the given quarantine gauge.
+    fn point(t_ms: u64, requests: u64, hits: u64, quarantined: u64) -> SeriesPoint {
+        let mut counters = [0u64; EVENT_KINDS.len()];
+        counters[EventKind::Request.index()] = requests;
+        SeriesPoint {
+            t_ms,
+            counters,
+            latency: None,
+            local_hits: hits,
+            remote_hits: 0,
+            docs: 0,
+            used_bytes: 0,
+            capacity_bytes: 0,
+            expiration_age_ms: None,
+            quarantined,
+        }
+    }
+
+    #[test]
+    fn hit_rate_floor_fires_after_burn_count() {
+        let rule = AlertRule::hit_rate_floor(500, 2);
+        let mut engine = AlertEngine::new(CacheId::new(3), vec![rule]);
+        // Window 1: 10 req, 2 hits (200‰ < 500‰) — violating, streak 1.
+        assert!(engine.observe(&point(100, 10, 2, 0)).is_empty());
+        // Window 2: 10 more req, 2 more hits — streak 2 → fires.
+        let fired = engine.observe(&point(200, 20, 4, 0));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].state, AlertState::Firing);
+        assert_eq!(fired[0].metric, AlertMetric::HitRate);
+        assert_eq!(fired[0].value, 200);
+        assert_eq!(fired[0].windows, 2);
+        assert_eq!(engine.firing(), vec![rule]);
+        // Still violating: no duplicate emission.
+        assert!(engine.observe(&point(300, 30, 6, 0)).is_empty());
+        // Healthy window (10 req, 8 hits = 800‰) resolves immediately.
+        let resolved = engine.observe(&point(400, 40, 14, 0));
+        assert_eq!(resolved.len(), 1);
+        assert_eq!(resolved[0].state, AlertState::Resolved);
+        assert_eq!(resolved[0].value, 800);
+        assert!(engine.firing().is_empty());
+    }
+
+    #[test]
+    fn idle_windows_hold_the_burn_streak() {
+        let mut engine = AlertEngine::new(CacheId::new(0), vec![AlertRule::hit_rate_floor(500, 2)]);
+        assert!(engine.observe(&point(100, 10, 0, 0)).is_empty()); // streak 1
+                                                                   // Zero new requests: not evaluable, streak must hold (not reset).
+        assert!(engine.observe(&point(200, 10, 0, 0)).is_empty());
+        // Next violating window completes the burn.
+        let fired = engine.observe(&point(300, 20, 0, 0));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].state, AlertState::Firing);
+    }
+
+    #[test]
+    fn quarantine_gauge_and_shed_rate_rules() {
+        let rules = vec![
+            AlertRule::quarantine_ceiling(0, 1),
+            AlertRule::shed_rate_ceiling(100, 1),
+        ];
+        let mut engine = AlertEngine::new(CacheId::new(1), rules);
+        let mut p = point(100, 10, 10, 2);
+        p.counters[EventKind::AdmissionShed.index()] = 5; // 500‰ shed
+        let fired = engine.observe(&p);
+        assert_eq!(fired.len(), 2);
+        assert_eq!(fired[0].metric, AlertMetric::Quarantined);
+        assert_eq!(fired[0].value, 2);
+        assert_eq!(fired[1].metric, AlertMetric::ShedRate);
+        assert_eq!(fired[1].value, 500);
+    }
+
+    #[test]
+    fn p99_rule_reads_the_latency_snapshot() {
+        let mut engine = AlertEngine::new(CacheId::new(0), vec![AlertRule::p99_ceiling(1_000, 1)]);
+        // No latency yet: not evaluable.
+        assert!(engine.observe(&point(100, 1, 1, 0)).is_empty());
+        let mut p = point(200, 2, 2, 0);
+        p.latency = Some(HistogramSnapshot {
+            count: 2,
+            mean: 900.0,
+            min: 800,
+            p50: 900,
+            p90: 1_500,
+            p99: 2_000,
+            max: 2_000,
+        });
+        let fired = engine.observe(&p);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].value, 2_000);
+    }
+
+    #[test]
+    fn replay_matches_streaming_evaluation() {
+        let rules = vec![AlertRule::hit_rate_floor(500, 2)];
+        let mut ring = SeriesRing::new(CacheId::new(4), 100, 16);
+        for (t, req, hits) in [(100, 10, 1), (200, 20, 2), (300, 30, 20)] {
+            ring.push(point(t, req, hits, 0));
+        }
+        let replayed = AlertEngine::replay(&ring, rules.clone());
+        let mut engine = AlertEngine::new(CacheId::new(4), rules);
+        let mut streamed = Vec::new();
+        for p in ring.points() {
+            streamed.extend(engine.observe(p));
+        }
+        assert_eq!(replayed, streamed);
+        assert_eq!(replayed.len(), 2, "one firing, one resolution");
+    }
+
+    #[test]
+    fn name_vocabularies_roundtrip() {
+        for metric in [
+            AlertMetric::HitRate,
+            AlertMetric::P99Latency,
+            AlertMetric::Quarantined,
+            AlertMetric::ShedRate,
+        ] {
+            assert_eq!(AlertMetric::from_name(metric.name()), Some(metric));
+        }
+        assert_eq!(AlertMetric::from_name("cpu"), None);
+        assert_eq!(AlertOp::Below.name(), "below");
+        assert_eq!(AlertState::Resolved.name(), "resolved");
+    }
+}

@@ -7,6 +7,7 @@
 //! plain value — no timestamps of its own beyond what the caller supplies
 //! — which keeps replays of the same trace byte-identical.
 
+use crate::alert::{AlertMetric, AlertOp, AlertState};
 use crate::json::JsonWriter;
 use crate::span::Span;
 use coopcache_types::{CacheId, DocId, ExpirationAge};
@@ -31,6 +32,17 @@ impl RequestClass {
             Self::LocalHit => "local-hit",
             Self::RemoteHit => "remote-hit",
             Self::Miss => "miss",
+        }
+    }
+
+    /// Inverse of [`Self::name`], for offline JSONL replay.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "local-hit" => Some(Self::LocalHit),
+            "remote-hit" => Some(Self::RemoteHit),
+            "miss" => Some(Self::Miss),
+            _ => None,
         }
     }
 }
@@ -289,6 +301,27 @@ pub enum Event {
         /// The document that was served but not stored.
         doc: DocId,
     },
+    /// An SLO rule crossed its burn count (or recovered): the alert
+    /// plane's state transition. Carries no timestamp of its own — under
+    /// a live daemon the series points already carry wall-clock time,
+    /// and omitting it here keeps same-workload alert streams
+    /// byte-comparable; all values are integers for the same reason.
+    Alert {
+        /// The node the rule evaluated on.
+        cache: CacheId,
+        /// The watched metric.
+        metric: AlertMetric,
+        /// Which side of the threshold violates.
+        op: AlertOp,
+        /// The rule's threshold (permille, µs, or count).
+        threshold: u64,
+        /// The metric value at the transition.
+        value: u64,
+        /// Consecutive windows in the transition's condition.
+        windows: u64,
+        /// Entering (`firing`) or leaving (`resolved`) the alert state.
+        state: AlertState,
+    },
 }
 
 /// The discriminant of an [`Event`], for counting and filtering.
@@ -320,6 +353,8 @@ pub enum EventKind {
     ConnReused,
     /// [`Event::AdmissionShed`].
     AdmissionShed,
+    /// [`Event::Alert`].
+    Alert,
 }
 
 /// All event kinds, in the order they appear in summaries.
@@ -328,7 +363,7 @@ pub enum EventKind {
 /// [`EventKind::index`] assigns it; the `event_kinds` tests enforce the
 /// lockstep, and the exhaustive match in `index` makes adding a variant
 /// without extending this array a compile error.
-pub const EVENT_KINDS: [EventKind; 13] = [
+pub const EVENT_KINDS: [EventKind; 14] = [
     EventKind::Request,
     EventKind::IcpQuery,
     EventKind::IcpReply,
@@ -342,6 +377,7 @@ pub const EVENT_KINDS: [EventKind; 13] = [
     EventKind::Span,
     EventKind::ConnReused,
     EventKind::AdmissionShed,
+    EventKind::Alert,
 ];
 
 impl EventKind {
@@ -362,6 +398,7 @@ impl EventKind {
             Self::Span => "span",
             Self::ConnReused => "connections-reused",
             Self::AdmissionShed => "admission-shed",
+            Self::Alert => "alert",
         }
     }
 
@@ -396,6 +433,37 @@ impl EventKind {
             Self::Span => 10,
             Self::ConnReused => 11,
             Self::AdmissionShed => 12,
+            Self::Alert => 13,
+        }
+    }
+
+    /// Whether this kind is *request-scoped*: telemetry describing one
+    /// request's protocol flow, emitted at request volume. These are the
+    /// kinds a daemon sheds wholesale for head-sampled-out traces (see
+    /// [`mute_request_scoped`](crate::mute_request_scoped)) — the rest
+    /// are low-rate cluster-health signals (evictions, faults,
+    /// quarantine, admission sheds, alerts) that must stay exact no
+    /// matter the sampling posture.
+    ///
+    /// Exhaustive on purpose, like [`Self::index`]: a new variant fails
+    /// to compile until it is classified.
+    #[must_use]
+    pub const fn is_request_scoped(self) -> bool {
+        match self {
+            Self::Request
+            | Self::IcpQuery
+            | Self::IcpReply
+            | Self::Placement
+            | Self::Span
+            | Self::ConnReused => true,
+            Self::Eviction
+            | Self::PeerFault
+            | Self::Failover
+            | Self::PeerQuarantined
+            | Self::ServerLoopError
+            | Self::WindowRollover
+            | Self::AdmissionShed
+            | Self::Alert => false,
         }
     }
 }
@@ -425,6 +493,7 @@ impl Event {
             Self::Span(..) => EventKind::Span,
             Self::ConnReused { .. } => EventKind::ConnReused,
             Self::AdmissionShed { .. } => EventKind::AdmissionShed,
+            Self::Alert { .. } => EventKind::Alert,
         }
     }
 
@@ -434,7 +503,14 @@ impl Event {
     /// over the same trace produce byte-identical lines.
     #[must_use]
     pub fn to_json(&self) -> String {
-        let mut w = JsonWriter::new();
+        self.write_json(JsonWriter::new())
+    }
+
+    /// Like [`Self::to_json`], but appends into the writer's existing
+    /// buffer — the allocation-free path [`JsonlSink`](crate::JsonlSink)
+    /// uses on the daemon hot path (one reused buffer per sink).
+    #[must_use]
+    pub fn write_json(&self, mut w: JsonWriter) -> String {
         w.begin_object();
         w.key("ev");
         w.string(self.kind().name());
@@ -608,6 +684,30 @@ impl Event {
                 w.key("doc");
                 w.u64(doc.as_u64());
             }
+            Self::Alert {
+                cache,
+                metric,
+                op,
+                threshold,
+                value,
+                windows,
+                state,
+            } => {
+                w.key("cache");
+                w.u64(u64::from(cache.as_u16()));
+                w.key("metric");
+                w.string(metric.name());
+                w.key("op");
+                w.string(op.name());
+                w.key("threshold");
+                w.u64(*threshold);
+                w.key("value");
+                w.u64(*value);
+                w.key("windows");
+                w.u64(*windows);
+                w.key("state");
+                w.string(state.name());
+            }
             Self::Span(span) => {
                 w.key("trace");
                 w.u64(span.trace_id);
@@ -746,10 +846,42 @@ mod tests {
 
     #[test]
     fn kinds_cover_all_events() {
-        assert_eq!(EVENT_KINDS.len(), 13);
+        assert_eq!(EVENT_KINDS.len(), 14);
         for kind in EVENT_KINDS {
             assert!(!kind.name().is_empty());
         }
+    }
+
+    #[test]
+    fn alert_json_shape() {
+        use crate::alert::{AlertMetric, AlertOp, AlertState};
+        let ev = Event::Alert {
+            cache: CacheId::new(2),
+            metric: AlertMetric::HitRate,
+            op: AlertOp::Below,
+            threshold: 500,
+            value: 321,
+            windows: 3,
+            state: AlertState::Firing,
+        };
+        assert_eq!(ev.kind(), EventKind::Alert);
+        assert_eq!(
+            ev.to_json(),
+            r#"{"ev":"alert","cache":2,"metric":"hit-rate","op":"below","threshold":500,"value":321,"windows":3,"state":"firing"}"#
+        );
+        let ev = Event::Alert {
+            cache: CacheId::new(2),
+            metric: AlertMetric::P99Latency,
+            op: AlertOp::Above,
+            threshold: 1_000_000,
+            value: 750_000,
+            windows: 1,
+            state: AlertState::Resolved,
+        };
+        assert_eq!(
+            ev.to_json(),
+            r#"{"ev":"alert","cache":2,"metric":"p99-latency","op":"above","threshold":1000000,"value":750000,"windows":1,"state":"resolved"}"#
+        );
     }
 
     #[test]

@@ -13,6 +13,14 @@ use std::fmt::Write as _;
 
 /// Escapes `s` per RFC 8259 and appends it (without quotes) to `out`.
 pub fn escape_into(out: &mut String, s: &str) {
+    // Almost every string this workspace serializes (keys, event names,
+    // span statuses) needs no escaping; detect that with one byte scan
+    // and append with a single copy instead of char-by-char pushes.
+    // Bytes ≥ 0x80 are UTF-8 continuation/lead bytes — never escaped.
+    if s.bytes().all(|b| b != b'"' && b != b'\\' && b >= 0x20) {
+        out.push_str(s);
+        return;
+    }
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -50,9 +58,15 @@ pub fn escape_into(out: &mut String, s: &str) {
 #[derive(Debug, Default)]
 pub struct JsonWriter {
     out: String,
-    /// One entry per open container: true once the first element landed
-    /// (so the next one needs a comma).
-    comma: Vec<bool>,
+    /// One bit per open container, indexed by depth: set once the first
+    /// element landed (so the next one needs a comma). A bitset instead
+    /// of a `Vec<bool>` keeps the writer allocation-free apart from the
+    /// output text itself — the sink serializes at request rate.
+    /// Containers nested deeper than 64 levels lose comma tracking; no
+    /// document in this workspace nests past single digits.
+    comma: u64,
+    /// Open containers.
+    depth: u32,
 }
 
 impl JsonWriter {
@@ -60,6 +74,28 @@ impl JsonWriter {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a writer that reuses `buf`'s allocation (the text is
+    /// cleared). Hot paths that serialize many documents hand the
+    /// [`Self::finish`] result back in to stay allocation-free.
+    #[must_use]
+    pub fn reusing(mut buf: String) -> Self {
+        buf.clear();
+        Self {
+            out: buf,
+            comma: 0,
+            depth: 0,
+        }
+    }
+
+    /// The comma bit for the innermost open container (`0` at the top
+    /// level, where values never need separating).
+    fn level_bit(&self) -> u64 {
+        match self.depth {
+            0 => 0,
+            d => 1u64.checked_shl(d - 1).unwrap_or(0),
+        }
     }
 
     /// Returns the accumulated JSON text.
@@ -71,24 +107,24 @@ impl JsonWriter {
     fn before_value(&mut self) {
         // A value inside an array needs a separating comma; object values
         // follow their key, which already handled the comma.
-        if let Some(needs) = self.comma.last_mut() {
-            if *needs {
-                self.out.push(',');
-            }
-            *needs = true;
+        let bit = self.level_bit();
+        if self.comma & bit != 0 {
+            self.out.push(',');
         }
+        self.comma |= bit;
     }
 
     /// Opens an object (`{`).
     pub fn begin_object(&mut self) {
         self.before_value();
         self.out.push('{');
-        self.comma.push(false);
+        self.depth += 1;
+        self.comma &= !self.level_bit();
     }
 
     /// Closes an object (`}`).
     pub fn end_object(&mut self) {
-        self.comma.pop();
+        self.depth = self.depth.saturating_sub(1);
         self.out.push('}');
     }
 
@@ -96,25 +132,25 @@ impl JsonWriter {
     pub fn begin_array(&mut self) {
         self.before_value();
         self.out.push('[');
-        self.comma.push(false);
+        self.depth += 1;
+        self.comma &= !self.level_bit();
     }
 
     /// Closes an array (`]`).
     pub fn end_array(&mut self) {
-        self.comma.pop();
+        self.depth = self.depth.saturating_sub(1);
         self.out.push(']');
     }
 
     /// Writes an object key; the next call must write its value.
     pub fn key(&mut self, k: &str) {
-        if let Some(needs) = self.comma.last_mut() {
-            if *needs {
-                self.out.push(',');
-            }
-            // The key's own comma is done; the value following it must
-            // not add one (its `before_value` re-arms the flag).
-            *needs = false;
+        let bit = self.level_bit();
+        if self.comma & bit != 0 {
+            self.out.push(',');
         }
+        // The key's own comma is done; the value following it must not
+        // add one (its `before_value` re-arms the flag).
+        self.comma &= !bit;
         self.out.push('"');
         escape_into(&mut self.out, k);
         self.out.push_str("\":");
@@ -131,13 +167,16 @@ impl JsonWriter {
     /// Writes an unsigned integer value.
     pub fn u64(&mut self, v: u64) {
         self.before_value();
-        let _ = write!(self.out, "{v}");
+        push_u64(&mut self.out, v);
     }
 
     /// Writes a signed integer value.
     pub fn i64(&mut self, v: i64) {
         self.before_value();
-        let _ = write!(self.out, "{v}");
+        if v < 0 {
+            self.out.push('-');
+        }
+        push_u64(&mut self.out, v.unsigned_abs());
     }
 
     /// Writes a float value (shortest round-trip form; `null` for
@@ -171,6 +210,28 @@ impl JsonWriter {
             None => self.null(),
         }
     }
+}
+
+/// Appends `v` in decimal without going through the `core::fmt`
+/// machinery — the JSONL sink serializes several integers per event at
+/// request rate, and `write!` costs several times a digit loop.
+fn push_u64(out: &mut String, mut v: u64) {
+    // u64::MAX has 20 digits.
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        #[allow(clippy::cast_possible_truncation)] // v % 10 < 10
+        {
+            buf[i] = b'0' + (v % 10) as u8;
+        }
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    // The slice is ASCII digits by construction.
+    out.push_str(std::str::from_utf8(&buf[i..]).unwrap_or("0"));
 }
 
 /// Maximum container nesting [`parse_json`] accepts; deeper input is

@@ -26,7 +26,16 @@
 //!   context on the wire, and a [`TraceAssembler`] folds the resulting
 //!   [`Event::Span`] stream back into per-request trace trees;
 //! * [`StatsRegistry`] — relaxed atomic counters per [`EventKind`],
-//!   always on in the daemons, behind the `OP_STATS` live snapshot.
+//!   always on in the daemons, behind the `OP_STATS` live snapshot;
+//! * [`Sampler`] — deterministic per-trace head sampling: the sampled
+//!   stream is a reproducible, byte-identical subsequence of the full
+//!   stream, cheap enough to leave on at daemon throughput;
+//! * [`Rollup`] — cardinality-bounded online aggregation (per-node
+//!   counters and hit split, per-window dedup sketch) that replaces raw
+//!   JSONL for large sweeps;
+//! * [`AlertEngine`] — declarative SLO rules ([`AlertRule`]) evaluated
+//!   over series points, firing [`Event::Alert`] on threshold/burn-rate
+//!   transitions under wall *or* virtual clocks.
 //!
 //! [`DistributedGroup`]: https://docs.rs/coopcache-proxy
 //!
@@ -51,15 +60,19 @@
 //! assert_eq!(hist.lock().unwrap().request_split(), (1, 0, 0));
 //! ```
 
+mod alert;
 mod assemble;
 mod event;
 mod histogram;
 mod json;
+mod rollup;
+mod sample;
 mod series;
 mod sink;
 mod span;
 mod stats;
 
+pub use alert::{AlertEngine, AlertFiring, AlertMetric, AlertOp, AlertRule, AlertState};
 pub use assemble::{SpanRecord, TraceAssembler};
 pub use event::{
     age_to_ms, Event, EventKind, EvictionCause, FaultOp, PlacementRole, RequestClass, ServerLoop,
@@ -67,10 +80,15 @@ pub use event::{
 };
 pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
 pub use json::{escape_into, parse_json, JsonParseError, JsonValue, JsonWriter};
+pub use rollup::{Rollup, RollupConfig, WindowSummary};
+pub use sample::{splitmix64, Sampler, SamplerConfig};
 pub use series::{
     aggregate_points, event_cache, render_top, SeriesGauges, SeriesPoint, SeriesRecorder,
     SeriesReplayer, SeriesRing, DEFAULT_SERIES_CAPACITY,
 };
-pub use sink::{EventSink, HistogramSink, JsonlSink, NullSink, RingBufferSink, SinkHandle};
+pub use sink::{
+    mute_request_scoped, request_scoped_muted, EventSink, HistogramSink, JsonlSink, NullSink,
+    RequestMuteGuard, RingBufferSink, SinkHandle,
+};
 pub use span::{scoped_cache, scoped_id, scoped_seq, Span, SpanKind, TraceCtx};
 pub use stats::StatsRegistry;

@@ -1,0 +1,619 @@
+//! Cardinality-bounded online rollups — the always-on aggregate for
+//! sweeps too large to trace.
+//!
+//! A 256-node × 10M-request DES sweep emits tens of millions of events;
+//! a per-event JSONL file is gigabytes, but the questions such a sweep
+//! answers are aggregate ones: per-node hit rates and latency digests,
+//! per-window request/store volume, and how duplicated the group's
+//! contents are. A [`Rollup`] folds the event stream into exactly those
+//! aggregates in **bounded memory**, whatever the run length:
+//!
+//! * a per-node table capped at [`RollupConfig::max_nodes`] entries
+//!   (counters, hit split, log-bucketed latency digest); events for
+//!   nodes beyond the cap are tallied in one overflow counter instead of
+//!   growing the table;
+//! * a ring of the last [`RollupConfig::max_windows`] non-empty window
+//!   summaries (requests, hits, stores, distinct-document estimate and
+//!   the derived duplication ratio); older summaries are dropped and
+//!   counted, never accumulated;
+//! * per window, distinct stored documents are estimated with a fixed
+//!   1024-bit linear-counting sketch — constant space, deterministic,
+//!   and accurate to a few percent at window cardinalities up to ~1000.
+//!
+//! Everything is integer or fixed-bucket state driven only by the
+//! observed events and the advancing clock, so same-seed runs produce
+//! byte-identical [`Rollup::to_json`] documents.
+
+use crate::event::{Event, EventKind, RequestClass, EVENT_KINDS};
+use crate::histogram::Histogram;
+use crate::json::{parse_json, JsonParseError, JsonValue, JsonWriter};
+use crate::sample::splitmix64;
+use crate::sink::EventSink;
+use coopcache_types::CacheId;
+use std::collections::BTreeMap;
+
+/// Bits in the per-window distinct-document sketch.
+const SKETCH_BITS: u64 = 1_024;
+
+/// Bounds and cadence of a [`Rollup`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RollupConfig {
+    /// Width of one rollup window in milliseconds (virtual time under
+    /// the DES, span time in offline replay). Clamped to ≥ 1.
+    pub window_ms: u64,
+    /// Cardinality bound on the per-node table.
+    pub max_nodes: usize,
+    /// Number of completed window summaries retained.
+    pub max_windows: usize,
+}
+
+impl Default for RollupConfig {
+    fn default() -> Self {
+        Self {
+            window_ms: 1_000,
+            max_nodes: 256,
+            max_windows: 64,
+        }
+    }
+}
+
+/// Per-node aggregate state.
+#[derive(Debug, Clone)]
+struct NodeAgg {
+    counters: [u64; EVENT_KINDS.len()],
+    local_hits: u64,
+    remote_hits: u64,
+    latency_us: Histogram,
+}
+
+impl NodeAgg {
+    fn new() -> Self {
+        Self {
+            counters: [0; EVENT_KINDS.len()],
+            local_hits: 0,
+            remote_hits: 0,
+            latency_us: Histogram::new(),
+        }
+    }
+}
+
+/// One completed (non-empty) window's group-level summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSummary {
+    /// Window index: the window covers `[index·w, (index+1)·w)` ms.
+    pub index: u64,
+    /// Requests completed inside the window (whole group).
+    pub requests: u64,
+    /// Local + remote hits inside the window.
+    pub hits: u64,
+    /// Requests that stored a local copy inside the window.
+    pub stores: u64,
+    /// Linear-counting estimate of distinct documents stored.
+    pub distinct_docs: u64,
+    /// `stores·1000 / distinct_docs` — the group duplication estimate
+    /// (1000 = every stored document unique; higher = more duplicated).
+    pub duplication_permille: u64,
+}
+
+/// The window currently being accumulated.
+#[derive(Debug, Clone)]
+struct OpenWindow {
+    index: u64,
+    requests: u64,
+    hits: u64,
+    stores: u64,
+    sketch: [u64; (SKETCH_BITS / 64) as usize],
+}
+
+impl OpenWindow {
+    fn new(index: u64) -> Self {
+        Self {
+            index,
+            requests: 0,
+            hits: 0,
+            stores: 0,
+            sketch: [0; (SKETCH_BITS / 64) as usize],
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.requests == 0 && self.stores == 0
+    }
+
+    fn observe_store(&mut self, doc: u64) {
+        self.stores += 1;
+        let bit = splitmix64(doc) % SKETCH_BITS;
+        self.sketch[(bit / 64) as usize] |= 1 << (bit % 64);
+    }
+
+    /// Linear counting: with `z` of `m` bits still zero, the distinct
+    /// count estimate is `m·ln(m/z)`. A saturated sketch (z = 0) clamps
+    /// to the observed store count — the estimate is a lower bound then.
+    fn distinct_estimate(&self) -> u64 {
+        let zeros: u64 = self.sketch.iter().map(|w| u64::from(w.count_zeros())).sum();
+        if zeros == 0 {
+            return self.stores;
+        }
+        if zeros == SKETCH_BITS {
+            return 0;
+        }
+        let m = SKETCH_BITS as f64;
+        let est = (m * (m / zeros as f64).ln()).round();
+        // Clamp into [1, stores]: at least one distinct doc once any
+        // store happened, never more distinct docs than stores.
+        (est as u64).clamp(u64::from(self.stores > 0), self.stores.max(1))
+    }
+
+    fn close(&self) -> WindowSummary {
+        let distinct = self.distinct_estimate();
+        let duplication_permille = self
+            .stores
+            .saturating_mul(1_000)
+            .checked_div(distinct)
+            .unwrap_or(0);
+        WindowSummary {
+            index: self.index,
+            requests: self.requests,
+            hits: self.hits,
+            stores: self.stores,
+            distinct_docs: distinct,
+            duplication_permille,
+        }
+    }
+}
+
+/// The bounded-memory aggregator itself.
+///
+/// Drive it either explicitly — [`Rollup::observe`] per event plus
+/// [`Rollup::advance`] as the clock moves — or as an [`EventSink`],
+/// where spans self-clock the windows from their `end_us`, or from a
+/// JSONL file via [`Rollup::observe_jsonl`].
+#[derive(Debug, Clone)]
+pub struct Rollup {
+    config: RollupConfig,
+    nodes: BTreeMap<u16, NodeAgg>,
+    /// Events billed to nodes beyond the `max_nodes` cap.
+    overflow_events: u64,
+    current: OpenWindow,
+    windows: Vec<WindowSummary>,
+    windows_dropped: u64,
+    now_ms: u64,
+}
+
+impl Rollup {
+    /// Creates an empty rollup.
+    #[must_use]
+    pub fn new(config: RollupConfig) -> Self {
+        let config = RollupConfig {
+            window_ms: config.window_ms.max(1),
+            max_nodes: config.max_nodes.max(1),
+            max_windows: config.max_windows.max(1),
+        };
+        Self {
+            config,
+            nodes: BTreeMap::new(),
+            overflow_events: 0,
+            current: OpenWindow::new(0),
+            windows: Vec::new(),
+            windows_dropped: 0,
+            now_ms: 0,
+        }
+    }
+
+    /// The bounds this rollup was created with.
+    #[must_use]
+    pub const fn config(&self) -> RollupConfig {
+        self.config
+    }
+
+    /// Nodes currently tracked (≤ `max_nodes`).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Events billed to nodes beyond the cardinality cap.
+    #[must_use]
+    pub const fn overflow_events(&self) -> u64 {
+        self.overflow_events
+    }
+
+    /// Completed non-empty window summaries, oldest first.
+    #[must_use]
+    pub fn windows(&self) -> &[WindowSummary] {
+        &self.windows
+    }
+
+    /// Window summaries dropped after the ring filled.
+    #[must_use]
+    pub const fn windows_dropped(&self) -> u64 {
+        self.windows_dropped
+    }
+
+    /// Cumulative `(requests, local_hits, remote_hits)` for one node,
+    /// all zero for untracked nodes.
+    #[must_use]
+    pub fn node_split(&self, cache: CacheId) -> (u64, u64, u64) {
+        self.nodes.get(&cache.as_u16()).map_or((0, 0, 0), |n| {
+            (
+                n.counters[EventKind::Request.index()],
+                n.local_hits,
+                n.remote_hits,
+            )
+        })
+    }
+
+    /// Group totals `(requests, hits, stores)` across all closed and
+    /// open windows.
+    #[must_use]
+    pub fn totals(&self) -> (u64, u64, u64) {
+        let mut requests = self.current.requests;
+        let mut hits = self.current.hits;
+        let mut stores = self.current.stores;
+        for w in &self.windows {
+            requests += w.requests;
+            hits += w.hits;
+            stores += w.stores;
+        }
+        (requests, hits, stores)
+    }
+
+    /// Advances the window clock to `now_ms`, closing the open window
+    /// when a boundary was crossed. Non-empty windows are summarised
+    /// into the bounded ring; runs of empty windows are skipped in O(1).
+    pub fn advance(&mut self, now_ms: u64) {
+        if now_ms <= self.now_ms {
+            return;
+        }
+        self.now_ms = now_ms;
+        let target = now_ms / self.config.window_ms;
+        if target > self.current.index {
+            if !self.current.is_empty() {
+                if self.windows.len() >= self.config.max_windows {
+                    self.windows.remove(0);
+                    self.windows_dropped += 1;
+                }
+                self.windows.push(self.current.close());
+            }
+            self.current = OpenWindow::new(target);
+        }
+    }
+
+    /// Folds one event in (at the current window clock).
+    pub fn observe(&mut self, event: &Event) {
+        let Some(cache) = crate::series::event_cache(event) else {
+            return; // group-wide events carry no node to bill
+        };
+        let key = cache.as_u16();
+        let node = if self.nodes.contains_key(&key) || self.nodes.len() < self.config.max_nodes {
+            Some(self.nodes.entry(key).or_insert_with(NodeAgg::new))
+        } else {
+            self.overflow_events += 1;
+            None
+        };
+        if let Some(node) = node {
+            node.counters[event.kind().index()] += 1;
+            if let Event::Request {
+                class, latency_us, ..
+            } = event
+            {
+                match class {
+                    RequestClass::LocalHit => node.local_hits += 1,
+                    RequestClass::RemoteHit => node.remote_hits += 1,
+                    RequestClass::Miss => {}
+                }
+                if let Some(us) = latency_us {
+                    node.latency_us.record(*us);
+                }
+            }
+        }
+        // Window accounting is group-level and unaffected by the node
+        // cap — a capped table must not bias the duplication estimate.
+        if let Event::Request {
+            doc, class, stored, ..
+        } = event
+        {
+            self.current.requests += 1;
+            if matches!(class, RequestClass::LocalHit | RequestClass::RemoteHit) {
+                self.current.hits += 1;
+            }
+            if *stored {
+                self.current.observe_store(doc.as_u64());
+            }
+        }
+    }
+
+    /// Folds one JSONL event line in, self-clocking from span `end_us`
+    /// (the same convention as [`SeriesReplayer`](crate::SeriesReplayer)).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonParseError`] for lines that do not parse or are
+    /// not tagged with a known `"ev"` kind.
+    pub fn observe_json_line(&mut self, line: &str) -> Result<(), JsonParseError> {
+        let value = parse_json(line)?;
+        let kind = value
+            .get("ev")
+            .and_then(JsonValue::as_str)
+            .and_then(EventKind::from_name)
+            .ok_or(JsonParseError {
+                offset: 0,
+                what: "not a coopcache event line",
+            })?;
+        if kind == EventKind::Span {
+            if let Some(end_us) = value.get("end_us").and_then(JsonValue::as_u64) {
+                self.advance(end_us / 1_000);
+            }
+        }
+        let cache = ["cache", "from"]
+            .iter()
+            .find_map(|k| value.get(k).and_then(JsonValue::as_u64))
+            .and_then(|c| u16::try_from(c).ok());
+        let Some(cache) = cache else {
+            return Ok(());
+        };
+        let key = cache;
+        let node = if self.nodes.contains_key(&key) || self.nodes.len() < self.config.max_nodes {
+            Some(self.nodes.entry(key).or_insert_with(NodeAgg::new))
+        } else {
+            self.overflow_events += 1;
+            None
+        };
+        let class = value.get("class").and_then(JsonValue::as_str);
+        if let Some(node) = node {
+            node.counters[kind.index()] += 1;
+            if kind == EventKind::Request {
+                match class {
+                    Some("local-hit") => node.local_hits += 1,
+                    Some("remote-hit") => node.remote_hits += 1,
+                    _ => {}
+                }
+                if let Some(us) = value.get("latency_us").and_then(JsonValue::as_u64) {
+                    node.latency_us.record(us);
+                }
+            }
+        }
+        if kind == EventKind::Request {
+            self.current.requests += 1;
+            if matches!(class, Some("local-hit" | "remote-hit")) {
+                self.current.hits += 1;
+            }
+            let stored = value.get("stored").and_then(JsonValue::as_bool);
+            if stored == Some(true) {
+                if let Some(doc) = value.get("doc").and_then(JsonValue::as_u64) {
+                    self.current.observe_store(doc);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Folds every line of a JSONL document in, skipping blanks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`JsonParseError`].
+    pub fn observe_jsonl(&mut self, text: &str) -> Result<(), JsonParseError> {
+        for line in text.lines() {
+            if !line.trim().is_empty() {
+                self.observe_json_line(line)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Closes the open window (if non-empty) and encodes the rollup as
+    /// one deterministic JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut snapshot = self.clone();
+        // Force the open window closed so the document is complete.
+        snapshot.advance((snapshot.current.index + 1).saturating_mul(snapshot.config.window_ms));
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("window_ms");
+        w.u64(snapshot.config.window_ms);
+        w.key("max_nodes");
+        w.u64(snapshot.config.max_nodes as u64);
+        w.key("max_windows");
+        w.u64(snapshot.config.max_windows as u64);
+        w.key("nodes");
+        w.begin_array();
+        for (cache, node) in &snapshot.nodes {
+            w.begin_object();
+            w.key("cache");
+            w.u64(u64::from(*cache));
+            w.key("counters");
+            w.begin_object();
+            for kind in EVENT_KINDS {
+                w.key(kind.name());
+                w.u64(node.counters[kind.index()]);
+            }
+            w.end_object();
+            w.key("local_hits");
+            w.u64(node.local_hits);
+            w.key("remote_hits");
+            w.u64(node.remote_hits);
+            let requests = node.counters[EventKind::Request.index()];
+            w.key("hit_permille");
+            match (node.local_hits + node.remote_hits)
+                .saturating_mul(1_000)
+                .checked_div(requests)
+            {
+                Some(permille) => w.u64(permille),
+                None => w.null(),
+            }
+            w.key("latency");
+            if node.latency_us.is_empty() {
+                w.null();
+            } else {
+                node.latency_us.snapshot().write_json_us(&mut w);
+            }
+            w.end_object();
+        }
+        w.end_array();
+        w.key("overflow_events");
+        w.u64(snapshot.overflow_events);
+        w.key("windows");
+        w.begin_array();
+        for win in &snapshot.windows {
+            w.begin_object();
+            w.key("index");
+            w.u64(win.index);
+            w.key("requests");
+            w.u64(win.requests);
+            w.key("hits");
+            w.u64(win.hits);
+            w.key("stores");
+            w.u64(win.stores);
+            w.key("distinct_docs");
+            w.u64(win.distinct_docs);
+            w.key("duplication_permille");
+            w.u64(win.duplication_permille);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("windows_dropped");
+        w.u64(snapshot.windows_dropped);
+        w.end_object();
+        w.finish()
+    }
+}
+
+impl EventSink for Rollup {
+    fn emit(&mut self, event: &Event) {
+        if let Event::Span(span) = event {
+            self.advance(span.end_us / 1_000);
+        }
+        self.observe(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coopcache_types::DocId;
+
+    fn request(cache: u16, doc: u64, class: RequestClass, stored: bool) -> Event {
+        Event::Request {
+            seq: 0,
+            cache: CacheId::new(cache),
+            doc: DocId::new(doc),
+            class,
+            responder: None,
+            stored,
+            latency_us: Some(1_000),
+        }
+    }
+
+    #[test]
+    fn node_table_is_cardinality_bounded() {
+        let mut rollup = Rollup::new(RollupConfig {
+            window_ms: 1_000,
+            max_nodes: 4,
+            max_windows: 8,
+        });
+        for cache in 0..10u16 {
+            rollup.observe(&request(cache, 1, RequestClass::Miss, true));
+        }
+        assert_eq!(rollup.node_count(), 4);
+        assert_eq!(rollup.overflow_events(), 6);
+        // Overflowed nodes still count into the group window.
+        assert_eq!(rollup.totals().0, 10);
+    }
+
+    #[test]
+    fn window_ring_is_bounded_and_skips_empty_windows() {
+        let mut rollup = Rollup::new(RollupConfig {
+            window_ms: 100,
+            max_nodes: 8,
+            max_windows: 2,
+        });
+        for i in 0..5u64 {
+            rollup.observe(&request(0, i, RequestClass::Miss, true));
+            // A long idle gap: empty windows must not emit summaries.
+            rollup.advance((i + 1) * 10_000);
+        }
+        assert_eq!(rollup.windows().len(), 2);
+        assert_eq!(rollup.windows_dropped(), 3);
+        // Each retained summary covers exactly one store.
+        for w in rollup.windows() {
+            assert_eq!(w.stores, 1);
+            assert_eq!(w.distinct_docs, 1);
+            assert_eq!(w.duplication_permille, 1_000);
+        }
+    }
+
+    #[test]
+    fn duplication_estimate_tracks_repeated_stores() {
+        let mut rollup = Rollup::new(RollupConfig::default());
+        // 100 stores of only 10 distinct documents → ~10x duplication.
+        for i in 0..100u64 {
+            rollup.observe(&request(0, i % 10, RequestClass::Miss, true));
+        }
+        rollup.advance(1_000);
+        let w = rollup.windows()[0];
+        assert_eq!(w.stores, 100);
+        assert!(
+            (9..=11).contains(&w.distinct_docs),
+            "estimate {} off",
+            w.distinct_docs
+        );
+        assert!(
+            w.duplication_permille >= 9_000,
+            "{}",
+            w.duplication_permille
+        );
+    }
+
+    #[test]
+    fn hit_split_and_totals() {
+        let mut rollup = Rollup::new(RollupConfig::default());
+        rollup.observe(&request(1, 1, RequestClass::LocalHit, false));
+        rollup.observe(&request(1, 2, RequestClass::RemoteHit, true));
+        rollup.observe(&request(1, 3, RequestClass::Miss, true));
+        assert_eq!(rollup.node_split(CacheId::new(1)), (3, 1, 1));
+        assert_eq!(rollup.node_split(CacheId::new(9)), (0, 0, 0));
+        assert_eq!(rollup.totals(), (3, 2, 2));
+    }
+
+    #[test]
+    fn json_is_deterministic_and_closes_the_open_window() {
+        let mut rollup = Rollup::new(RollupConfig {
+            window_ms: 100,
+            max_nodes: 8,
+            max_windows: 8,
+        });
+        rollup.observe(&request(0, 7, RequestClass::Miss, true));
+        let a = rollup.to_json();
+        let b = rollup.to_json();
+        assert_eq!(a, b);
+        assert!(a.starts_with(r#"{"window_ms":100,"max_nodes":8,"#), "{a}");
+        assert!(a.contains(r#""stores":1"#), "{a}");
+        // to_json must not mutate the rollup itself.
+        assert!(rollup.windows().is_empty());
+    }
+
+    #[test]
+    fn jsonl_replay_matches_direct_observation() {
+        let events = [
+            request(0, 1, RequestClass::Miss, true),
+            request(1, 1, RequestClass::RemoteHit, false),
+            request(0, 2, RequestClass::LocalHit, false),
+        ];
+        let mut direct = Rollup::new(RollupConfig::default());
+        let mut replayed = Rollup::new(RollupConfig::default());
+        let mut text = String::new();
+        for ev in &events {
+            direct.observe(ev);
+            text.push_str(&ev.to_json());
+            text.push('\n');
+        }
+        replayed.observe_jsonl(&text).expect("well-formed");
+        assert_eq!(direct.to_json(), replayed.to_json());
+        // Malformed input is a typed error.
+        let mut bad = Rollup::new(RollupConfig::default());
+        assert!(bad.observe_json_line("{nope").is_err());
+        assert!(bad.observe_json_line(r#"{"ev":"martian"}"#).is_err());
+    }
+}

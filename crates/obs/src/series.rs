@@ -17,7 +17,7 @@
 //! seed; only the live daemons' wall-clock sampler threads are
 //! nondeterministic, and they use the same point format.
 
-use crate::event::{Event, EventKind, EVENT_KINDS};
+use crate::event::{Event, EventKind, RequestClass, EVENT_KINDS};
 use crate::histogram::{Histogram, HistogramSnapshot};
 use crate::json::{parse_json, JsonParseError, JsonValue, JsonWriter};
 use coopcache_types::CacheId;
@@ -55,6 +55,12 @@ pub struct SeriesPoint {
     pub t_ms: u64,
     /// Cumulative per-kind event counts, [`EVENT_KINDS`] order.
     pub counters: [u64; EVENT_KINDS.len()],
+    /// Cumulative requests served from this node's own cache — with
+    /// [`Self::remote_hits`], the hit split behind the alert plane's
+    /// hit-rate metric (the counters array only carries totals).
+    pub local_hits: u64,
+    /// Cumulative requests served by a peer in the group.
+    pub remote_hits: u64,
     /// Cumulative request-latency snapshot, `None` before any request.
     pub latency: Option<HistogramSnapshot>,
     /// Documents resident at sample time.
@@ -74,6 +80,8 @@ impl SeriesPoint {
         Self {
             t_ms,
             counters: [0; EVENT_KINDS.len()],
+            local_hits: 0,
+            remote_hits: 0,
             latency: None,
             docs: 0,
             used_bytes: 0,
@@ -93,6 +101,13 @@ impl SeriesPoint {
             w.key(kind.name());
             w.u64(self.counters[kind.index()]);
         }
+        w.end_object();
+        w.key("hits");
+        w.begin_object();
+        w.key("local");
+        w.u64(self.local_hits);
+        w.key("remote");
+        w.u64(self.remote_hits);
         w.end_object();
         w.key("latency");
         match &self.latency {
@@ -121,6 +136,7 @@ impl SeriesPoint {
         for kind in EVENT_KINDS {
             counters[kind.index()] = counters_obj.get(kind.name())?.as_u64()?;
         }
+        let hits = value.get("hits")?;
         let latency = match value.get("latency")? {
             JsonValue::Null => None,
             v => Some(HistogramSnapshot::from_json_us(v)?),
@@ -133,6 +149,8 @@ impl SeriesPoint {
         Some(Self {
             t_ms: value.get("t_ms")?.as_u64()?,
             counters,
+            local_hits: hits.get("local")?.as_u64()?,
+            remote_hits: hits.get("remote")?.as_u64()?,
             latency,
             docs: occupancy.get("docs")?.as_u64()?,
             used_bytes: occupancy.get("used_bytes")?.as_u64()?,
@@ -267,6 +285,8 @@ impl SeriesRing {
 #[derive(Debug, Clone)]
 pub struct SeriesRecorder {
     counters: [u64; EVENT_KINDS.len()],
+    local_hits: u64,
+    remote_hits: u64,
     latency: Histogram,
     next_t_ms: u64,
     ring: SeriesRing,
@@ -279,6 +299,8 @@ impl SeriesRecorder {
         let ring = SeriesRing::new(cache, interval_ms, capacity);
         Self {
             counters: [0; EVENT_KINDS.len()],
+            local_hits: 0,
+            remote_hits: 0,
             latency: Histogram::new(),
             next_t_ms: ring.interval_ms(),
             ring,
@@ -302,16 +324,27 @@ impl SeriesRecorder {
         self.latency.record(us);
     }
 
-    /// Counts one event, folding in its measured latency when it is a
-    /// completed request.
+    /// Counts one served request toward the cumulative hit split.
+    pub fn observe_request_class(&mut self, class: RequestClass) {
+        match class {
+            RequestClass::LocalHit => self.local_hits = self.local_hits.saturating_add(1),
+            RequestClass::RemoteHit => self.remote_hits = self.remote_hits.saturating_add(1),
+            RequestClass::Miss => {}
+        }
+    }
+
+    /// Counts one event, folding in its measured latency and hit class
+    /// when it is a completed request.
     pub fn observe(&mut self, event: &Event) {
         self.observe_kind(event.kind());
         if let Event::Request {
-            latency_us: Some(us),
-            ..
+            class, latency_us, ..
         } = event
         {
-            self.latency.record(*us);
+            self.observe_request_class(*class);
+            if let Some(us) = latency_us {
+                self.latency.record(*us);
+            }
         }
     }
 
@@ -320,22 +353,39 @@ impl SeriesRecorder {
     /// its inputs: same event stream + same advance calls → the same
     /// ring, byte for byte.
     pub fn advance(&mut self, now_ms: u64, gauges: SeriesGauges) {
+        self.advance_with(now_ms, gauges, |_| {});
+    }
+
+    /// Like [`Self::advance`], invoking `visit` on each boundary point
+    /// before it lands in the ring — how drivers feed the same points
+    /// into an [`AlertEngine`](crate::AlertEngine) without re-reading
+    /// (and possibly missing, after eviction) ring contents.
+    pub fn advance_with(
+        &mut self,
+        now_ms: u64,
+        gauges: SeriesGauges,
+        mut visit: impl FnMut(&SeriesPoint),
+    ) {
         while self.next_t_ms <= now_ms {
             let latency = if self.latency.is_empty() {
                 None
             } else {
                 Some(self.latency.snapshot())
             };
-            self.ring.push(SeriesPoint {
+            let point = SeriesPoint {
                 t_ms: self.next_t_ms,
                 counters: self.counters,
+                local_hits: self.local_hits,
+                remote_hits: self.remote_hits,
                 latency,
                 docs: gauges.docs,
                 used_bytes: gauges.used_bytes,
                 capacity_bytes: gauges.capacity_bytes,
                 expiration_age_ms: gauges.expiration_age_ms,
                 quarantined: gauges.quarantined,
-            });
+            };
+            visit(&point);
+            self.ring.push(point);
             self.next_t_ms = self.next_t_ms.saturating_add(self.ring.interval_ms());
         }
     }
@@ -375,7 +425,8 @@ pub fn event_cache(event: &Event) -> Option<CacheId> {
         | Event::PeerQuarantined { cache, .. }
         | Event::ServerLoopError { cache, .. }
         | Event::ConnReused { cache, .. }
-        | Event::AdmissionShed { cache, .. } => Some(*cache),
+        | Event::AdmissionShed { cache, .. }
+        | Event::Alert { cache, .. } => Some(*cache),
         Event::IcpQuery { from, .. } | Event::IcpReply { from, .. } => Some(*from),
         Event::Span(span) => Some(span.cache),
         Event::WindowRollover { .. } => None,
@@ -454,6 +505,13 @@ impl SeriesReplayer {
             if let Some(us) = value.get("latency_us").and_then(JsonValue::as_u64) {
                 recorder.record_latency_us(us);
             }
+            if let Some(class) = value
+                .get("class")
+                .and_then(JsonValue::as_str)
+                .and_then(RequestClass::from_name)
+            {
+                recorder.observe_request_class(class);
+            }
         }
         Ok(())
     }
@@ -504,6 +562,8 @@ pub fn aggregate_points(rings: &[SeriesRing]) -> Vec<SeriesPoint> {
             for (slot, add) in acc.counters.iter_mut().zip(p.counters.iter()) {
                 *slot = slot.saturating_add(*add);
             }
+            acc.local_hits = acc.local_hits.saturating_add(p.local_hits);
+            acc.remote_hits = acc.remote_hits.saturating_add(p.remote_hits);
             acc.docs = acc.docs.saturating_add(p.docs);
             acc.used_bytes = acc.used_bytes.saturating_add(p.used_bytes);
             acc.capacity_bytes = acc.capacity_bytes.saturating_add(p.capacity_bytes);

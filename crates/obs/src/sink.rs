@@ -13,6 +13,8 @@
 
 use crate::event::{Event, EventKind, RequestClass, EVENT_KINDS};
 use crate::histogram::Histogram;
+use crate::sample::{Sampler, SamplerConfig};
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::io::{self, Write};
 use std::sync::{Arc, Mutex};
@@ -100,6 +102,9 @@ pub struct JsonlSink<W: Write> {
     writer: W,
     lines: u64,
     error: Option<io::Error>,
+    /// Reused serialization buffer: the hot path allocates on the first
+    /// event and never again.
+    buf: String,
 }
 
 impl<W: Write> JsonlSink<W> {
@@ -110,6 +115,7 @@ impl<W: Write> JsonlSink<W> {
             writer,
             lines: 0,
             error: None,
+            buf: String::new(),
         }
     }
 
@@ -145,12 +151,15 @@ impl<W: Write> EventSink for JsonlSink<W> {
         if self.error.is_some() {
             return;
         }
-        let mut line = event.to_json();
+        let mut line = event.write_json(crate::json::JsonWriter::reusing(std::mem::take(
+            &mut self.buf,
+        )));
         line.push('\n');
         match self.writer.write_all(line.as_bytes()) {
             Ok(()) => self.lines += 1,
             Err(err) => self.error = Some(err),
         }
+        self.buf = line;
     }
 }
 
@@ -294,6 +303,10 @@ impl EventSink for HistogramSink {
 #[derive(Clone)]
 pub struct SinkHandle {
     inner: Arc<Mutex<dyn EventSink + Send>>,
+    /// Head-sampling filter applied *before* the lock: a dropped span
+    /// never contends on the shared sink, which is what keeps the
+    /// always-on sampled mode within its overhead budget.
+    sampler: Option<Sampler>,
 }
 
 impl std::fmt::Debug for SinkHandle {
@@ -307,7 +320,42 @@ impl SinkHandle {
     pub fn new<S: EventSink + Send + 'static>(sink: S) -> Self {
         Self {
             inner: Arc::new(Mutex::new(sink)),
+            sampler: None,
         }
+    }
+
+    /// Wraps a sink behind a deterministic head sampler: spans whose
+    /// trace the sampler drops never reach the sink (or its lock).
+    pub fn with_sampler<S: EventSink + Send + 'static>(sink: S, config: SamplerConfig) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(sink)),
+            sampler: Some(Sampler::new(config)),
+        }
+    }
+
+    /// Returns this handle with the sampling policy replaced (`None`
+    /// emits everything). Clones share the sink but each carries its own
+    /// filter, so one subsystem can sample while another stays exact.
+    #[must_use]
+    pub fn sampled(mut self, config: Option<SamplerConfig>) -> Self {
+        self.sampler = config.map(Sampler::new);
+        self
+    }
+
+    /// The sampling policy this handle applies, if any.
+    #[must_use]
+    pub fn sampler(&self) -> Option<SamplerConfig> {
+        self.sampler.map(|s| s.config())
+    }
+
+    /// The head decision this handle's sampler makes for `trace_id`
+    /// (`true` without a sampler). Daemons consult this once per served
+    /// request and, for a dropped trace, shed the *whole* request's
+    /// telemetry with [`mute_request_scoped`] — not just the spans the
+    /// per-event filter would catch.
+    #[must_use]
+    pub fn keeps_trace(&self, trace_id: u64) -> bool {
+        self.sampler.is_none_or(|s| s.keeps_trace(trace_id))
     }
 
     /// Wraps an existing shared sink; the caller keeps its typed `Arc` to
@@ -318,16 +366,85 @@ impl SinkHandle {
     /// even after a request's reply is on the wire — never hold the typed
     /// `Arc`'s lock across a shutdown that joins emitting threads.
     pub fn from_arc<S: EventSink + Send + 'static>(sink: Arc<Mutex<S>>) -> Self {
-        Self { inner: sink }
+        Self {
+            inner: sink,
+            sampler: None,
+        }
     }
 
-    /// Emits one event into the shared sink.
+    /// Emits one event into the shared sink. Sampled-out spans and
+    /// request-scoped events inside a [`mute_request_scoped`] scope
+    /// return before touching the lock.
     pub fn emit(&self, event: &Event) {
+        if let Some(sampler) = &self.sampler {
+            if !sampler.keep(event) {
+                return;
+            }
+        }
+        if event.kind().is_request_scoped() && MUTE_REQUEST_SCOPED.with(Cell::get) {
+            return;
+        }
         let mut guard = match self.inner.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         };
         guard.emit(event);
+    }
+}
+
+thread_local! {
+    /// Whether the current thread is serving a request whose trace the
+    /// head sampler dropped (see [`mute_request_scoped`]).
+    static MUTE_REQUEST_SCOPED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Suppresses *request-scoped* event kinds
+/// ([`EventKind::is_request_scoped`]) emitted through any [`SinkHandle`]
+/// on the current thread until the returned guard drops.
+///
+/// This is how a daemon extends the head sampler's per-trace decision to
+/// the full request: the spans of a dropped trace are already filtered
+/// per-event, but the request-completion, connection-reuse, placement
+/// and ICP lines a request produces carry no trace id of their own. The
+/// daemon serves each request synchronously on one thread, so a
+/// thread-scoped mute over the serve path sheds exactly that request's
+/// telemetry — low-rate health kinds (evictions, faults, quarantine,
+/// admission sheds, alerts) pass through untouched, and `OP_STATS`
+/// counters are recorded before the sink and stay exact regardless.
+///
+/// Guards nest: the mute lifts only when the outermost guard drops.
+/// Because the head decision is pure in `(seed, rate, trace_id)`, muting
+/// by it keeps the sampled stream a deterministic subsequence of the
+/// full stream.
+/// Whether the current thread is inside a [`mute_request_scoped`] scope.
+///
+/// [`SinkHandle::emit`] already applies the mute; this query exists for
+/// emitters whose *preparation* for a request-scoped event is the
+/// expensive part (taking a sink registry lock, building the event) so
+/// they can skip it entirely on muted threads. Skipping on `true` is
+/// always equivalent to emitting: the handle would have dropped the
+/// event anyway.
+#[must_use]
+pub fn request_scoped_muted() -> bool {
+    MUTE_REQUEST_SCOPED.with(Cell::get)
+}
+
+#[must_use]
+pub fn mute_request_scoped() -> RequestMuteGuard {
+    let was = MUTE_REQUEST_SCOPED.with(|m| m.replace(true));
+    RequestMuteGuard { was }
+}
+
+/// RAII guard returned by [`mute_request_scoped`]; restores the previous
+/// mute state on drop.
+#[derive(Debug)]
+pub struct RequestMuteGuard {
+    was: bool,
+}
+
+impl Drop for RequestMuteGuard {
+    fn drop(&mut self) {
+        MUTE_REQUEST_SCOPED.with(|m| m.set(self.was));
     }
 }
 
@@ -432,5 +549,45 @@ mod tests {
         a.emit(&sample_request(0, RequestClass::Miss, None));
         b.emit(&sample_request(1, RequestClass::Miss, None));
         assert_eq!(ring.lock().unwrap().total_emitted(), 2);
+    }
+
+    #[test]
+    fn mute_sheds_request_scoped_kinds_only() {
+        let ring = Arc::new(Mutex::new(RingBufferSink::new(8)));
+        let handle = SinkHandle::from_arc(Arc::clone(&ring));
+        let eviction = Event::Eviction {
+            cache: CacheId::new(0),
+            doc: DocId::new(2),
+            age_ms: 512,
+            cause: EvictionCause::Capacity,
+        };
+        {
+            let _mute = crate::mute_request_scoped();
+            handle.emit(&sample_request(0, RequestClass::Miss, None));
+            handle.emit(&eviction);
+        }
+        handle.emit(&sample_request(1, RequestClass::Miss, None));
+        let kinds: Vec<EventKind> = ring.lock().unwrap().events().map(Event::kind).collect();
+        assert_eq!(
+            kinds,
+            vec![EventKind::Eviction, EventKind::Request],
+            "muted scope drops request-scoped kinds, keeps health kinds"
+        );
+    }
+
+    #[test]
+    fn mute_guards_nest_and_restore() {
+        let ring = Arc::new(Mutex::new(RingBufferSink::new(8)));
+        let handle = SinkHandle::from_arc(Arc::clone(&ring));
+        {
+            let _outer = crate::mute_request_scoped();
+            {
+                let _inner = crate::mute_request_scoped();
+            }
+            // The inner guard's drop must not lift the outer mute.
+            handle.emit(&sample_request(0, RequestClass::Miss, None));
+        }
+        handle.emit(&sample_request(1, RequestClass::Miss, None));
+        assert_eq!(ring.lock().unwrap().total_emitted(), 1);
     }
 }

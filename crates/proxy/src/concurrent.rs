@@ -89,8 +89,18 @@ impl ConcurrentNode {
         stored: bool,
     ) {
         self.record_stat(EventKind::Placement);
-        if lock(&self.sink).is_some() {
-            self.emit(&Event::Placement {
+        // A muted thread (the head sampler dropped this request's trace)
+        // would have the event dropped by the sink handle anyway; bail
+        // before paying the sink lock and the event build.
+        if coopcache_obs::request_scoped_muted() {
+            return;
+        }
+        // One lock for both the presence check and the emit — placement
+        // fires on every request, so the second acquisition would be on
+        // the hot path.
+        let guard = lock(&self.sink);
+        if let Some(sink) = guard.as_ref() {
+            sink.emit(&Event::Placement {
                 cache: self.id(),
                 doc,
                 role,

@@ -12,8 +12,8 @@
 use crate::config::SimConfig;
 use coopcache_metrics::GroupMetrics;
 use coopcache_obs::{
-    age_to_ms, event_cache, Event, EventSink, SeriesGauges, SeriesRecorder, SeriesRing, SinkHandle,
-    Span, SpanKind,
+    age_to_ms, event_cache, AlertEngine, AlertRule, Event, EventSink, Rollup, RollupConfig,
+    SeriesGauges, SeriesRecorder, SeriesRing, SinkHandle, Span, SpanKind,
 };
 use coopcache_proxy::{DistributedGroup, HttpRequest, IcpQuery, RequestOutcome};
 use coopcache_trace::Trace;
@@ -189,6 +189,14 @@ struct InFlight {
 struct SeriesTap {
     inner: Option<SinkHandle>,
     recorders: Vec<SeriesRecorder>,
+    /// One SLO engine per recorder (empty when no rules are installed);
+    /// fed each boundary point as the recorders cross it.
+    engines: Vec<AlertEngine>,
+    /// Alert state transitions in virtual-time order — pure function of
+    /// the trace, so same-seed runs produce identical streams.
+    alerts: Vec<Event>,
+    /// Online aggregate replacing raw JSONL for large sweeps.
+    rollup: Option<Rollup>,
 }
 
 impl EventSink for SeriesTap {
@@ -199,6 +207,9 @@ impl EventSink for SeriesTap {
                     rec.observe(event);
                 }
             }
+        }
+        if let Some(rollup) = &mut self.rollup {
+            rollup.observe(event);
         }
         if let Some(inner) = &self.inner {
             inner.emit(event);
@@ -216,8 +227,10 @@ fn lock_tap(tap: &Mutex<SeriesTap>) -> MutexGuard<'_, SeriesTap> {
 /// gauges from the group only when a sample boundary is actually due.
 fn advance_series(tap: &Mutex<SeriesTap>, group: &DistributedGroup, now: Timestamp) {
     let now_ms = now.as_millis();
-    let mut tap = lock_tap(tap);
-    for rec in &mut tap.recorders {
+    let mut guard = lock_tap(tap);
+    let tap = &mut *guard;
+    let mut fired: Vec<Event> = Vec::new();
+    for (i, rec) in tap.recorders.iter_mut().enumerate() {
         if now_ms < rec.next_sample_ms() {
             continue;
         }
@@ -232,7 +245,30 @@ fn advance_series(tap: &Mutex<SeriesTap>, group: &DistributedGroup, now: Timesta
             // daemon concept.
             quarantined: 0,
         };
-        rec.advance(now_ms, gauges);
+        let engine = tap.engines.get_mut(i);
+        match engine {
+            Some(engine) => rec.advance_with(now_ms, gauges, |point| {
+                for f in engine.observe(point) {
+                    fired.push(Event::Alert {
+                        cache: f.cache,
+                        metric: f.metric,
+                        op: f.op,
+                        threshold: f.threshold,
+                        value: f.value,
+                        windows: f.windows,
+                        state: f.state,
+                    });
+                }
+            }),
+            None => rec.advance(now_ms, gauges),
+        }
+    }
+    // Alert events flow like any other event — counted into the firing
+    // node's own series, folded into the rollup, forwarded to the
+    // caller's sink — and are additionally collected for the report.
+    for event in fired {
+        tap.emit(&event);
+        tap.alerts.push(event);
     }
 }
 
@@ -261,6 +297,34 @@ fn advance_series(tap: &Mutex<SeriesTap>, group: &DistributedGroup, now: Timesta
 #[must_use]
 pub fn run_des(config: &SimConfig, network: &NetworkModel, trace: &Trace) -> DesReport {
     run_des_inner(config, network, trace, None, None).0
+}
+
+/// Health-plane configuration for a DES run: series cadence, SLO rules
+/// and the optional online rollup.
+#[derive(Debug, Clone)]
+pub struct HealthConfig {
+    /// Virtual-time sampling interval for the per-node series rings.
+    pub interval_ms: u64,
+    /// Points retained per node ring.
+    pub capacity: usize,
+    /// SLO rules evaluated on every node at each sample boundary.
+    /// Each state transition becomes an [`Event::Alert`].
+    pub rules: Vec<AlertRule>,
+    /// When set, an online [`Rollup`] aggregates the full event stream
+    /// in bounded memory alongside the rings.
+    pub rollup: Option<RollupConfig>,
+}
+
+/// Everything the health plane produced during a DES run.
+#[derive(Debug, Clone)]
+pub struct HealthReport {
+    /// Per-node series rings, ascending by cache id.
+    pub rings: Vec<SeriesRing>,
+    /// Alert state transitions ([`Event::Alert`]) in virtual-time order.
+    /// A pure function of the trace: same seed → identical stream.
+    pub alerts: Vec<Event>,
+    /// The rollup aggregate, when one was configured.
+    pub rollup: Option<Rollup>,
 }
 
 /// Like [`run_des`], but streams events into `sink` when one is supplied.
@@ -294,7 +358,64 @@ pub fn run_des_with_series(
     interval_ms: u64,
     capacity: usize,
 ) -> (DesReport, Vec<SeriesRing>) {
-    run_des_inner(config, network, trace, sink, Some((interval_ms, capacity)))
+    let spec = TapSpec {
+        series: Some((interval_ms, capacity)),
+        rules: Vec::new(),
+        rollup: None,
+    };
+    let (report, health) = run_des_inner(config, network, trace, sink, Some(spec));
+    (report, health.rings)
+}
+
+/// Like [`run_des_with_series`], additionally evaluating SLO rules at
+/// every virtual-time sample boundary and (optionally) folding the full
+/// event stream into an online [`Rollup`]. The alert stream and the
+/// rollup are pure functions of the trace: same seed, same bytes.
+#[must_use]
+pub fn run_des_with_health(
+    config: &SimConfig,
+    network: &NetworkModel,
+    trace: &Trace,
+    sink: Option<SinkHandle>,
+    health: HealthConfig,
+) -> (DesReport, HealthReport) {
+    let spec = TapSpec {
+        series: Some((health.interval_ms, health.capacity)),
+        rules: health.rules,
+        rollup: health.rollup,
+    };
+    run_des_inner(config, network, trace, sink, Some(spec))
+}
+
+/// Runs the DES with *only* an online rollup observing the event
+/// stream: no per-event JSONL, no per-node rings — the whole
+/// observability cost of a sweep is the rollup's fixed-size state, so a
+/// 256-node × 10M-request run stays in bounded memory.
+#[must_use]
+pub fn run_des_with_rollups(
+    config: &SimConfig,
+    network: &NetworkModel,
+    trace: &Trace,
+    rollup: RollupConfig,
+) -> (DesReport, Rollup) {
+    let spec = TapSpec {
+        series: None,
+        rules: Vec::new(),
+        rollup: Some(rollup),
+    };
+    let (report, health) = run_des_inner(config, network, trace, None, Some(spec));
+    // The tap was configured with a rollup, so one always comes back;
+    // the fallback only keeps this path panic-free.
+    let rollup = health.rollup.unwrap_or_else(|| Rollup::new(rollup));
+    (report, rollup)
+}
+
+/// What a run's tap should record beyond forwarding to the caller's
+/// sink (internal shape behind the public entry points).
+struct TapSpec {
+    series: Option<(u64, usize)>,
+    rules: Vec<AlertRule>,
+    rollup: Option<RollupConfig>,
 }
 
 fn run_des_inner(
@@ -302,8 +423,8 @@ fn run_des_inner(
     network: &NetworkModel,
     trace: &Trace,
     sink: Option<SinkHandle>,
-    series: Option<(u64, usize)>,
-) -> (DesReport, Vec<SeriesRing>) {
+    spec: Option<TapSpec>,
+) -> (DesReport, HealthReport) {
     let mut group = DistributedGroup::with_window(
         config.group_size,
         config.aggregate_capacity,
@@ -315,15 +436,40 @@ fn run_des_inner(
     // The tap fronts the caller's sink whenever anything observes the
     // run; with neither a sink nor a series requested there is no tap
     // and the run pays nothing.
-    let tap = (sink.is_some() || series.is_some()).then(|| {
-        let recorders = series.map_or_else(Vec::new, |(interval_ms, capacity)| {
-            (0..n)
-                .map(|i| SeriesRecorder::new(CacheId::new(i as u16), interval_ms, capacity))
-                .collect()
-        });
+    let tap = (sink.is_some() || spec.is_some()).then(|| {
+        let (recorders, engines, rollup) = spec.as_ref().map_or_else(
+            || (Vec::new(), Vec::new(), None),
+            |spec| {
+                let recorders: Vec<SeriesRecorder> =
+                    spec.series
+                        .map_or_else(Vec::new, |(interval_ms, capacity)| {
+                            (0..n)
+                                .map(|i| {
+                                    SeriesRecorder::new(
+                                        CacheId::new(i as u16),
+                                        interval_ms,
+                                        capacity,
+                                    )
+                                })
+                                .collect()
+                        });
+                let engines = if spec.rules.is_empty() {
+                    Vec::new()
+                } else {
+                    recorders
+                        .iter()
+                        .map(|r| AlertEngine::new(r.cache(), spec.rules.clone()))
+                        .collect()
+                };
+                (recorders, engines, spec.rollup.map(Rollup::new))
+            },
+        );
         Arc::new(Mutex::new(SeriesTap {
             inner: sink.clone(),
             recorders,
+            engines,
+            alerts: Vec::new(),
+            rollup,
         }))
     });
     let sink = tap.as_ref().map(|t| SinkHandle::from_arc(Arc::clone(t)));
@@ -638,15 +784,28 @@ fn run_des_inner(
         }
     };
     // Flush trailing sample boundaries up to the last event time, then
-    // hand the rings back.
-    let series_rings = tap.map_or_else(Vec::new, |tap| {
-        advance_series(&tap, &group, end_time);
-        lock_tap(&tap)
-            .recorders
-            .drain(..)
-            .map(SeriesRecorder::into_ring)
-            .collect()
-    });
+    // hand the health plane's output back.
+    let health = tap.map_or_else(
+        || HealthReport {
+            rings: Vec::new(),
+            alerts: Vec::new(),
+            rollup: None,
+        },
+        |tap| {
+            advance_series(&tap, &group, end_time);
+            let mut guard = lock_tap(&tap);
+            let tap = &mut *guard;
+            HealthReport {
+                rings: tap
+                    .recorders
+                    .drain(..)
+                    .map(SeriesRecorder::into_ring)
+                    .collect(),
+                alerts: std::mem::take(&mut tap.alerts),
+                rollup: tap.rollup.take(),
+            }
+        },
+    );
     (
         DesReport {
             metrics,
@@ -656,7 +815,7 @@ fn run_des_inner(
             icp_fallbacks,
             avg_expiration_age_ms: group.average_expiration_age_ms(),
         },
-        series_rings,
+        health,
     )
 }
 
@@ -752,6 +911,58 @@ mod tests {
             "cumulative counters cannot exceed the request total"
         );
         assert!(total > 0, "sampling must observe requests");
+    }
+
+    #[test]
+    fn des_health_alerts_are_deterministic_and_fire() {
+        // An impossible hit-rate floor (above 1000‰) violates on every
+        // window with traffic, so the alert plane must fire somewhere.
+        let t = trace();
+        let health = || HealthConfig {
+            interval_ms: 500,
+            capacity: 64,
+            rules: vec![AlertRule::hit_rate_floor(1_001, 2)],
+            rollup: None,
+        };
+        let (_, a) = run_des_with_health(&cfg(500), &NetworkModel::default(), &t, None, health());
+        let (_, b) = run_des_with_health(&cfg(500), &NetworkModel::default(), &t, None, health());
+        assert!(!a.alerts.is_empty(), "floor above 100% must fire");
+        assert_eq!(a.alerts, b.alerts, "same seed, same alert stream");
+        assert!(
+            a.alerts.iter().all(|e| matches!(e, Event::Alert { .. })),
+            "only alerts in the stream"
+        );
+        // Alert events are counted into the firing node's own series.
+        let alert_idx = coopcache_obs::EventKind::Alert.index();
+        let counted: u64 = a
+            .rings
+            .iter()
+            .filter_map(|r| r.points().last())
+            .map(|p| p.counters[alert_idx])
+            .sum();
+        assert!(counted > 0, "alerts count into the series plane");
+    }
+
+    #[test]
+    fn des_rollup_totals_match_the_report() {
+        let t = trace();
+        let (report, rollup) = run_des_with_rollups(
+            &cfg(500),
+            &NetworkModel::default(),
+            &t,
+            RollupConfig::default(),
+        );
+        let (requests, hits, _) = rollup.totals();
+        assert_eq!(requests, report.metrics.requests);
+        assert_eq!(hits, report.metrics.local_hits + report.metrics.remote_hits);
+        // And the rollup JSON is deterministic across runs.
+        let (_, again) = run_des_with_rollups(
+            &cfg(500),
+            &NetworkModel::default(),
+            &t,
+            RollupConfig::default(),
+        );
+        assert_eq!(rollup.to_json(), again.to_json());
     }
 
     #[test]

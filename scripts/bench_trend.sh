@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Collate every BENCH_*.json snapshot in the repo root into per-cell
+# trend lines (a thin wrapper around `coopcache bench-trend`). Advisory
+# by design, like bench_diff.sh: the trend is printed, the exit code
+# only reflects missing or unreadable snapshots.
+# Usage: scripts/bench_trend.sh             all BENCH_*.json, oldest first
+#        scripts/bench_trend.sh A.json B.json ...   an explicit sequence
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ $# -gt 0 ]]; then
+    files=("$@")
+else
+    # BENCH_5.json .. BENCH_9.json sort correctly as plain strings while
+    # the sequence stays single-digit; revisit at BENCH_10.
+    mapfile -t files < <(ls BENCH_*.json 2>/dev/null | sort)
+fi
+
+if [[ ${#files[@]} -lt 2 ]]; then
+    echo "bench_trend.sh: need at least two BENCH_*.json snapshots" >&2
+    exit 2
+fi
+
+joined=$(IFS=,; echo "${files[*]}")
+cargo run -q -p coopcache-cli -- bench-trend --files "$joined"

@@ -59,6 +59,16 @@ echo "== series determinism (DES + replayed series, byte-identical)"
 cargo test -q --test determinism des_series_rings_are_identical_across_runs
 cargo test -q --test determinism series_replay_is_byte_identical_across_runs
 
+echo "== sampling determinism (sampled stream = reproducible subsequence)"
+cargo test -q --test determinism sampled_event_streams_are_deterministic_subsequences
+cargo test -q --test proptests sampling_is_a_deterministic_subsequence_for_any_seed_and_rate
+
+echo "== alert determinism (same-seed DES runs fire byte-identical alerts)"
+cargo test -q --test determinism des_alert_firings_are_identical_across_runs
+
+echo "== rollup sweep (64-node DES under bounded aggregator memory)"
+cargo test -q --test determinism des_rollup_sweep_64_nodes_is_bounded_and_byte_identical
+
 echo "== ThreadSanitizer storm test (advisory; needs nightly + rust-src)"
 if cargo +nightly --version >/dev/null 2>&1 &&
   [[ -f "$(rustc +nightly --print sysroot)/lib/rustlib/src/rust/library/Cargo.lock" ]]; then
@@ -71,14 +81,17 @@ fi
 echo "== bench-core smoke (O(1) scaling + allocation-free hot path)"
 cargo run --release -q -p coopcache-bench --bin bench_core -- --smoke
 
-echo "== bench-daemon smoke (pooled transport must reuse connections)"
-cargo run --release -q -p coopcache-cli --bin coopcache -- bench-daemon --smoke true
+echo "== bench-daemon smoke (pooled transport + sampled-telemetry overhead)"
+cargo run --release -q -p coopcache-cli --bin coopcache -- bench-daemon --smoke true --events both
 
 echo "== bench drift (advisory; compares the last two snapshots)"
-if [[ -s BENCH_7.json && -s BENCH_8.json ]]; then
-  scripts/bench_diff.sh BENCH_7.json BENCH_8.json || true
+if [[ -s BENCH_8.json && -s BENCH_9.json ]]; then
+  scripts/bench_diff.sh BENCH_8.json BENCH_9.json || true
 else
-  echo "   skipped: run scripts/bench.sh to produce BENCH_8.json"
+  echo "   skipped: run scripts/bench.sh to produce BENCH_9.json"
 fi
+
+echo "== bench trend (advisory; collates all snapshots)"
+scripts/bench_trend.sh || true
 
 echo "All checks passed."

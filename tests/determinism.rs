@@ -164,6 +164,117 @@ fn series_replay_is_byte_identical_across_runs() {
     assert_eq!(top_a, top_b, "rendered dashboard must be byte-identical");
 }
 
+/// True when every line of `small` appears in `big` in the same order —
+/// the subsequence contract of the head sampler.
+fn is_line_subsequence(small: &str, big: &str) -> bool {
+    let mut big_lines = big.lines();
+    small.lines().all(|needle| big_lines.any(|l| l == needle))
+}
+
+#[test]
+fn sampled_event_streams_are_deterministic_subsequences() {
+    use coopcache::obs::SamplerConfig;
+    use std::sync::{Arc, Mutex, PoisonError};
+    let trace = generate(&TraceProfile::small().with_requests(2_000)).unwrap();
+    let cfg = SimConfig::new(ByteSize::from_kb(300)).with_scheme(PlacementScheme::Ea);
+    let net = NetworkModel::paper_calibrated();
+    let stream = |sampler: Option<SamplerConfig>| -> String {
+        let sink = Arc::new(Mutex::new(JsonlSink::new(Vec::new())));
+        let handle = SinkHandle::from_arc(Arc::clone(&sink)).sampled(sampler);
+        let _ = run_des_with_sink(&cfg, &net, &trace, Some(handle));
+        let bytes = Arc::try_unwrap(sink)
+            .expect("runner drops its sink handles")
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .into_inner();
+        String::from_utf8(bytes).expect("jsonl is utf-8")
+    };
+    let full = stream(None);
+    let config = SamplerConfig::new(0xC0FFEE, 250);
+    let sampled = stream(Some(config));
+    assert_eq!(
+        sampled,
+        stream(Some(config)),
+        "same seed+rate must sample byte-identically"
+    );
+    assert!(!sampled.is_empty());
+    assert!(
+        sampled.len() < full.len(),
+        "250/1000 sampling must drop spans"
+    );
+    assert!(
+        is_line_subsequence(&sampled, &full),
+        "sampled stream must be an ordered subsequence of the full one"
+    );
+    // Only spans are sampled; every other event survives verbatim, so
+    // counters derived from the two streams agree exactly.
+    fn non_span(text: &str) -> Vec<&str> {
+        text.lines()
+            .filter(|l| !l.starts_with(r#"{"ev":"span""#))
+            .collect()
+    }
+    assert_eq!(non_span(&sampled), non_span(&full));
+    // Rate 1000 keeps everything; rate 0 keeps everything but spans.
+    assert_eq!(stream(Some(SamplerConfig::new(1, 1_000))), full);
+    let none = stream(Some(SamplerConfig::new(1, 0)));
+    assert!(!none.contains(r#"{"ev":"span""#));
+    assert_eq!(non_span(&none), non_span(&full));
+}
+
+#[test]
+fn des_alert_firings_are_identical_across_runs() {
+    use coopcache::obs::AlertRule;
+    use coopcache::sim::{run_des_with_health, HealthConfig};
+    let trace = generate(&TraceProfile::small().with_requests(2_000)).unwrap();
+    let cfg = SimConfig::new(ByteSize::from_kb(300));
+    let net = NetworkModel::paper_calibrated();
+    let health = HealthConfig {
+        interval_ms: 500,
+        capacity: 64,
+        // An unsatisfiable floor: every node must fire after two windows.
+        rules: vec![AlertRule::hit_rate_floor(1_001, 2)],
+        rollup: None,
+    };
+    let alerts = || -> Vec<String> {
+        let (_, report) = run_des_with_health(&cfg, &net, &trace, None, health.clone());
+        report.alerts.iter().map(Event::to_json).collect()
+    };
+    let a = alerts();
+    assert!(!a.is_empty(), "the unsatisfiable floor must fire");
+    assert!(a[0].starts_with(r#"{"ev":"alert""#), "{}", a[0]);
+    assert_eq!(a, alerts(), "alert firings must be byte-identical");
+}
+
+#[test]
+fn des_rollup_sweep_64_nodes_is_bounded_and_byte_identical() {
+    use coopcache::obs::RollupConfig;
+    use coopcache::sim::run_des_with_rollups;
+    let trace = generate(&TraceProfile::small().with_requests(2_000)).unwrap();
+    let cfg = SimConfig::new(ByteSize::from_kb(100)).with_group_size(64);
+    let net = NetworkModel::paper_calibrated();
+    let rollup_cfg = RollupConfig {
+        window_ms: 500,
+        max_nodes: 16,
+        max_windows: 8,
+    };
+    let sweep = || run_des_with_rollups(&cfg, &net, &trace, rollup_cfg);
+    let (report_a, rollup_a) = sweep();
+    let (report_b, rollup_b) = sweep();
+    assert_eq!(report_a, report_b);
+    assert_eq!(
+        rollup_a.to_json(),
+        rollup_b.to_json(),
+        "rollup JSON must be byte-identical"
+    );
+    // 64 nodes ran, but the aggregator's tables stay at their caps: the
+    // memory bound a raw JSONL stream cannot offer.
+    assert_eq!(rollup_a.node_count(), 16);
+    assert!(rollup_a.overflow_events() > 0, "48 nodes bill to overflow");
+    assert!(rollup_a.windows().len() <= 8);
+    let (requests, _, _) = rollup_a.totals();
+    assert_eq!(requests, 2_000, "totals still count every request");
+}
+
 #[test]
 fn trace_survives_file_roundtrip_at_scale() {
     let trace = generate(&TraceProfile::small()).unwrap();

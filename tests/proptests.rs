@@ -263,3 +263,129 @@ fn group_outcomes_are_consistent() {
         }
     }
 }
+
+/// For any sampler seed and rate: the sampled stream is a deterministic,
+/// order-preserving subsequence of the full stream, only spans are ever
+/// dropped, and rollups built from the full vs the sampled stream agree
+/// on every counter that is not span-derived.
+#[test]
+fn sampling_is_a_deterministic_subsequence_for_any_seed_and_rate() {
+    use coopcache::obs::{Event, RequestClass};
+    use coopcache::obs::{
+        JsonlSink, Rollup, RollupConfig, SamplerConfig, SinkHandle, Span, SpanKind,
+    };
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    // One synthetic event mix reused across cases: requests and spans
+    // (the sampled kind) over a handful of nodes and trace ids.
+    let mut gen = Rng::seed_from(0x5A3D);
+    let mut events: Vec<Event> = Vec::new();
+    for seq in 0..400u64 {
+        let cache = CacheId::new(gen.next_below(4) as u16);
+        let doc = DocId::new(gen.next_below(32));
+        let class = *gen.choose(&[
+            RequestClass::LocalHit,
+            RequestClass::RemoteHit,
+            RequestClass::Miss,
+        ]);
+        events.push(Event::Request {
+            seq,
+            cache,
+            doc,
+            class,
+            responder: None,
+            stored: seq % 2 == 0,
+            latency_us: Some(100 + gen.next_below(5_000)),
+        });
+        let trace_id = gen.next_below(u64::MAX / 2);
+        for k in 0..gen.next_below(3) {
+            events.push(Event::Span(Span {
+                trace_id,
+                span_id: (seq << 8) | k,
+                parent: (k > 0).then_some(seq << 8),
+                cache,
+                kind: SpanKind::Request,
+                doc: Some(doc),
+                peer: None,
+                start_us: seq * 1_000,
+                end_us: seq * 1_000 + 500,
+                status: "ok",
+            }));
+        }
+    }
+
+    let stream = |sampler: Option<SamplerConfig>| -> String {
+        let sink = Arc::new(Mutex::new(JsonlSink::new(Vec::new())));
+        let handle = SinkHandle::from_arc(Arc::clone(&sink)).sampled(sampler);
+        for event in &events {
+            handle.emit(event);
+        }
+        drop(handle);
+        let bytes = Arc::try_unwrap(sink)
+            .expect("no other handles")
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .into_inner();
+        String::from_utf8(bytes).expect("jsonl is utf-8")
+    };
+    let is_line_subsequence = |small: &str, big: &str| -> bool {
+        let mut big_lines = big.lines();
+        small.lines().all(|needle| big_lines.any(|l| l == needle))
+    };
+    let rollup_of = |text: &str| -> Rollup {
+        let mut rollup = Rollup::new(RollupConfig {
+            window_ms: 50,
+            max_nodes: 8,
+            max_windows: 16,
+        });
+        rollup.observe_jsonl(text).expect("well-formed stream");
+        rollup
+    };
+
+    let full = stream(None);
+    let full_rollup = rollup_of(&full);
+    let mut rng = Rng::seed_from(0x5EED);
+    for case in 0..CASES {
+        let config = SamplerConfig::new(rng.next_below(u64::MAX), rng.next_below(1_001) as u32);
+        let sampled = stream(Some(config));
+        assert_eq!(
+            sampled,
+            stream(Some(config)),
+            "case {case} ({config:?}): sampling must be deterministic"
+        );
+        assert!(
+            is_line_subsequence(&sampled, &full),
+            "case {case} ({config:?}): not a subsequence"
+        );
+        // Non-span lines are never sampled away.
+        fn non_span(text: &str) -> Vec<&str> {
+            text.lines()
+                .filter(|l| !l.starts_with(r#"{"ev":"span""#))
+                .collect()
+        }
+        assert_eq!(non_span(&sampled), non_span(&full), "case {case}");
+        // Rollups from the two streams agree on request-derived counters
+        // (spans only feed the rollup clock, never the counters).
+        let sampled_rollup = rollup_of(&sampled);
+        assert_eq!(
+            sampled_rollup.totals(),
+            full_rollup.totals(),
+            "case {case} ({config:?})"
+        );
+        assert_eq!(
+            sampled_rollup.node_count(),
+            full_rollup.node_count(),
+            "case {case}"
+        );
+        for node in 0..4u16 {
+            assert_eq!(
+                sampled_rollup.node_split(CacheId::new(node)),
+                full_rollup.node_split(CacheId::new(node)),
+                "case {case} node {node}"
+            );
+        }
+        if config.rate >= 1_000 {
+            assert_eq!(sampled, full, "case {case}: rate 1000 keeps all");
+        }
+    }
+}
